@@ -1,0 +1,111 @@
+// Command polardbx-bench reproduces the paper's evaluation (§VII): it
+// runs the Figure 7-10 experiments on the simulated cluster and prints
+// paper-style tables with the reference numbers alongside.
+//
+// Usage:
+//
+//	polardbx-bench -exp all            # every experiment (several minutes)
+//	polardbx-bench -exp fig7           # HLC-SI vs TSO-SI across 3 DCs
+//	polardbx-bench -exp fig8           # elasticity: tenant migration vs copy
+//	polardbx-bench -exp fig9           # HTAP isolation, 6 configurations
+//	polardbx-bench -exp fig10          # TPC-H MPP + column index, 22 queries
+//	polardbx-bench -exp fig10 -quick   # reduced scale for a fast look
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/workload/sysbench"
+	"repro/internal/workload/tpch"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig7, fig8, fig9, fig10")
+	quick := flag.Bool("quick", false, "reduced scale (faster, noisier)")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		fmt.Printf("\n=== %s ===\n", name)
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %s)\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("fig7") {
+		run("Figure 7: cross-DC transactions, HLC-SI vs TSO-SI", func() error {
+			opts := bench.Fig7Options{}
+			if *quick {
+				opts = bench.Fig7Options{Concurrencies: []int{8, 16}, Rows: 1000,
+					Duration: time.Second}
+			}
+			for _, kind := range []sysbench.Kind{sysbench.WriteOnly, sysbench.ReadOnly} {
+				res, err := bench.RunFig7(kind, opts)
+				if err != nil {
+					return err
+				}
+				res.Print(os.Stdout)
+			}
+			return nil
+		})
+	}
+	if want("fig8") {
+		run("Figure 8: elasticity via PolarDB-MT tenant migration", func() error {
+			opts := bench.Fig8Options{Tenants: 16, RowsPerTenant: 20000, Steps: 3,
+				LoadDuration: time.Second}
+			if *quick {
+				opts = bench.Fig8Options{Tenants: 8, RowsPerTenant: 4000, Steps: 3,
+					LoadDuration: 300 * time.Millisecond}
+			}
+			res, err := bench.RunFig8(opts)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		})
+	}
+	if want("fig9") {
+		run("Figure 9: HTAP resource isolation and scalable RO", func() error {
+			opts := bench.Fig9Options{Duration: 4 * time.Second}
+			if *quick {
+				opts = bench.Fig9Options{Duration: 1500 * time.Millisecond, Terminals: 4}
+			}
+			res, err := bench.RunFig9(opts)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		})
+	}
+	if want("fig10") {
+		run("Figure 10: TPC-H under MPP and the in-memory column index", func() error {
+			opts := bench.Fig10Options{}
+			if *quick {
+				opts = bench.Fig10Options{
+					TPCH: tpch.Config{SF: 0.5, Partitions: 8, Seed: 10},
+					Reps: 2,
+				}
+			}
+			res, err := bench.RunFig10(opts)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		})
+	}
+	if !want("fig7") && !want("fig8") && !want("fig9") && !want("fig10") {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, fig7, fig8, fig9, fig10)\n", *exp)
+		os.Exit(2)
+	}
+}

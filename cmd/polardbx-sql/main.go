@@ -1,0 +1,191 @@
+// Command polardbx-sql is an interactive SQL shell on an embedded
+// PolarDB-X cluster: it boots a full simulated deployment (CNs, DN
+// groups, optional multi-DC replication and RO replicas) and reads
+// statements from stdin.
+//
+//	polardbx-sql                    # single-DC, 2 CNs, 2 DN groups
+//	polardbx-sql -dcs 3 -multidc    # three datacenters, Paxos replication
+//	polardbx-sql -ros 2             # two RO replicas per DN group
+//
+// Meta commands: \q quit, \explain <select> show the plan, \stats show
+// cluster topology.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+func main() {
+	dcs := flag.Int("dcs", 1, "datacenters")
+	multidc := flag.Bool("multidc", false, "replicate DN groups across DCs via Paxos")
+	dnGroups := flag.Int("dn", 2, "DN groups")
+	cns := flag.Int("cn", 2, "CNs per DC")
+	ros := flag.Int("ros", 0, "RO replicas per DN group")
+	oracle := flag.String("oracle", "hlc-si", "timestamp oracle: hlc-si or tso-si")
+	flag.Parse()
+
+	cluster, err := core.NewCluster(core.Config{
+		DCs: *dcs, MultiDC: *multidc, DNGroups: *dnGroups,
+		CNsPerDC: *cns, ROsPerDN: *ros,
+		Oracle: core.OracleKind(*oracle),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer cluster.Stop()
+	if *ros > 0 {
+		if err := cluster.EnableAPReplicas(*ros); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	session := cluster.CN(simnet.DC1).NewSession()
+	fmt.Printf("polardbx-sql: %d DC(s), %d DN group(s), %d CN(s)/DC, %d RO(s)/DN, oracle=%s\n",
+		*dcs, *dnGroups, *cns, *ros, *oracle)
+	fmt.Println(`type SQL statements terminated by ';', '\q' to quit, '\stats' for topology`)
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() { fmt.Print("polardbx> ") }
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == `\q` || trimmed == "exit" || trimmed == "quit":
+			return
+		case trimmed == `\stats`:
+			printStats(cluster)
+			prompt()
+			continue
+		case strings.HasPrefix(trimmed, `\explain `):
+			explain(session, strings.TrimPrefix(trimmed, `\explain `))
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString(" ")
+		if !strings.Contains(line, ";") {
+			fmt.Print("       -> ")
+			continue
+		}
+		stmtText := strings.TrimSpace(buf.String())
+		buf.Reset()
+		execute(session, stmtText)
+		prompt()
+	}
+}
+
+func execute(session *core.Session, stmtText string) {
+	start := time.Now()
+	switch strings.ToUpper(strings.TrimSuffix(strings.TrimSpace(stmtText), ";")) {
+	case "BEGIN", "START TRANSACTION":
+		if err := session.BeginTxn(); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("transaction started")
+		}
+		return
+	case "COMMIT":
+		if err := session.Commit(); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("committed")
+		}
+		return
+	case "ROLLBACK":
+		if err := session.Rollback(); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("rolled back")
+		}
+		return
+	}
+	res, err := session.Execute(stmtText)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	elapsed := time.Since(start).Round(time.Microsecond)
+	if res.Columns != nil {
+		printTable(res)
+		fmt.Printf("%d row(s) in %s\n", len(res.Rows), elapsed)
+		return
+	}
+	fmt.Printf("OK, %d row(s) affected in %s\n", res.Affected, elapsed)
+}
+
+func explain(session *core.Session, query string) {
+	query = strings.TrimSuffix(strings.TrimSpace(query), ";")
+	res, err := session.Execute(query)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if res.Plan == nil {
+		fmt.Println("(no plan: not a SELECT)")
+		return
+	}
+	fmt.Print(res.Plan.Explain())
+}
+
+func printTable(res *core.Result) {
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len(c)
+	}
+	rendered := make([][]string, len(res.Rows))
+	for r, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.AsString()
+			if len(cells[i]) > widths[i] {
+				widths[i] = len(cells[i])
+			}
+		}
+		rendered[r] = cells
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Printf("| %-*s ", widths[i], c)
+		}
+		fmt.Println("|")
+	}
+	line(res.Columns)
+	for i, w := range widths {
+		if i == 0 {
+			fmt.Print("|")
+		}
+		fmt.Print(strings.Repeat("-", w+2), "|")
+	}
+	fmt.Println()
+	for _, cells := range rendered {
+		line(cells)
+	}
+}
+
+func printStats(cluster *core.Cluster) {
+	fmt.Println("CNs:")
+	for _, cn := range cluster.CNs() {
+		fmt.Printf("  %s (%s)\n", cn.Name(), cn.DC())
+	}
+	fmt.Println("DN groups:")
+	for _, dn := range cluster.GMS.DNs() {
+		fmt.Printf("  %s (%s), ROs: %v\n", dn.Name, dn.DC, dn.ROs)
+	}
+	fmt.Println("Tables:")
+	for _, t := range cluster.GMS.Tables() {
+		fmt.Printf("  %s: %d shards, group %s, %d global index(es)\n",
+			t.Name, t.Shards, t.Group, len(t.Indexes))
+	}
+}

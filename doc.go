@@ -1,0 +1,6 @@
+// Package repro is a from-scratch Go reproduction of "PolarDB-X: An
+// Elastic Distributed Relational Database for Cloud-Native Applications"
+// (ICDE 2022). The system lives under internal/ (see DESIGN.md for the
+// inventory); bench_test.go at this level hosts the paper's figure
+// benchmarks, runnable with `go test -bench=.`.
+package repro

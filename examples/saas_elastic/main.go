@@ -1,0 +1,132 @@
+// SaaS elasticity: a multi-tenant SaaS database on PolarDB-MT. Each
+// subscriber is a tenant bound to one RW node; when traffic surges, the
+// operator adds empty RW nodes and rebalances by *rebinding* tenants —
+// no data moves. The example also survives an RW crash by replaying the
+// dead node's redo log partitioned by tenant.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/mt"
+	"repro/internal/simnet"
+	"repro/internal/types"
+)
+
+func main() {
+	cluster := mt.NewCluster(simnet.New(simnet.ZeroTopology()))
+	cluster.SetRWCapacity(200*time.Microsecond, 4)
+	if _, err := cluster.AddRW("rw1", simnet.DC1); err != nil {
+		log.Fatal(err)
+	}
+
+	// Onboard eight subscribers, all initially consolidated on rw1 (the
+	// cost-saving default for small tenants).
+	schema := types.NewSchema("tickets", []types.Column{
+		{Name: "id", Kind: types.KindInt},
+		{Name: "subject", Kind: types.KindString},
+		{Name: "state", Kind: types.KindString},
+	}, []int{0})
+	tables := map[mt.TenantID]uint32{}
+	for id := mt.TenantID(1); id <= 8; id++ {
+		if _, err := cluster.CreateTenant(id, "rw1"); err != nil {
+			log.Fatal(err)
+		}
+		sc := *schema
+		sc.Name = fmt.Sprintf("tickets_t%d", id)
+		table, err := cluster.CreateTable(id, &sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tables[id] = table
+		rw, _ := cluster.RWNode("rw1")
+		tx, _ := rw.Begin(id)
+		for i := 0; i < 500; i++ {
+			tx.Insert(table, types.Row{
+				types.Int(int64(i)),
+				types.Str(fmt.Sprintf("ticket %d of tenant %d", i, id)),
+				types.Str("open"),
+			})
+		}
+		if err := tx.Commit(); err != nil {
+			log.Fatal(err)
+		}
+		t, _ := cluster.Tenant(id)
+		t.Engine().Pool().FlushBefore(1<<62, nil) // steady-state checkpoint
+	}
+	fmt.Println("8 tenants consolidated on rw1")
+
+	// Traffic surge: add a second RW and migrate the four busiest
+	// tenants. Each move is a metadata rebind, not a copy.
+	if _, err := cluster.AddRW("rw2", simnet.DC1); err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	for id := mt.TenantID(1); id <= 4; id++ {
+		stats, err := cluster.Transfer(id, "rw1", "rw2")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tenant %d moved to rw2 in %s (drain %s, %d dirty pages flushed)\n",
+			id, stats.Total.Round(time.Microsecond),
+			stats.DrainWait.Round(time.Microsecond), stats.FlushPages)
+	}
+	fmt.Printf("scale-out rebalance finished in %s\n", time.Since(start).Round(time.Millisecond))
+
+	// Serve traffic from both nodes; tenants are fully isolated.
+	for id := mt.TenantID(1); id <= 8; id++ {
+		bound, _, _ := cluster.BindingOf(id)
+		rw, _ := cluster.RWNode(bound)
+		tx, err := rw.Begin(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := 0
+		tx.Scan(tables[id], nil, nil, func(_ []byte, _ types.Row) bool { n++; return true })
+		tx.Abort()
+		fmt.Printf("tenant %d on %s: %d tickets\n", id, bound, n)
+	}
+
+	// Post-move traffic lands on rw2, filling its private redo log.
+	rw2, _ := cluster.RWNode("rw2")
+	for id := mt.TenantID(1); id <= 4; id++ {
+		tx, err := rw2.Begin(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 500; i < 520; i++ {
+			tx.Insert(tables[id], types.Row{
+				types.Int(int64(i)), types.Str("post-move ticket"), types.Str("open")})
+		}
+		if err := tx.Commit(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Disaster: rw2 dies. Survivors divide its redo log by tenant and
+	// replay the partitions in parallel; tenants rebind to rw1.
+	fmt.Println("\nsimulating rw2 failure...")
+	stats, err := cluster.FailRW("rw2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered %d tenants in %s (replayed %d transactions from the dead node's log)\n",
+		stats.Tenants, stats.Total.Round(time.Millisecond), stats.ReplayedTxns)
+	for id := mt.TenantID(1); id <= 4; id++ {
+		bound, _, _ := cluster.BindingOf(id)
+		rw, _ := cluster.RWNode(bound)
+		tx, err := rw.Begin(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row, ok, _ := tx.Get(tables[id], types.EncodeKey(nil, types.Int(42)))
+		tx.Abort()
+		if !ok {
+			log.Fatalf("tenant %d lost data in failover", id)
+		}
+		fmt.Printf("tenant %d served by %s, ticket 42: %q\n", id, bound, row[1].AsString())
+	}
+	fmt.Println("failover complete; no data lost")
+}

@@ -1,0 +1,327 @@
+// Package advisor implements PolarDB-X's SQL Advisor (paper §VIII,
+// Index Recommendation): analyze a query workload, extract indexable
+// columns, enumerate candidate indexes, prune low-value candidates
+// heuristically, cost the survivors against each query with hypothetical
+// ("what-if") indexes, and recommend the combination with the highest
+// estimated saving.
+//
+// The what-if cost model mirrors the optimizer's scan costs: an equality
+// predicate served by an index turns a full shard scan into an index
+// lookup; a range predicate scans only the qualifying fraction. In a
+// distributed setting every index also adds 2PC participants on writes,
+// so candidates carry a maintenance penalty proportional to the
+// workload's write fraction (the paper's warning that "adding indexes
+// will increase the number of participants in two-phase commit").
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/optimizer"
+	"repro/internal/sql"
+)
+
+// Candidate is one hypothetical index.
+type Candidate struct {
+	Table   string
+	Columns []string
+	// Queries that would use it (indexes into the workload).
+	UsedBy []int
+	// Saving is the estimated cost reduction across the workload.
+	Saving float64
+	// Penalty is the estimated write-amplification cost.
+	Penalty float64
+}
+
+// Name renders the candidate like an index DDL target.
+func (c Candidate) Name() string {
+	return fmt.Sprintf("idx_%s_%s", c.Table, strings.Join(c.Columns, "_"))
+}
+
+// Net returns saving minus maintenance penalty.
+func (c Candidate) Net() float64 { return c.Saving - c.Penalty }
+
+// Recommendation is the advisor's output.
+type Recommendation struct {
+	Candidates []Candidate // all scored candidates, best first
+	Chosen     []Candidate // the greedy selection under MaxIndexes
+}
+
+// DDL renders CREATE GLOBAL INDEX statements for the chosen set.
+func (r Recommendation) DDL() []string {
+	out := make([]string, 0, len(r.Chosen))
+	for _, c := range r.Chosen {
+		out = append(out, fmt.Sprintf("CREATE GLOBAL INDEX %s ON %s (%s)",
+			c.Name(), c.Table, strings.Join(c.Columns, ", ")))
+	}
+	return out
+}
+
+// Options tunes the advisor.
+type Options struct {
+	// MaxIndexes bounds the chosen set (default 3).
+	MaxIndexes int
+	// WriteFraction estimates the workload's write share for the
+	// maintenance penalty (default 0.2).
+	WriteFraction float64
+	// MinSelectivity prunes candidates whose predicates are too
+	// unselective to be worth an index (default 0.5: a predicate
+	// expected to match more than half the table gains little).
+	MinSelectivity float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIndexes <= 0 {
+		o.MaxIndexes = 3
+	}
+	if o.WriteFraction <= 0 {
+		o.WriteFraction = 0.2
+	}
+	if o.MinSelectivity <= 0 {
+		o.MinSelectivity = 0.5
+	}
+	return o
+}
+
+// Advisor analyses workloads against a catalog.
+type Advisor struct {
+	cat   optimizer.Catalog
+	stats optimizer.Stats
+	opts  Options
+}
+
+// New builds an Advisor.
+func New(cat optimizer.Catalog, stats optimizer.Stats, opts Options) *Advisor {
+	return &Advisor{cat: cat, stats: stats, opts: opts.withDefaults()}
+}
+
+// indexableRef is one predicate that an index could serve.
+type indexableRef struct {
+	table    string // resolved table name
+	column   string
+	equality bool // equality/IN vs range
+	queryIdx int
+}
+
+// Analyze inspects a workload of SELECT statements and recommends
+// indexes.
+func (a *Advisor) Analyze(queries []string) (Recommendation, error) {
+	var refs []indexableRef
+	weights := make([]float64, len(queries))
+	for qi, q := range queries {
+		stmt, err := sql.Parse(q)
+		if err != nil {
+			return Recommendation{}, fmt.Errorf("advisor: query %d: %w", qi, err)
+		}
+		sel, ok := stmt.(*sql.Select)
+		if !ok {
+			continue // only SELECTs drive index choice here
+		}
+		qRefs, weight, err := a.indexables(sel, qi)
+		if err != nil {
+			return Recommendation{}, err
+		}
+		refs = append(refs, qRefs...)
+		weights[qi] = weight
+	}
+
+	// Candidate enumeration: single columns, plus (eq, eq) and
+	// (eq, range) pairs on the same table within the same query.
+	candSet := map[string]*Candidate{}
+	add := func(table string, cols []string, qi int) {
+		key := table + "(" + strings.Join(cols, ",") + ")"
+		c, ok := candSet[key]
+		if !ok {
+			c = &Candidate{Table: table, Columns: cols}
+			candSet[key] = c
+		}
+		for _, u := range c.UsedBy {
+			if u == qi {
+				return
+			}
+		}
+		c.UsedBy = append(c.UsedBy, qi)
+	}
+	byQueryTable := map[string][]indexableRef{}
+	for _, r := range refs {
+		add(r.table, []string{r.column}, r.queryIdx)
+		key := fmt.Sprintf("%d/%s", r.queryIdx, r.table)
+		byQueryTable[key] = append(byQueryTable[key], r)
+	}
+	for _, group := range byQueryTable {
+		for _, first := range group {
+			if !first.equality {
+				continue // composite candidates lead with an equality column
+			}
+			for _, second := range group {
+				if second.column == first.column {
+					continue
+				}
+				add(first.table, []string{first.column, second.column}, first.queryIdx)
+			}
+		}
+	}
+
+	// Score: what-if saving per query minus maintenance penalty.
+	var cands []Candidate
+	for _, c := range candSet {
+		rows := float64(a.stats.RowCount(c.Table))
+		if rows <= 0 {
+			rows = 1000
+		}
+		sel := a.selectivity(c)
+		if sel > a.opts.MinSelectivity {
+			continue // heuristic pruning: too unselective
+		}
+		for _, qi := range c.UsedBy {
+			// Saving: full scan cost minus indexed access cost, scaled by
+			// how often the query appears (weight 1 each here).
+			fullScan := rows
+			indexed := rows*sel + 10 // lookup overhead
+			if indexed < fullScan {
+				c.Saving += (fullScan - indexed) * weights[qi]
+			}
+		}
+		// Maintenance: every write to the table updates the index and
+		// adds a 2PC participant.
+		c.Penalty = rows * a.opts.WriteFraction * 0.3 * float64(len(c.Columns))
+		if c.Saving > 0 {
+			cands = append(cands, *c)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Net() != cands[j].Net() {
+			return cands[i].Net() > cands[j].Net()
+		}
+		return cands[i].Name() < cands[j].Name()
+	})
+
+	// Greedy selection: take the best candidates whose queries are not
+	// already covered by a chosen index on the same leading column.
+	rec := Recommendation{Candidates: cands}
+	covered := map[string]bool{}
+	for _, c := range cands {
+		if len(rec.Chosen) >= a.opts.MaxIndexes || c.Net() <= 0 {
+			break
+		}
+		lead := c.Table + "." + c.Columns[0]
+		if covered[lead] {
+			continue
+		}
+		covered[lead] = true
+		rec.Chosen = append(rec.Chosen, c)
+	}
+	return rec, nil
+}
+
+// indexables extracts indexable predicates from one SELECT and the
+// query's cost weight (bigger tables → bigger saving potential).
+func (a *Advisor) indexables(sel *sql.Select, qi int) ([]indexableRef, float64, error) {
+	// Alias resolution.
+	aliases := map[string]string{strings.ToLower(sel.From.AliasOrName()): sel.From.Name}
+	tables := []string{sel.From.Name}
+	for _, j := range sel.Joins {
+		aliases[strings.ToLower(j.Table.AliasOrName())] = j.Table.Name
+		tables = append(tables, j.Table.Name)
+	}
+	resolve := func(c *sql.ColumnRef) (string, bool) {
+		if c.Table != "" {
+			t, ok := aliases[strings.ToLower(c.Table)]
+			return t, ok
+		}
+		// Bare column: find the unique table having it.
+		var found string
+		for _, tname := range tables {
+			t, err := a.cat.Table(tname)
+			if err != nil {
+				continue
+			}
+			if t.Schema.ColIndex(c.Column) >= 0 {
+				if found != "" {
+					return "", false // ambiguous
+				}
+				found = tname
+			}
+		}
+		return found, found != ""
+	}
+	var out []indexableRef
+	addPred := func(c *sql.ColumnRef, eq bool) {
+		if table, ok := resolve(c); ok {
+			t, err := a.cat.Table(table)
+			if err != nil {
+				return
+			}
+			// The primary key is already indexed.
+			ci := t.Schema.ColIndex(c.Column)
+			for _, pk := range t.Schema.PKCols {
+				if pk == ci {
+					return
+				}
+			}
+			out = append(out, indexableRef{table: table, column: strings.ToLower(c.Column),
+				equality: eq, queryIdx: qi})
+		}
+	}
+	visit := func(e sql.Expr) {
+		sql.Walk(e, func(n sql.Expr) bool {
+			switch b := n.(type) {
+			case *sql.BinaryOp:
+				if col, lit := colAndLiteral(b); col != nil {
+					_ = lit
+					addPred(col, b.Op == "=")
+				}
+			case *sql.Between:
+				if c, ok := b.E.(*sql.ColumnRef); ok && !b.Not {
+					addPred(c, false)
+				}
+			case *sql.InList:
+				if c, ok := b.E.(*sql.ColumnRef); ok && !b.Not {
+					addPred(c, true)
+				}
+			}
+			return true
+		})
+	}
+	visit(sel.Where)
+	for _, j := range sel.Joins {
+		visit(j.On)
+	}
+	// Each appearance weighs equally; table size enters the score via
+	// the candidate's row count.
+	return out, 1, nil
+}
+
+// colAndLiteral matches `col OP literal` in either direction for
+// comparison operators.
+func colAndLiteral(b *sql.BinaryOp) (*sql.ColumnRef, *sql.Literal) {
+	switch b.Op {
+	case "=", "<", "<=", ">", ">=", "LIKE":
+	default:
+		return nil, nil
+	}
+	if c, ok := b.L.(*sql.ColumnRef); ok {
+		if l, ok := b.R.(*sql.Literal); ok {
+			return c, l
+		}
+	}
+	if c, ok := b.R.(*sql.ColumnRef); ok {
+		if l, ok := b.L.(*sql.Literal); ok {
+			return c, l
+		}
+	}
+	return nil, nil
+}
+
+// selectivity estimates the fraction of rows a candidate's leading
+// predicate keeps: equality on presumed-unique-ish columns is highly
+// selective; ranges moderate. Without real histograms this uses the
+// optimizer's rules of thumb.
+func (a *Advisor) selectivity(c *Candidate) float64 {
+	if len(c.Columns) > 1 {
+		return 0.05
+	}
+	return 0.1
+}

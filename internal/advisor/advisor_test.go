@@ -1,0 +1,169 @@
+package advisor
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/types"
+)
+
+type fakeCat struct {
+	tables map[string]*partition.Table
+	rows   map[string]int64
+}
+
+func (f *fakeCat) Table(name string) (*partition.Table, error) {
+	t, ok := f.tables[name]
+	if !ok {
+		return nil, errors.New("no such table")
+	}
+	return t, nil
+}
+
+func (f *fakeCat) RowCount(name string) int64 { return f.rows[name] }
+
+func newCat(t *testing.T) *fakeCat {
+	t.Helper()
+	cat := &fakeCat{tables: map[string]*partition.Table{}, rows: map[string]int64{}}
+	add := func(name string, rows int64, cols []types.Column) {
+		tab, err := partition.NewTable(name, uint32(len(cat.tables)+1),
+			types.NewSchema(name, cols, []int{0}), 4, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat.tables[name] = tab
+		cat.rows[name] = rows
+	}
+	add("orders", 500000, []types.Column{
+		{Name: "o_id", Kind: types.KindInt},
+		{Name: "o_cust", Kind: types.KindInt},
+		{Name: "o_status", Kind: types.KindString},
+		{Name: "o_date", Kind: types.KindInt},
+	})
+	add("customers", 5000, []types.Column{
+		{Name: "c_id", Kind: types.KindInt},
+		{Name: "c_city", Kind: types.KindString},
+	})
+	return cat
+}
+
+func TestRecommendsIndexForRepeatedEquality(t *testing.T) {
+	cat := newCat(t)
+	adv := New(cat, cat, Options{})
+	rec, err := adv.Analyze([]string{
+		"SELECT o_id FROM orders WHERE o_cust = 7",
+		"SELECT o_id FROM orders WHERE o_cust = 9 AND o_date > 19950101",
+		"SELECT COUNT(*) FROM orders WHERE o_cust = 11",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Chosen) == 0 {
+		t.Fatal("no index recommended")
+	}
+	top := rec.Chosen[0]
+	if top.Table != "orders" || top.Columns[0] != "o_cust" {
+		t.Fatalf("top recommendation = %+v", top)
+	}
+	if top.Saving <= top.Penalty {
+		t.Fatalf("chosen index not net-positive: %+v", top)
+	}
+	ddl := rec.DDL()
+	if len(ddl) == 0 || !strings.Contains(ddl[0], "CREATE GLOBAL INDEX") ||
+		!strings.Contains(ddl[0], "orders") {
+		t.Fatalf("ddl = %v", ddl)
+	}
+}
+
+func TestCompositeCandidateFromEqualityPlusRange(t *testing.T) {
+	cat := newCat(t)
+	adv := New(cat, cat, Options{MaxIndexes: 5})
+	rec, err := adv.Analyze([]string{
+		"SELECT o_id FROM orders WHERE o_cust = 7 AND o_date BETWEEN 19950101 AND 19951231",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundComposite := false
+	for _, c := range rec.Candidates {
+		if len(c.Columns) == 2 && c.Columns[0] == "o_cust" && c.Columns[1] == "o_date" {
+			foundComposite = true
+		}
+	}
+	if !foundComposite {
+		t.Fatalf("no (o_cust, o_date) composite candidate in %+v", rec.Candidates)
+	}
+}
+
+func TestPrimaryKeyPredicatesIgnored(t *testing.T) {
+	cat := newCat(t)
+	adv := New(cat, cat, Options{})
+	rec, err := adv.Analyze([]string{
+		"SELECT o_status FROM orders WHERE o_id = 42",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Candidates) != 0 {
+		t.Fatalf("PK-only query produced candidates: %+v", rec.Candidates)
+	}
+}
+
+func TestJoinKeysAreIndexable(t *testing.T) {
+	cat := newCat(t)
+	adv := New(cat, cat, Options{})
+	rec, err := adv.Analyze([]string{
+		"SELECT c.c_city FROM orders o JOIN customers c ON o.o_cust = c.c_id WHERE o.o_status = 'open'",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, c := range rec.Candidates {
+		names[c.Table+"."+c.Columns[0]] = true
+	}
+	if !names["orders.o_status"] {
+		t.Fatalf("status filter not indexable: %v", names)
+	}
+}
+
+func TestWritePenaltyCanRejectIndexes(t *testing.T) {
+	cat := newCat(t)
+	// A write-dominated workload makes index maintenance too expensive.
+	adv := New(cat, cat, Options{WriteFraction: 5})
+	rec, err := adv.Analyze([]string{
+		"SELECT o_id FROM orders WHERE o_cust = 7",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Chosen) != 0 {
+		t.Fatalf("write-heavy workload still chose %+v", rec.Chosen)
+	}
+}
+
+func TestBadQuerySurfacesError(t *testing.T) {
+	cat := newCat(t)
+	adv := New(cat, cat, Options{})
+	if _, err := adv.Analyze([]string{"SELEC nonsense"}); err == nil {
+		t.Fatal("parse error swallowed")
+	}
+}
+
+func TestMaxIndexesBound(t *testing.T) {
+	cat := newCat(t)
+	adv := New(cat, cat, Options{MaxIndexes: 1})
+	rec, err := adv.Analyze([]string{
+		"SELECT o_id FROM orders WHERE o_cust = 1",
+		"SELECT o_id FROM orders WHERE o_status = 'open'",
+		"SELECT o_id FROM orders WHERE o_date > 19950101",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Chosen) > 1 {
+		t.Fatalf("chose %d indexes with MaxIndexes=1", len(rec.Chosen))
+	}
+}

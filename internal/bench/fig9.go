@@ -1,0 +1,257 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/htap"
+	"repro/internal/simnet"
+	"repro/internal/workload/tpcc"
+	"repro/internal/workload/tpch"
+)
+
+// Fig9Config is one of the experiment's six configurations.
+type Fig9Config struct {
+	Name      string
+	Isolation bool
+	// APReplicas is the number of dedicated RO nodes serving TPC-H reads
+	// (0 = reads hit the RW nodes).
+	APReplicas int
+}
+
+// Fig9ConfigResult is one configuration's measurements.
+type Fig9ConfigResult struct {
+	Config Fig9Config
+	// TpmC statistics for the background TPC-C load under AP pressure.
+	TpmC        float64
+	TpmCMin     float64
+	TpmCBase    float64 // tpmC without concurrent TPC-H
+	JitterCount int     // seconds with >40% drop below the median
+	// TPCHTotal is the wall time for the TPC-H query sweep.
+	TPCHTotal time.Duration
+}
+
+// Fig9Result is the §VII-C resource isolation + scalable-RO experiment.
+type Fig9Result struct {
+	Configs []Fig9ConfigResult
+}
+
+// Fig9Options tunes scale and runtime.
+type Fig9Options struct {
+	TPCC      tpcc.Config
+	TPCH      tpch.Config
+	Terminals int
+	// APStreams is the number of concurrent TPC-H query streams (the
+	// paper's TPC-H test runs multi-stream).
+	APStreams int
+	// DNServiceRate is each DN node's simulated compute capacity in work
+	// tokens/second; AP scans on the RW eat into the same bucket TP
+	// transactions use, which is the §VII-C contention.
+	DNServiceRate float64
+	// Duration of each configuration's measurement window.
+	Duration time.Duration
+	// TPCHQueries to cycle through (defaults to the scan/join-heavy
+	// subset so each sweep finishes within the window).
+	TPCHQueries []int
+}
+
+func (o Fig9Options) withDefaults() Fig9Options {
+	if o.Terminals <= 0 {
+		o.Terminals = 8
+	}
+	if o.APStreams <= 0 {
+		o.APStreams = 4
+	}
+	if o.DNServiceRate <= 0 {
+		o.DNServiceRate = 20000 // rows/s/core, 8 cores per node
+	}
+	if o.Duration <= 0 {
+		o.Duration = 2 * time.Second
+	}
+	if len(o.TPCHQueries) == 0 {
+		o.TPCHQueries = []int{1, 3, 5, 6, 10, 12, 14, 19}
+	}
+	if o.TPCC.Warehouses == 0 {
+		o.TPCC = tpcc.Config{Warehouses: 2, CustomersPerDist: 20, Items: 100, InitialOrders: 5, Partitions: 4, Seed: 9}
+	}
+	if o.TPCH.SF == 0 {
+		o.TPCH = tpch.Config{SF: 0.3, Partitions: 4, Seed: 9}
+	}
+	// TPC-H shares the cluster with TPC-C (both define customer/orders):
+	// prefix the TPC-H schema.
+	if o.TPCH.Prefix == "" {
+		o.TPCH.Prefix = "h_"
+	}
+	return o
+}
+
+// Fig9Configs returns the paper's six configurations.
+func Fig9Configs() []Fig9Config {
+	return []Fig9Config{
+		{Name: "1: isolation off, AP on RW", Isolation: false, APReplicas: 0},
+		{Name: "2: isolation on,  AP on RW", Isolation: true, APReplicas: 0},
+		{Name: "3: isolation on,  1 RO", Isolation: true, APReplicas: 1},
+		{Name: "4: isolation on,  2 RO", Isolation: true, APReplicas: 2},
+		{Name: "5: isolation on,  3 RO", Isolation: true, APReplicas: 3},
+		{Name: "6: isolation on,  4 RO", Isolation: true, APReplicas: 4},
+	}
+}
+
+// RunFig9 reproduces Fig. 9: TPC-C runs continuously while TPC-H sweeps
+// execute concurrently, across the six configurations. For each
+// configuration a fresh cluster is built (the isolation switch is a
+// deployment property), loaded with both schemas, and measured.
+func RunFig9(opts Fig9Options) (Fig9Result, error) {
+	opts = opts.withDefaults()
+	var result Fig9Result
+	for _, cfg := range Fig9Configs() {
+		one, err := runFig9Config(cfg, opts)
+		if err != nil {
+			return result, err
+		}
+		result.Configs = append(result.Configs, one)
+	}
+	return result, nil
+}
+
+func runFig9Config(cfg Fig9Config, opts Fig9Options) (Fig9ConfigResult, error) {
+	out := Fig9ConfigResult{Config: cfg}
+	cluster, err := core.NewCluster(core.Config{
+		CNsPerDC: 2, DNGroups: 2, ROsPerDN: cfg.APReplicas,
+		IsolationOff:    !cfg.Isolation,
+		TPCostThreshold: 2000,
+		DNServiceRate:   opts.DNServiceRate,
+		// The AP group's cgroup quota (§VI-D): roughly one core's worth
+		// of 2ms slices per CN. Ignored for AP work when isolation is
+		// off — that is the experiment's config 1.
+		SchedulerCfg: htap.Config{APSliceRate: 1500, APWorkers: 16},
+	})
+	if err != nil {
+		return out, err
+	}
+	defer cluster.Stop()
+	s := cluster.CN(simnet.DC1).NewSession()
+	if err := tpcc.Load(s, opts.TPCC); err != nil {
+		return out, err
+	}
+	if err := tpch.Load(s, opts.TPCH); err != nil {
+		return out, err
+	}
+	if cfg.APReplicas > 0 {
+		if err := cluster.EnableAPReplicas(cfg.APReplicas); err != nil {
+			return out, err
+		}
+		if err := cluster.WaitROConvergence(10 * time.Second); err != nil {
+			return out, err
+		}
+	}
+
+	// Baseline tpmC without TPC-H.
+	base := tpcc.Run(cluster, opts.TPCC, opts.Terminals, opts.Duration/2)
+	out.TpmCBase = base.TpmC
+
+	// Measured window: TPC-C in the background, multiple TPC-H streams
+	// sweeping concurrently (the paper runs the TPC-H test alongside).
+	var mu sync.Mutex
+	var sweeps int
+	var sweepTime time.Duration
+	var wg sync.WaitGroup
+	stopH := make(chan struct{})
+	for w := 0; w < opts.APStreams; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			qs := tpch.Queries()
+			hs := cluster.CNs()[w%len(cluster.CNs())].NewSession()
+			for {
+				select {
+				case <-stopH:
+					return
+				default:
+				}
+				start := time.Now()
+				for _, id := range opts.TPCHQueries {
+					q, _ := queryByID(qs, id)
+					q = q.WithPrefix(opts.TPCH.Prefix)
+					if _, err := hs.Execute(q.SQL); err != nil {
+						// AP errors under pressure are tolerated; the TP
+						// side is what must stay stable.
+						continue
+					}
+				}
+				mu.Lock()
+				sweeps++
+				sweepTime += time.Since(start)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	stats := tpcc.Run(cluster, opts.TPCC, opts.Terminals, opts.Duration)
+	close(stopH)
+	wg.Wait()
+	var tpchTime time.Duration
+	if sweeps > 0 {
+		tpchTime = sweepTime / time.Duration(sweeps)
+	}
+
+	out.TpmC = stats.TpmC
+	out.TPCHTotal = tpchTime
+	// Jitter: seconds whose committed New-Orders fall >40% below the
+	// window median (the paper counts "obvious performance degradation
+	// jitters (over 40%)").
+	med := medianInt64(stats.PerSecond)
+	min := int64(1 << 62)
+	for _, v := range stats.PerSecond {
+		if v < min {
+			min = v
+		}
+		if med > 0 && float64(v) < 0.6*float64(med) {
+			out.JitterCount++
+		}
+	}
+	if len(stats.PerSecond) == 0 {
+		min = 0
+	}
+	out.TpmCMin = float64(min) * 60
+	return out, nil
+}
+
+func queryByID(qs []tpch.Query, id int) (tpch.Query, bool) {
+	for _, q := range qs {
+		if q.ID == id {
+			return q, true
+		}
+	}
+	return tpch.Query{}, false
+}
+
+func medianInt64(xs []int64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]int64(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	return cp[len(cp)/2]
+}
+
+// Print renders the paper-style table.
+func (r Fig9Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "\nFigure 9 — HTAP isolation (paper: config 1 jitters >40%%; configs 3-6 unaffected; TPC-H 2.7x/5.0x/5.7x faster with 1→3 ROs, flat at 4)\n")
+	fmt.Fprintf(w, "%-28s %10s %10s %10s %8s %14s\n",
+		"config", "tpmC", "tpmC-min", "baseline", "jitters", "TPC-H sweep")
+	for _, c := range r.Configs {
+		sweep := "n/a"
+		if c.TPCHTotal > 0 {
+			sweep = c.TPCHTotal.Round(time.Millisecond).String()
+		}
+		fmt.Fprintf(w, "%-28s %10.0f %10.0f %10.0f %8d %14s\n",
+			c.Config.Name, c.TpmC, c.TpmCMin, c.TpmCBase, c.JitterCount, sweep)
+	}
+}

@@ -1,0 +1,256 @@
+// Package btree implements the in-memory B+Tree underlying every table
+// and index in the DN row store (the InnoDB stand-in). Keys are
+// memcomparable byte slices (types.EncodeKey); values are opaque.
+//
+// Leaves are singly linked for ordered range scans, mirroring InnoDB's
+// leaf-level page chain. Concurrency control is a coarse RWMutex: the
+// storage engine above serializes writers per shard, so fine-grained
+// latching would add complexity without changing any measured behaviour.
+package btree
+
+import (
+	"bytes"
+	"sync"
+)
+
+// degree is the maximum number of keys per node; nodes split at degree
+// and merge below degree/2.
+const degree = 64
+
+type node struct {
+	keys [][]byte
+	// children is non-nil for internal nodes (len(children) == len(keys)+1).
+	children []*node
+	// vals is non-nil for leaves (len(vals) == len(keys)).
+	vals []any
+	next *node // leaf chain
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// Tree is a B+Tree. The zero value is not usable; call New.
+type Tree struct {
+	mu   sync.RWMutex
+	root *node
+	size int
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{}}
+}
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key []byte) (any, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.root
+	for !n.leaf() {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i, ok := leafIndex(n.keys, key)
+	if !ok {
+		return nil, false
+	}
+	return n.vals[i], true
+}
+
+// childIndex returns which child subtree covers key: the first i with
+// key < keys[i], else len(keys).
+func childIndex(keys [][]byte, key []byte) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(key, keys[mid]) < 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// leafIndex finds key's position in a leaf: (index, found) or the
+// insertion point with found=false.
+func leafIndex(keys [][]byte, key []byte) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch bytes.Compare(key, keys[mid]) {
+		case 0:
+			return mid, true
+		case -1:
+			hi = mid
+		default:
+			lo = mid + 1
+		}
+	}
+	return lo, false
+}
+
+// Set stores value under key, returning the previous value if any.
+func (t *Tree) Set(key []byte, value any) (prev any, replaced bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	prev, replaced = t.insert(t.root, key, value)
+	if !replaced {
+		t.size++
+	}
+	if len(t.root.keys) >= degree {
+		// Root split: grow the tree by one level.
+		left := t.root
+		midKey, right := split(left)
+		t.root = &node{keys: [][]byte{midKey}, children: []*node{left, right}}
+	}
+	return prev, replaced
+}
+
+// insert descends to the leaf, splitting full children on the way back up.
+func (t *Tree) insert(n *node, key []byte, value any) (any, bool) {
+	if n.leaf() {
+		i, found := leafIndex(n.keys, key)
+		if found {
+			prev := n.vals[i]
+			n.vals[i] = value
+			return prev, true
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = append([]byte(nil), key...)
+		n.vals = append(n.vals, nil)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = value
+		return nil, false
+	}
+	ci := childIndex(n.keys, key)
+	child := n.children[ci]
+	prev, replaced := t.insert(child, key, value)
+	if len(child.keys) >= degree {
+		midKey, right := split(child)
+		n.keys = append(n.keys, nil)
+		copy(n.keys[ci+1:], n.keys[ci:])
+		n.keys[ci] = midKey
+		n.children = append(n.children, nil)
+		copy(n.children[ci+2:], n.children[ci+1:])
+		n.children[ci+1] = right
+	}
+	return prev, replaced
+}
+
+// split divides a full node in two, returning the separator key and the
+// new right sibling.
+func split(n *node) (midKey []byte, right *node) {
+	mid := len(n.keys) / 2
+	if n.leaf() {
+		right = &node{
+			keys: append([][]byte(nil), n.keys[mid:]...),
+			vals: append([]any(nil), n.vals[mid:]...),
+			next: n.next,
+		}
+		n.keys = n.keys[:mid:mid]
+		n.vals = n.vals[:mid:mid]
+		n.next = right
+		return right.keys[0], right
+	}
+	// Internal: the separator moves up, not into the right node.
+	midKey = n.keys[mid]
+	right = &node{
+		keys:     append([][]byte(nil), n.keys[mid+1:]...),
+		children: append([]*node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return midKey, right
+}
+
+// Delete removes key, returning its value if present. Underflowed nodes
+// are left in place (lazy deletion): range scans and lookups remain
+// correct, and the workloads here (MVCC chains are tombstoned above this
+// layer, hence physical deletes are rare) never produce pathological
+// shapes. This mirrors InnoDB, which also defers page merge.
+func (t *Tree) Delete(key []byte) (any, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.root
+	for !n.leaf() {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i, ok := leafIndex(n.keys, key)
+	if !ok {
+		return nil, false
+	}
+	val := n.vals[i]
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	t.size--
+	return val, true
+}
+
+// AscendRange calls fn for every key in [start, end) in order. A nil
+// start begins at the smallest key; a nil end scans to the last. fn
+// returning false stops the scan.
+func (t *Tree) AscendRange(start, end []byte, fn func(key []byte, value any) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.root
+	for !n.leaf() {
+		if start == nil {
+			n = n.children[0]
+		} else {
+			n = n.children[childIndex(n.keys, start)]
+		}
+	}
+	i := 0
+	if start != nil {
+		i, _ = leafIndex(n.keys, start)
+	}
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if end != nil && bytes.Compare(n.keys[i], end) >= 0 {
+				return
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+		i = 0
+	}
+}
+
+// Ascend scans the whole tree in order.
+func (t *Tree) Ascend(fn func(key []byte, value any) bool) {
+	t.AscendRange(nil, nil, fn)
+}
+
+// First returns the smallest key and its value.
+func (t *Tree) First() ([]byte, any, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.root
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	if len(n.keys) == 0 {
+		return nil, nil, false
+	}
+	return n.keys[0], n.vals[0], true
+}
+
+// Height returns the tree height (1 for a lone leaf), for diagnostics.
+func (t *Tree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	h := 1
+	for n := t.root; !n.leaf(); n = n.children[0] {
+		h++
+	}
+	return h
+}

@@ -1,0 +1,308 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func k(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
+
+func TestSetGet(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Get(k(1)); ok {
+		t.Fatal("empty tree Get")
+	}
+	tr.Set(k(1), "a")
+	v, ok := tr.Get(k(1))
+	if !ok || v != "a" {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	prev, replaced := tr.Set(k(1), "b")
+	if !replaced || prev != "a" {
+		t.Fatalf("replace = %v, %v", prev, replaced)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestManyInsertsAndSplits(t *testing.T) {
+	tr := New()
+	const n = 10000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		tr.Set(k(i), i)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("Height = %d; splits did not happen", tr.Height())
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tr.Get(k(i))
+		if !ok || v != i {
+			t.Fatalf("Get(%d) = %v, %v", i, v, ok)
+		}
+	}
+}
+
+func TestAscendFullOrder(t *testing.T) {
+	tr := New()
+	const n = 5000
+	for _, i := range rand.New(rand.NewSource(2)).Perm(n) {
+		tr.Set(k(i), i)
+	}
+	var got []int
+	var lastKey []byte
+	tr.Ascend(func(key []byte, v any) bool {
+		if lastKey != nil && bytes.Compare(lastKey, key) >= 0 {
+			t.Fatalf("order violation at %q", key)
+		}
+		lastKey = append(lastKey[:0], key...)
+		got = append(got, v.(int))
+		return true
+	})
+	if len(got) != n {
+		t.Fatalf("scanned %d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("position %d = %d", i, v)
+		}
+	}
+}
+
+func TestAscendRangeBounds(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Set(k(i), i)
+	}
+	var got []int
+	tr.AscendRange(k(10), k(20), func(_ []byte, v any) bool {
+		got = append(got, v.(int))
+		return true
+	})
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("range scan = %v", got)
+	}
+	// Start between keys.
+	got = nil
+	tr.AscendRange([]byte("key-000010x"), k(13), func(_ []byte, v any) bool {
+		got = append(got, v.(int))
+		return true
+	})
+	if len(got) != 2 || got[0] != 11 {
+		t.Fatalf("between-keys scan = %v", got)
+	}
+	// Early stop.
+	count := 0
+	tr.AscendRange(nil, nil, func(_ []byte, _ any) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop count = %d", count)
+	}
+}
+
+func TestAscendRangeAcrossLeaves(t *testing.T) {
+	tr := New()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		tr.Set(k(i), i)
+	}
+	// Spans many leaves (degree 64).
+	var got []int
+	tr.AscendRange(k(100), k(900), func(_ []byte, v any) bool {
+		got = append(got, v.(int))
+		return true
+	})
+	if len(got) != 800 || got[0] != 100 || got[799] != 899 {
+		t.Fatalf("cross-leaf scan: len=%d", len(got))
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	for i := 0; i < 500; i++ {
+		tr.Set(k(i), i)
+	}
+	v, ok := tr.Delete(k(250))
+	if !ok || v != 250 {
+		t.Fatalf("Delete = %v, %v", v, ok)
+	}
+	if _, ok := tr.Get(k(250)); ok {
+		t.Fatal("deleted key still present")
+	}
+	if tr.Len() != 499 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if _, ok := tr.Delete(k(250)); ok {
+		t.Fatal("double delete reported success")
+	}
+	// Scans skip deleted keys.
+	count := 0
+	tr.Ascend(func(_ []byte, _ any) bool { count++; return true })
+	if count != 499 {
+		t.Fatalf("scan count = %d", count)
+	}
+}
+
+func TestDeleteAllThenReinsert(t *testing.T) {
+	tr := New()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		tr.Set(k(i), i)
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := tr.Delete(k(i)); !ok {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after full delete", tr.Len())
+	}
+	for i := 0; i < n; i++ {
+		tr.Set(k(i), -i)
+	}
+	v, ok := tr.Get(k(42))
+	if !ok || v != -42 {
+		t.Fatalf("reinsert Get = %v", v)
+	}
+}
+
+func TestFirst(t *testing.T) {
+	tr := New()
+	if _, _, ok := tr.First(); ok {
+		t.Fatal("First on empty tree")
+	}
+	tr.Set(k(5), 5)
+	tr.Set(k(2), 2)
+	key, v, ok := tr.First()
+	if !ok || !bytes.Equal(key, k(2)) || v != 2 {
+		t.Fatalf("First = %q, %v", key, v)
+	}
+}
+
+func TestMutatingKeyAfterSetIsSafe(t *testing.T) {
+	tr := New()
+	key := []byte("abc")
+	tr.Set(key, 1)
+	key[0] = 'z' // tree must have copied the key
+	if _, ok := tr.Get([]byte("abc")); !ok {
+		t.Fatal("tree aliased caller's key buffer")
+	}
+}
+
+// Property: tree contents always equal a model map, and Ascend yields
+// sorted order.
+func TestPropertyMatchesModel(t *testing.T) {
+	f := func(ops []struct {
+		Key byte
+		Del bool
+	}) bool {
+		tr := New()
+		model := map[string]int{}
+		for i, op := range ops {
+			key := []byte{op.Key}
+			if op.Del {
+				_, okT := tr.Delete(key)
+				_, okM := model[string(key)]
+				if okT != okM {
+					return false
+				}
+				delete(model, string(key))
+			} else {
+				tr.Set(key, i)
+				model[string(key)] = i
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		var keys []string
+		tr.Ascend(func(k []byte, v any) bool {
+			keys = append(keys, string(k))
+			return model[string(k)] == v.(int)
+		})
+		return sort.StringsAreSorted(keys) && len(keys) == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentReadersDuringWrites(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Set(k(i), i)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					tr.AscendRange(k(0), k(1000), func(_ []byte, _ any) bool { return true })
+				}
+			}
+		}()
+	}
+	for i := 1000; i < 3000; i++ {
+		tr.Set(k(i), i)
+	}
+	close(stop)
+	wg.Wait()
+	if tr.Len() != 3000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func BenchmarkTreeInsert(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Set(k(i), i)
+	}
+}
+
+func BenchmarkTreeGet(b *testing.B) {
+	tr := New()
+	for i := 0; i < 100000; i++ {
+		tr.Set(k(i), i)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Get(k(i % 100000))
+	}
+}
+
+func BenchmarkTreeScan1000(b *testing.B) {
+	tr := New()
+	for i := 0; i < 100000; i++ {
+		tr.Set(k(i), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		tr.AscendRange(k(5000), k(6000), func(_ []byte, _ any) bool {
+			n++
+			return true
+		})
+		if n != 1000 {
+			b.Fatal(n)
+		}
+	}
+}

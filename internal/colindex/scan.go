@@ -1,0 +1,446 @@
+package colindex
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hlc"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// simplePred is a filter clause evaluable directly against typed
+// vectors: column OP literal.
+type simplePred struct {
+	col int
+	op  string // = <> < <= > >=
+	val types.Value
+}
+
+// compileFilter splits a bound predicate into vector-friendly simple
+// clauses and a residual evaluated per materialized row. Only top-level
+// AND conjunctions decompose.
+func compileFilter(e sql.Expr) (preds []simplePred, residual []sql.Expr) {
+	if e == nil {
+		return nil, nil
+	}
+	if b, ok := e.(*sql.BinaryOp); ok {
+		if b.Op == "AND" {
+			p1, r1 := compileFilter(b.L)
+			p2, r2 := compileFilter(b.R)
+			return append(p1, p2...), append(r1, r2...)
+		}
+		if isCmp(b.Op) {
+			if c, ok := b.L.(*sql.ColumnRef); ok {
+				if l, ok := b.R.(*sql.Literal); ok && c.Index >= 0 {
+					return []simplePred{{col: c.Index, op: b.Op, val: l.Val}}, nil
+				}
+			}
+			if c, ok := b.R.(*sql.ColumnRef); ok {
+				if l, ok := b.L.(*sql.Literal); ok && c.Index >= 0 {
+					return []simplePred{{col: c.Index, op: flipOp(b.Op), val: l.Val}}, nil
+				}
+			}
+		}
+	}
+	if btw, ok := e.(*sql.Between); ok && !btw.Not {
+		if c, ok := btw.E.(*sql.ColumnRef); ok && c.Index >= 0 {
+			lo, okLo := btw.Lo.(*sql.Literal)
+			hi, okHi := btw.Hi.(*sql.Literal)
+			if okLo && okHi {
+				return []simplePred{
+					{col: c.Index, op: ">=", val: lo.Val},
+					{col: c.Index, op: "<=", val: hi.Val},
+				}, nil
+			}
+		}
+	}
+	return nil, []sql.Expr{e}
+}
+
+func isCmp(op string) bool {
+	switch op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}
+
+// eval applies a simple predicate to row i of a vector.
+func (p simplePred) eval(v *colVec, i int) bool {
+	if v.nulls[i] {
+		return false
+	}
+	var c int
+	switch v.kind {
+	case types.KindInt, types.KindBool:
+		a, b := v.ints[i], p.val.AsInt()
+		switch {
+		case a < b:
+			c = -1
+		case a > b:
+			c = 1
+		}
+	case types.KindFloat:
+		a, b := v.floats[i], p.val.AsFloat()
+		switch {
+		case a < b:
+			c = -1
+		case a > b:
+			c = 1
+		}
+	default:
+		a, b := v.strs[i], p.val.AsString()
+		switch {
+		case a < b:
+			c = -1
+		case a > b:
+			c = 1
+		}
+	}
+	switch p.op {
+	case "=":
+		return c == 0
+	case "<>":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return false
+}
+
+// visible reports whether row i is live at snapshot ts.
+func (x *Index) visible(i int, ts hlc.Timestamp) bool {
+	if x.created[i] > ts {
+		return false
+	}
+	return x.deleted[i].IsZero() || x.deleted[i] > ts
+}
+
+// clampSnapshot bounds the read snapshot by the index version: reading
+// "above" the index would silently miss rows the row store already has.
+func (x *Index) clampSnapshot(ts hlc.Timestamp) hlc.Timestamp {
+	if ts > x.version {
+		return x.version
+	}
+	return ts
+}
+
+// Scan returns rows visible at the snapshot matching the filter
+// (bound against schema positions), projected to the given columns
+// (nil = all).
+func (x *Index) Scan(snapshot hlc.Timestamp, filter sql.Expr, projection []int, limit int) ([]types.Row, error) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	ts := x.clampSnapshot(snapshot)
+	preds, residual := compileFilter(filter)
+	var out []types.Row
+	n := len(x.created)
+rows:
+	for i := 0; i < n; i++ {
+		if !x.visible(i, ts) {
+			continue
+		}
+		for _, p := range preds {
+			if p.col >= len(x.cols) {
+				return nil, fmt.Errorf("%w: %d", ErrBadColumn, p.col)
+			}
+			if !p.eval(x.cols[p.col], i) {
+				continue rows
+			}
+		}
+		if len(residual) > 0 {
+			row := x.materialize(i, nil)
+			for _, r := range residual {
+				v, err := sql.Eval(r, row)
+				if err != nil {
+					return nil, err
+				}
+				if !v.IsTruthy() {
+					continue rows
+				}
+			}
+		}
+		out = append(out, x.materialize(i, projection))
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+func (x *Index) materialize(i int, projection []int) types.Row {
+	if projection == nil {
+		row := make(types.Row, len(x.cols))
+		for c, v := range x.cols {
+			row[c] = v.value(i)
+		}
+		return row
+	}
+	row := make(types.Row, len(projection))
+	for k, c := range projection {
+		row[k] = x.cols[c].value(i)
+	}
+	return row
+}
+
+// AggSpec is one pushed-down aggregate: over a schema column (Col,
+// vectorized) or a bound scalar expression (Expr, evaluated per row).
+type AggSpec struct {
+	Func string // COUNT, SUM, AVG, MIN, MAX
+	Col  int
+	Expr sql.Expr
+	Star bool
+}
+
+// aggAcc accumulates one aggregate. For AVG the output is the partial
+// (sum, count) pair so the CN's final aggregation can merge across
+// shards — matching executor.AggPartial layout.
+type aggAcc struct {
+	spec  AggSpec
+	count int64
+	sumI  int64
+	sumF  float64
+	isF   bool
+	min   types.Value
+	max   types.Value
+	any   bool
+}
+
+func (a *aggAcc) addVec(v *colVec, i int) {
+	if a.spec.Star {
+		a.count++
+		return
+	}
+	if v.nulls[i] {
+		return
+	}
+	a.any = true
+	switch a.spec.Func {
+	case "COUNT":
+		a.count++
+	case "SUM", "AVG":
+		a.count++
+		switch v.kind {
+		case types.KindInt, types.KindBool:
+			a.sumI += v.ints[i]
+		case types.KindFloat:
+			a.isF = true
+			a.sumF += v.floats[i]
+		}
+	case "MIN":
+		val := v.value(i)
+		if a.min.IsNull() || val.Compare(a.min) < 0 {
+			a.min = val
+		}
+	case "MAX":
+		val := v.value(i)
+		if a.max.IsNull() || val.Compare(a.max) > 0 {
+			a.max = val
+		}
+	}
+}
+
+// addValue folds an expression-computed value.
+func (a *aggAcc) addValue(val types.Value) {
+	if a.spec.Star {
+		a.count++
+		return
+	}
+	if val.IsNull() {
+		return
+	}
+	a.any = true
+	switch a.spec.Func {
+	case "COUNT":
+		a.count++
+	case "SUM", "AVG":
+		a.count++
+		switch val.K {
+		case types.KindInt, types.KindBool:
+			a.sumI += val.I
+		default:
+			a.isF = true
+			a.sumF += val.AsFloat()
+		}
+	case "MIN":
+		if a.min.IsNull() || val.Compare(a.min) < 0 {
+			a.min = val
+		}
+	case "MAX":
+		if a.max.IsNull() || val.Compare(a.max) > 0 {
+			a.max = val
+		}
+	}
+}
+
+// partial renders the accumulator in executor partial-state layout.
+func (a *aggAcc) partial() []types.Value {
+	sum := types.Value{}
+	switch {
+	case a.isF:
+		sum = types.Float(a.sumF + float64(a.sumI))
+	case a.count > 0 && (a.spec.Func == "SUM" || a.spec.Func == "AVG"):
+		sum = types.Int(a.sumI)
+	}
+	switch a.spec.Func {
+	case "COUNT":
+		return []types.Value{types.Int(a.count)}
+	case "SUM":
+		return []types.Value{sum}
+	case "AVG":
+		return []types.Value{sum, types.Int(a.count)}
+	case "MIN":
+		return []types.Value{a.min}
+	case "MAX":
+		return []types.Value{a.max}
+	}
+	return []types.Value{types.Null()}
+}
+
+// AggScan runs filter + grouping + partial aggregation entirely inside
+// the column index (the §VI-E pushdown that powers Q1/Q6-style
+// speedups). Output layout: group values, then partial aggregate states
+// (AVG contributes sum and count columns).
+func (x *Index) AggScan(snapshot hlc.Timestamp, filter sql.Expr,
+	groupBy []int, aggs []AggSpec) ([]types.Row, error) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	ts := x.clampSnapshot(snapshot)
+	preds, residual := compileFilter(filter)
+	for _, spec := range aggs {
+		if !spec.Star && spec.Expr == nil && spec.Col >= len(x.cols) {
+			return nil, fmt.Errorf("%w: %d", ErrBadColumn, spec.Col)
+		}
+	}
+	type group struct {
+		key  types.Row
+		accs []*aggAcc
+	}
+	groups := make(map[string]*group)
+	n := len(x.created)
+	// keyBuf is reused per row; map lookups with string(keyBuf) do not
+	// allocate on hit, so steady-state grouping is allocation-free —
+	// this is where the columnar path earns its Fig. 10 speedups.
+	keyBuf := make([]byte, 0, 64)
+rows:
+	for i := 0; i < n; i++ {
+		if !x.visible(i, ts) {
+			continue
+		}
+		for _, p := range preds {
+			if !p.eval(x.cols[p.col], i) {
+				continue rows
+			}
+		}
+		if len(residual) > 0 {
+			row := x.materialize(i, nil)
+			for _, r := range residual {
+				v, err := sql.Eval(r, row)
+				if err != nil {
+					return nil, err
+				}
+				if !v.IsTruthy() {
+					continue rows
+				}
+			}
+		}
+		keyBuf = keyBuf[:0]
+		for _, c := range groupBy {
+			keyBuf = appendGroupKey(keyBuf, x.cols[c], i)
+		}
+		g, ok := groups[string(keyBuf)]
+		if !ok {
+			keyVals := make(types.Row, len(groupBy))
+			for k, c := range groupBy {
+				keyVals[k] = x.cols[c].value(i)
+			}
+			g = &group{key: keyVals}
+			for _, spec := range aggs {
+				g.accs = append(g.accs, &aggAcc{spec: spec})
+			}
+			groups[string(keyBuf)] = g
+		}
+		var exprRow types.Row
+		for k, spec := range aggs {
+			if spec.Star {
+				g.accs[k].count++
+				continue
+			}
+			if spec.Expr != nil {
+				if exprRow == nil {
+					exprRow = x.materialize(i, nil)
+				}
+				val, err := sql.Eval(spec.Expr, exprRow)
+				if err != nil {
+					return nil, err
+				}
+				g.accs[k].addValue(val)
+				continue
+			}
+			g.accs[k].addVec(x.cols[spec.Col], i)
+		}
+	}
+	if len(groupBy) == 0 && len(groups) == 0 {
+		g := &group{}
+		for _, spec := range aggs {
+			g.accs = append(g.accs, &aggAcc{spec: spec})
+		}
+		groups[""] = g
+	}
+	out := make([]types.Row, 0, len(groups))
+	for _, g := range groups {
+		row := append(types.Row{}, g.key...)
+		for _, acc := range g.accs {
+			row = append(row, acc.partial()...)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// appendGroupKey appends an injective encoding of row i's column value
+// to dst without boxing it into a types.Value.
+func appendGroupKey(dst []byte, v *colVec, i int) []byte {
+	if v.nulls[i] {
+		return append(dst, 0)
+	}
+	switch v.kind {
+	case types.KindInt, types.KindBool:
+		u := uint64(v.ints[i])
+		return append(dst, 1,
+			byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+			byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+	case types.KindFloat:
+		u := math.Float64bits(v.floats[i])
+		return append(dst, 2,
+			byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+			byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+	default:
+		s := v.strs[i]
+		u := uint32(len(s))
+		dst = append(dst, 3, byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+		return append(dst, s...)
+	}
+}

@@ -1,0 +1,561 @@
+// Package core assembles the full PolarDB-X system (paper §II): the
+// CN-DN-SN three-layer architecture wired over the simulated multi-DC
+// fabric. It provides the Cluster (GMS + load balancer + CN fleet + DN
+// groups + PolarFS) and the CN's complete query path: SQL → HTAP
+// optimizer → routing → distributed transactions (HLC-SI or TSO-SI) →
+// execution (TP on RW leaders, AP on RO replicas with resource
+// isolation, MPP fragments and column indexes).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dn"
+	"repro/internal/gms"
+	"repro/internal/hlc"
+	"repro/internal/htap"
+	"repro/internal/optimizer"
+	"repro/internal/paxos"
+	"repro/internal/polarfs"
+	"repro/internal/simnet"
+	"repro/internal/tso"
+	"repro/internal/txn"
+)
+
+// OracleKind selects the timestamp scheme.
+type OracleKind string
+
+// Timestamp schemes.
+const (
+	OracleHLC OracleKind = "hlc-si"
+	OracleTSO OracleKind = "tso-si"
+)
+
+// Config sizes a cluster.
+type Config struct {
+	// DCs is the number of datacenters (default 1; the paper's cross-DC
+	// evaluation uses 3).
+	DCs int
+	// CNsPerDC computation nodes per datacenter (default 2).
+	CNsPerDC int
+	// DNGroups shard groups; each holds 1/DNGroups of every table's
+	// shards (default 2).
+	DNGroups int
+	// MultiDC replicates each DN group across all DCs via Paxos; the
+	// group leaders are spread round-robin across DCs.
+	MultiDC bool
+	// ROsPerDN read-only replicas attached to each DN group leader.
+	ROsPerDN int
+	// Oracle selects HLC-SI (default) or TSO-SI. The TSO server lives in
+	// DC1, so CNs in other DCs pay cross-DC trips for timestamps.
+	Oracle OracleKind
+	// Topology is the network latency model (default ZeroTopology for
+	// tests; benches use DefaultTopology).
+	Topology *simnet.Topology
+	// DefaultShards per table when CREATE TABLE has no PARTITIONS clause.
+	DefaultShards int
+	// SchedulerCfg tunes each CN's local scheduler.
+	SchedulerCfg htap.Config
+	// TPCostThreshold overrides the optimizer's TP/AP boundary.
+	TPCostThreshold float64
+	// IsolationOff disables the CN resource isolation (Fig. 9 config 1):
+	// AP queries run in the TP pool, contending freely.
+	IsolationOff bool
+	// MPPOff disables multi-CN fragment execution (Fig. 10 baseline).
+	MPPOff bool
+	// DNServiceRate models each DN node's compute capacity in work
+	// tokens per second (0 = unlimited). Every RW and RO node gets its
+	// own bucket, so read capacity scales with replica count (Fig. 9b).
+	DNServiceRate float64
+	// WithPolarFS provisions chunk servers and volumes (page-flush I/O).
+	WithPolarFS bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.DCs <= 0 {
+		c.DCs = 1
+	}
+	if c.CNsPerDC <= 0 {
+		c.CNsPerDC = 2
+	}
+	if c.DNGroups <= 0 {
+		c.DNGroups = 2
+	}
+	if c.Oracle == "" {
+		c.Oracle = OracleHLC
+	}
+	if c.DefaultShards <= 0 {
+		c.DefaultShards = 2 * c.DNGroups
+	}
+	return c
+}
+
+// Cluster is a running PolarDB-X deployment.
+type Cluster struct {
+	cfg Config
+	Net *simnet.Network
+	GMS *gms.GMS
+	FS  *polarfs.Cluster
+
+	mu  sync.Mutex
+	dns map[string]*dn.Instance // leader instances by group name
+	// followers holds non-leader instances of multi-DC groups.
+	followers map[string][]*dn.Instance
+	cns       []*CN
+	tsoServer *tso.Server
+	// apRO tracks the next RO index per DN for AP round-robin.
+	apRO map[string]int
+	// apTargets lists RO names per DN enabled for AP serving; empty =
+	// route AP to the RW leader (Fig. 9 configs 1-2).
+	apTargets map[string][]string
+
+	seq uint32
+}
+
+// NewCluster builds and starts a cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	topo := simnet.ZeroTopology()
+	if cfg.Topology != nil {
+		topo = *cfg.Topology
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		Net:       simnet.New(topo),
+		GMS:       gms.New(),
+		dns:       make(map[string]*dn.Instance),
+		followers: make(map[string][]*dn.Instance),
+		apRO:      make(map[string]int),
+		apTargets: make(map[string][]string),
+	}
+	if cfg.WithPolarFS {
+		c.FS = polarfs.NewCluster(c.Net, 0)
+		for d := 0; d < cfg.DCs; d++ {
+			for i := 0; i < 3; i++ {
+				if _, err := c.FS.AddServer(fmt.Sprintf("sn-dc%d-%d", d+1, i), simnet.DC(d)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if cfg.Oracle == OracleTSO {
+		c.tsoServer = tso.NewServer(c.Net, "tso", simnet.DC1)
+	}
+	// DN groups.
+	for g := 0; g < cfg.DNGroups; g++ {
+		if err := c.addDNGroup(g); err != nil {
+			return nil, err
+		}
+	}
+	// CNs.
+	for d := 0; d < cfg.DCs; d++ {
+		for i := 0; i < cfg.CNsPerDC; i++ {
+			c.addCN(simnet.DC(d))
+		}
+	}
+	return c, nil
+}
+
+// addDNGroup provisions DN group g: one instance per DC in MultiDC mode
+// (leader in DC g%DCs), else a single instance.
+func (c *Cluster) addDNGroup(g int) error {
+	group := fmt.Sprintf("dng%d", g)
+	leaderDC := simnet.DC(g % c.cfg.DCs)
+	var members []paxos.Member
+	if c.cfg.MultiDC {
+		for d := 0; d < c.cfg.DCs; d++ {
+			members = append(members, paxos.Member{
+				Name: fmt.Sprintf("%s-dc%d", group, d+1), DC: simnet.DC(d)})
+		}
+	} else {
+		members = []paxos.Member{{Name: group + "-a", DC: leaderDC}}
+	}
+	leaderIdx := 0
+	if c.cfg.MultiDC {
+		leaderIdx = int(leaderDC) // the member living in the leader DC
+	}
+	var leader *dn.Instance
+	for idx, m := range members {
+		var vol *polarfs.Volume
+		if c.FS != nil {
+			v, err := c.FS.CreateVolume("vol-"+m.Name, m.DC)
+			if err != nil {
+				return err
+			}
+			vol = v
+		}
+		inst, err := dn.NewInstance(dn.Config{
+			Name: m.Name, DC: m.DC, Net: c.Net,
+			Group: group, Members: members,
+			Bootstrap:   idx == leaderIdx,
+			Volume:      vol,
+			ServiceRate: c.cfg.DNServiceRate,
+			// Benchmark clusters run heavy goroutine load on one host;
+			// a generous election timeout keeps scheduler hiccups from
+			// triggering spurious leader changes mid-experiment.
+			ElectionTimeout: 2 * time.Second,
+		})
+		if err != nil {
+			return err
+		}
+		if idx == leaderIdx {
+			leader = inst
+		} else {
+			c.mu.Lock()
+			c.followers[group] = append(c.followers[group], inst)
+			c.mu.Unlock()
+		}
+	}
+	c.mu.Lock()
+	c.dns[group] = leader
+	c.mu.Unlock()
+	c.GMS.RegisterDN(leader.Name(), leader.DC())
+	for r := 0; r < c.cfg.ROsPerDN; r++ {
+		roName := fmt.Sprintf("%s-ro%d", leader.Name(), r+1)
+		if _, err := leader.AddRO(roName); err != nil {
+			return err
+		}
+		if err := c.GMS.RegisterRO(leader.Name(), roName); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addCN provisions a computation node in a DC.
+func (c *Cluster) addCN(dc simnet.DC) *CN {
+	c.mu.Lock()
+	c.seq++
+	name := fmt.Sprintf("cn%d-dc%d", c.seq, int(dc)+1)
+	c.mu.Unlock()
+	c.Net.Register(name, dc, func(string, any) (any, error) { return nil, nil })
+
+	var oracle txn.Oracle
+	if c.cfg.Oracle == OracleTSO {
+		oracle = txn.NewTSOOracle(tso.NewClient(c.Net, name, "tso"))
+	} else {
+		oracle = txn.NewHLCOracle(hlc.NewClock(nil))
+	}
+	cn := &CN{
+		name:    name,
+		dc:      dc,
+		cluster: c,
+		coord:   txn.NewCoordinator(c.Net, name, oracle),
+		sched:   htap.NewScheduler(c.cfg.SchedulerCfg),
+	}
+	cn.opt = optimizer.New(c.GMS, statsAdapter{c}, optimizer.Options{
+		TPCostThreshold: c.cfg.TPCostThreshold,
+		MPPAvailable:    !c.cfg.MPPOff,
+		HasColumnIndex:  cn.hasColumnIndex,
+	})
+	c.mu.Lock()
+	c.cns = append(c.cns, cn)
+	c.mu.Unlock()
+	c.GMS.RegisterCN(name, dc)
+	return cn
+}
+
+// AddCN scales the CN tier at runtime (stateless, §II-A).
+func (c *Cluster) AddCN(dc simnet.DC) *CN { return c.addCN(dc) }
+
+// Stop shuts the cluster down.
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cn := range c.cns {
+		cn.sched.Stop()
+	}
+	for _, inst := range c.dns {
+		inst.Stop()
+	}
+	for _, fs := range c.followers {
+		for _, inst := range fs {
+			inst.Stop()
+		}
+	}
+}
+
+// CN returns a computation node, preferring the caller's datacenter —
+// the load balancer's locality policy (§II-A). With no CN in the DC, any
+// CN is returned (cross-DC failover).
+func (c *Cluster) CN(dc simnet.DC) *CN {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cn := range c.cns {
+		if cn.dc == dc {
+			return cn
+		}
+	}
+	return c.cns[0]
+}
+
+// CNs lists all computation nodes.
+func (c *Cluster) CNs() []*CN {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*CN(nil), c.cns...)
+}
+
+// DNGroup resolves a DN group's leader instance.
+func (c *Cluster) DNGroup(name string) (*dn.Instance, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	inst, ok := c.dns[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown DN group %q", name)
+	}
+	return inst, nil
+}
+
+// RerouteDNGroup re-resolves a DN group's leader after a failover and
+// repoints all GMS shard placements at it: the paper's §II-A flow where
+// "if the leader node crashes, a follower will be elected as the new
+// leader ... GMS detects the change and updates routing". It waits
+// (bounded) for the group's election to settle, swaps the cluster's
+// leader handle, rewrites placement via GMS.ReplaceDN, and re-attaches
+// fresh read-only replicas to the new leader. Returns the new leader's
+// name (which may be the old one if leadership healed in place).
+func (c *Cluster) RerouteDNGroup(group string) (string, error) {
+	c.mu.Lock()
+	old := c.dns[group]
+	cands := append([]*dn.Instance(nil), c.followers[group]...)
+	c.mu.Unlock()
+	if old == nil {
+		return "", fmt.Errorf("core: unknown DN group %q", group)
+	}
+	var leader *dn.Instance
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if old.Paxos().HoldsLease() && !c.Net.IsDown(old.Name()) {
+			return old.Name(), nil // healed in place; routing is already right
+		}
+		for _, f := range cands {
+			// The new leader must hold the lease AND have applied the
+			// log prefix it accepted as a follower, or early reads
+			// would miss the previous leader's final commits.
+			if f.Paxos().HoldsLease() && f.Paxos().LeaderCaughtUp() {
+				leader = f
+				break
+			}
+		}
+		if leader != nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if leader == nil {
+		return "", fmt.Errorf("core: DN group %q has no live leader", group)
+	}
+	c.mu.Lock()
+	c.dns[group] = leader
+	rest := make([]*dn.Instance, 0, len(cands))
+	for _, f := range cands {
+		if f != leader {
+			rest = append(rest, f)
+		}
+	}
+	c.followers[group] = append(rest, old)
+	delete(c.apTargets, old.Name())
+	c.mu.Unlock()
+	if err := c.GMS.ReplaceDN(old.Name(), leader.Name(), leader.DC()); err != nil {
+		return "", err
+	}
+	// Attach fresh ROs to the new leader (the old leader's replicas fed
+	// off its redo stream and die with it). Skip if this instance led
+	// before and still owns replicas.
+	if len(leader.ROs()) == 0 {
+		for r := 0; r < c.cfg.ROsPerDN; r++ {
+			roName := fmt.Sprintf("%s-ro%d", leader.Name(), r+1)
+			if _, err := leader.AddRO(roName); err != nil {
+				return "", err
+			}
+			if err := c.GMS.RegisterRO(leader.Name(), roName); err != nil {
+				return "", err
+			}
+		}
+	}
+	return leader.Name(), nil
+}
+
+// HealDNRouting scans every multi-node DN group and re-routes the ones
+// whose registered leader no longer holds the Paxos lease. This is the
+// GMS health-check loop, exposed as a method so tests and the retry
+// path can invoke it deterministically. It returns the groups that were
+// re-routed.
+func (c *Cluster) HealDNRouting() []string {
+	c.mu.Lock()
+	type probe struct {
+		group  string
+		leader *dn.Instance
+		multi  bool
+	}
+	probes := make([]probe, 0, len(c.dns))
+	for g, inst := range c.dns {
+		probes = append(probes, probe{g, inst, len(c.followers[g]) > 0})
+	}
+	c.mu.Unlock()
+	var healed []string
+	for _, p := range probes {
+		if !p.multi {
+			continue
+		}
+		// A crashed node can still believe its (time-based) lease is
+		// valid; the network view breaks the tie, like GMS's heartbeat
+		// probe would.
+		if p.leader.Paxos().HoldsLease() && !c.Net.IsDown(p.leader.Name()) {
+			continue
+		}
+		if _, err := c.RerouteDNGroup(p.group); err == nil {
+			healed = append(healed, p.group)
+		}
+	}
+	sort.Strings(healed)
+	return healed
+}
+
+// FailDNLeader simulates a crash of a group's current leader (network
+// isolation, as a DC power loss would look to the rest of the cluster)
+// and returns the downed instance's name.
+func (c *Cluster) FailDNLeader(group string) (string, error) {
+	c.mu.Lock()
+	inst := c.dns[group]
+	c.mu.Unlock()
+	if inst == nil {
+		return "", fmt.Errorf("core: unknown DN group %q", group)
+	}
+	c.Net.SetDown(inst.Name(), true)
+	c.Net.SetDown(inst.Paxos().Endpoint(), true)
+	for _, ro := range inst.ROs() {
+		c.Net.SetDown(ro.Name(), true)
+	}
+	return inst.Name(), nil
+}
+
+// EnableAPReplicas marks n RO replicas per DN group as AP-serving
+// targets (Fig. 9 configs 3-6: "we use one to four dedicated RO nodes
+// respectively, and reroute the reads in TPC-H to them"). n = 0 routes
+// AP back to the RW leader.
+func (c *Cluster) EnableAPReplicas(n int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for group, inst := range c.dns {
+		ros := inst.ROs()
+		if n > len(ros) {
+			return fmt.Errorf("core: DN %s has %d ROs, want %d", group, len(ros), n)
+		}
+		names := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			names = append(names, ros[i].Name())
+		}
+		c.apTargets[inst.Name()] = names
+	}
+	return nil
+}
+
+// EnableColumnIndexes builds in-memory column indexes for a logical
+// table on every AP-serving RO replica.
+func (c *Cluster) EnableColumnIndexes(table string) error {
+	t, err := c.GMS.Table(table)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, inst := range c.dns {
+		targets := c.apTargets[inst.Name()]
+		if len(targets) == 0 {
+			continue
+		}
+		targetSet := make(map[string]bool, len(targets))
+		for _, n := range targets {
+			targetSet[n] = true
+		}
+		for _, ro := range inst.ROs() {
+			if !targetSet[ro.Name()] {
+				continue
+			}
+			var ids []uint32
+			for shard := 0; shard < t.Shards; shard++ {
+				dnName, err := c.GMS.DNForShard(table, shard)
+				if err == nil && dnName == inst.Name() {
+					ids = append(ids, t.PhysicalTableID(shard))
+				}
+			}
+			if len(ids) == 0 {
+				continue
+			}
+			if err := ro.EnableColumnIndex(ids, 1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// statsAdapter exposes committed row counts to the optimizer by summing
+// physical shard counts on the owning DNs.
+type statsAdapter struct{ c *Cluster }
+
+// RowCount implements optimizer.Stats.
+func (s statsAdapter) RowCount(table string) int64 {
+	t, err := s.c.GMS.Table(table)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for shard := 0; shard < t.Shards; shard++ {
+		dnName, err := s.c.GMS.DNForShard(table, shard)
+		if err != nil {
+			continue
+		}
+		s.c.mu.Lock()
+		var inst *dn.Instance
+		for _, i := range s.c.dns {
+			if i.Name() == dnName {
+				inst = i
+				break
+			}
+		}
+		s.c.mu.Unlock()
+		if inst == nil {
+			continue
+		}
+		if tbl, err := inst.Engine().Table(t.PhysicalTableID(shard)); err == nil {
+			total += tbl.RowCount()
+		}
+	}
+	return total
+}
+
+// errUnsupported wraps statement-dispatch misses.
+var errUnsupported = errors.New("core: unsupported statement")
+
+// waitConverged blocks until every DN group's ROs have applied redo up
+// to the group's current DLSN (test/bench helper).
+func (c *Cluster) WaitROConvergence(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		lagging := false
+		c.mu.Lock()
+		for _, inst := range c.dns {
+			dlsn := inst.Paxos().DLSN()
+			for _, ro := range inst.ROs() {
+				if ro.AppliedLSN() < dlsn {
+					lagging = true
+				}
+			}
+		}
+		c.mu.Unlock()
+		if !lagging {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return errors.New("core: RO convergence timeout")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dn"
+	"repro/internal/hotspot"
+	"repro/internal/htap"
+	"repro/internal/optimizer"
+	"repro/internal/simnet"
+	"repro/internal/sql"
+	"repro/internal/txn"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// CN is one computation node: SQL endpoint, HTAP optimizer, transaction
+// coordinator and local scheduler (§II-A: "CN servers are stateless").
+type CN struct {
+	name    string
+	dc      simnet.DC
+	cluster *Cluster
+	coord   *txn.Coordinator
+	opt     *optimizer.Optimizer
+	sched   *htap.Scheduler
+	// roCounter round-robins AP reads across a DN's replicas, across
+	// queries (per-query rotation would pin load to the first RO).
+	roCounter atomic.Uint64
+	// traffic, when non-nil, meters statements per SQL class and clamps
+	// anomalous classes (§VIII automated traffic control).
+	traffic *hotspot.Controller
+}
+
+// Name returns the CN endpoint name.
+func (cn *CN) Name() string { return cn.name }
+
+// DC returns the CN's datacenter.
+func (cn *CN) DC() simnet.DC { return cn.dc }
+
+// Scheduler exposes the CN's local scheduler (benchmarks).
+func (cn *CN) Scheduler() *htap.Scheduler { return cn.sched }
+
+// hasColumnIndex reports whether any AP target RO maintains a column
+// index for the table (optimizer callback).
+func (cn *CN) hasColumnIndex(table string) bool {
+	t, err := cn.cluster.GMS.Table(table)
+	if err != nil {
+		return false
+	}
+	c := cn.cluster
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, inst := range c.dns {
+		for _, roName := range c.apTargets[inst.Name()] {
+			for _, ro := range inst.ROs() {
+				if ro.Name() != roName {
+					continue
+				}
+				for shard := 0; shard < t.Shards; shard++ {
+					if _, ok := ro.ColumnIndex(t.PhysicalTableID(shard)); ok {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Result is a statement's outcome.
+type Result struct {
+	// Columns and Rows hold SELECT output.
+	Columns []string
+	Rows    []types.Row
+	// Affected counts DML rows.
+	Affected int
+	// Plan carries the optimizer's plan for SELECTs (EXPLAIN surface).
+	Plan *optimizer.Plan
+}
+
+// Session is a client connection to a CN: it holds the open transaction
+// (if any) and the session-consistency watermarks per DN group.
+type Session struct {
+	cn *CN
+	mu sync.Mutex
+	tx *txn.Tx
+	// lsnByDN tracks the session's last write LSN per DN group so RO
+	// reads can enforce read-your-writes (§II-C session consistency).
+	lsnByDN map[string]wal.LSN
+}
+
+// NewSession opens a session on this CN.
+func (cn *CN) NewSession() *Session {
+	return &Session{cn: cn, lsnByDN: make(map[string]wal.LSN)}
+}
+
+// InTxn reports whether an explicit transaction is open.
+func (s *Session) InTxn() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tx != nil
+}
+
+// BeginTxn opens an explicit transaction.
+func (s *Session) BeginTxn() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tx != nil {
+		return fmt.Errorf("core: transaction already open")
+	}
+	tx, err := s.cn.coord.Begin()
+	if err != nil {
+		return err
+	}
+	s.tx = tx
+	return nil
+}
+
+// Commit commits the open transaction.
+func (s *Session) Commit() error {
+	s.mu.Lock()
+	tx := s.tx
+	s.tx = nil
+	s.mu.Unlock()
+	if tx == nil {
+		return fmt.Errorf("core: no open transaction")
+	}
+	_, err := tx.Commit()
+	s.absorb(tx)
+	return err
+}
+
+// Rollback aborts the open transaction.
+func (s *Session) Rollback() error {
+	s.mu.Lock()
+	tx := s.tx
+	s.tx = nil
+	s.mu.Unlock()
+	if tx == nil {
+		return fmt.Errorf("core: no open transaction")
+	}
+	return tx.Abort()
+}
+
+// absorb folds a finished transaction's branch LSNs into the session
+// watermarks.
+func (s *Session) absorb(tx *txn.Tx) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for dnName, lsn := range tx.BranchLSNs() {
+		if lsn > s.lsnByDN[dnName] {
+			s.lsnByDN[dnName] = lsn
+		}
+	}
+}
+
+// minLSNFor returns the session watermark for a DN group.
+func (s *Session) minLSNFor(dnName string) wal.LSN {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lsnByDN[dnName]
+}
+
+// txnFor returns the open transaction or an auto-commit one; done must
+// be called with the execution error.
+func (s *Session) txnFor() (tx *txn.Tx, done func(error) error, err error) {
+	s.mu.Lock()
+	if s.tx != nil {
+		tx = s.tx
+		s.mu.Unlock()
+		return tx, func(execErr error) error { return execErr }, nil
+	}
+	s.mu.Unlock()
+	tx, err = s.cn.coord.Begin()
+	if err != nil {
+		return nil, nil, err
+	}
+	return tx, func(execErr error) error {
+		if execErr != nil {
+			_ = tx.Abort()
+			return execErr
+		}
+		if _, err := tx.Commit(); err != nil {
+			return err
+		}
+		s.absorb(tx)
+		return nil
+	}, nil
+}
+
+// Execute parses and runs one SQL statement.
+func (s *Session) Execute(query string) (*Result, error) {
+	if tc := s.cn.traffic; tc != nil {
+		ok, release := tc.Admit(hotspot.Fingerprint(query))
+		if !ok {
+			return nil, ErrThrottled
+		}
+		defer release()
+	}
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.ExecuteStmt(stmt)
+	if err != nil && !s.InTxn() && isLeaderFailure(err) {
+		// The routed DN leader crashed. GMS health-checks the groups,
+		// repoints routing at the newly elected leaders, and the
+		// auto-commit statement (its implicit transaction aborted whole)
+		// is safe to retry once against the new routing.
+		if healed := s.cn.cluster.HealDNRouting(); len(healed) > 0 {
+			res, err = s.ExecuteStmt(stmt)
+		}
+	}
+	return res, err
+}
+
+// isLeaderFailure classifies errors that indicate stale leader routing:
+// the DN refused as a non-leader, or the endpoint is unreachable.
+func isLeaderFailure(err error) bool {
+	return errors.Is(err, dn.ErrNotLeader) ||
+		errors.Is(err, simnet.ErrEndpointDown) ||
+		errors.Is(err, simnet.ErrPartitioned)
+}
+
+// ExecuteStmt runs a parsed statement.
+func (s *Session) ExecuteStmt(stmt sql.Statement) (*Result, error) {
+	switch st := stmt.(type) {
+	case *sql.CreateTable:
+		return s.cn.createTable(st)
+	case *sql.CreateIndex:
+		return s.cn.createIndex(s, st)
+	case *sql.Insert:
+		return s.execInsert(st)
+	case *sql.Update:
+		return s.execUpdate(st)
+	case *sql.Delete:
+		return s.execDelete(st)
+	case *sql.Select:
+		return s.execSelect(st)
+	default:
+		return nil, fmt.Errorf("%w: %T", errUnsupported, stmt)
+	}
+}
+
+// createTable provisions a logical table in GMS and its physical shard
+// tables on the owning DN groups.
+func (cn *CN) createTable(st *sql.CreateTable) (*Result, error) {
+	shards := st.Partitions
+	if shards <= 1 && cn.cluster.cfg.DefaultShards > 0 && st.Partitions == 1 {
+		shards = cn.cluster.cfg.DefaultShards
+	}
+	schema := st.Schema()
+	t, err := cn.cluster.GMS.CreateTable(st.Name, schema, shards, st.TableGroup)
+	if err != nil {
+		if st.IfNotExists && strings.Contains(err.Error(), "already exists") {
+			return &Result{}, nil
+		}
+		return nil, err
+	}
+	if len(st.PartitionBy) > 0 {
+		if err := t.SetPartitionBy(st.PartitionBy); err != nil {
+			return nil, err
+		}
+	}
+	for shard := 0; shard < t.Shards; shard++ {
+		dnName, err := cn.cluster.GMS.DNForShard(t.Name, shard)
+		if err != nil {
+			return nil, err
+		}
+		_, err = cn.cluster.Net.Call(cn.name, dnName,
+			dn.CreateTableReq{ID: t.PhysicalTableID(shard), Schema: shardSchema(schema, shard)})
+		if err != nil {
+			return nil, fmt.Errorf("core: create shard %d on %s: %w", shard, dnName, err)
+		}
+	}
+	return &Result{}, nil
+}
+
+// shardSchema names one shard's physical table uniquely (several shards
+// of one logical table may share a DN engine).
+func shardSchema(schema *types.Schema, shard int) *types.Schema {
+	cp := *schema
+	cp.Name = fmt.Sprintf("%s__s%d", schema.Name, shard)
+	return &cp
+}
+
+// createIndex provisions a local per-shard index or a global secondary
+// index (hidden partitioned table + backfill, §II-B).
+func (cn *CN) createIndex(s *Session, st *sql.CreateIndex) (*Result, error) {
+	t, err := cn.cluster.GMS.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	if !st.Global {
+		// Local index on every shard's physical table.
+		for shard := 0; shard < t.Shards; shard++ {
+			dnName, err := cn.cluster.GMS.DNForShard(t.Name, shard)
+			if err != nil {
+				return nil, err
+			}
+			req := dn.CreateIndexReq{Table: t.PhysicalTableID(shard), Name: st.Name, Cols: st.Columns}
+			if _, err := cn.cluster.Net.Call(cn.name, dnName, req); err != nil {
+				return nil, err
+			}
+		}
+		return &Result{}, nil
+	}
+	gi, err := cn.cluster.GMS.AddGlobalIndex(st.Table, st.Name, st.Columns, st.Clustered)
+	if err != nil {
+		return nil, err
+	}
+	// Hidden table shares the base table's placement map (same group).
+	for shard := 0; shard < gi.Shards; shard++ {
+		dnName, err := cn.cluster.GMS.DNForShard(t.Name, shard)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := cn.cluster.Net.Call(cn.name, dnName,
+			dn.CreateTableReq{ID: gi.PhysicalTableID(shard), Schema: shardSchema(gi.Schema, shard)}); err != nil {
+			return nil, err
+		}
+	}
+	// Backfill in one distributed transaction: read every base shard,
+	// insert the derived index rows.
+	tx, err := cn.coord.Begin()
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	for shard := 0; shard < t.Shards; shard++ {
+		dnName, err := cn.cluster.GMS.DNForShard(t.Name, shard)
+		if err != nil {
+			_ = tx.Abort()
+			return nil, err
+		}
+		rows, err := tx.Scan(dnName, t.PhysicalTableID(shard), "", nil, nil, 0)
+		if err != nil {
+			_ = tx.Abort()
+			return nil, err
+		}
+		for _, row := range rows {
+			irow := gi.IndexRow(t, row)
+			ishard := gi.ShardOfIndexRow(irow)
+			idnName, err := cn.cluster.GMS.DNForShard(t.Name, ishard)
+			if err != nil {
+				_ = tx.Abort()
+				return nil, err
+			}
+			if err := tx.Insert(idnName, gi.PhysicalTableID(ishard), irow); err != nil {
+				_ = tx.Abort()
+				return nil, err
+			}
+			n++
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	if s != nil {
+		s.absorb(tx)
+	}
+	return &Result{Affected: n}, nil
+}

@@ -1,0 +1,507 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/partition"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// autoInc feeds implicit primary keys. One global sequence is enough for
+// the simulation (GMS hosts sequences in production, §II-A).
+var autoInc atomic.Int64
+
+// execInsert evaluates row expressions, routes each row to its shard's
+// DN, and maintains global secondary indexes in the same distributed
+// transaction (§II-B: "the primary key index and related secondary
+// indexes are updated in a single distributed transaction").
+func (s *Session) execInsert(st *sql.Insert) (*Result, error) {
+	t, err := s.cn.cluster.GMS.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Map the statement's column list to schema positions.
+	colPos, err := insertColumnOrder(t, st.Columns)
+	if err != nil {
+		return nil, err
+	}
+	tx, done, err := s.txnFor()
+	if err != nil {
+		return nil, err
+	}
+	n, execErr := func() (int, error) {
+		count := 0
+		for _, exprRow := range st.Rows {
+			if len(exprRow) != len(colPos) {
+				return count, fmt.Errorf("core: INSERT arity %d, want %d", len(exprRow), len(colPos))
+			}
+			row := make(types.Row, len(t.Schema.Columns))
+			for i, e := range exprRow {
+				v, err := sql.Eval(e, nil)
+				if err != nil {
+					return count, err
+				}
+				row[colPos[i]] = v
+			}
+			if t.Schema.ImplicitPK {
+				row[len(row)-1] = types.Int(autoInc.Add(1))
+			}
+			if err := s.insertRow(tx, t, row); err != nil {
+				return count, err
+			}
+			count++
+		}
+		return count, nil
+	}()
+	if err := done(execErr); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: n}, nil
+}
+
+// insertRow routes one row plus its index rows.
+func (s *Session) insertRow(tx txnLike, t *partition.Table, row types.Row) error {
+	shard := t.ShardOfRow(row)
+	dnName, err := s.cn.cluster.GMS.DNForShard(t.Name, shard)
+	if err != nil {
+		return err
+	}
+	if err := tx.Insert(dnName, t.PhysicalTableID(shard), row); err != nil {
+		return err
+	}
+	s.cn.cluster.GMS.RecordLoad(t.Name, shard, 1)
+	for _, gi := range t.Indexes {
+		irow := gi.IndexRow(t, row)
+		ishard := gi.ShardOfIndexRow(irow)
+		idn, err := s.cn.cluster.GMS.DNForShard(t.Name, ishard)
+		if err != nil {
+			return err
+		}
+		if err := tx.Insert(idn, gi.PhysicalTableID(ishard), irow); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// txnLike abstracts txn.Tx for DML helpers.
+type txnLike interface {
+	Insert(dnName string, table uint32, row types.Row) error
+	Update(dnName string, table uint32, row types.Row) error
+	Delete(dnName string, table uint32, pk []byte) error
+	Get(dnName string, table uint32, pk []byte) (types.Row, bool, error)
+	Scan(dnName string, table uint32, index string, start, end []byte, limit int) ([]types.Row, error)
+}
+
+// insertColumnOrder maps an INSERT column list to schema positions.
+func insertColumnOrder(t *partition.Table, cols []string) ([]int, error) {
+	n := len(t.Schema.Columns)
+	if t.Schema.ImplicitPK {
+		n-- // hidden column is filled by the system
+	}
+	if len(cols) == 0 {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	}
+	out := make([]int, len(cols))
+	for i, c := range cols {
+		idx := t.Schema.ColIndex(c)
+		if idx < 0 {
+			return nil, fmt.Errorf("core: unknown column %q in INSERT", c)
+		}
+		out[i] = idx
+	}
+	return out, nil
+}
+
+// matchRows finds the rows a WHERE clause selects: the PK fast path
+// reads exactly the pinned rows; otherwise every shard is scanned with
+// the filter pushed down.
+func (s *Session) matchRows(tx txnLike, t *partition.Table, where sql.Expr) ([]types.Row, error) {
+	filter, points, err := analyzeWhere(t, where)
+	if err != nil {
+		return nil, err
+	}
+	var out []types.Row
+	if points != nil && !t.PartitionedByPK() {
+		// Cannot infer shards from the PK; fall back to the scan path
+		// with the whole WHERE re-attached as a filter.
+		filter, points = where, nil
+	}
+	if points != nil {
+		for _, pk := range points {
+			shard := t.ShardOfPK(pk)
+			dnName, err := s.cn.cluster.GMS.DNForShard(t.Name, shard)
+			if err != nil {
+				return nil, err
+			}
+			row, ok, err := tx.Get(dnName, t.PhysicalTableID(shard), pk)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			if filter != nil {
+				v, err := sql.Eval(filter, row)
+				if err != nil {
+					return nil, err
+				}
+				if !v.IsTruthy() {
+					continue
+				}
+			}
+			out = append(out, row)
+		}
+		return out, nil
+	}
+	for shard := 0; shard < t.Shards; shard++ {
+		dnName, err := s.cn.cluster.GMS.DNForShard(t.Name, shard)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := s.scanShard(tx, dnName, t.PhysicalTableID(shard), filter)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+// scanShard runs a filtered shard scan inside the transaction.
+func (s *Session) scanShard(tx txnLike, dnName string, physTable uint32, filter sql.Expr) ([]types.Row, error) {
+	// The txnLike interface has no filter parameter; DN-side pushdown for
+	// DML scans goes through the full Tx type.
+	rows, err := tx.Scan(dnName, physTable, "", nil, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	if filter == nil {
+		return rows, nil
+	}
+	var out []types.Row
+	for _, row := range rows {
+		v, err := sql.Eval(filter, row)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsTruthy() {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// analyzeWhere binds a WHERE clause to the schema layout and extracts
+// full-PK point lookups. Returns (residual filter, point PKs).
+func analyzeWhere(t *partition.Table, where sql.Expr) (sql.Expr, [][]byte, error) {
+	if where == nil {
+		return nil, nil, nil
+	}
+	// Bind columns to schema positions.
+	var bindErr error
+	sql.Walk(where, func(n sql.Expr) bool {
+		if c, ok := n.(*sql.ColumnRef); ok {
+			idx := t.Schema.ColIndex(c.Column)
+			if idx < 0 {
+				bindErr = fmt.Errorf("core: unknown column %q in %q", c.Column, t.Name)
+				return false
+			}
+			if c.Table != "" && !strings.EqualFold(c.Table, t.Name) {
+				bindErr = fmt.Errorf("core: qualifier %q does not match %q", c.Table, t.Name)
+				return false
+			}
+			c.Index = idx
+		}
+		return true
+	})
+	if bindErr != nil {
+		return nil, nil, bindErr
+	}
+	if len(t.Schema.PKCols) != 1 {
+		// Composite PK: a conjunction of equality literals covering every
+		// PK column pins one row. The whole WHERE stays as the residual
+		// filter (re-checking the PK equalities on the fetched row is
+		// cheap and keeps the rewrite trivially safe).
+		eq := map[int]types.Value{}
+		var collect func(e sql.Expr)
+		collect = func(e sql.Expr) {
+			b, ok := e.(*sql.BinaryOp)
+			if !ok {
+				return
+			}
+			if b.Op == "AND" {
+				collect(b.L)
+				collect(b.R)
+				return
+			}
+			if b.Op != "=" {
+				return
+			}
+			col, okc := b.L.(*sql.ColumnRef)
+			lit, okl := b.R.(*sql.Literal)
+			if !okc || !okl {
+				col, okc = b.R.(*sql.ColumnRef)
+				lit, okl = b.L.(*sql.Literal)
+			}
+			if okc && okl {
+				eq[col.Index] = lit.Val
+			}
+		}
+		collect(where)
+		vals := make([]types.Value, 0, len(t.Schema.PKCols))
+		for _, ci := range t.Schema.PKCols {
+			v, ok := eq[ci]
+			if !ok {
+				return where, nil, nil
+			}
+			vals = append(vals, v)
+		}
+		return where, [][]byte{types.EncodeKey(nil, vals...)}, nil
+	}
+	pkIdx := t.Schema.PKCols[0]
+	// Single top-level `pk = lit` or `pk IN (...)`, possibly ANDed with
+	// residual conditions.
+	var points [][]byte
+	var strip func(e sql.Expr) sql.Expr
+	strip = func(e sql.Expr) sql.Expr {
+		switch n := e.(type) {
+		case *sql.BinaryOp:
+			if n.Op == "AND" {
+				l := strip(n.L)
+				r := strip(n.R)
+				switch {
+				case l == nil && r == nil:
+					return nil
+				case l == nil:
+					return r
+				case r == nil:
+					return l
+				default:
+					return &sql.BinaryOp{Op: "AND", L: l, R: r}
+				}
+			}
+			if n.Op == "=" && points == nil {
+				if c, ok := n.L.(*sql.ColumnRef); ok && c.Index == pkIdx {
+					if lit, ok := n.R.(*sql.Literal); ok {
+						points = [][]byte{types.EncodeKey(nil, lit.Val)}
+						return nil
+					}
+				}
+				if c, ok := n.R.(*sql.ColumnRef); ok && c.Index == pkIdx {
+					if lit, ok := n.L.(*sql.Literal); ok {
+						points = [][]byte{types.EncodeKey(nil, lit.Val)}
+						return nil
+					}
+				}
+			}
+			return e
+		case *sql.InList:
+			if points != nil || n.Not {
+				return e
+			}
+			c, ok := n.E.(*sql.ColumnRef)
+			if !ok || c.Index != pkIdx {
+				return e
+			}
+			var pks [][]byte
+			for _, item := range n.Items {
+				lit, ok := item.(*sql.Literal)
+				if !ok {
+					return e
+				}
+				pks = append(pks, types.EncodeKey(nil, lit.Val))
+			}
+			points = pks
+			return nil
+		default:
+			return e
+		}
+	}
+	residual := strip(where)
+	return residual, points, nil
+}
+
+// execUpdate applies SET assignments to matching rows, maintaining
+// global indexes (delete old entry + insert new when indexed columns or
+// coverage change).
+func (s *Session) execUpdate(st *sql.Update) (*Result, error) {
+	t, err := s.cn.cluster.GMS.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	if st.Where, err = s.rewriteSubqueries(st.Where); err != nil {
+		return nil, err
+	}
+	// Bind SET expressions against the schema.
+	sets := make([]struct {
+		col int
+		e   sql.Expr
+	}, len(st.Sets))
+	for i, a := range st.Sets {
+		idx := t.Schema.ColIndex(a.Column)
+		if idx < 0 {
+			return nil, fmt.Errorf("core: unknown column %q", a.Column)
+		}
+		if containsPK(t, idx) {
+			return nil, fmt.Errorf("core: updating primary key columns is not supported")
+		}
+		if err := bindToSchema(t, a.Value); err != nil {
+			return nil, err
+		}
+		sets[i].col = idx
+		sets[i].e = a.Value
+	}
+	tx, done, err := s.txnFor()
+	if err != nil {
+		return nil, err
+	}
+	n, execErr := func() (int, error) {
+		rows, err := s.matchRows(tx, t, st.Where)
+		if err != nil {
+			return 0, err
+		}
+		for i, old := range rows {
+			newRow := old.Clone()
+			for _, a := range sets {
+				v, err := sql.Eval(a.e, old)
+				if err != nil {
+					return i, err
+				}
+				newRow[a.col] = v
+			}
+			shard := t.ShardOfRow(newRow)
+			dnName, err := s.cn.cluster.GMS.DNForShard(t.Name, shard)
+			if err != nil {
+				return i, err
+			}
+			if err := tx.Update(dnName, t.PhysicalTableID(shard), newRow); err != nil {
+				return i, err
+			}
+			if err := s.refreshIndexes(tx, t, old, newRow); err != nil {
+				return i, err
+			}
+		}
+		return len(rows), nil
+	}()
+	if err := done(execErr); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: n}, nil
+}
+
+func containsPK(t *partition.Table, col int) bool {
+	for _, pk := range t.Schema.PKCols {
+		if pk == col {
+			return true
+		}
+	}
+	return false
+}
+
+func bindToSchema(t *partition.Table, e sql.Expr) error {
+	var bindErr error
+	sql.Walk(e, func(n sql.Expr) bool {
+		if c, ok := n.(*sql.ColumnRef); ok {
+			idx := t.Schema.ColIndex(c.Column)
+			if idx < 0 {
+				bindErr = fmt.Errorf("core: unknown column %q", c.Column)
+				return false
+			}
+			c.Index = idx
+		}
+		return true
+	})
+	return bindErr
+}
+
+// refreshIndexes maintains GSIs across an update.
+func (s *Session) refreshIndexes(tx txnLike, t *partition.Table, old, new types.Row) error {
+	for _, gi := range t.Indexes {
+		oldIdx := gi.IndexRow(t, old)
+		newIdx := gi.IndexRow(t, new)
+		same := len(oldIdx) == len(newIdx)
+		if same {
+			for i := range oldIdx {
+				if oldIdx[i].Compare(newIdx[i]) != 0 {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			continue
+		}
+		oshard := gi.ShardOfIndexRow(oldIdx)
+		odn, err := s.cn.cluster.GMS.DNForShard(t.Name, oshard)
+		if err != nil {
+			return err
+		}
+		if err := tx.Delete(odn, gi.PhysicalTableID(oshard), gi.Schema.PKKey(oldIdx)); err != nil {
+			return err
+		}
+		nshard := gi.ShardOfIndexRow(newIdx)
+		ndn, err := s.cn.cluster.GMS.DNForShard(t.Name, nshard)
+		if err != nil {
+			return err
+		}
+		if err := tx.Insert(ndn, gi.PhysicalTableID(nshard), newIdx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// execDelete removes matching rows and their index entries.
+func (s *Session) execDelete(st *sql.Delete) (*Result, error) {
+	t, err := s.cn.cluster.GMS.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	if st.Where, err = s.rewriteSubqueries(st.Where); err != nil {
+		return nil, err
+	}
+	tx, done, err := s.txnFor()
+	if err != nil {
+		return nil, err
+	}
+	n, execErr := func() (int, error) {
+		rows, err := s.matchRows(tx, t, st.Where)
+		if err != nil {
+			return 0, err
+		}
+		for i, row := range rows {
+			shard := t.ShardOfRow(row)
+			dnName, err := s.cn.cluster.GMS.DNForShard(t.Name, shard)
+			if err != nil {
+				return i, err
+			}
+			if err := tx.Delete(dnName, t.PhysicalTableID(shard), t.Schema.PKKey(row)); err != nil {
+				return i, err
+			}
+			for _, gi := range t.Indexes {
+				irow := gi.IndexRow(t, row)
+				ishard := gi.ShardOfIndexRow(irow)
+				idn, err := s.cn.cluster.GMS.DNForShard(t.Name, ishard)
+				if err != nil {
+					return i, err
+				}
+				if err := tx.Delete(idn, gi.PhysicalTableID(ishard), gi.Schema.PKKey(irow)); err != nil {
+					return i, err
+				}
+			}
+		}
+		return len(rows), nil
+	}()
+	if err := done(execErr); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: n}, nil
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/advisor"
+	"repro/internal/gms"
+	"repro/internal/hotspot"
+	"repro/internal/mt"
+	"repro/internal/simnet"
+)
+
+// This file wires the §VIII DBA/developer features into the cluster
+// surface: index recommendation, anti-hotspot planning and automated
+// traffic control.
+
+// Advise runs the SQL Advisor over a query workload against the
+// cluster's live catalog and statistics.
+func (cn *CN) Advise(queries []string, opts advisor.Options) (advisor.Recommendation, error) {
+	adv := advisor.New(cn.cluster.GMS, statsAdapter{cn.cluster}, opts)
+	return adv.Analyze(queries)
+}
+
+// HotShardPlan inspects a table's observed per-shard load and returns
+// mitigation actions (migrate moderate outliers, split extreme ones).
+func (c *Cluster) HotShardPlan(table string, factor float64) ([]hotspot.ShardAction, error) {
+	if _, err := c.GMS.Table(table); err != nil {
+		return nil, err
+	}
+	return hotspot.PlanShards(c.GMS.ShardLoad(table), factor), nil
+}
+
+// RebalancePlan exposes GMS's load-balancing plan (partition-group moves
+// onto under-loaded DNs, e.g. after registering new ones).
+func (c *Cluster) RebalancePlan() []gms.MigrationStep {
+	return c.GMS.PlanRebalance()
+}
+
+// EnableTrafficControl attaches an automated traffic controller to every
+// CN: each statement is fingerprinted into a SQL class and metered;
+// classes whose rate spikes far above their learned baseline get their
+// concurrency clamped (§VIII, Automated Traffic Control).
+func (c *Cluster) EnableTrafficControl() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cn := range c.cns {
+		cn.traffic = hotspot.NewController()
+	}
+}
+
+// ErrThrottled is returned when traffic control rejects a statement of
+// an anomalous class.
+var ErrThrottled = fmt.Errorf("core: statement throttled by traffic control")
+
+// TenantCluster builds a PolarDB-MT cluster sharing this cluster's
+// network fabric — the §V substrate for SaaS multi-tenancy and the
+// Fig. 8 scaling path. (PolarDB-MT instances are a deployment variant
+// of the DN layer; they are managed side by side with sharded tables.)
+func (c *Cluster) TenantCluster() *mt.Cluster {
+	return mt.NewCluster(c.Net)
+}
+
+// DCOf is a convenience for examples: the DC of a named endpoint.
+func (c *Cluster) DCOf(name string) (simnet.DC, bool) { return c.Net.DCOf(name) }

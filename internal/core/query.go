@@ -1,0 +1,633 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dn"
+	"repro/internal/executor"
+	"repro/internal/hlc"
+	"repro/internal/htap"
+	"repro/internal/optimizer"
+	"repro/internal/sql"
+	"repro/internal/txn"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// queryCtx carries per-query execution state through operator building.
+type queryCtx struct {
+	s        *Session
+	tx       *txn.Tx       // TP reads (branch-scoped); nil in AP mode
+	snapshot hlc.Timestamp // AP snapshot
+	ap       bool
+	group    htap.Group // pool classification (isolation-off forces TP)
+	mpp      bool
+}
+
+// execSelect plans and runs a SELECT.
+func (s *Session) execSelect(sel *sql.Select) (*Result, error) {
+	var err error
+	if sel.Where, err = s.rewriteSubqueries(sel.Where); err != nil {
+		return nil, err
+	}
+	if sel.Having, err = s.rewriteSubqueries(sel.Having); err != nil {
+		return nil, err
+	}
+	plan, err := s.cn.opt.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := s.runPlan(plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: plan.Root.Columns(), Rows: rows, Plan: plan}, nil
+}
+
+// runPlan executes a physical plan under the HTAP routing rules: TP
+// plans read through transaction branches on RW leaders in the TP pool;
+// AP plans read RO replicas at a snapshot in the AP pool (unless
+// isolation is off, Fig. 9 config 1).
+func (s *Session) runPlan(plan *optimizer.Plan) ([]types.Row, error) {
+	ctx := &queryCtx{s: s, ap: plan.IsAP, mpp: plan.MPP}
+	ctx.group = htap.GroupTP
+	if plan.IsAP && !s.cn.cluster.cfg.IsolationOff {
+		ctx.group = htap.GroupAP
+	}
+	if plan.IsAP {
+		snap, err := s.cn.coord.Oracle().SnapshotTS()
+		if err != nil {
+			return nil, err
+		}
+		ctx.snapshot = snap
+	} else {
+		tx, done, err := s.txnFor()
+		if err != nil {
+			return nil, err
+		}
+		defer func() {
+			// Read-only execution: the auto-commit path releases branches.
+			_ = done(nil)
+		}()
+		ctx.tx = tx
+	}
+	// AP queries reserve working memory from the CN's AP region before
+	// running; TP preemption may shrink that region (§VI-D). Rejected
+	// reservations fail the query rather than destabilizing TP work.
+	if plan.IsAP {
+		est := int64(plan.Root.EstRows())*96 + 4096
+		if err := s.cn.sched.Mem.Reserve(ctx.group, est); err != nil {
+			return nil, fmt.Errorf("core: AP memory admission: %w", err)
+		}
+		defer s.cn.sched.Mem.Release(ctx.group, est)
+	}
+	root, err := s.cn.buildOperator(plan.Root, ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Shard fetches and partial aggregation run as scheduled fragment
+	// jobs in the classified pool (quota-gated for AP, §VI-D); the final
+	// merge below pulls from their exchange queues on this goroutine, so
+	// a blocked consumer can never starve the workers its producers
+	// need.
+	return executor.Collect(root)
+}
+
+// buildOperator lowers a plan node to an executor operator tree.
+func (cn *CN) buildOperator(node optimizer.Node, ctx *queryCtx) (executor.Operator, error) {
+	switch n := node.(type) {
+	case *optimizer.ScanNode:
+		return cn.buildScan(n, ctx)
+	case *optimizer.FilterNode:
+		in, err := cn.buildOperator(n.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &executor.Filter{Input: in, Pred: n.Pred}, nil
+	case *optimizer.ProjectNode:
+		in, err := cn.buildOperator(n.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &executor.Project{Input: in, Exprs: n.Exprs, Names: n.Names}, nil
+	case *optimizer.SortNode:
+		in, err := cn.buildOperator(n.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		op := &executor.Sort{Input: in}
+		for _, k := range n.Keys {
+			op.Keys = append(op.Keys, executor.SortKey{Expr: k.Expr, Desc: k.Desc})
+		}
+		return op, nil
+	case *optimizer.LimitNode:
+		in, err := cn.buildOperator(n.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &executor.Limit{Input: in, N: n.N}, nil
+	case *optimizer.JoinNode:
+		if op, ok, err := cn.buildPartitionWiseJoin(n, ctx); err != nil {
+			return nil, err
+		} else if ok {
+			return op, nil
+		}
+		left, err := cn.buildOperator(n.Left, ctx)
+		if err != nil {
+			return nil, err
+		}
+		right, err := cn.buildOperator(n.Right, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if len(n.LeftKeys) > 0 {
+			return &executor.HashJoin{Left: left, Right: right,
+				LeftKeys: n.LeftKeys, RightKeys: n.RightKeys,
+				Residual: n.On, Outer: n.Outer}, nil
+		}
+		return &executor.NestedLoopJoin{Left: left, Right: right, On: n.On, Outer: n.Outer}, nil
+	case *optimizer.AggNode:
+		return cn.buildAgg(n, ctx)
+	default:
+		return nil, fmt.Errorf("core: cannot execute plan node %T", node)
+	}
+}
+
+// aggSpecs converts optimizer aggregates to executor specs.
+func aggSpecs(items []optimizer.AggItem) []executor.AggSpec {
+	out := make([]executor.AggSpec, len(items))
+	for i, a := range items {
+		out[i] = executor.AggSpec{Func: a.Func, Arg: a.Arg, Star: a.Star, Distinct: a.Distinct}
+	}
+	return out
+}
+
+// buildAgg lowers aggregation, using the MPP two-phase split when the
+// input is a scan: per-shard fragments compute partial aggregates near
+// the data (or fully inside the column index), and the coordinator
+// merges (§VI-C).
+func (cn *CN) buildAgg(n *optimizer.AggNode, ctx *queryCtx) (executor.Operator, error) {
+	scan, scanInput := n.Input.(*optimizer.ScanNode)
+	if n.TwoPhase && scanInput && len(scan.PointLookups) == 0 && scan.GSI == nil {
+		return cn.buildTwoPhaseAgg(n, scan, ctx)
+	}
+	in, err := cn.buildOperator(n.Input, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &executor.HashAgg{Input: in, GroupBy: n.GroupBy,
+		Aggs: aggSpecs(n.Aggs), Mode: executor.AggComplete, Names: n.Names}, nil
+}
+
+// buildTwoPhaseAgg fans one partial-aggregation fragment out per shard.
+func (cn *CN) buildTwoPhaseAgg(n *optimizer.AggNode, scan *optimizer.ScanNode, ctx *queryCtx) (executor.Operator, error) {
+	shards := scan.Shards
+	if shards == nil {
+		for i := 0; i < scan.Table.Shards; i++ {
+			shards = append(shards, i)
+		}
+	}
+	pushed := cn.pushableAgg(n, scan, ctx)
+	scheds := []*htap.Scheduler{cn.sched}
+	if ctx.mpp {
+		// MPP: spread fragments across every CN's scheduler (§VI-C Task
+		// Scheduler distributing tasks to CN nodes).
+		scheds = nil
+		for _, other := range cn.cluster.CNs() {
+			scheds = append(scheds, other.sched)
+		}
+	}
+	var assignments []executor.FragmentAssignment
+	for i, shard := range shards {
+		src, err := cn.shardSource(scan, shard, ctx, pushed)
+		if err != nil {
+			return nil, err
+		}
+		var frag executor.Operator = src
+		if pushed == nil {
+			// Partial aggregation runs in the fragment, near its shard.
+			frag = &executor.HashAgg{Input: src, GroupBy: n.GroupBy,
+				Aggs: aggSpecs(n.Aggs), Mode: executor.AggPartial}
+		}
+		assignments = append(assignments, executor.FragmentAssignment{
+			Op: frag, Sched: scheds[i%len(scheds)],
+		})
+	}
+	gather := executor.RunFragments(ctx.group, assignments)
+	// Final merge at the coordinator: group columns land at 0..k-1.
+	finalGroup := make([]sql.Expr, len(n.GroupBy))
+	for i := range n.GroupBy {
+		finalGroup[i] = &sql.ColumnRef{Column: fmt.Sprintf("g%d", i), Index: i}
+	}
+	return &executor.HashAgg{Input: gather, GroupBy: finalGroup,
+		Aggs: aggSpecs(n.Aggs), Mode: executor.AggFinal, Names: n.Names}, nil
+}
+
+// pushableAgg decides whether the whole partial aggregation can be
+// pushed into the column index (§VI-E): AP column-index scan, group-by
+// and aggregate arguments all plain schema columns, no DISTINCT.
+func (cn *CN) pushableAgg(n *optimizer.AggNode, scan *optimizer.ScanNode, ctx *queryCtx) *dn.PushAgg {
+	if !ctx.ap || !scan.UseColumnIndex {
+		return nil
+	}
+	pa := &dn.PushAgg{}
+	for _, g := range n.GroupBy {
+		c, ok := g.(*sql.ColumnRef)
+		if !ok || c.Index < 0 {
+			return nil
+		}
+		pa.GroupBy = append(pa.GroupBy, c.Index)
+	}
+	for _, a := range n.Aggs {
+		if a.Distinct {
+			return nil
+		}
+		spec := dn.PushAggSpec{Func: a.Func, Star: a.Star}
+		if !a.Star {
+			if c, ok := a.Arg.(*sql.ColumnRef); ok && c.Index >= 0 {
+				spec.Col = c.Index
+			} else if boundExpr(a.Arg) {
+				// Scalar expressions over schema columns push down too
+				// (§VI-E offloads e.g. SUM(l_extendedprice*(1-l_discount))).
+				spec.Expr = a.Arg
+			} else {
+				return nil
+			}
+		}
+		pa.Aggs = append(pa.Aggs, spec)
+	}
+	return pa
+}
+
+// boundExpr reports whether every column reference in e is bound.
+func boundExpr(e sql.Expr) bool {
+	ok := true
+	sql.Walk(e, func(n sql.Expr) bool {
+		if c, isRef := n.(*sql.ColumnRef); isRef && c.Index < 0 {
+			ok = false
+			return false
+		}
+		if f, isF := n.(*sql.FuncCall); isF && f.IsAggregate() {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// buildPartitionWiseJoin executes a partition-wise join (§II-B): both
+// sides share a table group and join on the partition key, so shard i
+// of the left table only ever matches shard i of the right. Each
+// partition group becomes one join fragment running near its data — no
+// redistribution, no cross-shard build table.
+func (cn *CN) buildPartitionWiseJoin(n *optimizer.JoinNode, ctx *queryCtx) (executor.Operator, bool, error) {
+	if !n.PartitionWise || len(n.LeftKeys) == 0 {
+		return nil, false, nil
+	}
+	ls, lok := n.Left.(*optimizer.ScanNode)
+	rs, rok := n.Right.(*optimizer.ScanNode)
+	if !lok || !rok || len(ls.PointLookups) > 0 || len(rs.PointLookups) > 0 {
+		return nil, false, nil
+	}
+	if ls.Table.Shards != rs.Table.Shards {
+		return nil, false, nil
+	}
+	scheds := []*htap.Scheduler{cn.sched}
+	if ctx.mpp {
+		scheds = nil
+		for _, other := range cn.cluster.CNs() {
+			scheds = append(scheds, other.sched)
+		}
+	}
+	var assignments []executor.FragmentAssignment
+	for shard := 0; shard < ls.Table.Shards; shard++ {
+		leftSrc, err := cn.shardSource(ls, shard, ctx, nil)
+		if err != nil {
+			return nil, false, err
+		}
+		rightSrc, err := cn.shardSource(rs, shard, ctx, nil)
+		if err != nil {
+			return nil, false, err
+		}
+		frag := &executor.HashJoin{Left: leftSrc, Right: rightSrc,
+			LeftKeys: n.LeftKeys, RightKeys: n.RightKeys,
+			Residual: n.On, Outer: n.Outer}
+		assignments = append(assignments, executor.FragmentAssignment{
+			Op: frag, Sched: scheds[shard%len(scheds)]})
+	}
+	g := executor.RunFragments(ctx.group, assignments)
+	g.Cols = n.Columns()
+	return g, true, nil
+}
+
+// buildScan lowers a table scan: GSI routes, point lookups, or
+// per-shard sources gathered together.
+func (cn *CN) buildScan(scan *optimizer.ScanNode, ctx *queryCtx) (executor.Operator, error) {
+	cols := scan.Columns()
+	if scan.GSI != nil {
+		rows, err := cn.gsiRows(scan, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return executor.NewRowsSource(cols, rows), nil
+	}
+	if len(scan.PointLookups) > 0 {
+		rows, err := cn.pointRows(scan, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return executor.NewRowsSource(cols, rows), nil
+	}
+	shards := scan.Shards
+	if shards == nil {
+		for i := 0; i < scan.Table.Shards; i++ {
+			shards = append(shards, i)
+		}
+	}
+	if ctx.tx != nil {
+		// TP path: sequential shard scans inside the transaction (small,
+		// pruned reads; fairness comes from the short statements).
+		inputs := make([]executor.Operator, 0, len(shards))
+		for _, shard := range shards {
+			src, err := cn.shardSource(scan, shard, ctx, nil)
+			if err != nil {
+				return nil, err
+			}
+			inputs = append(inputs, src)
+		}
+		if len(inputs) == 1 {
+			return inputs[0], nil
+		}
+		return &executor.Gather{Cols: cols, Inputs: inputs}, nil
+	}
+	// AP path: each shard fetch is a scheduled fragment so the CN's
+	// quota gates the heavy work.
+	var assignments []executor.FragmentAssignment
+	for _, shard := range shards {
+		src, err := cn.shardSource(scan, shard, ctx, nil)
+		if err != nil {
+			return nil, err
+		}
+		assignments = append(assignments, executor.FragmentAssignment{Op: src, Sched: cn.sched})
+	}
+	g := executor.RunFragments(ctx.group, assignments)
+	g.Cols = cols
+	return g, nil
+}
+
+// pointRows fetches the scan's pinned primary keys.
+func (cn *CN) pointRows(scan *optimizer.ScanNode, ctx *queryCtx) ([]types.Row, error) {
+	var out []types.Row
+	for _, pk := range scan.PointLookups {
+		shard := scan.Table.ShardOfPK(pk)
+		dnName, err := cn.cluster.GMS.DNForShard(scan.Table.Name, shard)
+		if err != nil {
+			return nil, err
+		}
+		cn.cluster.GMS.RecordLoad(scan.Table.Name, shard, 1)
+		var row types.Row
+		var ok bool
+		if ctx.tx != nil {
+			row, ok, err = ctx.tx.Get(dnName, scan.Table.PhysicalTableID(shard), pk)
+		} else {
+			target, minLSN := cn.apTarget(ctx, dnName)
+			if target == dnName {
+				// No RO: read through an ephemeral branch on the leader.
+				tmp, terr := cn.coord.Begin()
+				if terr != nil {
+					return nil, terr
+				}
+				row, ok, err = tmp.Get(dnName, scan.Table.PhysicalTableID(shard), pk)
+				_ = tmp.Abort()
+			} else {
+				row, ok, err = cn.coord.ReadRO(target, scan.Table.PhysicalTableID(shard), pk, ctx.snapshot, minLSN)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		// The pushed filter may carry residual conditions beyond the PK.
+		if scan.Filter != nil {
+			v, err := sql.Eval(scan.Filter, row)
+			if err != nil {
+				return nil, err
+			}
+			if !v.IsTruthy() {
+				continue
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// gsiRows executes a scan routed through a global secondary index
+// (§II-B): read the pinned hidden-table shard by prefix range, then
+// either remap clustered index rows straight into base layout or fetch
+// base rows by primary key (scattered reads). The original filter runs
+// against the reconstructed base rows (the GSI equality prefix is
+// implied by the lookup; residual conditions still apply).
+func (cn *CN) gsiRows(scan *optimizer.ScanNode, ctx *queryCtx) ([]types.Row, error) {
+	gi := scan.GSI
+	shard := gi.ShardOfIndexedValues(scan.GSIVals...)
+	dnName, err := cn.cluster.GMS.DNForShard(scan.Table.Name, shard)
+	if err != nil {
+		return nil, err
+	}
+	cn.cluster.GMS.RecordLoad(scan.Table.Name, shard, 1)
+	start := types.EncodeKey(nil, scan.GSIVals...)
+	end := types.PrefixSuccessor(start)
+
+	fetch := func(table uint32, target string, req dn.ScanReq) ([]types.Row, error) {
+		if ctx.tx != nil {
+			req.Table = table
+			return ctx.tx.ScanReq(dnName, req)
+		}
+		if target == dnName {
+			tmp, err := cn.coord.Begin()
+			if err != nil {
+				return nil, err
+			}
+			defer tmp.Abort()
+			req.Table = table
+			return tmp.ScanReq(dnName, req)
+		}
+		return cn.coord.ScanROReq(target, dn.ROScanReq{
+			Table: table, Start: req.Start, End: req.End,
+			SnapshotTS: ctx.snapshot, MinLSN: ctx.s.minLSNFor(dnName),
+		})
+	}
+	target := dnName
+	if ctx.tx == nil {
+		target, _ = cn.apTarget(ctx, dnName)
+	}
+	irows, err := fetch(gi.PhysicalTableID(shard), target, dn.ScanReq{Start: start, End: end})
+	if err != nil {
+		return nil, err
+	}
+
+	var out []types.Row
+	keep := func(row types.Row) (bool, error) {
+		if scan.Filter == nil {
+			return true, nil
+		}
+		v, err := sql.Eval(scan.Filter, row)
+		if err != nil {
+			return false, err
+		}
+		return v.IsTruthy(), nil
+	}
+	for _, irow := range irows {
+		if base, ok := gi.BaseRowFromIndexRow(scan.Table, irow); ok {
+			// Clustered: every column is in the index row.
+			if ok2, err := keep(base); err != nil {
+				return nil, err
+			} else if ok2 {
+				out = append(out, base)
+			}
+			continue
+		}
+		// Non-clustered: scattered read of the base row by primary key.
+		pkVals := gi.BasePKFromIndexRow(scan.Table, irow)
+		pk := types.EncodeKey(nil, pkVals...)
+		bshard := scan.Table.ShardOfPK(pk)
+		bdn, err := cn.cluster.GMS.DNForShard(scan.Table.Name, bshard)
+		if err != nil {
+			return nil, err
+		}
+		var row types.Row
+		var found bool
+		if ctx.tx != nil {
+			row, found, err = ctx.tx.Get(bdn, scan.Table.PhysicalTableID(bshard), pk)
+		} else {
+			btarget, minLSN := cn.apTarget(ctx, bdn)
+			if btarget == bdn {
+				tmp, terr := cn.coord.Begin()
+				if terr != nil {
+					return nil, terr
+				}
+				row, found, err = tmp.Get(bdn, scan.Table.PhysicalTableID(bshard), pk)
+				_ = tmp.Abort()
+			} else {
+				row, found, err = cn.coord.ReadRO(btarget, scan.Table.PhysicalTableID(bshard), pk, ctx.snapshot, minLSN)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			continue // index entry for a row deleted since (verified out)
+		}
+		if ok2, err := keep(row); err != nil {
+			return nil, err
+		} else if ok2 {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// apTarget picks the replica serving AP reads for a DN group: a
+// dedicated RO (round-robin) if configured, else the leader itself
+// (Fig. 9 configs 1-2).
+func (cn *CN) apTarget(ctx *queryCtx, dnName string) (string, wal.LSN) {
+	c := cn.cluster
+	c.mu.Lock()
+	targets := c.apTargets[dnName]
+	var target string
+	if len(targets) > 0 {
+		target = targets[int(cn.roCounter.Add(1))%len(targets)]
+	}
+	c.mu.Unlock()
+	if target == "" {
+		return dnName, 0
+	}
+	return target, ctx.s.minLSNFor(dnName)
+}
+
+// shardSource builds the row source for one shard of a scan, with
+// filter/projection pushdown and (for AP column-index scans) optional
+// pushed aggregation.
+func (cn *CN) shardSource(scan *optimizer.ScanNode, shard int, ctx *queryCtx, pushed *dn.PushAgg) (executor.Operator, error) {
+	dnName, err := cn.cluster.GMS.DNForShard(scan.Table.Name, shard)
+	if err != nil {
+		return nil, err
+	}
+	cn.cluster.GMS.RecordLoad(scan.Table.Name, shard, 1)
+	physTable := scan.Table.PhysicalTableID(shard)
+	cols := scan.Columns()
+
+	if ctx.tx != nil {
+		// TP path: branch-scoped scan on the RW leader.
+		fetched := false
+		return &executor.CallbackSource{Cols: cols, Fetch: func() ([]types.Row, error) {
+			if fetched {
+				return nil, nil
+			}
+			fetched = true
+			rows, err := ctx.tx.ScanReq(dnName, dn.ScanReq{
+				Table: physTable, Filter: scan.Filter, Projection: scan.Projection,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if rows == nil {
+				rows = []types.Row{}
+			}
+			return rows, nil
+		}}, nil
+	}
+
+	// AP path: snapshot read on the AP target (RO or leader).
+	target, minLSN := cn.apTarget(ctx, dnName)
+	req := dn.ROScanReq{
+		Table: physTable, SnapshotTS: ctx.snapshot, MinLSN: minLSN,
+		Filter: scan.Filter, Projection: scan.Projection,
+		UseColumnIndex: scan.UseColumnIndex, Aggregate: pushed,
+	}
+	if target == dnName {
+		// AP load routed to the RW leader (shared-resource configs):
+		// scan through an ephemeral branch.
+		fetched := false
+		return &executor.CallbackSource{Cols: cols, Fetch: func() ([]types.Row, error) {
+			if fetched {
+				return nil, nil
+			}
+			fetched = true
+			tmp, err := cn.coord.Begin()
+			if err != nil {
+				return nil, err
+			}
+			defer tmp.Abort()
+			rows, err := tmp.ScanReq(dnName, dn.ScanReq{
+				Table: physTable, Filter: scan.Filter, Projection: scan.Projection,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if rows == nil {
+				rows = []types.Row{}
+			}
+			return rows, nil
+		}}, nil
+	}
+	fetched := false
+	return &executor.CallbackSource{Cols: cols, Fetch: func() ([]types.Row, error) {
+		if fetched {
+			return nil, nil
+		}
+		fetched = true
+		rows, err := cn.coord.ScanROReq(target, req)
+		if err != nil {
+			return nil, err
+		}
+		if rows == nil {
+			rows = []types.Row{}
+		}
+		return rows, nil
+	}}, nil
+}

@@ -1,0 +1,609 @@
+package dn
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/hlc"
+	"repro/internal/paxos"
+	"repro/internal/simnet"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+func usersSchema() *types.Schema {
+	return types.NewSchema("users", []types.Column{
+		{Name: "id", Kind: types.KindInt},
+		{Name: "name", Kind: types.KindString},
+		{Name: "balance", Kind: types.KindInt},
+	}, []int{0})
+}
+
+func userRow(id int64, name string, bal int64) types.Row {
+	return types.Row{types.Int(id), types.Str(name), types.Int(bal)}
+}
+
+func pkOf(id int64) []byte { return types.EncodeKey(nil, types.Int(id)) }
+
+// client is a minimal CN stand-in driving DN RPCs.
+type client struct {
+	net  *simnet.Network
+	name string
+}
+
+func newClient(t *testing.T, net *simnet.Network, name string, dc simnet.DC) *client {
+	t.Helper()
+	net.Register(name, dc, func(string, any) (any, error) { return nil, nil })
+	return &client{net: net, name: name}
+}
+
+func (c *client) call(t *testing.T, to string, msg any) any {
+	t.Helper()
+	reply, err := c.net.Call(c.name, to, msg)
+	if err != nil {
+		t.Fatalf("call %T to %s: %v", msg, to, err)
+	}
+	return reply
+}
+
+// singleInstance builds a 1-member DN group.
+func singleInstance(t *testing.T) (*Instance, *client, *simnet.Network) {
+	t.Helper()
+	net := simnet.New(simnet.ZeroTopology())
+	inst, err := NewInstance(Config{
+		Name: "dn1", DC: simnet.DC1, Net: net,
+		Group:   "g1",
+		Members: []paxos.Member{{Name: "dn1", DC: simnet.DC1}},
+
+		Bootstrap: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(inst.Stop)
+	cl := newClient(t, net, "cn1", simnet.DC1)
+	return inst, cl, net
+}
+
+var txnSeq uint64 = 1000
+
+func nextTxnID() uint64 { txnSeq++; return txnSeq }
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestSingleInstanceWriteCommitRead(t *testing.T) {
+	inst, cl, _ := singleInstance(t)
+	if err := inst.CreateTable(1, 0, usersSchema()); err != nil {
+		t.Fatal(err)
+	}
+	clock := hlc.NewClock(nil)
+	txnID := nextTxnID()
+	cl.call(t, "dn1", BeginReq{TxnID: txnID, SnapshotTS: clock.Now()})
+	cl.call(t, "dn1", WriteReq{TxnID: txnID, Table: 1, Op: OpInsert, Row: userRow(1, "alice", 100)})
+	resp := cl.call(t, "dn1", CommitReq{TxnID: txnID}).(CommitResp)
+	if resp.CommitTS.IsZero() {
+		t.Fatal("1PC commit did not choose a timestamp")
+	}
+
+	rID := nextTxnID()
+	cl.call(t, "dn1", BeginReq{TxnID: rID, SnapshotTS: inst.Clock().Now()})
+	rr := cl.call(t, "dn1", ReadReq{TxnID: rID, Table: 1, PK: pkOf(1)}).(ReadResp)
+	if !rr.OK || rr.Row[1].AsString() != "alice" {
+		t.Fatalf("read = %+v", rr)
+	}
+	cl.call(t, "dn1", AbortReq{TxnID: rID})
+}
+
+func TestTwoPhaseCommitFlow(t *testing.T) {
+	inst, cl, _ := singleInstance(t)
+	inst.CreateTable(1, 0, usersSchema())
+	clock := hlc.NewClock(nil)
+	snapshot := clock.Now()
+	txnID := nextTxnID()
+	cl.call(t, "dn1", BeginReq{TxnID: txnID, SnapshotTS: snapshot})
+	cl.call(t, "dn1", WriteReq{TxnID: txnID, Table: 1, Op: OpInsert, Row: userRow(1, "a", 1)})
+	prep := cl.call(t, "dn1", PrepareReq{TxnID: txnID}).(PrepareResp)
+	if prep.PrepareTS <= snapshot {
+		t.Fatalf("prepare_ts %v <= snapshot %v: HLC update rule broken", prep.PrepareTS, snapshot)
+	}
+	commitTS := prep.PrepareTS // coordinator takes the max (single participant)
+	cl.call(t, "dn1", CommitReq{TxnID: txnID, CommitTS: commitTS})
+
+	rID := nextTxnID()
+	cl.call(t, "dn1", BeginReq{TxnID: rID, SnapshotTS: inst.Clock().Now()})
+	rr := cl.call(t, "dn1", ReadReq{TxnID: rID, Table: 1, PK: pkOf(1)}).(ReadResp)
+	if !rr.OK {
+		t.Fatal("2PC-committed row invisible")
+	}
+	cl.call(t, "dn1", AbortReq{TxnID: rID})
+}
+
+func TestAbortDiscardsBranch(t *testing.T) {
+	inst, cl, _ := singleInstance(t)
+	inst.CreateTable(1, 0, usersSchema())
+	clock := hlc.NewClock(nil)
+	txnID := nextTxnID()
+	cl.call(t, "dn1", BeginReq{TxnID: txnID, SnapshotTS: clock.Now()})
+	cl.call(t, "dn1", WriteReq{TxnID: txnID, Table: 1, Op: OpInsert, Row: userRow(1, "a", 1)})
+	cl.call(t, "dn1", AbortReq{TxnID: txnID})
+
+	rID := nextTxnID()
+	cl.call(t, "dn1", BeginReq{TxnID: rID, SnapshotTS: inst.Clock().Now()})
+	rr := cl.call(t, "dn1", ReadReq{TxnID: rID, Table: 1, PK: pkOf(1)}).(ReadResp)
+	if rr.OK {
+		t.Fatal("aborted write visible")
+	}
+	// Branch is gone.
+	if _, err := cl.net.Call(cl.name, "dn1", WriteReq{TxnID: txnID, Table: 1, Op: OpInsert, Row: userRow(2, "b", 1)}); err == nil {
+		t.Fatal("write on aborted branch succeeded")
+	}
+}
+
+func TestUnknownBranchErrors(t *testing.T) {
+	inst, cl, _ := singleInstance(t)
+	inst.CreateTable(1, 0, usersSchema())
+	_, err := cl.net.Call(cl.name, "dn1", ReadReq{TxnID: 999999, Table: 1, PK: pkOf(1)})
+	if err == nil || !strings.Contains(err.Error(), "unknown transaction") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestScanThroughRPC(t *testing.T) {
+	inst, cl, _ := singleInstance(t)
+	inst.CreateTable(1, 0, usersSchema())
+	clock := hlc.NewClock(nil)
+	w := nextTxnID()
+	cl.call(t, "dn1", BeginReq{TxnID: w, SnapshotTS: clock.Now()})
+	for i := int64(0); i < 20; i++ {
+		cl.call(t, "dn1", WriteReq{TxnID: w, Table: 1, Op: OpInsert, Row: userRow(i, fmt.Sprintf("u%d", i), i)})
+	}
+	cl.call(t, "dn1", CommitReq{TxnID: w})
+
+	r := nextTxnID()
+	cl.call(t, "dn1", BeginReq{TxnID: r, SnapshotTS: inst.Clock().Now()})
+	sr := cl.call(t, "dn1", ScanReq{TxnID: r, Table: 1,
+		Start: pkOf(5), End: pkOf(15), Limit: 5}).(ScanResp)
+	if len(sr.Rows) != 5 || sr.Rows[0][0].AsInt() != 5 {
+		t.Fatalf("scan = %d rows, first %v", len(sr.Rows), sr.Rows[0])
+	}
+	cl.call(t, "dn1", AbortReq{TxnID: r})
+}
+
+func TestROServesReadsWithSessionConsistency(t *testing.T) {
+	inst, cl, _ := singleInstance(t)
+	inst.CreateTable(1, 0, usersSchema())
+	ro, err := inst.AddRO("dn1-ro1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := hlc.NewClock(nil)
+	w := nextTxnID()
+	cl.call(t, "dn1", BeginReq{TxnID: w, SnapshotTS: clock.Now()})
+	cl.call(t, "dn1", WriteReq{TxnID: w, Table: 1, Op: OpInsert, Row: userRow(1, "alice", 100)})
+	resp := cl.call(t, "dn1", CommitReq{TxnID: w}).(CommitResp)
+
+	// Session-consistent read: MinLSN = the commit's LSN forces the RO to
+	// wait until it has applied our write.
+	rr := cl.call(t, "dn1-ro1", ROReadReq{
+		Table: 1, PK: pkOf(1), SnapshotTS: inst.Clock().Now(), MinLSN: resp.LSN,
+	}).(ReadResp)
+	if !rr.OK || rr.Row[2].AsInt() != 100 {
+		t.Fatalf("RO read = %+v", rr)
+	}
+	if ro.AppliedLSN() < resp.LSN {
+		t.Fatal("RO applied LSN below the write it served")
+	}
+}
+
+func TestROScan(t *testing.T) {
+	inst, cl, _ := singleInstance(t)
+	inst.CreateTable(1, 0, usersSchema())
+	inst.AddRO("dn1-ro1")
+	clock := hlc.NewClock(nil)
+	w := nextTxnID()
+	cl.call(t, "dn1", BeginReq{TxnID: w, SnapshotTS: clock.Now()})
+	for i := int64(0); i < 10; i++ {
+		cl.call(t, "dn1", WriteReq{TxnID: w, Table: 1, Op: OpInsert, Row: userRow(i, "u", i)})
+	}
+	resp := cl.call(t, "dn1", CommitReq{TxnID: w}).(CommitResp)
+
+	sr := cl.call(t, "dn1-ro1", ROScanReq{
+		Table: 1, SnapshotTS: inst.Clock().Now(), MinLSN: resp.LSN,
+	}).(ScanResp)
+	if len(sr.Rows) != 10 {
+		t.Fatalf("RO scan = %d rows", len(sr.Rows))
+	}
+}
+
+func TestROAddedAfterDataStillCatchesUp(t *testing.T) {
+	inst, cl, _ := singleInstance(t)
+	inst.CreateTable(1, 0, usersSchema())
+	clock := hlc.NewClock(nil)
+	w := nextTxnID()
+	cl.call(t, "dn1", BeginReq{TxnID: w, SnapshotTS: clock.Now()})
+	cl.call(t, "dn1", WriteReq{TxnID: w, Table: 1, Op: OpInsert, Row: userRow(1, "early", 1)})
+	resp := cl.call(t, "dn1", CommitReq{TxnID: w}).(CommitResp)
+
+	// RO added after the write: it must replay from the log base.
+	inst.AddRO("dn1-ro-late")
+	rr := cl.call(t, "dn1-ro-late", ROReadReq{
+		Table: 1, PK: pkOf(1), SnapshotTS: inst.Clock().Now(), MinLSN: resp.LSN,
+	}).(ReadResp)
+	if !rr.OK || rr.Row[1].AsString() != "early" {
+		t.Fatalf("late RO read = %+v", rr)
+	}
+}
+
+func TestLaggingROEviction(t *testing.T) {
+	net := simnet.New(simnet.ZeroTopology())
+	inst, err := NewInstance(Config{
+		Name: "dn1", DC: simnet.DC1, Net: net,
+		Group: "g1", Members: []paxos.Member{{Name: "dn1", DC: simnet.DC1}},
+		Bootstrap:  true,
+		ROLagLimit: 512, // tiny limit so the test trips it fast
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Stop()
+	cl := newClient(t, net, "cn1", simnet.DC1)
+	inst.CreateTable(1, 0, usersSchema())
+	ro, _ := inst.AddRO("dn1-ro1")
+	ro.SetApplyDelay(200 * time.Millisecond) // severe lag
+
+	clock := hlc.NewClock(nil)
+	for i := int64(0); i < 50; i++ {
+		w := nextTxnID()
+		cl.call(t, "dn1", BeginReq{TxnID: w, SnapshotTS: clock.Now()})
+		cl.call(t, "dn1", WriteReq{TxnID: w, Table: 1, Op: OpInsert,
+			Row: userRow(i, strings.Repeat("x", 100), i)})
+		cl.call(t, "dn1", CommitReq{TxnID: w})
+	}
+	waitFor(t, 5*time.Second, "RO eviction", func() bool {
+		return len(inst.EvictedROs()) == 1
+	})
+}
+
+func TestMultiDCReplicationAndFollowerRO(t *testing.T) {
+	net := simnet.New(simnet.ZeroTopology())
+	members := []paxos.Member{
+		{Name: "dn-dc1", DC: simnet.DC1},
+		{Name: "dn-dc2", DC: simnet.DC2},
+		{Name: "dn-dc3", DC: simnet.DC3},
+	}
+	var insts []*Instance
+	for idx, m := range members {
+		inst, err := NewInstance(Config{
+			Name: m.Name, DC: m.DC, Net: net,
+			Group: "g1", Members: members,
+			Bootstrap: idx == 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer inst.Stop()
+		insts = append(insts, inst)
+	}
+	leader := insts[0]
+	cl := newClient(t, net, "cn1", simnet.DC1)
+	if err := leader.CreateTable(1, 0, usersSchema()); err != nil {
+		t.Fatal(err)
+	}
+	// DDL reaches followers.
+	waitFor(t, 2*time.Second, "DDL replication", func() bool {
+		_, err2 := insts[1].Engine().TableByName("users")
+		_, err3 := insts[2].Engine().TableByName("users")
+		return err2 == nil && err3 == nil
+	})
+
+	// Follower RO created before data.
+	insts[1].AddRO("dn-dc2-ro1")
+
+	clock := hlc.NewClock(nil)
+	w := nextTxnID()
+	cl.call(t, "dn-dc1", BeginReq{TxnID: w, SnapshotTS: clock.Now()})
+	cl.call(t, "dn-dc1", WriteReq{TxnID: w, Table: 1, Op: OpInsert, Row: userRow(1, "geo", 42)})
+	resp := cl.call(t, "dn-dc1", CommitReq{TxnID: w}).(CommitResp)
+
+	// Follower engines converge.
+	for _, f := range insts[1:] {
+		f := f
+		waitFor(t, 2*time.Second, "follower apply on "+f.Name(), func() bool {
+			row, ok, _ := f.Engine().GetAt(1, pkOf(1), f.Clock().Now())
+			return ok && row[2].AsInt() == 42
+		})
+	}
+	// The follower's RO serves the row (reads in remote DCs without
+	// crossing DC boundaries — the §II-A locality claim).
+	rr := cl.call(t, "dn-dc2-ro1", ROReadReq{
+		Table: 1, PK: pkOf(1), SnapshotTS: leader.Clock().Now(), MinLSN: resp.LSN,
+	}).(ReadResp)
+	if !rr.OK || rr.Row[1].AsString() != "geo" {
+		t.Fatalf("follower RO read = %+v", rr)
+	}
+	// Writes rejected on followers.
+	if err := insts[1].handleBegin(BeginReq{TxnID: nextTxnID(), SnapshotTS: clock.Now()}); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("follower begin err = %v", err)
+	}
+}
+
+func TestWriteConflictSurfacesThroughRPC(t *testing.T) {
+	inst, cl, _ := singleInstance(t)
+	inst.CreateTable(1, 0, usersSchema())
+	clock := hlc.NewClock(nil)
+	seed := nextTxnID()
+	cl.call(t, "dn1", BeginReq{TxnID: seed, SnapshotTS: clock.Now()})
+	cl.call(t, "dn1", WriteReq{TxnID: seed, Table: 1, Op: OpInsert, Row: userRow(1, "a", 1)})
+	cl.call(t, "dn1", CommitReq{TxnID: seed})
+
+	t1 := nextTxnID()
+	t2 := nextTxnID()
+	cl.call(t, "dn1", BeginReq{TxnID: t1, SnapshotTS: inst.Clock().Now()})
+	cl.call(t, "dn1", BeginReq{TxnID: t2, SnapshotTS: inst.Clock().Now()})
+	cl.call(t, "dn1", WriteReq{TxnID: t1, Table: 1, Op: OpUpdate, Row: userRow(1, "a", 2)})
+	_, err := cl.net.Call(cl.name, "dn1", WriteReq{TxnID: t2, Table: 1, Op: OpUpdate, Row: userRow(1, "a", 3)})
+	if err == nil || !strings.Contains(err.Error(), "conflict") {
+		t.Fatalf("err = %v", err)
+	}
+	cl.call(t, "dn1", CommitReq{TxnID: t1})
+	cl.call(t, "dn1", AbortReq{TxnID: t2})
+}
+
+func TestStatusSurface(t *testing.T) {
+	inst, cl, _ := singleInstance(t)
+	inst.CreateTable(1, 0, usersSchema())
+	inst.AddRO("dn1-ro1")
+	st := cl.call(t, "dn1", StatusReq{}).(StatusResp)
+	if !st.IsLeader || st.Name != "dn1" || len(st.ROs) != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestCreateIndexReplicatedToROs(t *testing.T) {
+	inst, cl, _ := singleInstance(t)
+	inst.CreateTable(1, 0, usersSchema())
+	inst.AddRO("dn1-ro1")
+	if err := inst.CreateIndex(1, "by_name", []string{"name"}); err != nil {
+		t.Fatal(err)
+	}
+	clock := hlc.NewClock(nil)
+	w := nextTxnID()
+	cl.call(t, "dn1", BeginReq{TxnID: w, SnapshotTS: clock.Now()})
+	cl.call(t, "dn1", WriteReq{TxnID: w, Table: 1, Op: OpInsert, Row: userRow(1, "zoe", 5)})
+	resp := cl.call(t, "dn1", CommitReq{TxnID: w}).(CommitResp)
+	sr := cl.call(t, "dn1-ro1", ROScanReq{
+		Table: 1, Index: "by_name", SnapshotTS: inst.Clock().Now(), MinLSN: resp.LSN,
+	}).(ScanResp)
+	if len(sr.Rows) != 1 || sr.Rows[0][1].AsString() != "zoe" {
+		t.Fatalf("RO index scan = %+v", sr.Rows)
+	}
+}
+
+func TestSchemaCodecRoundTrip(t *testing.T) {
+	s := usersSchema()
+	got, err := DecodeSchema(EncodeSchema(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != s.Name || len(got.Columns) != len(s.Columns) ||
+		got.PKCols[0] != s.PKCols[0] || got.ImplicitPK != s.ImplicitPK {
+		t.Fatalf("schema round trip: %+v", got)
+	}
+	implicit := types.NewSchema("t", []types.Column{{Name: "a", Kind: types.KindInt}}, nil)
+	got2, _ := DecodeSchema(EncodeSchema(implicit))
+	if !got2.ImplicitPK || got2.ColIndex(types.ImplicitPKName) < 0 {
+		t.Fatal("implicit PK lost in codec")
+	}
+	if _, err := DecodeSchema([]byte("not json")); err == nil {
+		t.Fatal("bad schema payload should error")
+	}
+}
+
+func TestMinROAckBoundsLogPurge(t *testing.T) {
+	inst, cl, _ := singleInstance(t)
+	inst.CreateTable(1, 0, usersSchema())
+	inst.AddRO("dn1-ro1")
+	clock := hlc.NewClock(nil)
+	var lastLSN wal.LSN
+	for i := int64(0); i < 5; i++ {
+		w := nextTxnID()
+		cl.call(t, "dn1", BeginReq{TxnID: w, SnapshotTS: clock.Now()})
+		cl.call(t, "dn1", WriteReq{TxnID: w, Table: 1, Op: OpInsert, Row: userRow(i, "x", i)})
+		lastLSN = cl.call(t, "dn1", CommitReq{TxnID: w}).(CommitResp).LSN
+	}
+	waitFor(t, 2*time.Second, "RO ack convergence", func() bool {
+		return inst.MinROAck() >= lastLSN
+	})
+}
+
+func TestROColumnIndexScanAndAggPushdown(t *testing.T) {
+	inst, cl, _ := singleInstance(t)
+	inst.CreateTable(1, 0, usersSchema())
+	ro, err := inst.AddRO("dn1-ro1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ro.EnableColumnIndex([]uint32{1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	clock := hlc.NewClock(nil)
+	var last wal.LSN
+	for i := int64(0); i < 20; i++ {
+		w := nextTxnID()
+		cl.call(t, "dn1", BeginReq{TxnID: w, SnapshotTS: clock.Now()})
+		cl.call(t, "dn1", WriteReq{TxnID: w, Table: 1, Op: OpInsert, Row: userRow(i, "u", i*10)})
+		last = cl.call(t, "dn1", CommitReq{TxnID: w}).(CommitResp).LSN
+	}
+	// Plain column-index scan.
+	sr := cl.call(t, "dn1-ro1", ROScanReq{
+		Table: 1, SnapshotTS: inst.Clock().Now(), MinLSN: last, UseColumnIndex: true,
+	}).(ScanResp)
+	if len(sr.Rows) != 20 {
+		t.Fatalf("colindex scan = %d rows", len(sr.Rows))
+	}
+	// Pushed-down aggregation: SUM(balance), COUNT(*).
+	ar := cl.call(t, "dn1-ro1", ROScanReq{
+		Table: 1, SnapshotTS: inst.Clock().Now(), MinLSN: last, UseColumnIndex: true,
+		Aggregate: &PushAgg{Aggs: []PushAggSpec{
+			{Func: "SUM", Col: 2}, {Func: "COUNT", Star: true},
+		}},
+	}).(ScanResp)
+	if len(ar.Rows) != 1 {
+		t.Fatalf("agg rows = %d", len(ar.Rows))
+	}
+	if ar.Rows[0][0].AsInt() != 1900 || ar.Rows[0][1].AsInt() != 20 {
+		t.Fatalf("pushed agg = %v", ar.Rows[0])
+	}
+}
+
+func TestROColumnIndexBackfillExistingData(t *testing.T) {
+	inst, cl, _ := singleInstance(t)
+	inst.CreateTable(1, 0, usersSchema())
+	clock := hlc.NewClock(nil)
+	w := nextTxnID()
+	cl.call(t, "dn1", BeginReq{TxnID: w, SnapshotTS: clock.Now()})
+	cl.call(t, "dn1", WriteReq{TxnID: w, Table: 1, Op: OpInsert, Row: userRow(1, "pre", 7)})
+	last := cl.call(t, "dn1", CommitReq{TxnID: w}).(CommitResp).LSN
+
+	ro, _ := inst.AddRO("dn1-ro1")
+	// Wait for the replica to apply, then enable with backfill.
+	cl.call(t, "dn1-ro1", ROReadReq{Table: 1, PK: pkOf(1),
+		SnapshotTS: inst.Clock().Now(), MinLSN: last})
+	if err := ro.EnableColumnIndex([]uint32{1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	sr := cl.call(t, "dn1-ro1", ROScanReq{
+		Table: 1, SnapshotTS: inst.Clock().Now(), MinLSN: last, UseColumnIndex: true,
+	}).(ScanResp)
+	if len(sr.Rows) != 1 || sr.Rows[0][1].AsString() != "pre" {
+		t.Fatalf("backfilled scan = %v", sr.Rows)
+	}
+}
+
+func TestRedoPurgeAfterConsumersCatchUp(t *testing.T) {
+	inst, cl, _ := singleInstance(t)
+	inst.CreateTable(1, 0, usersSchema())
+	inst.AddRO("dn1-ro1")
+	clock := hlc.NewClock(nil)
+	var last wal.LSN
+	for i := int64(0); i < 30; i++ {
+		w := nextTxnID()
+		cl.call(t, "dn1", BeginReq{TxnID: w, SnapshotTS: clock.Now()})
+		cl.call(t, "dn1", WriteReq{TxnID: w, Table: 1, Op: OpInsert,
+			Row: userRow(i, strings.Repeat("p", 64), i)})
+		last = cl.call(t, "dn1", CommitReq{TxnID: w}).(CommitResp).LSN
+	}
+	// Once the RO has applied everything and pages are flushed, the
+	// flusher loop purges the redo prefix (§II-C step 8).
+	waitFor(t, 5*time.Second, "redo purge", func() bool {
+		return inst.Paxos().Log().BaseLSN() >= last/2 // most of the log gone
+	})
+	// The system still works after purging: reads, writes, RO reads.
+	w := nextTxnID()
+	cl.call(t, "dn1", BeginReq{TxnID: w, SnapshotTS: clock.Now()})
+	cl.call(t, "dn1", WriteReq{TxnID: w, Table: 1, Op: OpInsert, Row: userRow(100, "post", 1)})
+	resp := cl.call(t, "dn1", CommitReq{TxnID: w}).(CommitResp)
+	rr := cl.call(t, "dn1-ro1", ROReadReq{Table: 1, PK: pkOf(100),
+		SnapshotTS: inst.Clock().Now(), MinLSN: resp.LSN}).(ReadResp)
+	if !rr.OK || rr.Row[1].AsString() != "post" {
+		t.Fatalf("post-purge RO read = %+v", rr)
+	}
+}
+
+func TestBackgroundVacuumTrimsVersions(t *testing.T) {
+	inst, cl, _ := singleInstance(t)
+	inst.CreateTable(1, 0, usersSchema())
+	clock := hlc.NewClock(nil)
+	// Overwrite one row many times; background vacuum (with no open
+	// snapshots pinning history) reclaims the chain.
+	w := nextTxnID()
+	cl.call(t, "dn1", BeginReq{TxnID: w, SnapshotTS: clock.Now()})
+	cl.call(t, "dn1", WriteReq{TxnID: w, Table: 1, Op: OpInsert, Row: userRow(1, "v", 0)})
+	cl.call(t, "dn1", CommitReq{TxnID: w})
+	for i := int64(1); i <= 50; i++ {
+		u := nextTxnID()
+		cl.call(t, "dn1", BeginReq{TxnID: u, SnapshotTS: inst.Clock().Now()})
+		cl.call(t, "dn1", WriteReq{TxnID: u, Table: 1, Op: OpUpdate, Row: userRow(1, "v", i)})
+		cl.call(t, "dn1", CommitReq{TxnID: u})
+	}
+	// The row remains readable at its newest version after vacuuming.
+	waitFor(t, 3*time.Second, "vacuum cycle", func() bool {
+		row, ok, _ := inst.Engine().GetAt(1, pkOf(1), inst.Clock().Now())
+		return ok && row[2].AsInt() == 50
+	})
+}
+
+// TestRONeverServesUndurableData: RO replicas only consume redo below
+// the group DLSN (§III): data proposed by a leader that cannot reach a
+// majority must never become visible on an RO, because a re-election
+// could truncate it.
+func TestRONeverServesUndurableData(t *testing.T) {
+	net := simnet.New(simnet.ZeroTopology())
+	members := []paxos.Member{
+		{Name: "dn-a", DC: simnet.DC1},
+		{Name: "dn-b", DC: simnet.DC2},
+		{Name: "dn-c", DC: simnet.DC3},
+	}
+	var insts []*Instance
+	for i, m := range members {
+		inst, err := NewInstance(Config{
+			Name: m.Name, DC: m.DC, Net: net,
+			Group: "gu", Members: members, Bootstrap: i == 0,
+			ElectionTimeout: 10 * time.Second, // keep the leader stable
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer inst.Stop()
+		insts = append(insts, inst)
+	}
+	leader := insts[0]
+	if err := leader.CreateTable(1, 0, usersSchema()); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := leader.AddRO("dn-a-ro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := newClient(t, net, "cnu", simnet.DC1)
+
+	// A durable write reaches the RO.
+	w := nextTxnID()
+	cl.call(t, "dn-a", BeginReq{TxnID: w, SnapshotTS: hlc.NewClock(nil).Now()})
+	cl.call(t, "dn-a", WriteReq{TxnID: w, Table: 1, Op: OpInsert, Row: userRow(1, "durable", 1)})
+	resp := cl.call(t, "dn-a", CommitReq{TxnID: w}).(CommitResp)
+	rr := cl.call(t, "dn-a-ro", ROReadReq{Table: 1, PK: pkOf(1),
+		SnapshotTS: leader.Clock().Now(), MinLSN: resp.LSN}).(ReadResp)
+	if !rr.OK {
+		t.Fatal("durable write not on RO")
+	}
+	durableLSN := ro.AppliedLSN()
+
+	// Cut the leader off from its followers; propose without waiting.
+	net.SetDown("gu/dn-b", true)
+	net.SetDown("gu/dn-c", true)
+	if _, err := leader.Paxos().Propose(wal.Record{
+		Type: wal.RecInsert, TableID: 1, TxnID: 999999,
+		Key: pkOf(2), Payload: nil,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Give the RO shipper time to (incorrectly) ship if it were going to.
+	time.Sleep(100 * time.Millisecond)
+	if got := ro.AppliedLSN(); got != durableLSN {
+		t.Fatalf("RO advanced past DLSN: %d > %d", got, durableLSN)
+	}
+}

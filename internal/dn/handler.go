@@ -1,0 +1,283 @@
+package dn
+
+import (
+	"fmt"
+
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// projectRow narrows a row to the requested column positions (nil =
+// whole row). A fresh slice is returned so callers can't alias storage.
+func projectRow(row types.Row, proj []int) types.Row {
+	if proj == nil {
+		return row
+	}
+	out := make(types.Row, len(proj))
+	for i, c := range proj {
+		if c >= 0 && c < len(row) {
+			out[i] = row[c]
+		}
+	}
+	return out
+}
+
+// handle dispatches CN requests. Each arrives on its own goroutine (the
+// caller's), so blocking on durability waits stalls only that request —
+// the Go analogue of the paper's async commit freeing foreground threads.
+func (i *Instance) handle(from string, msg any) (any, error) {
+	switch m := msg.(type) {
+	case BeginReq:
+		return nil, i.handleBegin(m)
+	case WriteReq:
+		return nil, i.handleWrite(m)
+	case ReadReq:
+		return i.handleRead(m)
+	case ScanReq:
+		return i.handleScan(m)
+	case PrepareReq:
+		return i.handlePrepare(m)
+	case CommitReq:
+		return i.handleCommit(m)
+	case AbortReq:
+		return nil, i.handleAbort(m)
+	case CreateTableReq:
+		return nil, i.CreateTable(m.ID, m.Tenant, m.Schema)
+	case CreateIndexReq:
+		return nil, i.CreateIndex(m.Table, m.Name, m.Cols)
+	case roAck:
+		i.handleROAck(m)
+		return nil, nil
+	case StatusReq:
+		return i.status(), nil
+	default:
+		return nil, fmt.Errorf("dn: %s: unexpected message %T", i.cfg.Name, msg)
+	}
+}
+
+// branch resolves (or lazily creates) the local branch of a distributed
+// transaction.
+func (i *Instance) branch(txnID uint64) (*txnEntry, error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	e, ok := i.txns[txnID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d on %s", ErrUnknownTxn, txnID, i.cfg.Name)
+	}
+	return e, nil
+}
+
+// handleBegin opens a branch. HLC-SI step 3: fold the coordinator's
+// snapshot_ts into the local clock so node.hlc >= snapshot_ts, which the
+// §IV proof relies on.
+func (i *Instance) handleBegin(m BeginReq) error {
+	if !i.IsLeader() {
+		return fmt.Errorf("%w: %s", ErrNotLeader, i.cfg.Name)
+	}
+	i.clock.Update(m.SnapshotTS)
+	txn := i.eng.Begin(m.SnapshotTS)
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.stopped {
+		return ErrStopped
+	}
+	if _, dup := i.txns[m.TxnID]; dup {
+		return fmt.Errorf("dn: duplicate branch %d on %s", m.TxnID, i.cfg.Name)
+	}
+	i.txns[m.TxnID] = &txnEntry{txn: txn}
+	return nil
+}
+
+func (i *Instance) handleWrite(m WriteReq) error {
+	e, err := i.branch(m.TxnID)
+	if err != nil {
+		return err
+	}
+	switch m.Op {
+	case OpInsert:
+		return i.eng.Insert(e.txn, m.Table, m.Row)
+	case OpUpdate:
+		return i.eng.Update(e.txn, m.Table, m.Row)
+	case OpDelete:
+		return i.eng.Delete(e.txn, m.Table, m.PK)
+	default:
+		return fmt.Errorf("dn: unknown write op %d", m.Op)
+	}
+}
+
+func (i *Instance) handleRead(m ReadReq) (ReadResp, error) {
+	e, err := i.branch(m.TxnID)
+	if err != nil {
+		return ReadResp{}, err
+	}
+	i.svc.serve(pointCost)
+	row, ok, err := i.eng.Get(e.txn, m.Table, m.PK)
+	return ReadResp{Row: row, OK: ok}, err
+}
+
+// Service-cost constants: a scanned row costs one row-unit, a point
+// operation about one, and column-index rows a quarter (vectorized).
+const (
+	pointCost    = 1.0
+	colIndexCost = 0.25
+)
+
+func (i *Instance) handleScan(m ScanReq) (ScanResp, error) {
+	e, err := i.branch(m.TxnID)
+	if err != nil {
+		return ScanResp{}, err
+	}
+	var rows []types.Row
+	var evalErr error
+	collect := func(_ []byte, row types.Row) bool {
+		if m.Filter != nil {
+			v, err := sql.Eval(m.Filter, row)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !v.IsTruthy() {
+				return true
+			}
+		}
+		rows = append(rows, projectRow(row, m.Projection))
+		return m.Limit <= 0 || len(rows) < m.Limit
+	}
+	examined := 0
+	countingCollect := collect
+	collect = func(pk []byte, row types.Row) bool {
+		examined++
+		return countingCollect(pk, row)
+	}
+	if m.Index != "" {
+		err = i.eng.IndexScan(e.txn, m.Table, m.Index, m.Start, m.End, collect)
+	} else {
+		err = i.eng.ScanRange(e.txn, m.Table, m.Start, m.End, collect)
+	}
+	if err == nil {
+		err = evalErr
+	}
+	i.svc.serve(float64(examined))
+	return ScanResp{Rows: rows}, err
+}
+
+// handlePrepare is 2PC phase one (§IV step 4): validate, mark PREPARED
+// at ClockAdvance(), persist the branch's redo durably (writes + prepare
+// marker through Paxos), then return prepare_ts to the coordinator.
+func (i *Instance) handlePrepare(m PrepareReq) (PrepareResp, error) {
+	e, err := i.branch(m.TxnID)
+	if err != nil {
+		return PrepareResp{}, err
+	}
+	prepareTS := i.clock.Advance()
+	if err := i.eng.Prepare(e.txn, prepareTS); err != nil {
+		return PrepareResp{}, err
+	}
+	if err := i.proposeTail(e, true); err != nil {
+		return PrepareResp{}, err
+	}
+	return PrepareResp{PrepareTS: prepareTS}, nil
+}
+
+// handleCommit finalizes a branch. Two-phase path: the coordinator sends
+// the decided commit_ts (max of prepare timestamps), we fold it into the
+// clock (§IV step 7) and commit. 1PC fast path (CommitTS zero): the
+// branch is the only participant, so choose commit_ts locally.
+func (i *Instance) handleCommit(m CommitReq) (CommitResp, error) {
+	e, err := i.branch(m.TxnID)
+	if err != nil {
+		return CommitResp{}, err
+	}
+	commitTS := m.CommitTS
+	if commitTS.IsZero() {
+		commitTS = i.clock.Advance()
+	} else {
+		i.clock.Update(commitTS)
+	}
+	if err := i.eng.Commit(e.txn, commitTS); err != nil {
+		return CommitResp{}, err
+	}
+	if err := i.proposeTail(e, true); err != nil {
+		return CommitResp{CommitTS: commitTS}, err
+	}
+	i.markDirtyPages(e.txn)
+	i.mu.Lock()
+	delete(i.txns, m.TxnID)
+	i.mu.Unlock()
+	return CommitResp{CommitTS: commitTS, LSN: i.node.DLSN()}, nil
+}
+
+func (i *Instance) handleAbort(m AbortReq) error {
+	e, err := i.branch(m.TxnID)
+	if err != nil {
+		return err
+	}
+	proposedAny := e.proposed > 0
+	if err := i.eng.Abort(e.txn); err != nil {
+		return err
+	}
+	if proposedAny {
+		// Followers buffered this txn's rows: ship an abort marker so
+		// they drop it.
+		if _, err := i.node.Propose(wal.Record{Type: wal.RecAbort, TxnID: e.txn.ID}); err != nil {
+			return err
+		}
+	}
+	i.mu.Lock()
+	delete(i.txns, m.TxnID)
+	i.mu.Unlock()
+	return nil
+}
+
+// proposeTail ships the branch's not-yet-proposed redo records through
+// Paxos. When wait is true it blocks until the group DLSN covers them
+// (async commit: the waiting happens in this request's goroutine while
+// other requests proceed).
+func (i *Instance) proposeTail(e *txnEntry, wait bool) error {
+	redo := e.txn.Redo()
+	if e.proposed >= len(redo) {
+		return nil
+	}
+	end, err := i.node.Propose(redo[e.proposed:]...)
+	if err != nil {
+		return err
+	}
+	e.proposed = len(redo)
+	if wait {
+		return i.node.AwaitDurable(end)
+	}
+	return nil
+}
+
+// markDirtyPages records buffer-pool dirt for the txn's writes at the
+// current log tail (flushed later, bounded by DLSN).
+func (i *Instance) markDirtyPages(txn *storage.Txn) {
+	lsn := i.node.Log().TailLSN()
+	for _, rec := range txn.Redo() {
+		switch rec.Type {
+		case wal.RecInsert, wal.RecUpdate, wal.RecDelete:
+			i.eng.Pool().MarkDirty(rec.TableID, rec.Key, lsn)
+		}
+	}
+}
+
+func (i *Instance) status() StatusResp {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	st := StatusResp{
+		Name:     i.cfg.Name,
+		IsLeader: i.IsLeader(),
+		TailLSN:  i.node.Log().TailLSN(),
+		DLSN:     i.node.DLSN(),
+	}
+	for _, ro := range i.ros {
+		st.ROs = append(st.ROs, ROStatus{
+			Name:       ro.name,
+			AppliedLSN: ro.appliedLSN(),
+			Evicted:    i.evicted[ro.name],
+		})
+	}
+	return st
+}

@@ -1,0 +1,226 @@
+// Package dn implements the Database Node layer of PolarDB-X: a PolarDB
+// instance per datacenter consisting of one RW node (storage engine +
+// HLC clock + redo log) and any number of RO replicas kept in sync by
+// redo shipping (§II-C). Instances in different datacenters form a Paxos
+// group replicating the redo stream (§III); the group leader's RW serves
+// writes, and every instance can host RO nodes for local reads.
+//
+// The CN layer talks to DN instances over simnet using the request types
+// in this file: transaction branches (begin/write/read/prepare/commit/
+// abort per §IV's 2PC flow) and RO reads with session consistency.
+package dn
+
+import (
+	"encoding/json"
+
+	"repro/internal/hlc"
+	"repro/internal/sql"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// WriteOp selects the mutation kind in a WriteReq.
+type WriteOp uint8
+
+// Write operations.
+const (
+	OpInsert WriteOp = iota
+	OpUpdate
+	OpDelete
+)
+
+// BeginReq opens a transaction branch. Carrying SnapshotTS implements
+// HLC-SI step 2-3: the participant folds the coordinator's snapshot into
+// its clock (ClockUpdate) so its later prepare_ts exceeds it.
+type BeginReq struct {
+	TxnID      uint64
+	SnapshotTS hlc.Timestamp
+}
+
+// WriteReq applies one mutation in an open branch.
+type WriteReq struct {
+	TxnID uint64
+	Table uint32
+	Op    WriteOp
+	Row   types.Row // insert/update
+	PK    []byte    // delete
+}
+
+// ReadReq is a snapshot point read inside a branch.
+type ReadReq struct {
+	TxnID uint64
+	Table uint32
+	PK    []byte
+}
+
+// ReadResp returns the row, if visible.
+type ReadResp struct {
+	Row types.Row
+	OK  bool
+}
+
+// ScanReq is a snapshot range scan inside a branch. Limit <= 0 means
+// unbounded. Index, when set, scans a local secondary index.
+type ScanReq struct {
+	TxnID uint64
+	Table uint32
+	Index string
+	Start []byte
+	End   []byte
+	Limit int
+	// Filter, when non-nil, is evaluated DN-side against each row
+	// (operator pushdown, §VI-B: "push specific portions of the query
+	// ... to corresponding storage nodes for near-data computing").
+	// Column references must be bound to schema positions.
+	Filter sql.Expr
+	// Projection, when non-empty, returns only these column positions,
+	// shrinking CN<->DN transfer.
+	Projection []int
+}
+
+// ScanResp returns matching rows in key order.
+type ScanResp struct {
+	Rows []types.Row
+}
+
+// PrepareReq is 2PC phase one: validate and persist the branch.
+type PrepareReq struct{ TxnID uint64 }
+
+// PrepareResp carries the participant's prepare timestamp (ClockAdvance).
+type PrepareResp struct{ PrepareTS hlc.Timestamp }
+
+// CommitReq is 2PC phase two. For single-shard transactions the CN skips
+// Prepare and sends CommitReq with CommitTS zero: the DN runs the 1PC
+// fast path, choosing the commit timestamp locally.
+type CommitReq struct {
+	TxnID    uint64
+	CommitTS hlc.Timestamp
+}
+
+// CommitResp reports the commit timestamp used (relevant for 1PC) and
+// the redo LSN of the commit record, which the CN tracks for RO session
+// consistency.
+type CommitResp struct {
+	CommitTS hlc.Timestamp
+	LSN      wal.LSN
+}
+
+// AbortReq rolls back a branch.
+type AbortReq struct{ TxnID uint64 }
+
+// ROReadReq is a point read served by an RO node. MinLSN implements
+// session consistency (§II-C): the RO waits until it has applied redo up
+// to MinLSN before reading. SnapshotTS fixes the MVCC snapshot.
+type ROReadReq struct {
+	Table      uint32
+	PK         []byte
+	SnapshotTS hlc.Timestamp
+	MinLSN     wal.LSN
+}
+
+// ROScanReq is the scan analogue of ROReadReq.
+type ROScanReq struct {
+	Table      uint32
+	Index      string
+	Start, End []byte
+	Limit      int
+	SnapshotTS hlc.Timestamp
+	MinLSN     wal.LSN
+	// Filter/Projection: DN-side pushdown, as in ScanReq.
+	Filter     sql.Expr
+	Projection []int
+	// UseColumnIndex executes the scan against the RO's in-memory column
+	// index when available (§VI-E).
+	UseColumnIndex bool
+	// Aggregate, when non-nil, pushes partial aggregation down to the
+	// column index (§VI-E: "the first phase of aggregation is
+	// offloaded").
+	Aggregate *PushAgg
+}
+
+// PushAgg describes a pushed-down partial aggregation: group-by column
+// positions and aggregate specs over column positions.
+type PushAgg struct {
+	GroupBy []int
+	Aggs    []PushAggSpec
+}
+
+// PushAggSpec is one pushed aggregate. Either Col (a plain schema
+// column, vectorized) or Expr (a bound scalar expression evaluated per
+// qualifying row, e.g. l_extendedprice * (1 - l_discount)) supplies the
+// aggregated value.
+type PushAggSpec struct {
+	Func string // COUNT, SUM, AVG, MIN, MAX
+	Col  int    // ignored when Star or Expr is set
+	Expr sql.Expr
+	Star bool
+}
+
+// CreateTableReq provisions a table on the instance and its replicas.
+type CreateTableReq struct {
+	ID     uint32
+	Tenant uint32
+	Schema *types.Schema
+}
+
+// CreateIndexReq provisions a local secondary index.
+type CreateIndexReq struct {
+	Table uint32
+	Name  string
+	Cols  []string
+}
+
+// StatusReq asks for instance health (role, LSNs, RO lag).
+type StatusReq struct{}
+
+// StatusResp is the health snapshot.
+type StatusResp struct {
+	Name     string
+	IsLeader bool
+	TailLSN  wal.LSN
+	DLSN     wal.LSN
+	ROs      []ROStatus
+}
+
+// ROStatus is one RO replica's sync state.
+type ROStatus struct {
+	Name       string
+	AppliedLSN wal.LSN
+	Evicted    bool
+}
+
+// schemaJSON is the wire form of a schema for DDL replication.
+type schemaJSON struct {
+	Name       string   `json:"name"`
+	Cols       []string `json:"cols"`
+	Kinds      []uint8  `json:"kinds"`
+	PKCols     []int    `json:"pk"`
+	ImplicitPK bool     `json:"implicit_pk"`
+}
+
+// EncodeSchema serializes a schema for RecDDL payloads.
+func EncodeSchema(s *types.Schema) []byte {
+	j := schemaJSON{Name: s.Name, PKCols: s.PKCols, ImplicitPK: s.ImplicitPK}
+	for _, c := range s.Columns {
+		j.Cols = append(j.Cols, c.Name)
+		j.Kinds = append(j.Kinds, uint8(c.Kind))
+	}
+	b, err := json.Marshal(j)
+	if err != nil {
+		panic("dn: schema marshal: " + err.Error()) // schemas are always marshalable
+	}
+	return b
+}
+
+// DecodeSchema parses a RecDDL schema payload.
+func DecodeSchema(b []byte) (*types.Schema, error) {
+	var j schemaJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return nil, err
+	}
+	s := &types.Schema{Name: j.Name, PKCols: j.PKCols, ImplicitPK: j.ImplicitPK}
+	for i, name := range j.Cols {
+		s.Columns = append(s.Columns, types.Column{Name: name, Kind: types.Kind(j.Kinds[i])})
+	}
+	return s, nil
+}

@@ -1,0 +1,63 @@
+package dn
+
+import (
+	"sync"
+	"time"
+)
+
+// svcModel simulates a node's finite compute capacity as a queueing
+// station: Cores concurrent servers, each processing rows at
+// rowsPerSecond. Heavy scans occupy a core for rows/rate seconds;
+// cheap point operations accumulate as "debt" paid off in ~1ms slices
+// so OS timer granularity does not inflate them.
+//
+// This is the simulation piece behind two paper behaviours: AP scans on
+// the RW node contend with TP transactions for the same cores (§VII-C
+// configs 1-2), and adding RO nodes adds capacity, so multi-stream
+// TPC-H gets faster with each replica (Fig. 9b).
+type svcModel struct {
+	sem        chan struct{}
+	rowsPerSec float64
+
+	mu   sync.Mutex
+	debt time.Duration
+}
+
+// defaultSvcCores matches the paper's 8-core DN instances.
+const defaultSvcCores = 8
+
+// newSvcModel builds a model; rate <= 0 returns nil (unlimited).
+func newSvcModel(rate float64, cores int) *svcModel {
+	if rate <= 0 {
+		return nil
+	}
+	if cores <= 0 {
+		cores = defaultSvcCores
+	}
+	return &svcModel{sem: make(chan struct{}, cores), rowsPerSec: rate}
+}
+
+// serve charges the cost of processing rows. Safe on a nil model.
+func (m *svcModel) serve(rows float64) {
+	if m == nil || rows <= 0 {
+		return
+	}
+	d := time.Duration(rows / m.rowsPerSec * float64(time.Second))
+	m.sem <- struct{}{}
+	defer func() { <-m.sem }()
+	if d >= 200*time.Microsecond {
+		time.Sleep(d)
+		return
+	}
+	// Amortize sub-timer-granularity work.
+	m.mu.Lock()
+	m.debt += d
+	var pay time.Duration
+	if m.debt >= time.Millisecond {
+		pay, m.debt = m.debt, 0
+	}
+	m.mu.Unlock()
+	if pay > 0 {
+		time.Sleep(pay)
+	}
+}

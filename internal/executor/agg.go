@@ -1,0 +1,294 @@
+package executor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// AggMode selects single-phase or MPP two-phase aggregation.
+type AggMode int
+
+// Aggregation modes. In the MPP plan (§VI-C) each scan fragment runs a
+// Partial aggregate near its data and the coordinator's Final aggregate
+// merges partial states — this split is what offloads "the first phase
+// of aggregation" in the paper's Q1/Q6 discussion.
+const (
+	// AggComplete computes finished values in one pass.
+	AggComplete AggMode = iota
+	// AggPartial emits mergeable state columns instead of final values.
+	AggPartial
+	// AggFinal merges partial state columns.
+	AggFinal
+)
+
+// AggSpec describes one aggregate in the output.
+type AggSpec struct {
+	Func     string // COUNT, SUM, AVG, MIN, MAX
+	Arg      sql.Expr
+	Star     bool // COUNT(*)
+	Distinct bool
+}
+
+// stateWidth returns how many columns the spec occupies in Partial mode.
+func (a AggSpec) stateWidth() int {
+	if a.Func == "AVG" {
+		return 2 // sum, count
+	}
+	return 1
+}
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	spec  AggSpec
+	count int64
+	sum   types.Value
+	min   types.Value
+	max   types.Value
+	seen  map[string]bool // DISTINCT dedup
+}
+
+func newAggState(spec AggSpec) *aggState {
+	s := &aggState{spec: spec}
+	if spec.Distinct {
+		s.seen = make(map[string]bool)
+	}
+	return s
+}
+
+func (s *aggState) add(v types.Value) {
+	if s.spec.Distinct {
+		k := string(types.EncodeKey(nil, v))
+		if s.seen[k] {
+			return
+		}
+		s.seen[k] = true
+	}
+	switch s.spec.Func {
+	case "COUNT":
+		if s.spec.Star || !v.IsNull() {
+			s.count++
+		}
+	case "SUM", "AVG":
+		if !v.IsNull() {
+			s.sum = s.sum.Add(v)
+			s.count++
+		}
+	case "MIN":
+		if !v.IsNull() && (s.min.IsNull() || v.Compare(s.min) < 0) {
+			s.min = v
+		}
+	case "MAX":
+		if !v.IsNull() && (s.max.IsNull() || v.Compare(s.max) > 0) {
+			s.max = v
+		}
+	}
+}
+
+// merge folds a partial state (encoded as values) into s.
+func (s *aggState) merge(vals []types.Value) {
+	switch s.spec.Func {
+	case "COUNT":
+		s.count += vals[0].AsInt()
+	case "SUM":
+		if !vals[0].IsNull() {
+			s.sum = s.sum.Add(vals[0])
+			s.count++
+		}
+	case "AVG":
+		if !vals[0].IsNull() {
+			s.sum = s.sum.Add(vals[0])
+		}
+		s.count += vals[1].AsInt()
+	case "MIN":
+		if !vals[0].IsNull() && (s.min.IsNull() || vals[0].Compare(s.min) < 0) {
+			s.min = vals[0]
+		}
+	case "MAX":
+		if !vals[0].IsNull() && (s.max.IsNull() || vals[0].Compare(s.max) > 0) {
+			s.max = vals[0]
+		}
+	}
+}
+
+// final renders the finished value(s). Partial mode emits state columns.
+func (s *aggState) final(mode AggMode) []types.Value {
+	if mode == AggPartial {
+		switch s.spec.Func {
+		case "COUNT":
+			return []types.Value{types.Int(s.count)}
+		case "SUM":
+			return []types.Value{s.sum}
+		case "AVG":
+			return []types.Value{s.sum, types.Int(s.count)}
+		case "MIN":
+			return []types.Value{s.min}
+		case "MAX":
+			return []types.Value{s.max}
+		}
+	}
+	switch s.spec.Func {
+	case "COUNT":
+		return []types.Value{types.Int(s.count)}
+	case "SUM":
+		return []types.Value{s.sum}
+	case "AVG":
+		if s.count == 0 {
+			return []types.Value{types.Null()}
+		}
+		return []types.Value{types.Float(s.sum.AsFloat() / float64(s.count))}
+	case "MIN":
+		return []types.Value{s.min}
+	case "MAX":
+		return []types.Value{s.max}
+	}
+	return []types.Value{types.Null()}
+}
+
+// HashAgg groups its input on GroupBy expressions and computes Aggs.
+// Output layout: group columns first (in GroupBy order), then aggregate
+// columns (state columns in Partial mode). Groups are emitted in sorted
+// group-key order for determinism.
+type HashAgg struct {
+	Input   Operator
+	GroupBy []sql.Expr
+	Aggs    []AggSpec
+	Mode    AggMode
+	// Names overrides output column names (len = group cols + agg cols).
+	Names []string
+
+	groups map[string]*aggGroup
+	order  []string
+	pos    int
+	built  bool
+}
+
+type aggGroup struct {
+	keyVals types.Row
+	states  []*aggState
+}
+
+// Columns implements Operator.
+func (h *HashAgg) Columns() []string {
+	if h.Names != nil {
+		return h.Names
+	}
+	var out []string
+	for i := range h.GroupBy {
+		out = append(out, fmt.Sprintf("group%d", i))
+	}
+	for i, a := range h.Aggs {
+		if h.Mode == AggPartial && a.Func == "AVG" {
+			out = append(out, fmt.Sprintf("agg%d_sum", i), fmt.Sprintf("agg%d_cnt", i))
+		} else {
+			out = append(out, fmt.Sprintf("agg%d", i))
+		}
+	}
+	return out
+}
+
+// Open implements Operator.
+func (h *HashAgg) Open() error {
+	h.groups, h.order, h.pos, h.built = nil, nil, 0, false
+	return h.Input.Open()
+}
+
+// Next implements Operator.
+func (h *HashAgg) Next() (types.Row, error) {
+	if !h.built {
+		if err := h.build(); err != nil {
+			return nil, err
+		}
+	}
+	if h.pos >= len(h.order) {
+		return nil, ErrEOF
+	}
+	g := h.groups[h.order[h.pos]]
+	h.pos++
+	out := append(types.Row{}, g.keyVals...)
+	for _, st := range g.states {
+		out = append(out, st.final(h.Mode)...)
+	}
+	return out, nil
+}
+
+func (h *HashAgg) build() error {
+	h.groups = make(map[string]*aggGroup)
+	for {
+		row, err := h.Input.Next()
+		if errors.Is(err, ErrEOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		keyVals := make(types.Row, len(h.GroupBy))
+		for i, e := range h.GroupBy {
+			v, err := sql.Eval(e, row)
+			if err != nil {
+				return err
+			}
+			keyVals[i] = v
+		}
+		key := string(types.EncodeKey(nil, keyVals...))
+		g, ok := h.groups[key]
+		if !ok {
+			g = &aggGroup{keyVals: keyVals}
+			for _, spec := range h.Aggs {
+				g.states = append(g.states, newAggState(spec))
+			}
+			h.groups[key] = g
+		}
+		if h.Mode == AggFinal {
+			// Input rows are [groupCols..., stateCols...]: merge states.
+			col := len(h.GroupBy)
+			for i, spec := range h.Aggs {
+				w := spec.stateWidth()
+				if col+w > len(row) {
+					return fmt.Errorf("executor: partial state row too narrow: %d cols", len(row))
+				}
+				g.states[i].merge(row[col : col+w])
+				col += w
+			}
+			continue
+		}
+		for i, spec := range h.Aggs {
+			var v types.Value
+			if spec.Star {
+				v = types.Int(1)
+			} else {
+				var err error
+				v, err = sql.Eval(spec.Arg, row)
+				if err != nil {
+					return err
+				}
+			}
+			g.states[i].add(v)
+		}
+	}
+	// Global aggregation (no GROUP BY) over zero rows still yields one
+	// row of zero/NULL aggregates, per SQL semantics.
+	if len(h.GroupBy) == 0 && len(h.groups) == 0 {
+		g := &aggGroup{}
+		for _, spec := range h.Aggs {
+			g.states = append(g.states, newAggState(spec))
+		}
+		h.groups[""] = g
+	}
+	h.order = make([]string, 0, len(h.groups))
+	for k := range h.groups {
+		h.order = append(h.order, k)
+	}
+	sort.Strings(h.order)
+	h.built = true
+	return nil
+}
+
+// Close implements Operator.
+func (h *HashAgg) Close() error {
+	h.groups = nil
+	return h.Input.Close()
+}

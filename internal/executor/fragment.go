@@ -1,0 +1,101 @@
+package executor
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/htap"
+)
+
+// FragmentJob pumps one plan fragment's operator tree into an exchange
+// queue, cooperatively: each scheduler round processes rows until the
+// time slice expires, then yields (§VI-C time-slicing). The fragment is
+// the unit the Task Scheduler ships to CN nodes; the Local Scheduler
+// (htap.Pool) runs it.
+type FragmentJob struct {
+	Op  Operator
+	Out *RowQueue
+	// BatchRows bounds rows per slice-check so tight loops notice the
+	// deadline (default 64).
+	BatchRows int
+
+	opened bool
+}
+
+// Run implements htap.Job.
+func (f *FragmentJob) Run(slice time.Duration) (htap.JobState, <-chan struct{}, error) {
+	if !f.opened {
+		if err := f.Op.Open(); err != nil {
+			f.Out.CloseWith(err)
+			return htap.JobDone, nil, err
+		}
+		f.opened = true
+	}
+	batch := f.BatchRows
+	if batch <= 0 {
+		batch = 64
+	}
+	deadline := time.Now().Add(slice)
+	for {
+		for i := 0; i < batch; i++ {
+			row, err := f.Op.Next()
+			if errors.Is(err, ErrEOF) {
+				f.Out.CloseWith(nil)
+				_ = f.Op.Close()
+				return htap.JobDone, nil, nil
+			}
+			if err != nil {
+				f.Out.CloseWith(err)
+				_ = f.Op.Close()
+				return htap.JobDone, nil, err
+			}
+			f.Out.Push(row)
+		}
+		if time.Now().After(deadline) {
+			return htap.JobYielded, nil, nil
+		}
+	}
+}
+
+// RunFragments executes fragments in parallel, each as a job on its
+// assigned scheduler (one scheduler per participating CN in MPP mode),
+// and returns a Gather over their output queues. Callers drain the
+// Gather; fragment errors surface through it.
+func RunFragments(group htap.Group, assignments []FragmentAssignment) *Gather {
+	inputs := make([]Operator, len(assignments))
+	for i, a := range assignments {
+		q := NewRowQueue()
+		job := &FragmentJob{Op: a.Op, Out: q}
+		inputs[i] = &QueueSource{Cols: a.Op.Columns(), Q: q}
+		if a.Sched != nil {
+			a.Sched.Submit(group, job)
+		} else {
+			// No scheduler (plain TP path): run on a goroutine to
+			// completion.
+			go func() {
+				for {
+					state, wake, _ := job.Run(time.Hour)
+					switch state {
+					case htap.JobDone:
+						return
+					case htap.JobBlocked:
+						if wake != nil {
+							<-wake
+						}
+					}
+				}
+			}()
+		}
+	}
+	var cols []string
+	if len(assignments) > 0 {
+		cols = assignments[0].Op.Columns()
+	}
+	return &Gather{Cols: cols, Inputs: inputs}
+}
+
+// FragmentAssignment pairs a fragment with the CN scheduler that runs it.
+type FragmentAssignment struct {
+	Op    Operator
+	Sched *htap.Scheduler
+}

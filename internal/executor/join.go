@@ -1,0 +1,266 @@
+package executor
+
+import (
+	"errors"
+
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// HashJoin is an equi-join. The RIGHT input is the build side (hashed on
+// RightKeys); the LEFT input streams and probes, which preserves left
+// order and makes LEFT OUTER natural (Outer emits NULL-extended rows for
+// unmatched left rows). Output layout is left columns then right
+// columns. The optimizer places the smaller input on the right.
+type HashJoin struct {
+	Left, Right Operator
+	// LeftKeys/RightKeys are bound against the respective child layouts.
+	LeftKeys, RightKeys []sql.Expr
+	// Residual, when non-nil, filters joined rows (bound against the
+	// combined layout).
+	Residual sql.Expr
+	// Outer preserves left rows without a match (LEFT OUTER JOIN).
+	Outer bool
+
+	cols    []string
+	built   bool
+	table   map[string][]types.Row // build-side hash table
+	pending []types.Row            // matches for the current probe row
+	cur     types.Row
+}
+
+// Columns implements Operator.
+func (j *HashJoin) Columns() []string {
+	if j.cols == nil {
+		j.cols = append(append([]string{}, j.Left.Columns()...), j.Right.Columns()...)
+	}
+	return j.cols
+}
+
+// Open implements Operator.
+func (j *HashJoin) Open() error {
+	j.built = false
+	j.table = nil
+	j.pending = nil
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	return j.Right.Open()
+}
+
+// keyOf encodes join keys memcomparably; NULL keys never match.
+func keyOf(exprs []sql.Expr, row types.Row) (string, bool, error) {
+	vals := make([]types.Value, len(exprs))
+	for i, e := range exprs {
+		v, err := sql.Eval(e, row)
+		if err != nil {
+			return "", false, err
+		}
+		if v.IsNull() {
+			return "", false, nil
+		}
+		vals[i] = v
+	}
+	return string(types.EncodeKey(nil, vals...)), true, nil
+}
+
+// build hashes the RIGHT side: probe-side streaming preserves the left
+// input's order and makes LEFT OUTER natural.
+func (j *HashJoin) build() error {
+	j.table = make(map[string][]types.Row)
+	for {
+		row, err := j.Right.Next()
+		if errors.Is(err, ErrEOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		k, ok, err := keyOf(j.RightKeys, row)
+		if err != nil {
+			return err
+		}
+		if ok {
+			j.table[k] = append(j.table[k], row)
+		}
+	}
+	j.built = true
+	return nil
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next() (types.Row, error) {
+	if !j.built {
+		if err := j.build(); err != nil {
+			return nil, err
+		}
+	}
+	rightWidth := len(j.Right.Columns())
+	for {
+		if len(j.pending) > 0 {
+			match := j.pending[0]
+			j.pending = j.pending[1:]
+			joined := append(append(types.Row{}, j.cur...), match...)
+			if j.Residual != nil {
+				v, err := sql.Eval(j.Residual, joined)
+				if err != nil {
+					return nil, err
+				}
+				if !v.IsTruthy() {
+					continue
+				}
+			}
+			return joined, nil
+		}
+		left, err := j.Left.Next()
+		if err != nil {
+			return nil, err // includes ErrEOF
+		}
+		j.cur = left
+		k, ok, err := keyOf(j.LeftKeys, left)
+		if err != nil {
+			return nil, err
+		}
+		var matches []types.Row
+		if ok {
+			matches = j.table[k]
+		}
+		if len(matches) == 0 {
+			if j.Outer {
+				nulls := make(types.Row, rightWidth)
+				return append(append(types.Row{}, left...), nulls...), nil
+			}
+			continue
+		}
+		// Residual-filtered LEFT OUTER: if no match survives the
+		// residual, emit the null-extended row.
+		if j.Outer && j.Residual != nil {
+			var survivors []types.Row
+			for _, m := range matches {
+				joined := append(append(types.Row{}, left...), m...)
+				v, err := sql.Eval(j.Residual, joined)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsTruthy() {
+					survivors = append(survivors, m)
+				}
+			}
+			if len(survivors) == 0 {
+				nulls := make(types.Row, rightWidth)
+				return append(append(types.Row{}, left...), nulls...), nil
+			}
+			j.pending = survivors
+			// Residual already applied; emit directly.
+			match := j.pending[0]
+			j.pending = j.pending[1:]
+			return append(append(types.Row{}, left...), match...), nil
+		}
+		j.pending = matches
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	j.table = nil
+	errL := j.Left.Close()
+	errR := j.Right.Close()
+	if errL != nil {
+		return errL
+	}
+	return errR
+}
+
+// NestedLoopJoin handles non-equi joins: the right side is materialized
+// and re-scanned per left row with the ON condition evaluated on the
+// combined layout. The optimizer only picks it when no equi-keys exist.
+type NestedLoopJoin struct {
+	Left, Right Operator
+	On          sql.Expr
+	Outer       bool
+
+	cols    []string
+	right   []types.Row
+	built   bool
+	cur     types.Row
+	rIdx    int
+	matched bool
+}
+
+// Columns implements Operator.
+func (j *NestedLoopJoin) Columns() []string {
+	if j.cols == nil {
+		j.cols = append(append([]string{}, j.Left.Columns()...), j.Right.Columns()...)
+	}
+	return j.cols
+}
+
+// Open implements Operator.
+func (j *NestedLoopJoin) Open() error {
+	j.built, j.cur = false, nil
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	return j.Right.Open()
+}
+
+// Next implements Operator.
+func (j *NestedLoopJoin) Next() (types.Row, error) {
+	if !j.built {
+		for {
+			row, err := j.Right.Next()
+			if errors.Is(err, ErrEOF) {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			j.right = append(j.right, row)
+		}
+		j.built = true
+	}
+	for {
+		if j.cur == nil {
+			left, err := j.Left.Next()
+			if err != nil {
+				return nil, err
+			}
+			j.cur, j.rIdx, j.matched = left, 0, false
+		}
+		for j.rIdx < len(j.right) {
+			r := j.right[j.rIdx]
+			j.rIdx++
+			joined := append(append(types.Row{}, j.cur...), r...)
+			if j.On != nil {
+				v, err := sql.Eval(j.On, joined)
+				if err != nil {
+					return nil, err
+				}
+				if !v.IsTruthy() {
+					continue
+				}
+			}
+			j.matched = true
+			return joined, nil
+		}
+		// Left row exhausted the right side.
+		if j.Outer && !j.matched {
+			nulls := make(types.Row, len(j.Right.Columns()))
+			out := append(append(types.Row{}, j.cur...), nulls...)
+			j.cur = nil
+			return out, nil
+		}
+		j.cur = nil
+	}
+}
+
+// Close implements Operator.
+func (j *NestedLoopJoin) Close() error {
+	j.right = nil
+	errL := j.Left.Close()
+	errR := j.Right.Close()
+	if errL != nil {
+		return errL
+	}
+	return errR
+}

@@ -1,0 +1,253 @@
+// Package executor implements PolarDB-X's query execution operators and
+// the MPP fragment machinery (paper §VI-C): volcano-style operators
+// (scan sources, filter, project, hash join, nested-loop join, hash
+// aggregation with partial/final split, sort, limit), unbounded exchange
+// queues between fragments, and cooperative fragment jobs that run on
+// the htap time-sliced scheduler.
+package executor
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// ErrEOF signals operator exhaustion.
+var ErrEOF = errors.New("executor: end of rows")
+
+// Operator is the volcano iterator interface. Columns() names the output
+// layout so the planner can bind expressions positionally.
+type Operator interface {
+	Columns() []string
+	Open() error
+	Next() (types.Row, error)
+	Close() error
+}
+
+// RowsSource serves a materialized row slice (DN scan responses, test
+// fixtures, VALUES lists).
+type RowsSource struct {
+	Cols []string
+	Rows []types.Row
+	pos  int
+}
+
+// NewRowsSource builds a source over rows with the given column names.
+func NewRowsSource(cols []string, rows []types.Row) *RowsSource {
+	return &RowsSource{Cols: cols, Rows: rows}
+}
+
+// Columns implements Operator.
+func (s *RowsSource) Columns() []string { return s.Cols }
+
+// Open implements Operator.
+func (s *RowsSource) Open() error { s.pos = 0; return nil }
+
+// Next implements Operator.
+func (s *RowsSource) Next() (types.Row, error) {
+	if s.pos >= len(s.Rows) {
+		return nil, ErrEOF
+	}
+	r := s.Rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// Close implements Operator.
+func (s *RowsSource) Close() error { return nil }
+
+// CallbackSource pulls rows lazily from a fetch function returning row
+// batches; it is how DN shard scans stream into the executor without
+// materializing everything (fetch returns nil when drained).
+type CallbackSource struct {
+	Cols  []string
+	Fetch func() ([]types.Row, error)
+	buf   []types.Row
+	pos   int
+	done  bool
+}
+
+// Columns implements Operator.
+func (s *CallbackSource) Columns() []string { return s.Cols }
+
+// Open implements Operator.
+func (s *CallbackSource) Open() error { return nil }
+
+// Next implements Operator.
+func (s *CallbackSource) Next() (types.Row, error) {
+	for {
+		if s.pos < len(s.buf) {
+			r := s.buf[s.pos]
+			s.pos++
+			return r, nil
+		}
+		if s.done {
+			return nil, ErrEOF
+		}
+		batch, err := s.Fetch()
+		if err != nil {
+			return nil, err
+		}
+		if batch == nil {
+			s.done = true
+			return nil, ErrEOF
+		}
+		s.buf, s.pos = batch, 0
+	}
+}
+
+// Close implements Operator.
+func (s *CallbackSource) Close() error { return nil }
+
+// RowQueue is the exchange buffer between fragments: an unbounded
+// mutex-guarded queue. Producers never block (they yield via the
+// scheduler instead); consumers block until rows or close.
+type RowQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	rows   []types.Row
+	closed bool
+	err    error
+}
+
+// NewRowQueue creates an empty queue.
+func NewRowQueue() *RowQueue {
+	q := &RowQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends a row. Pushing to a closed queue is a no-op (the consumer
+// aborted).
+func (q *RowQueue) Push(r types.Row) {
+	q.mu.Lock()
+	if !q.closed {
+		q.rows = append(q.rows, r)
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+}
+
+// CloseWith marks the stream complete (err nil) or failed.
+func (q *RowQueue) CloseWith(err error) {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		q.err = err
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+}
+
+// Pop blocks for the next row; returns ErrEOF at clean end or the
+// producer's error.
+func (q *RowQueue) Pop() (types.Row, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.rows) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.rows) > 0 {
+		r := q.rows[0]
+		q.rows = q.rows[1:]
+		return r, nil
+	}
+	if q.err != nil {
+		return nil, q.err
+	}
+	return nil, ErrEOF
+}
+
+// Len reports buffered rows (metrics/memory accounting).
+func (q *RowQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.rows)
+}
+
+// QueueSource adapts a RowQueue to the Operator interface.
+type QueueSource struct {
+	Cols []string
+	Q    *RowQueue
+}
+
+// Columns implements Operator.
+func (s *QueueSource) Columns() []string { return s.Cols }
+
+// Open implements Operator.
+func (s *QueueSource) Open() error { return nil }
+
+// Next implements Operator.
+func (s *QueueSource) Next() (types.Row, error) { return s.Q.Pop() }
+
+// Close implements Operator.
+func (s *QueueSource) Close() error {
+	s.Q.CloseWith(nil)
+	return nil
+}
+
+// Gather merges several inputs (typically QueueSources fed by parallel
+// fragments) in arrival order — the MPP exchange consumer.
+type Gather struct {
+	Cols   []string
+	Inputs []Operator
+	cur    int
+}
+
+// Columns implements Operator.
+func (g *Gather) Columns() []string { return g.Cols }
+
+// Open implements Operator.
+func (g *Gather) Open() error {
+	for _, in := range g.Inputs {
+		if err := in.Open(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Next implements Operator: drains inputs round-robin-ish (current until
+// EOF, then the next), which is order-agnostic merging.
+func (g *Gather) Next() (types.Row, error) {
+	for g.cur < len(g.Inputs) {
+		row, err := g.Inputs[g.cur].Next()
+		if errors.Is(err, ErrEOF) {
+			g.cur++
+			continue
+		}
+		return row, err
+	}
+	return nil, ErrEOF
+}
+
+// Close implements Operator.
+func (g *Gather) Close() error {
+	var first error
+	for _, in := range g.Inputs {
+		if err := in.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Collect drains an operator into a slice (coordinator's final gather).
+func Collect(op Operator) ([]types.Row, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []types.Row
+	for {
+		row, err := op.Next()
+		if errors.Is(err, ErrEOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+}

@@ -1,0 +1,184 @@
+package executor
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// Filter passes rows whose bound predicate is truthy.
+type Filter struct {
+	Input Operator
+	Pred  sql.Expr
+}
+
+// Columns implements Operator.
+func (f *Filter) Columns() []string { return f.Input.Columns() }
+
+// Open implements Operator.
+func (f *Filter) Open() error { return f.Input.Open() }
+
+// Next implements Operator.
+func (f *Filter) Next() (types.Row, error) {
+	for {
+		row, err := f.Input.Next()
+		if err != nil {
+			return nil, err
+		}
+		v, err := sql.Eval(f.Pred, row)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsTruthy() {
+			return row, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.Input.Close() }
+
+// Project evaluates expressions per row.
+type Project struct {
+	Input Operator
+	Exprs []sql.Expr
+	Names []string
+}
+
+// Columns implements Operator.
+func (p *Project) Columns() []string { return p.Names }
+
+// Open implements Operator.
+func (p *Project) Open() error { return p.Input.Open() }
+
+// Next implements Operator.
+func (p *Project) Next() (types.Row, error) {
+	row, err := p.Input.Next()
+	if err != nil {
+		return nil, err
+	}
+	out := make(types.Row, len(p.Exprs))
+	for i, e := range p.Exprs {
+		v, err := sql.Eval(e, row)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.Input.Close() }
+
+// Limit stops after N rows (N < 0 = unlimited pass-through).
+type Limit struct {
+	Input Operator
+	N     int
+	seen  int
+}
+
+// Columns implements Operator.
+func (l *Limit) Columns() []string { return l.Input.Columns() }
+
+// Open implements Operator.
+func (l *Limit) Open() error { l.seen = 0; return l.Input.Open() }
+
+// Next implements Operator.
+func (l *Limit) Next() (types.Row, error) {
+	if l.N >= 0 && l.seen >= l.N {
+		return nil, ErrEOF
+	}
+	row, err := l.Input.Next()
+	if err != nil {
+		return nil, err
+	}
+	l.seen++
+	return row, nil
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error { return l.Input.Close() }
+
+// SortKey is one ORDER BY key over the input layout.
+type SortKey struct {
+	Expr sql.Expr
+	Desc bool
+}
+
+// Sort materializes and orders its input.
+type Sort struct {
+	Input Operator
+	Keys  []SortKey
+
+	rows []types.Row
+	pos  int
+	done bool
+}
+
+// Columns implements Operator.
+func (s *Sort) Columns() []string { return s.Input.Columns() }
+
+// Open implements Operator.
+func (s *Sort) Open() error {
+	s.rows, s.pos, s.done = nil, 0, false
+	return s.Input.Open()
+}
+
+// Next implements Operator.
+func (s *Sort) Next() (types.Row, error) {
+	if !s.done {
+		for {
+			row, err := s.Input.Next()
+			if errors.Is(err, ErrEOF) {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			s.rows = append(s.rows, row)
+		}
+		var evalErr error
+		sort.SliceStable(s.rows, func(i, j int) bool {
+			for _, k := range s.Keys {
+				a, err := sql.Eval(k.Expr, s.rows[i])
+				if err != nil {
+					evalErr = err
+					return false
+				}
+				b, err := sql.Eval(k.Expr, s.rows[j])
+				if err != nil {
+					evalErr = err
+					return false
+				}
+				c := a.Compare(b)
+				if c == 0 {
+					continue
+				}
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		if evalErr != nil {
+			return nil, evalErr
+		}
+		s.done = true
+	}
+	if s.pos >= len(s.rows) {
+		return nil, ErrEOF
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// Close implements Operator.
+func (s *Sort) Close() error {
+	s.rows = nil
+	return s.Input.Close()
+}

@@ -1,0 +1,230 @@
+package gms
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/simnet"
+	"repro/internal/types"
+)
+
+func schema(name string) *types.Schema {
+	return types.NewSchema(name, []types.Column{
+		{Name: "id", Kind: types.KindInt},
+		{Name: "v", Kind: types.KindString},
+	}, []int{0})
+}
+
+func newGMS(t *testing.T, dns ...string) *GMS {
+	t.Helper()
+	g := New()
+	for i, d := range dns {
+		g.RegisterDN(d, simnet.DC(i%3))
+	}
+	return g
+}
+
+func TestCreateTableAndPlacement(t *testing.T) {
+	g := newGMS(t, "dn1", "dn2")
+	tab, err := g.CreateTable("users", schema("users"), 4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Shards != 4 {
+		t.Fatalf("shards = %d", tab.Shards)
+	}
+	// Round-robin placement.
+	for s := 0; s < 4; s++ {
+		dn, err := g.DNForShard("users", s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"dn1", "dn2"}[s%2]
+		if dn != want {
+			t.Fatalf("shard %d on %s, want %s", s, dn, want)
+		}
+	}
+	if _, err := g.DNForShard("users", 9); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	if _, err := g.DNForShard("ghost", 0); !errors.Is(err, ErrUnknownTable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCreateTableErrors(t *testing.T) {
+	g := New()
+	if _, err := g.CreateTable("t", schema("t"), 2, ""); !errors.Is(err, ErrNoDNs) {
+		t.Fatalf("err = %v", err)
+	}
+	g.RegisterDN("dn1", simnet.DC1)
+	g.CreateTable("t", schema("t"), 2, "")
+	if _, err := g.CreateTable("t", schema("t"), 2, ""); !errors.Is(err, ErrTableExists) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTableGroupAlignment(t *testing.T) {
+	g := newGMS(t, "dn1", "dn2", "dn3")
+	g.CreateTable("orders", schema("orders"), 6, "tg1")
+	g.CreateTable("lineitem", schema("lineitem"), 6, "tg1")
+	// Same placement per shard (partition groups).
+	for s := 0; s < 6; s++ {
+		a, _ := g.DNForShard("orders", s)
+		b, _ := g.DNForShard("lineitem", s)
+		if a != b {
+			t.Fatalf("shard %d split across %s and %s", s, a, b)
+		}
+	}
+	tg, err := g.Group("tg1")
+	if err != nil || len(tg.Tables) != 2 {
+		t.Fatalf("group = %+v, %v", tg, err)
+	}
+	// Mismatched shard count rejected.
+	if _, err := g.CreateTable("bad", schema("bad"), 4, "tg1"); !errors.Is(err, ErrGroupMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGlobalIndexRegistration(t *testing.T) {
+	g := newGMS(t, "dn1")
+	g.CreateTable("users", schema("users"), 4, "")
+	gi, err := g.AddGlobalIndex("users", "by_v", []string{"v"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi.TableID == 0 || gi.Shards != 4 {
+		t.Fatalf("gi = %+v", gi)
+	}
+	tab, _ := g.Table("users")
+	if len(tab.Indexes) != 1 {
+		t.Fatal("index not attached")
+	}
+	if _, err := g.AddGlobalIndex("ghost", "x", []string{"v"}, false); !errors.Is(err, ErrUnknownTable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRegisterNodes(t *testing.T) {
+	g := newGMS(t, "dn1")
+	g.RegisterCN("cn1", simnet.DC1)
+	g.RegisterCN("cn2", simnet.DC2)
+	g.RegisterRO("dn1", "dn1-ro1")
+	if err := g.RegisterRO("ghost", "x"); !errors.Is(err, ErrUnknownDN) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(g.CNs()) != 2 {
+		t.Fatal("CNs")
+	}
+	if got := g.CNsInDC(simnet.DC2); len(got) != 1 || got[0].Name != "cn2" {
+		t.Fatalf("CNsInDC = %v", got)
+	}
+	dns := g.DNs()
+	if len(dns) != 1 || len(dns[0].ROs) != 1 {
+		t.Fatalf("DNs = %+v", dns)
+	}
+}
+
+func TestPlanRebalanceAfterAddingDNs(t *testing.T) {
+	g := newGMS(t, "dn1", "dn2")
+	g.CreateTable("users", schema("users"), 8, "")
+	// Two new empty DNs join: plan must move shards onto them.
+	g.RegisterDN("dn3", simnet.DC1)
+	g.RegisterDN("dn4", simnet.DC2)
+	steps := PlanAndApply(t, g)
+	if len(steps) == 0 {
+		t.Fatal("no migration steps planned")
+	}
+	// After applying, counts are balanced within 1.
+	count := map[string]int{}
+	for s := 0; s < 8; s++ {
+		dn, _ := g.DNForShard("users", s)
+		count[dn]++
+	}
+	min, max := 99, 0
+	for _, dn := range []string{"dn1", "dn2", "dn3", "dn4"} {
+		c := count[dn]
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("unbalanced after rebalance: %v", count)
+	}
+	// A balanced cluster plans nothing.
+	if more := g.PlanRebalance(); len(more) != 0 {
+		t.Fatalf("redundant steps: %v", more)
+	}
+}
+
+// PlanAndApply plans and applies all steps, verifying each step's
+// consistency.
+func PlanAndApply(t *testing.T, g *GMS) []MigrationStep {
+	t.Helper()
+	steps := g.PlanRebalance()
+	for _, s := range steps {
+		if err := g.ApplyMigration(s); err != nil {
+			t.Fatalf("apply %+v: %v", s, err)
+		}
+	}
+	return steps
+}
+
+func TestApplyMigrationValidation(t *testing.T) {
+	g := newGMS(t, "dn1", "dn2")
+	g.CreateTable("users", schema("users"), 2, "tgx")
+	if err := g.ApplyMigration(MigrationStep{Group: "nope", Shard: 0, From: "dn1", To: "dn2"}); !errors.Is(err, ErrUnknownGroup) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := g.ApplyMigration(MigrationStep{Group: "tgx", Shard: 5, From: "dn1", To: "dn2"}); err == nil {
+		t.Fatal("bad shard accepted")
+	}
+	if err := g.ApplyMigration(MigrationStep{Group: "tgx", Shard: 0, From: "dn2", To: "dn1"}); err == nil {
+		t.Fatal("wrong source accepted")
+	}
+	if err := g.ApplyMigration(MigrationStep{Group: "tgx", Shard: 0, From: "dn1", To: "ghost"}); !errors.Is(err, ErrUnknownDN) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoadTrackingAndHotShards(t *testing.T) {
+	g := newGMS(t, "dn1")
+	g.CreateTable("users", schema("users"), 4, "")
+	// Uniform-ish load plus one hotspot.
+	for s := 0; s < 4; s++ {
+		g.RecordLoad("users", s, 100)
+	}
+	g.RecordLoad("users", 2, 900)
+	hot, err := g.HotShards("users", 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hot) != 1 || hot[0] != 2 {
+		t.Fatalf("hot = %v", hot)
+	}
+	loads := g.ShardLoad("users")
+	if loads[2] != 1000 {
+		t.Fatalf("loads = %v", loads)
+	}
+	// No load: no hotspots; unknown table errors.
+	g.CreateTable("cold", schema("cold"), 2, "")
+	if hot, _ := g.HotShards("cold", 2.0); hot != nil {
+		t.Fatalf("cold hot = %v", hot)
+	}
+	if _, err := g.HotShards("ghost", 2.0); !errors.Is(err, ErrUnknownTable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTablesSorted(t *testing.T) {
+	g := newGMS(t, "dn1")
+	g.CreateTable("zeta", schema("zeta"), 1, "")
+	g.CreateTable("alpha", schema("alpha"), 1, "")
+	tabs := g.Tables()
+	if len(tabs) != 2 || tabs[0].Name != "alpha" {
+		t.Fatalf("tables = %v", tabs)
+	}
+}

@@ -1,0 +1,314 @@
+package hlc
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimestampPacking(t *testing.T) {
+	cases := []struct {
+		pt int64
+		lc uint32
+	}{
+		{0, 0},
+		{1, 0},
+		{0, 1},
+		{1719846000123, 42},
+		{(1 << 46) - 1, MaxLogical},
+	}
+	for _, c := range cases {
+		ts := New(c.pt, c.lc)
+		if ts.Physical() != c.pt {
+			t.Errorf("New(%d,%d).Physical() = %d", c.pt, c.lc, ts.Physical())
+		}
+		if ts.Logical() != c.lc {
+			t.Errorf("New(%d,%d).Logical() = %d", c.pt, c.lc, ts.Logical())
+		}
+	}
+}
+
+func TestTimestampOrderingMatchesLexicographic(t *testing.T) {
+	// Packed comparison must equal (pt, lc) lexicographic comparison.
+	f := func(pt1, pt2 int64, lc1, lc2 uint16) bool {
+		p1, p2 := pt1&ptMask, pt2&ptMask
+		a := New(p1, uint32(lc1))
+		b := New(p2, uint32(lc2))
+		want := p1 < p2 || (p1 == p2 && lc1 < lc2)
+		return a.Before(b) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimestampString(t *testing.T) {
+	ts := New(123, 7)
+	if got := ts.String(); got != "123.0007" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestZeroTimestamp(t *testing.T) {
+	var ts Timestamp
+	if !ts.IsZero() {
+		t.Fatal("zero Timestamp should report IsZero")
+	}
+	if !ts.Before(New(0, 1)) {
+		t.Fatal("zero Timestamp should sort before any real timestamp")
+	}
+}
+
+// fixedClock is a manually-driven physical clock.
+type fixedClock struct {
+	mu sync.Mutex
+	ms int64
+}
+
+func (f *fixedClock) now() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ms
+}
+
+func (f *fixedClock) set(ms int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ms = ms
+}
+
+func TestAdvanceMonotonic(t *testing.T) {
+	fc := &fixedClock{ms: 100}
+	c := NewClock(fc.now)
+	prev := c.Now()
+	for i := 0; i < 1000; i++ {
+		ts := c.Advance()
+		if !prev.Before(ts) {
+			t.Fatalf("Advance not strictly increasing: %v then %v", prev, ts)
+		}
+		prev = ts
+	}
+	// Physical clock frozen, so all increments land in the logical part.
+	if prev.Physical() != 100 {
+		t.Fatalf("physical part moved with frozen clock: %v", prev)
+	}
+	if prev.Logical() != 1000 {
+		t.Fatalf("logical = %d, want 1000", prev.Logical())
+	}
+}
+
+func TestAdvanceFollowsPhysicalClock(t *testing.T) {
+	fc := &fixedClock{ms: 100}
+	c := NewClock(fc.now)
+	c.Advance()
+	fc.set(200)
+	ts := c.Advance()
+	if ts.Physical() != 200 || ts.Logical() != 0 {
+		t.Fatalf("Advance after clock jump = %v, want 200.0000", ts)
+	}
+}
+
+func TestAdvanceLogicalOverflowSpillsToNextMillisecond(t *testing.T) {
+	fc := &fixedClock{ms: 50}
+	c := NewClock(fc.now)
+	c.Update(New(50, MaxLogical))
+	ts := c.Advance()
+	if ts.Physical() != 51 || ts.Logical() != 0 {
+		t.Fatalf("overflow Advance = %v, want 51.0000", ts)
+	}
+}
+
+func TestNowDoesNotIncrementLogical(t *testing.T) {
+	fc := &fixedClock{ms: 100}
+	c := NewClock(fc.now)
+	a := c.Now()
+	b := c.Now()
+	if a != b {
+		t.Fatalf("Now changed clock with frozen physical time: %v -> %v", a, b)
+	}
+}
+
+func TestNowRollsForwardWithPhysicalClock(t *testing.T) {
+	fc := &fixedClock{ms: 100}
+	c := NewClock(fc.now)
+	fc.set(300)
+	ts := c.Now()
+	if ts.Physical() != 300 {
+		t.Fatalf("Now did not follow physical clock: %v", ts)
+	}
+}
+
+func TestUpdateAdoptsRemoteOnlyWhenAhead(t *testing.T) {
+	fc := &fixedClock{ms: 100}
+	c := NewClock(fc.now)
+	remote := New(500, 9)
+	c.Update(remote)
+	if c.Last() != remote {
+		t.Fatalf("Update did not adopt ahead remote: %v", c.Last())
+	}
+	c.Update(New(400, 0)) // behind; must be ignored
+	if c.Last() != remote {
+		t.Fatalf("Update regressed clock to %v", c.Last())
+	}
+}
+
+func TestUpdateMaxTakesOneUpdate(t *testing.T) {
+	fc := &fixedClock{ms: 100}
+	c := NewClock(fc.now)
+	c.UpdateMax(New(200, 1), New(900, 3), New(300, 2))
+	if c.Last() != New(900, 3) {
+		t.Fatalf("UpdateMax = %v", c.Last())
+	}
+	if got := c.Updates(); got != 1 {
+		t.Fatalf("UpdateMax performed %d updates, want 1", got)
+	}
+}
+
+func TestUpdateMaxEmptyAndZero(t *testing.T) {
+	c := NewClock(nil)
+	before := c.Last()
+	c.UpdateMax()
+	c.UpdateMax(0, 0)
+	if c.Last() != before {
+		t.Fatal("UpdateMax with no real timestamps moved the clock")
+	}
+}
+
+// TestCausalityAcrossNodes checks the HLC guarantee the SI proof depends
+// on: after a message carrying a timestamp is folded into the receiver's
+// clock, every timestamp the receiver subsequently mints is greater.
+func TestCausalityAcrossNodes(t *testing.T) {
+	// Receiver's physical clock lags 1000ms behind the sender's.
+	sender := NewClock(SkewedClock(0))
+	receiver := NewClock(SkewedClock(-time.Second))
+	for i := 0; i < 100; i++ {
+		msg := sender.Advance()
+		receiver.Update(msg)
+		reply := receiver.Advance()
+		if !msg.Before(reply) {
+			t.Fatalf("causality violated: sent %v, receiver minted %v", msg, reply)
+		}
+		sender.Update(reply)
+	}
+}
+
+// TestConcurrentAdvanceUnique: concurrent Advance calls must never mint
+// duplicate timestamps — they order transactions globally.
+func TestConcurrentAdvanceUnique(t *testing.T) {
+	c := NewClock(nil)
+	const workers = 8
+	const perWorker = 2000
+	out := make([][]Timestamp, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tss := make([]Timestamp, perWorker)
+			for i := range tss {
+				tss[i] = c.Advance()
+			}
+			out[w] = tss
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[Timestamp]bool, workers*perWorker)
+	for _, tss := range out {
+		for _, ts := range tss {
+			if seen[ts] {
+				t.Fatalf("duplicate timestamp %v", ts)
+			}
+			seen[ts] = true
+		}
+	}
+}
+
+// TestConcurrentMixedOpsMonotonicPerGoroutine: within one goroutine the
+// sequence of Advance results must be strictly increasing even while other
+// goroutines hammer Update with random timestamps.
+func TestConcurrentMixedOpsMonotonicPerGoroutine(t *testing.T) {
+	c := NewClock(nil)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1))
+		base := WallClock()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Update(New(base+rng.Int63n(10), uint32(rng.Intn(100))))
+			}
+		}
+	}()
+	prev := c.Advance()
+	for i := 0; i < 5000; i++ {
+		ts := c.Advance()
+		if !prev.Before(ts) {
+			t.Fatalf("Advance regressed under concurrent Update: %v then %v", prev, ts)
+		}
+		prev = ts
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// Property: Update(x) then Advance() yields a timestamp > x, regardless of
+// local physical time. This is the exact step used in the §IV proof
+// (snapshot_ts <= node.hlc < prepare_ts).
+func TestPropertyUpdateThenAdvanceExceedsRemote(t *testing.T) {
+	f := func(ptRaw int64, lc uint16, skewMs int16) bool {
+		pt := ptRaw & ptMask
+		fc := &fixedClock{ms: pt + int64(skewMs)}
+		c := NewClock(fc.now)
+		remote := New(pt, uint32(lc))
+		c.Update(remote)
+		return remote.Before(c.Advance())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkewedClock(t *testing.T) {
+	ahead := SkewedClock(2 * time.Second)
+	behind := SkewedClock(-2 * time.Second)
+	now := time.Now().UnixMilli()
+	if a := ahead(); a < now+1500 {
+		t.Fatalf("ahead clock = %d, wall = %d", a, now)
+	}
+	if b := behind(); b > now-1500 {
+		t.Fatalf("behind clock = %d, wall = %d", b, now)
+	}
+}
+
+func TestTimestampTime(t *testing.T) {
+	ms := int64(1719846000123)
+	ts := New(ms, 5)
+	if got := ts.Time().UnixMilli(); got != ms {
+		t.Fatalf("Time() = %d, want %d", got, ms)
+	}
+}
+
+func BenchmarkAdvance(b *testing.B) {
+	c := NewClock(nil)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Advance()
+		}
+	})
+}
+
+func BenchmarkNow(b *testing.B) {
+	c := NewClock(nil)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Now()
+		}
+	})
+}

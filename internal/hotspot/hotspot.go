@@ -1,0 +1,418 @@
+// Package hotspot implements the anti-hotspot and automated traffic
+// control features of §VIII ("Lessons Learned"):
+//
+//   - hot-key detection with a count-min sketch over the access stream,
+//     plus the mitigation ladder the paper describes: isolate a hot key
+//     on its own shard, or split it by widening the key;
+//   - hot-shard detection (load skew across a table's shards) feeding
+//     shard split / migration plans;
+//   - automated traffic control: per-SQL-class concurrency limits driven
+//     by anomaly detection over real-time telemetry (an EWMA model of
+//     per-class rates standing in for the paper's offline-trained model).
+package hotspot
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// --- Count-min sketch for hot-key detection ---
+
+// Sketch is a count-min sketch: a fixed-memory frequency estimator that
+// never undercounts. Suitable for finding hot keys in an unbounded
+// access stream.
+type Sketch struct {
+	width  uint32
+	depth  int
+	counts [][]uint64
+	total  uint64
+}
+
+// NewSketch builds a sketch with the given width (columns per row) and
+// depth (independent hash rows).
+func NewSketch(width uint32, depth int) *Sketch {
+	if width < 16 {
+		width = 16
+	}
+	if depth < 2 {
+		depth = 2
+	}
+	s := &Sketch{width: width, depth: depth}
+	s.counts = make([][]uint64, depth)
+	for i := range s.counts {
+		s.counts[i] = make([]uint64, width)
+	}
+	return s
+}
+
+func (s *Sketch) hash(key []byte, row int) uint32 {
+	h := fnv.New64a()
+	h.Write([]byte{byte(row), byte(row >> 8)})
+	h.Write(key)
+	return uint32(h.Sum64() % uint64(s.width))
+}
+
+// Add counts one access to key.
+func (s *Sketch) Add(key []byte) {
+	for row := 0; row < s.depth; row++ {
+		s.counts[row][s.hash(key, row)]++
+	}
+	s.total++
+}
+
+// Estimate returns the (over-)estimated access count for key.
+func (s *Sketch) Estimate(key []byte) uint64 {
+	min := uint64(math.MaxUint64)
+	for row := 0; row < s.depth; row++ {
+		if c := s.counts[row][s.hash(key, row)]; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Total returns the number of recorded accesses.
+func (s *Sketch) Total() uint64 { return s.total }
+
+// --- Hot-key tracking and mitigation ---
+
+// KeyTracker samples an access stream and surfaces hot keys: keys whose
+// estimated share of traffic exceeds a threshold.
+type KeyTracker struct {
+	mu     sync.Mutex
+	sketch *Sketch
+	// candidates keeps exact counters for keys that crossed the sketch
+	// threshold once (space-bounded heavy-hitter set).
+	candidates map[string]uint64
+	// Threshold is the traffic share (0..1) above which a key is hot.
+	Threshold float64
+	maxCand   int
+}
+
+// NewKeyTracker builds a tracker; threshold is the hot share (e.g. 0.1).
+func NewKeyTracker(threshold float64) *KeyTracker {
+	if threshold <= 0 {
+		threshold = 0.1
+	}
+	return &KeyTracker{
+		sketch:     NewSketch(1024, 4),
+		candidates: make(map[string]uint64),
+		Threshold:  threshold,
+		maxCand:    64,
+	}
+}
+
+// Touch records one access.
+func (t *KeyTracker) Touch(key []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sketch.Add(key)
+	est := t.sketch.Estimate(key)
+	total := t.sketch.Total()
+	if total < 100 {
+		return // warm-up
+	}
+	if float64(est) >= t.Threshold*float64(total)/2 {
+		if _, ok := t.candidates[string(key)]; !ok && len(t.candidates) < t.maxCand {
+			t.candidates[string(key)] = 0
+		}
+	}
+	if _, ok := t.candidates[string(key)]; ok {
+		t.candidates[string(key)]++
+	}
+}
+
+// HotKey is one detected hotspot with its mitigation.
+type HotKey struct {
+	Key   []byte
+	Share float64
+	// Action is the recommended mitigation from the §VIII ladder.
+	Action Mitigation
+}
+
+// Mitigation is the anti-hotspot action ladder of §VIII.
+type Mitigation string
+
+// Mitigations, in escalation order.
+const (
+	// MitigateIsolate places the hot key on its own shard.
+	MitigateIsolate Mitigation = "isolate-on-own-shard"
+	// MitigateSplitKey widens the key with extra fields so one logical
+	// key spreads over several physical keys.
+	MitigateSplitKey Mitigation = "split-key-with-prefix"
+	// MitigateInMemory serializes updates through a hotspot-aware
+	// in-memory structure (the paper cites [32], [33]).
+	MitigateInMemory Mitigation = "in-memory-hot-row-path"
+)
+
+// Hot returns the detected hot keys, hottest first.
+func (t *KeyTracker) Hot() []HotKey {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := float64(t.sketch.Total())
+	if total == 0 {
+		return nil
+	}
+	var out []HotKey
+	for key, exact := range t.candidates {
+		share := float64(exact) / total
+		if share < t.Threshold {
+			continue
+		}
+		hk := HotKey{Key: []byte(key), Share: share}
+		switch {
+		case share > 3*t.Threshold:
+			hk.Action = MitigateInMemory
+		case share > 2*t.Threshold:
+			hk.Action = MitigateSplitKey
+		default:
+			hk.Action = MitigateIsolate
+		}
+		out = append(out, hk)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Share > out[j].Share })
+	return out
+}
+
+// --- Hot-shard planning ---
+
+// ShardAction is a planned mitigation for a skewed shard.
+type ShardAction struct {
+	Shard int
+	Load  int64
+	// Split recommends re-sharding by another hash function; false means
+	// migrate the shard to a less-loaded DN instead.
+	Split bool
+}
+
+// PlanShards inspects per-shard load counters (e.g. gms.ShardLoad) and
+// returns actions for shards loaded beyond factor× the *median* (robust
+// to the outliers being hunted): moderate outliers migrate, extreme
+// outliers split (§VIII: "when a shard grows larger due to data skew,
+// we will split the shard according to another hash function").
+func PlanShards(loads []int64, factor float64) []ShardAction {
+	if len(loads) == 0 {
+		return nil
+	}
+	sorted := append([]int64(nil), loads...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	median := float64(sorted[len(sorted)/2]+sorted[(len(sorted)-1)/2]) / 2
+	if median == 0 {
+		return nil
+	}
+	var out []ShardAction
+	for shard, l := range loads {
+		if float64(l) <= median*factor {
+			continue
+		}
+		out = append(out, ShardAction{
+			Shard: shard,
+			Load:  l,
+			Split: float64(l) > median*factor*2,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Load > out[j].Load })
+	return out
+}
+
+// --- Automated traffic control ---
+
+// ClassStats is the telemetry for one SQL class (e.g. a statement
+// fingerprint).
+type ClassStats struct {
+	Rate     float64 // EWMA of requests/second
+	Baseline float64 // long-term EWMA (the "trained" normal)
+	Limited  bool
+	Limit    int
+}
+
+// Controller implements automated traffic control: it meters per-class
+// request rates, detects anomalies (rate far above the long-term
+// baseline, the cache-penetration signature of §VIII), and clamps the
+// anomalous class's concurrency.
+type Controller struct {
+	mu      sync.Mutex
+	classes map[string]*classState
+	// AnomalyFactor: a class is anomalous when its short-term rate
+	// exceeds AnomalyFactor × its baseline (default 5).
+	AnomalyFactor float64
+	// LimitedConcurrency is the clamp applied to anomalous classes.
+	LimitedConcurrency int
+	// window for rate bucketing.
+	window time.Duration
+}
+
+type classState struct {
+	short, long  float64
+	bucketStart  time.Time
+	bucketCount  float64
+	sem          chan struct{}
+	limited      bool
+	totalAllowed int64
+	totalDenied  int64
+}
+
+// NewController builds a Controller.
+func NewController() *Controller {
+	return &Controller{
+		classes:            make(map[string]*classState),
+		AnomalyFactor:      5,
+		LimitedConcurrency: 2,
+		window:             100 * time.Millisecond,
+	}
+}
+
+func (c *Controller) state(class string) *classState {
+	st, ok := c.classes[class]
+	if !ok {
+		st = &classState{bucketStart: time.Now()}
+		c.classes[class] = st
+	}
+	return st
+}
+
+// Admit accounts one request of the class and returns (allowed, release).
+// Non-anomalous classes always admit with a no-op release; limited
+// classes admit at most LimitedConcurrency at a time and reject the
+// rest — the "limit the maximum allowable concurrency" response.
+func (c *Controller) Admit(class string) (bool, func()) {
+	c.mu.Lock()
+	st := c.state(class)
+	now := time.Now()
+	// Close the rate bucket and fold into EWMAs.
+	if el := now.Sub(st.bucketStart); el >= c.window {
+		rate := st.bucketCount / el.Seconds()
+		if st.long == 0 {
+			st.long = rate
+		}
+		st.short = 0.5*st.short + 0.5*rate
+		st.long = 0.98*st.long + 0.02*rate
+		st.bucketStart = now
+		st.bucketCount = 0
+		// Anomaly decision at bucket boundaries.
+		anomalous := st.long > 1 && st.short > c.AnomalyFactor*st.long
+		if anomalous && !st.limited {
+			st.limited = true
+			st.sem = make(chan struct{}, c.LimitedConcurrency)
+		}
+		if !anomalous && st.limited && st.short < 2*st.long {
+			st.limited = false
+			st.sem = nil
+		}
+	}
+	st.bucketCount++
+	limited := st.limited
+	sem := st.sem
+	c.mu.Unlock()
+
+	if !limited {
+		c.mu.Lock()
+		st.totalAllowed++
+		c.mu.Unlock()
+		return true, func() {}
+	}
+	select {
+	case sem <- struct{}{}:
+		c.mu.Lock()
+		st.totalAllowed++
+		c.mu.Unlock()
+		return true, func() { <-sem }
+	default:
+		c.mu.Lock()
+		st.totalDenied++
+		c.mu.Unlock()
+		return false, func() {}
+	}
+}
+
+// Stats reports a class's current telemetry.
+func (c *Controller) Stats(class string) ClassStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.classes[class]
+	if !ok {
+		return ClassStats{}
+	}
+	out := ClassStats{Rate: st.short, Baseline: st.long, Limited: st.limited}
+	if st.limited {
+		out.Limit = c.LimitedConcurrency
+	}
+	return out
+}
+
+// Denied reports how many requests of the class were rejected.
+func (c *Controller) Denied(class string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.classes[class]; ok {
+		return st.totalDenied
+	}
+	return 0
+}
+
+// Fingerprint normalizes a SQL statement into a class key: literals are
+// stripped so "SELECT ... WHERE id = 7" and "= 9" share a class.
+func Fingerprint(query string) string {
+	out := make([]byte, 0, len(query))
+	inStr := false
+	inNum := false
+	for i := 0; i < len(query); i++ {
+		ch := query[i]
+		switch {
+		case inStr:
+			if ch == '\'' {
+				inStr = false
+				out = append(out, '?')
+			}
+		case ch == '\'':
+			inStr = true
+		case ch >= '0' && ch <= '9' || ch == '.' && inNum:
+			if !inNum {
+				// A digit starting an identifier tail stays literal.
+				if len(out) > 0 && (isWordByte(out[len(out)-1])) {
+					out = append(out, ch)
+					continue
+				}
+				inNum = true
+				out = append(out, '?')
+			}
+		default:
+			inNum = false
+			out = append(out, lowerByte(ch))
+		}
+	}
+	return string(out)
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9'
+}
+
+func lowerByte(b byte) byte {
+	if b >= 'A' && b <= 'Z' {
+		return b + 32
+	}
+	return b
+}
+
+// String renders a ShardAction.
+func (a ShardAction) String() string {
+	if a.Split {
+		return fmt.Sprintf("split shard %d (load %d) by a secondary hash", a.Shard, a.Load)
+	}
+	return fmt.Sprintf("migrate shard %d (load %d) to a less-loaded DN", a.Shard, a.Load)
+}
+
+// SetWindow adjusts the telemetry bucketing window (default 100ms);
+// tests use shorter windows for faster anomaly reaction.
+func (c *Controller) SetWindow(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.window = d
+	}
+}

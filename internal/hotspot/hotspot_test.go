@@ -1,0 +1,188 @@
+package hotspot
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSketchNeverUndercounts(t *testing.T) {
+	s := NewSketch(256, 4)
+	exact := map[string]uint64{}
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("k%d", i%100)
+		s.Add([]byte(key))
+		exact[key]++
+	}
+	for key, want := range exact {
+		if got := s.Estimate([]byte(key)); got < want {
+			t.Fatalf("sketch undercounted %s: %d < %d", key, got, want)
+		}
+	}
+	if s.Total() != 5000 {
+		t.Fatalf("total = %d", s.Total())
+	}
+}
+
+func TestSketchPropertyMonotone(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		s := NewSketch(64, 3)
+		for _, k := range keys {
+			before := s.Estimate(k)
+			s.Add(k)
+			if s.Estimate(k) < before+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyTrackerFindsHotKey(t *testing.T) {
+	tr := NewKeyTracker(0.1)
+	// 30% of traffic on one key, the rest uniform.
+	for i := 0; i < 10000; i++ {
+		if i%10 < 3 {
+			tr.Touch([]byte("hot-row"))
+		} else {
+			tr.Touch([]byte(fmt.Sprintf("cold-%d", i%500)))
+		}
+	}
+	hot := tr.Hot()
+	if len(hot) == 0 {
+		t.Fatal("hot key not detected")
+	}
+	if string(hot[0].Key) != "hot-row" {
+		t.Fatalf("hottest = %q", hot[0].Key)
+	}
+	if hot[0].Share < 0.2 || hot[0].Share > 0.4 {
+		t.Fatalf("share = %.2f", hot[0].Share)
+	}
+	if hot[0].Action == "" {
+		t.Fatal("no mitigation recommended")
+	}
+}
+
+func TestKeyTrackerUniformTrafficFindsNothing(t *testing.T) {
+	tr := NewKeyTracker(0.1)
+	for i := 0; i < 10000; i++ {
+		tr.Touch([]byte(fmt.Sprintf("k%d", i%1000)))
+	}
+	if hot := tr.Hot(); len(hot) != 0 {
+		t.Fatalf("uniform traffic flagged: %+v", hot)
+	}
+}
+
+func TestMitigationEscalation(t *testing.T) {
+	// 65% on one key: extreme → in-memory hot-row path.
+	tr := NewKeyTracker(0.1)
+	for i := 0; i < 10000; i++ {
+		if i%20 < 13 {
+			tr.Touch([]byte("ultra"))
+		} else {
+			tr.Touch([]byte(fmt.Sprintf("c%d", i)))
+		}
+	}
+	hot := tr.Hot()
+	if len(hot) == 0 || hot[0].Action != MitigateInMemory {
+		t.Fatalf("hot = %+v", hot)
+	}
+}
+
+func TestPlanShards(t *testing.T) {
+	loads := []int64{100, 110, 90, 1200, 105, 250}
+	actions := PlanShards(loads, 1.5)
+	if len(actions) != 2 {
+		t.Fatalf("actions = %+v", actions)
+	}
+	if actions[0].Shard != 3 || !actions[0].Split {
+		t.Fatalf("extreme outlier: %+v", actions[0])
+	}
+	if actions[1].Shard != 5 || actions[1].Split {
+		t.Fatalf("moderate outlier should migrate: %+v", actions[1])
+	}
+	if actions[0].String() == actions[1].String() {
+		t.Fatal("action strings should differ")
+	}
+	if PlanShards(nil, 2) != nil || PlanShards([]int64{0, 0}, 2) != nil {
+		t.Fatal("degenerate inputs")
+	}
+}
+
+func TestControllerLimitsAnomalousClass(t *testing.T) {
+	c := NewController()
+	c.AnomalyFactor = 3
+	class := "select ? from t where id = ?"
+
+	// Establish a calm baseline: ~20 requests per window over many
+	// windows.
+	for w := 0; w < 10; w++ {
+		for i := 0; i < 3; i++ {
+			ok, release := c.Admit(class)
+			if !ok {
+				t.Fatal("baseline traffic rejected")
+			}
+			release()
+		}
+		time.Sleep(110 * time.Millisecond)
+	}
+	base := c.Stats(class)
+	if base.Limited {
+		t.Fatal("limited during baseline")
+	}
+
+	// Cache-penetration burst: hammer the class far above baseline.
+	denied := int64(0)
+	var releases []func()
+	for w := 0; w < 6; w++ {
+		for i := 0; i < 400; i++ {
+			ok, release := c.Admit(class)
+			if !ok {
+				denied++
+			} else if c.Stats(class).Limited {
+				// Hold admitted slots so the concurrency cap binds.
+				releases = append(releases, release)
+			} else {
+				release()
+			}
+		}
+		time.Sleep(110 * time.Millisecond)
+	}
+	if !c.Stats(class).Limited && denied == 0 {
+		t.Fatalf("burst never limited: stats=%+v denied=%d", c.Stats(class), denied)
+	}
+	if c.Denied(class) == 0 {
+		t.Fatal("no requests denied under concurrency clamp")
+	}
+	for _, r := range releases {
+		r()
+	}
+
+	// Other classes are unaffected.
+	ok, release := c.Admit("update t set v = ? where id = ?")
+	if !ok {
+		t.Fatal("innocent class throttled")
+	}
+	release()
+}
+
+func TestFingerprint(t *testing.T) {
+	a := Fingerprint("SELECT name FROM users WHERE id = 42 AND city = 'SF'")
+	b := Fingerprint("select name from users where id = 7 and city = 'NY'")
+	if a != b {
+		t.Fatalf("fingerprints differ:\n%s\n%s", a, b)
+	}
+	c := Fingerprint("SELECT name FROM users WHERE id = 42")
+	if a == c {
+		t.Fatal("different statements share a fingerprint")
+	}
+	// Identifiers with digits survive.
+	d := Fingerprint("SELECT c1 FROM t2 WHERE c1 = 5")
+	if d != "select c1 from t2 where c1 = ?" {
+		t.Fatalf("fingerprint = %q", d)
+	}
+}

@@ -1,0 +1,96 @@
+package htap
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Ablation: the time-slicing quantum (§VI-C; the paper suspends a job
+// "after it runs long enough (e.g., 500ms) in a single round"). Shorter
+// slices cost more scheduling rounds but keep short jobs from waiting
+// behind long ones. The benchmark measures mean latency of short TP-like
+// probes sharing a pool with long cooperative jobs, across slice
+// lengths.
+
+// sliceHog runs ~total of work, yielding at each slice boundary.
+type sliceHog struct{ remaining time.Duration }
+
+func (h *sliceHog) Run(slice time.Duration) (JobState, <-chan struct{}, error) {
+	d := slice
+	if d > h.remaining {
+		d = h.remaining
+	}
+	time.Sleep(d)
+	h.remaining -= d
+	if h.remaining <= 0 {
+		return JobDone, nil, nil
+	}
+	return JobYielded, nil, nil
+}
+
+func benchSlice(b *testing.B, slice time.Duration) {
+	pool := NewPool(fmt.Sprintf("abl-%v", slice), 2, slice, nil)
+	defer pool.Stop()
+	// Keep the pool busy with long jobs for the whole benchmark.
+	stopFeeding := make(chan struct{})
+	var feeders sync.WaitGroup
+	feeders.Add(1)
+	go func() {
+		defer feeders.Done()
+		for {
+			select {
+			case <-stopFeeding:
+				return
+			default:
+			}
+			t := &jobTicket{job: &sliceHog{remaining: 20 * time.Millisecond}, done: make(chan error, 1)}
+			pool.submit(t)
+			<-t.done
+		}
+	}()
+
+	b.ResetTimer()
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		t := &jobTicket{job: FuncJob(func() error { return nil }), done: make(chan error, 1)}
+		pool.submit(t)
+		<-t.done
+		total += time.Since(start)
+	}
+	b.StopTimer()
+	close(stopFeeding)
+	feeders.Wait()
+	b.ReportMetric(float64(total.Microseconds())/float64(b.N), "probe-latency-µs")
+}
+
+func BenchmarkAblationSlice500us(b *testing.B) { benchSlice(b, 500*time.Microsecond) }
+func BenchmarkAblationSlice2ms(b *testing.B)   { benchSlice(b, 2*time.Millisecond) }
+func BenchmarkAblationSlice20ms(b *testing.B)  { benchSlice(b, 20*time.Millisecond) }
+
+// TestSlicePreemptionBoundsProbeLatency: with time slicing, a short
+// probe behind a long job waits at most ~one slice per busy worker, not
+// the job's full runtime.
+func TestSlicePreemptionBoundsProbeLatency(t *testing.T) {
+	slice := 2 * time.Millisecond
+	pool := NewPool("preempt", 1, slice, nil)
+	defer pool.Stop()
+	long := &jobTicket{job: &sliceHog{remaining: 200 * time.Millisecond}, done: make(chan error, 1)}
+	pool.submit(long)
+	time.Sleep(time.Millisecond) // the hog occupies the worker
+
+	start := time.Now()
+	probe := &jobTicket{job: FuncJob(func() error { return nil }), done: make(chan error, 1)}
+	pool.submit(probe)
+	if err := <-probe.done; err != nil {
+		t.Fatal(err)
+	}
+	lat := time.Since(start)
+	// Without slicing the probe would wait the hog's remaining ~200ms.
+	if lat > 50*time.Millisecond {
+		t.Fatalf("probe waited %v behind a sliced long job", lat)
+	}
+	<-long.done
+}

@@ -1,0 +1,276 @@
+// Package htap implements PolarDB-X's HTAP resource isolation and
+// scheduling (paper §VI-C/D): the TP/AP CPU groups with quota
+// enforcement (cgroups stand-in), the three worker pools (TP Core, AP
+// Core, Slow-Query AP) with demotion of long-running queries, the
+// time-sliced Local Scheduler with a blocking queue, and the TP/AP
+// memory regions with asymmetric preemption.
+package htap
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Group labels a resource group.
+type Group int
+
+// Resource groups (§VI-D): TP is unrestricted; AP is strictly capped.
+const (
+	GroupTP Group = iota
+	GroupAP
+)
+
+func (g Group) String() string {
+	if g == GroupTP {
+		return "TP"
+	}
+	return "AP"
+}
+
+// CPUQuota is a token bucket standing in for cgroups cpu.cfs_quota: AP
+// work must acquire tokens before running a slice; TP work is
+// unrestricted. Tokens refill at Rate per second up to Burst.
+type CPUQuota struct {
+	mu     sync.Mutex
+	tokens float64
+	rate   float64 // tokens per second
+	burst  float64
+	last   time.Time
+	// waiting counts goroutines parked for tokens (metrics).
+	waiting int
+}
+
+// NewCPUQuota builds a bucket granting rate slices/second with the given
+// burst capacity.
+func NewCPUQuota(rate, burst float64) *CPUQuota {
+	return &CPUQuota{tokens: burst, rate: rate, burst: burst, last: time.Now()}
+}
+
+func (q *CPUQuota) refillLocked(now time.Time) {
+	q.tokens += now.Sub(q.last).Seconds() * q.rate
+	if q.tokens > q.burst {
+		q.tokens = q.burst
+	}
+	q.last = now
+}
+
+// TryAcquire takes one token without blocking.
+func (q *CPUQuota) TryAcquire() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.refillLocked(time.Now())
+	if q.tokens >= 1 {
+		q.tokens--
+		return true
+	}
+	return false
+}
+
+// AcquireN blocks until n tokens are available or the deadline passes.
+// Fractional costs model work units (e.g. rows scanned per slice).
+func (q *CPUQuota) AcquireN(n float64, timeout time.Duration) error {
+	if n <= 0 {
+		return nil
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		q.mu.Lock()
+		q.refillLocked(time.Now())
+		if q.tokens >= n {
+			q.tokens -= n
+			q.mu.Unlock()
+			return nil
+		}
+		need := (n - q.tokens) / q.rate
+		q.waiting++
+		q.mu.Unlock()
+		wait := time.Duration(need * float64(time.Second))
+		if wait < 100*time.Microsecond {
+			wait = 100 * time.Microsecond
+		}
+		if wait > 20*time.Millisecond {
+			wait = 20 * time.Millisecond // re-check periodically for fairness
+		}
+		if time.Now().Add(wait).After(deadline) {
+			q.mu.Lock()
+			q.waiting--
+			q.mu.Unlock()
+			return fmt.Errorf("htap: CPU quota wait exceeded %v", timeout)
+		}
+		time.Sleep(wait)
+		q.mu.Lock()
+		q.waiting--
+		q.mu.Unlock()
+	}
+}
+
+// Acquire blocks until a token is available or the deadline passes.
+func (q *CPUQuota) Acquire(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		q.mu.Lock()
+		q.refillLocked(time.Now())
+		if q.tokens >= 1 {
+			q.tokens--
+			q.mu.Unlock()
+			return nil
+		}
+		need := (1 - q.tokens) / q.rate
+		q.waiting++
+		q.mu.Unlock()
+		wait := time.Duration(need * float64(time.Second))
+		if wait < 100*time.Microsecond {
+			wait = 100 * time.Microsecond
+		}
+		if time.Now().Add(wait).After(deadline) {
+			q.mu.Lock()
+			q.waiting--
+			q.mu.Unlock()
+			return fmt.Errorf("htap: CPU quota wait exceeded %v", timeout)
+		}
+		time.Sleep(wait)
+		q.mu.Lock()
+		q.waiting--
+		q.mu.Unlock()
+	}
+}
+
+// Waiting reports goroutines parked on the bucket.
+func (q *CPUQuota) Waiting() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.waiting
+}
+
+// --- Memory regions (§VI-D) ---
+
+// Errors.
+var (
+	ErrMemoryExhausted = errors.New("htap: memory region exhausted")
+	ErrBadRelease      = errors.New("htap: releasing more memory than held")
+)
+
+// MemoryBroker divides CN heap into TP, AP, Other and System-Reserved
+// regions. TP and AP have min/max bounds and preempt each other
+// asymmetrically: TP may borrow from AP and keeps the loan until its
+// query completes, while AP loans from TP are revoked immediately when
+// TP asks (modelled as AP reservations failing once TP wants the space).
+type MemoryBroker struct {
+	mu sync.Mutex
+	// capacities
+	tpMax, apMax     int64
+	tpMin, apMin     int64
+	reserved, other  int64
+	tpUsed, apUsed   int64
+	tpLoaned         int64 // TP memory currently borrowed from AP's share
+	apLoaned         int64 // AP memory currently borrowed from TP's share
+	tpPressure       bool  // TP demanded its space back
+	totalCap         int64
+	preemptionEvents int64
+}
+
+// NewMemoryBroker partitions total bytes: reserved for system use, an
+// "other" slice, and the rest split between TP and AP by tpFrac.
+func NewMemoryBroker(total int64, tpFrac float64) *MemoryBroker {
+	reserved := total / 10
+	other := total / 10
+	usable := total - reserved - other
+	tpMax := int64(float64(usable) * tpFrac)
+	apMax := usable - tpMax
+	return &MemoryBroker{
+		tpMax: tpMax, apMax: apMax,
+		tpMin: tpMax / 4, apMin: apMax / 4,
+		reserved: reserved, other: other,
+		totalCap: total,
+	}
+}
+
+// Reserve claims n bytes for a group. TP may spill into AP's unused
+// space; AP may spill into TP's unused space only while TP is not under
+// pressure.
+func (m *MemoryBroker) Reserve(g Group, n int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch g {
+	case GroupTP:
+		if m.tpUsed+n <= m.tpMax {
+			m.tpUsed += n
+			return nil
+		}
+		// Preempt AP's headroom (§VI-D: "TP Memory will only release the
+		// preempted memory until the query completion").
+		spill := m.tpUsed + n - m.tpMax
+		if m.apUsed+m.apLoaned+spill <= m.apMax {
+			m.tpUsed += n
+			m.tpLoaned += spill
+			m.tpPressure = true
+			m.preemptionEvents++
+			return nil
+		}
+		return fmt.Errorf("%w: TP wants %d, AP holds %d/%d", ErrMemoryExhausted, n, m.apUsed, m.apMax)
+	default:
+		if m.tpPressure {
+			// AP must immediately yield while TP demands memory.
+			if m.apUsed+n <= m.apMax-m.tpLoaned {
+				m.apUsed += n
+				return nil
+			}
+			return fmt.Errorf("%w: AP blocked by TP pressure", ErrMemoryExhausted)
+		}
+		if m.apUsed+n <= m.apMax {
+			m.apUsed += n
+			return nil
+		}
+		spill := m.apUsed + n - m.apMax
+		if m.tpUsed+m.tpLoaned+spill <= m.tpMax {
+			m.apUsed += n
+			m.apLoaned += spill
+			m.preemptionEvents++
+			return nil
+		}
+		return fmt.Errorf("%w: AP wants %d", ErrMemoryExhausted, n)
+	}
+}
+
+// Release returns n bytes from a group. Releasing TP memory below its
+// loan line clears the pressure flag so AP can borrow again.
+func (m *MemoryBroker) Release(g Group, n int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch g {
+	case GroupTP:
+		if n > m.tpUsed {
+			return ErrBadRelease
+		}
+		m.tpUsed -= n
+		if m.tpUsed <= m.tpMax {
+			m.tpLoaned = 0
+			m.tpPressure = false
+		}
+	default:
+		if n > m.apUsed {
+			return ErrBadRelease
+		}
+		m.apUsed -= n
+		if m.apUsed <= m.apMax {
+			m.apLoaned = 0
+		}
+	}
+	return nil
+}
+
+// Usage returns (tpUsed, apUsed).
+func (m *MemoryBroker) Usage() (tp, ap int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tpUsed, m.apUsed
+}
+
+// Preemptions returns how many cross-region loans occurred.
+func (m *MemoryBroker) Preemptions() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.preemptionEvents
+}

@@ -1,0 +1,285 @@
+package htap
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// JobState is what a job reports after one scheduling round.
+type JobState int
+
+// Job states.
+const (
+	// JobDone: finished (successfully or with an error).
+	JobDone JobState = iota
+	// JobYielded: the time slice expired; re-queue for another round.
+	JobYielded
+	// JobBlocked: waiting on a dependency (operator input, DN response,
+	// memory); the job parks in the blocking queue until its wake
+	// channel fires (§VI-C's three blocking reasons).
+	JobBlocked
+)
+
+// Job is a cooperatively scheduled unit of query execution. Run executes
+// for at most slice before yielding — the time-slicing execution model
+// borrowed from the Linux kernel's scheduler (§VI-C).
+type Job interface {
+	Run(slice time.Duration) (state JobState, wake <-chan struct{}, err error)
+}
+
+// FuncJob adapts a run-to-completion function (used for small TP work
+// that never needs to yield).
+type FuncJob func() error
+
+// Run implements Job.
+func (f FuncJob) Run(time.Duration) (JobState, <-chan struct{}, error) {
+	return JobDone, nil, f()
+}
+
+// ErrSchedulerStopped is returned for jobs rejected after Stop.
+var ErrSchedulerStopped = errors.New("htap: scheduler stopped")
+
+// jobTicket tracks one submitted job across pools and rounds.
+type jobTicket struct {
+	job     Job
+	runtime atomic.Int64 // cumulative ns across rounds
+	done    chan error
+	pool    atomic.Pointer[Pool]
+}
+
+// Done resolves when the job finishes; the value is its error.
+func (t *jobTicket) wait() error { return <-t.done }
+
+// Pool is one worker pool (TP Core, AP Core, Slow AP). Jobs run in
+// slices; a job exceeding the pool's runtime limit is demoted to the
+// DemoteTo pool for its remaining rounds — the misclassification safety
+// net of §VI-D.
+type Pool struct {
+	Name string
+	// Slice is the per-round time budget (paper: 500ms; scaled down).
+	Slice time.Duration
+	// Quota gates each round (nil = unrestricted, the TP group).
+	Quota *CPUQuota
+	// RuntimeLimit demotes jobs whose cumulative runtime exceeds it.
+	RuntimeLimit time.Duration
+	// DemoteTo receives demoted jobs.
+	DemoteTo *Pool
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	q       []*jobTicket
+	stopped bool
+	wg      sync.WaitGroup
+
+	// metrics
+	ran       atomic.Int64 // rounds executed
+	demotions atomic.Int64
+}
+
+// NewPool starts a pool with the given number of workers.
+func NewPool(name string, workers int, slice time.Duration, quota *CPUQuota) *Pool {
+	p := &Pool{Name: name, Slice: slice, Quota: quota}
+	p.cond = sync.NewCond(&p.mu)
+	if workers < 1 {
+		workers = 1
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Stop shuts the pool down. Workers finish the jobs already queued (one
+// more round each; yielded rounds after stop fail), then exit.
+func (p *Pool) Stop() {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.stopped = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Rounds returns how many slices this pool has executed.
+func (p *Pool) Rounds() int64 { return p.ran.Load() }
+
+// Demotions returns how many jobs this pool demoted.
+func (p *Pool) Demotions() int64 { return p.demotions.Load() }
+
+func (p *Pool) submit(t *jobTicket) {
+	t.pool.Store(p)
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		t.done <- ErrSchedulerStopped
+		return
+	}
+	p.q = append(p.q, t)
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+// take pops the next job, blocking until one arrives or the pool stops.
+func (p *Pool) take() (*jobTicket, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.q) == 0 {
+		if p.stopped {
+			return nil, false
+		}
+		p.cond.Wait()
+	}
+	t := p.q[0]
+	p.q = p.q[1:]
+	return t, true
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		t, ok := p.take()
+		if !ok {
+			return
+		}
+		// AP-group rounds must acquire a CPU token first (cgroup quota).
+		if p.Quota != nil {
+			if err := p.Quota.Acquire(30 * time.Second); err != nil {
+				t.done <- err
+				continue
+			}
+		}
+		start := time.Now()
+		state, wake, err := t.job.Run(p.Slice)
+		t.runtime.Add(int64(time.Since(start)))
+		p.ran.Add(1)
+		switch state {
+		case JobDone:
+			t.done <- err
+		case JobYielded:
+			p.requeue(t)
+		case JobBlocked:
+			// Blocking queue: park off-worker until the dependency fires,
+			// then re-enter the queue.
+			go func(t *jobTicket) {
+				if wake != nil {
+					<-wake
+				}
+				tp := t.pool.Load()
+				tp.submit(t)
+			}(t)
+		}
+	}
+}
+
+// requeue re-enters a yielded job, demoting it if it has outrun this
+// pool's limit.
+func (p *Pool) requeue(t *jobTicket) {
+	target := p
+	if p.DemoteTo != nil && p.RuntimeLimit > 0 &&
+		time.Duration(t.runtime.Load()) > p.RuntimeLimit {
+		target = p.DemoteTo
+		p.demotions.Add(1)
+	}
+	target.submit(t)
+}
+
+// Scheduler is one CN's Local Scheduler: the three pools of §VI-D wired
+// with demotion TP → AP → Slow, plus the AP CPU quota.
+type Scheduler struct {
+	TP   *Pool
+	AP   *Pool
+	Slow *Pool
+	// Mem is the CN's memory broker.
+	Mem *MemoryBroker
+}
+
+// Config sizes a Scheduler.
+type Config struct {
+	TPWorkers, APWorkers, SlowWorkers int
+	// Slice is the scheduling quantum (paper: 500ms; default 2ms so
+	// simulations stay responsive).
+	Slice time.Duration
+	// APSliceRate is the AP group's CPU quota in slices/second
+	// (cgroup cpu.cfs_quota stand-in). <=0 = generous default.
+	APSliceRate float64
+	// TPRuntimeLimit demotes misclassified TP jobs to the AP pool.
+	TPRuntimeLimit time.Duration
+	// APRuntimeLimit demotes long AP jobs to the slow pool.
+	APRuntimeLimit time.Duration
+	// MemoryBytes is the CN heap size for the broker.
+	MemoryBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.TPWorkers <= 0 {
+		c.TPWorkers = 8
+	}
+	if c.APWorkers <= 0 {
+		c.APWorkers = 4
+	}
+	if c.SlowWorkers <= 0 {
+		c.SlowWorkers = 1
+	}
+	if c.Slice <= 0 {
+		c.Slice = 2 * time.Millisecond
+	}
+	if c.APSliceRate <= 0 {
+		c.APSliceRate = 2000
+	}
+	if c.TPRuntimeLimit <= 0 {
+		c.TPRuntimeLimit = 10 * c.Slice
+	}
+	if c.APRuntimeLimit <= 0 {
+		c.APRuntimeLimit = 100 * c.Slice
+	}
+	if c.MemoryBytes <= 0 {
+		c.MemoryBytes = 1 << 30
+	}
+	return c
+}
+
+// NewScheduler builds the three-pool scheduler.
+func NewScheduler(cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	apQuota := NewCPUQuota(cfg.APSliceRate, cfg.APSliceRate/10+1)
+	slow := NewPool("slow-ap", cfg.SlowWorkers, cfg.Slice, apQuota)
+	ap := NewPool("ap-core", cfg.APWorkers, cfg.Slice, apQuota)
+	ap.RuntimeLimit = cfg.APRuntimeLimit
+	ap.DemoteTo = slow
+	tp := NewPool("tp-core", cfg.TPWorkers, cfg.Slice, nil)
+	tp.RuntimeLimit = cfg.TPRuntimeLimit
+	tp.DemoteTo = ap
+	return &Scheduler{
+		TP: tp, AP: ap, Slow: slow,
+		Mem: NewMemoryBroker(cfg.MemoryBytes, 0.5),
+	}
+}
+
+// Stop shuts down all pools.
+func (s *Scheduler) Stop() {
+	s.TP.Stop()
+	s.AP.Stop()
+	s.Slow.Stop()
+}
+
+// Submit schedules a job in the pool matching its classification and
+// returns a wait function resolving to the job's error.
+func (s *Scheduler) Submit(g Group, job Job) (wait func() error) {
+	t := &jobTicket{job: job, done: make(chan error, 1)}
+	switch g {
+	case GroupTP:
+		s.TP.submit(t)
+	default:
+		s.AP.submit(t)
+	}
+	return t.wait
+}
+
+// Run submits and waits.
+func (s *Scheduler) Run(g Group, job Job) error { return s.Submit(g, job)() }

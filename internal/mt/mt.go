@@ -1,0 +1,285 @@
+// Package mt implements PolarDB-MT (paper §V): a PolarDB variant where
+// multiple RW nodes share storage but serve disjoint tenants, giving
+// scalable writes at the cost of forbidding cross-tenant transactions.
+//
+// Model notes. A tenant's persistent state lives in a shared-storage
+// Engine (standing in for the tenant's tables/files on PolarFS). RW
+// nodes never copy that state: binding a tenant to an RW merely grants
+// the RW the right to open it (cache its metadata, write to it). That is
+// exactly why tenant transfer is ~constant-time while the traditional
+// shared-nothing alternative copies every row — the asymmetry Figure 8
+// measures. Each RW additionally keeps its own private redo log (Fig. 5)
+// recording its tenants' transactions; on RW failure, survivors divide
+// the dead node's log by tenant and replay the partitions in parallel
+// (storage.Applier.TenantFilter).
+package mt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/hlc"
+	"repro/internal/simnet"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// TenantID identifies a tenant (a collection of schemas/tables; §V).
+type TenantID uint32
+
+// Errors.
+var (
+	ErrNotBound        = errors.New("mt: tenant not bound to this RW node")
+	ErrTenantPaused    = errors.New("mt: tenant is migrating; transaction paused")
+	ErrCrossTenant     = errors.New("mt: cross-tenant transactions are not supported")
+	ErrUnknownTenant   = errors.New("mt: unknown tenant")
+	ErrUnknownRW       = errors.New("mt: unknown RW node")
+	ErrRWDead          = errors.New("mt: RW node is dead")
+	ErrStaleBinding    = errors.New("mt: binding changed during transaction")
+	ErrMasterOnly      = errors.New("mt: operation requires the master RW (dictionary leaseholder)")
+	ErrTenantExists    = errors.New("mt: tenant already exists")
+	ErrNoSurvivors     = errors.New("mt: no surviving RW nodes for failover")
+	ErrAlreadyBoundRW  = errors.New("mt: tenant already bound to that RW")
+	ErrTransferStopped = errors.New("mt: transfer aborted")
+)
+
+// Tenant is the shared-storage representation of one tenant: its engine
+// holds the tenant's tables as they exist on PolarFS.
+type Tenant struct {
+	ID  TenantID
+	eng *storage.Engine
+
+	// mdl is the metadata lock (§V): DML holds it shared for the
+	// transaction's lifetime; DDL takes it exclusively, so "the MDL ...
+	// will block all subsequent DML/DDL statements for the table" and a
+	// DDL waits for in-flight transactions to drain.
+	mdl sync.RWMutex
+
+	// rows counts committed rows across tables, to size data-copy cost.
+	mu     sync.Mutex
+	tables []uint32
+}
+
+// Engine exposes the tenant's shared-storage engine.
+func (t *Tenant) Engine() *storage.Engine { return t.eng }
+
+// Tables lists the tenant's table IDs.
+func (t *Tenant) Tables() []uint32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]uint32(nil), t.tables...)
+}
+
+// binding is one row of the internal system table mapping tenants to RW
+// nodes (§V "the binding information ... is stored in an internal system
+// table, which is shared with upper-level components").
+type binding struct {
+	rw      string
+	version int64
+}
+
+// Cluster is a PolarDB-MT deployment: the shared storage, the RW nodes,
+// and the master-managed binding table + data dictionary.
+type Cluster struct {
+	net *simnet.Network
+
+	mu       sync.Mutex
+	rws      map[string]*RW
+	tenants  map[TenantID]*Tenant
+	bindings map[TenantID]binding
+	version  int64
+	// master is the dictionary leaseholder RW (§V: "Only one RW node can
+	// grab a lease. The leaseholder manages the data dictionary").
+	master string
+	// paused gates new transactions per migrating tenant.
+	paused map[TenantID]chan struct{}
+
+	nextTable uint32
+
+	// commitCost/rwCores model each RW node's finite capacity: a commit
+	// occupies one of rwCores slots for commitCost. Zero = unlimited.
+	// This is what makes write throughput scale with the RW count
+	// (Fig. 8a's +113%/+94%/+68% after each doubling).
+	commitCost time.Duration
+	rwCores    int
+}
+
+// NewCluster creates an empty PolarDB-MT cluster.
+func NewCluster(net *simnet.Network) *Cluster {
+	return &Cluster{
+		net:      net,
+		rws:      make(map[string]*RW),
+		tenants:  make(map[TenantID]*Tenant),
+		bindings: make(map[TenantID]binding),
+		paused:   make(map[TenantID]chan struct{}),
+	}
+}
+
+// SetRWCapacity models each RW node's compute capacity: a transaction
+// commit occupies one of cores execution slots for cost. Applies to RW
+// nodes added afterwards. cost = 0 disables the model.
+func (c *Cluster) SetRWCapacity(cost time.Duration, cores int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cores <= 0 {
+		cores = 8
+	}
+	c.commitCost = cost
+	c.rwCores = cores
+}
+
+// AddRW registers a new RW node. The first RW becomes master
+// (dictionary leaseholder). Creating an RW allocates no data — the §V
+// scale-out step "an empty RW node is created".
+func (c *Cluster) AddRW(name string, dc simnet.DC) (*RW, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.rws[name]; dup {
+		return nil, fmt.Errorf("mt: RW %q exists", name)
+	}
+	rw := &RW{
+		name:    name,
+		dc:      dc,
+		cluster: c,
+		clock:   hlc.NewClock(nil),
+		open:    make(map[TenantID]*Tenant),
+		redo:    wal.NewLog(),
+		active:  make(map[TenantID]int),
+	}
+	if c.commitCost > 0 {
+		rw.svc = make(chan struct{}, c.rwCores)
+		rw.svcCost = c.commitCost
+	}
+	c.rws[name] = rw
+	if c.master == "" {
+		c.master = name
+	}
+	return rw, nil
+}
+
+// Master returns the dictionary leaseholder's name.
+func (c *Cluster) Master() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.master
+}
+
+// RWNode resolves an RW by name.
+func (c *Cluster) RWNode(name string) (*RW, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rw, ok := c.rws[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownRW, name)
+	}
+	return rw, nil
+}
+
+// RWNames lists RW nodes.
+func (c *Cluster) RWNames() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.rws))
+	for n := range c.rws {
+		out = append(out, n)
+	}
+	return out
+}
+
+// CreateTenant provisions a tenant bound to the given RW. Only the
+// master validates tenant DDL (§V), so this goes through it logically;
+// the simulation enforces the check directly.
+func (c *Cluster) CreateTenant(id TenantID, rwName string) (*Tenant, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.tenants[id]; dup {
+		return nil, fmt.Errorf("%w: %d", ErrTenantExists, id)
+	}
+	rw, ok := c.rws[rwName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownRW, rwName)
+	}
+	t := &Tenant{ID: id, eng: storage.NewEngine()}
+	c.tenants[id] = t
+	c.version++
+	c.bindings[id] = binding{rw: rwName, version: c.version}
+	rw.mu.Lock()
+	rw.open[id] = t
+	rw.mu.Unlock()
+	return t, nil
+}
+
+// Tenant resolves a tenant.
+func (c *Cluster) Tenant(id TenantID) (*Tenant, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tenants[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownTenant, id)
+	}
+	return t, nil
+}
+
+// BindingOf returns the RW currently serving a tenant.
+func (c *Cluster) BindingOf(id TenantID) (string, int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.bindings[id]
+	if !ok {
+		return "", 0, fmt.Errorf("%w: %d", ErrUnknownTenant, id)
+	}
+	return b.rw, b.version, nil
+}
+
+// TenantsOf lists tenants bound to an RW.
+func (c *Cluster) TenantsOf(rwName string) []TenantID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []TenantID
+	for id, b := range c.bindings {
+		if b.rw == rwName {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// CreateTable creates a table inside a tenant, delegating the dictionary
+// write to the master (§V: the owner RW acquires an exclusive MDL,
+// forwards the modification to the master, which validates ownership).
+func (c *Cluster) CreateTable(tenant TenantID, schema *types.Schema) (uint32, error) {
+	c.mu.Lock()
+	t, ok := c.tenants[tenant]
+	if !ok {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("%w: %d", ErrUnknownTenant, tenant)
+	}
+	c.nextTable++
+	id := c.nextTable
+	c.mu.Unlock()
+
+	// Exclusive MDL: waits for in-flight DML on the tenant, blocks new
+	// statements until the dictionary change lands (§V). The owner RW
+	// then forwards the change to the master for validation; ownership
+	// was already checked through the binding above.
+	t.mdl.Lock()
+	defer t.mdl.Unlock()
+	if _, err := t.eng.CreateTable(id, uint32(tenant), schema); err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	t.tables = append(t.tables, id)
+	t.mu.Unlock()
+	return id, nil
+}
+
+// pauseGate returns the pause channel for a tenant if migration is in
+// progress (nil otherwise).
+func (c *Cluster) pauseGate(id TenantID) chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.paused[id]
+}

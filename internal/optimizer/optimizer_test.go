@@ -1,0 +1,357 @@
+package optimizer
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// fakeCatalog serves partition.Tables by name.
+type fakeCatalog struct {
+	tables map[string]*partition.Table
+	rows   map[string]int64
+}
+
+func (f *fakeCatalog) Table(name string) (*partition.Table, error) {
+	t, ok := f.tables[name]
+	if !ok {
+		return nil, errors.New("no such table")
+	}
+	return t, nil
+}
+
+func (f *fakeCatalog) RowCount(name string) int64 { return f.rows[name] }
+
+func newCatalog(t *testing.T) *fakeCatalog {
+	t.Helper()
+	cat := &fakeCatalog{tables: map[string]*partition.Table{}, rows: map[string]int64{}}
+	add := func(name string, shards int, group string, rows int64, cols []types.Column, pk []int) {
+		schema := types.NewSchema(name, cols, pk)
+		tab, err := partition.NewTable(name, uint32(len(cat.tables)+1), schema, shards, group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat.tables[name] = tab
+		cat.rows[name] = rows
+	}
+	add("users", 4, "", 100000, []types.Column{
+		{Name: "id", Kind: types.KindInt},
+		{Name: "name", Kind: types.KindString},
+		{Name: "city", Kind: types.KindString},
+		{Name: "balance", Kind: types.KindInt},
+	}, []int{0})
+	add("orders", 8, "tg1", 1000000, []types.Column{
+		{Name: "o_id", Kind: types.KindInt},
+		{Name: "o_user", Kind: types.KindInt},
+		{Name: "o_total", Kind: types.KindFloat},
+		{Name: "o_status", Kind: types.KindString},
+	}, []int{0})
+	add("lineitem", 8, "tg1", 4000000, []types.Column{
+		{Name: "l_oid", Kind: types.KindInt},
+		{Name: "l_qty", Kind: types.KindInt},
+		{Name: "l_price", Kind: types.KindFloat},
+	}, []int{0})
+	add("tiny", 1, "", 50, []types.Column{
+		{Name: "id", Kind: types.KindInt},
+		{Name: "v", Kind: types.KindString},
+	}, []int{0})
+	return cat
+}
+
+func plan(t *testing.T, cat *fakeCatalog, opts Options, query string) *Plan {
+	t.Helper()
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(cat, cat, opts).PlanSelect(stmt.(*sql.Select))
+	if err != nil {
+		t.Fatalf("PlanSelect(%q): %v", query, err)
+	}
+	return p
+}
+
+func findScan(t *testing.T, n Node, table string) *ScanNode {
+	t.Helper()
+	var found *ScanNode
+	var rec func(Node)
+	rec = func(n Node) {
+		if s, ok := n.(*ScanNode); ok && s.Table.Name == table {
+			found = s
+		}
+		for _, c := range n.Children() {
+			rec(c)
+		}
+	}
+	rec(n)
+	if found == nil {
+		t.Fatalf("no scan of %s in plan", table)
+	}
+	return found
+}
+
+func TestPointQueryIsTPWithPruning(t *testing.T) {
+	cat := newCatalog(t)
+	p := plan(t, cat, Options{}, "SELECT name FROM users WHERE id = 42")
+	if p.IsAP {
+		t.Fatalf("point query classified AP (cost %f)", p.Cost)
+	}
+	scan := findScan(t, p.Root, "users")
+	if len(scan.PointLookups) != 1 || len(scan.Shards) != 1 {
+		t.Fatalf("pruning: lookups=%d shards=%v", len(scan.PointLookups), scan.Shards)
+	}
+	want := cat.tables["users"].ShardOfValues(types.Int(42))
+	if scan.Shards[0] != want {
+		t.Fatalf("shard %d, want %d", scan.Shards[0], want)
+	}
+}
+
+func TestInListPruning(t *testing.T) {
+	cat := newCatalog(t)
+	p := plan(t, cat, Options{}, "SELECT name FROM users WHERE id IN (1, 2, 3)")
+	scan := findScan(t, p.Root, "users")
+	if len(scan.PointLookups) != 3 {
+		t.Fatalf("lookups = %d", len(scan.PointLookups))
+	}
+	if len(scan.Shards) == 0 || len(scan.Shards) > 3 {
+		t.Fatalf("shards = %v", scan.Shards)
+	}
+}
+
+func TestFullScanIsAP(t *testing.T) {
+	cat := newCatalog(t)
+	p := plan(t, cat, Options{}, "SELECT o_status, SUM(o_total) FROM orders GROUP BY o_status")
+	if !p.IsAP {
+		t.Fatalf("1M-row aggregation classified TP (cost %f)", p.Cost)
+	}
+}
+
+func TestTinyScanIsTP(t *testing.T) {
+	cat := newCatalog(t)
+	p := plan(t, cat, Options{}, "SELECT * FROM tiny")
+	if p.IsAP {
+		t.Fatalf("tiny scan classified AP (cost %f)", p.Cost)
+	}
+}
+
+func TestFilterPushdownAndResidue(t *testing.T) {
+	cat := newCatalog(t)
+	p := plan(t, cat, Options{},
+		"SELECT u.name FROM users u JOIN orders o ON u.id = o.o_user WHERE u.city = 'SF' AND o.o_total > 10")
+	uscan := findScan(t, p.Root, "users")
+	if uscan.Filter == nil || !strings.Contains(sql.String(uscan.Filter), "city") {
+		t.Fatalf("users filter = %v", sql.String(uscan.Filter))
+	}
+	oscan := findScan(t, p.Root, "orders")
+	if oscan.Filter == nil || !strings.Contains(sql.String(oscan.Filter), "o_total") {
+		t.Fatalf("orders filter = %v", sql.String(oscan.Filter))
+	}
+	// Join keys extracted.
+	join := p.Root
+	for {
+		if j, ok := join.(*JoinNode); ok {
+			if len(j.LeftKeys) != 1 || len(j.RightKeys) != 1 {
+				t.Fatalf("join keys: %d/%d", len(j.LeftKeys), len(j.RightKeys))
+			}
+			return
+		}
+		kids := join.Children()
+		if len(kids) == 0 {
+			t.Fatal("no join found")
+		}
+		join = kids[0]
+	}
+}
+
+func TestPartitionWiseJoinDetection(t *testing.T) {
+	cat := newCatalog(t)
+	// orders and lineitem share tg1 and join on their partition (PK)
+	// keys → partition-wise.
+	p := plan(t, cat, Options{},
+		"SELECT COUNT(*) FROM orders o JOIN lineitem l ON o.o_id = l.l_oid")
+	var j *JoinNode
+	var rec func(Node)
+	rec = func(n Node) {
+		if jn, ok := n.(*JoinNode); ok {
+			j = jn
+		}
+		for _, c := range n.Children() {
+			rec(c)
+		}
+	}
+	rec(p.Root)
+	if j == nil || !j.PartitionWise {
+		t.Fatalf("partition-wise not detected: %+v", j)
+	}
+	// Cross-group join is not partition-wise.
+	p2 := plan(t, cat, Options{},
+		"SELECT COUNT(*) FROM users u JOIN orders o ON u.id = o.o_user")
+	j = nil
+	rec(p2.Root)
+	if j == nil || j.PartitionWise {
+		t.Fatal("cross-group join marked partition-wise")
+	}
+}
+
+func TestAggregationPlanShape(t *testing.T) {
+	cat := newCatalog(t)
+	p := plan(t, cat, Options{}, `
+		SELECT o_status, COUNT(*) AS cnt, AVG(o_total) avg_total
+		FROM orders WHERE o_total > 5
+		GROUP BY o_status HAVING COUNT(*) > 10
+		ORDER BY cnt DESC LIMIT 3`)
+	// Shape: Limit(Sort(Project(Filter(Agg(Scan))))).
+	lim, ok := p.Root.(*LimitNode)
+	if !ok {
+		t.Fatalf("root = %T", p.Root)
+	}
+	srt, ok := lim.Input.(*SortNode)
+	if !ok {
+		t.Fatalf("limit input = %T", lim.Input)
+	}
+	proj, ok := srt.Input.(*ProjectNode)
+	if !ok {
+		t.Fatalf("sort input = %T", srt.Input)
+	}
+	if proj.Names[1] != "cnt" || proj.Names[2] != "avg_total" {
+		t.Fatalf("names = %v", proj.Names)
+	}
+	filt, ok := proj.Input.(*FilterNode)
+	if !ok {
+		t.Fatalf("project input = %T", proj.Input)
+	}
+	agg, ok := filt.Input.(*AggNode)
+	if !ok {
+		t.Fatalf("filter input = %T", filt.Input)
+	}
+	if len(agg.GroupBy) != 1 || len(agg.Aggs) != 2 {
+		t.Fatalf("agg: %d groups %d aggs", len(agg.GroupBy), len(agg.Aggs))
+	}
+	if !agg.TwoPhase {
+		t.Fatal("no-distinct agg should be two-phase capable")
+	}
+}
+
+func TestDistinctAggBlocksTwoPhase(t *testing.T) {
+	cat := newCatalog(t)
+	p := plan(t, cat, Options{}, "SELECT COUNT(DISTINCT o_user) FROM orders")
+	var agg *AggNode
+	var rec func(Node)
+	rec = func(n Node) {
+		if a, ok := n.(*AggNode); ok {
+			agg = a
+		}
+		for _, c := range n.Children() {
+			rec(c)
+		}
+	}
+	rec(p.Root)
+	if agg == nil || agg.TwoPhase {
+		t.Fatal("distinct agg must be single-phase")
+	}
+}
+
+func TestColumnIndexAndMPPChoices(t *testing.T) {
+	cat := newCatalog(t)
+	opts := Options{
+		MPPAvailable:   true,
+		HasColumnIndex: func(tbl string) bool { return tbl == "orders" },
+	}
+	p := plan(t, cat, opts, "SELECT o_status, SUM(o_total) FROM orders GROUP BY o_status")
+	if !p.IsAP || !p.MPP {
+		t.Fatalf("AP/MPP flags: ap=%v mpp=%v", p.IsAP, p.MPP)
+	}
+	scan := findScan(t, p.Root, "orders")
+	if !scan.UseColumnIndex {
+		t.Fatal("column index not chosen for large AP scan")
+	}
+	// Point lookups stay on the row store even when a column index
+	// exists.
+	p2 := plan(t, cat, opts, "SELECT o_total FROM orders WHERE o_id = 1")
+	if findScan(t, p2.Root, "orders").UseColumnIndex {
+		t.Fatal("point lookup routed to column index")
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	cat := newCatalog(t)
+	bad := []string{
+		"SELECT * FROM ghost",
+		"SELECT nope FROM users",
+		"SELECT id FROM users u JOIN orders o ON u.id = o.o_user WHERE name = o_status AND v = 1", // v unknown
+		"SELECT name, COUNT(*) FROM users GROUP BY city",                                          // name not grouped
+		"SELECT id FROM users ORDER BY ghost_col",
+	}
+	for _, q := range bad {
+		stmt, err := sql.Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		if _, err := New(cat, cat, Options{}).PlanSelect(stmt.(*sql.Select)); err == nil {
+			t.Errorf("PlanSelect(%q) succeeded", q)
+		}
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	cat := newCatalog(t)
+	stmt, _ := sql.Parse("SELECT id FROM users u JOIN tiny t ON u.id = t.id")
+	if _, err := New(cat, cat, Options{}).PlanSelect(stmt.(*sql.Select)); err == nil {
+		t.Fatal("ambiguous bare column accepted")
+	}
+}
+
+func TestExplainRendering(t *testing.T) {
+	cat := newCatalog(t)
+	p := plan(t, cat, Options{}, "SELECT o_status, COUNT(*) FROM orders WHERE o_total > 1 GROUP BY o_status")
+	out := p.Explain()
+	for _, frag := range []string{"class=AP", "Scan(orders", "HashAgg", "Project"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("Explain missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestOrderByOutputAliasAndExpr(t *testing.T) {
+	cat := newCatalog(t)
+	// ORDER BY the rendered aggregate expression (no alias).
+	p := plan(t, cat, Options{},
+		"SELECT o_status, SUM(o_total) FROM orders GROUP BY o_status ORDER BY SUM(o_total) DESC")
+	if _, ok := p.Root.(*SortNode); !ok {
+		t.Fatalf("root = %T, want Sort", p.Root)
+	}
+}
+
+func TestSelectStarExpansion(t *testing.T) {
+	cat := newCatalog(t)
+	p := plan(t, cat, Options{}, "SELECT * FROM tiny")
+	proj := p.Root.(*ProjectNode)
+	if len(proj.Names) != 2 || proj.Names[0] != "id" || proj.Names[1] != "v" {
+		t.Fatalf("star names = %v", proj.Names)
+	}
+}
+
+func TestInListDuplicatesPruneOnce(t *testing.T) {
+	// IN (1, 1, 2) pins two point lookups, not three — duplicate PKs
+	// must not read (and count) a row twice.
+	cat := newCatalog(t)
+	p := plan(t, cat, Options{}, "SELECT id FROM users WHERE id IN (1, 1, 2)")
+	var scan *ScanNode
+	var rec func(Node)
+	rec = func(n Node) {
+		if sn, ok := n.(*ScanNode); ok {
+			scan = sn
+		}
+		for _, c := range n.Children() {
+			rec(c)
+		}
+	}
+	rec(p.Root)
+	if scan == nil || len(scan.PointLookups) != 2 {
+		t.Fatalf("point lookups = %+v", scan)
+	}
+}

@@ -1,0 +1,291 @@
+// Package partition implements PolarDB-X's data-partitioning model
+// (paper §II-B): hash partitioning on the primary key, table groups with
+// aligned partition groups, and global secondary indexes stored as
+// hidden tables partitioned by the indexed columns (clustered and
+// non-clustered).
+package partition
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Errors.
+var (
+	ErrNoSuchColumn = errors.New("partition: no such column")
+	ErrBadShards    = errors.New("partition: shard count must be positive")
+)
+
+// GlobalIndex describes a global secondary index: a hidden table
+// partitioned by the indexed columns. A clustered index carries every
+// column of the base table (avoiding scattered primary lookups); a
+// non-clustered index carries only the indexed columns plus the primary
+// key.
+type GlobalIndex struct {
+	Name      string
+	TableID   uint32 // hidden table id
+	Cols      []int  // indexed column positions in the base schema
+	Clustered bool
+	Schema    *types.Schema // hidden table schema
+	Shards    int
+}
+
+// Table is the logical (CN-level) description of a partitioned table.
+type Table struct {
+	Name   string
+	ID     uint32
+	Schema *types.Schema
+	// Shards is the partition count.
+	Shards int
+	// Group names the table group; tables in one group share partition
+	// count and placement so partition-wise joins stay local.
+	Group string
+	// PartCols are the partition-key column positions (defaults to the
+	// primary key). Tables in one group partitioned BY compatible keys
+	// colocate equal key values, which is what makes partition-wise
+	// joins and partition groups real (§II-B).
+	PartCols []int
+	// Indexes are the table's global secondary indexes.
+	Indexes []*GlobalIndex
+}
+
+// NewTable builds a Table with validation.
+func NewTable(name string, id uint32, schema *types.Schema, shards int, group string) (*Table, error) {
+	if shards <= 0 {
+		return nil, ErrBadShards
+	}
+	if group == "" {
+		group = "tg_" + name // singleton group
+	}
+	return &Table{Name: name, ID: id, Schema: schema, Shards: shards, Group: group,
+		PartCols: append([]int(nil), schema.PKCols...)}, nil
+}
+
+// SetPartitionBy overrides the partition key columns (PARTITIONS n BY
+// (cols)).
+func (t *Table) SetPartitionBy(cols []string) error {
+	out := make([]int, len(cols))
+	for i, c := range cols {
+		ci := t.Schema.ColIndex(c)
+		if ci < 0 {
+			return fmt.Errorf("%w: %q", ErrNoSuchColumn, c)
+		}
+		out[i] = ci
+	}
+	t.PartCols = out
+	return nil
+}
+
+// PartitionedByPK reports whether the partition key equals the primary
+// key (enabling shard inference from an encoded PK alone).
+func (t *Table) PartitionedByPK() bool {
+	if len(t.PartCols) != len(t.Schema.PKCols) {
+		return false
+	}
+	for i := range t.PartCols {
+		if t.PartCols[i] != t.Schema.PKCols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PartKey encodes a row's partition-key values.
+func (t *Table) PartKey(row types.Row) []byte {
+	vals := make([]types.Value, len(t.PartCols))
+	for i, c := range t.PartCols {
+		vals[i] = row[c]
+	}
+	return types.EncodeKey(nil, vals...)
+}
+
+// ShardOfRow returns the shard a row lives on: hash of the partition
+// key (the primary key unless PARTITION BY overrides it).
+func (t *Table) ShardOfRow(row types.Row) int {
+	return types.HashPartition(t.PartKey(row), t.Shards)
+}
+
+// ShardOfPK returns the shard for an encoded primary key. Only valid
+// when the table is partitioned by its primary key (PartitionedByPK);
+// otherwise the shard cannot be inferred from the PK alone.
+func (t *Table) ShardOfPK(pk []byte) int {
+	return types.HashPartition(pk, t.Shards)
+}
+
+// ShardOfValues returns the shard for primary-key values.
+func (t *Table) ShardOfValues(vals ...types.Value) int {
+	return types.HashPartition(types.EncodeKey(nil, vals...), t.Shards)
+}
+
+// PhysicalTableID returns the storage-level table id for one shard of
+// this table. Each shard is a distinct physical table on its DN.
+func (t *Table) PhysicalTableID(shard int) uint32 {
+	return t.ID*1000 + uint32(shard)
+}
+
+// AddGlobalIndex attaches a global secondary index over the named
+// columns. The hidden table's primary key is (indexed cols..., base pk
+// cols...) so entries are unique and range scans on the indexed columns
+// are contiguous. Returns the index for hidden-table provisioning.
+func (t *Table) AddGlobalIndex(name string, hiddenTableID uint32, cols []string, clustered bool) (*GlobalIndex, error) {
+	colIdx := make([]int, len(cols))
+	for i, c := range cols {
+		ci := t.Schema.ColIndex(c)
+		if ci < 0 {
+			return nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, c)
+		}
+		colIdx[i] = ci
+	}
+	// Hidden table schema: indexed columns first, then (for non-clustered)
+	// the base PK columns, or (for clustered) every remaining column.
+	var hcols []types.Column
+	var pkCols []int
+	seen := make(map[int]bool)
+	for _, ci := range colIdx {
+		hcols = append(hcols, t.Schema.Columns[ci])
+		seen[ci] = true
+	}
+	// The indexed columns form the hidden PK's prefix; base PK columns
+	// not already indexed are appended so entries stay unique per row.
+	for i := range colIdx {
+		pkCols = append(pkCols, i)
+	}
+	for _, pci := range t.Schema.PKCols {
+		if !seen[pci] {
+			hcols = append(hcols, t.Schema.Columns[pci])
+			pkCols = append(pkCols, len(hcols)-1)
+			seen[pci] = true
+		}
+	}
+	if clustered {
+		for ci, col := range t.Schema.Columns {
+			if !seen[ci] {
+				hcols = append(hcols, col)
+			}
+		}
+	}
+	hschema := &types.Schema{
+		Name:    t.Name + "__gsi_" + name,
+		Columns: hcols,
+		PKCols:  pkCols,
+	}
+	gi := &GlobalIndex{
+		Name: name, TableID: hiddenTableID, Cols: colIdx,
+		Clustered: clustered, Schema: hschema, Shards: t.Shards,
+	}
+	t.Indexes = append(t.Indexes, gi)
+	return gi, nil
+}
+
+// IndexRow derives the hidden-table row for a base row.
+func (gi *GlobalIndex) IndexRow(base *Table, row types.Row) types.Row {
+	var out types.Row
+	seen := make(map[int]bool)
+	for _, ci := range gi.Cols {
+		out = append(out, row[ci])
+		seen[ci] = true
+	}
+	for _, pci := range base.Schema.PKCols {
+		if !seen[pci] {
+			out = append(out, row[pci])
+			seen[pci] = true
+		}
+	}
+	if gi.Clustered {
+		for ci := range base.Schema.Columns {
+			if !seen[ci] {
+				out = append(out, row[ci])
+			}
+		}
+	}
+	return out
+}
+
+// ShardOfIndexRow returns the hidden-table shard for an index row
+// (partitioned by the indexed columns).
+func (gi *GlobalIndex) ShardOfIndexRow(row types.Row) int {
+	vals := make([]types.Value, len(gi.Cols))
+	for i := range gi.Cols {
+		vals[i] = row[i] // index rows lead with the indexed columns
+	}
+	return types.HashPartition(types.EncodeKey(nil, vals...), gi.Shards)
+}
+
+// ShardOfIndexedValues returns the hidden-table shard for a lookup on
+// the indexed columns.
+func (gi *GlobalIndex) ShardOfIndexedValues(vals ...types.Value) int {
+	return types.HashPartition(types.EncodeKey(nil, vals...), gi.Shards)
+}
+
+// PhysicalTableID returns the storage table id for one shard of the
+// hidden table.
+func (gi *GlobalIndex) PhysicalTableID(shard int) uint32 {
+	return gi.TableID*1000 + uint32(shard)
+}
+
+// hiddenLayout computes where each base column lives inside an index
+// row: indexed columns first, then base PK columns not already indexed,
+// then (clustered only) every remaining column. -1 = absent.
+func (gi *GlobalIndex) hiddenLayout(base *Table) []int {
+	layout := make([]int, len(base.Schema.Columns))
+	for i := range layout {
+		layout[i] = -1
+	}
+	pos := 0
+	seen := make(map[int]bool)
+	for _, ci := range gi.Cols {
+		layout[ci] = pos
+		seen[ci] = true
+		pos++
+	}
+	for _, pci := range base.Schema.PKCols {
+		if !seen[pci] {
+			layout[pci] = pos
+			seen[pci] = true
+			pos++
+		}
+	}
+	if gi.Clustered {
+		for ci := range base.Schema.Columns {
+			if !seen[ci] {
+				layout[ci] = pos
+				pos++
+			}
+		}
+	}
+	return layout
+}
+
+// BasePKFromIndexRow extracts the base table's primary-key values from
+// an index row (for the non-clustered lookup path: §II-B "after a query
+// retrieves a set of primary keys from the global secondary index, it
+// needs to read the corresponding rows from the primary index").
+func (gi *GlobalIndex) BasePKFromIndexRow(base *Table, irow types.Row) []types.Value {
+	layout := gi.hiddenLayout(base)
+	out := make([]types.Value, len(base.Schema.PKCols))
+	for i, pci := range base.Schema.PKCols {
+		out[i] = irow[layout[pci]]
+	}
+	return out
+}
+
+// BaseRowFromIndexRow reconstructs the full base row from a clustered
+// index row (§II-B "with a clustered index, we can efficiently read all
+// required columns from the index to avoid scattered reads"). ok is
+// false for non-clustered indexes, which do not carry every column.
+func (gi *GlobalIndex) BaseRowFromIndexRow(base *Table, irow types.Row) (types.Row, bool) {
+	if !gi.Clustered {
+		return nil, false
+	}
+	layout := gi.hiddenLayout(base)
+	out := make(types.Row, len(base.Schema.Columns))
+	for ci, pos := range layout {
+		if pos < 0 || pos >= len(irow) {
+			return nil, false
+		}
+		out[ci] = irow[pos]
+	}
+	return out, true
+}

@@ -1,0 +1,268 @@
+package partition
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func ordersSchema() *types.Schema {
+	return types.NewSchema("orders", []types.Column{
+		{Name: "o_id", Kind: types.KindInt},
+		{Name: "o_cust", Kind: types.KindInt},
+		{Name: "o_status", Kind: types.KindString},
+		{Name: "o_total", Kind: types.KindFloat},
+	}, []int{0})
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable("t", 1, ordersSchema(), 0, ""); !errors.Is(err, ErrBadShards) {
+		t.Fatalf("err = %v", err)
+	}
+	tab, err := NewTable("t", 1, ordersSchema(), 4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Group != "tg_t" {
+		t.Fatalf("default group = %q", tab.Group)
+	}
+}
+
+func TestShardRoutingConsistency(t *testing.T) {
+	tab, _ := NewTable("orders", 1, ordersSchema(), 8, "")
+	row := types.Row{types.Int(42), types.Int(7), types.Str("N"), types.Float(9.5)}
+	s1 := tab.ShardOfRow(row)
+	s2 := tab.ShardOfPK(tab.Schema.PKKey(row))
+	s3 := tab.ShardOfValues(types.Int(42))
+	if s1 != s2 || s2 != s3 {
+		t.Fatalf("routing disagreement: %d %d %d", s1, s2, s3)
+	}
+	if s1 < 0 || s1 >= 8 {
+		t.Fatalf("shard %d out of range", s1)
+	}
+}
+
+func TestPhysicalTableIDsDistinct(t *testing.T) {
+	tab, _ := NewTable("orders", 3, ordersSchema(), 4, "")
+	seen := map[uint32]bool{}
+	for s := 0; s < 4; s++ {
+		id := tab.PhysicalTableID(s)
+		if seen[id] {
+			t.Fatalf("duplicate physical id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestGlobalIndexNonClustered(t *testing.T) {
+	tab, _ := NewTable("orders", 1, ordersSchema(), 4, "")
+	gi, err := tab.AddGlobalIndex("by_cust", 2, []string{"o_cust"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hidden schema: o_cust + o_id (base PK), PK = both.
+	if len(gi.Schema.Columns) != 2 {
+		t.Fatalf("hidden cols = %v", gi.Schema.ColumnNames())
+	}
+	if gi.Schema.Columns[0].Name != "o_cust" || gi.Schema.Columns[1].Name != "o_id" {
+		t.Fatalf("hidden cols = %v", gi.Schema.ColumnNames())
+	}
+	if len(gi.Schema.PKCols) != 2 {
+		t.Fatalf("hidden pk = %v", gi.Schema.PKCols)
+	}
+	row := types.Row{types.Int(42), types.Int(7), types.Str("N"), types.Float(9.5)}
+	irow := gi.IndexRow(tab, row)
+	if len(irow) != 2 || irow[0].AsInt() != 7 || irow[1].AsInt() != 42 {
+		t.Fatalf("index row = %v", irow)
+	}
+	// Routing by the indexed column agrees between row and lookup forms.
+	if gi.ShardOfIndexRow(irow) != gi.ShardOfIndexedValues(types.Int(7)) {
+		t.Fatal("index routing disagreement")
+	}
+}
+
+func TestGlobalIndexClusteredCarriesAllColumns(t *testing.T) {
+	tab, _ := NewTable("orders", 1, ordersSchema(), 4, "")
+	gi, err := tab.AddGlobalIndex("by_cust_c", 2, []string{"o_cust"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gi.Schema.Columns) != 4 {
+		t.Fatalf("clustered hidden cols = %v", gi.Schema.ColumnNames())
+	}
+	row := types.Row{types.Int(42), types.Int(7), types.Str("N"), types.Float(9.5)}
+	irow := gi.IndexRow(tab, row)
+	if len(irow) != 4 {
+		t.Fatalf("clustered index row = %v", irow)
+	}
+	// All base values present (order: indexed, pk, rest).
+	if irow[0].AsInt() != 7 || irow[1].AsInt() != 42 ||
+		irow[2].AsString() != "N" || irow[3].AsFloat() != 9.5 {
+		t.Fatalf("clustered index row = %v", irow)
+	}
+}
+
+func TestGlobalIndexCompositeAndPKOverlap(t *testing.T) {
+	// Index on (o_id, o_status): o_id is also the PK, so the hidden PK
+	// must not duplicate it.
+	tab, _ := NewTable("orders", 1, ordersSchema(), 4, "")
+	gi, err := tab.AddGlobalIndex("mix", 2, []string{"o_id", "o_status"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gi.Schema.Columns) != 2 {
+		t.Fatalf("hidden cols = %v", gi.Schema.ColumnNames())
+	}
+	if len(gi.Schema.PKCols) != 2 {
+		t.Fatalf("hidden pk = %v", gi.Schema.PKCols)
+	}
+}
+
+func TestGlobalIndexUnknownColumn(t *testing.T) {
+	tab, _ := NewTable("orders", 1, ordersSchema(), 4, "")
+	if _, err := tab.AddGlobalIndex("bad", 2, []string{"ghost"}, false); !errors.Is(err, ErrNoSuchColumn) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTableGroupSharedRouting(t *testing.T) {
+	// Two tables in one group with the same shard count route equal
+	// partition keys to the same shard — the partition-wise join
+	// property.
+	a, _ := NewTable("a", 1, ordersSchema(), 8, "tg1")
+	b, _ := NewTable("b", 2, ordersSchema(), 8, "tg1")
+	for i := int64(0); i < 100; i++ {
+		if a.ShardOfValues(types.Int(i)) != b.ShardOfValues(types.Int(i)) {
+			t.Fatalf("group routing diverged at %d", i)
+		}
+	}
+}
+
+func TestBasePKAndRowFromIndexRow(t *testing.T) {
+	tab, _ := NewTable("orders", 1, ordersSchema(), 4, "")
+	nc, _ := tab.AddGlobalIndex("by_cust", 2, []string{"o_cust"}, false)
+	cl, _ := tab.AddGlobalIndex("by_cust_c", 3, []string{"o_cust"}, true)
+	base := types.Row{types.Int(42), types.Int(7), types.Str("N"), types.Float(9.5)}
+
+	// Non-clustered: PK extraction works, full-row reconstruction does not.
+	irow := nc.IndexRow(tab, base)
+	pk := nc.BasePKFromIndexRow(tab, irow)
+	if len(pk) != 1 || pk[0].AsInt() != 42 {
+		t.Fatalf("pk = %v", pk)
+	}
+	if _, ok := nc.BaseRowFromIndexRow(tab, irow); ok {
+		t.Fatal("non-clustered index reconstructed a full row")
+	}
+
+	// Clustered: full reconstruction in base column order.
+	cirow := cl.IndexRow(tab, base)
+	got, ok := cl.BaseRowFromIndexRow(tab, cirow)
+	if !ok {
+		t.Fatal("clustered reconstruction failed")
+	}
+	for i := range base {
+		if got[i].Compare(base[i]) != 0 {
+			t.Fatalf("col %d: %v != %v", i, got[i], base[i])
+		}
+	}
+}
+
+func TestSetPartitionBy(t *testing.T) {
+	tab, _ := NewTable("orders", 1, ordersSchema(), 8, "")
+	if !tab.PartitionedByPK() {
+		t.Fatal("default partitioning must follow the PK")
+	}
+	if err := tab.SetPartitionBy([]string{"nope"}); err == nil {
+		t.Fatal("unknown partition column accepted")
+	}
+	if err := tab.SetPartitionBy([]string{"o_cust"}); err != nil {
+		t.Fatal(err)
+	}
+	if tab.PartitionedByPK() {
+		t.Fatal("o_cust-partitioned table still claims PK partitioning")
+	}
+	// Rows sharing o_cust land on the same shard regardless of PK.
+	a := types.Row{types.Int(1), types.Int(7), types.Str("N"), types.Float(1)}
+	b := types.Row{types.Int(999), types.Int(7), types.Str("P"), types.Float(2)}
+	if tab.ShardOfRow(a) != tab.ShardOfRow(b) {
+		t.Fatal("same partition key routed to different shards")
+	}
+	// PARTITION BY the PK column itself is recognized as PK partitioning.
+	tab2, _ := NewTable("o2", 2, ordersSchema(), 8, "")
+	if err := tab2.SetPartitionBy([]string{"o_id"}); err != nil {
+		t.Fatal(err)
+	}
+	if !tab2.PartitionedByPK() {
+		t.Fatal("BY (pk) should preserve PK partitioning")
+	}
+}
+
+func TestPartitionKeyAlignmentAcrossTables(t *testing.T) {
+	// orders BY (o_id) and lineitem BY (l_oid) in one group: equal key
+	// values must colocate — the invariant partition-wise joins rely on.
+	liSchema := types.NewSchema("lineitem", []types.Column{
+		{Name: "l_id", Kind: types.KindInt},
+		{Name: "l_oid", Kind: types.KindInt},
+	}, []int{0})
+	orders, _ := NewTable("orders", 1, ordersSchema(), 8, "g")
+	li, _ := NewTable("lineitem", 2, liSchema, 8, "g")
+	if err := li.SetPartitionBy([]string{"l_oid"}); err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < 200; k++ {
+		so := orders.ShardOfRow(types.Row{types.Int(k), types.Int(0), types.Str(""), types.Float(0)})
+		sl := li.ShardOfRow(types.Row{types.Int(k * 31), types.Int(k)})
+		if so != sl {
+			t.Fatalf("key %d: orders shard %d != lineitem shard %d", k, so, sl)
+		}
+	}
+}
+
+func TestQuickShardRoutingInvariants(t *testing.T) {
+	// Property: for any row, (1) the shard is in range, (2) PK-based and
+	// row-based routing agree when the table is PK-partitioned, and
+	// (3) two rows with equal partition keys colocate even when every
+	// other column differs.
+	tab, _ := NewTable("orders", 1, ordersSchema(), 16, "")
+	byCust, _ := NewTable("orders2", 2, ordersSchema(), 16, "")
+	if err := byCust.SetPartitionBy([]string{"o_cust"}); err != nil {
+		t.Fatal(err)
+	}
+	prop := func(id, cust int64, status string, total float64, id2 int64, total2 float64) bool {
+		row := types.Row{types.Int(id), types.Int(cust), types.Str(status), types.Float(total)}
+		s := tab.ShardOfRow(row)
+		if s < 0 || s >= 16 || s != tab.ShardOfPK(tab.Schema.PKKey(row)) {
+			return false
+		}
+		other := types.Row{types.Int(id2), types.Int(cust), types.Str(status + "x"), types.Float(total2)}
+		return byCust.ShardOfRow(row) == byCust.ShardOfRow(other)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGroupAlignment(t *testing.T) {
+	// Property: any two same-group tables route equal partition-key
+	// values to the same shard index, whatever the key value — the
+	// correctness foundation of partition-wise joins.
+	liSchema := types.NewSchema("li", []types.Column{
+		{Name: "l_id", Kind: types.KindInt},
+		{Name: "l_oid", Kind: types.KindInt},
+	}, []int{0})
+	orders, _ := NewTable("o", 1, ordersSchema(), 32, "g")
+	li, _ := NewTable("l", 2, liSchema, 32, "g")
+	if err := li.SetPartitionBy([]string{"l_oid"}); err != nil {
+		t.Fatal(err)
+	}
+	prop := func(key, lid int64) bool {
+		so := orders.ShardOfRow(types.Row{types.Int(key), types.Int(0), types.Str(""), types.Float(0)})
+		sl := li.ShardOfRow(types.Row{types.Int(lid), types.Int(key)})
+		return so == sl
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,487 @@
+package paxos
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// shipperLoop is the leader's replication pump. It watches the local log
+// tail and streams MLOG_PAXOS frames to every peer. In pipelined mode
+// (the default, per §III) frames are fired asynchronously and
+// acknowledgements come back as appendAck messages; in the ablation mode
+// each frame is a blocking round trip.
+func (n *Node) shipperLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.HeartbeatEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-n.kickShip:
+		case <-ticker.C:
+		}
+		n.shipOnce()
+	}
+}
+
+// shipOnce ships pending frames (or a heartbeat) to each peer.
+func (n *Node) shipOnce() {
+	n.mu.Lock()
+	if n.role != RoleLeader {
+		n.mu.Unlock()
+		return
+	}
+	epoch := n.epoch
+	dlsn := n.dlsn
+	tail := n.log.TailLSN()
+	type job struct {
+		peer string
+		from wal.LSN
+	}
+	var jobs []job
+	for _, m := range n.cfg.Members {
+		if m.Name == n.cfg.Self {
+			continue
+		}
+		jobs = append(jobs, job{peer: m.Name, from: n.next[m.Name]})
+		if n.next[m.Name] < tail {
+			n.next[m.Name] = tail // optimistic; rewound on rejection
+		}
+	}
+	n.mu.Unlock()
+
+	for _, j := range jobs {
+		var frames []wal.PaxosFrame
+		if j.from < tail {
+			raw, err := n.log.ReadBytes(j.from, tail)
+			if err == nil {
+				frames = wal.NewBatcher(epoch, n.cfg.BatchBytes).Next(j.from, raw)
+				// Re-index frames onto this peer's stream: index is
+				// informational in the simulation (ordering is by LSN).
+			}
+		}
+		msg := appendMsg{Group: n.cfg.Group, Epoch: epoch, Leader: n.cfg.Self,
+			Frames: frames, DLSN: dlsn}
+		peerEP := endpointOf(n.cfg.Group, j.peer)
+		atomic.AddInt64(&n.framesSent, int64(len(frames)))
+		if n.cfg.Pipelined {
+			n.cfg.Net.Send(n.endpoint(), peerEP, msg, nil)
+		} else {
+			// Non-pipelined ablation: block for the round trip, apply the
+			// ack inline.
+			reply, err := n.cfg.Net.Call(n.endpoint(), peerEP, msg)
+			if err == nil {
+				if ack, ok := reply.(appendAck); ok {
+					n.handleAck(ack)
+				}
+			}
+		}
+	}
+}
+
+// committerLoop is the async_log_committer: it wakes when DLSN may have
+// advanced, completes parked transactions, and hands newly durable
+// records to OnApply in LSN order.
+func (n *Node) committerLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.HeartbeatEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-n.kickCommit:
+		case <-ticker.C:
+		}
+		n.commitOnce()
+	}
+}
+
+func (n *Node) commitOnce() {
+	n.mu.Lock()
+	ready := n.releaseWaitersLocked()
+	var applyFrom, applyTo wal.LSN
+	if n.cfg.OnApply != nil && n.applied < n.dlsn {
+		limit := n.dlsn
+		if n.role == RoleLeader && limit > n.promotedTail {
+			// Leader-era entries were applied by the proposer itself;
+			// only the follower-era backlog goes through OnApply.
+			limit = n.promotedTail
+		}
+		if n.applied < limit {
+			applyFrom, applyTo = n.applied, limit
+			n.applied = limit
+		}
+	}
+	n.mu.Unlock()
+
+	for _, w := range ready {
+		w.ch <- nil
+	}
+	if applyTo > applyFrom {
+		if recs, err := n.log.ReadRecords(applyFrom, applyTo); err == nil {
+			n.cfg.OnApply(recs, applyFrom, applyTo)
+		}
+	}
+}
+
+// electionLoop runs follower-side failure detection and candidacy.
+// Loggers participate in voting (handled in handle) but never campaign.
+func (n *Node) electionLoop() {
+	defer n.wg.Done()
+	n.mu.Lock()
+	n.lastBeat = time.Now()
+	n.mu.Unlock()
+	for {
+		timeout := n.cfg.ElectionTimeout +
+			time.Duration(n.rng.Int63n(int64(n.cfg.ElectionTimeout)))
+		select {
+		case <-n.done:
+			return
+		case <-time.After(timeout):
+		}
+		n.mu.Lock()
+		role := n.role
+		idle := time.Since(n.lastBeat)
+		n.mu.Unlock()
+		if role == RoleLeader || role == RoleLogger {
+			continue
+		}
+		if idle < n.cfg.ElectionTimeout {
+			continue
+		}
+		n.campaign()
+	}
+}
+
+// campaign runs one election round. Votes are granted only to candidates
+// whose log tail is at least as long as the voter's DLSN-durable prefix,
+// guaranteeing the paper's invariant that "the newly chosen leader has
+// complete log entries before DLSN".
+func (n *Node) campaign() {
+	n.mu.Lock()
+	if n.role == RoleLeader || n.role == RoleLogger || n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.role = RoleCandidate
+	n.epoch++
+	epoch := n.epoch
+	n.votedIn = epoch // vote for self
+	lastLSN := n.log.TailLSN()
+	atomic.AddInt64(&n.elections, 1)
+	n.mu.Unlock()
+
+	req := voteReq{Group: n.cfg.Group, Epoch: epoch, Candidate: n.cfg.Self, LastLSN: lastLSN}
+	votes := 1 // self
+	type result struct {
+		granted   bool
+		epoch     uint64
+		peer      string // set on an explicit (reachable) refusal
+		voterDLSN wal.LSN
+	}
+	results := make(chan result, len(n.cfg.Members))
+	for _, m := range n.cfg.Members {
+		if m.Name == n.cfg.Self {
+			continue
+		}
+		go func(peer string) {
+			reply, err := n.cfg.Net.Call(n.endpoint(), endpointOf(n.cfg.Group, peer), req)
+			if err != nil {
+				results <- result{}
+				return
+			}
+			if vr, ok := reply.(voteResp); ok {
+				res := result{granted: vr.Granted, epoch: vr.Epoch}
+				if !vr.Granted {
+					res.peer = peer
+					res.voterDLSN = vr.VoterDLSN
+				}
+				results <- res
+				return
+			}
+			results <- result{}
+		}(m.Name)
+	}
+	majority := len(n.cfg.Members)/2 + 1
+	// Track the most advanced refuser so a short-logged candidate can
+	// catch up before the next attempt.
+	var bestPeer string
+	var bestDLSN wal.LSN
+	for i := 0; i < len(n.cfg.Members)-1; i++ {
+		r := <-results
+		if r.epoch > epoch && r.peer == "" {
+			// Someone is ahead; step back to follower at their epoch.
+			n.mu.Lock()
+			if r.epoch > n.epoch {
+				n.epoch = r.epoch
+			}
+			n.role = RoleFollower
+			n.mu.Unlock()
+			return
+		}
+		if r.granted {
+			votes++
+		} else if r.peer != "" && r.voterDLSN > lastLSN && r.voterDLSN > bestDLSN {
+			bestPeer, bestDLSN = r.peer, r.voterDLSN
+		}
+		if votes >= majority {
+			break
+		}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role != RoleCandidate || n.epoch != epoch {
+		return // lost the race while collecting votes
+	}
+	if votes >= majority {
+		n.becomeLeaderLocked(epoch)
+		n.lastBeat = time.Now()
+		// Commits parked under the old leadership cannot be confirmed;
+		// this node was a follower so it has none, but assert the
+		// invariant by failing any stragglers.
+		for _, w := range n.waiters {
+			w.ch <- ErrCommitAbort
+		}
+		n.waiters = nil
+		go n.kickLoops()
+	} else {
+		n.role = RoleFollower
+		if bestPeer != "" {
+			// Our log is behind the durable majority prefix: fetch the
+			// missing suffix before the next campaign round.
+			go n.catchUpFrom(bestPeer)
+		}
+	}
+}
+
+// catchUpFrom copies missing durable log from a peer (possibly a Logger)
+// so this node becomes electable.
+func (n *Node) catchUpFrom(peer string) {
+	from := n.log.FlushedLSN()
+	reply, err := n.cfg.Net.Call(n.endpoint(), endpointOf(n.cfg.Group, peer), fetchReq{Group: n.cfg.Group, From: from})
+	if err != nil {
+		return
+	}
+	fr, ok := reply.(fetchResp)
+	if !ok || len(fr.Bytes) == 0 || fr.Start != from {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role == RoleLeader || n.log.TailLSN() != from {
+		return // state moved while fetching
+	}
+	n.log.AppendRaw(fr.Bytes)
+	n.log.SetFlushed(n.log.TailLSN())
+	if fr.DLSN > n.dlsn && fr.DLSN <= n.log.FlushedLSN() {
+		n.dlsn = fr.DLSN
+	}
+}
+
+// handleFetch serves raw log bytes [From, flushed) for candidate
+// catch-up.
+func (n *Node) handleFetch(m fetchReq) (fetchResp, error) {
+	n.mu.Lock()
+	flushed := n.log.FlushedLSN()
+	dlsn := n.dlsn
+	n.mu.Unlock()
+	if m.From >= flushed {
+		return fetchResp{Start: m.From, DLSN: dlsn}, nil
+	}
+	b, err := n.log.ReadBytes(m.From, flushed)
+	if err != nil {
+		return fetchResp{Start: m.From, DLSN: dlsn}, nil
+	}
+	return fetchResp{Start: m.From, Bytes: b, DLSN: dlsn}, nil
+}
+
+// handle dispatches incoming simnet messages.
+func (n *Node) handle(from string, msg any) (any, error) {
+	switch m := msg.(type) {
+	case appendMsg:
+		return n.handleAppend(m), nil
+	case appendAck:
+		n.handleAck(m)
+		return nil, nil
+	case voteReq:
+		return n.handleVote(m), nil
+	case heartbeatMsg:
+		n.handleHeartbeat(m)
+		return nil, nil
+	case fetchReq:
+		return n.handleFetch(m)
+	default:
+		return nil, nil
+	}
+}
+
+// handleAppend is the follower-side frame ingestion: verify epoch,
+// append contiguous frames, persist, advance DLSN from the piggybacked
+// value, and acknowledge.
+func (n *Node) handleAppend(m appendMsg) appendAck {
+	n.mu.Lock()
+	if m.Epoch < n.epoch {
+		ack := appendAck{Group: n.cfg.Group, Epoch: n.epoch, From: n.cfg.Self,
+			AckLSN: n.log.FlushedLSN(), Rejected: true}
+		n.mu.Unlock()
+		return ack
+	}
+	if m.Epoch > n.epoch || n.leader != m.Leader {
+		// New leader discovered. An old leader stepping down must clean
+		// conflicting state: discard log beyond DLSN (§III).
+		n.adoptLeaderLocked(m.Epoch, m.Leader)
+	}
+	n.lastBeat = time.Now()
+	rejected := false
+	for _, fr := range m.Frames {
+		tail := n.log.TailLSN()
+		switch {
+		case fr.EndLSN <= tail:
+			// Duplicate from a pipelined retransmit; ignore.
+		case fr.StartLSN == tail:
+			n.log.AppendRaw(fr.Payload)
+			n.log.SetFlushed(fr.EndLSN)
+		default:
+			// Gap: ask the leader to rewind to our tail.
+			rejected = true
+		}
+		if rejected {
+			break
+		}
+	}
+	// A DLSN ahead of our persisted tail means we are missing log (e.g.
+	// we were down while the majority moved on): signal the gap so the
+	// leader rewinds our shipping cursor to our tail.
+	flushed := n.log.FlushedLSN()
+	if m.DLSN > flushed {
+		rejected = true
+	}
+	// Adopt the leader's DLSN up to what we have locally persisted.
+	d := m.DLSN
+	if d > flushed {
+		d = flushed
+	}
+	if d > n.dlsn {
+		n.dlsn = d
+	}
+	ack := appendAck{Group: n.cfg.Group, Epoch: n.epoch, From: n.cfg.Self,
+		AckLSN: n.log.FlushedLSN(), Rejected: rejected}
+	n.mu.Unlock()
+	n.kickLoops()
+
+	if n.cfg.Pipelined {
+		// Send the ack as its own message; the synchronous reply is
+		// ignored by pipelined leaders.
+		n.cfg.Net.Send(n.endpoint(), endpointOf(n.cfg.Group, m.Leader), ack, nil)
+	}
+	return ack
+}
+
+// adoptLeaderLocked switches allegiance to a (possibly new) leader. If
+// this node was the old leader, redo beyond DLSN is discarded — those
+// entries may never have reached a majority and the new leader may have
+// truncated them (§III, Leader Election: the old leader "determines the
+// range of redo log entries that are not submitted, evicts dirty pages
+// related to them").
+func (n *Node) adoptLeaderLocked(epoch uint64, leader string) {
+	wasLeader := n.role == RoleLeader
+	n.epoch = epoch
+	n.leader = leader
+	if n.role != RoleLogger {
+		n.role = RoleFollower
+	}
+	if wasLeader {
+		_ = n.log.Truncate(n.dlsn)
+		for _, w := range n.waiters {
+			w.ch <- ErrCommitAbort
+		}
+		n.waiters = nil
+	}
+}
+
+// handleAck is the leader-side ack ingestion: advance the peer's match
+// LSN, rewind next on rejection, and recompute DLSN.
+func (n *Node) handleAck(m appendAck) {
+	n.mu.Lock()
+	if n.role != RoleLeader || m.Epoch != n.epoch {
+		if m.Epoch > n.epoch {
+			n.adoptLeaderLocked(m.Epoch, "")
+		}
+		n.mu.Unlock()
+		return
+	}
+	atomic.AddInt64(&n.framesAcked, 1)
+	if m.AckLSN > n.match[m.From] {
+		n.match[m.From] = m.AckLSN
+	}
+	if m.Rejected {
+		n.next[m.From] = m.AckLSN
+	}
+	n.ackAt[m.From] = time.Now()
+	n.renewLeaseLocked()
+	prev := n.dlsn
+	n.advanceDLSNLocked()
+	advanced := n.dlsn > prev
+	n.mu.Unlock()
+	if advanced {
+		n.kickLoops()
+	}
+}
+
+// handleVote grants a vote iff the candidate's epoch is new to this node
+// and its log covers everything this node knows to be durable.
+func (n *Node) handleVote(m voteReq) voteResp {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	refuse := voteResp{Group: n.cfg.Group, Epoch: n.epoch, Granted: false,
+		VoterDLSN: n.dlsn, VoterTail: n.log.FlushedLSN()}
+	if m.Epoch <= n.epoch || m.Epoch <= n.votedIn {
+		return refuse
+	}
+	if m.LastLSN < n.dlsn {
+		// Candidate is missing durable entries; refuse (safety) but
+		// advertise our log so it can catch up and retry.
+		return refuse
+	}
+	n.votedIn = m.Epoch
+	if n.role == RoleLeader {
+		// Step down: a quorum is moving on.
+		n.adoptLeaderLocked(m.Epoch, "")
+	} else {
+		n.epoch = m.Epoch
+	}
+	n.lastBeat = time.Now()
+	return voteResp{Group: n.cfg.Group, Epoch: m.Epoch, Granted: true}
+}
+
+func (n *Node) handleHeartbeat(m heartbeatMsg) {
+	n.handleAppend(appendMsg{Group: m.Group, Epoch: m.Epoch, Leader: m.Leader, DLSN: m.DLSN})
+}
+
+// HoldsLease reports whether a leader's lease is current. CN/DN reads
+// routed through the leader check this to keep linearizable semantics.
+func (n *Node) HoldsLease() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role == RoleLeader && time.Now().Before(n.leaseEnd)
+}
+
+// Metrics snapshot.
+type Metrics struct {
+	FramesSent  int64
+	FramesAcked int64
+	Elections   int64
+}
+
+// MetricsSnapshot returns protocol counters.
+func (n *Node) MetricsSnapshot() Metrics {
+	return Metrics{
+		FramesSent:  atomic.LoadInt64(&n.framesSent),
+		FramesAcked: atomic.LoadInt64(&n.framesAcked),
+		Elections:   atomic.LoadInt64(&n.elections),
+	}
+}

@@ -1,0 +1,532 @@
+// Package paxos implements the DN-layer cross-datacenter replication
+// protocol of PolarDB-X (paper §III): Paxos with a leader lease carrying
+// the InnoDB redo stream between datacenters.
+//
+// Unlike Aurora, replication happens at the DN layer, not the storage
+// layer: the leader PolarDB instance ships redo log bytes — chopped into
+// MLOG_PAXOS frames (wal.PaxosFrame) — to follower instances in other
+// datacenters. The protocol includes every optimization the paper calls
+// out:
+//
+//   - Pipelining: the leader streams new frames without waiting for
+//     acknowledgements of previous ones.
+//   - Batching: many small MTRs share one MLOG_PAXOS header (≤16 KB).
+//   - Asynchronous commit: Propose returns immediately after local append;
+//     a dedicated async_log_committer goroutine watches the DLSN and
+//     releases transactions whose last MTR became durable, so foreground
+//     threads never block on cross-DC round trips.
+//   - DLSN (Durable LSN): advanced once a majority has persisted a prefix;
+//     followers apply only up to DLSN because entries beyond it may be
+//     truncated after a leader change.
+//
+// Roles: Leader (serves writes), Follower (replicates and can be elected),
+// Logger (persists log only, votes, but can never lead — the paper's
+// cheap third replica).
+package paxos
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/wal"
+)
+
+// Role is a node's current protocol role.
+type Role int32
+
+// Roles.
+const (
+	RoleFollower Role = iota
+	RoleLeader
+	RoleLogger
+	RoleCandidate
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleFollower:
+		return "follower"
+	case RoleLeader:
+		return "leader"
+	case RoleLogger:
+		return "logger"
+	case RoleCandidate:
+		return "candidate"
+	default:
+		return fmt.Sprintf("Role(%d)", int32(r))
+	}
+}
+
+// Errors.
+var (
+	ErrNotLeader    = errors.New("paxos: not the leader")
+	ErrStaleEpoch   = errors.New("paxos: stale epoch")
+	ErrStopped      = errors.New("paxos: node stopped")
+	ErrCommitAbort  = errors.New("paxos: commit abandoned after leadership loss")
+	ErrLeaseExpired = errors.New("paxos: leader lease expired")
+)
+
+// Member describes one group member.
+type Member struct {
+	Name   string
+	DC     simnet.DC
+	Logger bool // Logger members persist the log but can never lead.
+}
+
+// Config configures a replication group node.
+type Config struct {
+	Group   string
+	Self    string
+	Members []Member
+	Net     *simnet.Network
+
+	// HeartbeatEvery is the leader's heartbeat/commit-broadcast period.
+	HeartbeatEvery time.Duration
+	// ElectionTimeout is the base follower election timeout; each node
+	// randomizes in [ElectionTimeout, 2*ElectionTimeout).
+	ElectionTimeout time.Duration
+	// LeaseDuration is the leader lease extended by each successful
+	// majority heartbeat round (§III "Paxos protocol with leader lease").
+	LeaseDuration time.Duration
+	// BatchBytes caps MLOG_PAXOS frame payloads (default 16 KB).
+	BatchBytes int
+	// Pipelined enables streaming frames without per-frame acks. Turning
+	// it off (ablation bench) makes the shipper wait for each frame.
+	Pipelined bool
+	// OnApply, when set, is invoked in LSN order with each durable record
+	// range as DLSN advances. Followers use it to replay redo into their
+	// buffer pools; the leader's state machine already applied the
+	// changes at append time, so leaders do not invoke it.
+	OnApply func(recs []wal.Record, start, end wal.LSN)
+
+	// Seed randomizes election timeouts deterministically in tests.
+	Seed int64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.HeartbeatEvery <= 0 {
+		out.HeartbeatEvery = 10 * time.Millisecond
+	}
+	if out.ElectionTimeout <= 0 {
+		out.ElectionTimeout = 150 * time.Millisecond
+	}
+	if out.LeaseDuration <= 0 {
+		out.LeaseDuration = 4 * out.HeartbeatEvery
+	}
+	if out.BatchBytes <= 0 {
+		out.BatchBytes = wal.MaxFramePayload
+	}
+	return out
+}
+
+// Message types exchanged over simnet.
+
+type appendMsg struct {
+	Group  string
+	Epoch  uint64
+	Leader string
+	Frames []wal.PaxosFrame
+	DLSN   wal.LSN // leader's current durable LSN, piggybacked
+}
+
+type appendAck struct {
+	Group string
+	Epoch uint64
+	From  string
+	// AckLSN is the follower's persisted tail; Rejected indicates a gap
+	// (the follower needs frames from AckLSN).
+	AckLSN   wal.LSN
+	Rejected bool
+}
+
+type voteReq struct {
+	Group     string
+	Epoch     uint64
+	Candidate string
+	LastLSN   wal.LSN
+}
+
+type voteResp struct {
+	Group   string
+	Epoch   uint64
+	Granted bool
+	// VoterDLSN and VoterTail let a refused candidate discover that it is
+	// missing durable log and catch up (fetchReq) before retrying.
+	VoterDLSN wal.LSN
+	VoterTail wal.LSN
+}
+
+// fetchReq asks a peer for raw log bytes from From to its flushed tail.
+// Candidates refused for short logs use it to catch up; the paper's
+// Logger role exists precisely to serve this ("it only documents redo
+// log records" yet participates in recovery).
+type fetchReq struct {
+	Group string
+	From  wal.LSN
+}
+
+type fetchResp struct {
+	Start wal.LSN
+	Bytes []byte
+	DLSN  wal.LSN
+}
+
+type heartbeatMsg struct {
+	Group  string
+	Epoch  uint64
+	Leader string
+	DLSN   wal.LSN
+}
+
+// commitWaiter is one transaction parked in the async-commit map.
+type commitWaiter struct {
+	lsn wal.LSN
+	ch  chan error
+}
+
+// Node is one member of a replication group.
+type Node struct {
+	cfg  Config
+	log  *wal.Log
+	rng  *rand.Rand
+	self Member
+
+	mu      sync.Mutex
+	role    Role
+	epoch   uint64
+	votedIn uint64 // highest epoch this node voted in
+	leader  string // current known leader
+	dlsn    wal.LSN
+	applied wal.LSN // prefix already handed to OnApply
+	// promotedTail is the log tail at the moment of promotion: the
+	// upper bound of follower-era entries the committer must still hand
+	// to OnApply (leader-era proposals are applied by the proposer).
+	promotedTail wal.LSN
+	match        map[string]wal.LSN   // leader: acked tail per peer
+	next         map[string]wal.LSN   // leader: next LSN to ship per peer
+	leaseEnd     time.Time            // leader: lease expiry
+	ackAt        map[string]time.Time // leader: last current-epoch ack per peer
+	lastBeat     time.Time            // follower: last heartbeat seen
+	stopped      bool
+
+	// waiters is the async-commit map: transaction contexts parked until
+	// DLSN covers their last MTR (§III "stores the transaction's context
+	// in a map data structure").
+	waiters []commitWaiter
+
+	// kickShip/kickCommit wake the shipper and committer loops.
+	kickShip   chan struct{}
+	kickCommit chan struct{}
+	done       chan struct{}
+	wg         sync.WaitGroup
+
+	// metrics
+	framesSent  int64
+	framesAcked int64
+	elections   int64
+}
+
+// NewNode creates (but does not start) a group member. Every node starts
+// as a follower (or logger); call Start to run timers, or Bootstrap on
+// exactly one member to seed epoch 1 leadership for tests and fresh
+// clusters.
+func NewNode(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	var self Member
+	found := false
+	for _, m := range cfg.Members {
+		if m.Name == cfg.Self {
+			self, found = m, true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("paxos: self %q not in member list", cfg.Self)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(cfg.Self))
+	n := &Node{
+		cfg:        cfg,
+		log:        wal.NewLog(),
+		rng:        rand.New(rand.NewSource(cfg.Seed ^ int64(h.Sum64()))),
+		self:       self,
+		role:       RoleFollower,
+		kickShip:   make(chan struct{}, 1),
+		kickCommit: make(chan struct{}, 1),
+		done:       make(chan struct{}),
+	}
+	if self.Logger {
+		n.role = RoleLogger
+	}
+	cfg.Net.Register(n.endpoint(), self.DC, n.handle)
+	return n, nil
+}
+
+// endpoint is the simnet address: group/name, so many groups can share
+// one fabric.
+func (n *Node) endpoint() string { return n.cfg.Group + "/" + n.cfg.Self }
+
+// Endpoint returns the node's network address, so fault injectors can
+// crash the replication plane together with the serving plane.
+func (n *Node) Endpoint() string { return n.endpoint() }
+
+func endpointOf(group, name string) string { return group + "/" + name }
+
+// Log exposes the node's redo log (the DN layers on top of it).
+func (n *Node) Log() *wal.Log { return n.log }
+
+// Name returns the member name.
+func (n *Node) Name() string { return n.cfg.Self }
+
+// Role returns the node's current role.
+func (n *Node) Role() Role {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role
+}
+
+// Epoch returns the node's current epoch.
+func (n *Node) Epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
+
+// DLSN returns the durable LSN.
+// LeaderCaughtUp reports whether the node leads AND has applied every
+// entry it accepted before promotion — the gate a router must wait on
+// before sending reads to a freshly elected leader.
+func (n *Node) LeaderCaughtUp() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role == RoleLeader && n.applied >= n.promotedTail
+}
+
+func (n *Node) DLSN() wal.LSN {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dlsn
+}
+
+// LeaderName returns the last known leader.
+func (n *Node) LeaderName() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leader
+}
+
+// Start launches background loops: shipping (leader), commit application,
+// and the election timer. It is idempotent per node lifetime.
+func (n *Node) Start() {
+	n.wg.Add(3)
+	go n.shipperLoop()
+	go n.committerLoop()
+	go n.electionLoop()
+}
+
+// Stop terminates all loops and fails parked commits.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	ws := n.waiters
+	n.waiters = nil
+	n.mu.Unlock()
+	close(n.done)
+	for _, w := range ws {
+		w.ch <- ErrStopped
+	}
+	n.wg.Wait()
+	n.cfg.Net.Unregister(n.endpoint())
+}
+
+// Bootstrap makes this node leader of epoch 1 immediately. Use on exactly
+// one member of a freshly created group.
+func (n *Node) Bootstrap() {
+	n.mu.Lock()
+	n.becomeLeaderLocked(1)
+	n.mu.Unlock()
+	n.kickLoops()
+}
+
+func (n *Node) kickLoops() {
+	select {
+	case n.kickShip <- struct{}{}:
+	default:
+	}
+	select {
+	case n.kickCommit <- struct{}{}:
+	default:
+	}
+}
+
+// becomeLeaderLocked transitions to leadership in the given epoch.
+// Entries accepted as a follower but not yet applied form a backlog the
+// committer drains (bounded by promotedTail) before this node's state
+// machine is current — new leaders must not serve until then.
+func (n *Node) becomeLeaderLocked(epoch uint64) {
+	n.role = RoleLeader
+	n.promotedTail = n.log.TailLSN()
+	n.epoch = epoch
+	n.leader = n.cfg.Self
+	n.leaseEnd = time.Now().Add(n.cfg.LeaseDuration)
+	n.ackAt = make(map[string]time.Time)
+	n.match = map[string]wal.LSN{n.cfg.Self: n.log.FlushedLSN()}
+	n.next = make(map[string]wal.LSN)
+	tail := n.log.TailLSN()
+	for _, m := range n.cfg.Members {
+		if m.Name != n.cfg.Self {
+			n.next[m.Name] = tail
+			n.match[m.Name] = 0
+		}
+	}
+}
+
+// Propose appends one MTR to the leader's log, makes it locally durable,
+// and starts replication. It returns the MTR's end LSN without waiting
+// for the majority: pair it with AwaitDurable (async commit) or call
+// ProposeAndWait.
+func (n *Node) Propose(recs ...wal.Record) (wal.LSN, error) {
+	n.mu.Lock()
+	if n.role != RoleLeader {
+		n.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s is %s", ErrNotLeader, n.cfg.Self, n.role)
+	}
+	n.mu.Unlock()
+
+	_, end := n.log.AppendMTR(recs...)
+	// Redo is flushed to PolarFS before it is shipped (§III: "Before a
+	// transaction commits, the redo log entries are flushed to PolarFS,
+	// which will also be sent to followers using Paxos"). The simulation
+	// treats the in-memory log as the PolarFS-backed file.
+	n.log.SetFlushed(end)
+
+	n.mu.Lock()
+	if n.role == RoleLeader {
+		n.match[n.cfg.Self] = end
+		n.advanceDLSNLocked()
+	}
+	n.mu.Unlock()
+	n.kickLoops()
+	return end, nil
+}
+
+// AwaitDurable blocks until DLSN >= lsn (the transaction's last MTR is
+// durable on a majority) or the node loses leadership/stops.
+func (n *Node) AwaitDurable(lsn wal.LSN) error {
+	n.mu.Lock()
+	if n.dlsn >= lsn {
+		n.mu.Unlock()
+		return nil
+	}
+	if n.stopped {
+		n.mu.Unlock()
+		return ErrStopped
+	}
+	ch := make(chan error, 1)
+	n.waiters = append(n.waiters, commitWaiter{lsn: lsn, ch: ch})
+	n.mu.Unlock()
+	return <-ch
+}
+
+// ProposeAndWait is Propose followed by AwaitDurable — the synchronous
+// commit path used where async commit is disabled (ablation).
+func (n *Node) ProposeAndWait(recs ...wal.Record) (wal.LSN, error) {
+	end, err := n.Propose(recs...)
+	if err != nil {
+		return 0, err
+	}
+	return end, n.AwaitDurable(end)
+}
+
+// renewLeaseLocked extends the leader lease to the (majority-1)-th
+// freshest peer acknowledgement plus LeaseDuration: the lease is valid
+// exactly as long as a quorum (self included) has confirmed this
+// leader's epoch recently, whether or not any new log was committed —
+// an idle leader keeps its lease on heartbeat acks alone.
+func (n *Node) renewLeaseLocked() {
+	need := len(n.cfg.Members)/2 + 1 - 1 // peers needed beyond self
+	if need <= 0 {
+		n.leaseEnd = time.Now().Add(n.cfg.LeaseDuration)
+		return
+	}
+	times := make([]time.Time, 0, len(n.ackAt))
+	for _, t := range n.ackAt {
+		times = append(times, t)
+	}
+	if len(times) < need {
+		return
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i].After(times[j]) })
+	if end := times[need-1].Add(n.cfg.LeaseDuration); end.After(n.leaseEnd) {
+		n.leaseEnd = end
+	}
+}
+
+// advanceDLSNLocked recomputes DLSN as the largest LSN persisted by a
+// majority. Caller holds n.mu.
+func (n *Node) advanceDLSNLocked() {
+	if n.role != RoleLeader {
+		return
+	}
+	lsns := make([]wal.LSN, 0, len(n.match))
+	for _, l := range n.match {
+		lsns = append(lsns, l)
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] > lsns[j] })
+	majority := len(n.cfg.Members)/2 + 1
+	if len(lsns) < majority {
+		return
+	}
+	candidate := lsns[majority-1]
+	if candidate > n.dlsn {
+		n.dlsn = candidate
+	}
+}
+
+// releaseWaitersLocked pops waiters satisfied by the current DLSN and
+// returns them; the caller completes them outside the lock. This is the
+// async_log_committer's scan of the transaction-context map.
+func (n *Node) releaseWaitersLocked() []commitWaiter {
+	var ready []commitWaiter
+	remaining := n.waiters[:0]
+	for _, w := range n.waiters {
+		if w.lsn <= n.dlsn {
+			ready = append(ready, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	n.waiters = remaining
+	return ready
+}
+
+// MinPeerMatch returns the lowest acknowledged log offset across peers
+// (leader only; the log must not be purged above it or lagging peers
+// could no longer catch up from this leader). Followers return DLSN.
+func (n *Node) MinPeerMatch() wal.LSN {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role != RoleLeader {
+		return n.dlsn
+	}
+	min := n.log.FlushedLSN()
+	for peer, m := range n.match {
+		if peer == n.cfg.Self {
+			continue
+		}
+		if m < min {
+			min = m
+		}
+	}
+	return min
+}

@@ -1,0 +1,694 @@
+package paxos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/wal"
+)
+
+// group spins up a replication group for tests.
+type group struct {
+	net   *simnet.Network
+	nodes map[string]*Node
+	// applied collects OnApply records per node.
+	mu      sync.Mutex
+	applied map[string][]wal.Record
+}
+
+func newGroup(t *testing.T, members []Member, pipelined bool) *group {
+	t.Helper()
+	g := &group{
+		net:     simnet.New(simnet.ZeroTopology()),
+		nodes:   make(map[string]*Node),
+		applied: make(map[string][]wal.Record),
+	}
+	for _, m := range members {
+		m := m
+		cfg := Config{
+			Group:           "g1",
+			Self:            m.Name,
+			Members:         members,
+			Net:             g.net,
+			HeartbeatEvery:  2 * time.Millisecond,
+			ElectionTimeout: 40 * time.Millisecond,
+			Pipelined:       pipelined,
+			Seed:            42,
+			OnApply: func(recs []wal.Record, start, end wal.LSN) {
+				g.mu.Lock()
+				g.applied[m.Name] = append(g.applied[m.Name], recs...)
+				g.mu.Unlock()
+			},
+		}
+		n, err := NewNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.nodes[m.Name] = n
+	}
+	t.Cleanup(func() {
+		for _, n := range g.nodes {
+			n.Stop()
+		}
+	})
+	return g
+}
+
+func threeMembers() []Member {
+	return []Member{
+		{Name: "dn1", DC: simnet.DC1},
+		{Name: "dn2", DC: simnet.DC2},
+		{Name: "dn3", DC: simnet.DC3},
+	}
+}
+
+func (g *group) startAll() {
+	for _, n := range g.nodes {
+		n.Start()
+	}
+}
+
+func (g *group) appliedOn(name string) []wal.Record {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]wal.Record(nil), g.applied[name]...)
+}
+
+// waitFor polls until cond is true or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func insertRec(key, val string) wal.Record {
+	return wal.Record{Type: wal.RecInsert, TableID: 1, TxnID: 1,
+		Key: []byte(key), Payload: []byte(val)}
+}
+
+func TestProposeReplicatesAndCommits(t *testing.T) {
+	g := newGroup(t, threeMembers(), true)
+	g.nodes["dn1"].Bootstrap()
+	g.startAll()
+
+	end, err := g.nodes["dn1"].Propose(insertRec("k1", "v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.nodes["dn1"].AwaitDurable(end); err != nil {
+		t.Fatal(err)
+	}
+	if g.nodes["dn1"].DLSN() < end {
+		t.Fatalf("leader DLSN %d < %d", g.nodes["dn1"].DLSN(), end)
+	}
+	// Followers must apply the record once DLSN reaches them.
+	for _, f := range []string{"dn2", "dn3"} {
+		waitFor(t, time.Second, "apply on "+f, func() bool {
+			return len(g.appliedOn(f)) == 1
+		})
+		recs := g.appliedOn(f)
+		if string(recs[0].Key) != "k1" || string(recs[0].Payload) != "v1" {
+			t.Fatalf("%s applied %+v", f, recs[0])
+		}
+	}
+}
+
+func TestProposeOnFollowerFails(t *testing.T) {
+	g := newGroup(t, threeMembers(), true)
+	g.nodes["dn1"].Bootstrap()
+	g.startAll()
+	if _, err := g.nodes["dn2"].Propose(insertRec("k", "v")); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAsyncCommitManyTransactions(t *testing.T) {
+	g := newGroup(t, threeMembers(), true)
+	g.nodes["dn1"].Bootstrap()
+	g.startAll()
+	leader := g.nodes["dn1"]
+
+	const txns = 200
+	ends := make([]wal.LSN, txns)
+	for i := 0; i < txns; i++ {
+		end, err := leader.Propose(insertRec(fmt.Sprintf("k%03d", i), "v"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ends[i] = end
+	}
+	// All transactions await durability concurrently — the async-commit
+	// map must release every one.
+	var wg sync.WaitGroup
+	for _, end := range ends {
+		wg.Add(1)
+		go func(end wal.LSN) {
+			defer wg.Done()
+			if err := leader.AwaitDurable(end); err != nil {
+				t.Errorf("AwaitDurable(%d): %v", end, err)
+			}
+		}(end)
+	}
+	wg.Wait()
+	// Followers converge on the full record set.
+	waitFor(t, 2*time.Second, "full apply", func() bool {
+		return len(g.appliedOn("dn2")) == txns && len(g.appliedOn("dn3")) == txns
+	})
+}
+
+func TestCommitSurvivesOneFollowerDown(t *testing.T) {
+	g := newGroup(t, threeMembers(), true)
+	g.nodes["dn1"].Bootstrap()
+	g.startAll()
+	g.net.SetDown("g1/dn3", true)
+
+	end, err := g.nodes["dn1"].Propose(insertRec("k", "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- g.nodes["dn1"].AwaitDurable(end) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("commit did not complete with 2/3 nodes alive")
+	}
+
+	// The lagging follower catches up after recovery.
+	g.net.SetDown("g1/dn3", false)
+	waitFor(t, 2*time.Second, "dn3 catch-up", func() bool {
+		return len(g.appliedOn("dn3")) == 1
+	})
+}
+
+func TestCommitStallsWithoutMajority(t *testing.T) {
+	g := newGroup(t, threeMembers(), true)
+	g.nodes["dn1"].Bootstrap()
+	g.startAll()
+	g.net.SetDown("g1/dn2", true)
+	g.net.SetDown("g1/dn3", true)
+
+	end, err := g.nodes["dn1"].Propose(insertRec("k", "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- g.nodes["dn1"].AwaitDurable(end) }()
+	select {
+	case err := <-done:
+		t.Fatalf("commit completed without majority: %v", err)
+	case <-time.After(200 * time.Millisecond):
+		// Expected: stalled.
+	}
+}
+
+func TestLeaderElectionAfterLeaderFailure(t *testing.T) {
+	g := newGroup(t, threeMembers(), true)
+	g.nodes["dn1"].Bootstrap()
+	g.startAll()
+
+	// Commit something so followers have state.
+	end, _ := g.nodes["dn1"].Propose(insertRec("k1", "v1"))
+	if err := g.nodes["dn1"].AwaitDurable(end); err != nil {
+		t.Fatal(err)
+	}
+
+	g.net.SetDown("g1/dn1", true)
+	waitFor(t, 3*time.Second, "new leader", func() bool {
+		return g.nodes["dn2"].Role() == RoleLeader || g.nodes["dn3"].Role() == RoleLeader
+	})
+	var newLeader *Node
+	if g.nodes["dn2"].Role() == RoleLeader {
+		newLeader = g.nodes["dn2"]
+	} else {
+		newLeader = g.nodes["dn3"]
+	}
+	if newLeader.Epoch() < 2 {
+		t.Fatalf("new leader epoch %d", newLeader.Epoch())
+	}
+	// New leader serves writes.
+	end2, err := newLeader.Propose(insertRec("k2", "v2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := newLeader.AwaitDurable(end2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoggerNeverBecomesLeader(t *testing.T) {
+	members := []Member{
+		{Name: "dn1", DC: simnet.DC1},
+		{Name: "dn2", DC: simnet.DC2},
+		{Name: "log3", DC: simnet.DC3, Logger: true},
+	}
+	g := newGroup(t, members, true)
+	g.nodes["dn1"].Bootstrap()
+	g.startAll()
+
+	end, _ := g.nodes["dn1"].Propose(insertRec("k", "v"))
+	if err := g.nodes["dn1"].AwaitDurable(end); err != nil {
+		t.Fatal(err)
+	}
+	// Kill both the leader AND the only electable follower... then only
+	// the logger remains, and it must not take over.
+	g.net.SetDown("g1/dn1", true)
+	g.net.SetDown("g1/dn2", true)
+	time.Sleep(300 * time.Millisecond)
+	if g.nodes["log3"].Role() == RoleLeader {
+		t.Fatal("logger became leader")
+	}
+
+	// With dn2 back, dn2 (not the logger) takes over: logger's vote counts.
+	g.net.SetDown("g1/dn2", false)
+	waitFor(t, 3*time.Second, "dn2 leadership", func() bool {
+		return g.nodes["dn2"].Role() == RoleLeader
+	})
+}
+
+func TestLoggerPersistsButNeverApplies(t *testing.T) {
+	members := []Member{
+		{Name: "dn1", DC: simnet.DC1},
+		{Name: "dn2", DC: simnet.DC2},
+		{Name: "log3", DC: simnet.DC3, Logger: true},
+	}
+	g := newGroup(t, members, true)
+	g.nodes["dn1"].Bootstrap()
+	g.startAll()
+	end, _ := g.nodes["dn1"].Propose(insertRec("k", "v"))
+	if err := g.nodes["dn1"].AwaitDurable(end); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, "logger log persistence", func() bool {
+		return g.nodes["log3"].Log().FlushedLSN() >= end
+	})
+	// The logger replicates bytes but has no database to apply into. The
+	// simulation still invokes OnApply on loggers (they *may* observe),
+	// so what we assert is the paper's hard rule: it cannot serve reads or
+	// lead. Role must remain logger.
+	if got := g.nodes["log3"].Role(); got != RoleLogger {
+		t.Fatalf("logger role = %v", got)
+	}
+}
+
+func TestOldLeaderRejoinsAndTruncates(t *testing.T) {
+	g := newGroup(t, threeMembers(), true)
+	leader := g.nodes["dn1"]
+	leader.Bootstrap()
+	g.startAll()
+
+	end, _ := leader.Propose(insertRec("k1", "v1"))
+	if err := leader.AwaitDurable(end); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition the leader away, then write into the void: these entries
+	// can never reach a majority.
+	g.net.SetDown("g1/dn1", true)
+	if _, err := leader.Propose(insertRec("orphan", "x")); err != nil {
+		t.Fatal(err)
+	}
+	orphanTail := leader.Log().TailLSN()
+	if orphanTail <= end {
+		t.Fatal("orphan write did not extend the log")
+	}
+
+	waitFor(t, 3*time.Second, "re-election", func() bool {
+		return g.nodes["dn2"].Role() == RoleLeader || g.nodes["dn3"].Role() == RoleLeader
+	})
+	var newLeader *Node
+	if g.nodes["dn2"].Role() == RoleLeader {
+		newLeader = g.nodes["dn2"]
+	} else {
+		newLeader = g.nodes["dn3"]
+	}
+	end2, _ := newLeader.Propose(insertRec("k2", "v2"))
+	if err := newLeader.AwaitDurable(end2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Old leader comes back: it must shed the orphan suffix and converge
+	// on the new leader's log.
+	g.net.SetDown("g1/dn1", false)
+	waitFor(t, 3*time.Second, "old leader demotion", func() bool {
+		return leader.Role() == RoleFollower
+	})
+	waitFor(t, 3*time.Second, "old leader log convergence", func() bool {
+		return leader.Log().TailLSN() == newLeader.Log().TailLSN()
+	})
+	recs, err := leader.Log().ReadRecords(leader.Log().BaseLSN(), leader.Log().TailLSN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if string(r.Key) == "orphan" {
+			t.Fatal("orphan record survived rejoin")
+		}
+	}
+}
+
+func TestNonPipelinedModeAlsoCommits(t *testing.T) {
+	g := newGroup(t, threeMembers(), false)
+	g.nodes["dn1"].Bootstrap()
+	g.startAll()
+	end, err := g.nodes["dn1"].Propose(insertRec("k", "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.nodes["dn1"].AwaitDurable(end); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, "apply", func() bool {
+		return len(g.appliedOn("dn2")) == 1
+	})
+}
+
+func TestProposeAndWait(t *testing.T) {
+	g := newGroup(t, threeMembers(), true)
+	g.nodes["dn1"].Bootstrap()
+	g.startAll()
+	end, err := g.nodes["dn1"].ProposeAndWait(insertRec("k", "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.nodes["dn1"].DLSN() < end {
+		t.Fatal("DLSN below committed LSN after ProposeAndWait")
+	}
+}
+
+func TestApplyOrderMatchesProposeOrder(t *testing.T) {
+	g := newGroup(t, threeMembers(), true)
+	g.nodes["dn1"].Bootstrap()
+	g.startAll()
+	const txns = 100
+	for i := 0; i < txns; i++ {
+		if _, err := g.nodes["dn1"].Propose(insertRec(fmt.Sprintf("k%03d", i), "v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.nodes["dn1"].AwaitDurable(g.nodes["dn1"].Log().TailLSN())
+	waitFor(t, 2*time.Second, "apply all", func() bool {
+		return len(g.appliedOn("dn2")) == txns
+	})
+	recs := g.appliedOn("dn2")
+	for i, r := range recs {
+		if want := fmt.Sprintf("k%03d", i); string(r.Key) != want {
+			t.Fatalf("apply order broken at %d: got %s want %s", i, r.Key, want)
+		}
+	}
+}
+
+func TestHoldsLease(t *testing.T) {
+	g := newGroup(t, threeMembers(), true)
+	g.nodes["dn1"].Bootstrap()
+	g.startAll()
+	end, _ := g.nodes["dn1"].Propose(insertRec("k", "v"))
+	g.nodes["dn1"].AwaitDurable(end)
+	if !g.nodes["dn1"].HoldsLease() {
+		t.Fatal("leader should hold lease after a majority round")
+	}
+	if g.nodes["dn2"].HoldsLease() {
+		t.Fatal("follower claims lease")
+	}
+}
+
+func TestStopFailsParkedCommits(t *testing.T) {
+	g := newGroup(t, threeMembers(), true)
+	g.nodes["dn1"].Bootstrap()
+	g.startAll()
+	g.net.SetDown("g1/dn2", true)
+	g.net.SetDown("g1/dn3", true)
+	end, _ := g.nodes["dn1"].Propose(insertRec("k", "v"))
+	done := make(chan error, 1)
+	go func() { done <- g.nodes["dn1"].AwaitDurable(end) }()
+	time.Sleep(20 * time.Millisecond)
+	g.nodes["dn1"].Stop()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrStopped) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("parked commit never failed after Stop")
+	}
+}
+
+func TestNewNodeRejectsUnknownSelf(t *testing.T) {
+	net := simnet.New(simnet.ZeroTopology())
+	_, err := NewNode(Config{Group: "g", Self: "ghost", Members: threeMembers(), Net: net})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMetricsCountFrames(t *testing.T) {
+	g := newGroup(t, threeMembers(), true)
+	g.nodes["dn1"].Bootstrap()
+	g.startAll()
+	end, _ := g.nodes["dn1"].Propose(insertRec("k", "v"))
+	g.nodes["dn1"].AwaitDurable(end)
+	m := g.nodes["dn1"].MetricsSnapshot()
+	if m.FramesSent == 0 {
+		t.Fatal("no frames recorded")
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if RoleLeader.String() != "leader" || RoleLogger.String() != "logger" ||
+		RoleFollower.String() != "follower" || RoleCandidate.String() != "candidate" {
+		t.Fatal("role strings")
+	}
+}
+
+// TestFiveNodeGroupMajorities: a five-member group commits with up to two
+// failures.
+func TestFiveNodeGroupMajorities(t *testing.T) {
+	members := []Member{
+		{Name: "a", DC: simnet.DC1}, {Name: "b", DC: simnet.DC1},
+		{Name: "c", DC: simnet.DC2}, {Name: "d", DC: simnet.DC2},
+		{Name: "e", DC: simnet.DC3},
+	}
+	g := newGroup(t, members, true)
+	g.nodes["a"].Bootstrap()
+	g.startAll()
+	g.net.SetDown("g1/d", true)
+	g.net.SetDown("g1/e", true)
+	end, err := g.nodes["a"].Propose(insertRec("k", "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- g.nodes["a"].AwaitDurable(end) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("5-node group did not commit with 3/5 alive")
+	}
+}
+
+func BenchmarkPaxosPipelinedCommit(b *testing.B) {
+	benchCommit(b, true)
+}
+
+func BenchmarkPaxosNonPipelinedCommit(b *testing.B) {
+	benchCommit(b, false)
+}
+
+func benchCommit(b *testing.B, pipelined bool) {
+	net := simnet.New(simnet.DefaultTopology())
+	members := threeMembers()
+	nodes := make([]*Node, 0, 3)
+	for _, m := range members {
+		n, err := NewNode(Config{
+			Group: "bg", Self: m.Name, Members: members, Net: net,
+			HeartbeatEvery: time.Millisecond, ElectionTimeout: time.Second,
+			Pipelined: pipelined, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	nodes[0].Bootstrap()
+	for _, n := range nodes {
+		n.Start()
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+	rec := insertRec("benchmark-key", "benchmark-value-of-typical-row-size-for-oltp-loads")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nodes[0].ProposeAndWait(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestPartitionFlapsConverge: repeatedly partition and heal the leader's
+// DC while writes continue; the group must end converged with no
+// committed writes lost.
+func TestPartitionFlapsConverge(t *testing.T) {
+	g := newGroup(t, threeMembers(), true)
+	g.nodes["dn1"].Bootstrap()
+	g.startAll()
+
+	committed := make(map[string]bool)
+	txn := uint64(0)
+	commitOne := func() {
+		txn++
+		key := fmt.Sprintf("k%04d", txn)
+		// Find whoever currently holds a LEASE — an isolated old leader
+		// still believes it leads, but its lease lapses without majority
+		// acknowledgements, which is exactly what the lease is for.
+		for _, n := range g.nodes {
+			if !n.HoldsLease() {
+				continue
+			}
+			// Bound the wait: a partition can land right after the lease
+			// check, leaving the commit pending until the group heals.
+			done := make(chan error, 1)
+			go func(n *Node) {
+				_, err := n.ProposeAndWait(insertRec(key, "v"))
+				done <- err
+			}(n)
+			select {
+			case err := <-done:
+				if err == nil {
+					committed[key] = true
+				}
+			case <-time.After(2 * time.Second):
+				// Unacknowledged: must not be counted as committed.
+			}
+			return
+		}
+	}
+
+	for flap := 0; flap < 3; flap++ {
+		for i := 0; i < 5; i++ {
+			commitOne()
+		}
+		g.net.Partition(simnet.DC1, simnet.DC2)
+		g.net.Partition(simnet.DC1, simnet.DC3)
+		time.Sleep(150 * time.Millisecond) // may elect across DC2/DC3
+		for i := 0; i < 3; i++ {
+			commitOne()
+		}
+		g.net.Heal(simnet.DC1, simnet.DC2)
+		g.net.Heal(simnet.DC1, simnet.DC3)
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Convergence: all nodes reach the same DLSN and hold every
+	// committed key.
+	waitFor(t, 10*time.Second, "post-flap convergence", func() bool {
+		var dlsns []wal.LSN
+		leaders := 0
+		for _, n := range g.nodes {
+			dlsns = append(dlsns, n.DLSN())
+			if n.Role() == RoleLeader {
+				leaders++
+			}
+		}
+		return leaders == 1 && dlsns[0] == dlsns[1] && dlsns[1] == dlsns[2] && dlsns[0] > 0
+	})
+	for name, n := range g.nodes {
+		recs, err := n.Log().ReadRecords(n.Log().BaseLSN(), n.DLSN())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		have := map[string]bool{}
+		for _, r := range recs {
+			have[string(r.Key)] = true
+		}
+		for key := range committed {
+			if !have[key] {
+				t.Fatalf("%s lost committed key %s", name, key)
+			}
+		}
+	}
+	if len(committed) == 0 {
+		t.Fatal("no writes committed during the experiment")
+	}
+}
+
+func TestIdleLeaderKeepsLease(t *testing.T) {
+	// Lease renewal must not depend on DLSN movement: an idle leader
+	// keeps its lease on heartbeat acks alone (LeaseDuration here is
+	// 4 heartbeats = 8ms, so 100ms idle spans many expiries).
+	g := newGroup(t, threeMembers(), true)
+	g.nodes["dn1"].Bootstrap()
+	g.startAll()
+	end, _ := g.nodes["dn1"].Propose(insertRec("k", "v"))
+	g.nodes["dn1"].AwaitDurable(end)
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if !g.nodes["dn1"].HoldsLease() {
+			t.Fatal("idle leader lost its lease")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// And an isolated leader loses it: acks stop, the lease expires.
+	g.net.SetDown("g1/dn1", true)
+	time.Sleep(60 * time.Millisecond)
+	if g.nodes["dn1"].HoldsLease() {
+		t.Fatal("isolated leader still claims the lease")
+	}
+}
+
+func TestPromotedLeaderAppliesFollowerBacklog(t *testing.T) {
+	// A follower that accepted log entries but had not applied them
+	// (commit broadcast lost with the old leader) must hand that
+	// backlog to OnApply after winning the election — otherwise the
+	// new leader's state machine silently misses committed writes.
+	g := newGroup(t, threeMembers(), true)
+	g.nodes["dn1"].Bootstrap()
+	g.startAll()
+	for i := 0; i < 5; i++ {
+		end, err := g.nodes["dn1"].Propose(insertRec(fmt.Sprintf("k%d", i), "v"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.nodes["dn1"].AwaitDurable(end); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.net.SetDown("g1/dn1", true)
+	var promoted *Node
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && promoted == nil {
+		for _, name := range []string{"dn2", "dn3"} {
+			if n := g.nodes[name]; n.Role() == RoleLeader && n.LeaderCaughtUp() {
+				promoted = n
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if promoted == nil {
+		t.Fatal("no caught-up leader elected")
+	}
+	g.mu.Lock()
+	n := len(g.applied[promoted.cfg.Self])
+	g.mu.Unlock()
+	if n != 5 {
+		t.Fatalf("promoted leader applied %d of 5 records", n)
+	}
+}

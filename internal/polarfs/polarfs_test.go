@@ -1,0 +1,352 @@
+package polarfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simnet"
+)
+
+// newTestCluster builds a fabric with nSN chunk servers in DC1 plus a
+// "dn" client endpoint, using a small chunk size for fast tests.
+func newTestCluster(t *testing.T, nSN int, chunkSize int64) (*Cluster, *simnet.Network) {
+	t.Helper()
+	net := simnet.New(simnet.ZeroTopology())
+	net.Register("dn", simnet.DC1, func(string, any) (any, error) { return nil, nil })
+	c := NewCluster(net, chunkSize)
+	for i := 0; i < nSN; i++ {
+		if _, err := c.AddServer(fmt.Sprintf("sn%d", i), simnet.DC1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, net
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	c, _ := newTestCluster(t, 3, 64)
+	v, err := c.CreateVolume("vol1", simnet.DC1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("hello polarfs")
+	if err := v.WriteAt("dn", 0, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.ReadAt("dn", 0, int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestWriteSpansChunks(t *testing.T) {
+	c, _ := newTestCluster(t, 3, 16)
+	v, _ := c.CreateVolume("vol1", simnet.DC1)
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := v.WriteAt("dn", 5, data); err != nil {
+		t.Fatal(err)
+	}
+	if v.Chunks() != 7 { // (5+100+15)/16 = 7 chunks
+		t.Fatalf("chunks = %d", v.Chunks())
+	}
+	got, err := v.ReadAt("dn", 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-chunk round trip mismatch")
+	}
+}
+
+func TestUnwrittenRangeReadsZero(t *testing.T) {
+	c, _ := newTestCluster(t, 3, 32)
+	v, _ := c.CreateVolume("vol1", simnet.DC1)
+	if err := v.WriteAt("dn", 60, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.ReadAt("dn", 0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatalf("unwritten byte = %d", b)
+		}
+	}
+}
+
+func TestVolumeGrowsOnDemand(t *testing.T) {
+	c, _ := newTestCluster(t, 3, 16)
+	v, _ := c.CreateVolume("vol1", simnet.DC1)
+	if v.Size() != 0 {
+		t.Fatalf("new volume size %d", v.Size())
+	}
+	v.WriteAt("dn", 0, []byte("x"))
+	if v.Size() != 16 {
+		t.Fatalf("size after 1-byte write = %d", v.Size())
+	}
+	v.WriteAt("dn", 100, []byte("y"))
+	if v.Size() != 112 { // ceil(101/16)=7 chunks
+		t.Fatalf("size after sparse write = %d", v.Size())
+	}
+}
+
+func TestReadBeyondProvisioned(t *testing.T) {
+	c, _ := newTestCluster(t, 3, 16)
+	v, _ := c.CreateVolume("vol1", simnet.DC1)
+	v.WriteAt("dn", 0, []byte("abc"))
+	if _, err := v.ReadAt("dn", 0, 17); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNegativeOffset(t *testing.T) {
+	c, _ := newTestCluster(t, 3, 16)
+	v, _ := c.CreateVolume("vol1", simnet.DC1)
+	if err := v.WriteAt("dn", -1, []byte("x")); !errors.Is(err, ErrNegativeOffset) {
+		t.Fatalf("write err = %v", err)
+	}
+	if _, err := v.ReadAt("dn", -1, 1); !errors.Is(err, ErrNegativeOffset) {
+		t.Fatalf("read err = %v", err)
+	}
+}
+
+func TestEmptyWriteAndRead(t *testing.T) {
+	c, _ := newTestCluster(t, 3, 16)
+	v, _ := c.CreateVolume("vol1", simnet.DC1)
+	if err := v.WriteAt("dn", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := v.ReadAt("dn", 0, 0); err != nil || got != nil {
+		t.Fatalf("empty read = %v, %v", got, err)
+	}
+}
+
+func TestCreateVolumeNeedsThreeServers(t *testing.T) {
+	net := simnet.New(simnet.ZeroTopology())
+	c := NewCluster(net, 16)
+	c.AddServer("sn0", simnet.DC1)
+	c.AddServer("sn1", simnet.DC1)
+	if _, err := c.CreateVolume("v", simnet.DC1); !errors.Is(err, ErrNoServers) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCreateVolumeDuplicate(t *testing.T) {
+	c, _ := newTestCluster(t, 3, 16)
+	c.CreateVolume("v", simnet.DC1)
+	if _, err := c.CreateVolume("v", simnet.DC1); !errors.Is(err, ErrVolumeExists) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVolumeLookup(t *testing.T) {
+	c, _ := newTestCluster(t, 3, 16)
+	v, _ := c.CreateVolume("v", simnet.DC1)
+	got, err := c.Volume("v")
+	if err != nil || got != v {
+		t.Fatalf("Volume() = %v, %v", got, err)
+	}
+	if _, err := c.Volume("ghost"); !errors.Is(err, ErrUnknownVolume) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAddServerDuplicate(t *testing.T) {
+	net := simnet.New(simnet.ZeroTopology())
+	c := NewCluster(net, 16)
+	c.AddServer("sn0", simnet.DC1)
+	if _, err := c.AddServer("sn0", simnet.DC1); !errors.Is(err, ErrServerExists) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestMajorityWriteSurvivesOneServerDown: with one of three replicas down
+// the write must still succeed (quorum 2/3) and remain readable.
+func TestMajorityWriteSurvivesOneServerDown(t *testing.T) {
+	c, _ := newTestCluster(t, 3, 64)
+	v, _ := c.CreateVolume("v", simnet.DC1)
+	if err := v.WriteAt("dn", 0, []byte("seed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetServerDown("sn0", true); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("written with one replica down")
+	if err := v.WriteAt("dn", 0, data); err != nil {
+		t.Fatalf("majority write failed: %v", err)
+	}
+	got, err := v.ReadAt("dn", 0, int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %q after failover", got)
+	}
+}
+
+func TestWriteFailsWithoutQuorum(t *testing.T) {
+	c, _ := newTestCluster(t, 3, 64)
+	v, _ := c.CreateVolume("v", simnet.DC1)
+	v.WriteAt("dn", 0, []byte("seed"))
+	c.SetServerDown("sn0", true)
+	c.SetServerDown("sn1", true)
+	if err := v.WriteAt("dn", 0, []byte("doomed")); !errors.Is(err, ErrQuorumLost) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadFailoverThroughAllReplicas(t *testing.T) {
+	c, _ := newTestCluster(t, 3, 64)
+	v, _ := c.CreateVolume("v", simnet.DC1)
+	if err := v.WriteAt("dn", 0, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	// Take down the current leader replica; the read must fail over to a
+	// replica holding the majority-committed write.
+	g, err := v.group(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetServerDown(g.leaderName(), true)
+	got, err := v.ReadAt("dn", 0, 3)
+	if err != nil {
+		t.Fatalf("read with leader down: %v", err)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("got %q", got)
+	}
+	// All down: read fails (quorum systems lose availability, they do not
+	// serve stale data).
+	c.SetServerDown("sn0", true)
+	c.SetServerDown("sn1", true)
+	c.SetServerDown("sn2", true)
+	if _, err := v.ReadAt("dn", 0, 3); err == nil {
+		t.Fatal("read with all replicas down should fail")
+	}
+}
+
+func TestSetServerDownUnknown(t *testing.T) {
+	c, _ := newTestCluster(t, 3, 64)
+	if err := c.SetServerDown("ghost", true); !errors.Is(err, ErrUnknownServer) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPlacementBalancesAcrossServers(t *testing.T) {
+	c, _ := newTestCluster(t, 6, 16)
+	v, _ := c.CreateVolume("v", simnet.DC1)
+	if err := v.WriteAt("dn", 0, make([]byte, 16*10)); err != nil {
+		t.Fatal(err)
+	}
+	// 10 chunks x 3 replicas over 6 servers: least-loaded placement must
+	// assign each server exactly 5. (Assignment counts, not materialized
+	// chunks: a majority write may return before the third replica lands.)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name := range c.servers {
+		if got := c.placed[name]; got != 5 {
+			t.Fatalf("server %s assigned %d chunks, want 5", name, got)
+		}
+	}
+}
+
+func TestConcurrentDisjointWrites(t *testing.T) {
+	c, _ := newTestCluster(t, 3, 128)
+	v, _ := c.CreateVolume("v", simnet.DC1)
+	// Pre-provision to avoid racing on growth bookkeeping checks.
+	if err := v.WriteAt("dn", 0, make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pattern := bytes.Repeat([]byte{byte(i + 1)}, 128)
+			if err := v.WriteAt("dn", int64(i)*128, pattern); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 8; i++ {
+		got, err := v.ReadAt("dn", int64(i)*128, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range got {
+			if b != byte(i+1) {
+				t.Fatalf("region %d corrupted: byte %d", i, b)
+			}
+		}
+	}
+}
+
+func TestVolumeFullAtMaxChunks(t *testing.T) {
+	c, _ := newTestCluster(t, 3, 1)
+	v, _ := c.CreateVolume("v", simnet.DC1)
+	if err := v.WriteAt("dn", 0, make([]byte, MaxChunksPerVol)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.WriteAt("dn", MaxChunksPerVol, []byte{1}); !errors.Is(err, ErrVolumeFull) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: any sequence of (offset, data) writes followed by reads of the
+// same ranges returns exactly what was written last to each byte.
+func TestPropertyWriteReadConsistency(t *testing.T) {
+	c, _ := newTestCluster(t, 3, 32)
+	v, _ := c.CreateVolume("v", simnet.DC1)
+	shadow := make([]byte, 0, 4096)
+	f := func(offRaw uint16, data []byte) bool {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		off := int64(offRaw % 2048)
+		if err := v.WriteAt("dn", off, data); err != nil {
+			return false
+		}
+		end := int(off) + len(data)
+		for len(shadow) < end {
+			shadow = append(shadow, 0)
+		}
+		copy(shadow[off:], data)
+		got, err := v.ReadAt("dn", off, int64(len(data)))
+		if err != nil {
+			return len(data) == 0
+		}
+		return bytes.Equal(got, shadow[off:end])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkVolumeWrite4K(b *testing.B) {
+	net := simnet.New(simnet.ZeroTopology())
+	net.Register("dn", simnet.DC1, func(string, any) (any, error) { return nil, nil })
+	c := NewCluster(net, DefaultChunkSize)
+	for i := 0; i < 3; i++ {
+		c.AddServer(fmt.Sprintf("sn%d", i), simnet.DC1)
+	}
+	v, _ := c.CreateVolume("v", simnet.DC1)
+	buf := make([]byte, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := v.WriteAt("dn", int64(i%256)*4096, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package simnet provides the simulated multi-datacenter network fabric
+// that every PolarDB-X component (CN, DN, SN, GMS, TSO) communicates over.
+//
+// The paper's cross-DC experiments (§VII-A) hinge on where round trips
+// happen: HLC-SI piggybacks timestamps on existing 2PC messages while
+// TSO-SI pays an extra cross-DC hop per timestamp. simnet injects real
+// wall-clock latency per (source DC, destination DC) pair so those
+// protocol differences produce the same relative shapes as the paper's
+// three-datacenter deployment, without any real network.
+//
+// Endpoints register a handler; callers use Call (synchronous RPC) or
+// Send (one-way). Partitions and per-link failure can be injected for
+// fault-tolerance tests.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DC identifies a datacenter.
+type DC int
+
+// Common datacenter names for three-DC deployments, matching the paper's
+// evaluation setup.
+const (
+	DC1 DC = iota
+	DC2
+	DC3
+)
+
+func (d DC) String() string { return fmt.Sprintf("DC%d", int(d)+1) }
+
+// Errors returned by the fabric.
+var (
+	ErrUnknownEndpoint = errors.New("simnet: unknown endpoint")
+	ErrPartitioned     = errors.New("simnet: network partitioned")
+	ErrEndpointDown    = errors.New("simnet: endpoint down")
+)
+
+// Handler processes an incoming message and returns a reply. Handlers run
+// on the caller's goroutine after the simulated propagation delay; they
+// must therefore be non-blocking or internally concurrent, exactly like a
+// real RPC server's dispatch loop.
+type Handler func(from string, msg any) (any, error)
+
+// Topology describes datacenters and the round-trip time between them.
+type Topology struct {
+	// IntraDCRTT is the round trip within one datacenter.
+	IntraDCRTT time.Duration
+	// InterDCRTT is the round trip between two different datacenters.
+	InterDCRTT time.Duration
+	// Custom, when non-nil, overrides the RTT for specific DC pairs.
+	Custom map[[2]DC]time.Duration
+}
+
+// DefaultTopology mirrors the paper's evaluation network: ~1 ms RTT
+// between datacenters, and a fast (80 µs) intra-DC fabric.
+func DefaultTopology() Topology {
+	return Topology{
+		IntraDCRTT: 80 * time.Microsecond,
+		InterDCRTT: time.Millisecond,
+	}
+}
+
+// ZeroTopology has no injected latency; unit tests use it so protocol
+// logic can be exercised at full speed.
+func ZeroTopology() Topology { return Topology{} }
+
+// RTT returns the round-trip time between two datacenters.
+func (t Topology) RTT(a, b DC) time.Duration {
+	if t.Custom != nil {
+		if d, ok := t.Custom[[2]DC{a, b}]; ok {
+			return d
+		}
+		if d, ok := t.Custom[[2]DC{b, a}]; ok {
+			return d
+		}
+	}
+	if a == b {
+		return t.IntraDCRTT
+	}
+	return t.InterDCRTT
+}
+
+// OneWay returns the one-way propagation delay between two datacenters.
+func (t Topology) OneWay(a, b DC) time.Duration { return t.RTT(a, b) / 2 }
+
+type endpoint struct {
+	dc      DC
+	handler Handler
+	down    atomic.Bool
+}
+
+// Network is the fabric. It is safe for concurrent use.
+type Network struct {
+	topo Topology
+
+	mu        sync.RWMutex
+	endpoints map[string]*endpoint
+	// partitioned holds DC pairs that currently cannot communicate.
+	partitioned map[[2]DC]bool
+
+	// stats
+	statsMu sync.Mutex
+	msgs    map[string]int64 // per-destination message count
+}
+
+// New creates a Network with the given topology.
+func New(topo Topology) *Network {
+	return &Network{
+		topo:        topo,
+		endpoints:   make(map[string]*endpoint),
+		partitioned: make(map[[2]DC]bool),
+		msgs:        make(map[string]int64),
+	}
+}
+
+// Register adds an endpoint with the given name in the given DC. It
+// panics on duplicate names: endpoint identity bugs should fail loudly in
+// a simulator.
+func (n *Network) Register(name string, dc DC, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.endpoints[name]; dup {
+		panic("simnet: duplicate endpoint " + name)
+	}
+	n.endpoints[name] = &endpoint{dc: dc, handler: h}
+}
+
+// Unregister removes an endpoint (e.g. a decommissioned node).
+func (n *Network) Unregister(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.endpoints, name)
+}
+
+// SetDown marks an endpoint as crashed (true) or recovered (false).
+// Calls to a down endpoint fail with ErrEndpointDown after the
+// propagation delay, like a TCP connect timeout.
+func (n *Network) SetDown(name string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[name]; ok {
+		ep.down.Store(down)
+	}
+}
+
+// IsDown reports whether an endpoint is currently marked crashed.
+// Unknown endpoints report true (an unregistered node is unreachable).
+func (n *Network) IsDown(name string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep, ok := n.endpoints[name]
+	return !ok || ep.down.Load()
+}
+
+// Partition severs connectivity between two datacenters in both
+// directions. Intra-DC traffic is unaffected.
+func (n *Network) Partition(a, b DC) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitioned[[2]DC{a, b}] = true
+	n.partitioned[[2]DC{b, a}] = true
+}
+
+// Heal removes a partition between two datacenters.
+func (n *Network) Heal(a, b DC) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitioned, [2]DC{a, b})
+	delete(n.partitioned, [2]DC{b, a})
+}
+
+// IsolateDC partitions one datacenter from all others — the "datacenter
+// disaster" scenario of §III.
+func (n *Network) IsolateDC(dc DC, all []DC) {
+	for _, other := range all {
+		if other != dc {
+			n.Partition(dc, other)
+		}
+	}
+}
+
+// DCOf returns the datacenter an endpoint lives in.
+func (n *Network) DCOf(name string) (DC, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	ep, ok := n.endpoints[name]
+	if !ok {
+		return 0, false
+	}
+	return ep.dc, true
+}
+
+// Endpoints returns the names of all registered endpoints.
+func (n *Network) Endpoints() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.endpoints))
+	for name := range n.endpoints {
+		out = append(out, name)
+	}
+	return out
+}
+
+// lookup resolves source and destination and checks partitions.
+func (n *Network) lookup(from, to string) (srcDC DC, dst *endpoint, err error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	src, ok := n.endpoints[from]
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: %s (source)", ErrUnknownEndpoint, from)
+	}
+	if src.down.Load() {
+		// A crashed process neither receives nor sends.
+		return src.dc, nil, fmt.Errorf("%w: %s (source)", ErrEndpointDown, from)
+	}
+	d, ok := n.endpoints[to]
+	if !ok {
+		return src.dc, nil, fmt.Errorf("%w: %s", ErrUnknownEndpoint, to)
+	}
+	if n.partitioned[[2]DC{src.dc, d.dc}] {
+		return src.dc, nil, fmt.Errorf("%w: %s <-> %s", ErrPartitioned, src.dc, d.dc)
+	}
+	n.statsMu.Lock()
+	n.msgs[to]++
+	n.statsMu.Unlock()
+	return src.dc, d, nil
+}
+
+// Call performs a synchronous RPC from one endpoint to another: it sleeps
+// for the one-way delay, invokes the handler, then sleeps for the return
+// delay. The caller's goroutine blocks for the full round trip, which is
+// exactly the cost model the paper's TSO-vs-HLC comparison measures.
+func (n *Network) Call(from, to string, msg any) (any, error) {
+	srcDC, dst, err := n.lookup(from, to)
+	if err != nil {
+		return nil, err
+	}
+	oneWay := n.topo.OneWay(srcDC, dst.dc)
+	sleep(oneWay)
+	if dst.isDown() {
+		return nil, fmt.Errorf("%w: %s", ErrEndpointDown, to)
+	}
+	reply, err := dst.handler(from, msg)
+	sleep(oneWay)
+	return reply, err
+}
+
+// Send delivers a one-way message asynchronously after the propagation
+// delay. Errors (unknown endpoint, partition, down) are reported through
+// the optional callback; fire-and-forget callers pass nil. Send returns
+// immediately — it models a pipelined, non-blocking log stream (§III).
+func (n *Network) Send(from, to string, msg any, onErr func(error)) {
+	srcDC, dst, err := n.lookup(from, to)
+	if err != nil {
+		if onErr != nil {
+			onErr(err)
+		}
+		return
+	}
+	oneWay := n.topo.OneWay(srcDC, dst.dc)
+	go func() {
+		sleep(oneWay)
+		if dst.isDown() {
+			if onErr != nil {
+				onErr(fmt.Errorf("%w: %s", ErrEndpointDown, to))
+			}
+			return
+		}
+		if _, err := dst.handler(from, msg); err != nil && onErr != nil {
+			onErr(err)
+		}
+	}()
+}
+
+func (e *endpoint) isDown() bool { return e.down.Load() }
+
+// MessageCount returns how many messages were delivered to an endpoint,
+// for assertions like "HLC-SI sends zero messages to the TSO".
+func (n *Network) MessageCount(to string) int64 {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	return n.msgs[to]
+}
+
+// RTTBetween exposes the topology RTT between the DCs of two endpoints.
+func (n *Network) RTTBetween(a, b string) (time.Duration, error) {
+	da, ok := n.DCOf(a)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownEndpoint, a)
+	}
+	db, ok := n.DCOf(b)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownEndpoint, b)
+	}
+	return n.topo.RTT(da, db), nil
+}
+
+// sleep waits for d, skipping the syscall entirely for zero topologies so
+// unit tests run at memory speed.
+func sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}

@@ -1,0 +1,255 @@
+package simnet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func echoHandler(from string, msg any) (any, error) { return msg, nil }
+
+func TestCallRoundTrip(t *testing.T) {
+	n := New(ZeroTopology())
+	n.Register("a", DC1, echoHandler)
+	n.Register("b", DC2, echoHandler)
+	reply, err := n.Call("a", "b", "ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply != "ping" {
+		t.Fatalf("reply = %v", reply)
+	}
+}
+
+func TestCallUnknownEndpoints(t *testing.T) {
+	n := New(ZeroTopology())
+	n.Register("a", DC1, echoHandler)
+	if _, err := n.Call("a", "ghost", nil); !errors.Is(err, ErrUnknownEndpoint) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := n.Call("ghost", "a", nil); !errors.Is(err, ErrUnknownEndpoint) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCallLatencyInterDC(t *testing.T) {
+	topo := Topology{IntraDCRTT: 0, InterDCRTT: 10 * time.Millisecond}
+	n := New(topo)
+	n.Register("a", DC1, echoHandler)
+	n.Register("b", DC2, echoHandler)
+	start := time.Now()
+	if _, err := n.Call("a", "b", nil); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 9*time.Millisecond {
+		t.Fatalf("inter-DC call returned in %v, want >= ~10ms", el)
+	}
+}
+
+func TestCallLatencyIntraDCFasterThanInter(t *testing.T) {
+	topo := Topology{IntraDCRTT: time.Millisecond, InterDCRTT: 20 * time.Millisecond}
+	n := New(topo)
+	n.Register("a", DC1, echoHandler)
+	n.Register("b", DC1, echoHandler)
+	start := time.Now()
+	n.Call("a", "b", nil)
+	if el := time.Since(start); el > 10*time.Millisecond {
+		t.Fatalf("intra-DC call took %v", el)
+	}
+}
+
+func TestCustomRTTOverride(t *testing.T) {
+	topo := Topology{
+		InterDCRTT: time.Millisecond,
+		Custom:     map[[2]DC]time.Duration{{DC1, DC3}: 30 * time.Millisecond},
+	}
+	if got := topo.RTT(DC3, DC1); got != 30*time.Millisecond {
+		t.Fatalf("custom RTT (reversed pair) = %v", got)
+	}
+	if got := topo.RTT(DC1, DC2); got != time.Millisecond {
+		t.Fatalf("default RTT = %v", got)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := New(ZeroTopology())
+	n.Register("a", DC1, echoHandler)
+	n.Register("b", DC2, echoHandler)
+	n.Register("c", DC1, echoHandler)
+	n.Partition(DC1, DC2)
+	if _, err := n.Call("a", "b", nil); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("err = %v, want partitioned", err)
+	}
+	// Intra-DC unaffected.
+	if _, err := n.Call("a", "c", nil); err != nil {
+		t.Fatalf("intra-DC call failed during partition: %v", err)
+	}
+	n.Heal(DC1, DC2)
+	if _, err := n.Call("a", "b", nil); err != nil {
+		t.Fatalf("call after heal: %v", err)
+	}
+}
+
+func TestIsolateDC(t *testing.T) {
+	n := New(ZeroTopology())
+	n.Register("a", DC1, echoHandler)
+	n.Register("b", DC2, echoHandler)
+	n.Register("c", DC3, echoHandler)
+	n.IsolateDC(DC1, []DC{DC1, DC2, DC3})
+	if _, err := n.Call("a", "b", nil); !errors.Is(err, ErrPartitioned) {
+		t.Fatal("DC1->DC2 should be partitioned")
+	}
+	if _, err := n.Call("b", "c", nil); err != nil {
+		t.Fatalf("DC2->DC3 should be fine: %v", err)
+	}
+}
+
+func TestSetDown(t *testing.T) {
+	n := New(ZeroTopology())
+	n.Register("a", DC1, echoHandler)
+	n.Register("b", DC1, echoHandler)
+	n.SetDown("b", true)
+	if _, err := n.Call("a", "b", nil); !errors.Is(err, ErrEndpointDown) {
+		t.Fatalf("err = %v, want down", err)
+	}
+	n.SetDown("b", false)
+	if _, err := n.Call("a", "b", nil); err != nil {
+		t.Fatalf("call after recovery: %v", err)
+	}
+}
+
+func TestSendAsync(t *testing.T) {
+	n := New(ZeroTopology())
+	got := make(chan any, 1)
+	n.Register("a", DC1, echoHandler)
+	n.Register("b", DC2, func(from string, msg any) (any, error) {
+		got <- msg
+		return nil, nil
+	})
+	n.Send("a", "b", 42, nil)
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Fatalf("got %v", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Send never delivered")
+	}
+}
+
+func TestSendErrorCallback(t *testing.T) {
+	n := New(ZeroTopology())
+	n.Register("a", DC1, echoHandler)
+	errs := make(chan error, 1)
+	n.Send("a", "nobody", nil, func(err error) { errs <- err })
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrUnknownEndpoint) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no error callback")
+	}
+}
+
+func TestSendToDownEndpointReportsError(t *testing.T) {
+	n := New(ZeroTopology())
+	n.Register("a", DC1, echoHandler)
+	n.Register("b", DC1, echoHandler)
+	n.SetDown("b", true)
+	errs := make(chan error, 1)
+	n.Send("a", "b", nil, func(err error) { errs <- err })
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrEndpointDown) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no error callback")
+	}
+}
+
+func TestMessageCount(t *testing.T) {
+	n := New(ZeroTopology())
+	n.Register("a", DC1, echoHandler)
+	n.Register("tso", DC2, echoHandler)
+	for i := 0; i < 5; i++ {
+		n.Call("a", "tso", nil)
+	}
+	if got := n.MessageCount("tso"); got != 5 {
+		t.Fatalf("MessageCount = %d", got)
+	}
+	if got := n.MessageCount("a"); got != 0 {
+		t.Fatalf("MessageCount(a) = %d", got)
+	}
+}
+
+func TestRTTBetween(t *testing.T) {
+	n := New(DefaultTopology())
+	n.Register("a", DC1, echoHandler)
+	n.Register("b", DC3, echoHandler)
+	rtt, err := n.RTTBetween("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt != time.Millisecond {
+		t.Fatalf("rtt = %v", rtt)
+	}
+	if _, err := n.RTTBetween("a", "ghost"); err == nil {
+		t.Fatal("expected error for unknown endpoint")
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	n := New(ZeroTopology())
+	n.Register("a", DC1, echoHandler)
+	n.Register("b", DC1, echoHandler)
+	n.Unregister("b")
+	if _, err := n.Call("a", "b", nil); !errors.Is(err, ErrUnknownEndpoint) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate Register")
+		}
+	}()
+	n := New(ZeroTopology())
+	n.Register("a", DC1, echoHandler)
+	n.Register("a", DC1, echoHandler)
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	n := New(ZeroTopology())
+	n.Register("srv", DC1, echoHandler)
+	for i := 0; i < 8; i++ {
+		n.Register(DC1.String()+"-client-"+string(rune('a'+i)), DC1, echoHandler)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		name := DC1.String() + "-client-" + string(rune('a'+i))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if _, err := n.Call(name, "srv", j); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := n.MessageCount("srv"); got != 1600 {
+		t.Fatalf("MessageCount = %d, want 1600", got)
+	}
+}
+
+func TestDCString(t *testing.T) {
+	if DC1.String() != "DC1" || DC3.String() != "DC3" {
+		t.Fatal("DC String broken")
+	}
+}

@@ -1,0 +1,184 @@
+// Package sql implements the MySQL-flavoured SQL subset that PolarDB-X's
+// CN layer accepts in this reproduction: DDL (CREATE TABLE with
+// PARTITIONS and TABLEGROUP extensions, CREATE [GLOBAL] INDEX), DML
+// (INSERT/UPDATE/DELETE) and SELECT with joins, aggregation, grouping,
+// ordering and limits — enough to express the sysbench, TPC-C and TPC-H
+// workloads the paper evaluates.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokOp      // operators and punctuation
+	TokKeyword // recognized keyword (uppercased)
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string // keywords uppercased; identifiers as written
+	Pos  int    // byte offset
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true, "CREATE": true,
+	"TABLE": true, "INDEX": true, "PRIMARY": true, "KEY": true, "ON": true,
+	"AND": true, "OR": true, "NOT": true, "AS": true, "JOIN": true, "INNER": true,
+	"LEFT": true, "GROUP": true, "BY": true, "ORDER": true, "HAVING": true,
+	"LIMIT": true, "ASC": true, "DESC": true, "NULL": true, "TRUE": true,
+	"FALSE": true, "IN": true, "BETWEEN": true, "LIKE": true, "COUNT": true,
+	"SUM": true, "AVG": true, "MIN": true, "MAX": true, "DISTINCT": true,
+	"PARTITIONS": true, "TABLEGROUP": true, "GLOBAL": true, "CLUSTERED": true,
+	"INT": true, "BIGINT": true, "FLOAT": true, "DOUBLE": true, "DECIMAL": true,
+	"VARCHAR": true, "CHAR": true, "TEXT": true, "BOOL": true, "DATE": true,
+	"EXISTS": true, "IF": true, "CASE": true, "WHEN": true, "THEN": true,
+	"ELSE": true, "END": true, "IS": true,
+}
+
+// Lexer tokenizes SQL text.
+type Lexer struct {
+	src []byte
+	pos int
+}
+
+// NewLexer wraps a SQL string.
+func NewLexer(src string) *Lexer { return &Lexer{src: []byte(src)} }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		text := string(l.src[start:l.pos])
+		up := strings.ToUpper(text)
+		if keywords[up] {
+			return Token{Kind: TokKeyword, Text: up, Pos: start}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: start}, nil
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		seenDot := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == '.' {
+				if seenDot {
+					break
+				}
+				seenDot = true
+				l.pos++
+				continue
+			}
+			if !isDigit(ch) && ch != 'e' && ch != 'E' {
+				break
+			}
+			if ch == 'e' || ch == 'E' {
+				l.pos++
+				if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+					l.pos++
+				}
+				continue
+			}
+			l.pos++
+		}
+		return Token{Kind: TokNumber, Text: string(l.src[start:l.pos]), Pos: start}, nil
+	case c == '\'' || c == '"':
+		quote := c
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == quote {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == quote {
+					sb.WriteByte(quote) // doubled quote escape
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+			}
+			if ch == '\\' && l.pos+1 < len(l.src) {
+				l.pos++
+				sb.WriteByte(l.src[l.pos])
+				l.pos++
+				continue
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		return Token{}, fmt.Errorf("sql: unterminated string at %d", start)
+	default:
+		// Multi-char operators first.
+		for _, op := range []string{"<=", ">=", "<>", "!=", "||"} {
+			if strings.HasPrefix(string(l.src[l.pos:]), op) {
+				l.pos += 2
+				return Token{Kind: TokOp, Text: op, Pos: start}, nil
+			}
+		}
+		if strings.ContainsRune("()+-*/,=<>.;%", rune(c)) {
+			l.pos++
+			return Token{Kind: TokOp, Text: string(c), Pos: start}, nil
+		}
+		return Token{}, fmt.Errorf("sql: unexpected character %q at %d", c, start)
+	}
+}
+
+func (l *Lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if unicode.IsSpace(rune(c)) {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+func isDigit(c byte) bool     { return c >= '0' && c <= '9' }
+
+// Tokenize returns all tokens (testing convenience).
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

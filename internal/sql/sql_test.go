@@ -1,0 +1,476 @@
+package sql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return s
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := Tokenize(`SELECT a, 'it''s', 1.5e3 FROM t -- comment
+WHERE x >= 2;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+		texts = append(texts, tok.Text)
+	}
+	if texts[0] != "SELECT" || kinds[0] != TokKeyword {
+		t.Fatalf("first token %v %q", kinds[0], texts[0])
+	}
+	if texts[3] != "it's" || kinds[3] != TokString {
+		t.Fatalf("string token %q", texts[3])
+	}
+	if texts[5] != "1.5e3" || kinds[5] != TokNumber {
+		t.Fatalf("number token %q", texts[5])
+	}
+	if texts[len(texts)-4] != ">=" {
+		t.Fatalf("op token %q", texts[len(texts)-4])
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := Tokenize("SELECT 'unterminated"); err == nil {
+		t.Fatal("unterminated string accepted")
+	}
+	if _, err := Tokenize("SELECT @x"); err == nil {
+		t.Fatal("bad character accepted")
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	s := mustParse(t, `CREATE TABLE users (
+		id BIGINT,
+		name VARCHAR(64),
+		balance DECIMAL(10,2),
+		active BOOL,
+		PRIMARY KEY (id)
+	) PARTITIONS 8 TABLEGROUP tg1`)
+	ct := s.(*CreateTable)
+	if ct.Name != "users" || len(ct.Columns) != 4 || ct.Partitions != 8 || ct.TableGroup != "tg1" {
+		t.Fatalf("ct = %+v", ct)
+	}
+	if ct.Columns[1].Kind != types.KindString || ct.Columns[2].Kind != types.KindFloat {
+		t.Fatalf("column kinds: %+v", ct.Columns)
+	}
+	schema := ct.Schema()
+	if len(schema.PKCols) != 1 || schema.PKCols[0] != 0 {
+		t.Fatalf("schema pk = %v", schema.PKCols)
+	}
+}
+
+func TestParseCreateTableInlinePKAndImplicit(t *testing.T) {
+	s := mustParse(t, `CREATE TABLE t (id INT PRIMARY KEY, v TEXT)`)
+	ct := s.(*CreateTable)
+	if len(ct.PKCols) != 1 || ct.PKCols[0] != "id" {
+		t.Fatalf("pk = %v", ct.PKCols)
+	}
+	// No PK: implicit key is added by Schema().
+	s2 := mustParse(t, `CREATE TABLE logs (msg TEXT) PARTITIONS 4`)
+	schema := s2.(*CreateTable).Schema()
+	if !schema.ImplicitPK {
+		t.Fatal("implicit PK missing")
+	}
+}
+
+func TestParseCreateIndex(t *testing.T) {
+	ci := mustParse(t, `CREATE GLOBAL INDEX idx_name ON users (name, balance)`).(*CreateIndex)
+	if !ci.Global || ci.Clustered || ci.Table != "users" || len(ci.Columns) != 2 {
+		t.Fatalf("ci = %+v", ci)
+	}
+	ci2 := mustParse(t, `CREATE CLUSTERED INDEX cidx ON users (name)`).(*CreateIndex)
+	if !ci2.Clustered || !ci2.Global {
+		t.Fatalf("ci2 = %+v", ci2)
+	}
+	ci3 := mustParse(t, `CREATE INDEX local_idx ON users (name)`).(*CreateIndex)
+	if ci3.Global {
+		t.Fatalf("ci3 = %+v", ci3)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	ins := mustParse(t, `INSERT INTO users (id, name) VALUES (1, 'a'), (2, 'b')`).(*Insert)
+	if ins.Table != "users" || len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("ins = %+v", ins)
+	}
+	v, err := Eval(ins.Rows[1][1], nil)
+	if err != nil || v.AsString() != "b" {
+		t.Fatalf("row value = %v, %v", v, err)
+	}
+	ins2 := mustParse(t, `INSERT INTO t VALUES (1, -2.5, NULL, TRUE)`).(*Insert)
+	if len(ins2.Rows[0]) != 4 {
+		t.Fatalf("ins2 = %+v", ins2)
+	}
+	if v, _ := Eval(ins2.Rows[0][1], nil); v.AsFloat() != -2.5 {
+		t.Fatalf("negative literal = %v", v)
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	up := mustParse(t, `UPDATE users SET balance = balance + 10, name = 'x' WHERE id = 7`).(*Update)
+	if up.Table != "users" || len(up.Sets) != 2 || up.Where == nil {
+		t.Fatalf("up = %+v", up)
+	}
+	del := mustParse(t, `DELETE FROM users WHERE id BETWEEN 1 AND 5`).(*Delete)
+	if del.Table != "users" || del.Where == nil {
+		t.Fatalf("del = %+v", del)
+	}
+}
+
+func TestParseSelectFull(t *testing.T) {
+	sel := mustParse(t, `
+		SELECT o.status, COUNT(*) AS cnt, SUM(o.total + 1) total_sum
+		FROM orders o
+		JOIN customers c ON o.cust_id = c.id
+		LEFT JOIN nation n ON c.nation = n.id
+		WHERE o.total > 100 AND c.segment IN ('AUTO', 'BUILDING') AND o.status NOT LIKE 'X%'
+		GROUP BY o.status
+		HAVING COUNT(*) > 5
+		ORDER BY cnt DESC, o.status
+		LIMIT 10`).(*Select)
+	if len(sel.Items) != 3 || sel.Items[1].Alias != "cnt" || sel.Items[2].Alias != "total_sum" {
+		t.Fatalf("items = %+v", sel.Items)
+	}
+	if sel.From.Name != "orders" || sel.From.Alias != "o" {
+		t.Fatalf("from = %+v", sel.From)
+	}
+	if len(sel.Joins) != 2 || !sel.Joins[1].Left {
+		t.Fatalf("joins = %+v", sel.Joins)
+	}
+	if sel.Where == nil || len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Fatal("where/group/having missing")
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Fatalf("order = %+v", sel.OrderBy)
+	}
+	if sel.Limit != 10 {
+		t.Fatalf("limit = %d", sel.Limit)
+	}
+}
+
+func TestParseSelectStarAndCommaJoin(t *testing.T) {
+	sel := mustParse(t, `SELECT * FROM a, b WHERE a.x = b.y`).(*Select)
+	if !sel.Items[0].Star || len(sel.Joins) != 1 {
+		t.Fatalf("sel = %+v", sel)
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	sel := mustParse(t, `SELECT SUM(CASE WHEN t.x = 1 THEN t.y ELSE 0 END) FROM t`).(*Select)
+	fc := sel.Items[0].Expr.(*FuncCall)
+	if fc.Name != "SUM" {
+		t.Fatal("not a SUM")
+	}
+	if _, ok := fc.Args[0].(*CaseExpr); !ok {
+		t.Fatalf("arg = %T", fc.Args[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC * FROM t",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"INSERT INTO t",
+		"CREATE TABLE t",
+		"CREATE TABLE t (x INT) PARTITIONS abc",
+		"UPDATE t SET",
+		"SELECT * FROM t WHERE x NOT 5",
+		"SELECT * FROM t trailing garbage (",
+		"CREATE VIEW v AS SELECT 1",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+// bind resolves column refs by a simple name → index map for eval tests.
+func bind(t *testing.T, e Expr, cols map[string]int) Expr {
+	t.Helper()
+	Walk(e, func(n Expr) bool {
+		if c, ok := n.(*ColumnRef); ok {
+			idx, ok := cols[strings.ToLower(c.Column)]
+			if !ok {
+				t.Fatalf("unknown column %q", c.Column)
+			}
+			c.Index = idx
+		}
+		return true
+	})
+	return e
+}
+
+func evalOn(t *testing.T, src string, cols map[string]int, row types.Row) types.Value {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bind(t, e, cols)
+	v, err := Eval(e, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestEvalArithmeticAndComparison(t *testing.T) {
+	cols := map[string]int{"a": 0, "b": 1, "s": 2}
+	row := types.Row{types.Int(10), types.Float(2.5), types.Str("hello")}
+	cases := map[string]types.Value{
+		"a + 5":               types.Int(15),
+		"a * 2 - 1":           types.Int(19),
+		"a / 4":               types.Int(2), // int/int truncates (MySQL DIV)
+		"a / 4.0":             types.Float(2.5),
+		"a / 0":               types.Null(),
+		"b * 4":               types.Float(10),
+		"a > 5 AND b < 3":     types.Bool(true),
+		"a > 5 OR 1 = 2":      types.Bool(true),
+		"NOT a > 5":           types.Bool(false),
+		"a BETWEEN 10 AND 20": types.Bool(true),
+		"a NOT BETWEEN 1 AND": types.Null(), // placeholder, removed below
+	}
+	delete(cases, "a NOT BETWEEN 1 AND")
+	for src, want := range cases {
+		got := evalOn(t, src, cols, row)
+		if got.K != want.K || !got.IsNull() && got.Compare(want) != 0 {
+			t.Errorf("%s = %v, want %v", src, got, want)
+		}
+		if want.IsNull() && !got.IsNull() {
+			t.Errorf("%s = %v, want NULL", src, got)
+		}
+	}
+	if v := evalOn(t, "s LIKE 'he%'", cols, row); !v.IsTruthy() {
+		t.Error("LIKE prefix failed")
+	}
+	if v := evalOn(t, "s LIKE '%ll_'", cols, row); !v.IsTruthy() {
+		t.Error("LIKE suffix failed")
+	}
+	if v := evalOn(t, "s LIKE 'x%'", cols, row); v.IsTruthy() {
+		t.Error("LIKE false positive")
+	}
+	if v := evalOn(t, "a IN (1, 10, 100)", cols, row); !v.IsTruthy() {
+		t.Error("IN failed")
+	}
+	if v := evalOn(t, "a NOT IN (1, 2)", cols, row); !v.IsTruthy() {
+		t.Error("NOT IN failed")
+	}
+}
+
+func TestEvalNullSemantics(t *testing.T) {
+	cols := map[string]int{"x": 0}
+	row := types.Row{types.Null()}
+	if v := evalOn(t, "x = 1", cols, row); !v.IsNull() {
+		t.Errorf("NULL = 1 gave %v", v)
+	}
+	if v := evalOn(t, "x IS NULL", cols, row); !v.IsTruthy() {
+		t.Error("IS NULL failed")
+	}
+	if v := evalOn(t, "x IS NOT NULL", cols, row); v.IsTruthy() {
+		t.Error("IS NOT NULL failed")
+	}
+	if v := evalOn(t, "x + 1", cols, row); !v.IsNull() {
+		t.Error("NULL arithmetic should be NULL")
+	}
+}
+
+func TestEvalCase(t *testing.T) {
+	cols := map[string]int{"x": 0}
+	v := evalOn(t, "CASE WHEN x > 5 THEN 'big' WHEN x > 0 THEN 'small' ELSE 'neg' END",
+		cols, types.Row{types.Int(3)})
+	if v.AsString() != "small" {
+		t.Fatalf("case = %v", v)
+	}
+	v = evalOn(t, "CASE WHEN x > 5 THEN 1 END", cols, types.Row{types.Int(3)})
+	if !v.IsNull() {
+		t.Fatalf("case without else = %v", v)
+	}
+}
+
+func TestEvalUnboundColumnFails(t *testing.T) {
+	e, _ := ParseExpr("x + 1")
+	if _, err := Eval(e, types.Row{types.Int(1)}); err == nil {
+		t.Fatal("unbound column evaluated")
+	}
+}
+
+func TestEvalAggregateRejected(t *testing.T) {
+	e, _ := ParseExpr("SUM(1)")
+	if _, err := Eval(e, nil); err == nil {
+		t.Fatal("aggregate evaluated in scalar context")
+	}
+}
+
+func TestLikeMatchProperty(t *testing.T) {
+	// A pattern equal to the string (no wildcards) matches iff equal.
+	f := func(s string) bool {
+		if strings.ContainsAny(s, "%_") {
+			return true
+		}
+		return likeMatch(s, s) && (s == "" || !likeMatch(s, s+"x"))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// '%' matches everything.
+	g := func(s string) bool { return likeMatch(s, "%") }
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColumnRefsAndHasAggregate(t *testing.T) {
+	e, _ := ParseExpr("a + b * SUM(c.d)")
+	refs := ColumnRefs(e)
+	if len(refs) != 3 {
+		t.Fatalf("refs = %d", len(refs))
+	}
+	if !HasAggregate(e) {
+		t.Fatal("aggregate not detected")
+	}
+	e2, _ := ParseExpr("a + 1")
+	if HasAggregate(e2) {
+		t.Fatal("false aggregate")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e, _ := ParseExpr("a >= 1 AND b IN (2, 3) AND name LIKE 'x%'")
+	s := String(e)
+	for _, frag := range []string{"a >= 1", "IN (2, 3)", "LIKE", "'x%'"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String(%q) missing %q", s, frag)
+		}
+	}
+}
+
+func TestKeywordsAsColumnNames(t *testing.T) {
+	// "key" and "date" are common column names; must parse.
+	ct := mustParse(t, `CREATE TABLE kv (key VARCHAR(10), date INT, PRIMARY KEY(key))`).(*CreateTable)
+	if ct.Columns[0].Name != "key" || ct.Columns[1].Name != "date" {
+		t.Fatalf("cols = %+v", ct.Columns)
+	}
+}
+
+// TestParserNeverPanics drives the parser with adversarial inputs:
+// random mutations of valid statements plus raw garbage. The parser may
+// reject anything but must not panic.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		"SELECT a, b FROM t WHERE x = 1 GROUP BY a ORDER BY b LIMIT 5",
+		"INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')",
+		"UPDATE t SET a = a + 1 WHERE b IN (1, 2, 3)",
+		"CREATE TABLE t (a INT, b VARCHAR(10), PRIMARY KEY(a)) PARTITIONS 4",
+		"DELETE FROM t WHERE a BETWEEN 1 AND 9",
+		"SELECT SUM(CASE WHEN a = 1 THEN b ELSE 0 END) FROM t JOIN u ON t.a = u.a",
+	}
+	rng := rand.New(rand.NewSource(321))
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("parser panicked: %v", r)
+		}
+	}()
+	for trial := 0; trial < 5000; trial++ {
+		src := seeds[rng.Intn(len(seeds))]
+		b := []byte(src)
+		// Mutate: delete, duplicate or scramble a few bytes.
+		for m := 0; m < 1+rng.Intn(4); m++ {
+			if len(b) == 0 {
+				break
+			}
+			i := rng.Intn(len(b))
+			switch rng.Intn(3) {
+			case 0:
+				b = append(b[:i], b[i+1:]...)
+			case 1:
+				b = append(b[:i], append([]byte{b[i]}, b[i:]...)...)
+			default:
+				b[i] = byte(rng.Intn(128))
+			}
+		}
+		_, _ = Parse(string(b)) // errors fine; panics not
+	}
+}
+
+func TestParseCreateTablePartitionBy(t *testing.T) {
+	s := mustParse(t, `CREATE TABLE lineitem (
+		l_id BIGINT, l_oid BIGINT, PRIMARY KEY(l_id)
+	) PARTITIONS 8 BY (l_oid) TABLEGROUP tg_ol`)
+	ct := s.(*CreateTable)
+	if ct.Partitions != 8 || len(ct.PartitionBy) != 1 || ct.PartitionBy[0] != "l_oid" {
+		t.Fatalf("ct = %+v", ct)
+	}
+	if ct.TableGroup != "tg_ol" {
+		t.Fatalf("tablegroup = %q", ct.TableGroup)
+	}
+	// Multi-column BY clause.
+	s2 := mustParse(t, `CREATE TABLE t (a INT, b INT, c INT, PRIMARY KEY(a)) PARTITIONS 4 BY (b, c)`)
+	if pb := s2.(*CreateTable).PartitionBy; len(pb) != 2 || pb[0] != "b" || pb[1] != "c" {
+		t.Fatalf("partition by = %v", pb)
+	}
+	// BY requires a parenthesized column list.
+	if _, err := Parse(`CREATE TABLE t (a INT) PARTITIONS 4 BY b`); err == nil {
+		t.Fatal("BY without parens accepted")
+	}
+}
+
+func TestParseSubqueries(t *testing.T) {
+	s := mustParse(t, `SELECT id FROM t WHERE x IN (SELECT y FROM u WHERE z > 3)`).(*Select)
+	in, ok := s.Where.(*InList)
+	if !ok || in.Sub == nil || in.Sub.Sel.From.Name != "u" || in.Items != nil {
+		t.Fatalf("in-subquery = %+v", s.Where)
+	}
+	s2 := mustParse(t, `SELECT id FROM t WHERE bal > (SELECT AVG(bal) FROM t WHERE bal > 0)`).(*Select)
+	cmp := s2.Where.(*BinaryOp)
+	if _, ok := cmp.R.(*Subquery); !ok {
+		t.Fatalf("scalar subquery = %T", cmp.R)
+	}
+	// NOT IN subquery form.
+	s3 := mustParse(t, `SELECT id FROM t WHERE x NOT IN (SELECT y FROM u)`).(*Select)
+	if in := s3.Where.(*InList); !in.Not || in.Sub == nil {
+		t.Fatalf("not-in-subquery = %+v", s3.Where)
+	}
+	// Unrewritten subqueries must not silently evaluate.
+	if _, err := Eval(s2.Where, nil); err == nil {
+		t.Fatal("Eval accepted an unrewritten subquery")
+	}
+	// Parenthesized plain expressions still parse.
+	s4 := mustParse(t, `SELECT id FROM t WHERE (x + 1) * 2 = 6`).(*Select)
+	if _, ok := s4.Where.(*BinaryOp); !ok {
+		t.Fatalf("paren expr = %T", s4.Where)
+	}
+}
+
+func TestParseExists(t *testing.T) {
+	s := mustParse(t, `SELECT id FROM t WHERE EXISTS (SELECT * FROM u WHERE u.a = t.id)`).(*Select)
+	ex, ok := s.Where.(*Exists)
+	if !ok || ex.Not || ex.Sub.Sel.From.Name != "u" {
+		t.Fatalf("exists = %+v", s.Where)
+	}
+	s2 := mustParse(t, `SELECT id FROM t WHERE x = 1 AND NOT EXISTS (SELECT * FROM u WHERE u.a = t.id)`).(*Select)
+	and := s2.Where.(*BinaryOp)
+	if ex2, ok := and.R.(*Exists); !ok || !ex2.Not {
+		t.Fatalf("not exists = %+v", and.R)
+	}
+	if _, err := Eval(s.Where, nil); err == nil {
+		t.Fatal("Eval accepted an unrewritten EXISTS")
+	}
+}

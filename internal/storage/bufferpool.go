@@ -1,0 +1,164 @@
+package storage
+
+import (
+	"sync"
+
+	"repro/internal/wal"
+)
+
+// PageSize is the simulated page size (InnoDB default).
+const PageSize = 16 * 1024
+
+// PageID identifies a buffer-pool page: rows hash into pages per table,
+// mirroring how InnoDB rows live on B+Tree pages.
+type PageID struct {
+	TableID uint32
+	PageNo  uint32
+}
+
+// pagesPerTable controls the key→page fan-in for the simulation.
+const pagesPerTable = 1024
+
+// PageOf maps a row key to its page.
+func PageOf(tableID uint32, key []byte) PageID {
+	var h uint32 = 2166136261
+	for _, b := range key {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return PageID{TableID: tableID, PageNo: h % pagesPerTable}
+}
+
+// BufferPool tracks dirty pages and the redo LSN that first dirtied each
+// (the InnoDB oldest_modification). Flushing is bounded by the Paxos
+// DLSN: a page whose newest modification exceeds DLSN must not reach
+// PolarFS, because those redo entries could be truncated after a leader
+// change (§III).
+type BufferPool struct {
+	mu    sync.Mutex
+	dirty map[PageID]dirtyRange
+}
+
+type dirtyRange struct {
+	oldest wal.LSN // first unflushed modification
+	newest wal.LSN // latest modification
+}
+
+// NewBufferPool returns an empty pool.
+func NewBufferPool() *BufferPool {
+	return &BufferPool{dirty: make(map[PageID]dirtyRange)}
+}
+
+// MarkDirty records that a row write at lsn dirtied the page holding key.
+func (p *BufferPool) MarkDirty(tableID uint32, key []byte, lsn wal.LSN) {
+	id := PageOf(tableID, key)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, ok := p.dirty[id]
+	if !ok {
+		p.dirty[id] = dirtyRange{oldest: lsn, newest: lsn}
+		return
+	}
+	if lsn > r.newest {
+		r.newest = lsn
+	}
+	if lsn < r.oldest {
+		r.oldest = lsn
+	}
+	p.dirty[id] = r
+}
+
+// DirtyCount returns the number of dirty pages.
+func (p *BufferPool) DirtyCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.dirty)
+}
+
+// OldestDirtyLSN returns the smallest first-modification LSN across dirty
+// pages; redo before it may be checkpointed away. ok is false when clean.
+func (p *BufferPool) OldestDirtyLSN() (wal.LSN, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var min wal.LSN
+	found := false
+	for _, r := range p.dirty {
+		if !found || r.oldest < min {
+			min, found = r.oldest, true
+		}
+	}
+	return min, found
+}
+
+// FlushBefore writes every dirty page whose *newest* modification is at
+// or below limit, invoking write for each page (the DN points this at
+// its PolarFS volume), and returns how many pages were flushed.
+func (p *BufferPool) FlushBefore(limit wal.LSN, write func(PageID) error) (int, error) {
+	p.mu.Lock()
+	var victims []PageID
+	for id, r := range p.dirty {
+		if r.newest <= limit {
+			victims = append(victims, id)
+		}
+	}
+	p.mu.Unlock()
+	for _, id := range victims {
+		if write != nil {
+			if err := write(id); err != nil {
+				return 0, err
+			}
+		}
+	}
+	p.mu.Lock()
+	for _, id := range victims {
+		// A page re-dirtied above limit during the flush stays dirty.
+		if r, ok := p.dirty[id]; ok && r.newest <= limit {
+			delete(p.dirty, id)
+		}
+	}
+	p.mu.Unlock()
+	return len(victims), nil
+}
+
+// FlushTable flushes all dirty pages of one table regardless of LSN —
+// the tenant-transfer path (§V: "flush all dirty pages associated with
+// the tenant to PolarFS").
+func (p *BufferPool) FlushTable(tableID uint32, write func(PageID) error) (int, error) {
+	p.mu.Lock()
+	var victims []PageID
+	for id := range p.dirty {
+		if id.TableID == tableID {
+			victims = append(victims, id)
+		}
+	}
+	p.mu.Unlock()
+	for _, id := range victims {
+		if write != nil {
+			if err := write(id); err != nil {
+				return 0, err
+			}
+		}
+	}
+	p.mu.Lock()
+	for _, id := range victims {
+		delete(p.dirty, id)
+	}
+	p.mu.Unlock()
+	return len(victims), nil
+}
+
+// EvictAfter discards dirty pages whose oldest modification is beyond
+// limit without writing them — the old-leader cleanup after an election
+// (§III: "evict dirty pages related to them, and reload clean pages from
+// PolarFS"). It returns the number of pages evicted.
+func (p *BufferPool) EvictAfter(limit wal.LSN) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for id, r := range p.dirty {
+		if r.oldest > limit {
+			delete(p.dirty, id)
+			n++
+		}
+	}
+	return n
+}

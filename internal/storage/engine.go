@@ -1,0 +1,562 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/btree"
+	"repro/internal/hlc"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// Index is a local secondary index (§II-B): partitioned with the table,
+// so index maintenance never becomes a distributed transaction. Entries
+// map EncodeKey(indexed cols..., pk cols...) -> pk key bytes; readers
+// verify visibility against the primary chain, so an index never returns
+// phantom rows even though entries are installed before commit.
+type Index struct {
+	Name string
+	Cols []int // column indexes in table schema order
+	tree *btree.Tree
+}
+
+// Table is one table's storage on this shard: a primary B+Tree of MVCC
+// chains plus local secondary indexes.
+type Table struct {
+	ID     uint32
+	Tenant uint32
+	Schema *types.Schema
+
+	primary *btree.Tree
+	mu      sync.RWMutex
+	indexes map[string]*Index
+
+	// autoInc feeds the implicit primary key (§II-B).
+	autoInc atomic.Int64
+	rows    atomic.Int64
+}
+
+// RowCount returns the approximate committed row count (maintained on
+// commit; used by the optimizer's cost model).
+func (t *Table) RowCount() int64 { return t.rows.Load() }
+
+// NextAutoInc reserves the next implicit-PK value.
+func (t *Table) NextAutoInc() int64 { return t.autoInc.Add(1) }
+
+// Engine is the storage engine of one DN shard. All methods are safe for
+// concurrent use.
+type Engine struct {
+	mu     sync.RWMutex
+	tables map[uint32]*Table
+	byName map[string]uint32
+
+	txns   sync.Map // txnID -> *Txn
+	nextID atomic.Uint64
+
+	pool *BufferPool
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{
+		tables: make(map[uint32]*Table),
+		byName: make(map[string]uint32),
+		pool:   NewBufferPool(),
+	}
+}
+
+// Pool exposes the buffer pool (the DN flushes it bounded by DLSN).
+func (e *Engine) Pool() *BufferPool { return e.pool }
+
+// CreateTable registers a table under a tenant.
+func (e *Engine) CreateTable(id, tenant uint32, schema *types.Schema) (*Table, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.tables[id]; dup {
+		return nil, fmt.Errorf("%w: id %d", ErrTableExists, id)
+	}
+	if _, dup := e.byName[schema.Name]; dup {
+		return nil, fmt.Errorf("%w: name %q", ErrTableExists, schema.Name)
+	}
+	t := &Table{ID: id, Tenant: tenant, Schema: schema,
+		primary: btree.New(), indexes: make(map[string]*Index)}
+	e.tables[id] = t
+	e.byName[schema.Name] = id
+	return t, nil
+}
+
+// DropTable removes a table (tenant migration detaches tables this way).
+func (e *Engine) DropTable(id uint32) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t, ok := e.tables[id]; ok {
+		delete(e.byName, t.Schema.Name)
+		delete(e.tables, id)
+	}
+}
+
+// Table resolves a table by id.
+func (e *Engine) Table(id uint32) (*Table, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tables[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrUnknownTable, id)
+	}
+	return t, nil
+}
+
+// TableByName resolves a table by name.
+func (e *Engine) TableByName(name string) (*Table, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	id, ok := e.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTable, name)
+	}
+	return e.tables[id], nil
+}
+
+// Tables lists all tables (snapshot).
+func (e *Engine) Tables() []*Table {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]*Table, 0, len(e.tables))
+	for _, t := range e.tables {
+		out = append(out, t)
+	}
+	return out
+}
+
+// TablesOfTenant lists tables owned by a tenant (PolarDB-MT migration).
+func (e *Engine) TablesOfTenant(tenant uint32) []*Table {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var out []*Table
+	for _, t := range e.tables {
+		if t.Tenant == tenant {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// CreateIndex adds a local secondary index over the named columns and
+// backfills it from committed rows.
+func (e *Engine) CreateIndex(tableID uint32, name string, cols []string) (*Index, error) {
+	t, err := e.Table(tableID)
+	if err != nil {
+		return nil, err
+	}
+	colIdx := make([]int, len(cols))
+	for i, c := range cols {
+		ci := t.Schema.ColIndex(c)
+		if ci < 0 {
+			return nil, fmt.Errorf("storage: no column %q in %q", c, t.Schema.Name)
+		}
+		colIdx[i] = ci
+	}
+	idx := &Index{Name: name, Cols: colIdx, tree: btree.New()}
+	t.mu.Lock()
+	t.indexes[name] = idx
+	t.mu.Unlock()
+	// Backfill from the latest committed versions.
+	t.primary.Ascend(func(pk []byte, v any) bool {
+		row, _, ok := v.(*chain).latestCommitted()
+		if ok {
+			idx.tree.Set(indexKey(idx, t.Schema, row, pk), pk)
+		}
+		return true
+	})
+	return idx, nil
+}
+
+// IndexByName resolves an index.
+func (e *Engine) IndexByName(tableID uint32, name string) (*Index, error) {
+	t, err := e.Table(tableID)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, ok := t.indexes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownIndex, name)
+	}
+	return idx, nil
+}
+
+// indexKey builds the index entry key: indexed columns then the primary
+// key for uniqueness.
+func indexKey(idx *Index, schema *types.Schema, row types.Row, pk []byte) []byte {
+	vals := make([]types.Value, len(idx.Cols))
+	for i, c := range idx.Cols {
+		vals[i] = row[c]
+	}
+	key := types.EncodeKey(nil, vals...)
+	return append(key, pk...)
+}
+
+// Begin opens a transaction at the given snapshot timestamp.
+func (e *Engine) Begin(snapshotTS hlc.Timestamp) *Txn {
+	t := &Txn{
+		ID:         e.nextID.Add(1),
+		SnapshotTS: snapshotTS,
+		done:       make(chan struct{}),
+		eng:        e,
+	}
+	e.txns.Store(t.ID, t)
+	return t
+}
+
+// TxnByID resolves a transaction (2PC resume after coordinator retry).
+func (e *Engine) TxnByID(id uint64) (*Txn, error) {
+	v, ok := e.txns.Load(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownTxn, id)
+	}
+	return v.(*Txn), nil
+}
+
+// getChain returns the MVCC chain at pk, optionally creating it.
+func getChain(t *Table, pk []byte, create bool) *chain {
+	if v, ok := t.primary.Get(pk); ok {
+		return v.(*chain)
+	}
+	if !create {
+		return nil
+	}
+	c := &chain{}
+	// Set returns the previous value on race; re-fetch to be safe.
+	if prev, replaced := t.primary.Set(pk, c); replaced {
+		return prev.(*chain)
+	}
+	return c
+}
+
+// Get reads the row with the given primary key at the txn's snapshot.
+func (e *Engine) Get(txn *Txn, tableID uint32, pk []byte) (types.Row, bool, error) {
+	t, err := e.Table(tableID)
+	if err != nil {
+		return nil, false, err
+	}
+	c := getChain(t, pk, false)
+	if c == nil {
+		return nil, false, nil
+	}
+	row, ok := c.visibleRow(txn, txn.SnapshotTS)
+	return row, ok, nil
+}
+
+// GetAt reads at an explicit snapshot without a transaction (RO serving).
+func (e *Engine) GetAt(tableID uint32, pk []byte, snapshotTS hlc.Timestamp) (types.Row, bool, error) {
+	t, err := e.Table(tableID)
+	if err != nil {
+		return nil, false, err
+	}
+	c := getChain(t, pk, false)
+	if c == nil {
+		return nil, false, nil
+	}
+	row, ok := c.visibleRow(nil, snapshotTS)
+	return row, ok, nil
+}
+
+// ScanRange streams visible rows with pk in [start, end) in key order.
+// nil bounds are open. fn returning false stops the scan.
+func (e *Engine) ScanRange(txn *Txn, tableID uint32, start, end []byte,
+	fn func(pk []byte, row types.Row) bool) error {
+	t, err := e.Table(tableID)
+	if err != nil {
+		return err
+	}
+	var snap hlc.Timestamp
+	if txn != nil {
+		snap = txn.SnapshotTS
+	}
+	t.primary.AscendRange(start, end, func(pk []byte, v any) bool {
+		row, ok := v.(*chain).visibleRow(txn, snap)
+		if !ok {
+			return true
+		}
+		return fn(pk, row)
+	})
+	return nil
+}
+
+// ScanRangeAt is ScanRange at an explicit snapshot (RO nodes).
+func (e *Engine) ScanRangeAt(tableID uint32, start, end []byte, snapshotTS hlc.Timestamp,
+	fn func(pk []byte, row types.Row) bool) error {
+	t, err := e.Table(tableID)
+	if err != nil {
+		return err
+	}
+	t.primary.AscendRange(start, end, func(pk []byte, v any) bool {
+		row, ok := v.(*chain).visibleRow(nil, snapshotTS)
+		if !ok {
+			return true
+		}
+		return fn(pk, row)
+	})
+	return nil
+}
+
+// IndexScan streams rows whose index key falls in [start, end), verifying
+// each candidate against the primary chain at the txn's snapshot.
+func (e *Engine) IndexScan(txn *Txn, tableID uint32, indexName string, start, end []byte,
+	fn func(pk []byte, row types.Row) bool) error {
+	t, err := e.Table(tableID)
+	if err != nil {
+		return err
+	}
+	t.mu.RLock()
+	idx, ok := t.indexes[indexName]
+	t.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownIndex, indexName)
+	}
+	var snap hlc.Timestamp
+	if txn != nil {
+		snap = txn.SnapshotTS
+	}
+	idx.tree.AscendRange(start, end, func(key []byte, v any) bool {
+		pk := v.([]byte)
+		c := getChain(t, pk, false)
+		if c == nil {
+			return true
+		}
+		row, ok := c.visibleRow(txn, snap)
+		if !ok {
+			return true
+		}
+		// Verify the row still matches the index entry (entries persist
+		// across updates until vacuum).
+		if !bytesEqual(indexKey(idx, t.Schema, row, pk), key) {
+			return true
+		}
+		return fn(pk, row)
+	})
+	return nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// write installs a version and records redo + index entries.
+func (e *Engine) write(txn *Txn, t *Table, pk []byte, row types.Row, recType wal.RecordType) error {
+	if txn.Status() != TxnActive {
+		return fmt.Errorf("%w: txn %d is %v", ErrTxnNotActive, txn.ID, txn.Status())
+	}
+	c := getChain(t, pk, true)
+	v, err := c.install(txn, row)
+	if err != nil {
+		return err
+	}
+	txn.mu.Lock()
+	txn.writes = append(txn.writes, v)
+	txn.mu.Unlock()
+
+	var payload []byte
+	if row != nil {
+		payload = types.EncodeRow(nil, row)
+		// Index entries are installed eagerly; readers verify via the
+		// primary chain, so uncommitted entries are harmless.
+		t.mu.RLock()
+		for _, idx := range t.indexes {
+			idx.tree.Set(indexKey(idx, t.Schema, row, pk), pk)
+		}
+		t.mu.RUnlock()
+	}
+	txn.appendRedo(wal.Record{
+		Type: recType, TenantID: t.Tenant, TableID: t.ID, TxnID: txn.ID,
+		Key: append([]byte(nil), pk...), Payload: payload,
+	})
+	return nil
+}
+
+// Insert adds a new row; the primary key must not be visible.
+func (e *Engine) Insert(txn *Txn, tableID uint32, row types.Row) error {
+	t, err := e.Table(tableID)
+	if err != nil {
+		return err
+	}
+	if err := t.Schema.Validate(row); err != nil {
+		return err
+	}
+	pk := t.Schema.PKKey(row)
+	if c := getChain(t, pk, false); c != nil {
+		if _, exists := c.visibleRow(txn, txn.SnapshotTS); exists {
+			return fmt.Errorf("%w: %q in %q", ErrDuplicateKey, pk, t.Schema.Name)
+		}
+	}
+	if err := e.write(txn, t, pk, row.Clone(), wal.RecInsert); err != nil {
+		return err
+	}
+	t.rows.Add(1)
+	return nil
+}
+
+// Update replaces the row at the given primary key. The row must be
+// visible at the txn's snapshot.
+func (e *Engine) Update(txn *Txn, tableID uint32, row types.Row) error {
+	t, err := e.Table(tableID)
+	if err != nil {
+		return err
+	}
+	if err := t.Schema.Validate(row); err != nil {
+		return err
+	}
+	pk := t.Schema.PKKey(row)
+	c := getChain(t, pk, false)
+	if c == nil {
+		return fmt.Errorf("%w: update %q", ErrKeyNotFound, pk)
+	}
+	if _, exists := c.visibleRow(txn, txn.SnapshotTS); !exists {
+		return fmt.Errorf("%w: update %q", ErrKeyNotFound, pk)
+	}
+	return e.write(txn, t, pk, row.Clone(), wal.RecUpdate)
+}
+
+// Delete tombstones the row with the given primary key.
+func (e *Engine) Delete(txn *Txn, tableID uint32, pk []byte) error {
+	t, err := e.Table(tableID)
+	if err != nil {
+		return err
+	}
+	c := getChain(t, pk, false)
+	if c == nil {
+		return fmt.Errorf("%w: delete %q", ErrKeyNotFound, pk)
+	}
+	if _, exists := c.visibleRow(txn, txn.SnapshotTS); !exists {
+		return fmt.Errorf("%w: delete %q", ErrKeyNotFound, pk)
+	}
+	if err := e.write(txn, t, pk, nil, wal.RecDelete); err != nil {
+		return err
+	}
+	t.rows.Add(-1)
+	return nil
+}
+
+// Prepare moves the transaction to PREPARED at prepareTS after write
+// validation (conflicts were validated at install time; Prepare re-checks
+// the state machine). This is phase one of 2PC on this participant.
+func (e *Engine) Prepare(txn *Txn, prepareTS hlc.Timestamp) error {
+	if err := txn.casStatus(TxnActive, TxnPrepared); err != nil {
+		return err
+	}
+	txn.prepareTS.Store(uint64(prepareTS))
+	txn.appendRedo(wal.Record{Type: wal.RecPrepare, TxnID: txn.ID,
+		Payload: encodeTS(prepareTS)})
+	return nil
+}
+
+// Commit finalizes at commitTS from either ACTIVE (1PC) or PREPARED
+// (2PC). It atomically publishes all the transaction's versions: their
+// visibility flows from the txn's status+commitTS.
+func (e *Engine) Commit(txn *Txn, commitTS hlc.Timestamp) error {
+	txn.commitTS.Store(uint64(commitTS))
+	if err := txn.casStatus(TxnPrepared, TxnCommitted); err != nil {
+		if err2 := txn.casStatus(TxnActive, TxnCommitted); err2 != nil {
+			return err
+		}
+	}
+	txn.appendRedo(wal.Record{Type: wal.RecCommit, TxnID: txn.ID,
+		Payload: encodeTS(commitTS)})
+	close(txn.done)
+	e.txns.Delete(txn.ID)
+	return nil
+}
+
+// Abort rolls the transaction back from ACTIVE or PREPARED.
+func (e *Engine) Abort(txn *Txn) error {
+	if err := txn.casStatus(TxnActive, TxnAborted); err != nil {
+		if err2 := txn.casStatus(TxnPrepared, TxnAborted); err2 != nil {
+			return err
+		}
+	}
+	// Installed versions stay in their chains with status ABORTED:
+	// readers and writers skip them (walkVisible / install), and Vacuum
+	// physically reclaims them. Roll back the row counters moved by this
+	// txn's inserts/deletes (they are estimates for costing).
+	txn.mu.Lock()
+	adjust := make(map[uint32]int64)
+	for _, rec := range txn.redo {
+		switch rec.Type {
+		case wal.RecInsert:
+			adjust[rec.TableID]--
+		case wal.RecDelete:
+			adjust[rec.TableID]++
+		}
+	}
+	txn.redo = nil
+	txn.writes = nil
+	txn.mu.Unlock()
+	for tableID, d := range adjust {
+		if t, err := e.Table(tableID); err == nil {
+			t.rows.Add(d)
+		}
+	}
+	close(txn.done)
+	e.txns.Delete(txn.ID)
+	return nil
+}
+
+func encodeTS(ts hlc.Timestamp) []byte {
+	return []byte{
+		byte(ts >> 56), byte(ts >> 48), byte(ts >> 40), byte(ts >> 32),
+		byte(ts >> 24), byte(ts >> 16), byte(ts >> 8), byte(ts),
+	}
+}
+
+// DecodeTS parses a timestamp payload from prepare/commit redo records.
+func DecodeTS(b []byte) hlc.Timestamp {
+	if len(b) < 8 {
+		return 0
+	}
+	return hlc.Timestamp(uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 |
+		uint64(b[3])<<32 | uint64(b[4])<<24 | uint64(b[5])<<16 |
+		uint64(b[6])<<8 | uint64(b[7]))
+}
+
+// Vacuum trims version chains across all tables: versions invisible to
+// every snapshot at or after horizon are freed. Returns versions freed.
+func (e *Engine) Vacuum(horizon hlc.Timestamp) int {
+	freed := 0
+	for _, t := range e.Tables() {
+		t.primary.Ascend(func(_ []byte, v any) bool {
+			freed += v.(*chain).vacuum(horizon)
+			return true
+		})
+	}
+	return freed
+}
+
+// MinActiveSnapshot returns the lowest snapshot timestamp among open
+// transactions, the safe vacuum horizon: versions superseded before it
+// are invisible to every live and future reader. ok is false when no
+// transaction is open (callers may then vacuum up to "now").
+func (e *Engine) MinActiveSnapshot() (hlc.Timestamp, bool) {
+	var min hlc.Timestamp
+	found := false
+	e.txns.Range(func(_, v any) bool {
+		t := v.(*Txn)
+		if t.Status() == TxnActive || t.Status() == TxnPrepared {
+			if !found || t.SnapshotTS < min {
+				min, found = t.SnapshotTS, true
+			}
+		}
+		return true
+	})
+	return min, found
+}

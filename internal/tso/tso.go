@@ -1,0 +1,123 @@
+// Package tso implements the centralized timestamp-oracle baseline that
+// the paper compares HLC-SI against (§IV): a single server hands out
+// globally ascending timestamps, as in Percolator and TiDB. Every
+// snapshot and commit timestamp costs a network round trip to wherever
+// the TSO lives — which, in a multi-datacenter deployment, is a cross-DC
+// hop for two thirds of the cluster. That round trip is exactly what the
+// Fig. 7 experiment measures.
+package tso
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/hlc"
+	"repro/internal/simnet"
+)
+
+// ErrUnavailable is returned when the TSO cannot be reached — the single
+// point of failure the paper warns about.
+var ErrUnavailable = errors.New("tso: timestamp oracle unavailable")
+
+// Server is the timestamp oracle. Timestamps share the hlc.Timestamp
+// representation so the storage layer is oblivious to which scheme
+// produced them.
+type Server struct {
+	name  string
+	clock *hlc.Clock
+
+	mu      sync.Mutex
+	grants  int64
+	batched int64
+}
+
+// getReq asks for n consecutive timestamps (n >= 1). Batching amortizes
+// round trips, which is TiDB's mitigation; the bench exposes both modes.
+type getReq struct{ N int }
+
+type getResp struct {
+	// Last is the last timestamp of the granted batch; the batch is the
+	// N distinct timestamps ending at Last.
+	Last hlc.Timestamp
+}
+
+// NewServer registers a TSO endpoint on the fabric in the given DC.
+func NewServer(net *simnet.Network, name string, dc simnet.DC) *Server {
+	s := &Server{name: name, clock: hlc.NewClock(nil)}
+	net.Register(name, dc, s.handle)
+	return s
+}
+
+func (s *Server) handle(from string, msg any) (any, error) {
+	req, ok := msg.(getReq)
+	if !ok {
+		return nil, fmt.Errorf("tso: unexpected message %T", msg)
+	}
+	if req.N < 1 {
+		req.N = 1
+	}
+	// Grant a contiguous block [first, first+N-1]: mint one timestamp,
+	// then advance the clock past the block so later grants exceed it.
+	first := s.clock.Advance()
+	last := hlc.Timestamp(uint64(first) + uint64(req.N) - 1)
+	s.clock.Update(last)
+	s.mu.Lock()
+	s.grants += int64(req.N)
+	s.batched++
+	s.mu.Unlock()
+	return getResp{Last: last}, nil
+}
+
+// Grants returns (timestamps granted, requests served) — the request
+// count divided into grants shows batching efficiency.
+func (s *Server) Grants() (granted, requests int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.grants, s.batched
+}
+
+// Client fetches timestamps from a Server over the fabric.
+type Client struct {
+	net    *simnet.Network
+	self   string // caller endpoint (for latency accounting)
+	server string
+
+	// BatchSize > 1 prefetches timestamps, handing them out locally
+	// until the batch drains (TiDB-style TSO batching).
+	BatchSize int
+
+	mu    sync.Mutex
+	next  hlc.Timestamp
+	avail int
+}
+
+// NewClient creates a client calling from the given endpoint.
+func NewClient(net *simnet.Network, self, server string) *Client {
+	return &Client{net: net, self: self, server: server, BatchSize: 1}
+}
+
+// Get returns the next globally ascending timestamp.
+func (c *Client) Get() (hlc.Timestamp, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.avail > 0 {
+		ts := c.next
+		c.next = hlc.Timestamp(uint64(c.next) + 1)
+		c.avail--
+		return ts, nil
+	}
+	n := c.BatchSize
+	if n < 1 {
+		n = 1
+	}
+	reply, err := c.net.Call(c.self, c.server, getReq{N: n})
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	resp := reply.(getResp)
+	first := hlc.Timestamp(uint64(resp.Last) - uint64(n) + 1)
+	c.next = hlc.Timestamp(uint64(first) + 1)
+	c.avail = n - 1
+	return first, nil
+}

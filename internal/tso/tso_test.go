@@ -1,0 +1,126 @@
+package tso
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/hlc"
+	"repro/internal/simnet"
+)
+
+func setup(t *testing.T, topo simnet.Topology) (*simnet.Network, *Server) {
+	t.Helper()
+	net := simnet.New(topo)
+	srv := NewServer(net, "tso", simnet.DC1)
+	return net, srv
+}
+
+func TestTimestampsAscend(t *testing.T) {
+	net, _ := setup(t, simnet.ZeroTopology())
+	net.Register("cn1", simnet.DC1, func(string, any) (any, error) { return nil, nil })
+	c := NewClient(net, "cn1", "tso")
+	var prev hlc.Timestamp
+	for i := 0; i < 1000; i++ {
+		ts, err := c.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts <= prev {
+			t.Fatalf("timestamp regressed: %v then %v", prev, ts)
+		}
+		prev = ts
+	}
+}
+
+func TestTimestampsUniqueAcrossClients(t *testing.T) {
+	net, _ := setup(t, simnet.ZeroTopology())
+	const clients = 8
+	const perClient = 500
+	out := make([][]hlc.Timestamp, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		name := "cn" + string(rune('a'+i))
+		net.Register(name, simnet.DC2, func(string, any) (any, error) { return nil, nil })
+		c := NewClient(net, name, "tso")
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tss := make([]hlc.Timestamp, perClient)
+			for j := range tss {
+				ts, err := c.Get()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				tss[j] = ts
+			}
+			out[i] = tss
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[hlc.Timestamp]bool)
+	for _, tss := range out {
+		for _, ts := range tss {
+			if seen[ts] {
+				t.Fatalf("duplicate timestamp %v", ts)
+			}
+			seen[ts] = true
+		}
+	}
+}
+
+func TestBatchingReducesRequests(t *testing.T) {
+	net, srv := setup(t, simnet.ZeroTopology())
+	net.Register("cn1", simnet.DC1, func(string, any) (any, error) { return nil, nil })
+	c := NewClient(net, "cn1", "tso")
+	c.BatchSize = 100
+	var prev hlc.Timestamp
+	for i := 0; i < 1000; i++ {
+		ts, err := c.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts <= prev {
+			t.Fatalf("batched timestamp regressed at %d: %v then %v", i, prev, ts)
+		}
+		prev = ts
+	}
+	_, reqs := srv.Grants()
+	if reqs != 10 {
+		t.Fatalf("server saw %d requests, want 10", reqs)
+	}
+}
+
+func TestCrossDCLatencyCost(t *testing.T) {
+	topo := simnet.Topology{IntraDCRTT: 0, InterDCRTT: 4 * time.Millisecond}
+	net, _ := setup(t, topo)
+	net.Register("cn-remote", simnet.DC2, func(string, any) (any, error) { return nil, nil })
+	net.Register("cn-local", simnet.DC1, func(string, any) (any, error) { return nil, nil })
+	remote := NewClient(net, "cn-remote", "tso")
+	local := NewClient(net, "cn-local", "tso")
+
+	start := time.Now()
+	remote.Get()
+	remoteCost := time.Since(start)
+	start = time.Now()
+	local.Get()
+	localCost := time.Since(start)
+	if remoteCost < 3*time.Millisecond {
+		t.Fatalf("remote Get cost %v, want >= ~4ms", remoteCost)
+	}
+	if localCost > 2*time.Millisecond {
+		t.Fatalf("local Get cost %v", localCost)
+	}
+}
+
+func TestUnavailableTSO(t *testing.T) {
+	net, _ := setup(t, simnet.ZeroTopology())
+	net.Register("cn1", simnet.DC1, func(string, any) (any, error) { return nil, nil })
+	c := NewClient(net, "cn1", "tso")
+	net.SetDown("tso", true)
+	if _, err := c.Get(); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v", err)
+	}
+}

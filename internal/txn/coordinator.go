@@ -1,0 +1,413 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dn"
+	"repro/internal/hlc"
+	"repro/internal/simnet"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// Errors.
+var (
+	ErrTxDone  = errors.New("txn: transaction already finished")
+	ErrAborted = errors.New("txn: transaction aborted")
+)
+
+// Coordinator creates and drives distributed transactions from one CN.
+// It is stateless across transactions (CN statelessness is what lets the
+// CN tier scale by just adding servers, §II-A).
+type Coordinator struct {
+	self   string // CN endpoint
+	net    *simnet.Network
+	oracle Oracle
+	seq    atomic.Uint64
+	idBase uint64
+}
+
+// NewCoordinator builds a coordinator for the CN endpoint self.
+func NewCoordinator(net *simnet.Network, self string, oracle Oracle) *Coordinator {
+	h := fnv.New64a()
+	h.Write([]byte(self))
+	return &Coordinator{
+		self:   self,
+		net:    net,
+		oracle: oracle,
+		// High bits from the CN name keep txn IDs globally unique across
+		// coordinators without coordination.
+		idBase: h.Sum64() << 24,
+	}
+}
+
+// Oracle returns the coordinator's timestamp oracle.
+func (c *Coordinator) Oracle() Oracle { return c.oracle }
+
+// Tx is one distributed transaction: a set of branches on DN leaders.
+type Tx struct {
+	ID       uint64
+	Snapshot hlc.Timestamp
+
+	coord *Coordinator
+	mu    sync.Mutex
+	// branches maps DN endpoint -> branch opened.
+	branches map[string]bool
+	// wrote tracks which branches performed writes (read-only branches
+	// skip phase one).
+	wrote map[string]bool
+	done  bool
+	// lastLSN is the max commit LSN observed, used for RO session
+	// consistency by the caller.
+	lastLSN wal.LSN
+	// branchLSN records each written DN's commit LSN: session
+	// consistency is per DN group (LSNs of different groups are not
+	// comparable).
+	branchLSN map[string]wal.LSN
+}
+
+// Begin opens a transaction: §IV step 1, mint the snapshot timestamp.
+func (c *Coordinator) Begin() (*Tx, error) {
+	snap, err := c.oracle.SnapshotTS()
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{
+		ID:        c.idBase + c.seq.Add(1),
+		Snapshot:  snap,
+		coord:     c,
+		branches:  make(map[string]bool),
+		wrote:     make(map[string]bool),
+		branchLSN: make(map[string]wal.LSN),
+	}, nil
+}
+
+// ensureBranch lazily opens the branch on a DN leader, carrying the
+// snapshot timestamp (§IV step 2).
+func (t *Tx) ensureBranch(dnName string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return ErrTxDone
+	}
+	if t.branches[dnName] {
+		return nil
+	}
+	_, err := t.coord.net.Call(t.coord.self, dnName,
+		dn.BeginReq{TxnID: t.ID, SnapshotTS: t.Snapshot})
+	if err != nil {
+		return err
+	}
+	t.branches[dnName] = true
+	return nil
+}
+
+func (t *Tx) markWrote(dnName string) {
+	t.mu.Lock()
+	t.wrote[dnName] = true
+	t.mu.Unlock()
+}
+
+// Insert adds a row on the given DN.
+func (t *Tx) Insert(dnName string, table uint32, row types.Row) error {
+	if err := t.ensureBranch(dnName); err != nil {
+		return err
+	}
+	_, err := t.coord.net.Call(t.coord.self, dnName,
+		dn.WriteReq{TxnID: t.ID, Table: table, Op: dn.OpInsert, Row: row})
+	if err == nil {
+		t.markWrote(dnName)
+	}
+	return err
+}
+
+// Update replaces a row on the given DN.
+func (t *Tx) Update(dnName string, table uint32, row types.Row) error {
+	if err := t.ensureBranch(dnName); err != nil {
+		return err
+	}
+	_, err := t.coord.net.Call(t.coord.self, dnName,
+		dn.WriteReq{TxnID: t.ID, Table: table, Op: dn.OpUpdate, Row: row})
+	if err == nil {
+		t.markWrote(dnName)
+	}
+	return err
+}
+
+// Delete removes a row on the given DN.
+func (t *Tx) Delete(dnName string, table uint32, pk []byte) error {
+	if err := t.ensureBranch(dnName); err != nil {
+		return err
+	}
+	_, err := t.coord.net.Call(t.coord.self, dnName,
+		dn.WriteReq{TxnID: t.ID, Table: table, Op: dn.OpDelete, PK: pk})
+	if err == nil {
+		t.markWrote(dnName)
+	}
+	return err
+}
+
+// Get reads a row by primary key on the given DN at the tx snapshot.
+func (t *Tx) Get(dnName string, table uint32, pk []byte) (types.Row, bool, error) {
+	if err := t.ensureBranch(dnName); err != nil {
+		return nil, false, err
+	}
+	reply, err := t.coord.net.Call(t.coord.self, dnName,
+		dn.ReadReq{TxnID: t.ID, Table: table, PK: pk})
+	if err != nil {
+		return nil, false, err
+	}
+	resp := reply.(dn.ReadResp)
+	return resp.Row, resp.OK, nil
+}
+
+// Scan reads a key range (optionally via a named local index).
+func (t *Tx) Scan(dnName string, table uint32, index string, start, end []byte, limit int) ([]types.Row, error) {
+	if err := t.ensureBranch(dnName); err != nil {
+		return nil, err
+	}
+	reply, err := t.coord.net.Call(t.coord.self, dnName,
+		dn.ScanReq{TxnID: t.ID, Table: table, Index: index, Start: start, End: end, Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	return reply.(dn.ScanResp).Rows, nil
+}
+
+// LastLSN returns the highest commit LSN this transaction produced, for
+// session-consistent RO reads afterwards.
+func (t *Tx) LastLSN() wal.LSN {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastLSN
+}
+
+// BranchLSNs returns each written DN's commit LSN (copy).
+func (t *Tx) BranchLSNs() map[string]wal.LSN {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]wal.LSN, len(t.branchLSN))
+	for k, v := range t.branchLSN {
+		out[k] = v
+	}
+	return out
+}
+
+// Commit runs the §IV protocol:
+//
+//	1PC (one written branch): send CommitReq; the participant picks the
+//	commit timestamp locally under HLC-SI (TSO-SI still pays the oracle
+//	trip via CommitTS).
+//
+//	2PC: phase one sends PrepareReq to every written branch in parallel
+//	and collects prepare timestamps (each participant ClockAdvances);
+//	the commit timestamp is decided by the oracle (max prepare_ts for
+//	HLC-SI, a TSO grant for TSO-SI) and phase two broadcasts it.
+//
+// Read-only branches are released with an abort message (nothing to
+// persist), matching the read-only optimization of standard 2PC.
+func (t *Tx) Commit() (hlc.Timestamp, error) {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return 0, ErrTxDone
+	}
+	t.done = true
+	var writers, readers []string
+	for b := range t.branches {
+		if t.wrote[b] {
+			writers = append(writers, b)
+		} else {
+			readers = append(readers, b)
+		}
+	}
+	t.mu.Unlock()
+
+	// Release read-only branches.
+	for _, b := range readers {
+		t.coord.net.Send(t.coord.self, b, dn.AbortReq{TxnID: t.ID}, nil)
+	}
+	switch len(writers) {
+	case 0:
+		return t.Snapshot, nil
+	case 1:
+		commitTS, err := t.coord.oracle.CommitTS(nil)
+		if err != nil {
+			return 0, err
+		}
+		reply, err := t.coord.net.Call(t.coord.self, writers[0],
+			dn.CommitReq{TxnID: t.ID, CommitTS: commitTS})
+		if err != nil {
+			return 0, err
+		}
+		resp := reply.(dn.CommitResp)
+		t.coord.oracle.Observe(resp.CommitTS)
+		t.mu.Lock()
+		t.lastLSN = resp.LSN
+		t.branchLSN[writers[0]] = resp.LSN
+		t.mu.Unlock()
+		return resp.CommitTS, nil
+	}
+
+	// Phase one: prepare every written branch in parallel.
+	type prepResult struct {
+		ts  hlc.Timestamp
+		err error
+	}
+	results := make(chan prepResult, len(writers))
+	for _, b := range writers {
+		go func(b string) {
+			reply, err := t.coord.net.Call(t.coord.self, b, dn.PrepareReq{TxnID: t.ID})
+			if err != nil {
+				results <- prepResult{err: err}
+				return
+			}
+			results <- prepResult{ts: reply.(dn.PrepareResp).PrepareTS}
+		}(b)
+	}
+	prepares := make([]hlc.Timestamp, 0, len(writers))
+	var prepErr error
+	for range writers {
+		r := <-results
+		if r.err != nil {
+			prepErr = r.err
+			continue
+		}
+		prepares = append(prepares, r.ts)
+	}
+	if prepErr != nil {
+		t.abortBranches(writers)
+		return 0, fmt.Errorf("%w: prepare failed: %v", ErrAborted, prepErr)
+	}
+
+	// Decide the commit timestamp (§IV step 5) — for HLC-SI this also
+	// folds max(prepare_ts) into the CN clock with a single update.
+	commitTS, err := t.coord.oracle.CommitTS(prepares)
+	if err != nil {
+		t.abortBranches(writers)
+		return 0, fmt.Errorf("%w: commit timestamp: %v", ErrAborted, err)
+	}
+
+	// Phase two: broadcast commit_ts (§IV step 6).
+	commitResults := make(chan prepResult, len(writers))
+	var maxLSN atomic.Uint64
+	for _, b := range writers {
+		go func(b string) {
+			reply, err := t.coord.net.Call(t.coord.self, b,
+				dn.CommitReq{TxnID: t.ID, CommitTS: commitTS})
+			if err == nil {
+				resp := reply.(dn.CommitResp)
+				t.mu.Lock()
+				t.branchLSN[b] = resp.LSN
+				t.mu.Unlock()
+				for {
+					cur := maxLSN.Load()
+					if uint64(resp.LSN) <= cur || maxLSN.CompareAndSwap(cur, uint64(resp.LSN)) {
+						break
+					}
+				}
+			}
+			commitResults <- prepResult{err: err}
+		}(b)
+	}
+	var commitErr error
+	for range writers {
+		if r := <-commitResults; r.err != nil {
+			commitErr = r.err
+		}
+	}
+	t.mu.Lock()
+	t.lastLSN = wal.LSN(maxLSN.Load())
+	t.mu.Unlock()
+	if commitErr != nil {
+		// The decision is COMMIT; participant errors here are reported
+		// but the transaction outcome stands (prepared branches are
+		// recoverable in a full implementation).
+		return commitTS, fmt.Errorf("txn: commit phase partially failed: %w", commitErr)
+	}
+	return commitTS, nil
+}
+
+// Abort rolls back every branch.
+func (t *Tx) Abort() error {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return ErrTxDone
+	}
+	t.done = true
+	branches := make([]string, 0, len(t.branches))
+	for b := range t.branches {
+		branches = append(branches, b)
+	}
+	t.mu.Unlock()
+	t.abortBranches(branches)
+	return nil
+}
+
+func (t *Tx) abortBranches(branches []string) {
+	var wg sync.WaitGroup
+	for _, b := range branches {
+		wg.Add(1)
+		go func(b string) {
+			defer wg.Done()
+			_, _ = t.coord.net.Call(t.coord.self, b, dn.AbortReq{TxnID: t.ID})
+		}(b)
+	}
+	wg.Wait()
+}
+
+// ReadRO performs a session-consistent point read on an RO replica.
+func (c *Coordinator) ReadRO(roName string, table uint32, pk []byte,
+	snapshot hlc.Timestamp, minLSN wal.LSN) (types.Row, bool, error) {
+	reply, err := c.net.Call(c.self, roName, dn.ROReadReq{
+		Table: table, PK: pk, SnapshotTS: snapshot, MinLSN: minLSN,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	resp := reply.(dn.ReadResp)
+	return resp.Row, resp.OK, nil
+}
+
+// ScanRO performs a session-consistent range scan on an RO replica.
+func (c *Coordinator) ScanRO(roName string, table uint32, index string,
+	start, end []byte, limit int, snapshot hlc.Timestamp, minLSN wal.LSN) ([]types.Row, error) {
+	reply, err := c.net.Call(c.self, roName, dn.ROScanReq{
+		Table: table, Index: index, Start: start, End: end, Limit: limit,
+		SnapshotTS: snapshot, MinLSN: minLSN,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reply.(dn.ScanResp).Rows, nil
+}
+
+// ScanReq runs a pushdown-capable scan in this transaction's branch on a
+// DN (filter/projection evaluated DN-side, §VI-B). The TxnID is filled
+// in from the transaction.
+func (t *Tx) ScanReq(dnName string, req dn.ScanReq) ([]types.Row, error) {
+	if err := t.ensureBranch(dnName); err != nil {
+		return nil, err
+	}
+	req.TxnID = t.ID
+	reply, err := t.coord.net.Call(t.coord.self, dnName, req)
+	if err != nil {
+		return nil, err
+	}
+	return reply.(dn.ScanResp).Rows, nil
+}
+
+// ScanROReq runs a pushdown-capable scan against an RO replica
+// (including column-index and pushed-aggregation requests).
+func (c *Coordinator) ScanROReq(roName string, req dn.ROScanReq) ([]types.Row, error) {
+	reply, err := c.net.Call(c.self, roName, req)
+	if err != nil {
+		return nil, err
+	}
+	return reply.(dn.ScanResp).Rows, nil
+}

@@ -1,0 +1,433 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dn"
+	"repro/internal/hlc"
+	"repro/internal/paxos"
+	"repro/internal/simnet"
+	"repro/internal/tso"
+	"repro/internal/types"
+)
+
+func usersSchema() *types.Schema {
+	return types.NewSchema("users", []types.Column{
+		{Name: "id", Kind: types.KindInt},
+		{Name: "name", Kind: types.KindString},
+		{Name: "balance", Kind: types.KindInt},
+	}, []int{0})
+}
+
+func userRow(id int64, name string, bal int64) types.Row {
+	return types.Row{types.Int(id), types.Str(name), types.Int(bal)}
+}
+
+func pkOf(id int64) []byte { return types.EncodeKey(nil, types.Int(id)) }
+
+// cluster is a test fixture: n single-member DN groups plus a CN endpoint.
+type cluster struct {
+	net  *simnet.Network
+	dns  []*dn.Instance
+	name []string
+}
+
+func newCluster(t *testing.T, n int, topo simnet.Topology) *cluster {
+	t.Helper()
+	c := &cluster{net: simnet.New(topo)}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("dn%d", i+1)
+		inst, err := dn.NewInstance(dn.Config{
+			Name: name, DC: simnet.DC(i % 3), Net: c.net,
+			Group:     "g-" + name,
+			Members:   []paxos.Member{{Name: name, DC: simnet.DC(i % 3)}},
+			Bootstrap: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(inst.Stop)
+		if err := inst.CreateTable(1, 0, usersSchema()); err != nil {
+			t.Fatal(err)
+		}
+		c.dns = append(c.dns, inst)
+		c.name = append(c.name, name)
+	}
+	c.net.Register("cn1", simnet.DC1, func(string, any) (any, error) { return nil, nil })
+	return c
+}
+
+func hlcCoord(c *cluster) *Coordinator {
+	return NewCoordinator(c.net, "cn1", NewHLCOracle(hlc.NewClock(nil)))
+}
+
+func TestDistributedCommitAtomicVisibility(t *testing.T) {
+	c := newCluster(t, 2, simnet.ZeroTopology())
+	coord := hlcCoord(c)
+
+	tx, err := coord.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert("dn1", 1, userRow(1, "alice", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert("dn2", 1, userRow(2, "bob", 200)); err != nil {
+		t.Fatal(err)
+	}
+	commitTS, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if commitTS <= tx.Snapshot {
+		t.Fatalf("commit_ts %v <= snapshot %v", commitTS, tx.Snapshot)
+	}
+
+	// Both rows visible in a new transaction from the same coordinator
+	// (read-your-writes via Observe).
+	tx2, _ := coord.Begin()
+	if tx2.Snapshot < commitTS {
+		t.Fatalf("next snapshot %v below prior commit %v", tx2.Snapshot, commitTS)
+	}
+	r1, ok1, _ := tx2.Get("dn1", 1, pkOf(1))
+	r2, ok2, _ := tx2.Get("dn2", 1, pkOf(2))
+	if !ok1 || !ok2 {
+		t.Fatalf("committed rows invisible: %v %v", ok1, ok2)
+	}
+	if r1[1].AsString() != "alice" || r2[1].AsString() != "bob" {
+		t.Fatalf("rows = %v, %v", r1, r2)
+	}
+	tx2.Abort()
+}
+
+func TestSnapshotDoesNotSeeConcurrentCommit(t *testing.T) {
+	c := newCluster(t, 2, simnet.ZeroTopology())
+	coord := hlcCoord(c)
+
+	seed, _ := coord.Begin()
+	seed.Insert("dn1", 1, userRow(1, "a", 10))
+	seed.Insert("dn2", 1, userRow(2, "b", 20))
+	seed.Commit()
+
+	reader, _ := coord.Begin() // snapshot before the writer commits
+	writer, _ := coord.Begin()
+	writer.Update("dn1", 1, userRow(1, "a", 11))
+	writer.Update("dn2", 1, userRow(2, "b", 21))
+	if _, err := writer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	r1, _, _ := reader.Get("dn1", 1, pkOf(1))
+	r2, _, _ := reader.Get("dn2", 1, pkOf(2))
+	if r1[2].AsInt() != 10 || r2[2].AsInt() != 20 {
+		t.Fatalf("reader saw torn/late values: %v %v", r1, r2)
+	}
+	reader.Abort()
+}
+
+func TestSinglePCFastPath(t *testing.T) {
+	c := newCluster(t, 2, simnet.ZeroTopology())
+	coord := hlcCoord(c)
+	tx, _ := coord.Begin()
+	tx.Insert("dn1", 1, userRow(1, "solo", 1))
+	commitTS, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if commitTS.IsZero() {
+		t.Fatal("1PC returned zero commit timestamp")
+	}
+	// Next snapshot from this CN covers the commit.
+	tx2, _ := coord.Begin()
+	if _, ok, _ := tx2.Get("dn1", 1, pkOf(1)); !ok {
+		t.Fatal("1PC row invisible to next txn")
+	}
+	tx2.Abort()
+}
+
+func TestReadOnlyTransactionCommitsWithoutPrepare(t *testing.T) {
+	c := newCluster(t, 2, simnet.ZeroTopology())
+	coord := hlcCoord(c)
+	seed, _ := coord.Begin()
+	seed.Insert("dn1", 1, userRow(1, "a", 1))
+	seed.Commit()
+
+	ro, _ := coord.Begin()
+	if _, ok, _ := ro.Get("dn1", 1, pkOf(1)); !ok {
+		t.Fatal("read failed")
+	}
+	if _, err := ro.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrepareFailureAbortsEverywhere(t *testing.T) {
+	c := newCluster(t, 2, simnet.ZeroTopology())
+	coord := hlcCoord(c)
+	seed, _ := coord.Begin()
+	seed.Insert("dn1", 1, userRow(1, "a", 1))
+	seed.Insert("dn2", 1, userRow(2, "b", 2))
+	seed.Commit()
+
+	tx, _ := coord.Begin()
+	tx.Update("dn1", 1, userRow(1, "a", 100))
+	tx.Update("dn2", 1, userRow(2, "b", 200))
+	// Kill dn2 before commit: prepare there must fail, and the whole
+	// transaction must roll back on dn1 too.
+	c.net.SetDown("dn2", true)
+	if _, err := tx.Commit(); !errors.Is(err, ErrAborted) {
+		t.Fatalf("commit err = %v", err)
+	}
+	c.net.SetDown("dn2", false)
+
+	check, _ := coord.Begin()
+	r1, _, _ := check.Get("dn1", 1, pkOf(1))
+	if r1[2].AsInt() != 1 {
+		t.Fatalf("dn1 kept aborted write: %v", r1)
+	}
+	check.Abort()
+}
+
+func TestWriteConflictAborts(t *testing.T) {
+	c := newCluster(t, 1, simnet.ZeroTopology())
+	coord := hlcCoord(c)
+	seed, _ := coord.Begin()
+	seed.Insert("dn1", 1, userRow(1, "a", 1))
+	seed.Commit()
+
+	t1, _ := coord.Begin()
+	t2, _ := coord.Begin()
+	if err := t1.Update("dn1", 1, userRow(1, "a", 2)); err != nil {
+		t.Fatal(err)
+	}
+	err := t2.Update("dn1", 1, userRow(1, "a", 3))
+	if err == nil || !strings.Contains(err.Error(), "conflict") {
+		t.Fatalf("err = %v", err)
+	}
+	t2.Abort()
+	if _, err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleCommitAndUseAfterDone(t *testing.T) {
+	c := newCluster(t, 1, simnet.ZeroTopology())
+	coord := hlcCoord(c)
+	tx, _ := coord.Begin()
+	tx.Insert("dn1", 1, userRow(1, "a", 1))
+	tx.Commit()
+	if _, err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("double commit err = %v", err)
+	}
+	if err := tx.Insert("dn1", 1, userRow(9, "x", 1)); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("write after commit err = %v", err)
+	}
+	if err := tx.Abort(); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("abort after commit err = %v", err)
+	}
+}
+
+func TestTSOOracleEndToEnd(t *testing.T) {
+	c := newCluster(t, 2, simnet.ZeroTopology())
+	tso.NewServer(c.net, "tso", simnet.DC1)
+	coord := NewCoordinator(c.net, "cn1", NewTSOOracle(tso.NewClient(c.net, "cn1", "tso")))
+
+	tx, _ := coord.Begin()
+	tx.Insert("dn1", 1, userRow(1, "a", 1))
+	tx.Insert("dn2", 1, userRow(2, "b", 2))
+	commitTS, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if commitTS <= tx.Snapshot {
+		t.Fatal("TSO commit_ts not above snapshot")
+	}
+	// TSO paid round trips: one snapshot + one commit grant (2 calls),
+	// plus the earlier Begin... at least 2 messages hit the server.
+	if got := c.net.MessageCount("tso"); got < 2 {
+		t.Fatalf("TSO server saw %d messages", got)
+	}
+
+	tx2, _ := coord.Begin()
+	if _, ok, _ := tx2.Get("dn1", 1, pkOf(1)); !ok {
+		t.Fatal("row invisible under TSO-SI")
+	}
+	tx2.Abort()
+}
+
+func TestHLCSendsNothingToTSO(t *testing.T) {
+	c := newCluster(t, 2, simnet.ZeroTopology())
+	tso.NewServer(c.net, "tso", simnet.DC1) // present but unused
+	coord := hlcCoord(c)
+	tx, _ := coord.Begin()
+	tx.Insert("dn1", 1, userRow(1, "a", 1))
+	tx.Insert("dn2", 1, userRow(2, "b", 2))
+	tx.Commit()
+	if got := c.net.MessageCount("tso"); got != 0 {
+		t.Fatalf("HLC-SI sent %d messages to the TSO", got)
+	}
+}
+
+// TestCrossCoordinatorCausality: a commit observed through a read on one
+// coordinator propagates causality through HLC: after CN2 *reads* the
+// data (its clock absorbs the DN's clock via the prepare path on its own
+// next write), its subsequent commits order after.
+func TestTwoCoordinatorsConflictDetection(t *testing.T) {
+	c := newCluster(t, 1, simnet.ZeroTopology())
+	c.net.Register("cn2", simnet.DC2, func(string, any) (any, error) { return nil, nil })
+	coord1 := hlcCoord(c)
+	coord2 := NewCoordinator(c.net, "cn2", NewHLCOracle(hlc.NewClock(nil)))
+
+	seed, _ := coord1.Begin()
+	seed.Insert("dn1", 1, userRow(1, "a", 100))
+	seed.Commit()
+
+	// Concurrent updates from two CNs: exactly one must win.
+	t1, _ := coord1.Begin()
+	t2, _ := coord2.Begin()
+	err1 := t1.Update("dn1", 1, userRow(1, "a", 111))
+	err2 := t2.Update("dn1", 1, userRow(1, "a", 222))
+	if (err1 == nil) == (err2 == nil) {
+		t.Fatalf("expected exactly one winner: err1=%v err2=%v", err1, err2)
+	}
+	if err1 == nil {
+		t1.Commit()
+		t2.Abort()
+	} else {
+		t2.Commit()
+		t1.Abort()
+	}
+}
+
+func TestMoneyConservationAcrossShards(t *testing.T) {
+	c := newCluster(t, 3, simnet.ZeroTopology())
+	coord := hlcCoord(c)
+	const perDN = 4
+	const initial = 1000
+
+	seed, _ := coord.Begin()
+	for d := 0; d < 3; d++ {
+		for i := int64(0); i < perDN; i++ {
+			id := int64(d)*perDN + i
+			if err := seed.Insert(c.name[d], 1, userRow(id, "acct", initial)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	dnOf := func(id int64) string { return c.name[id/perDN] }
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cn := fmt.Sprintf("cn-w%d", w)
+			c.net.Register(cn, simnet.DC1, func(string, any) (any, error) { return nil, nil })
+			co := NewCoordinator(c.net, cn, NewHLCOracle(hlc.NewClock(nil)))
+			for i := 0; i < 50; i++ {
+				from := int64((w*7 + i) % (3 * perDN))
+				to := int64((w*7 + i + 5) % (3 * perDN))
+				if from == to {
+					continue
+				}
+				tx, _ := co.Begin()
+				fr, ok1, _ := tx.Get(dnOf(from), 1, pkOf(from))
+				tr, ok2, _ := tx.Get(dnOf(to), 1, pkOf(to))
+				if !ok1 || !ok2 {
+					tx.Abort()
+					continue
+				}
+				fr = fr.Clone()
+				tr = tr.Clone()
+				fr[2] = types.Int(fr[2].AsInt() - 7)
+				tr[2] = types.Int(tr[2].AsInt() + 7)
+				if err := tx.Update(dnOf(from), 1, fr); err != nil {
+					tx.Abort()
+					continue
+				}
+				if err := tx.Update(dnOf(to), 1, tr); err != nil {
+					tx.Abort()
+					continue
+				}
+				if _, err := tx.Commit(); err != nil {
+					continue
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	check, _ := coord.Begin()
+	var total int64
+	for d := 0; d < 3; d++ {
+		rows, err := check.Scan(c.name[d], 1, "", nil, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			total += r[2].AsInt()
+		}
+	}
+	check.Abort()
+	if total != 3*perDN*initial {
+		t.Fatalf("money not conserved: %d != %d", total, 3*perDN*initial)
+	}
+}
+
+// TestHLCCommitTimestampIsMaxPrepare verifies §IV step 5 directly.
+func TestHLCCommitTimestampIsMaxPrepare(t *testing.T) {
+	prep1 := hlc.New(100, 1)
+	prep2 := hlc.New(200, 5)
+	prep3 := hlc.New(150, 9)
+	clock := hlc.NewClock(nil)
+	o := NewHLCOracle(clock)
+	got, err := o.CommitTS([]hlc.Timestamp{prep1, prep2, prep3})
+	if err != nil || got != prep2 {
+		t.Fatalf("CommitTS = %v, %v", got, err)
+	}
+	if clock.Last() < prep2 {
+		t.Fatal("coordinator clock not updated with max prepare_ts")
+	}
+	// 1PC path: zero delegates to the participant.
+	got, err = o.CommitTS(nil)
+	if err != nil || !got.IsZero() {
+		t.Fatalf("1PC CommitTS = %v, %v", got, err)
+	}
+}
+
+func TestOracleNames(t *testing.T) {
+	if NewHLCOracle(hlc.NewClock(nil)).Name() != "hlc-si" {
+		t.Fatal("hlc oracle name")
+	}
+	net := simnet.New(simnet.ZeroTopology())
+	net.Register("x", simnet.DC1, func(string, any) (any, error) { return nil, nil })
+	tso.NewServer(net, "tso", simnet.DC1)
+	if NewTSOOracle(tso.NewClient(net, "x", "tso")).Name() != "tso-si" {
+		t.Fatal("tso oracle name")
+	}
+}
+
+func TestSessionConsistentROReadAfterWrite(t *testing.T) {
+	c := newCluster(t, 1, simnet.ZeroTopology())
+	if _, err := c.dns[0].AddRO("dn1-ro1"); err != nil {
+		t.Fatal(err)
+	}
+	coord := hlcCoord(c)
+	tx, _ := coord.Begin()
+	tx.Insert("dn1", 1, userRow(1, "fresh", 1))
+	commitTS, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, ok, err := coord.ReadRO("dn1-ro1", 1, pkOf(1), commitTS, tx.LastLSN())
+	if err != nil || !ok || row[1].AsString() != "fresh" {
+		t.Fatalf("RO read = %v %v %v", row, ok, err)
+	}
+}

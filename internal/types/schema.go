@@ -1,0 +1,129 @@
+package types
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema describes a table: columns plus the primary-key column indexes.
+// PolarDB-X adds an implicit auto-increment BIGINT primary key when a
+// table declares none (paper §II-B); the catalog layer materializes that
+// as a hidden column named _implicit_id.
+type Schema struct {
+	Name    string
+	Columns []Column
+	// PKCols are indexes into Columns forming the primary key.
+	PKCols []int
+	// ImplicitPK marks a hidden auto-increment key added by the system.
+	ImplicitPK bool
+}
+
+// ImplicitPKName is the hidden primary-key column name.
+const ImplicitPKName = "_implicit_id"
+
+// NewSchema builds a schema, adding the implicit primary key when pkCols
+// is empty.
+func NewSchema(name string, cols []Column, pkCols []int) *Schema {
+	s := &Schema{Name: name, Columns: cols, PKCols: pkCols}
+	if len(pkCols) == 0 {
+		s.Columns = append(append([]Column(nil), cols...),
+			Column{Name: ImplicitPKName, Kind: KindInt})
+		s.PKCols = []int{len(s.Columns) - 1}
+		s.ImplicitPK = true
+	}
+	return s
+}
+
+// ColIndex returns the index of a column by name, or -1.
+func (s *Schema) ColIndex(name string) int {
+	for i, c := range s.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// PKValues extracts the primary-key values from a row.
+func (s *Schema) PKValues(r Row) []Value {
+	out := make([]Value, len(s.PKCols))
+	for i, c := range s.PKCols {
+		out[i] = r[c]
+	}
+	return out
+}
+
+// PKKey encodes a row's primary key into a memcomparable key.
+func (s *Schema) PKKey(r Row) []byte {
+	return EncodeKey(nil, s.PKValues(r)...)
+}
+
+// Validate checks a row against the schema (arity and kind compatibility;
+// NULL is accepted for any column).
+func (s *Schema) Validate(r Row) error {
+	if len(r) != len(s.Columns) {
+		return fmt.Errorf("types: row arity %d != schema %q arity %d",
+			len(r), s.Name, len(s.Columns))
+	}
+	for i, v := range r {
+		if v.K == KindNull {
+			continue
+		}
+		want := s.Columns[i].Kind
+		if v.K == want {
+			continue
+		}
+		// Numeric kinds interchange freely (MySQL-ish coercion).
+		if isNumeric(v.K) && isNumeric(want) {
+			continue
+		}
+		return fmt.Errorf("types: column %q wants %v, got %v",
+			s.Columns[i].Name, want, v.K)
+	}
+	return nil
+}
+
+// ColumnNames returns the schema's column names in order.
+func (s *Schema) ColumnNames() []string {
+	out := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// HashPartition maps a key to one of n shards using the hash partitioning
+// of §II-B: uniform distribution that avoids the last-shard hotspot of
+// range partitioning under auto-increment keys.
+func HashPartition(key []byte, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write(key)
+	return int(mix64(h.Sum64()) % uint64(n))
+}
+
+// mix64 is a splitmix64-style finalizer: FNV's low bits correlate across
+// near-identical keys (sequential integers), which would recreate exactly
+// the hotspot hash partitioning exists to avoid.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// HashPartitionValues is HashPartition over unencoded values.
+func HashPartitionValues(n int, vals ...Value) int {
+	return HashPartition(EncodeKey(nil, vals...), n)
+}

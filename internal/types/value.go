@@ -1,0 +1,284 @@
+// Package types defines the value model shared by every layer of the
+// PolarDB-X reproduction: SQL front end, optimizer, executors, row store
+// and column index. It also provides the order-preserving (memcomparable)
+// key encoding used by B+Tree indexes and hash partitioning.
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates value types. The set mirrors what the paper's
+// benchmarks need (sysbench, TPC-C, TPC-H): integers, decimals rendered
+// as floats, strings and dates (as int64 days).
+type Kind uint8
+
+// Value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBytes
+	KindBool
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "STRING"
+	case KindBytes:
+		return "BYTES"
+	case KindBool:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single SQL value. The zero Value is NULL.
+type Value struct {
+	K Kind
+	I int64 // KindInt, KindBool (0/1)
+	F float64
+	S string // KindString
+	B []byte // KindBytes
+}
+
+// Constructors.
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{K: KindInt, I: v} }
+
+// Float returns a float value.
+func Float(v float64) Value { return Value{K: KindFloat, F: v} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{K: KindString, S: v} }
+
+// Bytes returns a bytes value.
+func Bytes(v []byte) Value { return Value{K: KindBytes, B: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	if v {
+		return Value{K: KindBool, I: 1}
+	}
+	return Value{K: KindBool}
+}
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// AsInt coerces to int64 (floats truncate, strings parse, bools 0/1).
+func (v Value) AsInt() int64 {
+	switch v.K {
+	case KindInt, KindBool:
+		return v.I
+	case KindFloat:
+		return int64(v.F)
+	case KindString:
+		n, _ := strconv.ParseInt(v.S, 10, 64)
+		return n
+	default:
+		return 0
+	}
+}
+
+// AsFloat coerces to float64.
+func (v Value) AsFloat() float64 {
+	switch v.K {
+	case KindInt, KindBool:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	case KindString:
+		f, _ := strconv.ParseFloat(v.S, 64)
+		return f
+	default:
+		return 0
+	}
+}
+
+// AsString renders the value as a string.
+func (v Value) AsString() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindBytes:
+		return string(v.B)
+	default:
+		return "?"
+	}
+}
+
+// IsTruthy reports whether the value counts as true in a WHERE clause.
+func (v Value) IsTruthy() bool {
+	switch v.K {
+	case KindNull:
+		return false
+	case KindInt, KindBool:
+		return v.I != 0
+	case KindFloat:
+		return v.F != 0
+	case KindString:
+		return v.S != ""
+	case KindBytes:
+		return len(v.B) > 0
+	default:
+		return false
+	}
+}
+
+// classOf groups kinds into the total order used by both Compare and the
+// key encoding: NULL < numbers < strings/bytes.
+func classOf(k Kind) int {
+	switch k {
+	case KindNull:
+		return 0
+	case KindInt, KindFloat, KindBool:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Compare orders two values: -1, 0, +1. NULL sorts first, then numbers
+// (Int/Float/Bool compare numerically), then strings/bytes — the same
+// total order the memcomparable key encoding produces.
+func (v Value) Compare(o Value) int {
+	if ca, cb := classOf(v.K), classOf(o.K); ca != cb {
+		return cmpInt(int64(ca), int64(cb))
+	}
+	if v.K == KindNull {
+		return 0
+	}
+	if isNumeric(v.K) && isNumeric(o.K) {
+		if v.K == KindInt && o.K == KindInt {
+			return cmpInt(v.I, o.I)
+		}
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	// Same class, non-numeric: strings and bytes compare by body.
+	a, b := v.S, o.S
+	if v.K == KindBytes {
+		a = string(v.B)
+	}
+	if o.K == KindBytes {
+		b = string(o.B)
+	}
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports value equality under Compare semantics.
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+func isNumeric(k Kind) bool { return k == KindInt || k == KindFloat || k == KindBool }
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func bytesCompare(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return cmpInt(int64(len(a)), int64(len(b)))
+}
+
+// Add returns v + o with numeric promotion (used by aggregates).
+func (v Value) Add(o Value) Value {
+	if v.IsNull() {
+		return o
+	}
+	if o.IsNull() {
+		return v
+	}
+	if v.K == KindInt && o.K == KindInt {
+		return Int(v.I + o.I)
+	}
+	return Float(v.AsFloat() + o.AsFloat())
+}
+
+// Row is one tuple.
+type Row []Value
+
+// Clone deep-copies a row (Bytes values share no backing array).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	for i, v := range r {
+		if v.K == KindBytes && v.B != nil {
+			out[i].B = append([]byte(nil), v.B...)
+		}
+	}
+	return out
+}
+
+// String renders a row for diagnostics.
+func (r Row) String() string {
+	s := "("
+	for i, v := range r {
+		if i > 0 {
+			s += ", "
+		}
+		s += v.AsString()
+	}
+	return s + ")"
+}
+
+// FloatBits helpers for encoding.
+func floatBits(f float64) uint64 { return math.Float64bits(f) }

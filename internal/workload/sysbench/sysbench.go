@@ -1,0 +1,315 @@
+// Package sysbench reproduces the sysbench OLTP workloads the paper's
+// §VII-A and §VII-B experiments use: oltp_write_only (deletes, inserts
+// and index updates to different rows), oltp_read_only (ten point reads
+// plus four range queries) and oltp_read_write. Statements are built as
+// pre-bound ASTs (prepared-statement style) so driver overhead stays off
+// the measured path, and data access follows a uniform random
+// distribution, which "leads to distributed transactions" across shards
+// exactly as in the paper.
+package sysbench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// TableName is the sysbench table.
+const TableName = "sbtest"
+
+// Config sizes the workload.
+type Config struct {
+	// Rows in sbtest.
+	Rows int
+	// Partitions of the table.
+	Partitions int
+	// RangeSize for range queries (sysbench default 100).
+	RangeSize int
+	// Seed for deterministic drivers.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rows <= 0 {
+		c.Rows = 10000
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 4
+	}
+	if c.RangeSize <= 0 {
+		c.RangeSize = 100
+	}
+	return c
+}
+
+// Load creates and populates sbtest through a session.
+func Load(s *core.Session, cfg Config) error {
+	cfg = cfg.withDefaults()
+	_, err := s.Execute(fmt.Sprintf(
+		`CREATE TABLE %s (id BIGINT, k BIGINT, c VARCHAR(120), pad VARCHAR(60), PRIMARY KEY(id)) PARTITIONS %d`,
+		TableName, cfg.Partitions))
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	const batch = 200
+	for lo := 0; lo < cfg.Rows; lo += batch {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "INSERT INTO %s (id, k, c, pad) VALUES ", TableName)
+		hi := lo + batch
+		if hi > cfg.Rows {
+			hi = cfg.Rows
+		}
+		for id := lo; id < hi; id++ {
+			if id > lo {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d, '%s', '%s')", id, rng.Intn(cfg.Rows),
+				randPayload(rng, 32), randPayload(rng, 16))
+		}
+		if _, err := s.Execute(sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func randPayload(rng *rand.Rand, n int) string {
+	const alpha = "abcdefghijklmnopqrstuvwxyz0123456789"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alpha[rng.Intn(len(alpha))]
+	}
+	return string(b)
+}
+
+// Driver issues sysbench transactions on one session.
+type Driver struct {
+	cfg Config
+	s   *core.Session
+	rng *rand.Rand
+}
+
+// NewDriver binds a driver to a session.
+func NewDriver(s *core.Session, cfg Config, workerSeed int64) *Driver {
+	cfg = cfg.withDefaults()
+	return &Driver{cfg: cfg, s: s, rng: rand.New(rand.NewSource(cfg.Seed ^ workerSeed))}
+}
+
+// exec builds-and-runs a pre-bound statement.
+func (d *Driver) exec(stmt sql.Statement) error {
+	_, err := d.s.ExecuteStmt(stmt)
+	return err
+}
+
+func intLit(v int64) sql.Expr  { return &sql.Literal{Val: types.Int(v)} }
+func strLit(v string) sql.Expr { return &sql.Literal{Val: types.Str(v)} }
+func colRef(c string) *sql.ColumnRef {
+	return &sql.ColumnRef{Column: c, Index: -1}
+}
+
+// pkEq builds "id = v".
+func pkEq(v int64) sql.Expr {
+	return &sql.BinaryOp{Op: "=", L: colRef("id"), R: intLit(v)}
+}
+
+// WriteOnly runs one oltp_write_only transaction: an index update, a
+// non-index update, and a delete+insert, each on a different random row.
+func (d *Driver) WriteOnly() error {
+	ids := d.distinctIDs(3)
+	if err := d.s.BeginTxn(); err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		_ = d.s.Rollback()
+		return err
+	}
+	// Index update: k is a (logically) indexed column in sysbench.
+	err := d.exec(&sql.Update{Table: TableName,
+		Sets:  []sql.Assignment{{Column: "k", Value: &sql.BinaryOp{Op: "+", L: colRef("k"), R: intLit(1)}}},
+		Where: pkEq(ids[0])})
+	if err != nil {
+		return abort(err)
+	}
+	// Non-index update.
+	err = d.exec(&sql.Update{Table: TableName,
+		Sets:  []sql.Assignment{{Column: "c", Value: strLit(randPayload(d.rng, 32))}},
+		Where: pkEq(ids[1])})
+	if err != nil {
+		return abort(err)
+	}
+	// Delete + insert of the same id.
+	if err := d.exec(&sql.Delete{Table: TableName, Where: pkEq(ids[2])}); err != nil {
+		return abort(err)
+	}
+	err = d.exec(&sql.Insert{Table: TableName,
+		Columns: []string{"id", "k", "c", "pad"},
+		Rows: [][]sql.Expr{{intLit(ids[2]), intLit(d.randID()),
+			strLit(randPayload(d.rng, 32)), strLit(randPayload(d.rng, 16))}}})
+	if err != nil {
+		return abort(err)
+	}
+	return d.s.Commit()
+}
+
+// ReadOnly runs one oltp_read_only transaction: 10 point reads + 4 range
+// queries.
+func (d *Driver) ReadOnly() error {
+	for i := 0; i < 10; i++ {
+		stmt := &sql.Select{Limit: -1,
+			Items: []sql.SelectItem{{Expr: colRef("c")}},
+			From:  sql.TableRef{Name: TableName},
+			Where: pkEq(d.randID())}
+		if err := d.exec(stmt); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < 4; i++ {
+		lo := d.randID()
+		stmt := &sql.Select{Limit: -1,
+			Items: []sql.SelectItem{{Expr: colRef("c")}},
+			From:  sql.TableRef{Name: TableName},
+			Where: &sql.Between{E: colRef("id"), Lo: intLit(lo), Hi: intLit(lo + int64(d.cfg.RangeSize))}}
+		if err := d.exec(stmt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadWrite runs one oltp_read_write transaction (reads then writes in
+// one transaction).
+func (d *Driver) ReadWrite() error {
+	if err := d.s.BeginTxn(); err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		_ = d.s.Rollback()
+		return err
+	}
+	for i := 0; i < 4; i++ {
+		stmt := &sql.Select{Limit: -1,
+			Items: []sql.SelectItem{{Expr: colRef("c")}},
+			From:  sql.TableRef{Name: TableName},
+			Where: pkEq(d.randID())}
+		if err := d.exec(stmt); err != nil {
+			return abort(err)
+		}
+	}
+	ids := d.distinctIDs(2)
+	err := d.exec(&sql.Update{Table: TableName,
+		Sets:  []sql.Assignment{{Column: "k", Value: &sql.BinaryOp{Op: "+", L: colRef("k"), R: intLit(1)}}},
+		Where: pkEq(ids[0])})
+	if err != nil {
+		return abort(err)
+	}
+	err = d.exec(&sql.Update{Table: TableName,
+		Sets:  []sql.Assignment{{Column: "c", Value: strLit(randPayload(d.rng, 32))}},
+		Where: pkEq(ids[1])})
+	if err != nil {
+		return abort(err)
+	}
+	return d.s.Commit()
+}
+
+func (d *Driver) randID() int64 { return int64(d.rng.Intn(d.cfg.Rows)) }
+
+func (d *Driver) distinctIDs(n int) []int64 {
+	out := make([]int64, 0, n)
+	seen := map[int64]bool{}
+	for len(out) < n {
+		id := d.randID()
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Kind selects the transaction mix.
+type Kind int
+
+// Workload kinds.
+const (
+	WriteOnly Kind = iota
+	ReadOnly
+	ReadWrite
+)
+
+func (k Kind) String() string {
+	switch k {
+	case WriteOnly:
+		return "oltp_write_only"
+	case ReadOnly:
+		return "oltp_read_only"
+	default:
+		return "oltp_read_write"
+	}
+}
+
+// Stats reports a run.
+type Stats struct {
+	Kind       Kind
+	Workers    int
+	Txns       int64
+	Errors     int64
+	Duration   time.Duration
+	Throughput float64 // committed txns/sec
+}
+
+// Run drives the workload with the given concurrency for the duration.
+// Each worker gets its own session on a CN chosen round-robin across the
+// cluster (the load balancer's dispersal).
+func Run(c *core.Cluster, cfg Config, kind Kind, workers int, dur time.Duration) Stats {
+	cfg = cfg.withDefaults()
+	var txns, errs atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	cns := c.CNs()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d := NewDriver(cns[w%len(cns)].NewSession(), cfg, int64(w)*7919)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var err error
+				switch kind {
+				case WriteOnly:
+					err = d.WriteOnly()
+				case ReadOnly:
+					err = d.ReadOnly()
+				default:
+					err = d.ReadWrite()
+				}
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				txns.Add(1)
+			}
+		}(w)
+	}
+	start := time.Now()
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	n := txns.Load()
+	return Stats{
+		Kind: kind, Workers: workers, Txns: n, Errors: errs.Load(),
+		Duration: elapsed, Throughput: float64(n) / elapsed.Seconds(),
+	}
+}

@@ -1,0 +1,97 @@
+package sysbench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+func newCluster(t *testing.T) *core.Cluster {
+	t.Helper()
+	c, err := core.NewCluster(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestLoadAndCounts(t *testing.T) {
+	c := newCluster(t)
+	s := c.CN(simnet.DC1).NewSession()
+	cfg := Config{Rows: 500, Partitions: 4, Seed: 1}
+	if err := Load(s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Execute("SELECT COUNT(*) FROM sbtest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsInt() != 500 {
+		t.Fatalf("loaded rows = %v", res.Rows[0])
+	}
+}
+
+func TestWriteOnlyPreservesRowCount(t *testing.T) {
+	c := newCluster(t)
+	s := c.CN(simnet.DC1).NewSession()
+	cfg := Config{Rows: 300, Partitions: 4, Seed: 2}
+	if err := Load(s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriver(c.CN(simnet.DC1).NewSession(), cfg, 99)
+	for i := 0; i < 20; i++ {
+		if err := d.WriteOnly(); err != nil {
+			t.Fatalf("write-only txn %d: %v", i, err)
+		}
+	}
+	// Delete+insert of the same id keeps cardinality constant.
+	res, _ := s.Execute("SELECT COUNT(*) FROM sbtest")
+	if res.Rows[0][0].AsInt() != 300 {
+		t.Fatalf("row count drifted: %v", res.Rows[0])
+	}
+}
+
+func TestReadOnlyAndReadWrite(t *testing.T) {
+	c := newCluster(t)
+	s := c.CN(simnet.DC1).NewSession()
+	cfg := Config{Rows: 300, Partitions: 4, Seed: 3}
+	if err := Load(s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriver(c.CN(simnet.DC1).NewSession(), cfg, 5)
+	for i := 0; i < 5; i++ {
+		if err := d.ReadOnly(); err != nil {
+			t.Fatalf("read-only: %v", err)
+		}
+		if err := d.ReadWrite(); err != nil {
+			t.Fatalf("read-write: %v", err)
+		}
+	}
+}
+
+func TestRunHarness(t *testing.T) {
+	c := newCluster(t)
+	s := c.CN(simnet.DC1).NewSession()
+	cfg := Config{Rows: 200, Partitions: 4, Seed: 4}
+	if err := Load(s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	stats := Run(c, cfg, WriteOnly, 4, 150*time.Millisecond)
+	if stats.Txns == 0 {
+		t.Fatal("no transactions committed")
+	}
+	if stats.Throughput <= 0 {
+		t.Fatal("no throughput")
+	}
+	t.Logf("write-only: %d txns, %.0f tps, %d errs", stats.Txns, stats.Throughput, stats.Errors)
+}
+
+func TestKindString(t *testing.T) {
+	if WriteOnly.String() != "oltp_write_only" || ReadOnly.String() != "oltp_read_only" ||
+		ReadWrite.String() != "oltp_read_write" {
+		t.Fatal("kind strings")
+	}
+}

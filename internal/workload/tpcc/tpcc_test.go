@@ -1,0 +1,137 @@
+package tpcc
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+func smallCfg() Config {
+	return Config{Warehouses: 1, CustomersPerDist: 5, Items: 40, InitialOrders: 4, Partitions: 4, Seed: 1}
+}
+
+func loaded(t *testing.T) (*core.Cluster, Config) {
+	t.Helper()
+	c, err := core.NewCluster(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	cfg := smallCfg()
+	if err := Load(c.CN(simnet.DC1).NewSession(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	return c, cfg
+}
+
+func TestLoadCounts(t *testing.T) {
+	c, cfg := loaded(t)
+	s := c.CN(simnet.DC1).NewSession()
+	checks := map[string]int64{
+		"SELECT COUNT(*) FROM warehouse": int64(cfg.Warehouses),
+		"SELECT COUNT(*) FROM district":  int64(cfg.Warehouses * DistrictsPerWarehouse),
+		"SELECT COUNT(*) FROM customer":  int64(cfg.Warehouses * DistrictsPerWarehouse * cfg.CustomersPerDist),
+		"SELECT COUNT(*) FROM item":      int64(cfg.Items),
+		"SELECT COUNT(*) FROM stock":     int64(cfg.Warehouses * cfg.Items),
+		"SELECT COUNT(*) FROM orders":    int64(cfg.Warehouses * DistrictsPerWarehouse * cfg.InitialOrders),
+	}
+	for q, want := range checks {
+		res, err := s.Execute(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if got := res.Rows[0][0].AsInt(); got != want {
+			t.Fatalf("%s = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestNewOrderCreatesOrderAndLines(t *testing.T) {
+	c, cfg := loaded(t)
+	s := c.CN(simnet.DC1).NewSession()
+	d := NewDriver(c.CN(simnet.DC1).NewSession(), cfg, 1)
+	before, _ := s.Execute("SELECT COUNT(*) FROM orders")
+	committed := 0
+	for i := 0; i < 10; i++ {
+		if err := d.NewOrder(); err == nil {
+			committed++
+		} else if err != ErrInvalidItem {
+			t.Fatalf("NewOrder: %v", err)
+		}
+	}
+	after, _ := s.Execute("SELECT COUNT(*) FROM orders")
+	if after.Rows[0][0].AsInt()-before.Rows[0][0].AsInt() != int64(committed) {
+		t.Fatalf("orders delta %d, committed %d",
+			after.Rows[0][0].AsInt()-before.Rows[0][0].AsInt(), committed)
+	}
+	// The intentional rollback must not leak partial orders: every order
+	// has its lines.
+	res, _ := s.Execute("SELECT COUNT(*) FROM order_line")
+	if res.Rows[0][0].AsInt() == 0 {
+		t.Fatal("no order lines")
+	}
+}
+
+func TestPaymentMovesMoney(t *testing.T) {
+	c, cfg := loaded(t)
+	s := c.CN(simnet.DC1).NewSession()
+	d := NewDriver(c.CN(simnet.DC1).NewSession(), cfg, 2)
+	for i := 0; i < 5; i++ {
+		if err := d.Payment(); err != nil {
+			t.Fatalf("Payment: %v", err)
+		}
+	}
+	res, _ := s.Execute("SELECT SUM(w_ytd) FROM warehouse")
+	wYtd := res.Rows[0][0].AsFloat()
+	res, _ = s.Execute("SELECT SUM(d_ytd) FROM district")
+	dYtd := res.Rows[0][0].AsFloat()
+	if wYtd <= 0 || wYtd != dYtd {
+		t.Fatalf("ytd mismatch: w=%.2f d=%.2f", wYtd, dYtd)
+	}
+	res, _ = s.Execute("SELECT COUNT(*) FROM history")
+	if res.Rows[0][0].AsInt() != 5 {
+		t.Fatalf("history rows = %v", res.Rows[0])
+	}
+}
+
+func TestDeliveryDrainsNewOrders(t *testing.T) {
+	c, cfg := loaded(t)
+	s := c.CN(simnet.DC1).NewSession()
+	d := NewDriver(c.CN(simnet.DC1).NewSession(), cfg, 3)
+	before, _ := s.Execute("SELECT COUNT(*) FROM new_order")
+	if err := d.Delivery(); err != nil {
+		t.Fatalf("Delivery: %v", err)
+	}
+	after, _ := s.Execute("SELECT COUNT(*) FROM new_order")
+	if after.Rows[0][0].AsInt() >= before.Rows[0][0].AsInt() {
+		t.Fatalf("new_order not drained: %v -> %v", before.Rows[0], after.Rows[0])
+	}
+}
+
+func TestOrderStatusAndStockLevel(t *testing.T) {
+	c, cfg := loaded(t)
+	d := NewDriver(c.CN(simnet.DC1).NewSession(), cfg, 4)
+	for i := 0; i < 3; i++ {
+		if err := d.OrderStatus(); err != nil {
+			t.Fatalf("OrderStatus: %v", err)
+		}
+		if err := d.StockLevel(); err != nil {
+			t.Fatalf("StockLevel: %v", err)
+		}
+	}
+}
+
+func TestMixRunHarness(t *testing.T) {
+	c, cfg := loaded(t)
+	stats := Run(c, cfg, 4, 300*time.Millisecond)
+	if stats.NewOrders+stats.Others == 0 {
+		t.Fatal("no transactions")
+	}
+	if stats.TpmC <= 0 && stats.NewOrders > 0 {
+		t.Fatal("tpmC not computed")
+	}
+	t.Logf("tpmC=%.0f newOrders=%d others=%d errs=%d samples=%d",
+		stats.TpmC, stats.NewOrders, stats.Others, stats.Errors, len(stats.PerSecond))
+}

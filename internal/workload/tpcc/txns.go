@@ -1,0 +1,363 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ErrInvalidItem is the intentional 1% New-Order rollback of the spec.
+var ErrInvalidItem = errors.New("tpcc: invalid item (intentional rollback)")
+
+// Driver issues TPC-C transactions through one session ("terminal").
+type Driver struct {
+	cfg Config
+	s   *core.Session
+	rng *rand.Rand
+	// nextOID caches per-district order counters; the database's
+	// d_next_o_id remains the source of truth at txn time.
+}
+
+// NewDriver binds a terminal to a session.
+func NewDriver(s *core.Session, cfg Config, seed int64) *Driver {
+	cfg = cfg.withDefaults()
+	return &Driver{cfg: cfg, s: s, rng: rand.New(rand.NewSource(cfg.Seed ^ seed))}
+}
+
+func (d *Driver) randWarehouse() int { return d.rng.Intn(d.cfg.Warehouses) }
+func (d *Driver) randDistrict() int  { return d.rng.Intn(DistrictsPerWarehouse) }
+func (d *Driver) randCustomer() int  { return d.rng.Intn(d.cfg.CustomersPerDist) }
+func (d *Driver) randItem() int      { return d.rng.Intn(d.cfg.Items) }
+
+// NewOrder runs the New-Order profile: bump the district's next order
+// id, insert the order and its lines, and update stock — one distributed
+// transaction spanning the district, order and stock shards. 1% of
+// transactions roll back on an invalid item per the spec.
+func (d *Driver) NewOrder() error {
+	w, dist, cust := d.randWarehouse(), d.randDistrict(), d.randCustomer()
+	nLines := 5 + d.rng.Intn(11)
+	invalid := d.rng.Intn(100) == 0
+
+	if err := d.s.BeginTxn(); err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		_ = d.s.Rollback()
+		return err
+	}
+	// District: read next_o_id, increment.
+	res, err := d.s.Execute(fmt.Sprintf(
+		"SELECT d_next_o_id FROM district WHERE d_key = %d", dKey(w, dist)))
+	if err != nil {
+		return abort(err)
+	}
+	if len(res.Rows) != 1 {
+		return abort(fmt.Errorf("tpcc: district %d missing", dKey(w, dist)))
+	}
+	oid := int(res.Rows[0][0].AsInt())
+	if _, err := d.s.Execute(fmt.Sprintf(
+		"UPDATE district SET d_next_o_id = %d WHERE d_key = %d", oid+1, dKey(w, dist))); err != nil {
+		return abort(err)
+	}
+	ok := oKey(w, dist, oid)
+	if _, err := d.s.Execute(fmt.Sprintf(
+		`INSERT INTO orders (o_key, o_w_id, o_d_id, o_id, o_c_id, o_carrier_id, o_ol_cnt, o_entry_d) VALUES (%d, %d, %d, %d, %d, -1, %d, %d)`,
+		ok, w, dist, oid, cust, nLines, time.Now().UnixMilli())); err != nil {
+		return abort(err)
+	}
+	if _, err := d.s.Execute(fmt.Sprintf(
+		"INSERT INTO new_order (no_o_key) VALUES (%d)", ok)); err != nil {
+		return abort(err)
+	}
+	for n := 0; n < nLines; n++ {
+		item := d.randItem()
+		if invalid && n == nLines-1 {
+			return abort(ErrInvalidItem)
+		}
+		// Item price.
+		ires, err := d.s.Execute(fmt.Sprintf("SELECT i_price FROM item WHERE i_id = %d", item))
+		if err != nil {
+			return abort(err)
+		}
+		if len(ires.Rows) == 0 {
+			return abort(ErrInvalidItem)
+		}
+		price := ires.Rows[0][0].AsFloat()
+		qty := 1 + d.rng.Intn(10)
+		// Stock: read + decrement (1% remote warehouse per spec).
+		sw := w
+		if d.cfg.Warehouses > 1 && d.rng.Intn(100) == 0 {
+			sw = d.randWarehouse()
+		}
+		sres, err := d.s.Execute(fmt.Sprintf(
+			"SELECT s_quantity FROM stock WHERE s_key = %d", sKey(sw, item)))
+		if err != nil {
+			return abort(err)
+		}
+		sq := sres.Rows[0][0].AsInt()
+		newQ := sq - int64(qty)
+		if newQ < 10 {
+			newQ += 91
+		}
+		if _, err := d.s.Execute(fmt.Sprintf(
+			"UPDATE stock SET s_quantity = %d, s_ytd = s_ytd + %d, s_order_cnt = s_order_cnt + 1 WHERE s_key = %d",
+			newQ, qty, sKey(sw, item))); err != nil {
+			return abort(err)
+		}
+		if _, err := d.s.Execute(fmt.Sprintf(
+			`INSERT INTO order_line (ol_key, ol_o_key, ol_number, ol_i_id, ol_quantity, ol_amount, ol_delivery_d) VALUES (%d, %d, %d, %d, %d, %.2f, -1)`,
+			olKey(ok, n), ok, n, item, qty, float64(qty)*price)); err != nil {
+			return abort(err)
+		}
+	}
+	return d.s.Commit()
+}
+
+// Payment updates warehouse/district YTD and the customer's balance,
+// recording a history row.
+func (d *Driver) Payment() error {
+	w, dist, cust := d.randWarehouse(), d.randDistrict(), d.randCustomer()
+	amount := 1 + d.rng.Float64()*4999
+	if err := d.s.BeginTxn(); err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		_ = d.s.Rollback()
+		return err
+	}
+	if _, err := d.s.Execute(fmt.Sprintf(
+		"UPDATE warehouse SET w_ytd = w_ytd + %.2f WHERE w_id = %d", amount, w)); err != nil {
+		return abort(err)
+	}
+	if _, err := d.s.Execute(fmt.Sprintf(
+		"UPDATE district SET d_ytd = d_ytd + %.2f WHERE d_key = %d", amount, dKey(w, dist))); err != nil {
+		return abort(err)
+	}
+	if _, err := d.s.Execute(fmt.Sprintf(
+		"UPDATE customer SET c_balance = c_balance - %.2f, c_ytd_payment = c_ytd_payment + %.2f, c_payment_cnt = c_payment_cnt + 1 WHERE c_key = %d",
+		amount, amount, cKey(w, dist, cust))); err != nil {
+		return abort(err)
+	}
+	if _, err := d.s.Execute(fmt.Sprintf(
+		"INSERT INTO history (h_c_key, h_amount, h_date) VALUES (%d, %.2f, %d)",
+		cKey(w, dist, cust), amount, time.Now().UnixMilli())); err != nil {
+		return abort(err)
+	}
+	return d.s.Commit()
+}
+
+// OrderStatus reads a customer's balance and their most recent order's
+// lines (read-only).
+func (d *Driver) OrderStatus() error {
+	w, dist, cust := d.randWarehouse(), d.randDistrict(), d.randCustomer()
+	if _, err := d.s.Execute(fmt.Sprintf(
+		"SELECT c_name, c_balance FROM customer WHERE c_key = %d", cKey(w, dist, cust))); err != nil {
+		return err
+	}
+	lo, hi := oKey(w, dist, 0), oKey(w, dist+1, 0)
+	res, err := d.s.Execute(fmt.Sprintf(
+		"SELECT o_key FROM orders WHERE o_key BETWEEN %d AND %d AND o_c_id = %d ORDER BY o_key DESC LIMIT 1",
+		lo, hi-1, cust))
+	if err != nil {
+		return err
+	}
+	if len(res.Rows) == 0 {
+		return nil
+	}
+	ok := res.Rows[0][0].AsInt()
+	_, err = d.s.Execute(fmt.Sprintf(
+		"SELECT ol_i_id, ol_quantity, ol_amount FROM order_line WHERE ol_o_key BETWEEN %d AND %d",
+		olKey(ok, 0), olKey(ok, 19)))
+	return err
+}
+
+// Delivery delivers the oldest undelivered order in each district of a
+// warehouse: pop new_order, stamp the carrier, mark lines delivered and
+// credit the customer.
+func (d *Driver) Delivery() error {
+	w := d.randWarehouse()
+	carrier := d.rng.Intn(10)
+	if err := d.s.BeginTxn(); err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		_ = d.s.Rollback()
+		return err
+	}
+	for dist := 0; dist < DistrictsPerWarehouse; dist++ {
+		lo, hi := oKey(w, dist, 0), oKey(w, dist+1, 0)
+		res, err := d.s.Execute(fmt.Sprintf(
+			"SELECT no_o_key FROM new_order WHERE no_o_key BETWEEN %d AND %d ORDER BY no_o_key LIMIT 1",
+			lo, hi-1))
+		if err != nil {
+			return abort(err)
+		}
+		if len(res.Rows) == 0 {
+			continue
+		}
+		ok := res.Rows[0][0].AsInt()
+		if _, err := d.s.Execute(fmt.Sprintf(
+			"DELETE FROM new_order WHERE no_o_key = %d", ok)); err != nil {
+			return abort(err)
+		}
+		ores, err := d.s.Execute(fmt.Sprintf(
+			"SELECT o_c_id, o_d_id FROM orders WHERE o_key = %d", ok))
+		if err != nil || len(ores.Rows) == 0 {
+			return abort(fmt.Errorf("tpcc: order %d missing: %v", ok, err))
+		}
+		cid := int(ores.Rows[0][0].AsInt())
+		if _, err := d.s.Execute(fmt.Sprintf(
+			"UPDATE orders SET o_carrier_id = %d WHERE o_key = %d", carrier, ok)); err != nil {
+			return abort(err)
+		}
+		sres, err := d.s.Execute(fmt.Sprintf(
+			"SELECT SUM(ol_amount) FROM order_line WHERE ol_o_key BETWEEN %d AND %d",
+			olKey(ok, 0), olKey(ok, 19)))
+		if err != nil {
+			return abort(err)
+		}
+		total := sres.Rows[0][0].AsFloat()
+		if _, err := d.s.Execute(fmt.Sprintf(
+			"UPDATE customer SET c_balance = c_balance + %.2f, c_delivery_cnt = c_delivery_cnt + 1 WHERE c_key = %d",
+			total, cKey(w, dist, cid))); err != nil {
+			return abort(err)
+		}
+	}
+	return d.s.Commit()
+}
+
+// StockLevel counts low-stock items among a district's recent orders
+// (read-only analytical touch inside the TP mix).
+func (d *Driver) StockLevel() error {
+	w, dist := d.randWarehouse(), d.randDistrict()
+	threshold := 10 + d.rng.Intn(11)
+	res, err := d.s.Execute(fmt.Sprintf(
+		"SELECT d_next_o_id FROM district WHERE d_key = %d", dKey(w, dist)))
+	if err != nil || len(res.Rows) == 0 {
+		return err
+	}
+	next := int(res.Rows[0][0].AsInt())
+	from := next - 20
+	if from < 0 {
+		from = 0
+	}
+	lres, err := d.s.Execute(fmt.Sprintf(
+		"SELECT ol_i_id FROM order_line WHERE ol_o_key BETWEEN %d AND %d",
+		olKey(oKey(w, dist, from), 0), olKey(oKey(w, dist, next), 0)))
+	if err != nil {
+		return err
+	}
+	seen := map[int64]bool{}
+	low := 0
+	for _, r := range lres.Rows {
+		item := r[0].AsInt()
+		if seen[item] {
+			continue
+		}
+		seen[item] = true
+		sres, err := d.s.Execute(fmt.Sprintf(
+			"SELECT s_quantity FROM stock WHERE s_key = %d", sKey(w, int(item))))
+		if err != nil {
+			return err
+		}
+		if len(sres.Rows) > 0 && sres.Rows[0][0].AsInt() < int64(threshold) {
+			low++
+		}
+	}
+	return nil
+}
+
+// Mix runs one transaction from the standard mix and reports whether it
+// was a committed New-Order (the tpmC numerator).
+func (d *Driver) Mix() (newOrder bool, err error) {
+	r := d.rng.Intn(100)
+	switch {
+	case r < 45:
+		err = d.NewOrder()
+		if err == nil {
+			return true, nil
+		}
+		if errors.Is(err, ErrInvalidItem) {
+			return false, nil // spec rollback, not an error
+		}
+		return false, err
+	case r < 88:
+		return false, d.Payment()
+	case r < 92:
+		return false, d.OrderStatus()
+	case r < 96:
+		return false, d.Delivery()
+	default:
+		return false, d.StockLevel()
+	}
+}
+
+// Stats is one run's outcome, with per-second tpmC samples for the
+// Fig. 9(a) time series.
+type Stats struct {
+	NewOrders int64
+	Others    int64
+	Errors    int64
+	Duration  time.Duration
+	// TpmC is committed New-Orders extrapolated to a minute.
+	TpmC float64
+	// PerSecond holds committed New-Order counts per elapsed second.
+	PerSecond []int64
+}
+
+// Run drives terminals for the duration. Returns aggregated stats.
+func Run(c *core.Cluster, cfg Config, terminals int, dur time.Duration) Stats {
+	cfg = cfg.withDefaults()
+	seconds := int(dur/time.Second) + 2
+	perSec := make([]atomic.Int64, seconds)
+	var newOrders, others, errsN atomic.Int64
+	stop := make(chan struct{})
+	start := time.Now()
+	var wg sync.WaitGroup
+	cns := c.CNs()
+	for t := 0; t < terminals; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			d := NewDriver(cns[t%len(cns)].NewSession(), cfg, int64(t)*104729)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				isNO, err := d.Mix()
+				if err != nil {
+					errsN.Add(1)
+					continue
+				}
+				if isNO {
+					newOrders.Add(1)
+					if sec := int(time.Since(start) / time.Second); sec < seconds {
+						perSec[sec].Add(1)
+					}
+				} else {
+					others.Add(1)
+				}
+			}
+		}(t)
+	}
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	out := Stats{
+		NewOrders: newOrders.Load(), Others: others.Load(), Errors: errsN.Load(),
+		Duration: elapsed,
+		TpmC:     float64(newOrders.Load()) / elapsed.Minutes(),
+	}
+	for i := 0; i < int(elapsed/time.Second); i++ {
+		out.PerSecond = append(out.PerSecond, perSec[i].Load())
+	}
+	return out
+}

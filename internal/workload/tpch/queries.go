@@ -1,0 +1,276 @@
+package tpch
+
+// Query describes one of the 22 TPC-H queries in the engine's dialect.
+type Query struct {
+	ID   int
+	Name string
+	SQL  string
+	// Adapted marks queries whose reference text needed rewriting:
+	// correlated subqueries, EXISTS, and derived tables are expressed
+	// through joins. Uncorrelated scalar/IN subqueries run natively.
+	Adapted bool
+}
+
+// Queries returns all 22 queries. Direct translations keep the reference
+// structure; adapted ones preserve the dominant scan/join/aggregate
+// shape that the Fig. 10 comparison measures.
+func Queries() []Query {
+	return []Query{
+		{ID: 1, Name: "pricing summary", SQL: `
+SELECT l_returnflag, l_linestatus,
+       SUM(l_quantity) AS sum_qty,
+       SUM(l_extendedprice) AS sum_base_price,
+       SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       AVG(l_quantity) AS avg_qty,
+       AVG(l_extendedprice) AS avg_price,
+       AVG(l_discount) AS avg_disc,
+       COUNT(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= 19980902
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus`},
+
+		{ID: 2, Name: "minimum cost supplier", Adapted: true, SQL: `
+SELECT s.s_name, n.n_name, MIN(ps.ps_supplycost) AS min_cost
+FROM partsupp ps
+JOIN supplier s ON ps.ps_suppkey = s.s_suppkey
+JOIN nation n ON s.s_nationkey = n.n_nationkey
+JOIN region r ON n.n_regionkey = r.r_regionkey
+JOIN part p ON ps.ps_partkey = p.p_partkey
+WHERE r.r_name = 'EUROPE' AND p.p_size > 10
+GROUP BY s.s_name, n.n_name
+ORDER BY min_cost LIMIT 10`},
+
+		{ID: 3, Name: "shipping priority", SQL: `
+SELECT l.l_orderkey, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+       o.o_orderdate, o.o_shippriority
+FROM customer c
+JOIN orders o ON c.c_custkey = o.o_custkey
+JOIN lineitem l ON l.l_orderkey = o.o_orderkey
+WHERE c.c_mktsegment = 'BUILDING'
+  AND o.o_orderdate < 19950315
+  AND l.l_shipdate > 19950315
+GROUP BY l.l_orderkey, o.o_orderdate, o.o_shippriority
+ORDER BY revenue DESC, o_orderdate LIMIT 10`},
+
+		{ID: 4, Name: "order priority checking", SQL: `
+SELECT o.o_orderpriority, COUNT(*) AS order_count
+FROM orders o
+WHERE o.o_orderdate >= 19930701 AND o.o_orderdate < 19931001
+  AND EXISTS (SELECT * FROM lineitem l
+              WHERE l.l_orderkey = o.o_orderkey
+                AND l.l_commitdate < l.l_receiptdate)
+GROUP BY o.o_orderpriority
+ORDER BY o.o_orderpriority`},
+
+		{ID: 5, Name: "local supplier volume", SQL: `
+SELECT n.n_name, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+FROM customer c
+JOIN orders o ON c.c_custkey = o.o_custkey
+JOIN lineitem l ON l.l_orderkey = o.o_orderkey
+JOIN supplier s ON l.l_suppkey = s.s_suppkey
+JOIN nation n ON s.s_nationkey = n.n_nationkey
+JOIN region r ON n.n_regionkey = r.r_regionkey
+WHERE r.r_name = 'ASIA'
+  AND o.o_orderdate >= 19940101 AND o.o_orderdate < 19950101
+GROUP BY n.n_name
+ORDER BY revenue DESC`},
+
+		{ID: 6, Name: "forecasting revenue change", SQL: `
+SELECT SUM(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= 19940101 AND l_shipdate < 19950101
+  AND l_discount BETWEEN 0.02 AND 0.09
+  AND l_quantity < 24`},
+
+		{ID: 7, Name: "volume shipping", Adapted: true, SQL: `
+SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+       SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+FROM supplier s
+JOIN lineitem l ON s.s_suppkey = l.l_suppkey
+JOIN orders o ON o.o_orderkey = l.l_orderkey
+JOIN customer c ON c.c_custkey = o.o_custkey
+JOIN nation n1 ON s.s_nationkey = n1.n_nationkey
+JOIN nation n2 ON c.c_nationkey = n2.n_nationkey
+WHERE l.l_shipdate BETWEEN 19950101 AND 19961231
+  AND n1.n_name IN ('FRANCE', 'GERMANY')
+  AND n2.n_name IN ('FRANCE', 'GERMANY')
+GROUP BY n1.n_name, n2.n_name
+ORDER BY supp_nation, cust_nation`},
+
+		{ID: 8, Name: "national market share", Adapted: true, SQL: `
+SELECT o.o_orderdate / 10000 AS o_year,
+       SUM(CASE WHEN n2.n_name = 'BRAZIL' THEN l.l_extendedprice * (1 - l.l_discount) ELSE 0 END)
+         / SUM(l.l_extendedprice * (1 - l.l_discount)) AS mkt_share
+FROM part p
+JOIN lineitem l ON p.p_partkey = l.l_partkey
+JOIN supplier s ON s.s_suppkey = l.l_suppkey
+JOIN orders o ON o.o_orderkey = l.l_orderkey
+JOIN customer c ON c.c_custkey = o.o_custkey
+JOIN nation n1 ON c.c_nationkey = n1.n_nationkey
+JOIN region r ON n1.n_regionkey = r.r_regionkey
+JOIN nation n2 ON s.s_nationkey = n2.n_nationkey
+WHERE r.r_name = 'AMERICA'
+  AND o.o_orderdate BETWEEN 19950101 AND 19961231
+  AND p.p_type = 'ECONOMY ANODIZED STEEL'
+GROUP BY o.o_orderdate / 10000
+ORDER BY o_year`},
+
+		{ID: 9, Name: "product type profit", SQL: `
+SELECT n.n_name AS nation, o.o_orderdate / 10000 AS o_year,
+       SUM(l.l_extendedprice * (1 - l.l_discount) - ps.ps_supplycost * l.l_quantity) AS sum_profit
+FROM part p
+JOIN lineitem l ON p.p_partkey = l.l_partkey
+JOIN supplier s ON s.s_suppkey = l.l_suppkey
+JOIN partsupp ps ON ps.ps_partkey = l.l_partkey AND ps.ps_suppkey = l.l_suppkey
+JOIN orders o ON o.o_orderkey = l.l_orderkey
+JOIN nation n ON s.s_nationkey = n.n_nationkey
+WHERE p.p_name LIKE '%steel%'
+GROUP BY n.n_name, o.o_orderdate / 10000
+ORDER BY nation, o_year DESC`},
+
+		{ID: 10, Name: "returned item reporting", SQL: `
+SELECT c.c_custkey, c.c_name, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+       c.c_acctbal, n.n_name
+FROM customer c
+JOIN orders o ON c.c_custkey = o.o_custkey
+JOIN lineitem l ON l.l_orderkey = o.o_orderkey
+JOIN nation n ON c.c_nationkey = n.n_nationkey
+WHERE o.o_orderdate >= 19931001 AND o.o_orderdate < 19940101
+  AND l.l_returnflag = 'R'
+GROUP BY c.c_custkey, c.c_name, c.c_acctbal, n.n_name
+ORDER BY revenue DESC LIMIT 20`},
+
+		{ID: 11, Name: "important stock identification", SQL: `
+SELECT ps.ps_partkey, SUM(ps.ps_supplycost * ps.ps_availqty) AS value
+FROM partsupp ps
+JOIN supplier s ON ps.ps_suppkey = s.s_suppkey
+JOIN nation n ON s.s_nationkey = n.n_nationkey
+WHERE n.n_name = 'GERMANY'
+GROUP BY ps.ps_partkey
+HAVING SUM(ps.ps_supplycost * ps.ps_availqty) >
+  (SELECT SUM(ps2.ps_supplycost * ps2.ps_availqty) * 0.0001
+   FROM partsupp ps2
+   JOIN supplier s2 ON ps2.ps_suppkey = s2.s_suppkey
+   JOIN nation n2 ON s2.s_nationkey = n2.n_nationkey
+   WHERE n2.n_name = 'GERMANY')
+ORDER BY value DESC LIMIT 20`},
+
+		{ID: 12, Name: "shipping modes and order priority", SQL: `
+SELECT l.l_shipmode,
+       SUM(CASE WHEN o.o_orderpriority = '1-URGENT' OR o.o_orderpriority = '2-HIGH' THEN 1 ELSE 0 END) AS high_line_count,
+       SUM(CASE WHEN o.o_orderpriority <> '1-URGENT' AND o.o_orderpriority <> '2-HIGH' THEN 1 ELSE 0 END) AS low_line_count
+FROM orders o
+JOIN lineitem l ON o.o_orderkey = l.l_orderkey
+WHERE l.l_shipmode IN ('MAIL', 'SHIP')
+  AND l.l_commitdate < l.l_receiptdate
+  AND l.l_shipdate < l.l_commitdate
+  AND l.l_receiptdate >= 19940101 AND l.l_receiptdate < 19950101
+GROUP BY l.l_shipmode
+ORDER BY l_shipmode`},
+
+		{ID: 13, Name: "customer distribution", Adapted: true, SQL: `
+SELECT c.c_custkey, COUNT(o.o_orderkey) AS c_count
+FROM customer c
+LEFT JOIN orders o ON c.c_custkey = o.o_custkey
+GROUP BY c.c_custkey
+ORDER BY c_count DESC, c.c_custkey LIMIT 20`},
+
+		{ID: 14, Name: "promotion effect", SQL: `
+SELECT 100.00 * SUM(CASE WHEN p.p_type LIKE 'PROMO%' THEN l.l_extendedprice * (1 - l.l_discount) ELSE 0 END)
+       / SUM(l.l_extendedprice * (1 - l.l_discount)) AS promo_revenue
+FROM lineitem l
+JOIN part p ON l.l_partkey = p.p_partkey
+WHERE l.l_shipdate >= 19950901 AND l.l_shipdate < 19951001`},
+
+		{ID: 15, Name: "top supplier", Adapted: true, SQL: `
+SELECT s.s_suppkey, s.s_name, SUM(l.l_extendedprice * (1 - l.l_discount)) AS total_revenue
+FROM lineitem l
+JOIN supplier s ON s.s_suppkey = l.l_suppkey
+WHERE l.l_shipdate >= 19960101 AND l.l_shipdate < 19960401
+GROUP BY s.s_suppkey, s.s_name
+ORDER BY total_revenue DESC LIMIT 1`},
+
+		{ID: 16, Name: "parts/supplier relationship", Adapted: true, SQL: `
+SELECT p.p_type, p.p_size, COUNT(DISTINCT ps.ps_suppkey) AS supplier_cnt
+FROM partsupp ps
+JOIN part p ON p.p_partkey = ps.ps_partkey
+WHERE p.p_size IN (1, 5, 10, 15, 20, 25, 30, 35)
+  AND p.p_type NOT LIKE 'MEDIUM%'
+  AND ps.ps_suppkey NOT IN (SELECT s_suppkey FROM supplier WHERE s_acctbal < 0)
+GROUP BY p.p_type, p.p_size
+ORDER BY supplier_cnt DESC, p.p_type LIMIT 20`},
+
+		{ID: 17, Name: "small-quantity-order revenue", Adapted: true, SQL: `
+SELECT SUM(l.l_extendedprice) / 7.0 AS avg_yearly
+FROM lineitem l
+JOIN part p ON p.p_partkey = l.l_partkey
+WHERE p.p_container = 'MED BAG' AND l.l_quantity < 5`},
+
+		{ID: 18, Name: "large volume customer", SQL: `
+SELECT c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate, o.o_totalprice,
+       SUM(l.l_quantity) AS total_qty
+FROM customer c
+JOIN orders o ON c.c_custkey = o.o_custkey
+JOIN lineitem l ON o.o_orderkey = l.l_orderkey
+WHERE o.o_orderkey IN
+  (SELECT l_orderkey FROM lineitem GROUP BY l_orderkey HAVING SUM(l_quantity) > 100)
+GROUP BY c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate, o.o_totalprice
+ORDER BY o.o_totalprice DESC, o.o_orderdate LIMIT 20`},
+
+		{ID: 19, Name: "discounted revenue", SQL: `
+SELECT SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+FROM lineitem l
+JOIN part p ON p.p_partkey = l.l_partkey
+WHERE (p.p_container = 'SM CASE' AND l.l_quantity BETWEEN 1 AND 11 AND p.p_size BETWEEN 1 AND 5)
+   OR (p.p_container = 'MED BAG' AND l.l_quantity BETWEEN 10 AND 20 AND p.p_size BETWEEN 1 AND 10)
+   OR (p.p_container = 'LG BOX' AND l.l_quantity BETWEEN 20 AND 30 AND p.p_size BETWEEN 1 AND 15)`},
+
+		{ID: 20, Name: "potential part promotion", Adapted: true, SQL: `
+SELECT s.s_name, n.n_name
+FROM supplier s
+JOIN nation n ON s.s_nationkey = n.n_nationkey
+WHERE n.n_name = 'CANADA'
+  AND s.s_suppkey IN
+    (SELECT ps_suppkey FROM partsupp WHERE ps_partkey IN
+      (SELECT p_partkey FROM part WHERE p_name LIKE '%steel%'))
+ORDER BY s.s_name LIMIT 20`},
+
+		{ID: 21, Name: "suppliers who kept orders waiting", Adapted: true, SQL: `
+SELECT s.s_name, COUNT(*) AS numwait
+FROM supplier s
+JOIN lineitem l ON s.s_suppkey = l.l_suppkey
+JOIN orders o ON o.o_orderkey = l.l_orderkey
+JOIN nation n ON s.s_nationkey = n.n_nationkey
+WHERE o.o_orderstatus = 'F'
+  AND l.l_receiptdate > l.l_commitdate
+  AND n.n_name = 'SAUDI ARABIA'
+GROUP BY s.s_name
+ORDER BY numwait DESC, s.s_name LIMIT 20`},
+
+		{ID: 22, Name: "global sales opportunity", Adapted: true, SQL: `
+SELECT c.c_nationkey, COUNT(*) AS numcust, SUM(c.c_acctbal) AS totacctbal
+FROM customer c
+WHERE c.c_acctbal > (SELECT AVG(c_acctbal) FROM customer WHERE c_acctbal > 0)
+  AND NOT EXISTS (SELECT * FROM orders o WHERE o.o_custkey = c.c_custkey)
+GROUP BY c.c_nationkey
+ORDER BY c.c_nationkey`},
+	}
+}
+
+// WithPrefix rewrites the query's table references for a prefixed load.
+func (q Query) WithPrefix(prefix string) Query {
+	q.SQL = applyPrefix(q.SQL, prefix)
+	return q
+}
+
+// QueryByID returns one query.
+func QueryByID(id int) (Query, bool) {
+	for _, q := range Queries() {
+		if q.ID == id {
+			return q, true
+		}
+	}
+	return Query{}, false
+}

@@ -1,0 +1,192 @@
+package tpch
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+	"repro/internal/types"
+)
+
+func loaded(t *testing.T, clusterCfg core.Config, cfg Config) (*core.Cluster, *core.Session) {
+	t.Helper()
+	c, err := core.NewCluster(clusterCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	s := c.CN(simnet.DC1).NewSession()
+	if err := Load(s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return c, s
+}
+
+func TestLoadCounts(t *testing.T) {
+	cfg := Config{SF: 0.05, Partitions: 4, Seed: 1}
+	_, s := loaded(t, core.Config{}, cfg)
+	_, _, nSupp, nCust, nPart, nOrders, linesPer := cfg.withDefaults().counts()
+	checks := map[string]int64{
+		"SELECT COUNT(*) FROM region":   5,
+		"SELECT COUNT(*) FROM nation":   25,
+		"SELECT COUNT(*) FROM supplier": int64(nSupp),
+		"SELECT COUNT(*) FROM customer": int64(nCust),
+		"SELECT COUNT(*) FROM part":     int64(nPart),
+		"SELECT COUNT(*) FROM orders":   int64(nOrders),
+		"SELECT COUNT(*) FROM lineitem": int64(nOrders * linesPer),
+	}
+	for q, want := range checks {
+		res, err := s.Execute(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if got := res.Rows[0][0].AsInt(); got != want {
+			t.Fatalf("%s = %d, want %d", q, got, want)
+		}
+	}
+}
+
+// TestAll22QueriesExecute is the gate for Fig. 10: every query must
+// parse, plan and run.
+func TestAll22QueriesExecute(t *testing.T) {
+	cfg := Config{SF: 0.05, Partitions: 4, Seed: 2}
+	_, s := loaded(t, core.Config{}, cfg)
+	qs := Queries()
+	if len(qs) != 22 {
+		t.Fatalf("have %d queries", len(qs))
+	}
+	for _, q := range qs {
+		res, err := s.Execute(q.SQL)
+		if err != nil {
+			t.Fatalf("Q%d (%s): %v", q.ID, q.Name, err)
+		}
+		t.Logf("Q%d %-32s rows=%d adapted=%v", q.ID, q.Name, len(res.Rows), q.Adapted)
+	}
+}
+
+// TestQ1MatchesManualComputation cross-checks the engine's aggregation
+// against a direct scan.
+func TestQ1MatchesManualComputation(t *testing.T) {
+	cfg := Config{SF: 0.05, Partitions: 4, Seed: 3}
+	_, s := loaded(t, core.Config{}, cfg)
+	all, err := s.Execute("SELECT l_returnflag, l_linestatus, l_quantity, l_extendedprice, l_discount, l_shipdate FROM lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type agg struct {
+		qty, price float64
+		count      int64
+	}
+	want := map[string]*agg{}
+	for _, r := range all.Rows {
+		if r[5].AsInt() > 19980902 {
+			continue
+		}
+		k := r[0].AsString() + "|" + r[1].AsString()
+		a := want[k]
+		if a == nil {
+			a = &agg{}
+			want[k] = a
+		}
+		a.qty += r[2].AsFloat()
+		a.price += r[3].AsFloat()
+		a.count++
+	}
+	q, _ := QueryByID(1)
+	res, err := s.Execute(q.SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("groups: got %d want %d", len(res.Rows), len(want))
+	}
+	for _, r := range res.Rows {
+		k := r[0].AsString() + "|" + r[1].AsString()
+		a := want[k]
+		if a == nil {
+			t.Fatalf("unexpected group %s", k)
+		}
+		if r[2].AsFloat() != a.qty || r[9].AsInt() != a.count {
+			t.Fatalf("group %s: qty %v vs %v, count %v vs %v",
+				k, r[2], a.qty, r[9], a.count)
+		}
+		if diff := r[3].AsFloat() - a.price; diff > 0.01 || diff < -0.01 {
+			t.Fatalf("group %s price mismatch: %v vs %v", k, r[3], a.price)
+		}
+	}
+}
+
+// TestQ6MatchesManualComputation checks the pure-filter aggregate.
+func TestQ6MatchesManualComputation(t *testing.T) {
+	cfg := Config{SF: 0.05, Partitions: 4, Seed: 4}
+	_, s := loaded(t, core.Config{}, cfg)
+	all, _ := s.Execute("SELECT l_shipdate, l_discount, l_quantity, l_extendedprice FROM lineitem")
+	var want float64
+	for _, r := range all.Rows {
+		d := r[0].AsInt()
+		disc := r[1].AsFloat()
+		if d >= 19940101 && d < 19950101 && disc >= 0.02 && disc <= 0.09 && r[2].AsFloat() < 24 {
+			want += r[3].AsFloat() * disc
+		}
+	}
+	q, _ := QueryByID(6)
+	res, err := s.Execute(q.SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Rows[0][0].AsFloat()
+	if diff := got - want; diff > 0.01 || diff < -0.01 {
+		t.Fatalf("Q6 = %v, want %v", got, want)
+	}
+}
+
+// TestQueriesOnColumnIndex runs the scan-heavy queries against AP
+// replicas with column indexes and checks result equivalence vs the row
+// store.
+func TestQueriesOnColumnIndex(t *testing.T) {
+	cfg := Config{SF: 0.05, Partitions: 4, Seed: 5}
+	c, s := loaded(t, core.Config{ROsPerDN: 1}, cfg)
+	q1, _ := QueryByID(1)
+	rowRes, err := s.Execute(q1.SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EnableAPReplicas(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitROConvergence(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EnableColumnIndexes("lineitem"); err != nil {
+		t.Fatal(err)
+	}
+	colRes, err := s.Execute(q1.SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(colRes.Rows) != len(rowRes.Rows) {
+		t.Fatalf("row/col group counts differ: %d vs %d", len(rowRes.Rows), len(colRes.Rows))
+	}
+	for i := range rowRes.Rows {
+		for c := range rowRes.Rows[i] {
+			a, b := rowRes.Rows[i][c], colRes.Rows[i][c]
+			if a.K == types.KindFloat || b.K == types.KindFloat {
+				if diff := a.AsFloat() - b.AsFloat(); diff > 0.01 || diff < -0.01 {
+					t.Fatalf("row %d col %d: %v vs %v", i, c, a, b)
+				}
+			} else if a.Compare(b) != 0 {
+				t.Fatalf("row %d col %d: %v vs %v", i, c, a, b)
+			}
+		}
+	}
+}
+
+func TestQueryByID(t *testing.T) {
+	if _, ok := QueryByID(9); !ok {
+		t.Fatal("Q9 missing")
+	}
+	if _, ok := QueryByID(23); ok {
+		t.Fatal("Q23 exists?!")
+	}
+}
