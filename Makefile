@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build vet test test-short test-race bench-fig7
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# The concurrency-sensitive paths (batched RPC fan-out, plan cache,
+# 2PC) are exercised under the race detector.
+test-race:
+	$(GO) test -race ./...
+
+# Fig. 7 benches plus the CN fast-path point-read benchmark
+# (batched per-DN fan-out vs the per-key baseline, cross-DC topology).
+bench-fig7:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig7' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkPointReadBatch' ./internal/bench/...

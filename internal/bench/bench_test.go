@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"os"
 	"strings"
 	"testing"
@@ -121,6 +122,89 @@ func TestFig10ShapeColumnIndexWinsOnScanHeavy(t *testing.T) {
 			t.Fatalf("Q%d: column index (%v) not faster than serial (%v)",
 				row.Query.ID, row.ColIndex, row.Serial)
 		}
+	}
+}
+
+// TestSysbenchPlanCacheHitRate: the sysbench read-only loop is the
+// workload the fingerprinted plan cache exists for — after one planning
+// per (statement shape, CN) everything hits.
+func TestSysbenchPlanCacheHitRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cluster, err := core.NewCluster(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	cfg := sysbench.Config{Rows: 400, Partitions: 4, Seed: 11}
+	if err := sysbench.Load(cluster.CN(simnet.DC1).NewSession(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	stats := sysbench.Run(cluster, cfg, sysbench.ReadOnly, 4, 400*time.Millisecond)
+	if stats.Throughput <= 0 {
+		t.Fatal("no sysbench throughput")
+	}
+	var hits, misses uint64
+	for _, cn := range cluster.CNs() {
+		h, m := cn.PlanCacheStats()
+		hits += h
+		misses += m
+	}
+	if hits+misses == 0 {
+		t.Fatal("plan cache never consulted")
+	}
+	if rate := float64(hits) / float64(hits+misses); rate < 0.9 {
+		t.Fatalf("read-only plan-cache hit rate = %.3f (hits=%d misses=%d), want > 0.9",
+			rate, hits, misses)
+	}
+}
+
+// BenchmarkPointReadBatch measures the CN fast path's multi-point read
+// (SELECT ... WHERE id IN (...)) on the Fig. 7 cross-DC topology:
+// batched per-DN fan-out vs the per-key NoBatch baseline. The literals
+// vary every iteration, so the batched runs also exercise plan-cache
+// re-binding under real inter-DC latency.
+func BenchmarkPointReadBatch(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		noBatch bool
+	}{
+		{"batched", false},
+		{"perkey", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			topo := simnet.DefaultTopology()
+			cluster, err := core.NewCluster(core.Config{
+				DCs: 3, CNsPerDC: 2, DNGroups: 3, MultiDC: true,
+				Topology: &topo, NoBatch: mode.noBatch,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cluster.Stop()
+			const rows = 1200
+			cfg := sysbench.Config{Rows: rows, Partitions: 6, Seed: 42}
+			if err := sysbench.Load(cluster.CN(simnet.DC1).NewSession(), cfg); err != nil {
+				b.Fatal(err)
+			}
+			s := cluster.CN(simnet.DC1).NewSession()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var sb strings.Builder
+				sb.WriteString("SELECT c FROM sbtest WHERE id IN (")
+				for k := 0; k < 8; k++ {
+					if k > 0 {
+						sb.WriteString(", ")
+					}
+					fmt.Fprintf(&sb, "%d", (i*131+k*151)%rows)
+				}
+				sb.WriteByte(')')
+				if _, err := s.Execute(sb.String()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

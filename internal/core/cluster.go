@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dn"
@@ -73,6 +74,14 @@ type Config struct {
 	DNServiceRate float64
 	// WithPolarFS provisions chunk servers and volumes (page-flush I/O).
 	WithPolarFS bool
+	// NoBatch disables the CN fast path (per-DN batched multi-gets,
+	// batched DML writes, parallel multi-shard TP scans), falling back to
+	// one RPC per key/row/shard — the pre-fast-path behavior, kept for
+	// equivalence tests and as a benchmark baseline.
+	NoBatch bool
+	// PlanCacheOff disables the CN's fingerprinted plan cache: every
+	// statement pays the full optimizer pipeline (benchmark baseline).
+	PlanCacheOff bool
 }
 
 func (c Config) withDefaults() Config {
@@ -113,7 +122,19 @@ type Cluster struct {
 	// route AP to the RW leader (Fig. 9 configs 1-2).
 	apTargets map[string][]string
 
+	// colIdxEpoch versions cluster state that changes plan validity but
+	// never touches the GMS catalog (AP replica targets, column indexes,
+	// DN rerouting). planEpoch folds it into the schema epoch so CN
+	// caches keyed by epoch see those changes too.
+	colIdxEpoch atomic.Uint64
+
 	seq uint32
+}
+
+// planEpoch is the version CN plan and routing caches key on: any DDL
+// (schema epoch) or routing/column-index change (colIdxEpoch) moves it.
+func (c *Cluster) planEpoch() uint64 {
+	return c.GMS.SchemaEpoch() + c.colIdxEpoch.Load()
 }
 
 // NewCluster builds and starts a cluster.
@@ -241,11 +262,15 @@ func (c *Cluster) addCN(dc simnet.DC) *CN {
 		oracle = txn.NewHLCOracle(hlc.NewClock(nil))
 	}
 	cn := &CN{
-		name:    name,
-		dc:      dc,
-		cluster: c,
-		coord:   txn.NewCoordinator(c.Net, name, oracle),
-		sched:   htap.NewScheduler(c.cfg.SchedulerCfg),
+		name:        name,
+		dc:          dc,
+		cluster:     c,
+		coord:       txn.NewCoordinator(c.Net, name, oracle),
+		sched:       htap.NewScheduler(c.cfg.SchedulerCfg),
+		colIdxCache: make(map[string]colIdxAnswer),
+	}
+	if !c.cfg.PlanCacheOff {
+		cn.planCache = optimizer.NewPlanCache(0)
 	}
 	cn.opt = optimizer.New(c.GMS, statsAdapter{c}, optimizer.Options{
 		TPCostThreshold: c.cfg.TPCostThreshold,
@@ -361,6 +386,7 @@ func (c *Cluster) RerouteDNGroup(group string) (string, error) {
 	c.followers[group] = append(rest, old)
 	delete(c.apTargets, old.Name())
 	c.mu.Unlock()
+	c.colIdxEpoch.Add(1) // routing moved: cached plans/colindex answers stale
 	if err := c.GMS.ReplaceDN(old.Name(), leader.Name(), leader.DC()); err != nil {
 		return "", err
 	}
@@ -453,6 +479,7 @@ func (c *Cluster) EnableAPReplicas(n int) error {
 		}
 		c.apTargets[inst.Name()] = names
 	}
+	c.colIdxEpoch.Add(1)
 	return nil
 }
 
@@ -493,6 +520,7 @@ func (c *Cluster) EnableColumnIndexes(table string) error {
 			}
 		}
 	}
+	c.colIdxEpoch.Add(1)
 	return nil
 }
 

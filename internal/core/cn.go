@@ -33,6 +33,21 @@ type CN struct {
 	// traffic, when non-nil, meters statements per SQL class and clamps
 	// anomalous classes (§VIII automated traffic control).
 	traffic *hotspot.Controller
+	// planCache caches plan skeletons by statement fingerprint (nil when
+	// Config.PlanCacheOff).
+	planCache *optimizer.PlanCache
+	// colIdxCache memoizes hasColumnIndex per table: the raw lookup walks
+	// every DN, RO and shard under the cluster mutex, which is far too
+	// expensive to repeat on every SELECT plan. Entries are keyed by the
+	// cluster plan epoch, so any DDL or routing change invalidates them.
+	colIdxMu    sync.Mutex
+	colIdxCache map[string]colIdxAnswer
+}
+
+// colIdxAnswer is one memoized hasColumnIndex result.
+type colIdxAnswer struct {
+	epoch uint64
+	has   bool
 }
 
 // Name returns the CN endpoint name.
@@ -45,8 +60,25 @@ func (cn *CN) DC() simnet.DC { return cn.dc }
 func (cn *CN) Scheduler() *htap.Scheduler { return cn.sched }
 
 // hasColumnIndex reports whether any AP target RO maintains a column
-// index for the table (optimizer callback).
+// index for the table (optimizer callback). Answers are cached per table
+// and invalidated by the cluster plan epoch.
 func (cn *CN) hasColumnIndex(table string) bool {
+	epoch := cn.cluster.planEpoch()
+	cn.colIdxMu.Lock()
+	if a, ok := cn.colIdxCache[table]; ok && a.epoch == epoch {
+		cn.colIdxMu.Unlock()
+		return a.has
+	}
+	cn.colIdxMu.Unlock()
+	has := cn.lookupColumnIndex(table)
+	cn.colIdxMu.Lock()
+	cn.colIdxCache[table] = colIdxAnswer{epoch: epoch, has: has}
+	cn.colIdxMu.Unlock()
+	return has
+}
+
+// lookupColumnIndex is the uncached walk behind hasColumnIndex.
+func (cn *CN) lookupColumnIndex(table string) bool {
 	t, err := cn.cluster.GMS.Table(table)
 	if err != nil {
 		return false
@@ -69,6 +101,42 @@ func (cn *CN) hasColumnIndex(table string) bool {
 		}
 	}
 	return false
+}
+
+// planFor plans a SELECT through the fingerprinted plan cache: a hit
+// skips the full optimizer pipeline and only re-binds parameters and
+// recomputes value-dependent shard routing. Statements that cannot be
+// fingerprinted (residual subqueries) plan directly. The caller must
+// have rewritten subqueries already — fingerprints are taken over the
+// post-rewrite AST so two queries whose subqueries resolved differently
+// never share a skeleton.
+func (cn *CN) planFor(sel *sql.Select) (*optimizer.Plan, error) {
+	if cn.planCache == nil {
+		return cn.opt.PlanSelect(sel)
+	}
+	fp, params, ok := sql.FingerprintSelect(sel)
+	if !ok {
+		return cn.opt.PlanSelect(sel)
+	}
+	epoch := cn.cluster.planEpoch()
+	if plan := cn.planCache.Lookup(fp, epoch, params); plan != nil {
+		return plan, nil
+	}
+	plan, err := cn.opt.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	cn.planCache.Store(fp, epoch, plan, params)
+	return plan, nil
+}
+
+// PlanCacheStats returns the CN's plan-cache hit/miss counters (zeros
+// when the cache is disabled).
+func (cn *CN) PlanCacheStats() (hits, misses uint64) {
+	if cn.planCache == nil {
+		return 0, 0
+	}
+	return cn.planCache.Stats()
 }
 
 // Result is a statement's outcome.
@@ -265,6 +333,9 @@ func (cn *CN) createTable(st *sql.CreateTable) (*Result, error) {
 		if err := t.SetPartitionBy(st.PartitionBy); err != nil {
 			return nil, err
 		}
+		// Partition routing changed after the CreateTable bump: move the
+		// epoch again so nothing planned in between survives.
+		cn.cluster.GMS.BumpSchemaEpoch()
 	}
 	for shard := 0; shard < t.Shards; shard++ {
 		dnName, err := cn.cluster.GMS.DNForShard(t.Name, shard)
@@ -307,6 +378,10 @@ func (cn *CN) createIndex(s *Session, st *sql.CreateIndex) (*Result, error) {
 				return nil, err
 			}
 		}
+		// Local indexes never touch the GMS catalog, so bump the epoch
+		// explicitly: cached plans may now be suboptimal (and routing
+		// caches must re-answer).
+		cn.cluster.GMS.BumpSchemaEpoch()
 		return &Result{}, nil
 	}
 	gi, err := cn.cluster.GMS.AddGlobalIndex(st.Table, st.Name, st.Columns, st.Clustered)

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/dn"
 	"repro/internal/partition"
 	"repro/internal/sql"
 	"repro/internal/types"
@@ -33,6 +34,10 @@ func (s *Session) execInsert(st *sql.Insert) (*Result, error) {
 		return nil, err
 	}
 	n, execErr := func() (int, error) {
+		var batch *writeBatch
+		if !s.cn.cluster.cfg.NoBatch {
+			batch = newWriteBatch()
+		}
 		count := 0
 		for _, exprRow := range st.Rows {
 			if len(exprRow) != len(colPos) {
@@ -49,10 +54,21 @@ func (s *Session) execInsert(st *sql.Insert) (*Result, error) {
 			if t.Schema.ImplicitPK {
 				row[len(row)-1] = types.Int(autoInc.Add(1))
 			}
-			if err := s.insertRow(tx, t, row); err != nil {
+			if batch != nil {
+				if err := s.stageInsert(batch, t, row); err != nil {
+					return count, err
+				}
+			} else if err := s.insertRow(tx, t, row); err != nil {
 				return count, err
 			}
 			count++
+		}
+		if batch != nil {
+			// One MultiWrite per touched DN carries the whole multi-row
+			// INSERT including index maintenance.
+			if err := batch.flush(tx); err != nil {
+				return 0, err
+			}
 		}
 		return count, nil
 	}()
@@ -94,6 +110,75 @@ type txnLike interface {
 	Delete(dnName string, table uint32, pk []byte) error
 	Get(dnName string, table uint32, pk []byte) (types.Row, bool, error)
 	Scan(dnName string, table uint32, index string, start, end []byte, limit int) ([]types.Row, error)
+	MultiGet(dnName string, gets []dn.PointGet) ([]dn.ReadResp, error)
+	MultiWrite(dnName string, writes []dn.WriteItem) error
+}
+
+// writeBatch accumulates one DML statement's mutations per DN so each
+// touched DN receives a single MultiWrite RPC. Statement order is
+// preserved within each DN — what matters for correctness, since two
+// operations on the same key always route to the same DN (GSI
+// delete-then-insert pairs stay ordered).
+type writeBatch struct {
+	order []string // first-staged DN order (deterministic fan-out)
+	byDN  map[string][]dn.WriteItem
+}
+
+func newWriteBatch() *writeBatch {
+	return &writeBatch{byDN: make(map[string][]dn.WriteItem)}
+}
+
+func (b *writeBatch) add(dnName string, item dn.WriteItem) {
+	if _, ok := b.byDN[dnName]; !ok {
+		b.order = append(b.order, dnName)
+	}
+	b.byDN[dnName] = append(b.byDN[dnName], item)
+}
+
+// flush issues one MultiWrite per DN, all DNs in parallel (the write
+// analogue of the point-read fan-out). On error the statement fails and
+// the caller's transaction handling aborts the branches, rolling back
+// any partially applied batch.
+func (b *writeBatch) flush(tx txnLike) error {
+	switch len(b.order) {
+	case 0:
+		return nil
+	case 1:
+		return tx.MultiWrite(b.order[0], b.byDN[b.order[0]])
+	}
+	errs := make(chan error, len(b.order))
+	for _, dnName := range b.order {
+		go func(dnName string) { errs <- tx.MultiWrite(dnName, b.byDN[dnName]) }(dnName)
+	}
+	var firstErr error
+	for range b.order {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// stageInsert stages one row plus its index rows into the batch
+// (batched counterpart of insertRow).
+func (s *Session) stageInsert(b *writeBatch, t *partition.Table, row types.Row) error {
+	shard := t.ShardOfRow(row)
+	dnName, err := s.cn.cluster.GMS.DNForShard(t.Name, shard)
+	if err != nil {
+		return err
+	}
+	b.add(dnName, dn.WriteItem{Table: t.PhysicalTableID(shard), Op: dn.OpInsert, Row: row})
+	s.cn.cluster.GMS.RecordLoad(t.Name, shard, 1)
+	for _, gi := range t.Indexes {
+		irow := gi.IndexRow(t, row)
+		ishard := gi.ShardOfIndexRow(irow)
+		idn, err := s.cn.cluster.GMS.DNForShard(t.Name, ishard)
+		if err != nil {
+			return err
+		}
+		b.add(idn, dn.WriteItem{Table: gi.PhysicalTableID(ishard), Op: dn.OpInsert, Row: irow})
+	}
+	return nil
 }
 
 // insertColumnOrder maps an INSERT column list to schema positions.
@@ -135,21 +220,31 @@ func (s *Session) matchRows(tx txnLike, t *partition.Table, where sql.Expr) ([]t
 		filter, points = where, nil
 	}
 	if points != nil {
+		// Duplicate IN-list entries match a row once (MySQL semantics);
+		// without dedup a DELETE would stage the same key twice and the
+		// second delete would fail at the DN.
+		seen := make(map[string]struct{}, len(points))
+		uniq := points[:0]
 		for _, pk := range points {
-			shard := t.ShardOfPK(pk)
-			dnName, err := s.cn.cluster.GMS.DNForShard(t.Name, shard)
-			if err != nil {
-				return nil, err
+			if _, dup := seen[string(pk)]; dup {
+				continue
 			}
-			row, ok, err := tx.Get(dnName, t.PhysicalTableID(shard), pk)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
+			seen[string(pk)] = struct{}{}
+			uniq = append(uniq, pk)
+		}
+		points = uniq
+	}
+	if points != nil {
+		results, err := s.pointGets(tx, t, points)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range results {
+			if !r.OK {
 				continue
 			}
 			if filter != nil {
-				v, err := sql.Eval(filter, row)
+				v, err := sql.Eval(filter, r.Row)
 				if err != nil {
 					return nil, err
 				}
@@ -157,7 +252,7 @@ func (s *Session) matchRows(tx txnLike, t *partition.Table, where sql.Expr) ([]t
 					continue
 				}
 			}
-			out = append(out, row)
+			out = append(out, r.Row)
 		}
 		return out, nil
 	}
@@ -173,6 +268,76 @@ func (s *Session) matchRows(tx txnLike, t *partition.Table, where sql.Expr) ([]t
 		out = append(out, rows...)
 	}
 	return out, nil
+}
+
+// pointGets reads a set of PKs inside the transaction, returning one
+// ReadResp per key in input order. Fast path: keys group by owning DN
+// into one MultiGet each, all DNs in parallel; Config.NoBatch keeps the
+// one-RPC-per-key baseline.
+func (s *Session) pointGets(tx txnLike, t *partition.Table, points [][]byte) ([]dn.ReadResp, error) {
+	results := make([]dn.ReadResp, len(points))
+	if s.cn.cluster.cfg.NoBatch {
+		for k, pk := range points {
+			shard := t.ShardOfPK(pk)
+			dnName, err := s.cn.cluster.GMS.DNForShard(t.Name, shard)
+			if err != nil {
+				return nil, err
+			}
+			row, ok, err := tx.Get(dnName, t.PhysicalTableID(shard), pk)
+			if err != nil {
+				return nil, err
+			}
+			results[k] = dn.ReadResp{Row: row, OK: ok}
+		}
+		return results, nil
+	}
+	groups := make(map[string]*pointGroup)
+	var order []*pointGroup
+	for k, pk := range points {
+		shard := t.ShardOfPK(pk)
+		dnName, err := s.cn.cluster.GMS.DNForShard(t.Name, shard)
+		if err != nil {
+			return nil, err
+		}
+		g := groups[dnName]
+		if g == nil {
+			g = &pointGroup{dn: dnName}
+			groups[dnName] = g
+			order = append(order, g)
+		}
+		g.gets = append(g.gets, dn.PointGet{Table: t.PhysicalTableID(shard), PK: pk})
+		g.pos = append(g.pos, k)
+	}
+	fetch := func(g *pointGroup) error {
+		rs, err := tx.MultiGet(g.dn, g.gets)
+		if err != nil {
+			return err
+		}
+		for i, r := range rs {
+			results[g.pos[i]] = r
+		}
+		return nil
+	}
+	if len(order) == 1 {
+		if err := fetch(order[0]); err != nil {
+			return nil, err
+		}
+		return results, nil
+	}
+	errs := make(chan error, len(order))
+	for _, g := range order {
+		go func(g *pointGroup) { errs <- fetch(g) }(g)
+	}
+	var firstErr error
+	for range order {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
 }
 
 // scanShard runs a filtered shard scan inside the transaction.
@@ -368,6 +533,10 @@ func (s *Session) execUpdate(st *sql.Update) (*Result, error) {
 		if err != nil {
 			return 0, err
 		}
+		var batch *writeBatch
+		if !s.cn.cluster.cfg.NoBatch {
+			batch = newWriteBatch()
+		}
 		for i, old := range rows {
 			newRow := old.Clone()
 			for _, a := range sets {
@@ -382,11 +551,23 @@ func (s *Session) execUpdate(st *sql.Update) (*Result, error) {
 			if err != nil {
 				return i, err
 			}
+			if batch != nil {
+				batch.add(dnName, dn.WriteItem{Table: t.PhysicalTableID(shard), Op: dn.OpUpdate, Row: newRow})
+				if err := s.stageRefreshIndexes(batch, t, old, newRow); err != nil {
+					return i, err
+				}
+				continue
+			}
 			if err := tx.Update(dnName, t.PhysicalTableID(shard), newRow); err != nil {
 				return i, err
 			}
 			if err := s.refreshIndexes(tx, t, old, newRow); err != nil {
 				return i, err
+			}
+		}
+		if batch != nil {
+			if err := batch.flush(tx); err != nil {
+				return 0, err
 			}
 		}
 		return len(rows), nil
@@ -459,6 +640,41 @@ func (s *Session) refreshIndexes(tx txnLike, t *partition.Table, old, new types.
 	return nil
 }
 
+// stageRefreshIndexes is refreshIndexes' batched counterpart: the GSI
+// delete-then-insert pair is staged in order (same key → same DN → the
+// DN applies them in order).
+func (s *Session) stageRefreshIndexes(b *writeBatch, t *partition.Table, old, new types.Row) error {
+	for _, gi := range t.Indexes {
+		oldIdx := gi.IndexRow(t, old)
+		newIdx := gi.IndexRow(t, new)
+		same := len(oldIdx) == len(newIdx)
+		if same {
+			for i := range oldIdx {
+				if oldIdx[i].Compare(newIdx[i]) != 0 {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			continue
+		}
+		oshard := gi.ShardOfIndexRow(oldIdx)
+		odn, err := s.cn.cluster.GMS.DNForShard(t.Name, oshard)
+		if err != nil {
+			return err
+		}
+		b.add(odn, dn.WriteItem{Table: gi.PhysicalTableID(oshard), Op: dn.OpDelete, PK: gi.Schema.PKKey(oldIdx)})
+		nshard := gi.ShardOfIndexRow(newIdx)
+		ndn, err := s.cn.cluster.GMS.DNForShard(t.Name, nshard)
+		if err != nil {
+			return err
+		}
+		b.add(ndn, dn.WriteItem{Table: gi.PhysicalTableID(nshard), Op: dn.OpInsert, Row: newIdx})
+	}
+	return nil
+}
+
 // execDelete removes matching rows and their index entries.
 func (s *Session) execDelete(st *sql.Delete) (*Result, error) {
 	t, err := s.cn.cluster.GMS.Table(st.Table)
@@ -477,13 +693,19 @@ func (s *Session) execDelete(st *sql.Delete) (*Result, error) {
 		if err != nil {
 			return 0, err
 		}
+		var batch *writeBatch
+		if !s.cn.cluster.cfg.NoBatch {
+			batch = newWriteBatch()
+		}
 		for i, row := range rows {
 			shard := t.ShardOfRow(row)
 			dnName, err := s.cn.cluster.GMS.DNForShard(t.Name, shard)
 			if err != nil {
 				return i, err
 			}
-			if err := tx.Delete(dnName, t.PhysicalTableID(shard), t.Schema.PKKey(row)); err != nil {
+			if batch != nil {
+				batch.add(dnName, dn.WriteItem{Table: t.PhysicalTableID(shard), Op: dn.OpDelete, PK: t.Schema.PKKey(row)})
+			} else if err := tx.Delete(dnName, t.PhysicalTableID(shard), t.Schema.PKKey(row)); err != nil {
 				return i, err
 			}
 			for _, gi := range t.Indexes {
@@ -493,9 +715,16 @@ func (s *Session) execDelete(st *sql.Delete) (*Result, error) {
 				if err != nil {
 					return i, err
 				}
-				if err := tx.Delete(idn, gi.PhysicalTableID(ishard), gi.Schema.PKKey(irow)); err != nil {
+				if batch != nil {
+					batch.add(idn, dn.WriteItem{Table: gi.PhysicalTableID(ishard), Op: dn.OpDelete, PK: gi.Schema.PKKey(irow)})
+				} else if err := tx.Delete(idn, gi.PhysicalTableID(ishard), gi.Schema.PKKey(irow)); err != nil {
 					return i, err
 				}
+			}
+		}
+		if batch != nil {
+			if err := batch.flush(tx); err != nil {
+				return 0, err
 			}
 		}
 		return len(rows), nil

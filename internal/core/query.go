@@ -33,7 +33,7 @@ func (s *Session) execSelect(sel *sql.Select) (*Result, error) {
 	if sel.Having, err = s.rewriteSubqueries(sel.Having); err != nil {
 		return nil, err
 	}
-	plan, err := s.cn.opt.PlanSelect(sel)
+	plan, err := s.cn.planFor(sel)
 	if err != nil {
 		return nil, err
 	}
@@ -346,20 +346,34 @@ func (cn *CN) buildScan(scan *optimizer.ScanNode, ctx *queryCtx) (executor.Opera
 		}
 	}
 	if ctx.tx != nil {
-		// TP path: sequential shard scans inside the transaction (small,
-		// pruned reads; fairness comes from the short statements).
-		inputs := make([]executor.Operator, 0, len(shards))
-		for _, shard := range shards {
-			src, err := cn.shardSource(scan, shard, ctx, nil)
-			if err != nil {
-				return nil, err
+		if len(shards) == 1 || cn.cluster.cfg.NoBatch {
+			// Single shard, or legacy mode: sequential shard scans inside
+			// the transaction.
+			inputs := make([]executor.Operator, 0, len(shards))
+			for _, shard := range shards {
+				src, err := cn.shardSource(scan, shard, ctx, nil)
+				if err != nil {
+					return nil, err
+				}
+				inputs = append(inputs, src)
 			}
-			inputs = append(inputs, src)
+			if len(inputs) == 1 {
+				return inputs[0], nil
+			}
+			return &executor.Gather{Cols: cols, Inputs: inputs}, nil
 		}
-		if len(inputs) == 1 {
-			return inputs[0], nil
-		}
-		return &executor.Gather{Cols: cols, Inputs: inputs}, nil
+		// TP fast path: fan the shard scans out in parallel under the
+		// transaction (one branch RPC per shard, concurrently — the same
+		// shape as the 2PC prepare fan-out), so a multi-shard TP statement
+		// pays one round trip, not one per shard.
+		fetched := false
+		return &executor.CallbackSource{Cols: cols, Fetch: func() ([]types.Row, error) {
+			if fetched {
+				return nil, nil
+			}
+			fetched = true
+			return cn.parallelTxScan(scan, shards, ctx)
+		}}, nil
 	}
 	// AP path: each shard fetch is a scheduled fragment so the CN's
 	// quota gates the heavy work.
@@ -376,8 +390,157 @@ func (cn *CN) buildScan(scan *optimizer.ScanNode, ctx *queryCtx) (executor.Opera
 	return g, nil
 }
 
-// pointRows fetches the scan's pinned primary keys.
+// parallelTxScan runs one branch-scoped ScanReq per shard concurrently
+// and concatenates the results in shard order (deterministic output).
+func (cn *CN) parallelTxScan(scan *optimizer.ScanNode, shards []int, ctx *queryCtx) ([]types.Row, error) {
+	type shardTarget struct {
+		dn    string
+		table uint32
+	}
+	targets := make([]shardTarget, len(shards))
+	for i, shard := range shards {
+		dnName, err := cn.cluster.GMS.DNForShard(scan.Table.Name, shard)
+		if err != nil {
+			return nil, err
+		}
+		cn.cluster.GMS.RecordLoad(scan.Table.Name, shard, 1)
+		targets[i] = shardTarget{dn: dnName, table: scan.Table.PhysicalTableID(shard)}
+	}
+	rows := make([][]types.Row, len(targets))
+	errs := make(chan error, len(targets))
+	for i, tg := range targets {
+		go func(i int, tg shardTarget) {
+			rs, err := ctx.tx.ScanReq(tg.dn, dn.ScanReq{
+				Table: tg.table, Filter: scan.Filter, Projection: scan.Projection,
+			})
+			rows[i] = rs
+			errs <- err
+		}(i, tg)
+	}
+	var firstErr error
+	for range targets {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	out := []types.Row{}
+	for _, rs := range rows {
+		out = append(out, rs...)
+	}
+	return out, nil
+}
+
+// pointGroup collects one DN's share of a multi-point statement,
+// remembering each key's position in statement order.
+type pointGroup struct {
+	dn   string
+	gets []dn.PointGet
+	pos  []int
+}
+
+// pointRows fetches the scan's pinned primary keys. Fast path: keys are
+// grouped by owning DN and each group goes out as ONE MultiGet RPC, all
+// DNs in parallel — a statement touching K keys on N DNs pays N round
+// trips instead of K (the Fig. 7 point-read path). Results are
+// reassembled in statement key order, so output matches the per-key path
+// exactly.
 func (cn *CN) pointRows(scan *optimizer.ScanNode, ctx *queryCtx) ([]types.Row, error) {
+	if cn.cluster.cfg.NoBatch {
+		return cn.pointRowsSeq(scan, ctx)
+	}
+	groups := make(map[string]*pointGroup)
+	var order []*pointGroup // deterministic first-seen fan-out order
+	for k, pk := range scan.PointLookups {
+		shard := scan.Table.ShardOfPK(pk)
+		dnName, err := cn.cluster.GMS.DNForShard(scan.Table.Name, shard)
+		if err != nil {
+			return nil, err
+		}
+		cn.cluster.GMS.RecordLoad(scan.Table.Name, shard, 1)
+		g := groups[dnName]
+		if g == nil {
+			g = &pointGroup{dn: dnName}
+			groups[dnName] = g
+			order = append(order, g)
+		}
+		g.gets = append(g.gets, dn.PointGet{Table: scan.Table.PhysicalTableID(shard), PK: pk})
+		g.pos = append(g.pos, k)
+	}
+	// results is indexed by statement key position; concurrent fetches
+	// write disjoint entries.
+	results := make([]dn.ReadResp, len(scan.PointLookups))
+	fetch := func(g *pointGroup) error {
+		var rs []dn.ReadResp
+		var err error
+		if ctx.tx != nil {
+			rs, err = ctx.tx.MultiGet(g.dn, g.gets)
+		} else {
+			target, minLSN := cn.apTarget(ctx, g.dn)
+			if target == g.dn {
+				// No RO: read through an ephemeral branch on the leader.
+				tmp, terr := cn.coord.Begin()
+				if terr != nil {
+					return terr
+				}
+				rs, err = tmp.MultiGet(g.dn, g.gets)
+				_ = tmp.Abort()
+			} else {
+				rs, err = cn.coord.MultiGetRO(target, g.gets, ctx.snapshot, minLSN)
+			}
+		}
+		if err != nil {
+			return err
+		}
+		for i, r := range rs {
+			results[g.pos[i]] = r
+		}
+		return nil
+	}
+	if len(order) == 1 {
+		if err := fetch(order[0]); err != nil {
+			return nil, err
+		}
+	} else {
+		errs := make(chan error, len(order))
+		for _, g := range order {
+			go func(g *pointGroup) { errs <- fetch(g) }(g)
+		}
+		var firstErr error
+		for range order {
+			if err := <-errs; err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+	var out []types.Row
+	for _, r := range results {
+		if !r.OK {
+			continue
+		}
+		// The pushed filter may carry residual conditions beyond the PK.
+		if scan.Filter != nil {
+			v, err := sql.Eval(scan.Filter, r.Row)
+			if err != nil {
+				return nil, err
+			}
+			if !v.IsTruthy() {
+				continue
+			}
+		}
+		out = append(out, r.Row)
+	}
+	return out, nil
+}
+
+// pointRowsSeq is the legacy per-key path (Config.NoBatch): one RPC per
+// key, kept as the equivalence baseline for the fast path.
+func (cn *CN) pointRowsSeq(scan *optimizer.ScanNode, ctx *queryCtx) ([]types.Row, error) {
 	var out []types.Row
 	for _, pk := range scan.PointLookups {
 		shard := scan.Table.ShardOfPK(pk)

@@ -2,7 +2,9 @@ package dn
 
 import (
 	"fmt"
+	"sync/atomic"
 
+	"repro/internal/hlc"
 	"repro/internal/sql"
 	"repro/internal/storage"
 	"repro/internal/types"
@@ -35,6 +37,10 @@ func (i *Instance) handle(from string, msg any) (any, error) {
 		return nil, i.handleWrite(m)
 	case ReadReq:
 		return i.handleRead(m)
+	case MultiGetReq:
+		return i.handleMultiGet(m)
+	case MultiWriteReq:
+		return nil, i.handleMultiWrite(m)
 	case ScanReq:
 		return i.handleScan(m)
 	case PrepareReq:
@@ -90,20 +96,58 @@ func (i *Instance) handleBegin(m BeginReq) error {
 	return nil
 }
 
+// branchOrBegin resolves the local branch, opening it implicitly when a
+// batched request is the branch's first contact with this DN. Folding
+// the begin into the batched request is what keeps a multi-point
+// statement at exactly one round trip per touched DN.
+func (i *Instance) branchOrBegin(txnID uint64, snap hlc.Timestamp) (*txnEntry, error) {
+	i.mu.Lock()
+	if e, ok := i.txns[txnID]; ok {
+		i.mu.Unlock()
+		return e, nil
+	}
+	i.mu.Unlock()
+	if !i.IsLeader() {
+		return nil, fmt.Errorf("%w: %s", ErrNotLeader, i.cfg.Name)
+	}
+	i.clock.Update(snap)
+	txn := i.eng.Begin(snap)
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.stopped {
+		_ = i.eng.Abort(txn)
+		return nil, ErrStopped
+	}
+	if e, ok := i.txns[txnID]; ok {
+		// Lost a creation race against a concurrent request of the same
+		// transaction; discard the speculative engine txn.
+		_ = i.eng.Abort(txn)
+		return e, nil
+	}
+	e := &txnEntry{txn: txn}
+	i.txns[txnID] = e
+	return e, nil
+}
+
 func (i *Instance) handleWrite(m WriteReq) error {
 	e, err := i.branch(m.TxnID)
 	if err != nil {
 		return err
 	}
-	switch m.Op {
+	i.stats.writes.Add(1)
+	return i.applyWrite(e, m.Table, m.Op, m.Row, m.PK)
+}
+
+func (i *Instance) applyWrite(e *txnEntry, table uint32, op WriteOp, row types.Row, pk []byte) error {
+	switch op {
 	case OpInsert:
-		return i.eng.Insert(e.txn, m.Table, m.Row)
+		return i.eng.Insert(e.txn, table, row)
 	case OpUpdate:
-		return i.eng.Update(e.txn, m.Table, m.Row)
+		return i.eng.Update(e.txn, table, row)
 	case OpDelete:
-		return i.eng.Delete(e.txn, m.Table, m.PK)
+		return i.eng.Delete(e.txn, table, pk)
 	default:
-		return fmt.Errorf("dn: unknown write op %d", m.Op)
+		return fmt.Errorf("dn: unknown write op %d", op)
 	}
 }
 
@@ -112,9 +156,58 @@ func (i *Instance) handleRead(m ReadReq) (ReadResp, error) {
 	if err != nil {
 		return ReadResp{}, err
 	}
+	i.stats.pointReads.Add(1)
 	i.svc.serve(pointCost)
 	row, ok, err := i.eng.Get(e.txn, m.Table, m.PK)
 	return ReadResp{Row: row, OK: ok}, err
+}
+
+func (i *Instance) handleMultiGet(m MultiGetReq) (MultiGetResp, error) {
+	e, err := i.branchOrBegin(m.TxnID, m.SnapshotTS)
+	if err != nil {
+		return MultiGetResp{}, err
+	}
+	i.stats.multiGets.Add(1)
+	i.svc.serve(pointCost * float64(len(m.Gets)))
+	out := make([]ReadResp, len(m.Gets))
+	for k, g := range m.Gets {
+		row, ok, err := i.eng.Get(e.txn, g.Table, g.PK)
+		if err != nil {
+			return MultiGetResp{}, err
+		}
+		out[k] = ReadResp{Row: row, OK: ok}
+	}
+	return MultiGetResp{Results: out}, nil
+}
+
+func (i *Instance) handleMultiWrite(m MultiWriteReq) error {
+	e, err := i.branchOrBegin(m.TxnID, m.SnapshotTS)
+	if err != nil {
+		return err
+	}
+	i.stats.multiWrites.Add(1)
+	for _, w := range m.Writes {
+		if err := i.applyWrite(e, w.Table, w.Op, w.Row, w.PK); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rpcStats counts hot-path request types so benchmarks and tests can
+// assert RPC budgets (batched paths must cost one multi-get per DN, not
+// one point read per key).
+type rpcStats struct {
+	pointReads  atomic.Uint64
+	multiGets   atomic.Uint64
+	writes      atomic.Uint64
+	multiWrites atomic.Uint64
+}
+
+// RPCStats returns cumulative per-type request counts.
+func (i *Instance) RPCStats() (pointReads, multiGets, writes, multiWrites uint64) {
+	return i.stats.pointReads.Load(), i.stats.multiGets.Load(),
+		i.stats.writes.Load(), i.stats.multiWrites.Load()
 }
 
 // Service-cost constants: a scanned row costs one row-unit, a point

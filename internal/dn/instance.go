@@ -85,6 +85,8 @@ type Instance struct {
 	applier *storage.Applier
 	// svc is the node's service-capacity model (nil = unlimited).
 	svc *svcModel
+	// stats counts hot-path request types (RPC-budget assertions).
+	stats rpcStats
 
 	done chan struct{}
 	wg   sync.WaitGroup

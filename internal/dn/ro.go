@@ -250,6 +250,8 @@ func (r *RO) handle(from string, msg any) (any, error) {
 		return nil, nil
 	case ROReadReq:
 		return r.read(m)
+	case ROMultiGetReq:
+		return r.multiGet(m)
 	case ROScanReq:
 		return r.scan(m)
 	case StatusReq:
@@ -358,6 +360,22 @@ func (r *RO) read(m ROReadReq) (ReadResp, error) {
 	r.svc.serve(pointCost)
 	row, ok, err := r.eng.GetAt(m.Table, m.PK, m.SnapshotTS)
 	return ReadResp{Row: row, OK: ok}, err
+}
+
+// multiGet serves a batch of session-consistent point reads in one
+// round trip: wait for the watermark once, then answer every key.
+func (r *RO) multiGet(m ROMultiGetReq) (MultiGetResp, error) {
+	r.waitApplied(m.MinLSN)
+	r.svc.serve(pointCost * float64(len(m.Gets)))
+	out := make([]ReadResp, len(m.Gets))
+	for k, g := range m.Gets {
+		row, ok, err := r.eng.GetAt(g.Table, g.PK, m.SnapshotTS)
+		if err != nil {
+			return MultiGetResp{}, err
+		}
+		out[k] = ReadResp{Row: row, OK: ok}
+	}
+	return MultiGetResp{Results: out}, nil
 }
 
 // EnableColumnIndex builds in-memory column indexes for the given

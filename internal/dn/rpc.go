@@ -59,6 +59,57 @@ type ReadResp struct {
 	OK  bool
 }
 
+// PointGet is one key of a batched multi-get: a physical table and an
+// encoded primary key.
+type PointGet struct {
+	Table uint32
+	PK    []byte
+}
+
+// MultiGetReq reads many rows of one branch in a single round trip —
+// the CN fast path for multi-point statements (sysbench's 10 point
+// reads pay one RPC per touched DN instead of one per key). Carrying
+// SnapshotTS lets the DN open the branch implicitly on first contact,
+// so no separate BeginReq round trip is needed either.
+type MultiGetReq struct {
+	TxnID      uint64
+	SnapshotTS hlc.Timestamp
+	Gets       []PointGet
+}
+
+// MultiGetResp returns one ReadResp per requested key, in order.
+type MultiGetResp struct {
+	Results []ReadResp
+}
+
+// WriteItem is one mutation of a batched write.
+type WriteItem struct {
+	Table uint32
+	Op    WriteOp
+	Row   types.Row // insert/update
+	PK    []byte    // delete
+}
+
+// MultiWriteReq applies many mutations of one branch in a single round
+// trip (multi-row INSERT and secondary-index maintenance batching).
+// Like MultiGetReq it carries SnapshotTS for implicit branch begin.
+// Items are applied in order; the first failure aborts the request (the
+// CN then aborts the whole transaction branch).
+type MultiWriteReq struct {
+	TxnID      uint64
+	SnapshotTS hlc.Timestamp
+	Writes     []WriteItem
+}
+
+// ROMultiGetReq is the RO-replica analogue of MultiGetReq: a batch of
+// session-consistent point reads served in one round trip. The replica
+// waits for MinLSN once, then answers every key at SnapshotTS.
+type ROMultiGetReq struct {
+	Gets       []PointGet
+	SnapshotTS hlc.Timestamp
+	MinLSN     wal.LSN
+}
+
 // ScanReq is a snapshot range scan inside a branch. Limit <= 0 means
 // unbounded. Index, when set, scans a local secondary index.
 type ScanReq struct {

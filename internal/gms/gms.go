@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/partition"
 	"repro/internal/simnet"
@@ -69,7 +70,20 @@ type GMS struct {
 	// shardLoad tracks request counts per (table, shard) for hotspot
 	// detection and balance planning.
 	shardLoad map[string][]int64
+
+	// schemaEpoch is bumped on every catalog change (CREATE TABLE, index
+	// DDL). CN plan caches key entries by epoch, so a bump invalidates
+	// every cached plan cluster-wide without enumerating them.
+	schemaEpoch atomic.Uint64
 }
+
+// SchemaEpoch returns the current catalog version.
+func (g *GMS) SchemaEpoch() uint64 { return g.schemaEpoch.Load() }
+
+// BumpSchemaEpoch invalidates all epoch-keyed CN caches (plan cache,
+// column-index routing cache). DDL paths outside GMS — e.g. local CREATE
+// INDEX, which never touches the catalog — call this directly.
+func (g *GMS) BumpSchemaEpoch() { g.schemaEpoch.Add(1) }
 
 // New creates an empty GMS.
 func New() *GMS {
@@ -211,6 +225,7 @@ func (g *GMS) CreateTable(name string, schema *types.Schema, shards int, group s
 	tg.Tables = append(tg.Tables, name)
 	g.tables[name] = t
 	g.shardLoad[name] = make([]int64, shards)
+	g.schemaEpoch.Add(1)
 	return t, nil
 }
 
@@ -226,7 +241,11 @@ func (g *GMS) AddGlobalIndex(table, index string, cols []string, clustered bool)
 		return nil, fmt.Errorf("%w: %q", ErrUnknownTable, table)
 	}
 	g.nextID++
-	return t.AddGlobalIndex(index, g.nextID, cols, clustered)
+	gi, err := t.AddGlobalIndex(index, g.nextID, cols, clustered)
+	if err == nil {
+		g.schemaEpoch.Add(1)
+	}
+	return gi, err
 }
 
 // Table resolves a logical table.

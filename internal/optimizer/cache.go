@@ -1,0 +1,236 @@
+package optimizer
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// DefaultPlanCacheSize bounds the per-CN plan cache.
+const DefaultPlanCacheSize = 512
+
+// PlanCache is the CN's fingerprinted plan cache (the "plan cache"
+// box on the paper's CN, Fig. 2): plans are keyed by the statement's
+// literal-normalized fingerprint plus the schema epoch, so repeated
+// parameterized statements (the sysbench loop) skip the full optimizer
+// pipeline — including the catalog walks it performs for shard metadata
+// and statistics — and only re-bind parameters + recompute the
+// value-dependent routing (shard pruning, GSI choice).
+//
+// Entries store an immutable plan skeleton. Lookup returns a deep copy
+// with fresh parameter literals substituted, so concurrent sessions on
+// one CN never share mutable plan state.
+type PlanCache struct {
+	mu   sync.Mutex
+	cap  int
+	lru  *list.List // front = most recent; values are *cacheSlot
+	byFP map[string]*list.Element
+
+	hits, misses atomic.Uint64
+}
+
+// cacheSlot is one cached skeleton.
+type cacheSlot struct {
+	fp    string
+	epoch uint64
+	plan  *Plan
+	// params are the skeleton's literal nodes in fingerprint order;
+	// instantiation maps them positionally onto a fresh statement's
+	// literals.
+	params []*sql.Literal
+}
+
+// NewPlanCache creates a cache; capacity <= 0 uses the default.
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheSize
+	}
+	return &PlanCache{
+		cap:  capacity,
+		lru:  list.New(),
+		byFP: make(map[string]*list.Element),
+	}
+}
+
+// Lookup returns a plan instantiated with params, or nil on miss. A hit
+// requires the cached epoch to match: any DDL bumps the epoch, so stale
+// plans (e.g. referencing a dropped or superseded physical table) are
+// evicted on first touch rather than executed.
+func (pc *PlanCache) Lookup(fp string, epoch uint64, params []*sql.Literal) *Plan {
+	pc.mu.Lock()
+	el, ok := pc.byFP[fp]
+	if !ok {
+		pc.misses.Add(1)
+		pc.mu.Unlock()
+		return nil
+	}
+	slot := el.Value.(*cacheSlot)
+	if slot.epoch != epoch || len(slot.params) != len(params) {
+		pc.lru.Remove(el)
+		delete(pc.byFP, fp)
+		pc.misses.Add(1)
+		pc.mu.Unlock()
+		return nil
+	}
+	pc.lru.MoveToFront(el)
+	pc.hits.Add(1)
+	pc.mu.Unlock()
+	// Instantiate outside the lock: the skeleton is immutable.
+	plan, _ := clonePlan(slot.plan, slot.params, params)
+	return plan
+}
+
+// Store caches a freshly planned statement. The plan is snapshotted
+// (deep-copied) so later mutation of the live plan — executor binding,
+// the session's own reuse — cannot corrupt the skeleton.
+func (pc *PlanCache) Store(fp string, epoch uint64, plan *Plan, params []*sql.Literal) {
+	skeleton, skelParams := clonePlan(plan, params, nil)
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if el, ok := pc.byFP[fp]; ok {
+		el.Value = &cacheSlot{fp: fp, epoch: epoch, plan: skeleton, params: skelParams}
+		pc.lru.MoveToFront(el)
+		return
+	}
+	el := pc.lru.PushFront(&cacheSlot{fp: fp, epoch: epoch, plan: skeleton, params: skelParams})
+	pc.byFP[fp] = el
+	for pc.lru.Len() > pc.cap {
+		tail := pc.lru.Back()
+		pc.lru.Remove(tail)
+		delete(pc.byFP, tail.Value.(*cacheSlot).fp)
+	}
+}
+
+// Stats returns cumulative hit/miss counters.
+func (pc *PlanCache) Stats() (hits, misses uint64) {
+	return pc.hits.Load(), pc.misses.Load()
+}
+
+// Len returns the number of cached skeletons.
+func (pc *PlanCache) Len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.lru.Len()
+}
+
+// clonePlan deep-copies a plan, substituting parameter literals. params
+// are the source plan's literal nodes in fingerprint order; with, when
+// non-nil, supplies the replacement literal for each position (parameter
+// re-binding). With with == nil fresh literal nodes are minted carrying
+// the same values (used to snapshot a skeleton the cache owns). Returns
+// the clone and its parameter nodes in the same order.
+func clonePlan(p *Plan, params, with []*sql.Literal) (*Plan, []*sql.Literal) {
+	repl := make(map[*sql.Literal]*sql.Literal, len(params))
+	out := make([]*sql.Literal, len(params))
+	for i, old := range params {
+		var lit *sql.Literal
+		if with != nil {
+			lit = with[i]
+		} else {
+			cp := *old
+			lit = &cp
+		}
+		repl[old] = lit
+		out[i] = lit
+	}
+	cp := *p
+	cp.Root = cloneNode(p.Root, repl)
+	return &cp, out
+}
+
+// cloneNode deep-copies a plan node tree, substituting literals and
+// recomputing value-dependent scan routing for the new parameters.
+func cloneNode(n Node, repl map[*sql.Literal]*sql.Literal) Node {
+	switch x := n.(type) {
+	case *ScanNode:
+		s := *x
+		s.Filter = sql.CloneExpr(x.Filter, repl)
+		s.Shards = append([]int(nil), x.Shards...)
+		s.PointLookups = append([][]byte(nil), x.PointLookups...)
+		s.Projection = append([]int(nil), x.Projection...)
+		s.GSIVals = append([]types.Value(nil), x.GSIVals...)
+		if x.PushedAgg != nil {
+			pa := &PushedAgg{GroupBy: append([]int(nil), x.PushedAgg.GroupBy...)}
+			for _, a := range x.PushedAgg.Aggs {
+				a.Arg = sql.CloneExpr(a.Arg, repl)
+				pa.Aggs = append(pa.Aggs, a)
+			}
+			s.PushedAgg = pa
+		}
+		reprune(&s)
+		return &s
+	case *JoinNode:
+		j := *x
+		j.Left = cloneNode(x.Left, repl)
+		j.Right = cloneNode(x.Right, repl)
+		j.LeftKeys = cloneExprs(x.LeftKeys, repl)
+		j.RightKeys = cloneExprs(x.RightKeys, repl)
+		j.On = sql.CloneExpr(x.On, repl)
+		return &j
+	case *AggNode:
+		a := *x
+		a.Input = cloneNode(x.Input, repl)
+		a.GroupBy = cloneExprs(x.GroupBy, repl)
+		a.Aggs = append([]AggItem(nil), x.Aggs...)
+		for i := range a.Aggs {
+			a.Aggs[i].Arg = sql.CloneExpr(a.Aggs[i].Arg, repl)
+		}
+		a.Names = append([]string(nil), x.Names...)
+		return &a
+	case *FilterNode:
+		return &FilterNode{Input: cloneNode(x.Input, repl), Pred: sql.CloneExpr(x.Pred, repl)}
+	case *ProjectNode:
+		return &ProjectNode{
+			Input: cloneNode(x.Input, repl),
+			Exprs: cloneExprs(x.Exprs, repl),
+			Names: append([]string(nil), x.Names...),
+		}
+	case *SortNode:
+		s := &SortNode{Input: cloneNode(x.Input, repl)}
+		for _, k := range x.Keys {
+			s.Keys = append(s.Keys, SortItem{Expr: sql.CloneExpr(k.Expr, repl), Desc: k.Desc})
+		}
+		return s
+	case *LimitNode:
+		return &LimitNode{Input: cloneNode(x.Input, repl), N: x.N}
+	default:
+		return n
+	}
+}
+
+func cloneExprs(es []sql.Expr, repl map[*sql.Literal]*sql.Literal) []sql.Expr {
+	if es == nil {
+		return nil
+	}
+	out := make([]sql.Expr, len(es))
+	for i, e := range es {
+		out[i] = sql.CloneExpr(e, repl)
+	}
+	return out
+}
+
+// reprune recomputes a cloned scan's value-dependent routing from its
+// (re-parameterized) pushed filter: shard pruning, partition pruning and
+// GSI choice all depend on literal values, so a cached skeleton's
+// choices are stale the moment parameters change (`id IN (1,2)` touches
+// different shards than `id IN (3,4)` — and `IN (1,1)` fewer keys than
+// `IN (1,2)`). Mirrors PlanSelect step 3. Scans whose routing was never
+// value-dependent (full scans) are left untouched.
+func reprune(s *ScanNode) {
+	if s.GSI == nil && s.PointLookups == nil && s.Shards == nil {
+		return
+	}
+	conds := conjuncts(s.Filter)
+	s.GSI, s.GSIVals = nil, nil
+	s.PointLookups = nil
+	s.Shards = nil
+	var o Optimizer
+	o.pruneShards(s, conds)
+	if len(s.PointLookups) == 0 {
+		o.prunePartition(s, conds)
+		o.chooseGSI(s, conds)
+	}
+}

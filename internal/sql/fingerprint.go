@@ -1,0 +1,276 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// FingerprintSelect renders a SELECT to a literal-normalized string: the
+// plan-cache key. Int/float/string literals become '?' and are collected
+// (in traversal order) as the statement's parameters — two queries that
+// differ only in those literals share a fingerprint and hence a cached
+// plan skeleton. Bool and NULL literals are rendered verbatim: the
+// optimizer treats them structurally (e.g. a constant-true conjunct is
+// dropped), so normalizing them would let one plan shape serve queries
+// that need different shapes.
+//
+// ok is false when the statement is not cacheable: it still contains a
+// subquery (the CN substitutes uncorrelated subquery results as literals
+// before planning; anything left is dynamic in ways a skeleton cannot
+// capture).
+func FingerprintSelect(sel *Select) (fp string, params []*Literal, ok bool) {
+	w := &fingerprinter{ok: true}
+	w.sel(sel)
+	if !w.ok {
+		return "", nil, false
+	}
+	return w.b.String(), w.params, true
+}
+
+// fingerprinter walks the AST, rendering structure and collecting
+// parameterized literals. The traversal order here defines parameter
+// order; plan instantiation matches cached literal pointers positionally
+// against a fresh statement's literals, so every expression the planner
+// can consume must be visited.
+type fingerprinter struct {
+	b      strings.Builder
+	params []*Literal
+	ok     bool
+}
+
+func (w *fingerprinter) sel(s *Select) {
+	w.b.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			w.b.WriteByte(',')
+		}
+		if it.Star {
+			w.b.WriteByte('*')
+			continue
+		}
+		w.expr(it.Expr)
+		if it.Alias != "" {
+			w.b.WriteString(" AS ")
+			w.b.WriteString(it.Alias)
+		}
+	}
+	w.b.WriteString(" FROM ")
+	w.tableRef(s.From)
+	for _, j := range s.Joins {
+		if j.Left {
+			w.b.WriteString(" LEFT JOIN ")
+		} else {
+			w.b.WriteString(" JOIN ")
+		}
+		w.tableRef(j.Table)
+		w.b.WriteString(" ON ")
+		w.expr(j.On)
+	}
+	if s.Where != nil {
+		w.b.WriteString(" WHERE ")
+		w.expr(s.Where)
+	}
+	if len(s.GroupBy) > 0 {
+		w.b.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				w.b.WriteByte(',')
+			}
+			w.expr(e)
+		}
+	}
+	if s.Having != nil {
+		w.b.WriteString(" HAVING ")
+		w.expr(s.Having)
+	}
+	if len(s.OrderBy) > 0 {
+		w.b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				w.b.WriteByte(',')
+			}
+			w.expr(o.Expr)
+			if o.Desc {
+				w.b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		// LIMIT shapes the plan (it is folded into the plan tree as a
+		// node constant, not a *Literal), so it stays in the key.
+		w.b.WriteString(" LIMIT ")
+		w.b.WriteString(strconv.Itoa(s.Limit))
+	}
+}
+
+func (w *fingerprinter) tableRef(t TableRef) {
+	w.b.WriteString(t.Name)
+	if t.Alias != "" {
+		w.b.WriteByte(' ')
+		w.b.WriteString(t.Alias)
+	}
+}
+
+func (w *fingerprinter) expr(e Expr) {
+	if !w.ok {
+		return
+	}
+	switch x := e.(type) {
+	case nil:
+		w.b.WriteString("<nil>")
+	case *ColumnRef:
+		w.b.WriteString(x.Name())
+	case *Literal:
+		switch x.Val.K {
+		case types.KindBool, types.KindNull:
+			// Structural: kept verbatim (see FingerprintSelect doc).
+			w.b.WriteString(x.Val.AsString())
+		default:
+			w.b.WriteByte('?')
+			w.params = append(w.params, x)
+		}
+	case *BinaryOp:
+		w.b.WriteByte('(')
+		w.expr(x.L)
+		w.b.WriteByte(' ')
+		w.b.WriteString(x.Op)
+		w.b.WriteByte(' ')
+		w.expr(x.R)
+		w.b.WriteByte(')')
+	case *UnaryOp:
+		w.b.WriteByte('(')
+		w.b.WriteString(x.Op)
+		w.b.WriteByte(' ')
+		w.expr(x.E)
+		w.b.WriteByte(')')
+	case *InList:
+		if x.Sub != nil {
+			w.ok = false
+			return
+		}
+		w.expr(x.E)
+		if x.Not {
+			w.b.WriteString(" NOT")
+		}
+		w.b.WriteString(" IN (")
+		for i, it := range x.Items {
+			if i > 0 {
+				w.b.WriteByte(',')
+			}
+			w.expr(it)
+		}
+		w.b.WriteByte(')')
+	case *Exists:
+		w.ok = false
+	case *Subquery:
+		w.ok = false
+	case *Between:
+		w.expr(x.E)
+		if x.Not {
+			w.b.WriteString(" NOT")
+		}
+		w.b.WriteString(" BETWEEN ")
+		w.expr(x.Lo)
+		w.b.WriteString(" AND ")
+		w.expr(x.Hi)
+	case *IsNull:
+		w.expr(x.E)
+		w.b.WriteString(" IS ")
+		if x.Not {
+			w.b.WriteString("NOT ")
+		}
+		w.b.WriteString("NULL")
+	case *FuncCall:
+		w.b.WriteString(x.Name)
+		w.b.WriteByte('(')
+		if x.Distinct {
+			w.b.WriteString("DISTINCT ")
+		}
+		if x.Star {
+			w.b.WriteByte('*')
+		}
+		for i, a := range x.Args {
+			if i > 0 {
+				w.b.WriteByte(',')
+			}
+			w.expr(a)
+		}
+		w.b.WriteByte(')')
+	case *CaseExpr:
+		w.b.WriteString("CASE")
+		for _, wh := range x.Whens {
+			w.b.WriteString(" WHEN ")
+			w.expr(wh.Cond)
+			w.b.WriteString(" THEN ")
+			w.expr(wh.Result)
+		}
+		if x.Else != nil {
+			w.b.WriteString(" ELSE ")
+			w.expr(x.Else)
+		}
+		w.b.WriteString(" END")
+	default:
+		// Unknown node kind: refuse to cache rather than risk a wrong
+		// fingerprint collision.
+		w.ok = false
+	}
+}
+
+// CloneExpr deep-copies an expression tree. repl maps old literal nodes
+// to their replacements (parameter re-binding); literals not in repl are
+// copied fresh so the clone shares no mutable nodes with the original.
+func CloneExpr(e Expr, repl map[*Literal]*Literal) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *ColumnRef:
+		c := *x
+		return &c
+	case *Literal:
+		if n, ok := repl[x]; ok {
+			return n
+		}
+		c := *x
+		return &c
+	case *BinaryOp:
+		return &BinaryOp{Op: x.Op, L: CloneExpr(x.L, repl), R: CloneExpr(x.R, repl)}
+	case *UnaryOp:
+		return &UnaryOp{Op: x.Op, E: CloneExpr(x.E, repl)}
+	case *InList:
+		c := &InList{E: CloneExpr(x.E, repl), Not: x.Not, Sub: x.Sub}
+		for _, it := range x.Items {
+			c.Items = append(c.Items, CloneExpr(it, repl))
+		}
+		return c
+	case *Exists:
+		return &Exists{Sub: x.Sub, Not: x.Not}
+	case *Subquery:
+		return &Subquery{Sel: x.Sel}
+	case *Between:
+		return &Between{
+			E: CloneExpr(x.E, repl), Lo: CloneExpr(x.Lo, repl),
+			Hi: CloneExpr(x.Hi, repl), Not: x.Not,
+		}
+	case *IsNull:
+		return &IsNull{E: CloneExpr(x.E, repl), Not: x.Not}
+	case *FuncCall:
+		c := &FuncCall{Name: x.Name, Star: x.Star, Distinct: x.Distinct}
+		for _, a := range x.Args {
+			c.Args = append(c.Args, CloneExpr(a, repl))
+		}
+		return c
+	case *CaseExpr:
+		c := &CaseExpr{Else: CloneExpr(x.Else, repl)}
+		for _, wh := range x.Whens {
+			c.Whens = append(c.Whens, WhenClause{
+				Cond:   CloneExpr(wh.Cond, repl),
+				Result: CloneExpr(wh.Result, repl),
+			})
+		}
+		return c
+	default:
+		return e
+	}
+}

@@ -48,6 +48,23 @@ func NewCoordinator(net *simnet.Network, self string, oracle Oracle) *Coordinato
 // Oracle returns the coordinator's timestamp oracle.
 func (c *Coordinator) Oracle() Oracle { return c.oracle }
 
+// branch tracks one DN's branch-open state. The open RPC runs outside
+// the Tx mutex (so parallel fan-out to different DNs is never
+// serialized); ready is closed once the attempt settles, and err
+// records a failed open (the entry is also removed, allowing retries).
+type branch struct {
+	ready chan struct{}
+	err   error
+}
+
+// openedBranch is the pre-settled state used by the batched RPCs, which
+// open the branch implicitly DN-side (no BeginReq).
+var openedBranch = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
 // Tx is one distributed transaction: a set of branches on DN leaders.
 type Tx struct {
 	ID       uint64
@@ -55,8 +72,8 @@ type Tx struct {
 
 	coord *Coordinator
 	mu    sync.Mutex
-	// branches maps DN endpoint -> branch opened.
-	branches map[string]bool
+	// branches maps DN endpoint -> branch-open state.
+	branches map[string]*branch
 	// wrote tracks which branches performed writes (read-only branches
 	// skip phase one).
 	wrote map[string]bool
@@ -80,29 +97,54 @@ func (c *Coordinator) Begin() (*Tx, error) {
 		ID:        c.idBase + c.seq.Add(1),
 		Snapshot:  snap,
 		coord:     c,
-		branches:  make(map[string]bool),
+		branches:  make(map[string]*branch),
 		wrote:     make(map[string]bool),
 		branchLSN: make(map[string]wal.LSN),
 	}, nil
 }
 
 // ensureBranch lazily opens the branch on a DN leader, carrying the
-// snapshot timestamp (§IV step 2).
+// snapshot timestamp (§IV step 2). Concurrent callers targeting the
+// same DN wait for one BeginReq; callers targeting different DNs
+// proceed in parallel.
 func (t *Tx) ensureBranch(dnName string) error {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return ErrTxDone
+	}
+	if b, ok := t.branches[dnName]; ok {
+		t.mu.Unlock()
+		<-b.ready
+		return b.err
+	}
+	b := &branch{ready: make(chan struct{})}
+	t.branches[dnName] = b
+	t.mu.Unlock()
+	_, err := t.coord.net.Call(t.coord.self, dnName,
+		dn.BeginReq{TxnID: t.ID, SnapshotTS: t.Snapshot})
+	if err != nil {
+		b.err = err
+		t.mu.Lock()
+		delete(t.branches, dnName) // allow a later retry
+		t.mu.Unlock()
+	}
+	close(b.ready)
+	return err
+}
+
+// registerBranch records dnName as open without sending a BeginReq: the
+// batched requests carry SnapshotTS, and the DN opens the branch on
+// first contact (branchOrBegin). Commit/Abort then release it normally.
+func (t *Tx) registerBranch(dnName string) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.done {
 		return ErrTxDone
 	}
-	if t.branches[dnName] {
-		return nil
+	if _, ok := t.branches[dnName]; !ok {
+		t.branches[dnName] = &branch{ready: openedBranch}
 	}
-	_, err := t.coord.net.Call(t.coord.self, dnName,
-		dn.BeginReq{TxnID: t.ID, SnapshotTS: t.Snapshot})
-	if err != nil {
-		return err
-	}
-	t.branches[dnName] = true
 	return nil
 }
 
@@ -165,6 +207,43 @@ func (t *Tx) Get(dnName string, table uint32, pk []byte) (types.Row, bool, error
 	return resp.Row, resp.OK, nil
 }
 
+// MultiGet reads many rows on one DN in a single round trip (the CN
+// fast path for multi-point statements). The branch is opened implicitly
+// by the request itself, so a fresh transaction touching N DNs pays
+// exactly N RPCs for the reads, not 2N.
+func (t *Tx) MultiGet(dnName string, gets []dn.PointGet) ([]dn.ReadResp, error) {
+	if len(gets) == 0 {
+		return nil, nil
+	}
+	if err := t.registerBranch(dnName); err != nil {
+		return nil, err
+	}
+	reply, err := t.coord.net.Call(t.coord.self, dnName,
+		dn.MultiGetReq{TxnID: t.ID, SnapshotTS: t.Snapshot, Gets: gets})
+	if err != nil {
+		return nil, err
+	}
+	return reply.(dn.MultiGetResp).Results, nil
+}
+
+// MultiWrite applies many mutations on one DN in a single round trip
+// (multi-row INSERT + index maintenance batching). The branch is marked
+// written before the call: a failed batch may have partially applied
+// DN-side, so commit must prepare-and-fail (or the caller abort) rather
+// than silently release the branch.
+func (t *Tx) MultiWrite(dnName string, writes []dn.WriteItem) error {
+	if len(writes) == 0 {
+		return nil
+	}
+	if err := t.registerBranch(dnName); err != nil {
+		return err
+	}
+	t.markWrote(dnName)
+	_, err := t.coord.net.Call(t.coord.self, dnName,
+		dn.MultiWriteReq{TxnID: t.ID, SnapshotTS: t.Snapshot, Writes: writes})
+	return err
+}
+
 // Scan reads a key range (optionally via a named local index).
 func (t *Tx) Scan(dnName string, table uint32, index string, start, end []byte, limit int) ([]types.Row, error) {
 	if err := t.ensureBranch(dnName); err != nil {
@@ -217,20 +296,12 @@ func (t *Tx) Commit() (hlc.Timestamp, error) {
 		return 0, ErrTxDone
 	}
 	t.done = true
-	var writers, readers []string
-	for b := range t.branches {
-		if t.wrote[b] {
-			writers = append(writers, b)
-		} else {
-			readers = append(readers, b)
-		}
-	}
 	t.mu.Unlock()
+	writers, readers := t.settledBranches()
 
-	// Release read-only branches.
-	for _, b := range readers {
-		t.coord.net.Send(t.coord.self, b, dn.AbortReq{TxnID: t.ID}, nil)
-	}
+	// Release read-only branches. This never adds latency to the
+	// prepare phase: releaseReaders uses fire-and-forget sends.
+	t.releaseReaders(readers)
 	switch len(writers) {
 	case 0:
 		return t.Snapshot, nil
@@ -332,6 +403,44 @@ func (t *Tx) Commit() (hlc.Timestamp, error) {
 	return commitTS, nil
 }
 
+// settledBranches waits for any in-flight branch opens to settle, then
+// partitions successfully opened branches into writers and readers.
+func (t *Tx) settledBranches() (writers, readers []string) {
+	t.mu.Lock()
+	entries := make(map[string]*branch, len(t.branches))
+	for name, b := range t.branches {
+		entries[name] = b
+	}
+	t.mu.Unlock()
+	for _, b := range entries {
+		<-b.ready
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for name, b := range entries {
+		if b.err != nil {
+			continue // never opened DN-side
+		}
+		if t.wrote[name] {
+			writers = append(writers, name)
+		} else {
+			readers = append(readers, name)
+		}
+	}
+	return writers, readers
+}
+
+// releaseReaders releases read-only branches with fire-and-forget abort
+// messages (nothing to persist on a read-only branch). Using Send rather
+// than Call is what keeps reader release off the commit critical path:
+// Commit proceeds to the prepare fan-out immediately, without waiting a
+// round trip per reader.
+func (t *Tx) releaseReaders(readers []string) {
+	for _, b := range readers {
+		t.coord.net.Send(t.coord.self, b, dn.AbortReq{TxnID: t.ID}, nil)
+	}
+}
+
 // Abort rolls back every branch.
 func (t *Tx) Abort() error {
 	t.mu.Lock()
@@ -340,12 +449,9 @@ func (t *Tx) Abort() error {
 		return ErrTxDone
 	}
 	t.done = true
-	branches := make([]string, 0, len(t.branches))
-	for b := range t.branches {
-		branches = append(branches, b)
-	}
 	t.mu.Unlock()
-	t.abortBranches(branches)
+	writers, readers := t.settledBranches()
+	t.abortBranches(append(writers, readers...))
 	return nil
 }
 
@@ -372,6 +478,23 @@ func (c *Coordinator) ReadRO(roName string, table uint32, pk []byte,
 	}
 	resp := reply.(dn.ReadResp)
 	return resp.Row, resp.OK, nil
+}
+
+// MultiGetRO performs a batch of session-consistent point reads on an
+// RO replica in one round trip (the RO waits for MinLSN once, then
+// answers every key at the snapshot).
+func (c *Coordinator) MultiGetRO(roName string, gets []dn.PointGet,
+	snapshot hlc.Timestamp, minLSN wal.LSN) ([]dn.ReadResp, error) {
+	if len(gets) == 0 {
+		return nil, nil
+	}
+	reply, err := c.net.Call(c.self, roName, dn.ROMultiGetReq{
+		Gets: gets, SnapshotTS: snapshot, MinLSN: minLSN,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reply.(dn.MultiGetResp).Results, nil
 }
 
 // ScanRO performs a session-consistent range scan on an RO replica.

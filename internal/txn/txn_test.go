@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/dn"
 	"repro/internal/hlc"
@@ -412,6 +413,137 @@ func TestOracleNames(t *testing.T) {
 	if NewTSOOracle(tso.NewClient(net, "x", "tso")).Name() != "tso-si" {
 		t.Fatal("tso oracle name")
 	}
+}
+
+func TestMultiWriteMultiGetOneRPCPerDN(t *testing.T) {
+	c := newCluster(t, 2, simnet.ZeroTopology())
+	coord := hlcCoord(c)
+
+	// Batched writes: one MultiWrite per DN carries every row; the branch
+	// is opened implicitly by the request (no BeginReq).
+	seed, _ := coord.Begin()
+	before1 := c.net.MessageCount("dn1")
+	err := seed.MultiWrite("dn1", []dn.WriteItem{
+		{Table: 1, Op: dn.OpInsert, Row: userRow(1, "a", 10)},
+		{Table: 1, Op: dn.OpInsert, Row: userRow(2, "b", 20)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.net.MessageCount("dn1") - before1; got != 1 {
+		t.Fatalf("MultiWrite cost %d RPCs to dn1, want 1 (implicit branch open)", got)
+	}
+	if err := seed.MultiWrite("dn2", []dn.WriteItem{
+		{Table: 1, Op: dn.OpInsert, Row: userRow(3, "c", 30)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Batched reads on a fresh transaction: one MultiGet RPC answers all
+	// keys on the DN, including misses, in input order.
+	tx, _ := coord.Begin()
+	before1 = c.net.MessageCount("dn1")
+	rs, err := tx.MultiGet("dn1", []dn.PointGet{
+		{Table: 1, PK: pkOf(2)},
+		{Table: 1, PK: pkOf(99)},
+		{Table: 1, PK: pkOf(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.net.MessageCount("dn1") - before1; got != 1 {
+		t.Fatalf("MultiGet cost %d RPCs to dn1, want 1", got)
+	}
+	if len(rs) != 3 || !rs[0].OK || rs[1].OK || !rs[2].OK {
+		t.Fatalf("MultiGet results = %+v", rs)
+	}
+	if rs[0].Row[1].AsString() != "b" || rs[2].Row[1].AsString() != "a" {
+		t.Fatalf("MultiGet rows out of order: %v / %v", rs[0].Row, rs[2].Row)
+	}
+	// Empty batches are free.
+	if rs, err := tx.MultiGet("dn2", nil); rs != nil || err != nil {
+		t.Fatalf("empty MultiGet = %v, %v", rs, err)
+	}
+	tx.Abort()
+}
+
+func TestMultiWriteAbortRollsBack(t *testing.T) {
+	c := newCluster(t, 2, simnet.ZeroTopology())
+	coord := hlcCoord(c)
+	tx, _ := coord.Begin()
+	if err := tx.MultiWrite("dn1", []dn.WriteItem{
+		{Table: 1, Op: dn.OpInsert, Row: userRow(1, "x", 1)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.MultiWrite("dn2", []dn.WriteItem{
+		{Table: 1, Op: dn.OpInsert, Row: userRow(2, "y", 2)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	check, _ := coord.Begin()
+	if _, ok, _ := check.Get("dn1", 1, pkOf(1)); ok {
+		t.Fatal("aborted batched write visible on dn1")
+	}
+	if _, ok, _ := check.Get("dn2", 1, pkOf(2)); ok {
+		t.Fatal("aborted batched write visible on dn2")
+	}
+	check.Abort()
+}
+
+// TestCommitReaderReleaseOffCriticalPath is the regression test for the
+// reader-branch release: Commit must release read-only branches with
+// fire-and-forget sends, never paying a round trip per reader before the
+// prepare fan-out. With two readers and two writers at 100 ms RTT, 2PC
+// costs ~2 RTT (parallel prepare + parallel commit); a serial reader
+// release would add another 2 RTT on top. The bound sits between the
+// two with generous margins for scheduler jitter.
+func TestCommitReaderReleaseOffCriticalPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	const rtt = 100 * time.Millisecond
+	c := newCluster(t, 4, simnet.Topology{IntraDCRTT: rtt, InterDCRTT: rtt})
+	coord := hlcCoord(c)
+	tx, err := coord.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two read-only branches (the keys need not exist; the branch opens
+	// either way) and two written branches, forcing 2PC.
+	if _, _, err := tx.Get("dn3", 1, pkOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tx.Get("dn4", 1, pkOf(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert("dn1", 1, userRow(1, "w", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert("dn2", 1, userRow(2, "w", 2)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed > 3*rtt {
+		t.Fatalf("Commit took %v: reader release is on the critical path (2PC alone is ~%v)",
+			elapsed, 2*rtt)
+	}
+	// The committed writes really landed.
+	check, _ := coord.Begin()
+	if _, ok, _ := check.Get("dn1", 1, pkOf(1)); !ok {
+		t.Fatal("committed write invisible")
+	}
+	check.Abort()
 }
 
 func TestSessionConsistentROReadAfterWrite(t *testing.T) {
