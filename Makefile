@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race bench-fig7
+.PHONY: build vet test test-short test-race chaos bench-fig7
 
 build:
 	$(GO) build ./...
@@ -8,8 +8,17 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+test: chaos
 	$(GO) test ./...
+
+# Fault-injection suite under the race detector: the simnet fabric
+# itself, the 2PC crash-window tests, the cluster-level recovery-loop
+# tests, and Paxos failover on a lossy link. Seeds are fixed inside
+# the tests, so failures reproduce deterministically.
+chaos:
+	$(GO) test -race ./internal/simnet/
+	$(GO) test -race -run 'Chaos|CoordinatorCrash|PartitionedPrimary|DuplicatedCommitPoint|LossyLinks' \
+		./internal/txn/ ./internal/core/ ./internal/paxos/
 
 test-short:
 	$(GO) test -short ./...

@@ -190,7 +190,7 @@ func (b *Builder) Apply(recs []wal.Record) error {
 					return err
 				}
 			}
-		case wal.RecAbort:
+		case wal.RecAbort, wal.RecResolveAbort:
 			delete(b.pending, rec.TxnID)
 		}
 	}

@@ -1,0 +1,242 @@
+package core
+
+// Cluster-level chaos tests: the fault-injection fabric driven through
+// Config.FaultPlan and the background recovery loop. The txn package
+// proves the 2PC crash windows at the protocol level; these tests prove
+// the full stack — SQL in, CN coordinator crashed mid-commit, GMS-driven
+// recovery loop (leader-aware routing included) settling the branches
+// with no manual intervention.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dn"
+	"repro/internal/simnet"
+)
+
+// totalInDoubt sums undecided 2PC branches across every live instance.
+func totalInDoubt(c *Cluster) int {
+	c.mu.Lock()
+	insts := make([]*dn.Instance, 0, len(c.dns))
+	for _, inst := range c.dns {
+		insts = append(insts, inst)
+	}
+	for _, fs := range c.followers {
+		insts = append(insts, fs...)
+	}
+	c.mu.Unlock()
+	n := 0
+	for _, inst := range insts {
+		if c.Net.IsDown(inst.Name()) {
+			continue
+		}
+		n += inst.InDoubtBranches()
+	}
+	return n
+}
+
+// waitCond polls until cond holds or the deadline passes.
+func waitCond(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// otherSession returns a session on a CN different from avoid (whose
+// endpoint is crashed in these tests).
+func otherSession(t *testing.T, c *Cluster, avoid string) *Session {
+	t.Helper()
+	for _, cn := range c.CNs() {
+		if cn.name != avoid {
+			return cn.NewSession()
+		}
+	}
+	t.Fatalf("no CN other than %s", avoid)
+	return nil
+}
+
+func countRows(t *testing.T, s *Session, table string) int64 {
+	t.Helper()
+	res, err := s.Execute("SELECT COUNT(*) FROM " + table)
+	if err != nil {
+		t.Fatalf("count: %v", err)
+	}
+	return res.Rows[0][0].AsInt()
+}
+
+// The CN dies right after shipping the commit-point record of a
+// multi-group INSERT. The background recovery loop alone must commit the
+// remaining PREPARED branches — every row becomes visible, no branch
+// stays in doubt.
+func TestChaosCoordinatorCrashAfterCommitPoint(t *testing.T) {
+	c := newTestCluster(t, Config{DNGroups: 2,
+		InDoubtTimeout: 50 * time.Millisecond, RecoveryInterval: 25 * time.Millisecond})
+	s := c.CN(simnet.DC1).NewSession()
+	mustExec(t, s, `CREATE TABLE pairs (id BIGINT, v BIGINT, PRIMARY KEY(id)) PARTITIONS 4`)
+
+	cnName := s.cn.name
+	c.Net.CrashAfterSend(cnName, func(to string, msg any) bool {
+		cr, ok := msg.(dn.CommitReq)
+		return ok && cr.CommitPoint
+	})
+	// Eight rows over four shards on two groups: guaranteed 2PC.
+	if _, err := s.Execute(`INSERT INTO pairs (id, v) VALUES (0,1),(1,1),(2,1),(3,1),(4,1),(5,1),(6,1),(7,1)`); err == nil {
+		t.Fatal("INSERT succeeded despite the coordinator crashing mid-commit")
+	}
+
+	s2 := otherSession(t, c, cnName)
+	waitCond(t, 5*time.Second, "recovery loop to commit the branches", func() bool {
+		return countRows(t, s2, "pairs") == 8 && totalInDoubt(c) == 0
+	})
+}
+
+// Same crash, one protocol step earlier: the CN dies while fanning out
+// PREPARE, before any commit point exists. Presumed abort — recovery must
+// leave the table exactly as it was.
+func TestChaosCoordinatorCrashBeforeCommitPoint(t *testing.T) {
+	c := newTestCluster(t, Config{DNGroups: 2,
+		InDoubtTimeout: 50 * time.Millisecond, RecoveryInterval: 25 * time.Millisecond})
+	s := c.CN(simnet.DC1).NewSession()
+	mustExec(t, s, `CREATE TABLE pairs (id BIGINT, v BIGINT, PRIMARY KEY(id)) PARTITIONS 4`)
+	mustExec(t, s, `INSERT INTO pairs (id, v) VALUES (100,9),(101,9),(102,9),(103,9)`)
+
+	cnName := s.cn.name
+	c.Net.CrashAfterSend(cnName, func(to string, msg any) bool {
+		_, ok := msg.(dn.PrepareReq)
+		return ok
+	})
+	if _, err := s.Execute(`INSERT INTO pairs (id, v) VALUES (0,1),(1,1),(2,1),(3,1),(4,1),(5,1),(6,1),(7,1)`); err == nil {
+		t.Fatal("INSERT succeeded despite the coordinator crashing in prepare")
+	}
+
+	s2 := otherSession(t, c, cnName)
+	waitCond(t, 5*time.Second, "recovery loop to abort the branches", func() bool {
+		return totalInDoubt(c) == 0
+	})
+	if n := countRows(t, s2, "pairs"); n != 4 {
+		t.Fatalf("row count after presumed abort = %d, want the 4 seed rows only", n)
+	}
+}
+
+// The hardest window: the CN crashes after the commit point AND the
+// primary group's leader dies before anyone resolves. The new leader
+// inherits the commit point through Paxos replay, the recovery loop
+// re-routes resolution to it (the prepare records name the dead
+// instance), and every branch still commits.
+func TestChaosPrimaryFailoverResolvesInheritedBranches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits for a real election timeout")
+	}
+	c := newTestCluster(t, Config{DCs: 3, MultiDC: true, DNGroups: 2,
+		InDoubtTimeout: 50 * time.Millisecond, RecoveryInterval: 25 * time.Millisecond})
+	s := c.CN(simnet.DC1).NewSession()
+	mustExec(t, s, `CREATE TABLE pairs (id BIGINT, v BIGINT, PRIMARY KEY(id)) PARTITIONS 4`)
+
+	cnName := s.cn.name
+	c.Net.CrashAfterSend(cnName, func(to string, msg any) bool {
+		cr, ok := msg.(dn.CommitReq)
+		return ok && cr.CommitPoint
+	})
+	if _, err := s.Execute(`INSERT INTO pairs (id, v) VALUES (0,1),(1,1),(2,1),(3,1),(4,1),(5,1),(6,1),(7,1)`); err == nil {
+		t.Fatal("INSERT succeeded despite the coordinator crashing mid-commit")
+	}
+
+	// The primary group handled the commit point and committed its branch
+	// (zero in-doubt); the other group is stuck PREPARED. Kill the
+	// primary group's leader before resolution runs.
+	primaryGroup := ""
+	for _, g := range []string{"dng0", "dng1"} {
+		inst, err := c.DNGroup(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.InDoubtBranches() == 0 {
+			primaryGroup = g
+		}
+	}
+	if primaryGroup == "" {
+		t.Fatal("no group committed its branch; commit point never landed")
+	}
+	if _, err := c.FailDNLeader(primaryGroup); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery must: re-elect + re-route the primary group, then resolve
+	// the surviving group's branch against the NEW leader's replayed
+	// commit point.
+	s2 := otherSession(t, c, cnName)
+	waitCond(t, 20*time.Second, "failover + inherited-branch resolution", func() bool {
+		return totalInDoubt(c) == 0 && countRows(t, s2, "pairs") == 8
+	})
+}
+
+// Seeded soak: every link drops and duplicates a few percent of messages
+// while multi-shard transactions run. The invariant is atomicity, not
+// success: each statement's row pair must be all-present or all-absent
+// once faults stop and recovery drains the in-doubt set.
+func TestChaosSeededFaultSoakPreservesAtomicity(t *testing.T) {
+	c := newTestCluster(t, Config{DNGroups: 2,
+		InDoubtTimeout: 100 * time.Millisecond, RecoveryInterval: 50 * time.Millisecond,
+		FaultPlan: &simnet.FaultPlan{
+			Seed:        42,
+			Default:     simnet.LinkFaults{Drop: 0.03, Dup: 0.03},
+			CallTimeout: 300 * time.Millisecond,
+		}})
+	s := c.CN(simnet.DC1).NewSession()
+
+	// DDL under faults may fail transiently; retry until it lands.
+	var err error
+	for try := 0; try < 20; try++ {
+		if _, err = s.Execute(`CREATE TABLE soak (id BIGINT, v BIGINT, PRIMARY KEY(id)) PARTITIONS 4`); err == nil {
+			break
+		}
+	}
+	if err != nil {
+		t.Fatalf("CREATE TABLE never succeeded: %v", err)
+	}
+
+	const stmts = 40
+	for i := 0; i < stmts; i++ {
+		// Each statement writes a pair (i, i+1000); ids spread over all
+		// four shards, so many pairs span both DN groups.
+		_, _ = s.Execute(fmt.Sprintf("INSERT INTO soak (id, v) VALUES (%d, 1), (%d, 1)", i, i+1000))
+	}
+
+	// Stop the chaos, let recovery settle everything.
+	c.Net.ClearFaults()
+	waitCond(t, 10*time.Second, "in-doubt branches to drain", func() bool {
+		c.RecoverInDoubt()
+		return totalInDoubt(c) == 0
+	})
+
+	res, err := s.Execute("SELECT id FROM soak")
+	if err != nil {
+		t.Fatalf("verification scan: %v", err)
+	}
+	present := make(map[int64]bool, len(res.Rows))
+	for _, row := range res.Rows {
+		present[row[0].AsInt()] = true
+	}
+	committed := 0
+	for i := int64(0); i < stmts; i++ {
+		if present[i] != present[i+1000] {
+			t.Fatalf("statement %d is torn: id %d present=%v, id %d present=%v",
+				i, i, present[i], i+1000, present[i+1000])
+		}
+		if present[i] {
+			committed++
+		}
+	}
+	if committed == 0 {
+		t.Fatal("soak committed nothing; faults are drowning the protocol")
+	}
+	t.Logf("soak: %d/%d statements committed atomically", committed, stmts)
+}

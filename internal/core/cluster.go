@@ -82,6 +82,21 @@ type Config struct {
 	// PlanCacheOff disables the CN's fingerprinted plan cache: every
 	// statement pays the full optimizer pipeline (benchmark baseline).
 	PlanCacheOff bool
+	// FaultPlan scripts network chaos (per-link drops, duplication,
+	// jitter, call deadlines) onto the cluster fabric from the moment it
+	// is built. Tests and examples use it with a fixed Seed for
+	// reproducible fault schedules; nil runs a clean network.
+	FaultPlan *simnet.FaultPlan
+	// InDoubtTimeout is how long a DN branch may sit PREPARED before
+	// in-doubt resolution consults its primary branch (plumbed into
+	// dn.Config.InDoubtAfter). The default is generous (2s, like the
+	// election timeout) because benchmark clusters run heavy goroutine
+	// load on one host; chaos tests pass something much smaller.
+	InDoubtTimeout time.Duration
+	// RecoveryInterval paces the cluster's background recovery loop,
+	// which heals DN leader routing and sweeps in-doubt transaction
+	// branches (default 500ms).
+	RecoveryInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +114,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultShards <= 0 {
 		c.DefaultShards = 2 * c.DNGroups
+	}
+	if c.InDoubtTimeout <= 0 {
+		c.InDoubtTimeout = 2 * time.Second
+	}
+	if c.RecoveryInterval <= 0 {
+		c.RecoveryInterval = 500 * time.Millisecond
 	}
 	return c
 }
@@ -128,6 +149,12 @@ type Cluster struct {
 	// caches keyed by epoch see those changes too.
 	colIdxEpoch atomic.Uint64
 
+	// stopCh terminates the background recovery loop; recoveryRuns counts
+	// completed sweeps (observability + test synchronization).
+	stopCh       chan struct{}
+	stopOnce     sync.Once
+	recoveryRuns atomic.Uint64
+
 	seq uint32
 }
 
@@ -152,6 +179,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		followers: make(map[string][]*dn.Instance),
 		apRO:      make(map[string]int),
 		apTargets: make(map[string][]string),
+		stopCh:    make(chan struct{}),
+	}
+	if cfg.FaultPlan != nil {
+		c.Net.ApplyFaultPlan(*cfg.FaultPlan)
 	}
 	if cfg.WithPolarFS {
 		c.FS = polarfs.NewCluster(c.Net, 0)
@@ -178,6 +209,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			c.addCN(simnet.DC(d))
 		}
 	}
+	go c.recoveryLoop()
 	return c, nil
 }
 
@@ -219,6 +251,7 @@ func (c *Cluster) addDNGroup(g int) error {
 			// a generous election timeout keeps scheduler hiccups from
 			// triggering spurious leader changes mid-experiment.
 			ElectionTimeout: 2 * time.Second,
+			InDoubtAfter:    c.cfg.InDoubtTimeout,
 		})
 		if err != nil {
 			return err
@@ -289,6 +322,7 @@ func (c *Cluster) AddCN(dc simnet.DC) *CN { return c.addCN(dc) }
 
 // Stop shuts the cluster down.
 func (c *Cluster) Stop() {
+	c.stopOnce.Do(func() { close(c.stopCh) })
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, cn := range c.cns {

@@ -278,10 +278,13 @@ func (s *Session) Execute(query string) (*Result, error) {
 		// The routed DN leader crashed. GMS health-checks the groups,
 		// repoints routing at the newly elected leaders, and the
 		// auto-commit statement (its implicit transaction aborted whole)
-		// is safe to retry once against the new routing.
-		if healed := s.cn.cluster.HealDNRouting(); len(healed) > 0 {
-			res, err = s.ExecuteStmt(stmt)
-		}
+		// is safe to retry once against the new routing. The retry is
+		// unconditional: the background recovery loop may have healed
+		// routing between the failure and this call (making healed empty
+		// here), and retrying against still-broken routing just repeats
+		// the same error.
+		s.cn.cluster.HealDNRouting()
+		res, err = s.ExecuteStmt(stmt)
 	}
 	return res, err
 }

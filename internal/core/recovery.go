@@ -1,0 +1,87 @@
+package core
+
+// Cluster-level transaction recovery (paper §IV).
+//
+// CNs are stateless: a coordinator that dies mid-2PC leaves participant
+// branches PREPARED with nobody driving them. Each DN's flusher already
+// sweeps its own in-doubt branches, but only the cluster knows two
+// things a DN cannot: whether a group's leader moved (so the "primary"
+// name recorded at prepare time is stale) and which groups need healing
+// at all. The GMS-driven recovery loop below closes that gap — the
+// paper's health-check loop extended to transaction state: heal leader
+// routing, then sweep every live instance with leader-aware primary
+// routing so PREPARED branches resolve against the primary group's
+// *current* leader even after failovers.
+
+import (
+	"time"
+
+	"repro/internal/dn"
+)
+
+// recoveryLoop runs RecoverInDoubt every RecoveryInterval until Stop.
+func (c *Cluster) recoveryLoop() {
+	t := time.NewTicker(c.cfg.RecoveryInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-t.C:
+			c.RecoverInDoubt()
+		}
+	}
+}
+
+// RecoverInDoubt runs one recovery sweep: heal DN leader routing, then
+// resolve in-doubt transaction branches on every reachable instance.
+// Exposed so tests can drive recovery deterministically instead of
+// waiting out the background ticker. Returns branches resolved.
+func (c *Cluster) RecoverInDoubt() int {
+	c.HealDNRouting()
+	c.mu.Lock()
+	insts := make([]*dn.Instance, 0, len(c.dns))
+	for _, inst := range c.dns {
+		insts = append(insts, inst)
+	}
+	for _, fs := range c.followers {
+		insts = append(insts, fs...)
+	}
+	c.mu.Unlock()
+	resolved := 0
+	for _, inst := range insts {
+		if c.Net.IsDown(inst.Name()) {
+			continue
+		}
+		resolved += inst.ResolveInDoubt(c.routePrimary)
+	}
+	c.recoveryRuns.Add(1)
+	return resolved
+}
+
+// RecoveryRuns reports completed background/explicit recovery sweeps.
+func (c *Cluster) RecoveryRuns() uint64 { return c.recoveryRuns.Load() }
+
+// routePrimary maps a primary instance name recorded in a prepare record
+// to that group's current leader. After a failover the recorded name
+// points at a dead (or demoted) instance; the commit point it holds was
+// majority-replicated, so the group's new leader can answer for it.
+func (c *Cluster) routePrimary(primary string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, inst := range c.dns {
+		if inst.Name() == primary {
+			return primary // still the leader: route unchanged
+		}
+	}
+	for g, fs := range c.followers {
+		for _, f := range fs {
+			if f.Name() == primary {
+				if l := c.dns[g]; l != nil {
+					return l.Name()
+				}
+			}
+		}
+	}
+	return primary // unknown name: ask it directly and let the RPC fail
+}

@@ -3,6 +3,7 @@ package dn
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/hlc"
 	"repro/internal/sql"
@@ -49,6 +50,8 @@ func (i *Instance) handle(from string, msg any) (any, error) {
 		return i.handleCommit(m)
 	case AbortReq:
 		return nil, i.handleAbort(m)
+	case ResolveTxnReq:
+		return i.handleResolve(m)
 	case CreateTableReq:
 		return nil, i.CreateTable(m.ID, m.Tenant, m.Schema)
 	case CreateIndexReq:
@@ -90,9 +93,12 @@ func (i *Instance) handleBegin(m BeginReq) error {
 		return ErrStopped
 	}
 	if _, dup := i.txns[m.TxnID]; dup {
-		return fmt.Errorf("dn: duplicate branch %d on %s", m.TxnID, i.cfg.Name)
+		// Duplicate or retried BeginReq (lost reply): the branch exists,
+		// which is exactly what the coordinator asked for.
+		_ = i.eng.Abort(txn)
+		return nil
 	}
-	i.txns[m.TxnID] = &txnEntry{txn: txn}
+	i.txns[m.TxnID] = &txnEntry{txn: txn, startedAt: time.Now()}
 	return nil
 }
 
@@ -124,7 +130,7 @@ func (i *Instance) branchOrBegin(txnID uint64, snap hlc.Timestamp) (*txnEntry, e
 		_ = i.eng.Abort(txn)
 		return e, nil
 	}
-	e := &txnEntry{txn: txn}
+	e := &txnEntry{txn: txn, startedAt: time.Now()}
 	i.txns[txnID] = e
 	return e, nil
 }
@@ -258,16 +264,26 @@ func (i *Instance) handleScan(m ScanReq) (ScanResp, error) {
 
 // handlePrepare is 2PC phase one (§IV step 4): validate, mark PREPARED
 // at ClockAdvance(), persist the branch's redo durably (writes + prepare
-// marker through Paxos), then return prepare_ts to the coordinator.
+// marker through Paxos), then return prepare_ts to the coordinator. The
+// prepare record carries the coordinator's txn ID and the primary branch
+// name so the branch stays resolvable after any crash. A retried prepare
+// (lost reply) answers the already-recorded prepare timestamp.
 func (i *Instance) handlePrepare(m PrepareReq) (PrepareResp, error) {
 	e, err := i.branch(m.TxnID)
 	if err != nil {
 		return PrepareResp{}, err
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.txn.Status() == storage.TxnPrepared {
+		return PrepareResp{PrepareTS: e.txn.PrepareTS()}, nil
+	}
 	prepareTS := i.clock.Advance()
-	if err := i.eng.Prepare(e.txn, prepareTS); err != nil {
+	if err := i.eng.Prepare(e.txn, prepareTS, m.TxnID, m.Primary); err != nil {
 		return PrepareResp{}, err
 	}
+	e.primary = m.Primary
+	e.preparedAt = time.Now()
 	if err := i.proposeTail(e, true); err != nil {
 		return PrepareResp{}, err
 	}
@@ -278,10 +294,26 @@ func (i *Instance) handlePrepare(m PrepareReq) (PrepareResp, error) {
 // the decided commit_ts (max of prepare timestamps), we fold it into the
 // clock (§IV step 7) and commit. 1PC fast path (CommitTS zero): the
 // branch is the only participant, so choose commit_ts locally.
+//
+// CommitPoint (primary branch only): the commit decision record is
+// proposed immediately ahead of the branch's redo tail, so the single
+// durability wait below covers both, and log order guarantees failover
+// truncation can never retain the commit marker while losing the
+// decision. A presumed-abort tombstone written by a resolver in the
+// meantime refuses the commit point — the transaction is already aborted.
 func (i *Instance) handleCommit(m CommitReq) (CommitResp, error) {
+	if fin, ok := i.finishedOutcome(m.TxnID); ok {
+		return commitRespFromFinished(m.TxnID, fin)
+	}
 	e, err := i.branch(m.TxnID)
 	if err != nil {
 		return CommitResp{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if fin, ok := i.finishedOutcome(m.TxnID); ok {
+		// A duplicate raced us to the entry before it was removed.
+		return commitRespFromFinished(m.TxnID, fin)
 	}
 	commitTS := m.CommitTS
 	if commitTS.IsZero() {
@@ -289,23 +321,63 @@ func (i *Instance) handleCommit(m CommitReq) (CommitResp, error) {
 	} else {
 		i.clock.Update(commitTS)
 	}
+	if m.CommitPoint {
+		if d, won := i.decide(m.TxnID, true, commitTS); !won && !d.commit {
+			return CommitResp{}, fmt.Errorf("dn: txn %d: commit point refused, resolver already aborted", m.TxnID)
+		}
+		if _, err := i.node.Propose(wal.Record{Type: wal.RecCommitPoint,
+			TxnID: m.TxnID, Payload: storage.EncodeTS(commitTS)}); err != nil {
+			i.dropDecision(m.TxnID)
+			return CommitResp{}, err
+		}
+	}
 	if err := i.eng.Commit(e.txn, commitTS); err != nil {
 		return CommitResp{}, err
 	}
 	if err := i.proposeTail(e, true); err != nil {
 		return CommitResp{CommitTS: commitTS}, err
 	}
+	if m.CommitPoint {
+		i.markDecisionDurable(m.TxnID)
+	}
 	i.markDirtyPages(e.txn)
 	i.mu.Lock()
 	delete(i.txns, m.TxnID)
 	i.mu.Unlock()
-	return CommitResp{CommitTS: commitTS, LSN: i.node.DLSN()}, nil
+	lsn := i.node.DLSN()
+	i.noteFinished(m.TxnID, finishedTxn{committed: true, commitTS: commitTS, lsn: lsn})
+	return CommitResp{CommitTS: commitTS, LSN: lsn}, nil
+}
+
+// commitRespFromFinished answers a retried commit from the recorded
+// outcome: idempotent success if it committed, a hard error if a
+// resolver (or abort) settled it the other way.
+func commitRespFromFinished(txnID uint64, fin finishedTxn) (CommitResp, error) {
+	if fin.committed {
+		return CommitResp{CommitTS: fin.commitTS, LSN: fin.lsn}, nil
+	}
+	return CommitResp{}, fmt.Errorf("dn: txn %d already aborted", txnID)
 }
 
 func (i *Instance) handleAbort(m AbortReq) error {
+	if fin, ok := i.finishedOutcome(m.TxnID); ok {
+		if fin.committed {
+			return fmt.Errorf("dn: txn %d already committed", m.TxnID)
+		}
+		return nil // retried abort: already settled that way
+	}
 	e, err := i.branch(m.TxnID)
 	if err != nil {
 		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.txn.Status()
+	if st == storage.TxnAborted {
+		return nil
+	}
+	if st == storage.TxnCommitted {
+		return fmt.Errorf("dn: txn %d already committed", m.TxnID)
 	}
 	proposedAny := e.proposed > 0
 	if err := i.eng.Abort(e.txn); err != nil {
@@ -321,6 +393,7 @@ func (i *Instance) handleAbort(m AbortReq) error {
 	i.mu.Lock()
 	delete(i.txns, m.TxnID)
 	i.mu.Unlock()
+	i.noteFinished(m.TxnID, finishedTxn{})
 	return nil
 }
 

@@ -3,6 +3,7 @@ package dn
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/hlc"
@@ -56,14 +57,53 @@ type Config struct {
 	PaxosHeartbeat time.Duration
 	// ElectionTimeout tunes failover detection (default 150ms).
 	ElectionTimeout time.Duration
+
+	// InDoubtAfter is how long a branch may sit PREPARED before the
+	// instance treats its coordinator as dead and consults the
+	// transaction's primary branch for the outcome (default 400ms). Must
+	// comfortably exceed normal commit latency, or live transactions get
+	// spuriously aborted by presumed-abort resolution.
+	InDoubtAfter time.Duration
 }
+
+// DefaultInDoubtAfter is the default in-doubt resolution timeout.
+const DefaultInDoubtAfter = 400 * time.Millisecond
 
 // txnEntry tracks one CN-coordinated transaction branch.
 type txnEntry struct {
+	// mu serializes lifecycle transitions (prepare/commit/abort/resolve)
+	// on this branch: duplicated or retried coordinator RPCs may race the
+	// in-doubt sweep, and proposeTail's bookkeeping is not atomic.
+	mu  sync.Mutex
 	txn *storage.Txn
 	// proposed counts redo records already shipped through Paxos, so
 	// commit ships only the tail.
 	proposed int
+	// primary names the transaction's primary branch instance, recorded
+	// at prepare time (empty until prepared).
+	primary string
+	// startedAt/preparedAt drive the in-doubt sweep's timeouts.
+	startedAt  time.Time
+	preparedAt time.Time
+}
+
+// finishedTxn remembers a settled branch outcome so retried commit/abort
+// RPCs (duplicates, or retries after a lost reply) answer consistently.
+type finishedTxn struct {
+	committed bool
+	commitTS  hlc.Timestamp
+	lsn       wal.LSN
+}
+
+// decision is the instance's in-memory commit/abort arbiter for
+// transactions whose primary branch lives here. The first writer
+// (commit-point request or presumed-abort resolver) wins; durable is set
+// once the matching log record is majority-replicated, and only durable
+// decisions are revealed to resolvers.
+type decision struct {
+	commit  bool
+	ts      hlc.Timestamp
+	durable bool
 }
 
 // Instance is one PolarDB instance: RW engine + redo + Paxos membership
@@ -81,6 +121,24 @@ type Instance struct {
 	roAck   map[string]wal.LSN // applied LSN acked per RO
 	evicted map[string]bool
 	stopped bool
+
+	// decisions arbitrates commit-point vs. presumed-abort races for
+	// transactions whose primary branch is here (guarded by mu, FIFO-capped
+	// by decFIFO).
+	decisions map[uint64]*decision
+	decFIFO   []uint64
+	// finished remembers settled branch outcomes for idempotent RPC
+	// retries; finFIFO caps it (guarded by mu).
+	finished map[uint64]finishedTxn
+	finFIFO  []uint64
+	// inDoubtSeen records when the sweep first observed an inherited
+	// (applier-side) prepared branch, so resolution waits InDoubtAfter
+	// from observation, not from an unknowable remote wall-clock.
+	inDoubtSeen map[uint64]time.Time
+
+	// recovery counters (observability + test assertions).
+	resolvedCommits atomic.Uint64
+	resolvedAborts  atomic.Uint64
 
 	applier *storage.Applier
 	// svc is the node's service-capacity model (nil = unlimited).
@@ -103,15 +161,21 @@ func NewInstance(cfg Config) (*Instance, error) {
 	if cfg.ElectionTimeout == 0 {
 		cfg.ElectionTimeout = 150 * time.Millisecond
 	}
+	if cfg.InDoubtAfter == 0 {
+		cfg.InDoubtAfter = DefaultInDoubtAfter
+	}
 	inst := &Instance{
-		cfg:     cfg,
-		clock:   hlc.NewClock(nil),
-		eng:     storage.NewEngine(),
-		txns:    make(map[uint64]*txnEntry),
-		roCur:   make(map[string]wal.LSN),
-		roAck:   make(map[string]wal.LSN),
-		evicted: make(map[string]bool),
-		done:    make(chan struct{}),
+		cfg:         cfg,
+		clock:       hlc.NewClock(nil),
+		eng:         storage.NewEngine(),
+		txns:        make(map[uint64]*txnEntry),
+		roCur:       make(map[string]wal.LSN),
+		roAck:       make(map[string]wal.LSN),
+		evicted:     make(map[string]bool),
+		decisions:   make(map[uint64]*decision),
+		finished:    make(map[uint64]finishedTxn),
+		inDoubtSeen: make(map[uint64]time.Time),
+		done:        make(chan struct{}),
 	}
 	inst.applier = storage.NewApplier(inst.eng)
 	inst.svc = newSvcModel(cfg.ServiceRate, 0)
@@ -283,6 +347,12 @@ func (i *Instance) flusherLoop() {
 		dlsn := i.node.DLSN()
 		_, _ = i.eng.Pool().FlushBefore(dlsn, i.writePage)
 		i.purgeRedo(dlsn)
+		if vacuumTick%8 == 4 {
+			// Autonomous in-doubt sweep: resolve against the recorded
+			// primary as-is. The cluster-level recovery loop re-runs this
+			// with leader-aware routing when the primary's group failed over.
+			i.ResolveInDoubt(nil)
+		}
 		if vacuumTick++; vacuumTick%16 == 0 {
 			// With open transactions the oldest snapshot pins history;
 			// otherwise everything superseded before "now" is dead (all

@@ -134,8 +134,15 @@ type ScanResp struct {
 	Rows []types.Row
 }
 
-// PrepareReq is 2PC phase one: validate and persist the branch.
-type PrepareReq struct{ TxnID uint64 }
+// PrepareReq is 2PC phase one: validate and persist the branch. Primary
+// names the transaction's primary branch instance (the first-written
+// branch, holding the authoritative commit decision); it is persisted in
+// the prepare record so the branch stays resolvable if the coordinator
+// vanishes.
+type PrepareReq struct {
+	TxnID   uint64
+	Primary string
+}
 
 // PrepareResp carries the participant's prepare timestamp (ClockAdvance).
 type PrepareResp struct{ PrepareTS hlc.Timestamp }
@@ -143,9 +150,16 @@ type PrepareResp struct{ PrepareTS hlc.Timestamp }
 // CommitReq is 2PC phase two. For single-shard transactions the CN skips
 // Prepare and sends CommitReq with CommitTS zero: the DN runs the 1PC
 // fast path, choosing the commit timestamp locally.
+//
+// CommitPoint marks the primary branch's commit: the DN logs a durable
+// RecCommitPoint decision record ahead of the commit marker, making the
+// transaction's outcome recoverable. The coordinator sends the
+// commit-point request alone first; only after it succeeds does it fan
+// out plain CommitReqs to the other branches.
 type CommitReq struct {
-	TxnID    uint64
-	CommitTS hlc.Timestamp
+	TxnID       uint64
+	CommitTS    hlc.Timestamp
+	CommitPoint bool
 }
 
 // CommitResp reports the commit timestamp used (relevant for 1PC) and
@@ -158,6 +172,19 @@ type CommitResp struct {
 
 // AbortReq rolls back a branch.
 type AbortReq struct{ TxnID uint64 }
+
+// ResolveTxnReq asks a transaction's primary branch instance for the
+// authoritative outcome of an in-doubt transaction. If no durable commit
+// point exists, the primary writes a durable presumed-abort tombstone
+// (RecResolveAbort) before answering, so a late commit-point write is
+// refused and every participant converges on the same verdict.
+type ResolveTxnReq struct{ TxnID uint64 }
+
+// ResolveTxnResp is the primary's verdict: commit at CommitTS, or abort.
+type ResolveTxnResp struct {
+	Committed bool
+	CommitTS  hlc.Timestamp
+}
 
 // ROReadReq is a point read served by an RO node. MinLSN implements
 // session consistency (§II-C): the RO waits until it has applied redo up

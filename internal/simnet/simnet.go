@@ -104,6 +104,12 @@ type Network struct {
 	// partitioned holds DC pairs that currently cannot communicate.
 	partitioned map[[2]DC]bool
 
+	// faults is the installed chaos configuration (nil = clean network);
+	// defaultCallTimeout bounds Calls issued without an explicit deadline.
+	faultMu            sync.Mutex
+	faults             *faultState
+	defaultCallTimeout atomic.Int64
+
 	// stats
 	statsMu sync.Mutex
 	msgs    map[string]int64 // per-destination message count
@@ -236,18 +242,79 @@ func (n *Network) lookup(from, to string) (srcDC DC, dst *endpoint, err error) {
 // for the one-way delay, invokes the handler, then sleeps for the return
 // delay. The caller's goroutine blocks for the full round trip, which is
 // exactly the cost model the paper's TSO-vs-HLC comparison measures.
+//
+// When a default call timeout is installed (chaos plans set one), Call is
+// bounded by it; otherwise it blocks until the handler returns.
 func (n *Network) Call(from, to string, msg any) (any, error) {
+	return n.CallTimeout(from, to, msg, time.Duration(n.defaultCallTimeout.Load()))
+}
+
+// CallTimeout is Call with an explicit deadline. On expiry the caller
+// gets ErrTimeout; the request itself may still be delivered and
+// processed — the caller cannot know, which is exactly the in-doubt
+// ambiguity 2PC recovery has to handle. d <= 0 means no deadline.
+func (n *Network) CallTimeout(from, to string, msg any, d time.Duration) (any, error) {
+	if d <= 0 {
+		return n.callSync(from, to, msg)
+	}
+	type res struct {
+		reply any
+		err   error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		r, err := n.callSync(from, to, msg)
+		ch <- res{r, err}
+	}()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.reply, r.err
+	case <-timer.C:
+		return nil, fmt.Errorf("%w: %s -> %s after %v", ErrTimeout, from, to, d)
+	}
+}
+
+// callSync is the blocking delivery path, with fault injection applied to
+// both legs. A dropped request or reply surfaces as ErrTimeout after the
+// propagation delay (fast-fail stand-in for an RPC timeout wait).
+func (n *Network) callSync(from, to string, msg any) (any, error) {
 	srcDC, dst, err := n.lookup(from, to)
 	if err != nil {
 		return nil, err
 	}
 	oneWay := n.topo.OneWay(srcDC, dst.dc)
-	sleep(oneWay)
+	crashed := n.fireCrashHook(from, to, msg)
+	leg := n.rollLeg(from, to)
+	sleep(oneWay + leg.jitter)
+	if leg.drop {
+		return nil, fmt.Errorf("%w: %s -> %s (request lost)", ErrTimeout, from, to)
+	}
 	if dst.isDown() {
 		return nil, fmt.Errorf("%w: %s", ErrEndpointDown, to)
 	}
 	reply, err := dst.handler(from, msg)
-	sleep(oneWay)
+	if leg.dup && !dst.isDown() {
+		// At-least-once delivery: the handler runs a second time; the
+		// duplicate's reply is discarded. Exercises handler idempotency.
+		go func() {
+			sleep(oneWay)
+			if !dst.isDown() {
+				_, _ = dst.handler(from, msg)
+			}
+		}()
+	}
+	ret := n.rollLeg(to, from)
+	sleep(oneWay + ret.jitter)
+	if crashed {
+		// The sender died right after the request left: the work may have
+		// happened remotely, but this process never learns the outcome.
+		return nil, fmt.Errorf("%w: %s (crashed after send)", ErrEndpointDown, from)
+	}
+	if ret.drop {
+		return nil, fmt.Errorf("%w: %s -> %s (reply lost)", ErrTimeout, to, from)
+	}
 	return reply, err
 }
 
@@ -264,8 +331,13 @@ func (n *Network) Send(from, to string, msg any, onErr func(error)) {
 		return
 	}
 	oneWay := n.topo.OneWay(srcDC, dst.dc)
+	n.fireCrashHook(from, to, msg)
+	leg := n.rollLeg(from, to)
+	if leg.drop {
+		return // lost in transit; one-way senders never learn
+	}
 	go func() {
-		sleep(oneWay)
+		sleep(oneWay + leg.jitter)
 		if dst.isDown() {
 			if onErr != nil {
 				onErr(fmt.Errorf("%w: %s", ErrEndpointDown, to))
@@ -274,6 +346,9 @@ func (n *Network) Send(from, to string, msg any, onErr func(error)) {
 		}
 		if _, err := dst.handler(from, msg); err != nil && onErr != nil {
 			onErr(err)
+		}
+		if leg.dup && !dst.isDown() {
+			_, _ = dst.handler(from, msg)
 		}
 	}()
 }

@@ -451,13 +451,18 @@ func (e *Engine) Delete(txn *Txn, tableID uint32, pk []byte) error {
 // Prepare moves the transaction to PREPARED at prepareTS after write
 // validation (conflicts were validated at install time; Prepare re-checks
 // the state machine). This is phase one of 2PC on this participant.
-func (e *Engine) Prepare(txn *Txn, prepareTS hlc.Timestamp) error {
+// globalID is the coordinator's transaction ID (redo records carry
+// engine-local txn IDs, so cross-instance resolution needs the global ID)
+// and primary names the primary branch instance — the branch holding the
+// authoritative commit decision. Both are made durable in the prepare
+// record so a failed-over leader can still resolve the branch.
+func (e *Engine) Prepare(txn *Txn, prepareTS hlc.Timestamp, globalID uint64, primary string) error {
 	if err := txn.casStatus(TxnActive, TxnPrepared); err != nil {
 		return err
 	}
 	txn.prepareTS.Store(uint64(prepareTS))
 	txn.appendRedo(wal.Record{Type: wal.RecPrepare, TxnID: txn.ID,
-		Payload: encodeTS(prepareTS)})
+		Payload: EncodePrepareMeta(prepareTS, globalID, primary)})
 	return nil
 }
 
@@ -527,6 +532,35 @@ func DecodeTS(b []byte) hlc.Timestamp {
 	return hlc.Timestamp(uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 |
 		uint64(b[3])<<32 | uint64(b[4])<<24 | uint64(b[5])<<16 |
 		uint64(b[6])<<8 | uint64(b[7]))
+}
+
+// EncodeTS encodes a timestamp for commit/commit-point redo payloads.
+func EncodeTS(ts hlc.Timestamp) []byte { return encodeTS(ts) }
+
+// EncodePrepareMeta encodes a RecPrepare payload: the 8-byte prepare
+// timestamp, the 8-byte global (coordinator) transaction ID, then the
+// primary branch instance name.
+func EncodePrepareMeta(ts hlc.Timestamp, globalID uint64, primary string) []byte {
+	b := encodeTS(ts)
+	b = append(b,
+		byte(globalID>>56), byte(globalID>>48), byte(globalID>>40), byte(globalID>>32),
+		byte(globalID>>24), byte(globalID>>16), byte(globalID>>8), byte(globalID))
+	return append(b, primary...)
+}
+
+// DecodePrepareMeta parses a RecPrepare payload back into its prepare
+// timestamp, global transaction ID, and primary branch instance name.
+// Short payloads (pre-recovery format, or prepares issued without 2PC
+// metadata) decode with zero globalID and empty primary.
+func DecodePrepareMeta(b []byte) (ts hlc.Timestamp, globalID uint64, primary string) {
+	ts = DecodeTS(b)
+	if len(b) < 16 {
+		return ts, 0, ""
+	}
+	globalID = uint64(b[8])<<56 | uint64(b[9])<<48 | uint64(b[10])<<40 |
+		uint64(b[11])<<32 | uint64(b[12])<<24 | uint64(b[13])<<16 |
+		uint64(b[14])<<8 | uint64(b[15])
+	return ts, globalID, string(b[16:])
 }
 
 // Vacuum trims version chains across all tables: versions invisible to

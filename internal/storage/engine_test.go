@@ -206,7 +206,7 @@ func TestPreparedWaitRule(t *testing.T) {
 	if err := e.Update(writer, 1, userRow(1, "alice", 999)); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Prepare(writer, advance()); err != nil {
+	if err := e.Prepare(writer, advance(), 0, ""); err != nil {
 		t.Fatal(err)
 	}
 
@@ -250,7 +250,7 @@ func TestPreparedFastPath(t *testing.T) {
 	reader := e.Begin(now()) // snapshot taken BEFORE the writer prepares
 	writer := e.Begin(now())
 	e.Update(writer, 1, userRow(1, "alice", 999))
-	e.Prepare(writer, advance()) // prepare_ts > reader snapshot
+	e.Prepare(writer, advance(), 0, "") // prepare_ts > reader snapshot
 
 	done := make(chan int64, 1)
 	go func() {
@@ -278,7 +278,7 @@ func TestPreparedThenAbortReaderSeesOld(t *testing.T) {
 
 	writer := e.Begin(now())
 	e.Update(writer, 1, userRow(1, "alice", 999))
-	e.Prepare(writer, advance())
+	e.Prepare(writer, advance(), 0, "")
 	reader := e.Begin(advance())
 	got := make(chan int64, 1)
 	go func() {
@@ -722,7 +722,7 @@ func TestTxnStateMachine(t *testing.T) {
 	if txn.Status() != TxnActive {
 		t.Fatal("new txn not ACTIVE")
 	}
-	e.Prepare(txn, advance())
+	e.Prepare(txn, advance(), 0, "")
 	if txn.Status() != TxnPrepared {
 		t.Fatal("not PREPARED")
 	}
@@ -731,7 +731,7 @@ func TestTxnStateMachine(t *testing.T) {
 		t.Fatalf("write after prepare err = %v", err)
 	}
 	// Double prepare fails.
-	if err := e.Prepare(txn, advance()); !errors.Is(err, ErrBadTransition) {
+	if err := e.Prepare(txn, advance(), 0, ""); !errors.Is(err, ErrBadTransition) {
 		t.Fatalf("double prepare err = %v", err)
 	}
 	e.Commit(txn, advance())

@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dn"
 	"repro/internal/hlc"
@@ -18,6 +19,11 @@ import (
 var (
 	ErrTxDone  = errors.New("txn: transaction already finished")
 	ErrAborted = errors.New("txn: transaction aborted")
+	// ErrInDoubt means the commit-point write's outcome is unknown (the
+	// primary branch stopped answering mid-decision). The coordinator
+	// must NOT abort: participants stay PREPARED and the DN-side recovery
+	// protocol resolves them against the primary's durable state.
+	ErrInDoubt = errors.New("txn: commit outcome in doubt; recovery will resolve")
 )
 
 // Coordinator creates and drives distributed transactions from one CN.
@@ -29,6 +35,14 @@ type Coordinator struct {
 	oracle Oracle
 	seq    atomic.Uint64
 	idBase uint64
+
+	// Reader-branch release accounting: releases are asynchronous but
+	// bounded by releaseSem; errors and over-cap skips are counted rather
+	// than silently dropped (a skipped branch is reclaimed DN-side by the
+	// stale-branch sweep).
+	releaseSem     chan struct{}
+	releaseErrs    atomic.Uint64
+	releaseSkipped atomic.Uint64
 }
 
 // NewCoordinator builds a coordinator for the CN endpoint self.
@@ -41,7 +55,8 @@ func NewCoordinator(net *simnet.Network, self string, oracle Oracle) *Coordinato
 		oracle: oracle,
 		// High bits from the CN name keep txn IDs globally unique across
 		// coordinators without coordination.
-		idBase: h.Sum64() << 24,
+		idBase:     h.Sum64() << 24,
+		releaseSem: make(chan struct{}, readerReleaseCap),
 	}
 }
 
@@ -77,7 +92,13 @@ type Tx struct {
 	// wrote tracks which branches performed writes (read-only branches
 	// skip phase one).
 	wrote map[string]bool
-	done  bool
+	// writeOrder records written branches in first-write order; the first
+	// entry is the transaction's primary branch, where the commit-point
+	// decision is made durable (§IV).
+	writeOrder []string
+	// openFail tracks failed branch opens per DN for retry backoff.
+	openFail map[string]*openBackoff
+	done     bool
 	// lastLSN is the max commit LSN observed, used for RO session
 	// consistency by the caller.
 	lastLSN wal.LSN
@@ -99,38 +120,77 @@ func (c *Coordinator) Begin() (*Tx, error) {
 		coord:     c,
 		branches:  make(map[string]*branch),
 		wrote:     make(map[string]bool),
+		openFail:  make(map[string]*openBackoff),
 		branchLSN: make(map[string]wal.LSN),
 	}, nil
 }
 
+// openBackoff tracks a DN whose branch open failed: the next attempt
+// waits out an exponential delay instead of hammering the endpoint with
+// an immediate retry per statement.
+type openBackoff struct {
+	attempts int
+	retryAt  time.Time
+}
+
+// Branch-open retry backoff bounds.
+const (
+	openBackoffBase = 5 * time.Millisecond
+	openBackoffCap  = 500 * time.Millisecond
+)
+
 // ensureBranch lazily opens the branch on a DN leader, carrying the
 // snapshot timestamp (§IV step 2). Concurrent callers targeting the
 // same DN wait for one BeginReq; callers targeting different DNs
-// proceed in parallel.
+// proceed in parallel. After a failed open, the next attempt on the same
+// DN sleeps out an exponential backoff first (a down leader heals by
+// re-election, not by being hammered).
 func (t *Tx) ensureBranch(dnName string) error {
-	t.mu.Lock()
-	if t.done {
-		t.mu.Unlock()
-		return ErrTxDone
-	}
-	if b, ok := t.branches[dnName]; ok {
-		t.mu.Unlock()
-		<-b.ready
-		return b.err
-	}
-	b := &branch{ready: make(chan struct{})}
-	t.branches[dnName] = b
-	t.mu.Unlock()
-	_, err := t.coord.net.Call(t.coord.self, dnName,
-		dn.BeginReq{TxnID: t.ID, SnapshotTS: t.Snapshot})
-	if err != nil {
-		b.err = err
+	for {
 		t.mu.Lock()
-		delete(t.branches, dnName) // allow a later retry
+		if t.done {
+			t.mu.Unlock()
+			return ErrTxDone
+		}
+		if b, ok := t.branches[dnName]; ok {
+			t.mu.Unlock()
+			<-b.ready
+			return b.err
+		}
+		if f, ok := t.openFail[dnName]; ok {
+			if wait := time.Until(f.retryAt); wait > 0 {
+				t.mu.Unlock()
+				time.Sleep(wait)
+				continue // re-check: another caller may have opened it meanwhile
+			}
+		}
+		b := &branch{ready: make(chan struct{})}
+		t.branches[dnName] = b
 		t.mu.Unlock()
+		_, err := t.coord.net.Call(t.coord.self, dnName,
+			dn.BeginReq{TxnID: t.ID, SnapshotTS: t.Snapshot})
+		t.mu.Lock()
+		if err != nil {
+			b.err = err
+			delete(t.branches, dnName) // allow a later retry
+			f := t.openFail[dnName]
+			if f == nil {
+				f = &openBackoff{}
+				t.openFail[dnName] = f
+			}
+			f.attempts++
+			backoff := openBackoffBase << (f.attempts - 1)
+			if backoff > openBackoffCap || backoff <= 0 {
+				backoff = openBackoffCap
+			}
+			f.retryAt = time.Now().Add(backoff)
+		} else {
+			delete(t.openFail, dnName)
+		}
+		t.mu.Unlock()
+		close(b.ready)
+		return err
 	}
-	close(b.ready)
-	return err
 }
 
 // registerBranch records dnName as open without sending a BeginReq: the
@@ -150,7 +210,10 @@ func (t *Tx) registerBranch(dnName string) error {
 
 func (t *Tx) markWrote(dnName string) {
 	t.mu.Lock()
-	t.wrote[dnName] = true
+	if !t.wrote[dnName] {
+		t.wrote[dnName] = true
+		t.writeOrder = append(t.writeOrder, dnName)
+	}
 	t.mu.Unlock()
 }
 
@@ -285,7 +348,18 @@ func (t *Tx) BranchLSNs() map[string]wal.LSN {
 //	2PC: phase one sends PrepareReq to every written branch in parallel
 //	and collects prepare timestamps (each participant ClockAdvances);
 //	the commit timestamp is decided by the oracle (max prepare_ts for
-//	HLC-SI, a TSO grant for TSO-SI) and phase two broadcasts it.
+//	HLC-SI, a TSO grant for TSO-SI). The decision is then made durable
+//	as a commit-point record on the primary branch (the first-written
+//	one) before phase two broadcasts commit_ts to the rest — the
+//	commit-point write is the transaction's atomic commit instant, and
+//	every crash window around it is recoverable (see internal/dn's
+//	resolver).
+//
+// Control RPCs ride bounded retry-with-backoff: transport errors are
+// retried, handler verdicts are not. If the commit-point write's fate is
+// unknown after retries, Commit returns ErrInDoubt WITHOUT aborting —
+// aborting could contradict a commit point that did land; the DN-side
+// recovery protocol settles the branches either way.
 //
 // Read-only branches are released with an abort message (nothing to
 // persist), matching the read-only optimization of standard 2PC.
@@ -296,11 +370,16 @@ func (t *Tx) Commit() (hlc.Timestamp, error) {
 		return 0, ErrTxDone
 	}
 	t.done = true
+	primary := ""
+	if len(t.writeOrder) > 0 {
+		primary = t.writeOrder[0]
+	}
 	t.mu.Unlock()
 	writers, readers := t.settledBranches()
 
 	// Release read-only branches. This never adds latency to the
-	// prepare phase: releaseReaders uses fire-and-forget sends.
+	// prepare phase: releaseReaders hands the aborts to bounded
+	// asynchronous workers.
 	t.releaseReaders(readers)
 	switch len(writers) {
 	case 0:
@@ -310,9 +389,15 @@ func (t *Tx) Commit() (hlc.Timestamp, error) {
 		if err != nil {
 			return 0, err
 		}
-		reply, err := t.coord.net.Call(t.coord.self, writers[0],
+		reply, err := t.coord.callRetry(writers[0],
 			dn.CommitReq{TxnID: t.ID, CommitTS: commitTS})
 		if err != nil {
+			if Retryable(err) {
+				// The lone branch may or may not have committed; its DN
+				// settles it (the commit either completed durably or the
+				// branch expires to abort).
+				return 0, fmt.Errorf("%w: 1PC commit on %s: %v", ErrInDoubt, writers[0], err)
+			}
 			return 0, err
 		}
 		resp := reply.(dn.CommitResp)
@@ -324,7 +409,14 @@ func (t *Tx) Commit() (hlc.Timestamp, error) {
 		return resp.CommitTS, nil
 	}
 
-	// Phase one: prepare every written branch in parallel.
+	// Multi-branch: the primary is the first-written branch. (writeOrder
+	// only lists writers, so it is always one of them.)
+	if primary == "" {
+		primary = writers[0]
+	}
+
+	// Phase one: prepare every written branch in parallel, each carrying
+	// the primary's name for crash recovery.
 	type prepResult struct {
 		ts  hlc.Timestamp
 		err error
@@ -332,7 +424,7 @@ func (t *Tx) Commit() (hlc.Timestamp, error) {
 	results := make(chan prepResult, len(writers))
 	for _, b := range writers {
 		go func(b string) {
-			reply, err := t.coord.net.Call(t.coord.self, b, dn.PrepareReq{TxnID: t.ID})
+			reply, err := t.coord.callRetry(b, dn.PrepareReq{TxnID: t.ID, Primary: primary})
 			if err != nil {
 				results <- prepResult{err: err}
 				return
@@ -351,6 +443,8 @@ func (t *Tx) Commit() (hlc.Timestamp, error) {
 		prepares = append(prepares, r.ts)
 	}
 	if prepErr != nil {
+		// Safe to abort: no commit point exists yet, so presumed abort
+		// holds everywhere (unreachable branches converge via resolver).
 		t.abortBranches(writers)
 		return 0, fmt.Errorf("%w: prepare failed: %v", ErrAborted, prepErr)
 	}
@@ -363,13 +457,49 @@ func (t *Tx) Commit() (hlc.Timestamp, error) {
 		return 0, fmt.Errorf("%w: commit timestamp: %v", ErrAborted, err)
 	}
 
-	// Phase two: broadcast commit_ts (§IV step 6).
-	commitResults := make(chan prepResult, len(writers))
+	// Commit point: make the decision durable on the primary branch
+	// before telling anyone else to commit. Until this RPC succeeds, no
+	// participant is allowed to commit; after it succeeds, none may abort.
+	reply, err := t.coord.callRetry(primary,
+		dn.CommitReq{TxnID: t.ID, CommitTS: commitTS, CommitPoint: true})
+	if err != nil {
+		if Retryable(err) {
+			// Unknown whether the commit point landed. Aborting now could
+			// contradict a durable COMMIT decision — hands off; branches
+			// stay PREPARED and recovery resolves them.
+			return 0, fmt.Errorf("%w: commit point on %s: %v", ErrInDoubt, primary, err)
+		}
+		// Handler verdict (e.g. a resolver's presumed-abort tombstone
+		// beat us): the decision is ABORT. Release the other branches.
+		rest := make([]string, 0, len(writers)-1)
+		for _, b := range writers {
+			if b != primary {
+				rest = append(rest, b)
+			}
+		}
+		t.abortBranches(rest)
+		return 0, fmt.Errorf("%w: commit point refused: %v", ErrAborted, err)
+	}
 	var maxLSN atomic.Uint64
+	if resp := reply.(dn.CommitResp); true {
+		t.mu.Lock()
+		t.branchLSN[primary] = resp.LSN
+		t.mu.Unlock()
+		maxLSN.Store(uint64(resp.LSN))
+	}
+
+	// Phase two: broadcast commit_ts to the remaining branches (§IV
+	// step 6). Failures here cannot change the outcome — the branch
+	// stays PREPARED and recovery commits it from the commit point.
+	commitResults := make(chan prepResult, len(writers))
+	fanout := 0
 	for _, b := range writers {
+		if b == primary {
+			continue
+		}
+		fanout++
 		go func(b string) {
-			reply, err := t.coord.net.Call(t.coord.self, b,
-				dn.CommitReq{TxnID: t.ID, CommitTS: commitTS})
+			reply, err := t.coord.callRetry(b, dn.CommitReq{TxnID: t.ID, CommitTS: commitTS})
 			if err == nil {
 				resp := reply.(dn.CommitResp)
 				t.mu.Lock()
@@ -386,7 +516,7 @@ func (t *Tx) Commit() (hlc.Timestamp, error) {
 		}(b)
 	}
 	var commitErr error
-	for range writers {
+	for ; fanout > 0; fanout-- {
 		if r := <-commitResults; r.err != nil {
 			commitErr = r.err
 		}
@@ -395,9 +525,8 @@ func (t *Tx) Commit() (hlc.Timestamp, error) {
 	t.lastLSN = wal.LSN(maxLSN.Load())
 	t.mu.Unlock()
 	if commitErr != nil {
-		// The decision is COMMIT; participant errors here are reported
-		// but the transaction outcome stands (prepared branches are
-		// recoverable in a full implementation).
+		// The decision is COMMIT and durable; lagging branches are
+		// settled by the resolver. Report the partial failure.
 		return commitTS, fmt.Errorf("txn: commit phase partially failed: %w", commitErr)
 	}
 	return commitTS, nil
@@ -430,15 +559,42 @@ func (t *Tx) settledBranches() (writers, readers []string) {
 	return writers, readers
 }
 
-// releaseReaders releases read-only branches with fire-and-forget abort
-// messages (nothing to persist on a read-only branch). Using Send rather
-// than Call is what keeps reader release off the commit critical path:
-// Commit proceeds to the prepare fan-out immediately, without waiting a
-// round trip per reader.
+// readerReleaseCap bounds concurrent in-flight reader releases per
+// coordinator, and releaseCallTimeout bounds each one: a down DN can
+// cost at most cap goroutines for at most the timeout, instead of an
+// unbounded pile of leaked fire-and-forget sends.
+const (
+	readerReleaseCap   = 256
+	releaseCallTimeout = 250 * time.Millisecond
+)
+
+// releaseReaders releases read-only branches (nothing to persist on a
+// read-only branch) without adding latency to the commit critical path:
+// each release runs on its own goroutine, gated by a per-coordinator
+// semaphore. Failures are counted, and when the semaphore is exhausted
+// (a down DN absorbing the cap) further releases are skipped and
+// counted — the DN-side stale-branch sweep reclaims those branches.
 func (t *Tx) releaseReaders(readers []string) {
 	for _, b := range readers {
-		t.coord.net.Send(t.coord.self, b, dn.AbortReq{TxnID: t.ID}, nil)
+		select {
+		case t.coord.releaseSem <- struct{}{}:
+		default:
+			t.coord.releaseSkipped.Add(1)
+			continue
+		}
+		go func(b string) {
+			defer func() { <-t.coord.releaseSem }()
+			if _, err := t.coord.net.CallTimeout(t.coord.self, b,
+				dn.AbortReq{TxnID: t.ID}, releaseCallTimeout); err != nil {
+				t.coord.releaseErrs.Add(1)
+			}
+		}(b)
 	}
+}
+
+// ReleaseStats reports reader-release failures and over-cap skips.
+func (c *Coordinator) ReleaseStats() (errs, skipped uint64) {
+	return c.releaseErrs.Load(), c.releaseSkipped.Load()
 }
 
 // Abort rolls back every branch.

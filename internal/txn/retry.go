@@ -1,0 +1,56 @@
+package txn
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// RetryPolicy bounds retry-with-backoff on coordinator control RPCs.
+type RetryPolicy struct {
+	Attempts int           // total tries (first call included)
+	Base     time.Duration // first backoff
+	Cap      time.Duration // backoff ceiling
+}
+
+// defaultRetry is tuned for the simulated fabric: three tries spaced
+// 2ms/4ms rides out a dropped message without adding meaningful latency
+// to a genuinely failed call.
+var defaultRetry = RetryPolicy{Attempts: 3, Base: 2 * time.Millisecond, Cap: 50 * time.Millisecond}
+
+// Retryable classifies an RPC error: transport-level failures (timeout,
+// partition, peer down) may heal and are worth retrying; anything else
+// is a handler verdict — deterministic, and retrying it just repeats the
+// answer.
+func Retryable(err error) bool {
+	return errors.Is(err, simnet.ErrTimeout) ||
+		errors.Is(err, simnet.ErrPartitioned) ||
+		errors.Is(err, simnet.ErrEndpointDown)
+}
+
+// callRetry issues a Call under the default retry policy. It returns the
+// first fatal (non-retryable) error immediately, or the last transport
+// error once attempts are exhausted — in which case the outcome of the
+// final attempt is genuinely unknown to the caller.
+func (c *Coordinator) callRetry(to string, msg any) (any, error) {
+	var last error
+	backoff := defaultRetry.Base
+	for attempt := 0; attempt < defaultRetry.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > defaultRetry.Cap {
+				backoff = defaultRetry.Cap
+			}
+		}
+		reply, err := c.net.Call(c.self, to, msg)
+		if err == nil {
+			return reply, nil
+		}
+		if !Retryable(err) {
+			return nil, err
+		}
+		last = err
+	}
+	return nil, last
+}

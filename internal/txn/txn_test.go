@@ -498,12 +498,13 @@ func TestMultiWriteAbortRollsBack(t *testing.T) {
 }
 
 // TestCommitReaderReleaseOffCriticalPath is the regression test for the
-// reader-branch release: Commit must release read-only branches with
-// fire-and-forget sends, never paying a round trip per reader before the
+// reader-branch release: Commit must release read-only branches
+// asynchronously, never paying a round trip per reader before the
 // prepare fan-out. With two readers and two writers at 100 ms RTT, 2PC
-// costs ~2 RTT (parallel prepare + parallel commit); a serial reader
-// release would add another 2 RTT on top. The bound sits between the
-// two with generous margins for scheduler jitter.
+// costs ~3 RTT (parallel prepare + durable commit point on the primary +
+// parallel commit fan-out); a serial reader release would add another
+// 2 RTT on top. The bound sits between the two with generous margins
+// for scheduler jitter.
 func TestCommitReaderReleaseOffCriticalPath(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing test")
@@ -534,9 +535,9 @@ func TestCommitReaderReleaseOffCriticalPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	elapsed := time.Since(start)
-	if elapsed > 3*rtt {
+	if elapsed > 4*rtt {
 		t.Fatalf("Commit took %v: reader release is on the critical path (2PC alone is ~%v)",
-			elapsed, 2*rtt)
+			elapsed, 3*rtt)
 	}
 	// The committed writes really landed.
 	check, _ := coord.Begin()

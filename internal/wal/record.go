@@ -36,6 +36,11 @@ const (
 	RecTenant  // tenant binding / migration event (PolarDB-MT)
 	RecPaxos   // MLOG_PAXOS control record
 	RecCheckpt // checkpoint marker
+
+	// 2PC recovery records (paper §IV: the commit decision is made durable
+	// on the primary branch, and in-doubt participants resolve against it).
+	RecCommitPoint  // commit decision for a distributed txn, logged on the primary branch
+	RecResolveAbort // durable presumed-abort verdict logged by the in-doubt resolver
 )
 
 func (t RecordType) String() string {
@@ -60,6 +65,10 @@ func (t RecordType) String() string {
 		return "MLOG_PAXOS"
 	case RecCheckpt:
 		return "CHECKPOINT"
+	case RecCommitPoint:
+		return "COMMIT_POINT"
+	case RecResolveAbort:
+		return "RESOLVE_ABORT"
 	default:
 		return fmt.Sprintf("RecordType(%d)", uint8(t))
 	}
