@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race chaos bench-fig7
+.PHONY: build vet test test-short test-race chaos bench-fig7 bench-fig10
 
 build:
 	$(GO) build ./...
@@ -24,8 +24,12 @@ test-short:
 	$(GO) test -short ./...
 
 # The concurrency-sensitive paths (batched RPC fan-out, plan cache,
-# 2PC) are exercised under the race detector.
+# 2PC) are exercised under the race detector. The vectorized executor
+# and the column index run first and explicitly: pooled batches moving
+# through bounded MPP exchange queues are the newest shared-memory
+# surface.
 test-race:
+	$(GO) test -race ./internal/executor/ ./internal/colindex/
 	$(GO) test -race ./...
 
 # Fig. 7 benches plus the CN fast-path point-read benchmark
@@ -33,3 +37,11 @@ test-race:
 bench-fig7:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig7' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkPointReadBatch' ./internal/bench/...
+
+# Fig. 10 TPC-H benches (serial vs MPP vs column index), each under the
+# vectorized batch engine and the row-mode baseline, plus the
+# filter→join→agg micro-benchmark that gates the batch engine (>=2x
+# over row mode at 100k rows).
+bench-fig10:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig10' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkExecBatchVsRow' ./internal/executor/

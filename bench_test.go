@@ -136,46 +136,48 @@ func BenchmarkFig9Isolation(b *testing.B) {
 	}
 }
 
-// BenchmarkFig10MPP: TPC-H serial vs MPP (paper: 21/22 queries >100%
-// faster, Q9 +263%). Runs a representative subset; metric: mean MPP
-// gain in percent.
-func BenchmarkFig10MPP(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res, err := bench.RunFig10(bench.Fig10Options{
-			TPCH:     tpch.Config{SF: 0.6, Partitions: 8, Seed: 10},
-			Reps:     2,
-			QueryIDs: []int{1, 3, 5, 6, 9, 12, 14, 19},
+// fig10Modes runs a Fig. 10 sweep under both execution engines: "batch"
+// is the vectorized default, "row" forces Fig10Options.RowMode so the
+// same queries measure the row-at-a-time baseline.
+func fig10Modes(b *testing.B, queryIDs []int, metric string, gain func(bench.Fig10Row) float64) {
+	for _, mode := range []struct {
+		name string
+		row  bool
+	}{{"batch", false}, {"row", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunFig10(bench.Fig10Options{
+					TPCH:     tpch.Config{SF: 0.6, Partitions: 8, Seed: 10},
+					Reps:     2,
+					QueryIDs: queryIDs,
+					RowMode:  mode.row,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var total float64
+				for _, row := range res.Rows {
+					total += gain(row)
+				}
+				b.ReportMetric(total/float64(len(res.Rows)), metric)
+			}
 		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		var gain float64
-		for _, row := range res.Rows {
-			gain += row.SpeedupMPP()
-		}
-		b.ReportMetric(gain/float64(len(res.Rows)), "mpp-gain-%")
 	}
+}
+
+// BenchmarkFig10MPP: TPC-H serial vs MPP (paper: 21/22 queries >100%
+// faster, Q9 +263%). Runs a representative subset under the batch and
+// row engines; metric: mean MPP gain in percent.
+func BenchmarkFig10MPP(b *testing.B) {
+	fig10Modes(b, []int{1, 3, 5, 6, 9, 12, 14, 19}, "mpp-gain-%", bench.Fig10Row.SpeedupMPP)
 }
 
 // BenchmarkFig10ColumnIndex: TPC-H with the in-memory column index
 // (paper: Q1 +748%, Q6 +1828%, Q12 +556%, Q14 +547%). Metric: mean
-// column-index gain over serial on the paper's headline queries.
+// column-index gain over serial on the paper's headline queries, under
+// both execution engines.
 func BenchmarkFig10ColumnIndex(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res, err := bench.RunFig10(bench.Fig10Options{
-			TPCH:     tpch.Config{SF: 0.6, Partitions: 8, Seed: 10},
-			Reps:     2,
-			QueryIDs: []int{1, 6, 12, 14},
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		var gain float64
-		for _, row := range res.Rows {
-			gain += row.SpeedupCol()
-		}
-		b.ReportMetric(gain/float64(len(res.Rows)), "colindex-gain-%")
-	}
+	fig10Modes(b, []int{1, 6, 12, 14}, "colindex-gain-%", bench.Fig10Row.SpeedupCol)
 }
 
 // BenchmarkROScaling: the §II claim that adding RO replicas raises read

@@ -1,0 +1,88 @@
+package colindex
+
+import (
+	"fmt"
+
+	"repro/internal/hlc"
+	"repro/internal/sql"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// batchVec wraps one column's typed storage as a zero-copy vector view,
+// capped at n rows. Safe under concurrent maintenance: the index only
+// ever appends to column storage (deletions flip visibility timestamps,
+// which the selection vector has already consumed), so values below n
+// are immutable.
+func (v *colVec) batchVec(n int) *vector.Vector {
+	switch v.kind {
+	case types.KindInt, types.KindBool:
+		return vector.Wrap(v.kind, v.ints, nil, nil, v.nulls, n)
+	case types.KindFloat:
+		return vector.Wrap(types.KindFloat, nil, v.floats, nil, v.nulls, n)
+	default:
+		// colVec stores every non-numeric kind as strings (see append).
+		return vector.Wrap(types.KindString, nil, nil, v.strs, v.nulls, n)
+	}
+}
+
+// ScanBatch is the batch-mode Scan: instead of materializing rows it
+// returns one Shared batch whose vectors alias the index's column
+// storage directly (zero copy) and whose selection vector holds the
+// visible, filter-passing positions. Projection selects and orders the
+// output columns (nil = all); limit bounds the selection (0 = none).
+func (x *Index) ScanBatch(snapshot hlc.Timestamp, filter sql.Expr, projection []int, limit int) (*vector.Batch, error) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	ts := x.clampSnapshot(snapshot)
+	preds, residual := compileFilter(filter)
+	for _, p := range preds {
+		if p.col >= len(x.cols) {
+			return nil, fmt.Errorf("%w: %d", ErrBadColumn, p.col)
+		}
+	}
+	n := len(x.created)
+	sel := make([]int, 0, vector.DefaultSize)
+rows:
+	for i := 0; i < n; i++ {
+		if !x.visible(i, ts) {
+			continue
+		}
+		for _, p := range preds {
+			if !p.eval(x.cols[p.col], i) {
+				continue rows
+			}
+		}
+		if len(residual) > 0 {
+			row := x.materialize(i, nil)
+			for _, r := range residual {
+				v, err := sql.Eval(r, row)
+				if err != nil {
+					return nil, err
+				}
+				if !v.IsTruthy() {
+					continue rows
+				}
+			}
+		}
+		sel = append(sel, i)
+		if limit > 0 && len(sel) >= limit {
+			break
+		}
+	}
+	cols := projection
+	if cols == nil {
+		cols = make([]int, len(x.cols))
+		for i := range cols {
+			cols[i] = i
+		}
+	}
+	b := &vector.Batch{Vecs: make([]*vector.Vector, len(cols)), Sel: sel, Shared: true}
+	for k, c := range cols {
+		if c >= len(x.cols) {
+			return nil, fmt.Errorf("%w: %d", ErrBadColumn, c)
+		}
+		b.Vecs[k] = x.cols[c].batchVec(n)
+	}
+	return b, nil
+}

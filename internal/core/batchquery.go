@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dn"
+	"repro/internal/executor"
+	"repro/internal/htap"
+	"repro/internal/optimizer"
+	"repro/internal/vector"
+)
+
+// This file is the batch-mode (vectorized) twin of query.go's operator
+// lowering: AP-classified plans with Plan.Vectorized set execute as
+// BatchOperator trees exchanging ~1024-row column-major batches. Every
+// build function mirrors its row-mode counterpart exactly — same shard
+// fan-out, same gather order, same fragment scheduling — so the two
+// modes are equivalent by construction; plan shapes without a batch
+// kernel (GSI routes, point lookups, nested-loop joins) bridge through
+// the row operators via RowToBatch.
+
+// buildBatchOperator lowers a plan node to a batch operator tree.
+func (cn *CN) buildBatchOperator(node optimizer.Node, ctx *queryCtx) (executor.BatchOperator, error) {
+	switch n := node.(type) {
+	case *optimizer.ScanNode:
+		return cn.buildBatchScan(n, ctx)
+	case *optimizer.FilterNode:
+		in, err := cn.buildBatchOperator(n.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &executor.BatchFilter{Input: in, Pred: n.Pred}, nil
+	case *optimizer.ProjectNode:
+		in, err := cn.buildBatchOperator(n.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &executor.BatchProject{Input: in, Exprs: n.Exprs, Names: n.Names}, nil
+	case *optimizer.SortNode:
+		in, err := cn.buildBatchOperator(n.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		op := &executor.BatchSort{Input: in}
+		for _, k := range n.Keys {
+			op.Keys = append(op.Keys, executor.SortKey{Expr: k.Expr, Desc: k.Desc})
+		}
+		return op, nil
+	case *optimizer.LimitNode:
+		in, err := cn.buildBatchOperator(n.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &executor.BatchLimit{Input: in, N: n.N}, nil
+	case *optimizer.JoinNode:
+		if op, ok, err := cn.buildBatchPartitionWiseJoin(n, ctx); err != nil {
+			return nil, err
+		} else if ok {
+			return op, nil
+		}
+		left, err := cn.buildBatchOperator(n.Left, ctx)
+		if err != nil {
+			return nil, err
+		}
+		right, err := cn.buildBatchOperator(n.Right, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if len(n.LeftKeys) > 0 {
+			return &executor.BatchHashJoin{Left: left, Right: right,
+				LeftKeys: n.LeftKeys, RightKeys: n.RightKeys,
+				Residual: n.On, Outer: n.Outer}, nil
+		}
+		// Nested-loop joins have no batch kernel: bridge through the row
+		// implementation (rare in AP plans — equi-joins dominate).
+		return &executor.RowToBatch{Op: &executor.NestedLoopJoin{
+			Left: &executor.BatchToRow{Op: left}, Right: &executor.BatchToRow{Op: right},
+			On: n.On, Outer: n.Outer}}, nil
+	case *optimizer.AggNode:
+		return cn.buildBatchAgg(n, ctx)
+	default:
+		return nil, fmt.Errorf("core: cannot execute plan node %T in batch mode", node)
+	}
+}
+
+// buildBatchAgg mirrors buildAgg: the MPP two-phase split when the input
+// is a scan, a complete-mode hash aggregation otherwise.
+func (cn *CN) buildBatchAgg(n *optimizer.AggNode, ctx *queryCtx) (executor.BatchOperator, error) {
+	scan, scanInput := n.Input.(*optimizer.ScanNode)
+	if n.TwoPhase && scanInput && len(scan.PointLookups) == 0 && scan.GSI == nil {
+		return cn.buildBatchTwoPhaseAgg(n, scan, ctx)
+	}
+	in, err := cn.buildBatchOperator(n.Input, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &executor.BatchHashAgg{Input: in, GroupBy: n.GroupBy,
+		Aggs: aggSpecs(n.Aggs), Mode: executor.AggComplete, Names: n.Names}, nil
+}
+
+// buildBatchTwoPhaseAgg fans one partial-aggregation batch fragment out
+// per shard; partial states flow back as batches through bounded
+// exchange queues and merge in a final-mode batch aggregation.
+func (cn *CN) buildBatchTwoPhaseAgg(n *optimizer.AggNode, scan *optimizer.ScanNode, ctx *queryCtx) (executor.BatchOperator, error) {
+	shards := scan.Shards
+	if shards == nil {
+		for i := 0; i < scan.Table.Shards; i++ {
+			shards = append(shards, i)
+		}
+	}
+	pushed := cn.pushableAgg(n, scan, ctx)
+	scheds := []*htap.Scheduler{cn.sched}
+	if ctx.mpp {
+		scheds = nil
+		for _, other := range cn.cluster.CNs() {
+			scheds = append(scheds, other.sched)
+		}
+	}
+	var assignments []executor.BatchFragmentAssignment
+	for i, shard := range shards {
+		src, err := cn.batchShardSource(scan, shard, ctx, pushed)
+		if err != nil {
+			return nil, err
+		}
+		var frag executor.BatchOperator = src
+		if pushed == nil {
+			frag = &executor.BatchHashAgg{Input: src, GroupBy: n.GroupBy,
+				Aggs: aggSpecs(n.Aggs), Mode: executor.AggPartial}
+		}
+		assignments = append(assignments, executor.BatchFragmentAssignment{
+			Op: frag, Sched: scheds[i%len(scheds)],
+		})
+	}
+	gather := executor.RunBatchFragments(ctx.group, assignments, executor.DefaultQueueHighWater)
+	finalGroup := finalGroupRefs(len(n.GroupBy))
+	return &executor.BatchHashAgg{Input: gather, GroupBy: finalGroup,
+		Aggs: aggSpecs(n.Aggs), Mode: executor.AggFinal, Names: n.Names}, nil
+}
+
+// buildBatchPartitionWiseJoin is the batch twin of
+// buildPartitionWiseJoin: one shard-local batch hash join per partition
+// group, no redistribution.
+func (cn *CN) buildBatchPartitionWiseJoin(n *optimizer.JoinNode, ctx *queryCtx) (executor.BatchOperator, bool, error) {
+	if !n.PartitionWise || len(n.LeftKeys) == 0 {
+		return nil, false, nil
+	}
+	ls, lok := n.Left.(*optimizer.ScanNode)
+	rs, rok := n.Right.(*optimizer.ScanNode)
+	if !lok || !rok || len(ls.PointLookups) > 0 || len(rs.PointLookups) > 0 {
+		return nil, false, nil
+	}
+	if ls.Table.Shards != rs.Table.Shards {
+		return nil, false, nil
+	}
+	scheds := []*htap.Scheduler{cn.sched}
+	if ctx.mpp {
+		scheds = nil
+		for _, other := range cn.cluster.CNs() {
+			scheds = append(scheds, other.sched)
+		}
+	}
+	var assignments []executor.BatchFragmentAssignment
+	for shard := 0; shard < ls.Table.Shards; shard++ {
+		leftSrc, err := cn.batchShardSource(ls, shard, ctx, nil)
+		if err != nil {
+			return nil, false, err
+		}
+		rightSrc, err := cn.batchShardSource(rs, shard, ctx, nil)
+		if err != nil {
+			return nil, false, err
+		}
+		frag := &executor.BatchHashJoin{Left: leftSrc, Right: rightSrc,
+			LeftKeys: n.LeftKeys, RightKeys: n.RightKeys,
+			Residual: n.On, Outer: n.Outer}
+		assignments = append(assignments, executor.BatchFragmentAssignment{
+			Op: frag, Sched: scheds[shard%len(scheds)]})
+	}
+	g := executor.RunBatchFragments(ctx.group, assignments, executor.DefaultQueueHighWater)
+	g.Cols = n.Columns()
+	return g, true, nil
+}
+
+// buildBatchScan lowers a table scan to batch sources. GSI routes and
+// point lookups are row-shaped (scattered point reads) and bridge
+// through the row scan; multi-shard AP scans fan out one batch fragment
+// per shard, exactly like the row path.
+func (cn *CN) buildBatchScan(scan *optimizer.ScanNode, ctx *queryCtx) (executor.BatchOperator, error) {
+	cols := scan.Columns()
+	if scan.GSI != nil || len(scan.PointLookups) > 0 || ctx.tx != nil {
+		op, err := cn.buildScan(scan, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &executor.RowToBatch{Op: op}, nil
+	}
+	shards := scan.Shards
+	if shards == nil {
+		for i := 0; i < scan.Table.Shards; i++ {
+			shards = append(shards, i)
+		}
+	}
+	var assignments []executor.BatchFragmentAssignment
+	for _, shard := range shards {
+		src, err := cn.batchShardSource(scan, shard, ctx, nil)
+		if err != nil {
+			return nil, err
+		}
+		assignments = append(assignments, executor.BatchFragmentAssignment{Op: src, Sched: cn.sched})
+	}
+	g := executor.RunBatchFragments(ctx.group, assignments, executor.DefaultQueueHighWater)
+	g.Cols = cols
+	return g, nil
+}
+
+// batchShardSource builds the batch source for one shard of an AP scan:
+// the DN columnarizes once at the source (WantBatch) — or answers
+// zero-copy from its column index — and the batch crosses simnet
+// without a pivot back to rows. Leader-fallback reads (no AP replica)
+// scan rows through an ephemeral branch and columnarize CN-side.
+func (cn *CN) batchShardSource(scan *optimizer.ScanNode, shard int, ctx *queryCtx, pushed *dn.PushAgg) (executor.BatchOperator, error) {
+	if ctx.tx != nil {
+		src, err := cn.shardSource(scan, shard, ctx, pushed)
+		if err != nil {
+			return nil, err
+		}
+		return &executor.RowToBatch{Op: src}, nil
+	}
+	dnName, err := cn.cluster.GMS.DNForShard(scan.Table.Name, shard)
+	if err != nil {
+		return nil, err
+	}
+	cn.cluster.GMS.RecordLoad(scan.Table.Name, shard, 1)
+	physTable := scan.Table.PhysicalTableID(shard)
+	cols := scan.Columns()
+
+	target, minLSN := cn.apTarget(ctx, dnName)
+	if target == dnName {
+		// AP load routed to the RW leader (shared-resource configs):
+		// row scan through an ephemeral branch, columnarized here.
+		fetched := false
+		return &executor.BatchCallbackSource{Cols: cols, Fetch: func() (*vector.Batch, error) {
+			if fetched {
+				return nil, nil
+			}
+			fetched = true
+			tmp, err := cn.coord.Begin()
+			if err != nil {
+				return nil, err
+			}
+			defer tmp.Abort()
+			rows, err := tmp.ScanReq(dnName, dn.ScanReq{
+				Table: physTable, Filter: scan.Filter, Projection: scan.Projection,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if len(rows) == 0 {
+				return nil, nil
+			}
+			return vector.FromRows(rows, len(rows[0])), nil
+		}}, nil
+	}
+	req := dn.ROScanReq{
+		Table: physTable, SnapshotTS: ctx.snapshot, MinLSN: minLSN,
+		Filter: scan.Filter, Projection: scan.Projection,
+		UseColumnIndex: scan.UseColumnIndex, Aggregate: pushed,
+		WantBatch: true,
+	}
+	fetched := false
+	return &executor.BatchCallbackSource{Cols: cols, Fetch: func() (*vector.Batch, error) {
+		if fetched {
+			return nil, nil
+		}
+		fetched = true
+		resp, err := cn.coord.ScanROBatch(target, req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Batch != nil {
+			return resp.Batch, nil
+		}
+		if len(resp.Rows) == 0 {
+			return nil, nil
+		}
+		return vector.FromRows(resp.Rows, len(resp.Rows[0])), nil
+	}}, nil
+}

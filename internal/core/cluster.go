@@ -68,6 +68,10 @@ type Config struct {
 	IsolationOff bool
 	// MPPOff disables multi-CN fragment execution (Fig. 10 baseline).
 	MPPOff bool
+	// VectorizedOff disables the batch (vectorized) execution engine: AP
+	// plans fall back to row-at-a-time operators — the pre-batch behavior,
+	// kept for equivalence tests and as a benchmark baseline.
+	VectorizedOff bool
 	// DNServiceRate models each DN node's compute capacity in work
 	// tokens per second (0 = unlimited). Every RW and RO node gets its
 	// own bucket, so read capacity scales with replica count (Fig. 9b).
@@ -308,6 +312,7 @@ func (c *Cluster) addCN(dc simnet.DC) *CN {
 	cn.opt = optimizer.New(c.GMS, statsAdapter{c}, optimizer.Options{
 		TPCostThreshold: c.cfg.TPCostThreshold,
 		MPPAvailable:    !c.cfg.MPPOff,
+		BatchAvailable:  !c.cfg.VectorizedOff,
 		HasColumnIndex:  cn.hasColumnIndex,
 	})
 	c.mu.Lock()

@@ -81,15 +81,23 @@ func (s *Session) runPlan(plan *optimizer.Plan) ([]types.Row, error) {
 		}
 		defer s.cn.sched.Mem.Release(ctx.group, est)
 	}
+	// Shard fetches and partial aggregation run as scheduled fragment
+	// jobs in the classified pool (quota-gated for AP, §VI-D); the final
+	// merge pulls from their bounded exchange queues on this goroutine,
+	// so a blocked consumer can never starve the workers its producers
+	// need. AP plans default to the vectorized batch engine; row mode
+	// remains the TP path and the Config.VectorizedOff baseline.
+	if plan.Vectorized {
+		root, err := s.cn.buildBatchOperator(plan.Root, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return executor.CollectBatch(root)
+	}
 	root, err := s.cn.buildOperator(plan.Root, ctx)
 	if err != nil {
 		return nil, err
 	}
-	// Shard fetches and partial aggregation run as scheduled fragment
-	// jobs in the classified pool (quota-gated for AP, §VI-D); the final
-	// merge below pulls from their exchange queues on this goroutine, so
-	// a blocked consumer can never starve the workers its producers
-	// need.
 	return executor.Collect(root)
 }
 
@@ -214,13 +222,19 @@ func (cn *CN) buildTwoPhaseAgg(n *optimizer.AggNode, scan *optimizer.ScanNode, c
 		})
 	}
 	gather := executor.RunFragments(ctx.group, assignments)
-	// Final merge at the coordinator: group columns land at 0..k-1.
-	finalGroup := make([]sql.Expr, len(n.GroupBy))
-	for i := range n.GroupBy {
-		finalGroup[i] = &sql.ColumnRef{Column: fmt.Sprintf("g%d", i), Index: i}
-	}
+	finalGroup := finalGroupRefs(len(n.GroupBy))
 	return &executor.HashAgg{Input: gather, GroupBy: finalGroup,
 		Aggs: aggSpecs(n.Aggs), Mode: executor.AggFinal, Names: n.Names}, nil
+}
+
+// finalGroupRefs builds the final-merge group keys: after the partial
+// phase, group columns land at positions 0..k-1.
+func finalGroupRefs(k int) []sql.Expr {
+	out := make([]sql.Expr, k)
+	for i := range out {
+		out[i] = &sql.ColumnRef{Column: fmt.Sprintf("g%d", i), Index: i}
+	}
+	return out
 }
 
 // pushableAgg decides whether the whole partial aggregation can be

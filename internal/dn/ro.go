@@ -12,6 +12,7 @@ import (
 	"repro/internal/sql"
 	"repro/internal/storage"
 	"repro/internal/types"
+	"repro/internal/vector"
 	"repro/internal/wal"
 )
 
@@ -494,6 +495,14 @@ func (r *RO) scan(m ROScanReq) (ScanResp, error) {
 		err = evalErr
 	}
 	r.svc.serve(float64(examined))
+	if m.WantBatch && err == nil {
+		// Columnarize once at the source: the CN's batch executor consumes
+		// the vectors directly instead of re-pivoting rows per operator.
+		if len(rows) == 0 {
+			return ScanResp{}, nil
+		}
+		return ScanResp{Batch: vector.FromRows(rows, len(rows[0]))}, nil
+	}
 	return ScanResp{Rows: rows}, err
 }
 
@@ -509,7 +518,25 @@ func (r *RO) scanColumnIndex(ix *colindex.Index, m ROScanReq) (ScanResp, error) 
 			specs[i] = colindex.AggSpec{Func: a.Func, Col: a.Col, Expr: a.Expr, Star: a.Star}
 		}
 		rows, err := ix.AggScan(m.SnapshotTS, m.Filter, m.Aggregate.GroupBy, specs)
+		if m.WantBatch && err == nil {
+			// Partial-aggregate output is small; columnarize for uniformity.
+			if len(rows) == 0 {
+				return ScanResp{}, nil
+			}
+			return ScanResp{Batch: vector.FromRows(rows, len(rows[0]))}, nil
+		}
 		return ScanResp{Rows: rows}, err
+	}
+	if m.WantBatch {
+		// Zero-copy: the batch's vectors alias the index's column storage.
+		b, err := ix.ScanBatch(m.SnapshotTS, m.Filter, m.Projection, m.Limit)
+		if err != nil {
+			return ScanResp{}, err
+		}
+		if b.NumRows() == 0 {
+			return ScanResp{}, nil
+		}
+		return ScanResp{Batch: b}, nil
 	}
 	rows, err := ix.Scan(m.SnapshotTS, m.Filter, m.Projection, m.Limit)
 	return ScanResp{Rows: rows}, err

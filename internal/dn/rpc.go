@@ -16,6 +16,7 @@ import (
 	"repro/internal/hlc"
 	"repro/internal/sql"
 	"repro/internal/types"
+	"repro/internal/vector"
 	"repro/internal/wal"
 )
 
@@ -129,9 +130,13 @@ type ScanReq struct {
 	Projection []int
 }
 
-// ScanResp returns matching rows in key order.
+// ScanResp returns matching rows in key order. When the request set
+// WantBatch, Batch carries the rows column-major instead and Rows is
+// nil (simnet passes Go values, so the batch crosses "the wire" without
+// a pivot back to rows).
 type ScanResp struct {
-	Rows []types.Row
+	Rows  []types.Row
+	Batch *vector.Batch
 }
 
 // PrepareReq is 2PC phase one: validate and persist the branch. Primary
@@ -214,6 +219,10 @@ type ROScanReq struct {
 	// column index (§VI-E: "the first phase of aggregation is
 	// offloaded").
 	Aggregate *PushAgg
+	// WantBatch asks for a columnar response (ScanResp.Batch): row-store
+	// scans columnarize once at the source, column-index scans answer
+	// zero-copy from their vectors. Used by the CN's vectorized executor.
+	WantBatch bool
 }
 
 // PushAgg describes a pushed-down partial aggregation: group-by column

@@ -1,0 +1,215 @@
+// Batch execution mode (§VI-C/§VI-E): operators exchange column-major
+// vector.Batch values (~1024 rows) instead of single rows. Iteration,
+// predicate evaluation, group-key hashing and exchange locking amortize
+// over the batch, which is where the Fig. 10 MPP and column-index
+// speedups come from. Row mode (Operator) remains the TP path and the
+// equivalence baseline; adapters below bridge the two worlds so every
+// plan shape stays executable in either mode.
+package executor
+
+import (
+	"errors"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// BatchOperator is the batch-at-a-time volcano interface. NextBatch
+// transfers ownership of the returned batch to the caller (see the
+// vector.Batch ownership protocol); it returns ErrEOF when drained.
+type BatchOperator interface {
+	Columns() []string
+	Open() error
+	NextBatch() (*vector.Batch, error)
+	Close() error
+}
+
+// BatchesSource serves pre-built batches (columnarized DN responses,
+// zero-copy column-index scans, test fixtures).
+type BatchesSource struct {
+	Cols    []string
+	Batches []*vector.Batch
+	pos     int
+}
+
+// Columns implements BatchOperator.
+func (s *BatchesSource) Columns() []string { return s.Cols }
+
+// Open implements BatchOperator.
+func (s *BatchesSource) Open() error { s.pos = 0; return nil }
+
+// NextBatch implements BatchOperator.
+func (s *BatchesSource) NextBatch() (*vector.Batch, error) {
+	for s.pos < len(s.Batches) {
+		b := s.Batches[s.pos]
+		s.pos++
+		if b != nil && b.NumRows() > 0 {
+			return b, nil
+		}
+	}
+	return nil, ErrEOF
+}
+
+// Close implements BatchOperator.
+func (s *BatchesSource) Close() error { return nil }
+
+// BatchCallbackSource pulls batches lazily from a fetch function (how
+// DN shard scans stream into the batch executor; fetch returns nil when
+// drained).
+type BatchCallbackSource struct {
+	Cols  []string
+	Fetch func() (*vector.Batch, error)
+	done  bool
+}
+
+// Columns implements BatchOperator.
+func (s *BatchCallbackSource) Columns() []string { return s.Cols }
+
+// Open implements BatchOperator.
+func (s *BatchCallbackSource) Open() error { return nil }
+
+// NextBatch implements BatchOperator.
+func (s *BatchCallbackSource) NextBatch() (*vector.Batch, error) {
+	for !s.done {
+		b, err := s.Fetch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			s.done = true
+			break
+		}
+		if b.NumRows() > 0 {
+			return b, nil
+		}
+		b.Release()
+	}
+	return nil, ErrEOF
+}
+
+// Close implements BatchOperator.
+func (s *BatchCallbackSource) Close() error { return nil }
+
+// NewBatchRowsSource columnarizes a row slice into batches of the
+// default size (the batch analogue of NewRowsSource).
+func NewBatchRowsSource(cols []string, rows []types.Row) *BatchesSource {
+	return &BatchesSource{Cols: cols, Batches: BatchesFromRows(rows, len(cols))}
+}
+
+// BatchesFromRows splits rows into DefaultSize batches, ncols wide.
+func BatchesFromRows(rows []types.Row, ncols int) []*vector.Batch {
+	var out []*vector.Batch
+	for len(rows) > 0 {
+		n := vector.DefaultSize
+		if n > len(rows) {
+			n = len(rows)
+		}
+		out = append(out, vector.FromRows(rows[:n], ncols))
+		rows = rows[n:]
+	}
+	return out
+}
+
+// RowToBatch adapts a row operator to the batch interface by buffering
+// DefaultSize rows per batch — the bridge for plan shapes with no
+// native batch implementation (GSI routes, point lookups).
+type RowToBatch struct {
+	Op Operator
+}
+
+// Columns implements BatchOperator.
+func (a *RowToBatch) Columns() []string { return a.Op.Columns() }
+
+// Open implements BatchOperator.
+func (a *RowToBatch) Open() error { return a.Op.Open() }
+
+// NextBatch implements BatchOperator.
+func (a *RowToBatch) NextBatch() (*vector.Batch, error) {
+	b := vector.NewBatch(len(a.Op.Columns()))
+	for b.NumRows() < vector.DefaultSize {
+		row, err := a.Op.Next()
+		if errors.Is(err, ErrEOF) {
+			break
+		}
+		if err != nil {
+			b.Release()
+			return nil, err
+		}
+		b.AppendRow(row)
+	}
+	if b.NumRows() == 0 {
+		b.Release()
+		return nil, ErrEOF
+	}
+	return b, nil
+}
+
+// Close implements BatchOperator.
+func (a *RowToBatch) Close() error { return a.Op.Close() }
+
+// BatchToRow adapts a batch operator to the row interface (final
+// merges that still run row-at-a-time, mixed-mode plans).
+type BatchToRow struct {
+	Op  BatchOperator
+	cur *vector.Batch
+	pos int
+}
+
+// Columns implements Operator.
+func (a *BatchToRow) Columns() []string { return a.Op.Columns() }
+
+// Open implements Operator.
+func (a *BatchToRow) Open() error {
+	a.cur, a.pos = nil, 0
+	return a.Op.Open()
+}
+
+// Next implements Operator.
+func (a *BatchToRow) Next() (types.Row, error) {
+	for {
+		if a.cur != nil && a.pos < a.cur.NumRows() {
+			row := a.cur.Row(a.pos)
+			a.pos++
+			return row, nil
+		}
+		if a.cur != nil {
+			a.cur.Release()
+			a.cur = nil
+		}
+		b, err := a.Op.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		a.cur, a.pos = b, 0
+	}
+}
+
+// Close implements Operator.
+func (a *BatchToRow) Close() error {
+	if a.cur != nil {
+		a.cur.Release()
+		a.cur = nil
+	}
+	return a.Op.Close()
+}
+
+// CollectBatch drains a batch operator into rows (the coordinator's
+// final gather in batch mode).
+func CollectBatch(op BatchOperator) ([]types.Row, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []types.Row
+	for {
+		b, err := op.NextBatch()
+		if errors.Is(err, ErrEOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = b.AppendRows(out)
+		b.Release()
+	}
+}

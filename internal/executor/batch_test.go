@@ -1,0 +1,391 @@
+package executor
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/htap"
+	"repro/internal/sql"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// mixedRows builds a deterministic dataset mixing ints, floats, strings
+// and NULLs — the shapes the typed filter/agg kernels special-case.
+func mixedRows(n int) []types.Row {
+	rows := make([]types.Row, n)
+	for i := range rows {
+		r := types.Row{
+			types.Int(int64(i % 7)),
+			types.Float(float64(i%50) * 1.5),
+			types.Str(fmt.Sprintf("s%d", i%5)),
+			types.Int(int64(i)),
+		}
+		if i%11 == 0 {
+			r[0] = types.Null()
+		}
+		if i%13 == 0 {
+			r[1] = types.Null()
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+var mixedCols = []string{"c0", "c1", "c2", "c3"}
+
+// assertSameRows requires positionally identical output (the row and
+// batch operators are engineered to produce identical orders).
+func assertSameRows(t *testing.T, label string, got, want []types.Row) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s row %d: width %d vs %d", label, i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			a, b := got[i][j], want[i][j]
+			if a.IsNull() != b.IsNull() || (!a.IsNull() && a.Compare(b) != 0) {
+				t.Fatalf("%s row %d col %d: %v vs %v", label, i, j, a, b)
+			}
+		}
+	}
+}
+
+// runBoth executes the same plan shape in row and batch mode over rows.
+func runBoth(t *testing.T, label string, rows []types.Row, cols []string,
+	rowOp func(Operator) Operator, batchOp func(BatchOperator) BatchOperator) {
+	t.Helper()
+	want, err := Collect(rowOp(NewRowsSource(cols, rows)))
+	if err != nil {
+		t.Fatalf("%s row mode: %v", label, err)
+	}
+	got, err := CollectBatch(batchOp(NewBatchRowsSource(cols, rows)))
+	if err != nil {
+		t.Fatalf("%s batch mode: %v", label, err)
+	}
+	assertSameRows(t, label, got, want)
+}
+
+func TestBatchFilterEquivalence(t *testing.T) {
+	rows := mixedRows(3000)
+	preds := map[string]sql.Expr{
+		"int-eq":       bin("=", col(0), lit(types.Int(3))),
+		"int-ne":       bin("<>", col(0), lit(types.Int(3))),
+		"int-lt-float": bin("<", col(0), lit(types.Float(3.5))),
+		"float-ge":     bin(">=", col(1), lit(types.Float(30))),
+		"float-le-int": bin("<=", col(1), lit(types.Int(40))),
+		"str-eq":       bin("=", col(2), lit(types.Str("s3"))),
+		"str-gt":       bin(">", col(2), lit(types.Str("s2"))),
+		"lit-left":     bin(">", lit(types.Int(4)), col(0)),
+		"and-chain": bin("AND", bin(">", col(3), lit(types.Int(10))),
+			bin("<=", col(0), lit(types.Int(5)))),
+		"between":     &sql.Between{E: col(0), Lo: lit(types.Int(2)), Hi: lit(types.Int(5))},
+		"not-between": &sql.Between{E: col(0), Lo: lit(types.Int(2)), Hi: lit(types.Int(5)), Not: true},
+		"between-null-lo": &sql.Between{E: col(0), Lo: lit(types.Null()), Hi: lit(types.Int(5))},
+		"between-null-hi": &sql.Between{E: col(0), Lo: lit(types.Int(2)), Hi: lit(types.Null())},
+		"is-null":         &sql.IsNull{E: col(0)},
+		"is-not-null":     &sql.IsNull{E: col(0), Not: true},
+		"null-literal":    bin("=", col(0), lit(types.Null())),
+		"col-col":         bin("<", col(0), col(3)), // residual path
+		"or-residual": bin("OR", bin("=", col(0), lit(types.Int(1))),
+			bin("=", col(2), lit(types.Str("s4")))),
+	}
+	for name, pred := range preds {
+		runBoth(t, "filter/"+name, rows, mixedCols,
+			func(in Operator) Operator { return &Filter{Input: in, Pred: pred} },
+			func(in BatchOperator) BatchOperator { return &BatchFilter{Input: in, Pred: pred} })
+	}
+}
+
+func TestBatchProjectEquivalence(t *testing.T) {
+	rows := mixedRows(2000)
+	runBoth(t, "project/exprs", rows, mixedCols,
+		func(in Operator) Operator {
+			return &Project{Input: in,
+				Exprs: []sql.Expr{bin("*", col(1), col(3)), bin("+", col(3), lit(types.Int(1))), col(2)},
+				Names: []string{"p", "q", "c2"}}
+		},
+		func(in BatchOperator) BatchOperator {
+			return &BatchProject{Input: in,
+				Exprs: []sql.Expr{bin("*", col(1), col(3)), bin("+", col(3), lit(types.Int(1))), col(2)},
+				Names: []string{"p", "q", "c2"}}
+		})
+	// All-column-ref projections take the zero-copy view path.
+	runBoth(t, "project/colrefs", rows, mixedCols,
+		func(in Operator) Operator {
+			return &Project{Input: in, Exprs: []sql.Expr{col(2), col(0)}, Names: []string{"c2", "c0"}}
+		},
+		func(in BatchOperator) BatchOperator {
+			return &BatchProject{Input: in, Exprs: []sql.Expr{col(2), col(0)}, Names: []string{"c2", "c0"}}
+		})
+}
+
+func TestBatchSortLimitEquivalence(t *testing.T) {
+	rows := mixedRows(2500)
+	keys := []SortKey{{Expr: col(0)}, {Expr: col(1), Desc: true}}
+	runBoth(t, "sort", rows, mixedCols,
+		func(in Operator) Operator { return &Sort{Input: in, Keys: keys} },
+		func(in BatchOperator) BatchOperator { return &BatchSort{Input: in, Keys: keys} })
+	for _, n := range []int{0, 1, 1000, 1024, 1500, 5000} {
+		runBoth(t, fmt.Sprintf("limit-%d", n), rows, mixedCols,
+			func(in Operator) Operator { return &Limit{Input: in, N: n} },
+			func(in BatchOperator) BatchOperator { return &BatchLimit{Input: in, N: n} })
+	}
+}
+
+func TestBatchHashJoinEquivalence(t *testing.T) {
+	left := mixedRows(1700) // NULL keys at i%11
+	var right []types.Row
+	for i := 0; i < 40; i++ {
+		k := types.Int(int64(i % 9)) // keys 7,8 never match left's c0
+		if i%10 == 0 {
+			k = types.Null()
+		}
+		right = append(right, types.Row{k, types.Str(fmt.Sprintf("r%d", i))})
+	}
+	rcols := []string{"k", "v"}
+	cases := []struct {
+		name     string
+		outer    bool
+		residual sql.Expr
+	}{
+		{"inner", false, nil},
+		{"outer", true, nil},
+		{"inner-residual", false, bin(">", col(3), col(5))}, // l.c3 > r pos in joined layout
+		{"outer-residual", true, bin(">", col(3), col(5))},
+	}
+	for _, tc := range cases {
+		want, err := Collect(&HashJoin{
+			Left: NewRowsSource(mixedCols, left), Right: NewRowsSource(rcols, right),
+			LeftKeys: []sql.Expr{col(0)}, RightKeys: []sql.Expr{col(0)},
+			Residual: tc.residual, Outer: tc.outer})
+		if err != nil {
+			t.Fatalf("join/%s row mode: %v", tc.name, err)
+		}
+		got, err := CollectBatch(&BatchHashJoin{
+			Left: NewBatchRowsSource(mixedCols, left), Right: NewBatchRowsSource(rcols, right),
+			LeftKeys: []sql.Expr{col(0)}, RightKeys: []sql.Expr{col(0)},
+			Residual: tc.residual, Outer: tc.outer})
+		if err != nil {
+			t.Fatalf("join/%s batch mode: %v", tc.name, err)
+		}
+		assertSameRows(t, "join/"+tc.name, got, want)
+	}
+	// Expression keys (non-colref) exercise the scratch-eval probe path.
+	want, err := Collect(&HashJoin{
+		Left: NewRowsSource(mixedCols, left), Right: NewRowsSource(rcols, right),
+		LeftKeys:  []sql.Expr{bin("+", col(0), lit(types.Int(1)))},
+		RightKeys: []sql.Expr{bin("+", col(0), lit(types.Int(1)))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CollectBatch(&BatchHashJoin{
+		Left: NewBatchRowsSource(mixedCols, left), Right: NewBatchRowsSource(rcols, right),
+		LeftKeys:  []sql.Expr{bin("+", col(0), lit(types.Int(1)))},
+		RightKeys: []sql.Expr{bin("+", col(0), lit(types.Int(1)))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, "join/expr-keys", got, want)
+}
+
+func TestBatchHashAggEquivalence(t *testing.T) {
+	rows := mixedRows(3100)
+	aggs := []AggSpec{
+		{Func: "COUNT", Star: true},
+		{Func: "COUNT", Arg: col(1)},
+		{Func: "SUM", Arg: col(1)},
+		{Func: "SUM", Arg: col(3)},
+		{Func: "AVG", Arg: col(1)},
+		{Func: "MIN", Arg: col(3)},
+		{Func: "MAX", Arg: col(1)},
+		{Func: "MIN", Arg: col(2)},
+		{Func: "SUM", Arg: bin("*", col(1), col(3))}, // complex arg
+	}
+	names := []string{"cnt", "cnt1", "s1", "s3", "a1", "mn", "mx", "mns", "sexpr"}
+	// Grouped (NULL group key included) and global (fused kernels).
+	for _, group := range [][]sql.Expr{{col(0), col(2)}, nil} {
+		label := "agg/grouped"
+		gnames := append([]string{"g0", "g1"}, names...)
+		if group == nil {
+			label = "agg/global"
+			gnames = names
+		}
+		runBoth(t, label, rows, mixedCols,
+			func(in Operator) Operator {
+				return &HashAgg{Input: in, GroupBy: group, Aggs: aggs, Mode: AggComplete, Names: gnames}
+			},
+			func(in BatchOperator) BatchOperator {
+				return &BatchHashAgg{Input: in, GroupBy: group, Aggs: aggs, Mode: AggComplete, Names: gnames}
+			})
+	}
+	// Empty input: the global group must still emit one row.
+	runBoth(t, "agg/empty-global", nil, mixedCols,
+		func(in Operator) Operator {
+			return &HashAgg{Input: in, Aggs: aggs, Mode: AggComplete, Names: names}
+		},
+		func(in BatchOperator) BatchOperator {
+			return &BatchHashAgg{Input: in, Aggs: aggs, Mode: AggComplete, Names: names}
+		})
+}
+
+// TestBatchTwoPhaseAggEquivalence chains partial fragments into a final
+// merge in both modes — the MPP shape.
+func TestBatchTwoPhaseAggEquivalence(t *testing.T) {
+	rows := mixedRows(2600)
+	shards := [][]types.Row{rows[:900], rows[900:1800], rows[1800:]}
+	group := []sql.Expr{col(0)}
+	aggs := []AggSpec{{Func: "COUNT", Star: true}, {Func: "SUM", Arg: col(1)}, {Func: "AVG", Arg: col(3)}}
+	finalGroup := []sql.Expr{&sql.ColumnRef{Column: "g0", Index: 0}}
+	names := []string{"g0", "cnt", "s", "a"}
+
+	var rowPartials []Operator
+	for _, sh := range shards {
+		rowPartials = append(rowPartials, &HashAgg{
+			Input: NewRowsSource(mixedCols, sh), GroupBy: group, Aggs: aggs, Mode: AggPartial})
+	}
+	want, err := Collect(&HashAgg{
+		Input:   &Gather{Cols: nil, Inputs: rowPartials},
+		GroupBy: finalGroup, Aggs: aggs, Mode: AggFinal, Names: names})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batchPartials []BatchOperator
+	for _, sh := range shards {
+		batchPartials = append(batchPartials, &BatchHashAgg{
+			Input: NewBatchRowsSource(mixedCols, sh), GroupBy: group, Aggs: aggs, Mode: AggPartial})
+	}
+	got, err := CollectBatch(&BatchHashAgg{
+		Input:   &BatchGather{Inputs: batchPartials},
+		GroupBy: finalGroup, Aggs: aggs, Mode: AggFinal, Names: names})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, "two-phase", got, want)
+}
+
+// TestRunBatchFragmentsEquivalence pushes fragments through scheduled
+// exchange queues (tiny high-water mark to force backpressure parking)
+// and checks the gathered stream matches row-mode fragments.
+func TestRunBatchFragmentsEquivalence(t *testing.T) {
+	sched := htap.NewScheduler(htap.Config{})
+	defer sched.Stop()
+	rows := mixedRows(2200)
+	shards := [][]types.Row{rows[:800], rows[800:1600], rows[1600:]}
+
+	var rowAssign []FragmentAssignment
+	for _, sh := range shards {
+		rowAssign = append(rowAssign, FragmentAssignment{Op: NewRowsSource(mixedCols, sh), Sched: sched})
+	}
+	rg := RunFragments(htap.GroupAP, rowAssign)
+	rg.Cols = mixedCols
+	want, err := Collect(rg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batchAssign []BatchFragmentAssignment
+	for _, sh := range shards {
+		batchAssign = append(batchAssign, BatchFragmentAssignment{Op: NewBatchRowsSource(mixedCols, sh), Sched: sched})
+	}
+	got, err := CollectBatch(RunBatchFragments(htap.GroupAP, batchAssign, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, "fragments", got, want)
+}
+
+func TestBatchQueueBackpressure(t *testing.T) {
+	q := NewBatchQueue(2)
+	mk := func() *vector.Batch { return vector.FromRows(mixedRows(4), 4) }
+	for i := 0; i < 2; i++ {
+		if ok, _ := q.TryPush(mk()); !ok {
+			t.Fatalf("push %d blocked below high water", i)
+		}
+	}
+	ok, wait := q.TryPush(mk())
+	if ok || wait == nil {
+		t.Fatal("third push should block with a wake channel")
+	}
+	select {
+	case <-wait:
+		t.Fatal("wake fired while queue still full")
+	default:
+	}
+	if _, err := q.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-wait:
+	case <-time.After(time.Second):
+		t.Fatal("pop did not wake blocked producer")
+	}
+	if ok, _ := q.TryPush(mk()); !ok {
+		t.Fatal("push after drain should succeed")
+	}
+	q.CloseWith(nil)
+	// Closed queue: pushes drop, buffered batches stay poppable.
+	if ok, _ := q.TryPush(mk()); !ok {
+		t.Fatal("push to closed queue should report done")
+	}
+	if b, err := q.Pop(); err != nil || b.NumRows() != 4 {
+		t.Fatalf("buffered batch lost: %v %v", b, err)
+	}
+	if _, err := q.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Pop(); !errors.Is(err, ErrEOF) {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestRowQueueBackpressure(t *testing.T) {
+	q := NewRowQueueBounded(2)
+	row := types.Row{types.Int(1)}
+	for i := 0; i < 2; i++ {
+		if ok, _ := q.TryPush(row); !ok {
+			t.Fatalf("push %d blocked below high water", i)
+		}
+	}
+	ok, wait := q.TryPush(row)
+	if ok || wait == nil {
+		t.Fatal("third push should block with a wake channel")
+	}
+	if _, err := q.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-wait:
+	case <-time.After(time.Second):
+		t.Fatal("pop did not wake blocked producer")
+	}
+	done := make(chan struct{})
+	go func() { q.Push(row); q.Push(row); close(done) }() // second blocks until drained
+	time.Sleep(10 * time.Millisecond)
+	if _, err := q.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("blocking Push never completed")
+	}
+	q.CloseWith(nil)
+}
+
+// TestBatchToRowRoundTrip sanity-checks the bridging adapters.
+func TestBatchToRowRoundTrip(t *testing.T) {
+	rows := mixedRows(1300)
+	got, err := Collect(&BatchToRow{Op: &RowToBatch{Op: NewRowsSource(mixedCols, rows)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, "roundtrip", got, rows)
+}

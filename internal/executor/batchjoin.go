@@ -1,0 +1,274 @@
+package executor
+
+import (
+	"errors"
+
+	"repro/internal/sql"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// BatchHashJoin is the batch-mode equi-join. Semantics match HashJoin
+// exactly (right side builds, left side probes in order, matches emit
+// in build insertion order, NULL keys never match, LEFT OUTER emits
+// null-extended rows, residual filters the joined layout) — the batch
+// win is amortized probing: keys encode into a reused buffer straight
+// from column vectors and output rows append into pooled vectors.
+type BatchHashJoin struct {
+	Left, Right BatchOperator
+	// LeftKeys/RightKeys are bound against the respective child layouts.
+	LeftKeys, RightKeys []sql.Expr
+	Residual            sql.Expr
+	Outer               bool
+
+	cols  []string
+	built bool
+	table map[string][]types.Row
+
+	keyVals  []types.Value
+	keyBuf   []byte
+	scratchL types.Row // left child layout
+	scratchJ types.Row // joined layout (left ++ right)
+	lrefs    []int     // LeftKeys column indexes, or nil if any key is complex
+
+	// Per-output-row emission plan, rebuilt per probe batch: leftPos[k]
+	// is the physical left-row position, rightRows[k] the matched build
+	// row (nil = outer-join null extension). Left columns then emit via
+	// typed gathers instead of boxing every value through a scratch row.
+	leftPos   []int
+	rightRows []types.Row
+}
+
+// Columns implements BatchOperator.
+func (j *BatchHashJoin) Columns() []string {
+	if j.cols == nil {
+		j.cols = append(append([]string{}, j.Left.Columns()...), j.Right.Columns()...)
+	}
+	return j.cols
+}
+
+// Open implements BatchOperator.
+func (j *BatchHashJoin) Open() error {
+	j.built, j.table = false, nil
+	lw, rw := len(j.Left.Columns()), len(j.Right.Columns())
+	j.scratchL = make(types.Row, lw)
+	j.scratchJ = make(types.Row, lw+rw)
+	j.keyVals = make([]types.Value, len(j.LeftKeys))
+	j.lrefs = columnRefIndexes(j.LeftKeys)
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	return j.Right.Open()
+}
+
+// columnRefIndexes returns the bound column index per expression, or
+// nil if any expression is not a plain column reference.
+func columnRefIndexes(exprs []sql.Expr) []int {
+	out := make([]int, len(exprs))
+	for i, e := range exprs {
+		c, ok := e.(*sql.ColumnRef)
+		if !ok || c.Index < 0 {
+			return nil
+		}
+		out[i] = c.Index
+	}
+	return out
+}
+
+// build hashes the right input, materializing rows only for non-NULL
+// keys (NULL join keys never match, so their rows are dead weight).
+func (j *BatchHashJoin) build() error {
+	j.table = make(map[string][]types.Row)
+	rrefs := columnRefIndexes(j.RightKeys)
+	scratch := make(types.Row, len(j.Right.Columns()))
+	for {
+		b, err := j.Right.NextBatch()
+		if errors.Is(err, ErrEOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		n := b.NumRows()
+		for i := 0; i < n; i++ {
+			ok := true
+			if rrefs != nil {
+				p := b.RowIdx(i)
+				for k, c := range rrefs {
+					v := b.Vecs[c].Value(p)
+					if v.IsNull() {
+						ok = false
+						break
+					}
+					j.keyVals[k] = v
+				}
+			} else {
+				b.RowInto(scratch, i)
+				for k, e := range j.RightKeys {
+					v, err := sql.Eval(e, scratch)
+					if err != nil {
+						b.Release()
+						return err
+					}
+					if v.IsNull() {
+						ok = false
+						break
+					}
+					j.keyVals[k] = v
+				}
+			}
+			if !ok {
+				continue
+			}
+			j.keyBuf = types.EncodeKey(j.keyBuf[:0], j.keyVals...)
+			key := string(j.keyBuf)
+			j.table[key] = append(j.table[key], b.Row(i))
+		}
+		b.Release()
+	}
+	j.built = true
+	return nil
+}
+
+// NextBatch implements BatchOperator. Each input batch probes into one
+// output batch (sized by the match cardinality), preserving row-mode
+// emission order.
+func (j *BatchHashJoin) NextBatch() (*vector.Batch, error) {
+	if !j.built {
+		if err := j.build(); err != nil {
+			return nil, err
+		}
+	}
+	lw := len(j.Left.Columns())
+	rw := len(j.Right.Columns())
+	// scratchL is only consulted for complex key expressions and
+	// residual evaluation; the common equi-join path probes straight
+	// from the vectors and never boxes the left row.
+	needScratch := j.lrefs == nil || j.Residual != nil
+	for {
+		b, err := j.Left.NextBatch()
+		if err != nil {
+			return nil, err // includes ErrEOF
+		}
+		j.leftPos = j.leftPos[:0]
+		j.rightRows = j.rightRows[:0]
+		n := b.NumRows()
+		for i := 0; i < n; i++ {
+			if needScratch {
+				b.RowInto(j.scratchL, i)
+			}
+			matches, ok, err := j.probe(b, i)
+			if err != nil {
+				b.Release()
+				return nil, err
+			}
+			p := b.RowIdx(i)
+			if !ok || len(matches) == 0 {
+				if j.Outer {
+					j.leftPos = append(j.leftPos, p)
+					j.rightRows = append(j.rightRows, nil)
+				}
+				continue
+			}
+			if j.Outer && j.Residual != nil {
+				// Residual-filtered LEFT OUTER: null-extend when no match
+				// survives the residual (same as the row path).
+				emitted := false
+				for _, m := range matches {
+					pass, err := j.residualPass(m)
+					if err != nil {
+						b.Release()
+						return nil, err
+					}
+					if pass {
+						j.leftPos = append(j.leftPos, p)
+						j.rightRows = append(j.rightRows, m)
+						emitted = true
+					}
+				}
+				if !emitted {
+					j.leftPos = append(j.leftPos, p)
+					j.rightRows = append(j.rightRows, nil)
+				}
+				continue
+			}
+			for _, m := range matches {
+				if j.Residual != nil {
+					pass, err := j.residualPass(m)
+					if err != nil {
+						b.Release()
+						return nil, err
+					}
+					if !pass {
+						continue
+					}
+				}
+				j.leftPos = append(j.leftPos, p)
+				j.rightRows = append(j.rightRows, m)
+			}
+		}
+		if len(j.leftPos) == 0 {
+			b.Release()
+			continue
+		}
+		out := vector.NewBatch(lw + rw)
+		for c := 0; c < lw; c++ {
+			out.Vecs[c].AppendGather(b.Vecs[c], j.leftPos)
+		}
+		for c := 0; c < rw; c++ {
+			out.Vecs[lw+c].AppendRowsColumn(j.rightRows, c)
+		}
+		b.Release()
+		return out, nil
+	}
+}
+
+// probe computes the probe key for logical row i (already materialized
+// into scratchL) and returns its build-side matches.
+func (j *BatchHashJoin) probe(b *vector.Batch, i int) ([]types.Row, bool, error) {
+	if j.lrefs != nil {
+		p := b.RowIdx(i)
+		for k, c := range j.lrefs {
+			v := b.Vecs[c].Value(p)
+			if v.IsNull() {
+				return nil, false, nil
+			}
+			j.keyVals[k] = v
+		}
+	} else {
+		for k, e := range j.LeftKeys {
+			v, err := sql.Eval(e, j.scratchL)
+			if err != nil {
+				return nil, false, err
+			}
+			if v.IsNull() {
+				return nil, false, nil
+			}
+			j.keyVals[k] = v
+		}
+	}
+	j.keyBuf = types.EncodeKey(j.keyBuf[:0], j.keyVals...)
+	return j.table[string(j.keyBuf)], true, nil
+}
+
+// residualPass evaluates the residual on scratchL ++ match.
+func (j *BatchHashJoin) residualPass(match types.Row) (bool, error) {
+	copy(j.scratchJ, j.scratchL)
+	copy(j.scratchJ[len(j.scratchL):], match)
+	v, err := sql.Eval(j.Residual, j.scratchJ)
+	if err != nil {
+		return false, err
+	}
+	return v.IsTruthy(), nil
+}
+
+// Close implements BatchOperator.
+func (j *BatchHashJoin) Close() error {
+	j.table = nil
+	errL := j.Left.Close()
+	errR := j.Right.Close()
+	if errL != nil {
+		return errL
+	}
+	return errR
+}

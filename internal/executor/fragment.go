@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/htap"
+	"repro/internal/types"
 )
 
 // FragmentJob pumps one plan fragment's operator tree into an exchange
@@ -19,7 +20,9 @@ type FragmentJob struct {
 	// deadline (default 64).
 	BatchRows int
 
-	opened bool
+	opened  bool
+	pending types.Row // row awaiting queue space (backpressure)
+	blocked bool
 }
 
 // Run implements htap.Job.
@@ -38,6 +41,15 @@ func (f *FragmentJob) Run(slice time.Duration) (htap.JobState, <-chan struct{}, 
 	deadline := time.Now().Add(slice)
 	for {
 		for i := 0; i < batch; i++ {
+			if f.blocked {
+				// Retry the row that hit the queue's high-water mark.
+				ok, wait := f.Out.TryPush(f.pending)
+				if !ok {
+					return htap.JobBlocked, wait, nil
+				}
+				f.pending, f.blocked = nil, false
+				continue
+			}
 			row, err := f.Op.Next()
 			if errors.Is(err, ErrEOF) {
 				f.Out.CloseWith(nil)
@@ -49,7 +61,10 @@ func (f *FragmentJob) Run(slice time.Duration) (htap.JobState, <-chan struct{}, 
 				_ = f.Op.Close()
 				return htap.JobDone, nil, err
 			}
-			f.Out.Push(row)
+			if ok, wait := f.Out.TryPush(row); !ok {
+				f.pending, f.blocked = row, true
+				return htap.JobBlocked, wait, nil
+			}
 		}
 		if time.Now().After(deadline) {
 			return htap.JobYielded, nil, nil

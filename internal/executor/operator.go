@@ -1,9 +1,11 @@
 // Package executor implements PolarDB-X's query execution operators and
 // the MPP fragment machinery (paper §VI-C): volcano-style operators
 // (scan sources, filter, project, hash join, nested-loop join, hash
-// aggregation with partial/final split, sort, limit), unbounded exchange
-// queues between fragments, and cooperative fragment jobs that run on
-// the htap time-sliced scheduler.
+// aggregation with partial/final split, sort, limit), bounded exchange
+// queues with producer backpressure between fragments, and cooperative
+// fragment jobs that run on the htap time-sliced scheduler. Every
+// operator also has a batch-mode counterpart (BatchOperator) that moves
+// column-major vector.Batch values instead of rows.
 package executor
 
 import (
@@ -100,33 +102,78 @@ func (s *CallbackSource) Next() (types.Row, error) {
 // Close implements Operator.
 func (s *CallbackSource) Close() error { return nil }
 
-// RowQueue is the exchange buffer between fragments: an unbounded
-// mutex-guarded queue. Producers never block (they yield via the
-// scheduler instead); consumers block until rows or close.
+// DefaultRowQueueHighWater bounds row-mode exchange queues: the row
+// equivalent of DefaultQueueHighWater batches of DefaultSize rows.
+const DefaultRowQueueHighWater = 8 * 1024
+
+// RowQueue is the row-mode exchange buffer between fragments: a bounded
+// mutex-guarded queue. Producers hitting the high-water mark block (or
+// park with JobBlocked via TryPush); consumers block until rows or
+// close.
 type RowQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	rows   []types.Row
 	closed bool
 	err    error
+	high   int
+	space  chan struct{} // closed when space frees or the queue closes
 }
 
-// NewRowQueue creates an empty queue.
-func NewRowQueue() *RowQueue {
-	q := &RowQueue{}
+// NewRowQueue creates an empty queue bounded at the default high-water
+// mark.
+func NewRowQueue() *RowQueue { return NewRowQueueBounded(DefaultRowQueueHighWater) }
+
+// NewRowQueueBounded creates an empty queue holding at most high rows
+// (<=0 uses the default).
+func NewRowQueueBounded(high int) *RowQueue {
+	if high <= 0 {
+		high = DefaultRowQueueHighWater
+	}
+	q := &RowQueue{high: high}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
 
-// Push appends a row. Pushing to a closed queue is a no-op (the consumer
-// aborted).
-func (q *RowQueue) Push(r types.Row) {
+// TryPush appends a row unless the queue is at its high-water mark, in
+// which case it returns ok=false plus a channel that fires when space
+// frees — scheduler-driven producers park on it with JobBlocked instead
+// of holding a worker. Pushing to a closed queue drops the row (the
+// consumer aborted) and reports ok.
+func (q *RowQueue) TryPush(r types.Row) (ok bool, wait <-chan struct{}) {
 	q.mu.Lock()
-	if !q.closed {
-		q.rows = append(q.rows, r)
-		q.cond.Signal()
+	defer q.mu.Unlock()
+	if q.closed {
+		return true, nil
 	}
-	q.mu.Unlock()
+	if len(q.rows) >= q.high {
+		if q.space == nil {
+			q.space = make(chan struct{})
+		}
+		return false, q.space
+	}
+	q.rows = append(q.rows, r)
+	q.cond.Signal()
+	return true, nil
+}
+
+// Push appends a row, blocking while the queue is full.
+func (q *RowQueue) Push(r types.Row) {
+	for {
+		ok, wait := q.TryPush(r)
+		if ok {
+			return
+		}
+		<-wait
+	}
+}
+
+// notifySpace wakes blocked producers; callers hold mu.
+func (q *RowQueue) notifySpace() {
+	if q.space != nil {
+		close(q.space)
+		q.space = nil
+	}
 }
 
 // CloseWith marks the stream complete (err nil) or failed.
@@ -136,6 +183,7 @@ func (q *RowQueue) CloseWith(err error) {
 		q.closed = true
 		q.err = err
 		q.cond.Broadcast()
+		q.notifySpace()
 	}
 	q.mu.Unlock()
 }
@@ -151,6 +199,9 @@ func (q *RowQueue) Pop() (types.Row, error) {
 	if len(q.rows) > 0 {
 		r := q.rows[0]
 		q.rows = q.rows[1:]
+		if len(q.rows) < q.high {
+			q.notifySpace()
+		}
 		return r, nil
 	}
 	if q.err != nil {

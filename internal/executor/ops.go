@@ -140,32 +140,8 @@ func (s *Sort) Next() (types.Row, error) {
 			}
 			s.rows = append(s.rows, row)
 		}
-		var evalErr error
-		sort.SliceStable(s.rows, func(i, j int) bool {
-			for _, k := range s.Keys {
-				a, err := sql.Eval(k.Expr, s.rows[i])
-				if err != nil {
-					evalErr = err
-					return false
-				}
-				b, err := sql.Eval(k.Expr, s.rows[j])
-				if err != nil {
-					evalErr = err
-					return false
-				}
-				c := a.Compare(b)
-				if c == 0 {
-					continue
-				}
-				if k.Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-			return false
-		})
-		if evalErr != nil {
-			return nil, evalErr
+		if err := sortRows(s.rows, s.Keys); err != nil {
+			return nil, err
 		}
 		s.done = true
 	}
@@ -181,4 +157,34 @@ func (s *Sort) Next() (types.Row, error) {
 func (s *Sort) Close() error {
 	s.rows = nil
 	return s.Input.Close()
+}
+
+// sortRows stably orders rows by the given keys. Shared by the row and
+// batch sort operators so both modes produce byte-identical orderings.
+func sortRows(rows []types.Row, keys []SortKey) error {
+	var evalErr error
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			a, err := sql.Eval(k.Expr, rows[i])
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			b, err := sql.Eval(k.Expr, rows[j])
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			c := a.Compare(b)
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return evalErr
 }

@@ -1,0 +1,548 @@
+package executor
+
+import (
+	"errors"
+
+	"repro/internal/sql"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// simpleBPred is one compiled col-op-literal conjunct evaluated with a
+// typed kernel over a column vector. The comparison ops carry exactly
+// the row-mode semantics: NULL operands never match, values compare via
+// types.Value.Compare.
+type simpleBPred struct {
+	col int
+	op  string // "=", "<>", "<", "<=", ">", ">=", "isnull", "notnull"
+	val types.Value
+}
+
+// compileBatchPred decomposes an AND tree into typed-kernel conjuncts
+// plus a residual expression for whatever doesn't fit. constFalse marks
+// predicates that can never be truthy (a comparison against a NULL
+// literal NULLs the conjunct, which falsifies the AND).
+func compileBatchPred(e sql.Expr) (preds []simpleBPred, residual sql.Expr, constFalse bool) {
+	var walk func(sql.Expr)
+	walk = func(n sql.Expr) {
+		if constFalse {
+			return
+		}
+		if b, ok := n.(*sql.BinaryOp); ok && b.Op == "AND" {
+			walk(b.L)
+			walk(b.R)
+			return
+		}
+		if p, ok, cf := compileBatchLeaf(n); cf {
+			constFalse = true
+			return
+		} else if ok {
+			preds = append(preds, p...)
+			return
+		}
+		if residual == nil {
+			residual = n
+		} else {
+			residual = &sql.BinaryOp{Op: "AND", L: residual, R: n}
+		}
+	}
+	walk(e)
+	return preds, residual, constFalse
+}
+
+// compileBatchLeaf compiles one conjunct; ok=false sends it to the
+// residual, constFalse short-circuits the whole filter.
+func compileBatchLeaf(n sql.Expr) (preds []simpleBPred, ok, constFalse bool) {
+	switch e := n.(type) {
+	case *sql.BinaryOp:
+		switch e.Op {
+		case "=", "<>", "<", "<=", ">", ">=":
+		default:
+			return nil, false, false
+		}
+		col, lit := e.L, e.R
+		op := e.Op
+		if _, isLit := col.(*sql.Literal); isLit {
+			col, lit = lit, col
+			op = flipCmp(op)
+		}
+		c, okc := col.(*sql.ColumnRef)
+		l, okl := lit.(*sql.Literal)
+		if !okc || !okl || c.Index < 0 {
+			return nil, false, false
+		}
+		if l.Val.IsNull() {
+			// col <op> NULL is NULL, which falsifies the conjunction.
+			return nil, true, true
+		}
+		return []simpleBPred{{col: c.Index, op: op, val: l.Val}}, true, false
+	case *sql.Between:
+		if e.Not {
+			return nil, false, false
+		}
+		c, okc := e.E.(*sql.ColumnRef)
+		lo, okl := e.Lo.(*sql.Literal)
+		hi, okh := e.Hi.(*sql.Literal)
+		if !okc || !okl || !okh || c.Index < 0 {
+			return nil, false, false
+		}
+		// Between compares via Compare (NULL sorts first): a NULL lo bound
+		// is trivially satisfied, a NULL hi bound never is.
+		if hi.Val.IsNull() {
+			return nil, true, true
+		}
+		if lo.Val.IsNull() {
+			return []simpleBPred{{col: c.Index, op: "<=", val: hi.Val}}, true, false
+		}
+		return []simpleBPred{
+			{col: c.Index, op: ">=", val: lo.Val},
+			{col: c.Index, op: "<=", val: hi.Val},
+		}, true, false
+	case *sql.IsNull:
+		c, okc := e.E.(*sql.ColumnRef)
+		if !okc || c.Index < 0 {
+			return nil, false, false
+		}
+		op := "isnull"
+		if e.Not {
+			op = "notnull"
+		}
+		return []simpleBPred{{col: c.Index, op: op}}, true, false
+	}
+	return nil, false, false
+}
+
+func flipCmp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op // = and <> are symmetric
+}
+
+// apply refines sel against one column, appending survivors to out.
+// Typed fast paths cover the common vector/literal pairings; everything
+// else boxes per position with Value.Compare, which keeps row-mode
+// semantics for cross-class comparisons.
+func (p simpleBPred) apply(vec *vector.Vector, sel, out []int) []int {
+	switch p.op {
+	case "isnull":
+		for _, i := range sel {
+			if vec.IsNull(i) {
+				out = append(out, i)
+			}
+		}
+		return out
+	case "notnull":
+		for _, i := range sel {
+			if !vec.IsNull(i) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	nulls := vec.Nulls
+	switch {
+	case vec.Kind == types.KindInt && p.val.K == types.KindInt:
+		return applyIntCmp(vec.Ints, nulls, p.val.I, p.op, sel, out)
+	case (vec.Kind == types.KindInt || vec.Kind == types.KindFloat) &&
+		(p.val.K == types.KindInt || p.val.K == types.KindFloat):
+		c := p.val.AsFloat()
+		if vec.Kind == types.KindFloat {
+			return applyFloatCmp(vec.Floats, nil, nulls, c, p.op, sel, out)
+		}
+		return applyFloatCmp(nil, vec.Ints, nulls, c, p.op, sel, out)
+	case vec.Kind == types.KindString && p.val.K == types.KindString:
+		return applyStrCmp(vec.Strs, nulls, p.val.S, p.op, sel, out)
+	}
+	for _, i := range sel {
+		v := vec.Value(i)
+		if v.IsNull() {
+			continue
+		}
+		if cmpMatches(v.Compare(p.val), p.op) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func cmpMatches(c int, op string) bool {
+	switch op {
+	case "=":
+		return c == 0
+	case "<>":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	default:
+		return c >= 0
+	}
+}
+
+// applyIntCmp is the int64 comparison kernel: one branch per row, no
+// boxing, per-op loops so the comparison is a single machine op.
+func applyIntCmp(ints []int64, nulls []bool, c int64, op string, sel, out []int) []int {
+	switch op {
+	case "=":
+		for _, i := range sel {
+			if (nulls == nil || !nulls[i]) && ints[i] == c {
+				out = append(out, i)
+			}
+		}
+	case "<>":
+		for _, i := range sel {
+			if (nulls == nil || !nulls[i]) && ints[i] != c {
+				out = append(out, i)
+			}
+		}
+	case "<":
+		for _, i := range sel {
+			if (nulls == nil || !nulls[i]) && ints[i] < c {
+				out = append(out, i)
+			}
+		}
+	case "<=":
+		for _, i := range sel {
+			if (nulls == nil || !nulls[i]) && ints[i] <= c {
+				out = append(out, i)
+			}
+		}
+	case ">":
+		for _, i := range sel {
+			if (nulls == nil || !nulls[i]) && ints[i] > c {
+				out = append(out, i)
+			}
+		}
+	default:
+		for _, i := range sel {
+			if (nulls == nil || !nulls[i]) && ints[i] >= c {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// applyFloatCmp compares a float (or int, promoted) column against a
+// numeric literal — mirroring Value.Compare's float promotion for mixed
+// numeric kinds. Exactly one of floats/ints is non-nil.
+func applyFloatCmp(floats []float64, ints []int64, nulls []bool, c float64, op string, sel, out []int) []int {
+	at := func(i int) float64 {
+		if floats != nil {
+			return floats[i]
+		}
+		return float64(ints[i])
+	}
+	for _, i := range sel {
+		if nulls != nil && nulls[i] {
+			continue
+		}
+		v := at(i)
+		var m bool
+		switch op {
+		case "=":
+			m = v == c
+		case "<>":
+			m = v != c
+		case "<":
+			m = v < c
+		case "<=":
+			m = v <= c
+		case ">":
+			m = v > c
+		default:
+			m = v >= c
+		}
+		if m {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func applyStrCmp(strs []string, nulls []bool, c string, op string, sel, out []int) []int {
+	for _, i := range sel {
+		if nulls != nil && nulls[i] {
+			continue
+		}
+		v := strs[i]
+		var m bool
+		switch op {
+		case "=":
+			m = v == c
+		case "<>":
+			m = v != c
+		case "<":
+			m = v < c
+		case "<=":
+			m = v <= c
+		case ">":
+			m = v > c
+		default:
+			m = v >= c
+		}
+		if m {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// BatchFilter refines the batch's selection vector in place: simple
+// col-op-literal conjuncts run as typed kernels, the residual (OR
+// trees, LIKE, arithmetic, IN) evaluates row-at-a-time on a scratch
+// row. No column data is copied.
+type BatchFilter struct {
+	Input BatchOperator
+	Pred  sql.Expr
+
+	preds      []simpleBPred
+	residual   sql.Expr
+	constFalse bool
+	scratch    types.Row
+}
+
+// Columns implements BatchOperator.
+func (f *BatchFilter) Columns() []string { return f.Input.Columns() }
+
+// Open implements BatchOperator.
+func (f *BatchFilter) Open() error {
+	f.preds, f.residual, f.constFalse = compileBatchPred(f.Pred)
+	f.scratch = make(types.Row, len(f.Input.Columns()))
+	return f.Input.Open()
+}
+
+// NextBatch implements BatchOperator.
+func (f *BatchFilter) NextBatch() (*vector.Batch, error) {
+	for {
+		b, err := f.Input.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if f.constFalse {
+			b.Release()
+			continue
+		}
+		sel := vector.GetSel()
+		if b.Sel != nil {
+			sel = append(sel, b.Sel...)
+		} else {
+			for i, n := 0, b.Cap(); i < n; i++ {
+				sel = append(sel, i)
+			}
+		}
+		tmp := vector.GetSel()
+		for _, p := range f.preds {
+			tmp = p.apply(b.Vecs[p.col], sel, tmp[:0])
+			sel, tmp = tmp, sel
+		}
+		if f.residual != nil && len(sel) > 0 {
+			tmp = tmp[:0]
+			for _, i := range sel {
+				for c, v := range b.Vecs {
+					f.scratch[c] = v.Value(i)
+				}
+				v, err := sql.Eval(f.residual, f.scratch)
+				if err != nil {
+					vector.PutSel(sel)
+					vector.PutSel(tmp)
+					b.Release()
+					return nil, err
+				}
+				if v.IsTruthy() {
+					tmp = append(tmp, i)
+				}
+			}
+			sel, tmp = tmp, sel
+		}
+		vector.PutSel(tmp)
+		if len(sel) == 0 {
+			vector.PutSel(sel)
+			b.Release()
+			continue
+		}
+		if b.Sel != nil && !b.Shared {
+			vector.PutSel(b.Sel)
+		}
+		b.Sel = sel
+		return b, nil
+	}
+}
+
+// Close implements BatchOperator.
+func (f *BatchFilter) Close() error { return f.Input.Close() }
+
+// BatchProject evaluates projection expressions batch-at-a-time. When
+// every expression is a bound column reference the output is a zero-copy
+// view (shared vectors, shared selection); otherwise rows evaluate on a
+// scratch row into a fresh batch.
+type BatchProject struct {
+	Input BatchOperator
+	Exprs []sql.Expr
+	Names []string
+
+	refs    []int // column index per expr, or -1
+	allRefs bool
+	scratch types.Row
+}
+
+// Columns implements BatchOperator.
+func (p *BatchProject) Columns() []string { return p.Names }
+
+// Open implements BatchOperator.
+func (p *BatchProject) Open() error {
+	p.refs = make([]int, len(p.Exprs))
+	p.allRefs = true
+	for i, e := range p.Exprs {
+		p.refs[i] = -1
+		if c, ok := e.(*sql.ColumnRef); ok && c.Index >= 0 {
+			p.refs[i] = c.Index
+		} else {
+			p.allRefs = false
+		}
+	}
+	p.scratch = make(types.Row, len(p.Input.Columns()))
+	return p.Input.Open()
+}
+
+// NextBatch implements BatchOperator.
+func (p *BatchProject) NextBatch() (*vector.Batch, error) {
+	b, err := p.Input.NextBatch()
+	if err != nil {
+		return nil, err
+	}
+	if p.allRefs {
+		out := &vector.Batch{Vecs: make([]*vector.Vector, len(p.refs)), Sel: b.Sel, Shared: true}
+		for i, c := range p.refs {
+			out.Vecs[i] = b.Vecs[c]
+		}
+		return out, nil
+	}
+	out := vector.NewBatch(len(p.Exprs))
+	n := b.NumRows()
+	for i := 0; i < n; i++ {
+		b.RowInto(p.scratch, i)
+		for c, e := range p.Exprs {
+			if idx := p.refs[c]; idx >= 0 {
+				out.Vecs[c].AppendTyped(p.scratch[idx])
+				continue
+			}
+			v, err := sql.Eval(e, p.scratch)
+			if err != nil {
+				out.Release()
+				b.Release()
+				return nil, err
+			}
+			out.Vecs[c].AppendTyped(v)
+		}
+	}
+	b.Release()
+	return out, nil
+}
+
+// Close implements BatchOperator.
+func (p *BatchProject) Close() error { return p.Input.Close() }
+
+// BatchLimit truncates the stream after N selected rows (N < 0 passes
+// everything through).
+type BatchLimit struct {
+	Input BatchOperator
+	N     int
+	seen  int
+}
+
+// Columns implements BatchOperator.
+func (l *BatchLimit) Columns() []string { return l.Input.Columns() }
+
+// Open implements BatchOperator.
+func (l *BatchLimit) Open() error { l.seen = 0; return l.Input.Open() }
+
+// NextBatch implements BatchOperator.
+func (l *BatchLimit) NextBatch() (*vector.Batch, error) {
+	if l.N >= 0 && l.seen >= l.N {
+		return nil, ErrEOF
+	}
+	b, err := l.Input.NextBatch()
+	if err != nil {
+		return nil, err
+	}
+	n := b.NumRows()
+	if l.N >= 0 && l.seen+n > l.N {
+		keep := l.N - l.seen
+		if b.Sel != nil {
+			b.Sel = b.Sel[:keep]
+		} else {
+			sel := vector.GetSel()
+			for i := 0; i < keep; i++ {
+				sel = append(sel, i)
+			}
+			b.Sel = sel
+		}
+		n = keep
+	}
+	l.seen += n
+	return b, nil
+}
+
+// Close implements BatchOperator.
+func (l *BatchLimit) Close() error { return l.Input.Close() }
+
+// BatchSort materializes, orders with the row comparator (identical
+// ordering to Sort by construction) and re-batches.
+type BatchSort struct {
+	Input BatchOperator
+	Keys  []SortKey
+
+	out  *BatchesSource
+	done bool
+}
+
+// Columns implements BatchOperator.
+func (s *BatchSort) Columns() []string { return s.Input.Columns() }
+
+// Open implements BatchOperator.
+func (s *BatchSort) Open() error {
+	s.out, s.done = nil, false
+	return s.Input.Open()
+}
+
+// NextBatch implements BatchOperator.
+func (s *BatchSort) NextBatch() (*vector.Batch, error) {
+	if !s.done {
+		var rows []types.Row
+		for {
+			b, err := s.Input.NextBatch()
+			if errors.Is(err, ErrEOF) {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			rows = b.AppendRows(rows)
+			b.Release()
+		}
+		if err := sortRows(rows, s.Keys); err != nil {
+			return nil, err
+		}
+		s.out = &BatchesSource{Batches: BatchesFromRows(rows, len(s.Input.Columns()))}
+		s.done = true
+	}
+	return s.out.NextBatch()
+}
+
+// Close implements BatchOperator.
+func (s *BatchSort) Close() error {
+	s.out = nil
+	return s.Input.Close()
+}

@@ -283,6 +283,10 @@ type Plan struct {
 	IsAP bool
 	// MPP requests multi-CN fragment execution.
 	MPP bool
+	// Vectorized requests batch-mode (column-major, ~1024-row Batch)
+	// execution: the default for AP plans when the cluster offers the
+	// batch engine. TP plans stay row-at-a-time.
+	Vectorized bool
 }
 
 // Explain renders the plan tree.
@@ -292,7 +296,11 @@ func (p *Plan) Explain() string {
 	if p.IsAP {
 		class = "AP"
 	}
-	fmt.Fprintf(&b, "-- class=%s cost=%.0f mpp=%v\n", class, p.Cost, p.MPP)
+	exec := "row"
+	if p.Vectorized {
+		exec = "batch"
+	}
+	fmt.Fprintf(&b, "-- class=%s cost=%.0f mpp=%v exec=%s\n", class, p.Cost, p.MPP, exec)
 	var rec func(n Node, depth int)
 	rec = func(n Node, depth int) {
 		fmt.Fprintf(&b, "%s%s  (rows≈%d)\n", strings.Repeat("  ", depth), n.Explain(), int(n.EstRows()))

@@ -690,3 +690,14 @@ func (c *Coordinator) ScanROReq(roName string, req dn.ROScanReq) ([]types.Row, e
 	}
 	return reply.(dn.ScanResp).Rows, nil
 }
+
+// ScanROBatch is ScanROReq for batch-mode callers: it returns the full
+// response so a columnar payload (req.WantBatch) reaches the vectorized
+// executor without a pivot through rows.
+func (c *Coordinator) ScanROBatch(roName string, req dn.ROScanReq) (dn.ScanResp, error) {
+	reply, err := c.net.Call(c.self, roName, req)
+	if err != nil {
+		return dn.ScanResp{}, err
+	}
+	return reply.(dn.ScanResp), nil
+}
