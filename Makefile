@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race chaos bench-fig7 bench-fig10
+.PHONY: build vet test test-short test-race chaos bench-fig7 bench-fig10 trace-demo
 
 build:
 	$(GO) build ./...
@@ -24,12 +24,13 @@ test-short:
 	$(GO) test -short ./...
 
 # The concurrency-sensitive paths (batched RPC fan-out, plan cache,
-# 2PC) are exercised under the race detector. The vectorized executor
-# and the column index run first and explicitly: pooled batches moving
-# through bounded MPP exchange queues are the newest shared-memory
-# surface.
-test-race:
-	$(GO) test -race ./internal/executor/ ./internal/colindex/
+# 2PC) are exercised under the race detector. The vectorized executor,
+# the column index, and the tracing/metrics layer run first and
+# explicitly: pooled batches moving through bounded MPP exchange queues
+# and the lock-cheap metrics instruments are the newest shared-memory
+# surfaces.
+test-race: vet
+	$(GO) test -race ./internal/executor/ ./internal/colindex/ ./internal/obs/ ./internal/vector/
 	$(GO) test -race ./...
 
 # Fig. 7 benches plus the CN fast-path point-read benchmark
@@ -45,3 +46,9 @@ bench-fig7:
 bench-fig10:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig10' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkExecBatchVsRow' ./internal/executor/
+
+# End-to-end observability demo: span trees for a fan-out read and a
+# 2PC write, EXPLAIN ANALYZE, the slow-query log, and a metrics
+# snapshot, on a 2-DC cluster with realistic link latencies.
+trace-demo:
+	$(GO) run ./examples/trace

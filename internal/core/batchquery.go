@@ -19,8 +19,20 @@ import (
 // kernel (GSI routes, point lookups, nested-loop joins) bridge through
 // the row operators via RowToBatch.
 
-// buildBatchOperator lowers a plan node to a batch operator tree.
+// buildBatchOperator lowers a plan node to a batch operator tree,
+// wrapping each node with an instrumented shim when the query runs under
+// EXPLAIN ANALYZE (ctx.analyze non-nil), mirroring buildOperator.
 func (cn *CN) buildBatchOperator(node optimizer.Node, ctx *queryCtx) (executor.BatchOperator, error) {
+	op, err := cn.lowerBatchOperator(node, ctx)
+	if err != nil || ctx.analyze == nil {
+		return op, err
+	}
+	return executor.InstrumentBatch(op, ctx.statsFor(node)), nil
+}
+
+// lowerBatchOperator is the uninstrumented lowering behind
+// buildBatchOperator.
+func (cn *CN) lowerBatchOperator(node optimizer.Node, ctx *queryCtx) (executor.BatchOperator, error) {
 	switch n := node.(type) {
 	case *optimizer.ScanNode:
 		return cn.buildBatchScan(n, ctx)
@@ -123,8 +135,13 @@ func (cn *CN) buildBatchTwoPhaseAgg(n *optimizer.AggNode, scan *optimizer.ScanNo
 			return nil, err
 		}
 		var frag executor.BatchOperator = src
+		if st := ctx.statsFor(scan); st != nil {
+			// Mirror buildTwoPhaseAgg: the scan's stats slot is shared by
+			// every shard fragment, summing rows across the fan-out.
+			frag = executor.InstrumentBatch(src, st)
+		}
 		if pushed == nil {
-			frag = &executor.BatchHashAgg{Input: src, GroupBy: n.GroupBy,
+			frag = &executor.BatchHashAgg{Input: frag, GroupBy: n.GroupBy,
 				Aggs: aggSpecs(n.Aggs), Mode: executor.AggPartial}
 		}
 		assignments = append(assignments, executor.BatchFragmentAssignment{
@@ -161,13 +178,21 @@ func (cn *CN) buildBatchPartitionWiseJoin(n *optimizer.JoinNode, ctx *queryCtx) 
 	}
 	var assignments []executor.BatchFragmentAssignment
 	for shard := 0; shard < ls.Table.Shards; shard++ {
-		leftSrc, err := cn.batchShardSource(ls, shard, ctx, nil)
+		var leftSrc, rightSrc executor.BatchOperator
+		var err error
+		leftSrc, err = cn.batchShardSource(ls, shard, ctx, nil)
 		if err != nil {
 			return nil, false, err
 		}
-		rightSrc, err := cn.batchShardSource(rs, shard, ctx, nil)
+		rightSrc, err = cn.batchShardSource(rs, shard, ctx, nil)
 		if err != nil {
 			return nil, false, err
+		}
+		if st := ctx.statsFor(ls); st != nil {
+			leftSrc = executor.InstrumentBatch(leftSrc, st)
+		}
+		if st := ctx.statsFor(rs); st != nil {
+			rightSrc = executor.InstrumentBatch(rightSrc, st)
 		}
 		frag := &executor.BatchHashJoin{Left: leftSrc, Right: rightSrc,
 			LeftKeys: n.LeftKeys, RightKeys: n.RightKeys,

@@ -11,20 +11,24 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/dn"
+	"repro/internal/executor"
 	"repro/internal/gms"
 	"repro/internal/hlc"
 	"repro/internal/htap"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/paxos"
 	"repro/internal/polarfs"
 	"repro/internal/simnet"
 	"repro/internal/tso"
 	"repro/internal/txn"
+	"repro/internal/vector"
 )
 
 // OracleKind selects the timestamp scheme.
@@ -101,6 +105,21 @@ type Config struct {
 	// which heals DN leader routing and sweeps in-doubt transaction
 	// branches (default 500ms).
 	RecoveryInterval time.Duration
+	// Tracing enables per-statement span traces: every Session.Execute
+	// builds a span tree (plan, per-DN RPCs, 2PC phases) retrievable via
+	// Result.Trace / Session.LastTrace. Off by default — the benchmark
+	// paths must not pay for span bookkeeping.
+	Tracing bool
+	// Metrics enables the cluster metrics registry: RPC latency by link
+	// class, plan-cache hit/miss, txn outcomes, Paxos quorum waits. Off by
+	// default for the same reason as Tracing.
+	Metrics bool
+	// SlowQueryThreshold, when > 0, logs statements whose wall time meets
+	// it to the cluster slow-query log (and OnSlowQuery, if set).
+	SlowQueryThreshold time.Duration
+	// OnSlowQuery, when non-nil, is invoked synchronously for each slow
+	// statement in addition to the in-memory log.
+	OnSlowQuery func(sql string, d time.Duration)
 }
 
 func (c Config) withDefaults() Config {
@@ -159,7 +178,69 @@ type Cluster struct {
 	stopOnce     sync.Once
 	recoveryRuns atomic.Uint64
 
+	// metrics is the cluster metrics registry; nil unless Config.Metrics.
+	metrics *obs.Registry
+	// slowMu guards slowQueries, the bounded in-memory slow-query log.
+	slowMu      sync.Mutex
+	slowQueries []SlowQuery
+
 	seq uint32
+}
+
+// SlowQuery is one slow-query log entry.
+type SlowQuery struct {
+	SQL      string
+	Duration time.Duration
+	CN       string
+}
+
+// slowQueryLogCap bounds the in-memory slow-query log; older entries are
+// dropped first.
+const slowQueryLogCap = 256
+
+// noteSlowQuery records a statement that crossed the slow threshold.
+func (c *Cluster) noteSlowQuery(query string, d time.Duration, cnName string) {
+	c.slowMu.Lock()
+	if len(c.slowQueries) >= slowQueryLogCap {
+		c.slowQueries = append(c.slowQueries[:0], c.slowQueries[1:]...)
+	}
+	c.slowQueries = append(c.slowQueries, SlowQuery{SQL: query, Duration: d, CN: cnName})
+	c.slowMu.Unlock()
+	if fn := c.cfg.OnSlowQuery; fn != nil {
+		fn(query, d)
+	}
+}
+
+// SlowQueries returns a copy of the slow-query log, oldest first.
+func (c *Cluster) SlowQueries() []SlowQuery {
+	c.slowMu.Lock()
+	defer c.slowMu.Unlock()
+	return append([]SlowQuery(nil), c.slowQueries...)
+}
+
+// Metrics exposes the cluster registry (nil unless Config.Metrics).
+func (c *Cluster) Metrics() *obs.Registry { return c.metrics }
+
+// MetricsSnapshot renders every cluster metric as text: the registry
+// (RPC latency, txn outcomes, quorum waits), per-CN plan-cache
+// counters, and the process-wide batch-pool and exchange-wait stats.
+func (c *Cluster) MetricsSnapshot() string {
+	var b strings.Builder
+	if c.metrics != nil {
+		b.WriteString(c.metrics.Snapshot())
+	}
+	var hits, misses uint64
+	for _, cn := range c.CNs() {
+		h, m := cn.PlanCacheStats()
+		hits += h
+		misses += m
+	}
+	fmt.Fprintf(&b, "plancache.hits %d\nplancache.misses %d\n", hits, misses)
+	gets, puts, dbl := vector.PoolStats()
+	fmt.Fprintf(&b, "vector.pool_gets %d\nvector.pool_puts %d\nvector.pool_double_releases %d\n", gets, puts, dbl)
+	waits, total := executor.ExchangeWaitStats()
+	fmt.Fprintf(&b, "executor.exchange_waits %d\nexecutor.exchange_wait_total %v\n", waits, total)
+	return b.String()
 }
 
 // planEpoch is the version CN plan and routing caches key on: any DDL
@@ -187,6 +268,16 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	if cfg.FaultPlan != nil {
 		c.Net.ApplyFaultPlan(*cfg.FaultPlan)
+	}
+	if cfg.Metrics {
+		c.metrics = obs.NewRegistry()
+		c.Net.SetMetrics(&simnet.NetMetrics{
+			IntraDC:     c.metrics.Histogram("rpc.intra_dc"),
+			InterDC:     c.metrics.Histogram("rpc.inter_dc"),
+			Calls:       c.metrics.Counter("rpc.calls"),
+			Errors:      c.metrics.Counter("rpc.errors"),
+			LateReplies: c.metrics.Counter("rpc.late_replies"),
+		})
 	}
 	if cfg.WithPolarFS {
 		c.FS = polarfs.NewCluster(c.Net, 0)
@@ -256,6 +347,7 @@ func (c *Cluster) addDNGroup(g int) error {
 			// triggering spurious leader changes mid-experiment.
 			ElectionTimeout: 2 * time.Second,
 			InDoubtAfter:    c.cfg.InDoubtTimeout,
+			Metrics:         c.metrics,
 		})
 		if err != nil {
 			return err
@@ -308,6 +400,11 @@ func (c *Cluster) addCN(dc simnet.DC) *CN {
 	}
 	if !c.cfg.PlanCacheOff {
 		cn.planCache = optimizer.NewPlanCache(0)
+	}
+	if c.metrics != nil {
+		cn.coord.SetMetrics(c.metrics)
+		cn.mPCHit = c.metrics.Counter("plancache.hit")
+		cn.mPCMiss = c.metrics.Counter("plancache.miss")
 	}
 	cn.opt = optimizer.New(c.GMS, statsAdapter{c}, optimizer.Options{
 		TPCostThreshold: c.cfg.TPCostThreshold,

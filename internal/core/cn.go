@@ -6,10 +6,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dn"
 	"repro/internal/hotspot"
 	"repro/internal/htap"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/simnet"
 	"repro/internal/sql"
@@ -36,6 +38,9 @@ type CN struct {
 	// planCache caches plan skeletons by statement fingerprint (nil when
 	// Config.PlanCacheOff).
 	planCache *optimizer.PlanCache
+	// mPCHit/mPCMiss count plan-cache outcomes in the cluster registry
+	// (nil when metrics are off; Counter methods are nil-safe).
+	mPCHit, mPCMiss *obs.Counter
 	// colIdxCache memoizes hasColumnIndex per table: the raw lookup walks
 	// every DN, RO and shard under the cluster mutex, which is far too
 	// expensive to repeat on every SELECT plan. Entries are keyed by the
@@ -110,16 +115,22 @@ func (cn *CN) lookupColumnIndex(table string) bool {
 // have rewritten subqueries already — fingerprints are taken over the
 // post-rewrite AST so two queries whose subqueries resolved differently
 // never share a skeleton.
-func (cn *CN) planFor(sel *sql.Select) (*optimizer.Plan, error) {
+func (cn *CN) planFor(sel *sql.Select, tr *obs.Trace) (*optimizer.Plan, error) {
+	span := tr.StartSpan(nil, "plan")
+	defer span.End()
 	if cn.planCache == nil {
+		span.Annotate("cache=off")
 		return cn.opt.PlanSelect(sel)
 	}
 	fp, params, ok := sql.FingerprintSelect(sel)
 	if !ok {
+		span.Annotate("cache=uncacheable")
 		return cn.opt.PlanSelect(sel)
 	}
 	epoch := cn.cluster.planEpoch()
 	if plan := cn.planCache.Lookup(fp, epoch, params); plan != nil {
+		cn.mPCHit.Inc()
+		span.Annotate("cache=hit")
 		return plan, nil
 	}
 	plan, err := cn.opt.PlanSelect(sel)
@@ -127,6 +138,8 @@ func (cn *CN) planFor(sel *sql.Select) (*optimizer.Plan, error) {
 		return nil, err
 	}
 	cn.planCache.Store(fp, epoch, plan, params)
+	cn.mPCMiss.Inc()
+	span.Annotate("cache=miss")
 	return plan, nil
 }
 
@@ -148,6 +161,8 @@ type Result struct {
 	Affected int
 	// Plan carries the optimizer's plan for SELECTs (EXPLAIN surface).
 	Plan *optimizer.Plan
+	// Trace is the statement's span tree when Config.Tracing is on.
+	Trace *obs.Trace
 }
 
 // Session is a client connection to a CN: it holds the open transaction
@@ -159,6 +174,25 @@ type Session struct {
 	// lsnByDN tracks the session's last write LSN per DN group so RO
 	// reads can enforce read-your-writes (§II-C session consistency).
 	lsnByDN map[string]wal.LSN
+	// curTrace is the in-flight statement's trace (Config.Tracing only);
+	// lastTrace keeps the most recently finished one for inspection.
+	curTrace  *obs.Trace
+	lastTrace *obs.Trace
+}
+
+// LastTrace returns the span tree of the most recent traced statement
+// (nil when tracing is off or nothing ran yet).
+func (s *Session) LastTrace() *obs.Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastTrace
+}
+
+// trace returns the in-flight statement trace (nil when tracing is off).
+func (s *Session) trace() *obs.Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.curTrace
 }
 
 // NewSession opens a session on this CN.
@@ -196,6 +230,18 @@ func (s *Session) Commit() error {
 	s.mu.Unlock()
 	if tx == nil {
 		return fmt.Errorf("core: no open transaction")
+	}
+	if s.cn.cluster.cfg.Tracing {
+		// Explicit COMMIT gets its own trace: the 2PC phase spans
+		// (prepare / commit-point / commit per DN) hang off its root.
+		tr := obs.NewTrace("COMMIT", obs.Wall)
+		tx.SetTrace(tr, nil)
+		defer func() {
+			tr.End()
+			s.mu.Lock()
+			s.lastTrace = tr
+			s.mu.Unlock()
+		}()
 	}
 	_, err := tx.Commit()
 	s.absorb(tx)
@@ -237,15 +283,24 @@ func (s *Session) minLSNFor(dnName string) wal.LSN {
 // be called with the execution error.
 func (s *Session) txnFor() (tx *txn.Tx, done func(error) error, err error) {
 	s.mu.Lock()
+	tr := s.curTrace
 	if s.tx != nil {
 		tx = s.tx
 		s.mu.Unlock()
+		if tr != nil {
+			// Re-point the open transaction's spans at the current
+			// statement's trace: each statement owns its own tree.
+			tx.SetTrace(tr, nil)
+		}
 		return tx, func(execErr error) error { return execErr }, nil
 	}
 	s.mu.Unlock()
 	tx, err = s.cn.coord.Begin()
 	if err != nil {
 		return nil, nil, err
+	}
+	if tr != nil {
+		tx.SetTrace(tr, nil)
 	}
 	return tx, func(execErr error) error {
 		if execErr != nil {
@@ -269,6 +324,40 @@ func (s *Session) Execute(query string) (*Result, error) {
 		}
 		defer release()
 	}
+	cfg := &s.cn.cluster.cfg
+	var tr *obs.Trace
+	if cfg.Tracing {
+		tr = obs.NewTrace(query, obs.Wall)
+		s.mu.Lock()
+		s.curTrace = tr
+		s.mu.Unlock()
+	}
+	var start time.Time
+	if tr != nil || cfg.SlowQueryThreshold > 0 {
+		start = time.Now()
+	}
+	res, err := s.executeParsed(query)
+	if tr != nil {
+		tr.End()
+		s.mu.Lock()
+		s.curTrace = nil
+		s.lastTrace = tr
+		s.mu.Unlock()
+		if res != nil {
+			res.Trace = tr
+		}
+	}
+	if th := cfg.SlowQueryThreshold; th > 0 {
+		if d := time.Since(start); d >= th {
+			s.cn.cluster.noteSlowQuery(query, d, s.cn.name)
+		}
+	}
+	return res, err
+}
+
+// executeParsed is Execute minus admission control and observability:
+// parse, dispatch, and the one-shot retry after a leader failover.
+func (s *Session) executeParsed(query string) (*Result, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
@@ -312,6 +401,8 @@ func (s *Session) ExecuteStmt(stmt sql.Statement) (*Result, error) {
 		return s.execDelete(st)
 	case *sql.Select:
 		return s.execSelect(st)
+	case *sql.Explain:
+		return s.execExplain(st)
 	default:
 		return nil, fmt.Errorf("%w: %T", errUnsupported, stmt)
 	}

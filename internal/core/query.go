@@ -7,6 +7,7 @@ import (
 	"repro/internal/executor"
 	"repro/internal/hlc"
 	"repro/internal/htap"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/sql"
 	"repro/internal/txn"
@@ -22,6 +23,24 @@ type queryCtx struct {
 	ap       bool
 	group    htap.Group // pool classification (isolation-off forces TP)
 	mpp      bool
+	// analyze, when non-nil, requests EXPLAIN ANALYZE instrumentation:
+	// operator lowering wraps every node and records its rows-out and
+	// wall time here. Populated during (single-goroutine) lowering only.
+	analyze map[optimizer.Node]*obs.OpStats
+}
+
+// statsFor returns (creating on demand) the stats slot for a plan node;
+// nil when the query is not being analyzed.
+func (ctx *queryCtx) statsFor(n optimizer.Node) *obs.OpStats {
+	if ctx.analyze == nil {
+		return nil
+	}
+	st := ctx.analyze[n]
+	if st == nil {
+		st = &obs.OpStats{}
+		ctx.analyze[n] = st
+	}
+	return st
 }
 
 // execSelect plans and runs a SELECT.
@@ -33,11 +52,11 @@ func (s *Session) execSelect(sel *sql.Select) (*Result, error) {
 	if sel.Having, err = s.rewriteSubqueries(sel.Having); err != nil {
 		return nil, err
 	}
-	plan, err := s.cn.planFor(sel)
+	plan, err := s.cn.planFor(sel, s.trace())
 	if err != nil {
 		return nil, err
 	}
-	rows, err := s.runPlan(plan)
+	rows, err := s.runPlan(plan, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -48,8 +67,8 @@ func (s *Session) execSelect(sel *sql.Select) (*Result, error) {
 // plans read through transaction branches on RW leaders in the TP pool;
 // AP plans read RO replicas at a snapshot in the AP pool (unless
 // isolation is off, Fig. 9 config 1).
-func (s *Session) runPlan(plan *optimizer.Plan) ([]types.Row, error) {
-	ctx := &queryCtx{s: s, ap: plan.IsAP, mpp: plan.MPP}
+func (s *Session) runPlan(plan *optimizer.Plan, analyze map[optimizer.Node]*obs.OpStats) ([]types.Row, error) {
+	ctx := &queryCtx{s: s, ap: plan.IsAP, mpp: plan.MPP, analyze: analyze}
 	ctx.group = htap.GroupTP
 	if plan.IsAP && !s.cn.cluster.cfg.IsolationOff {
 		ctx.group = htap.GroupAP
@@ -101,8 +120,19 @@ func (s *Session) runPlan(plan *optimizer.Plan) ([]types.Row, error) {
 	return executor.Collect(root)
 }
 
-// buildOperator lowers a plan node to an executor operator tree.
+// buildOperator lowers a plan node to an executor operator tree,
+// wrapping each node with an instrumented shim when the query runs under
+// EXPLAIN ANALYZE (ctx.analyze non-nil). Plain queries lower directly.
 func (cn *CN) buildOperator(node optimizer.Node, ctx *queryCtx) (executor.Operator, error) {
+	op, err := cn.lowerOperator(node, ctx)
+	if err != nil || ctx.analyze == nil {
+		return op, err
+	}
+	return executor.Instrument(op, ctx.statsFor(node)), nil
+}
+
+// lowerOperator is the uninstrumented lowering behind buildOperator.
+func (cn *CN) lowerOperator(node optimizer.Node, ctx *queryCtx) (executor.Operator, error) {
 	switch n := node.(type) {
 	case *optimizer.ScanNode:
 		return cn.buildScan(n, ctx)
@@ -212,9 +242,15 @@ func (cn *CN) buildTwoPhaseAgg(n *optimizer.AggNode, scan *optimizer.ScanNode, c
 			return nil, err
 		}
 		var frag executor.Operator = src
+		if st := ctx.statsFor(scan); st != nil {
+			// The scan never passes through buildOperator here (fragments
+			// consume shard sources directly), so attach its stats to each
+			// source; the shared slot sums rows across shards.
+			frag = executor.Instrument(src, st)
+		}
 		if pushed == nil {
 			// Partial aggregation runs in the fragment, near its shard.
-			frag = &executor.HashAgg{Input: src, GroupBy: n.GroupBy,
+			frag = &executor.HashAgg{Input: frag, GroupBy: n.GroupBy,
 				Aggs: aggSpecs(n.Aggs), Mode: executor.AggPartial}
 		}
 		assignments = append(assignments, executor.FragmentAssignment{
@@ -316,13 +352,21 @@ func (cn *CN) buildPartitionWiseJoin(n *optimizer.JoinNode, ctx *queryCtx) (exec
 	}
 	var assignments []executor.FragmentAssignment
 	for shard := 0; shard < ls.Table.Shards; shard++ {
-		leftSrc, err := cn.shardSource(ls, shard, ctx, nil)
+		var leftSrc, rightSrc executor.Operator
+		var err error
+		leftSrc, err = cn.shardSource(ls, shard, ctx, nil)
 		if err != nil {
 			return nil, false, err
 		}
-		rightSrc, err := cn.shardSource(rs, shard, ctx, nil)
+		rightSrc, err = cn.shardSource(rs, shard, ctx, nil)
 		if err != nil {
 			return nil, false, err
+		}
+		if st := ctx.statsFor(ls); st != nil {
+			leftSrc = executor.Instrument(leftSrc, st)
+		}
+		if st := ctx.statsFor(rs); st != nil {
+			rightSrc = executor.Instrument(rightSrc, st)
 		}
 		frag := &executor.HashJoin{Left: leftSrc, Right: rightSrc,
 			LeftKeys: n.LeftKeys, RightKeys: n.RightKeys,

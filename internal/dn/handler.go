@@ -3,7 +3,6 @@ package dn
 import (
 	"fmt"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/hlc"
 	"repro/internal/sql"
@@ -98,7 +97,7 @@ func (i *Instance) handleBegin(m BeginReq) error {
 		_ = i.eng.Abort(txn)
 		return nil
 	}
-	i.txns[m.TxnID] = &txnEntry{txn: txn, startedAt: time.Now()}
+	i.txns[m.TxnID] = &txnEntry{txn: txn, startedAt: i.timeSrc.Now()}
 	return nil
 }
 
@@ -130,7 +129,7 @@ func (i *Instance) branchOrBegin(txnID uint64, snap hlc.Timestamp) (*txnEntry, e
 		_ = i.eng.Abort(txn)
 		return e, nil
 	}
-	e := &txnEntry{txn: txn, startedAt: time.Now()}
+	e := &txnEntry{txn: txn, startedAt: i.timeSrc.Now()}
 	i.txns[txnID] = e
 	return e, nil
 }
@@ -283,7 +282,7 @@ func (i *Instance) handlePrepare(m PrepareReq) (PrepareResp, error) {
 		return PrepareResp{}, err
 	}
 	e.primary = m.Primary
-	e.preparedAt = time.Now()
+	e.preparedAt = i.timeSrc.Now()
 	if err := i.proposeTail(e, true); err != nil {
 		return PrepareResp{}, err
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/hlc"
+	"repro/internal/obs"
 	"repro/internal/paxos"
 	"repro/internal/polarfs"
 	"repro/internal/simnet"
@@ -64,6 +65,13 @@ type Config struct {
 	// comfortably exceed normal commit latency, or live transactions get
 	// spuriously aborted by presumed-abort resolution.
 	InDoubtAfter time.Duration
+
+	// Metrics, when non-nil, receives the instance's instruments
+	// (currently the Paxos quorum-wait histogram).
+	Metrics *obs.Registry
+	// TimeSource drives the in-doubt sweep's timers (nil = wall time);
+	// chaos tests inject a FakeClock to step through recovery windows.
+	TimeSource obs.Clock
 }
 
 // DefaultInDoubtAfter is the default in-doubt resolution timeout.
@@ -110,9 +118,12 @@ type decision struct {
 // + local RO replicas.
 type Instance struct {
 	cfg   Config
-	clock *hlc.Clock
-	eng   *storage.Engine
-	node  *paxos.Node
+	clock *hlc.Clock // hybrid logical clock (timestamps, not timers)
+	// timeSrc is the injectable wall-time source for branch age and
+	// in-doubt sweep timers.
+	timeSrc obs.Clock
+	eng     *storage.Engine
+	node    *paxos.Node
 
 	mu      sync.Mutex
 	txns    map[uint64]*txnEntry
@@ -167,6 +178,7 @@ func NewInstance(cfg Config) (*Instance, error) {
 	inst := &Instance{
 		cfg:         cfg,
 		clock:       hlc.NewClock(nil),
+		timeSrc:     obs.Or(cfg.TimeSource),
 		eng:         storage.NewEngine(),
 		txns:        make(map[uint64]*txnEntry),
 		roCur:       make(map[string]wal.LSN),
@@ -188,6 +200,7 @@ func NewInstance(cfg Config) (*Instance, error) {
 		ElectionTimeout: cfg.ElectionTimeout,
 		Pipelined:       true,
 		OnApply:         inst.onApply,
+		QuorumWait:      cfg.Metrics.Histogram("paxos.quorum_wait"),
 	})
 	if err != nil {
 		return nil, err

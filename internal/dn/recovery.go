@@ -229,7 +229,7 @@ func (i *Instance) ResolveInDoubt(route func(string) string) int {
 	if route == nil {
 		route = func(s string) string { return s }
 	}
-	now := time.Now()
+	now := i.timeSrc.Now()
 	resolved := 0
 
 	// Pass 1: branches this instance coordinates live engine state for.

@@ -3,6 +3,7 @@ package executor
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/htap"
@@ -19,6 +20,11 @@ const DefaultQueueHighWater = 8
 // producer that reaches the high-water mark blocks (or, on the htap
 // scheduler, parks with JobBlocked) until the consumer drains.
 type BatchQueue struct {
+	// OnWait, when non-nil, is invoked after each consumer wait on an
+	// empty queue with the wait's duration (tracing hook). Set it before
+	// the consumer starts popping; it is read without locking.
+	OnWait func(d time.Duration)
+
 	mu      sync.Mutex
 	cond    *sync.Cond
 	batches []*vector.Batch
@@ -94,12 +100,23 @@ func (q *BatchQueue) notifySpace() {
 	}
 }
 
-// Pop blocks for the next batch; ErrEOF at clean end.
+// Pop blocks for the next batch; ErrEOF at clean end. Time spent
+// waiting on an empty queue (the consumer stalled on its producer) is
+// accounted to the package exchange-wait counters and the OnWait hook.
 func (q *BatchQueue) Pop() (*vector.Batch, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.batches) == 0 && !q.closed {
-		q.cond.Wait()
+	if len(q.batches) == 0 && !q.closed {
+		start := time.Now()
+		for len(q.batches) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		d := time.Since(start)
+		exchangeWaits.Add(1)
+		exchangeWaitNanos.Add(int64(d))
+		if q.OnWait != nil {
+			q.OnWait(d)
+		}
 	}
 	if len(q.batches) > 0 {
 		b := q.batches[0]
@@ -120,6 +137,18 @@ func (q *BatchQueue) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return len(q.batches)
+}
+
+// Exchange-wait accounting across all BatchQueues in the process.
+var (
+	exchangeWaits     atomic.Int64
+	exchangeWaitNanos atomic.Int64
+)
+
+// ExchangeWaitStats reports how often batch-exchange consumers stalled
+// on an empty queue and for how long in total.
+func ExchangeWaitStats() (waits int64, total time.Duration) {
+	return exchangeWaits.Load(), time.Duration(exchangeWaitNanos.Load())
 }
 
 // BatchQueueSource adapts a BatchQueue to the BatchOperator interface.

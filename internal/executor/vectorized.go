@@ -423,7 +423,10 @@ func (p *BatchProject) NextBatch() (*vector.Batch, error) {
 		return nil, err
 	}
 	if p.allRefs {
-		out := &vector.Batch{Vecs: make([]*vector.Vector, len(p.refs)), Sel: b.Sel, Shared: true}
+		// Owner=b: releasing the view forwards to the input batch, whose
+		// pooled storage the view borrows — without it the input would
+		// never return to the pool.
+		out := &vector.Batch{Vecs: make([]*vector.Vector, len(p.refs)), Sel: b.Sel, Shared: true, Owner: b}
 		for i, c := range p.refs {
 			out.Vecs[i] = b.Vecs[c]
 		}

@@ -31,7 +31,7 @@ func (h *sliceHog) Run(slice time.Duration) (JobState, <-chan struct{}, error) {
 }
 
 func benchSlice(b *testing.B, slice time.Duration) {
-	pool := NewPool(fmt.Sprintf("abl-%v", slice), 2, slice, nil)
+	pool := NewPool(fmt.Sprintf("abl-%v", slice), 2, slice, nil, nil)
 	defer pool.Stop()
 	// Keep the pool busy with long jobs for the whole benchmark.
 	stopFeeding := make(chan struct{})
@@ -75,7 +75,7 @@ func BenchmarkAblationSlice20ms(b *testing.B)  { benchSlice(b, 20*time.Milliseco
 // the job's full runtime.
 func TestSlicePreemptionBoundsProbeLatency(t *testing.T) {
 	slice := 2 * time.Millisecond
-	pool := NewPool("preempt", 1, slice, nil)
+	pool := NewPool("preempt", 1, slice, nil, nil)
 	defer pool.Stop()
 	long := &jobTicket{job: &sliceHog{remaining: 200 * time.Millisecond}, done: make(chan error, 1)}
 	pool.submit(long)

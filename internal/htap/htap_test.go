@@ -9,7 +9,7 @@ import (
 )
 
 func TestCPUQuotaTryAcquire(t *testing.T) {
-	q := NewCPUQuota(10, 2) // 10/sec, burst 2
+	q := NewCPUQuota(10, 2, nil) // 10/sec, burst 2
 	if !q.TryAcquire() || !q.TryAcquire() {
 		t.Fatal("burst tokens unavailable")
 	}
@@ -23,7 +23,7 @@ func TestCPUQuotaTryAcquire(t *testing.T) {
 }
 
 func TestCPUQuotaAcquireBlocksAndTimesOut(t *testing.T) {
-	q := NewCPUQuota(1000, 1)
+	q := NewCPUQuota(1000, 1, nil)
 	q.TryAcquire()
 	start := time.Now()
 	if err := q.Acquire(time.Second); err != nil {
@@ -32,7 +32,7 @@ func TestCPUQuotaAcquireBlocksAndTimesOut(t *testing.T) {
 	if time.Since(start) > 100*time.Millisecond {
 		t.Fatal("acquire waited too long for a fast bucket")
 	}
-	slow := NewCPUQuota(0.1, 1)
+	slow := NewCPUQuota(0.1, 1, nil)
 	slow.TryAcquire()
 	if err := slow.Acquire(10 * time.Millisecond); err == nil {
 		t.Fatal("acquire should time out on an empty slow bucket")

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Group labels a resource group.
@@ -33,6 +35,7 @@ func (g Group) String() string {
 // work must acquire tokens before running a slice; TP work is
 // unrestricted. Tokens refill at Rate per second up to Burst.
 type CPUQuota struct {
+	clock  obs.Clock
 	mu     sync.Mutex
 	tokens float64
 	rate   float64 // tokens per second
@@ -43,9 +46,10 @@ type CPUQuota struct {
 }
 
 // NewCPUQuota builds a bucket granting rate slices/second with the given
-// burst capacity.
-func NewCPUQuota(rate, burst float64) *CPUQuota {
-	return &CPUQuota{tokens: burst, rate: rate, burst: burst, last: time.Now()}
+// burst capacity. A nil clock means wall time.
+func NewCPUQuota(rate, burst float64, clock obs.Clock) *CPUQuota {
+	c := obs.Or(clock)
+	return &CPUQuota{clock: c, tokens: burst, rate: rate, burst: burst, last: c.Now()}
 }
 
 func (q *CPUQuota) refillLocked(now time.Time) {
@@ -60,7 +64,7 @@ func (q *CPUQuota) refillLocked(now time.Time) {
 func (q *CPUQuota) TryAcquire() bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	q.refillLocked(time.Now())
+	q.refillLocked(q.clock.Now())
 	if q.tokens >= 1 {
 		q.tokens--
 		return true
@@ -74,10 +78,10 @@ func (q *CPUQuota) AcquireN(n float64, timeout time.Duration) error {
 	if n <= 0 {
 		return nil
 	}
-	deadline := time.Now().Add(timeout)
+	deadline := q.clock.Now().Add(timeout)
 	for {
 		q.mu.Lock()
-		q.refillLocked(time.Now())
+		q.refillLocked(q.clock.Now())
 		if q.tokens >= n {
 			q.tokens -= n
 			q.mu.Unlock()
@@ -93,13 +97,13 @@ func (q *CPUQuota) AcquireN(n float64, timeout time.Duration) error {
 		if wait > 20*time.Millisecond {
 			wait = 20 * time.Millisecond // re-check periodically for fairness
 		}
-		if time.Now().Add(wait).After(deadline) {
+		if q.clock.Now().Add(wait).After(deadline) {
 			q.mu.Lock()
 			q.waiting--
 			q.mu.Unlock()
 			return fmt.Errorf("htap: CPU quota wait exceeded %v", timeout)
 		}
-		time.Sleep(wait)
+		q.clock.Sleep(wait)
 		q.mu.Lock()
 		q.waiting--
 		q.mu.Unlock()
@@ -108,10 +112,10 @@ func (q *CPUQuota) AcquireN(n float64, timeout time.Duration) error {
 
 // Acquire blocks until a token is available or the deadline passes.
 func (q *CPUQuota) Acquire(timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	deadline := q.clock.Now().Add(timeout)
 	for {
 		q.mu.Lock()
-		q.refillLocked(time.Now())
+		q.refillLocked(q.clock.Now())
 		if q.tokens >= 1 {
 			q.tokens--
 			q.mu.Unlock()
@@ -124,13 +128,13 @@ func (q *CPUQuota) Acquire(timeout time.Duration) error {
 		if wait < 100*time.Microsecond {
 			wait = 100 * time.Microsecond
 		}
-		if time.Now().Add(wait).After(deadline) {
+		if q.clock.Now().Add(wait).After(deadline) {
 			q.mu.Lock()
 			q.waiting--
 			q.mu.Unlock()
 			return fmt.Errorf("htap: CPU quota wait exceeded %v", timeout)
 		}
-		time.Sleep(wait)
+		q.clock.Sleep(wait)
 		q.mu.Lock()
 		q.waiting--
 		q.mu.Unlock()

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // JobState is what a job reports after one scheduling round.
@@ -67,6 +69,7 @@ type Pool struct {
 	// DemoteTo receives demoted jobs.
 	DemoteTo *Pool
 
+	clock   obs.Clock
 	mu      sync.Mutex
 	cond    *sync.Cond
 	q       []*jobTicket
@@ -78,9 +81,12 @@ type Pool struct {
 	demotions atomic.Int64
 }
 
-// NewPool starts a pool with the given number of workers.
-func NewPool(name string, workers int, slice time.Duration, quota *CPUQuota) *Pool {
-	p := &Pool{Name: name, Slice: slice, Quota: quota}
+// NewPool starts a pool with the given number of workers. The clock
+// meters per-job runtime for demotion decisions; nil means wall time.
+// It is a constructor parameter (not a settable field) because workers
+// start inside the constructor and read it immediately.
+func NewPool(name string, workers int, slice time.Duration, quota *CPUQuota, clock obs.Clock) *Pool {
+	p := &Pool{Name: name, Slice: slice, Quota: quota, clock: obs.Or(clock)}
 	p.cond = sync.NewCond(&p.mu)
 	if workers < 1 {
 		workers = 1
@@ -154,9 +160,9 @@ func (p *Pool) worker() {
 				continue
 			}
 		}
-		start := time.Now()
+		start := p.clock.Now()
 		state, wake, err := t.job.Run(p.Slice)
-		t.runtime.Add(int64(time.Since(start)))
+		t.runtime.Add(int64(p.clock.Since(start)))
 		p.ran.Add(1)
 		switch state {
 		case JobDone:
@@ -214,6 +220,9 @@ type Config struct {
 	APRuntimeLimit time.Duration
 	// MemoryBytes is the CN heap size for the broker.
 	MemoryBytes int64
+	// Clock drives quota refill and runtime metering; nil = wall time.
+	// Tests inject a FakeClock to make demotion thresholds deterministic.
+	Clock obs.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -247,12 +256,12 @@ func (c Config) withDefaults() Config {
 // NewScheduler builds the three-pool scheduler.
 func NewScheduler(cfg Config) *Scheduler {
 	cfg = cfg.withDefaults()
-	apQuota := NewCPUQuota(cfg.APSliceRate, cfg.APSliceRate/10+1)
-	slow := NewPool("slow-ap", cfg.SlowWorkers, cfg.Slice, apQuota)
-	ap := NewPool("ap-core", cfg.APWorkers, cfg.Slice, apQuota)
+	apQuota := NewCPUQuota(cfg.APSliceRate, cfg.APSliceRate/10+1, cfg.Clock)
+	slow := NewPool("slow-ap", cfg.SlowWorkers, cfg.Slice, apQuota, cfg.Clock)
+	ap := NewPool("ap-core", cfg.APWorkers, cfg.Slice, apQuota, cfg.Clock)
 	ap.RuntimeLimit = cfg.APRuntimeLimit
 	ap.DemoteTo = slow
-	tp := NewPool("tp-core", cfg.TPWorkers, cfg.Slice, nil)
+	tp := NewPool("tp-core", cfg.TPWorkers, cfg.Slice, nil, cfg.Clock)
 	tp.RuntimeLimit = cfg.TPRuntimeLimit
 	tp.DemoteTo = ap
 	return &Scheduler{

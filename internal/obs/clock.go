@@ -1,0 +1,131 @@
+// Package obs is the zero-dependency observability layer threaded
+// through the whole request path: timed span trees for single-query
+// tracing, a per-cluster metrics registry (lock-cheap counters and
+// fixed-bucket latency histograms), per-operator execution statistics
+// for EXPLAIN ANALYZE, and the injectable clock that sim-visible
+// retry/backoff/timeout logic routes through so chaos tests can be
+// deterministic. Everything here is stdlib-only so any package — simnet,
+// vector, optimizer, paxos — can import it without cycles.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall time for logic that schedules retries, backoffs
+// and timeouts. Production code holds a Clock field defaulting to Wall;
+// deterministic tests inject a FakeClock and drive it with Advance.
+type Clock interface {
+	Now() time.Time
+	Since(t time.Time) time.Duration
+	Until(t time.Time) time.Duration
+	Sleep(d time.Duration)
+}
+
+// Wall is the real-time clock.
+var Wall Clock = wallClock{}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time                  { return time.Now() }
+func (wallClock) Since(t time.Time) time.Duration { return time.Since(t) }
+func (wallClock) Until(t time.Time) time.Duration { return time.Until(t) }
+func (wallClock) Sleep(d time.Duration)           { time.Sleep(d) }
+
+// Or returns c, or Wall when c is nil — the defaulting idiom for
+// components with an optional injected clock.
+func Or(c Clock) Clock {
+	if c == nil {
+		return Wall
+	}
+	return c
+}
+
+// FakeClock is a manually advanced clock. Sleep parks the caller until
+// Advance moves the clock past its wake time, so backoff logic runs
+// deterministically: no real time passes, and a test controls exactly
+// when each sleeper resumes.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan struct{}
+}
+
+// NewFakeClock starts a fake clock at the given instant.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now implements Clock.
+func (f *FakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Since implements Clock.
+func (f *FakeClock) Since(t time.Time) time.Duration { return f.Now().Sub(t) }
+
+// Until implements Clock.
+func (f *FakeClock) Until(t time.Time) time.Duration { return t.Sub(f.Now()) }
+
+// Sleep implements Clock: it blocks until Advance moves the clock to or
+// past now+d. A non-positive d returns immediately.
+func (f *FakeClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	f.mu.Lock()
+	w := fakeWaiter{at: f.now.Add(d), ch: make(chan struct{})}
+	f.waiters = append(f.waiters, w)
+	f.mu.Unlock()
+	<-w.ch
+}
+
+// Advance moves the clock forward and wakes every sleeper whose wake
+// time has been reached.
+func (f *FakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	keep := f.waiters[:0]
+	for _, w := range f.waiters {
+		if !w.at.After(f.now) {
+			close(w.ch)
+		} else {
+			keep = append(keep, w)
+		}
+	}
+	f.waiters = keep
+	f.mu.Unlock()
+}
+
+// Sleepers reports goroutines currently parked in Sleep — tests poll it
+// to know a backoff has actually been entered before advancing.
+func (f *FakeClock) Sleepers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.waiters)
+}
+
+// NextWake returns the earliest pending wake time (zero time when no
+// sleeper is parked), letting tests advance exactly to the next event.
+func (f *FakeClock) NextWake() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.waiters) == 0 {
+		return time.Time{}
+	}
+	ats := make([]time.Time, len(f.waiters))
+	for i, w := range f.waiters {
+		ats[i] = w.at
+	}
+	sort.Slice(ats, func(i, j int) bool { return ats[i].Before(ats[j]) })
+	return ats[0]
+}

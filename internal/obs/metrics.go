@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a lock-free monotonically increasing counter. A nil
+// *Counter is a valid "metrics off" value: Inc/Add on nil are no-ops,
+// so instrumented hot paths need no registry-enabled branches.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// numHistBuckets counts the finite buckets in histBuckets; the array in
+// Histogram carries one extra slot for the implicit +Inf bucket.
+const numHistBuckets = 17
+
+// histBuckets are the fixed latency bucket upper bounds shared by every
+// Histogram: exponential from 50µs to ~3.2s, matching the simulated
+// fabric's RPC range (tens of µs intra-DC to hundreds of ms cross-region
+// with faults). The final implicit bucket is +Inf.
+var histBuckets = [numHistBuckets]time.Duration{
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	200 * time.Microsecond,
+	400 * time.Microsecond,
+	800 * time.Microsecond,
+	1600 * time.Microsecond,
+	3200 * time.Microsecond,
+	6400 * time.Microsecond,
+	12800 * time.Microsecond,
+	25600 * time.Microsecond,
+	51200 * time.Microsecond,
+	102400 * time.Microsecond,
+	204800 * time.Microsecond,
+	409600 * time.Microsecond,
+	819200 * time.Microsecond,
+	1638400 * time.Microsecond,
+	3276800 * time.Microsecond,
+}
+
+// Histogram is a fixed-bucket latency histogram with atomic bucket
+// counters — Observe is a binary search plus one atomic add, cheap
+// enough for per-RPC use. A nil *Histogram ignores observations.
+type Histogram struct {
+	buckets [numHistBuckets + 1]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(histBuckets), func(i int) bool { return d <= histBuckets[i] })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns total observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observed durations (0 for nil).
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / time.Duration(n)
+}
+
+// Quantile returns an upper bound on the q-quantile (0<=q<=1) from the
+// bucket boundaries — coarse, but stable for test assertions.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.Count()
+	if h == nil || n == 0 {
+		return 0
+	}
+	rank := int64(q * float64(n))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i < len(histBuckets) {
+				return histBuckets[i]
+			}
+			return histBuckets[len(histBuckets)-1] * 2 // +Inf bucket: report past the last bound
+		}
+	}
+	return histBuckets[len(histBuckets)-1] * 2
+}
+
+// Registry holds named counters and histograms for one cluster. Counter
+// and Histogram lazily create on first use; both are safe on a nil
+// *Registry (they return nil instruments, whose methods are no-ops), so
+// "metrics off" is just a nil registry.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a no-op counter) when the registry is nil.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// Returns nil (a no-op histogram) when the registry is nil.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot renders every instrument as sorted "name value" text lines —
+// counters as raw counts, histograms as count/mean/p99.
+func (r *Registry) Snapshot() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	lines := make([]string, 0, len(r.counters)+len(r.histograms))
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, c.Value()))
+	}
+	for name, h := range r.histograms {
+		lines = append(lines, fmt.Sprintf("%s count=%d mean=%v p99=%v",
+			name, h.Count(), h.Mean().Round(time.Microsecond), h.Quantile(0.99)))
+	}
+	r.mu.Unlock()
+	if len(lines) == 0 {
+		return ""
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// OpStats accumulates per-operator execution statistics for EXPLAIN
+// ANALYZE: Next/NextBatch call count, rows produced, and wall time spent
+// inside the operator (inclusive of children). All-atomic so parallel
+// fragment workers can share one instance per plan node.
+type OpStats struct {
+	calls atomic.Int64
+	rows  atomic.Int64
+	nanos atomic.Int64
+}
+
+// Record adds one operator call that produced n rows in d.
+func (o *OpStats) Record(n int64, d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.calls.Add(1)
+	o.rows.Add(n)
+	o.nanos.Add(int64(d))
+}
+
+// Rows returns total rows produced.
+func (o *OpStats) Rows() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.rows.Load()
+}
+
+// Calls returns total Next/NextBatch invocations.
+func (o *OpStats) Calls() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.calls.Load()
+}
+
+// Time returns total wall time inside the operator.
+func (o *OpStats) Time() time.Duration {
+	if o == nil {
+		return 0
+	}
+	return time.Duration(o.nanos.Load())
+}
+
+// Summary renders the EXPLAIN ANALYZE annotation for one plan node.
+func (o *OpStats) Summary() string {
+	if o == nil {
+		return "actual: not executed"
+	}
+	return fmt.Sprintf("actual rows=%d time=%v calls=%d",
+		o.Rows(), o.Time().Round(time.Microsecond), o.Calls())
+}

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed node in a trace: a named interval with an optional
+// parent and free-form annotations. Spans are created through
+// Trace.StartSpan and closed with End; both are safe to call on a nil
+// receiver so instrumented code needs no tracing-enabled checks.
+type Span struct {
+	tr     *Trace
+	parent *Span
+
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	end      time.Time
+	ended    bool
+	notes    []string
+	children []*Span
+}
+
+// Trace is a tree of spans for a single statement (or explicit-txn
+// commit). A nil *Trace is a valid "tracing off" value: StartSpan on it
+// returns nil and every Span method on nil is a no-op, so the hot path
+// pays only a nil check when tracing is disabled.
+type Trace struct {
+	clock Clock
+
+	mu   sync.Mutex
+	root *Span
+}
+
+// NewTrace starts a trace whose root span carries the given name
+// (typically the statement text, truncated). A nil clock means Wall.
+func NewTrace(name string, clock Clock) *Trace {
+	tr := &Trace{clock: Or(clock)}
+	tr.root = &Span{tr: tr, name: name, start: tr.clock.Now()}
+	return tr
+}
+
+// Root returns the trace's root span (nil for a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// StartSpan opens a child span under parent (the root when parent is
+// nil). On a nil trace it returns nil, which the Span methods tolerate.
+func (t *Trace) StartSpan(parent *Span, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	if parent == nil {
+		parent = t.root
+	}
+	s := &Span{tr: t, parent: parent, name: name, start: t.clock.Now()}
+	parent.mu.Lock()
+	parent.children = append(parent.children, s)
+	parent.mu.Unlock()
+	return s
+}
+
+// End closes the span at the current clock reading. Repeated End calls
+// keep the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := s.tr.clock.Now()
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.end = now
+	}
+	s.mu.Unlock()
+}
+
+// Annotate appends a formatted note rendered next to the span line.
+func (s *Span) Annotate(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	note := fmt.Sprintf(format, args...)
+	s.mu.Lock()
+	s.notes = append(s.notes, note)
+	s.mu.Unlock()
+}
+
+// Name returns the span's name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.name
+}
+
+// Duration reports end-start, or elapsed-so-far for an open span.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.end.Sub(s.start)
+	}
+	return s.tr.clock.Since(s.start)
+}
+
+// Children returns a snapshot of the span's direct children.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// End closes the root span; call once the statement finishes.
+func (t *Trace) End() { t.Root().End() }
+
+// Render returns the span tree as indented text, one span per line:
+//
+//	execute SELECT ...                        1.2ms
+//	  plan                                    80µs [cache=hit]
+//	  scan shard=orders[1] dn=dn1             600µs
+func (t *Trace) Render() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	renderSpan(&b, t.root, 0)
+	return b.String()
+}
+
+func renderSpan(b *strings.Builder, s *Span, depth int) {
+	s.mu.Lock()
+	name := s.name
+	d := s.end.Sub(s.start)
+	if !s.ended {
+		d = s.tr.clock.Since(s.start)
+	}
+	notes := append([]string(nil), s.notes...)
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+
+	line := strings.Repeat("  ", depth) + name
+	pad := 44 - len(line)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(b, "%s%s%v", line, strings.Repeat(" ", pad), d.Round(time.Microsecond))
+	if len(notes) > 0 {
+		fmt.Fprintf(b, " [%s]", strings.Join(notes, " "))
+	}
+	b.WriteByte('\n')
+	for _, c := range children {
+		renderSpan(b, c, depth+1)
+	}
+}
+
+// Find returns every span in the trace whose name starts with prefix,
+// in depth-first order — the assertion helper for span-tree tests.
+func (t *Trace) Find(prefix string) []*Span {
+	if t == nil {
+		return nil
+	}
+	var out []*Span
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		s.mu.Lock()
+		name := s.name
+		children := append([]*Span(nil), s.children...)
+		s.mu.Unlock()
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, s)
+		}
+		for _, c := range children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// FindUnder is Find scoped to the subtree rooted at s (inclusive).
+func (s *Span) FindUnder(prefix string) []*Span {
+	if s == nil {
+		return nil
+	}
+	var out []*Span
+	var walk func(sp *Span)
+	walk = func(sp *Span) {
+		sp.mu.Lock()
+		name := sp.name
+		children := append([]*Span(nil), sp.children...)
+		sp.mu.Unlock()
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, sp)
+		}
+		for _, c := range children {
+			walk(c)
+		}
+	}
+	walk(s)
+	return out
+}
+
+// SpanNames returns the sorted distinct span names in the trace —
+// convenient for quick test diagnostics.
+func (t *Trace) SpanNames() []string {
+	if t == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	for _, s := range t.Find("") {
+		seen[s.Name()] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -30,6 +30,10 @@ type PlanCache struct {
 	byFP map[string]*list.Element
 
 	hits, misses atomic.Uint64
+	// arityEvictions counts slots evicted because a lookup arrived with a
+	// different parameter count than the cached skeleton (fingerprint
+	// collision across literal arities).
+	arityEvictions atomic.Uint64
 }
 
 // cacheSlot is one cached skeleton.
@@ -58,7 +62,11 @@ func NewPlanCache(capacity int) *PlanCache {
 // Lookup returns a plan instantiated with params, or nil on miss. A hit
 // requires the cached epoch to match: any DDL bumps the epoch, so stale
 // plans (e.g. referencing a dropped or superseded physical table) are
-// evicted on first touch rather than executed.
+// evicted on first touch rather than executed. A param-count mismatch —
+// two statements sharing a fingerprint but carrying different literal
+// counts — likewise evicts the slot: instantiating positionally with the
+// wrong arity would bind literals to the wrong plan nodes (or index out
+// of range), so the slot must not survive to poison later lookups.
 func (pc *PlanCache) Lookup(fp string, epoch uint64, params []*sql.Literal) *Plan {
 	pc.mu.Lock()
 	el, ok := pc.byFP[fp]
@@ -69,6 +77,9 @@ func (pc *PlanCache) Lookup(fp string, epoch uint64, params []*sql.Literal) *Pla
 	}
 	slot := el.Value.(*cacheSlot)
 	if slot.epoch != epoch || len(slot.params) != len(params) {
+		if len(slot.params) != len(params) {
+			pc.arityEvictions.Add(1)
+		}
 		pc.lru.Remove(el)
 		delete(pc.byFP, fp)
 		pc.misses.Add(1)
@@ -108,6 +119,10 @@ func (pc *PlanCache) Store(fp string, epoch uint64, plan *Plan, params []*sql.Li
 func (pc *PlanCache) Stats() (hits, misses uint64) {
 	return pc.hits.Load(), pc.misses.Load()
 }
+
+// ArityEvictions returns how many slots were evicted on a parameter-count
+// mismatch.
+func (pc *PlanCache) ArityEvictions() uint64 { return pc.arityEvictions.Load() }
 
 // Len returns the number of cached skeletons.
 func (pc *PlanCache) Len() int {

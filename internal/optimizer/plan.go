@@ -311,3 +311,35 @@ func (p *Plan) Explain() string {
 	rec(p.Root, 0)
 	return b.String()
 }
+
+// ExplainAnalyze renders the plan tree like Explain, appending per-node
+// runtime statistics supplied by stat (EXPLAIN ANALYZE). stat is a
+// callback so the optimizer stays ignorant of how execution is measured;
+// a nil or empty return for a node omits the annotation.
+func (p *Plan) ExplainAnalyze(stat func(Node) string) string {
+	var b strings.Builder
+	class := "TP"
+	if p.IsAP {
+		class = "AP"
+	}
+	exec := "row"
+	if p.Vectorized {
+		exec = "batch"
+	}
+	fmt.Fprintf(&b, "-- class=%s cost=%.0f mpp=%v exec=%s\n", class, p.Cost, p.MPP, exec)
+	var rec func(n Node, depth int)
+	rec = func(n Node, depth int) {
+		fmt.Fprintf(&b, "%s%s  (rows≈%d)", strings.Repeat("  ", depth), n.Explain(), int(n.EstRows()))
+		if stat != nil {
+			if s := stat(n); s != "" {
+				fmt.Fprintf(&b, "  (%s)", s)
+			}
+		}
+		b.WriteByte('\n')
+		for _, c := range n.Children() {
+			rec(c, depth+1)
+		}
+	}
+	rec(p.Root, 0)
+	return b.String()
+}

@@ -33,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/wal"
 )
@@ -107,6 +108,11 @@ type Config struct {
 
 	// Seed randomizes election timeouts deterministically in tests.
 	Seed int64
+
+	// QuorumWait, when non-nil, observes how long AwaitDurable callers
+	// block for majority replication — the paper's Paxos quorum-wait
+	// component of commit latency. Nil-safe.
+	QuorumWait *obs.Histogram
 }
 
 func (c *Config) withDefaults() Config {
@@ -421,7 +427,9 @@ func (n *Node) Propose(recs ...wal.Record) (wal.LSN, error) {
 }
 
 // AwaitDurable blocks until DLSN >= lsn (the transaction's last MTR is
-// durable on a majority) or the node loses leadership/stops.
+// durable on a majority) or the node loses leadership/stops. Parked
+// waits are observed into the QuorumWait histogram (the already-durable
+// fast path costs nothing and is not recorded).
 func (n *Node) AwaitDurable(lsn wal.LSN) error {
 	n.mu.Lock()
 	if n.dlsn >= lsn {
@@ -435,6 +443,12 @@ func (n *Node) AwaitDurable(lsn wal.LSN) error {
 	ch := make(chan error, 1)
 	n.waiters = append(n.waiters, commitWaiter{lsn: lsn, ch: ch})
 	n.mu.Unlock()
+	if h := n.cfg.QuorumWait; h != nil {
+		start := time.Now()
+		err := <-ch
+		h.Observe(time.Since(start))
+		return err
+	}
 	return <-ch
 }
 

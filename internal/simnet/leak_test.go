@@ -1,0 +1,99 @@
+package simnet
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestCallTimeoutReclaimsGoroutines: when a reply arrives after the
+// caller's deadline, both the sender goroutine and the late-reply
+// watcher must exit — nothing may stay parked on an abandoned channel.
+func TestCallTimeoutReclaimsGoroutines(t *testing.T) {
+	n := New(ZeroTopology())
+	n.Register("cn", DC1, nil)
+	release := make(chan struct{})
+	n.Register("dn", DC1, func(from string, msg any) (any, error) {
+		<-release // hold the reply past the caller's deadline
+		return "late", nil
+	})
+
+	runtime.GC()
+	base := runtime.NumGoroutine()
+
+	const calls = 20
+	for i := 0; i < calls; i++ {
+		_, err := n.CallTimeout("cn", "dn", "ping", time.Millisecond)
+		if !errors.Is(err, ErrTimeout) {
+			t.Fatalf("call %d: err = %v, want ErrTimeout", i, err)
+		}
+	}
+	// Each timed-out call leaves a sender goroutine blocked in the
+	// handler plus a watcher draining its channel; both must unwind once
+	// the handler returns.
+	close(release)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= base+1 { // allow one GC helper of slack
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: base=%d now=%d", base, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Every held reply eventually landed after its deadline and must be
+	// counted as late.
+	lateDeadline := time.Now().Add(2 * time.Second)
+	for n.LateReplies() < calls {
+		if time.Now().After(lateDeadline) {
+			t.Fatalf("late replies = %d, want %d", n.LateReplies(), calls)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestNetMetricsByLinkClass: installed instruments see intra- vs
+// inter-DC calls in the right histogram, and errors are counted.
+func TestNetMetricsByLinkClass(t *testing.T) {
+	n := New(ZeroTopology())
+	reg := obs.NewRegistry()
+	m := &NetMetrics{
+		IntraDC: reg.Histogram("rpc.intra_dc"),
+		InterDC: reg.Histogram("rpc.inter_dc"),
+		Calls:   reg.Counter("rpc.calls"),
+		Errors:  reg.Counter("rpc.errors"),
+	}
+	n.SetMetrics(m)
+	n.Register("a1", DC1, func(string, any) (any, error) { return "ok", nil })
+	n.Register("a2", DC1, func(string, any) (any, error) { return "ok", nil })
+	n.Register("b1", DC2, func(string, any) (any, error) { return "ok", nil })
+
+	if _, err := n.Call("a1", "a2", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Call("a1", "b1", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Call("a1", "nobody", "x"); err == nil {
+		t.Fatal("call to unknown endpoint should fail")
+	}
+	if got := m.IntraDC.Count(); got != 1 {
+		t.Fatalf("intra-DC observations = %d, want 1", got)
+	}
+	if got := m.InterDC.Count(); got != 1 {
+		t.Fatalf("inter-DC observations = %d, want 1", got)
+	}
+	if got := m.Calls.Value(); got != 2 {
+		t.Fatalf("calls = %d, want 2", got)
+	}
+	if got := m.Errors.Value(); got != 1 {
+		t.Fatalf("errors = %d, want 1", got)
+	}
+}

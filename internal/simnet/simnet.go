@@ -19,6 +19,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // DC identifies a datacenter.
@@ -113,7 +115,30 @@ type Network struct {
 	// stats
 	statsMu sync.Mutex
 	msgs    map[string]int64 // per-destination message count
+
+	// metrics, when installed, records RPC latency by link class plus
+	// call/error counts. Held behind an atomic pointer so the hot path
+	// pays one load when metrics are off.
+	metrics     atomic.Pointer[NetMetrics]
+	lateReplies atomic.Int64
 }
+
+// NetMetrics holds the fabric's instruments. Any field may be nil (the
+// obs instruments are nil-safe).
+type NetMetrics struct {
+	IntraDC     *obs.Histogram // round-trip latency, same-DC calls
+	InterDC     *obs.Histogram // round-trip latency, cross-DC calls
+	Calls       *obs.Counter   // completed Call round trips
+	Errors      *obs.Counter   // Call round trips returning an error
+	LateReplies *obs.Counter   // replies that arrived after the caller's deadline
+}
+
+// SetMetrics installs (or, with nil, removes) the fabric's instruments.
+func (n *Network) SetMetrics(m *NetMetrics) { n.metrics.Store(m) }
+
+// LateReplies reports replies that arrived after their caller already
+// timed out — the in-doubt window 2PC recovery has to cover.
+func (n *Network) LateReplies() int64 { return n.lateReplies.Load() }
 
 // New creates a Network with the given topology.
 func New(topo Topology) *Network {
@@ -272,6 +297,18 @@ func (n *Network) CallTimeout(from, to string, msg any, d time.Duration) (any, e
 	case r := <-ch:
 		return r.reply, r.err
 	case <-timer.C:
+		// The sender goroutine is not leaked: ch is buffered, so it
+		// completes and exits whenever callSync returns. Drain it from a
+		// watcher so a reply that lands after the deadline is counted —
+		// that late-arrival window is the 2PC in-doubt ambiguity.
+		go func() {
+			if r := <-ch; r.err == nil {
+				n.lateReplies.Add(1)
+				if m := n.metrics.Load(); m != nil {
+					m.LateReplies.Inc()
+				}
+			}
+		}()
 		return nil, fmt.Errorf("%w: %s -> %s after %v", ErrTimeout, from, to, d)
 	}
 }
@@ -279,10 +316,28 @@ func (n *Network) CallTimeout(from, to string, msg any, d time.Duration) (any, e
 // callSync is the blocking delivery path, with fault injection applied to
 // both legs. A dropped request or reply surfaces as ErrTimeout after the
 // propagation delay (fast-fail stand-in for an RPC timeout wait).
-func (n *Network) callSync(from, to string, msg any) (any, error) {
+func (n *Network) callSync(from, to string, msg any) (reply any, callErr error) {
 	srcDC, dst, err := n.lookup(from, to)
 	if err != nil {
+		if m := n.metrics.Load(); m != nil {
+			m.Errors.Inc()
+		}
 		return nil, err
+	}
+	if m := n.metrics.Load(); m != nil {
+		start := time.Now()
+		defer func() {
+			d := time.Since(start)
+			if srcDC == dst.dc {
+				m.IntraDC.Observe(d)
+			} else {
+				m.InterDC.Observe(d)
+			}
+			m.Calls.Inc()
+			if callErr != nil {
+				m.Errors.Inc()
+			}
+		}()
 	}
 	oneWay := n.topo.OneWay(srcDC, dst.dc)
 	crashed := n.fireCrashHook(from, to, msg)
@@ -294,7 +349,7 @@ func (n *Network) callSync(from, to string, msg any) (any, error) {
 	if dst.isDown() {
 		return nil, fmt.Errorf("%w: %s", ErrEndpointDown, to)
 	}
-	reply, err := dst.handler(from, msg)
+	reply, hErr := dst.handler(from, msg)
 	if leg.dup && !dst.isDown() {
 		// At-least-once delivery: the handler runs a second time; the
 		// duplicate's reply is discarded. Exercises handler idempotency.
@@ -315,7 +370,7 @@ func (n *Network) callSync(from, to string, msg any) (any, error) {
 	if ret.drop {
 		return nil, fmt.Errorf("%w: %s -> %s (reply lost)", ErrTimeout, to, from)
 	}
-	return reply, err
+	return reply, hErr
 }
 
 // Send delivers a one-way message asynchronously after the propagation

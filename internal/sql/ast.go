@@ -273,3 +273,14 @@ type Select struct {
 }
 
 func (*Select) stmt() {}
+
+// Explain wraps a statement for plan display: EXPLAIN renders the chosen
+// physical plan without executing; EXPLAIN ANALYZE executes it with
+// instrumented operators and annotates each node with actual rows-out
+// and wall time.
+type Explain struct {
+	Analyze bool
+	Stmt    Statement
+}
+
+func (*Explain) stmt() {}

@@ -45,7 +45,7 @@ var keywords = map[string]bool{
 	"INT": true, "BIGINT": true, "FLOAT": true, "DOUBLE": true, "DECIMAL": true,
 	"VARCHAR": true, "CHAR": true, "TEXT": true, "BOOL": true, "DATE": true,
 	"EXISTS": true, "IF": true, "CASE": true, "WHEN": true, "THEN": true,
-	"ELSE": true, "END": true, "IS": true,
+	"ELSE": true, "END": true, "IS": true, "EXPLAIN": true, "ANALYZE": true,
 }
 
 // Lexer tokenizes SQL text.

@@ -91,9 +91,28 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseDelete()
 	case p.at(TokKeyword, "CREATE"):
 		return p.parseCreate()
+	case p.at(TokKeyword, "EXPLAIN"):
+		return p.parseExplain()
 	default:
 		return nil, p.errf("unexpected %q", p.cur().Text)
 	}
+}
+
+// parseExplain parses EXPLAIN [ANALYZE] <select>. Only SELECT is
+// explainable: DML plans are trivially single-node and DDL has no plan.
+func (p *Parser) parseExplain() (Statement, error) {
+	if _, err := p.expect(TokKeyword, "EXPLAIN"); err != nil {
+		return nil, err
+	}
+	analyze := p.accept(TokKeyword, "ANALYZE")
+	if !p.at(TokKeyword, "SELECT") {
+		return nil, p.errf("EXPLAIN supports only SELECT, found %q", p.cur().Text)
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &Explain{Analyze: analyze, Stmt: sel}, nil
 }
 
 // identLike accepts an identifier or a non-reserved keyword used as a

@@ -1,0 +1,108 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/hlc"
+	"repro/internal/obs"
+	"repro/internal/simnet"
+)
+
+// waitSleepers polls until n goroutines are parked in the fake clock.
+func waitSleepers(t *testing.T, fc *obs.FakeClock, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for fc.Sleepers() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("sleepers = %d, want %d", fc.Sleepers(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCallRetryBackoffDeterministic: retry backoff sleeps run on the
+// injected clock, so a test drives the whole retry schedule (2ms then
+// 4ms) explicitly — no wall-clock time passes while the retries wait.
+func TestCallRetryBackoffDeterministic(t *testing.T) {
+	net := simnet.New(simnet.ZeroTopology())
+	net.Register("cn", simnet.DC1, nil)
+	net.Register("dn", simnet.DC1, func(string, any) (any, error) { return nil, nil })
+	net.SetDown("dn", true) // every call fails with the retryable ErrEndpointDown
+
+	c := NewCoordinator(net, "cn", NewHLCOracle(hlc.NewClock(nil)))
+	fc := obs.NewFakeClock(time.Unix(0, 0))
+	c.SetClock(fc)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.callRetry("dn", "ping")
+		done <- err
+	}()
+
+	// Attempt 1 fails immediately; the retry loop parks on the fake
+	// clock for the first backoff.
+	waitSleepers(t, fc, 1)
+	select {
+	case err := <-done:
+		t.Fatalf("callRetry returned during first backoff: %v", err)
+	default:
+	}
+	fc.Advance(defaultRetry.Base) // releases backoff #1
+
+	// Attempt 2 fails; second backoff is Base*2.
+	waitSleepers(t, fc, 1)
+	fc.Advance(2 * defaultRetry.Base)
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, simnet.ErrEndpointDown) {
+			t.Fatalf("err = %v, want ErrEndpointDown", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("callRetry did not finish after final backoff was released")
+	}
+}
+
+// TestEnsureBranchBackoffDeterministic: after a failed branch open the
+// next attempt waits out the open backoff on the injected clock.
+func TestEnsureBranchBackoffDeterministic(t *testing.T) {
+	net := simnet.New(simnet.ZeroTopology())
+	net.Register("cn", simnet.DC1, nil)
+	net.Register("dn", simnet.DC1, func(string, any) (any, error) { return nil, nil })
+	net.SetDown("dn", true)
+
+	c := NewCoordinator(net, "cn", NewHLCOracle(hlc.NewClock(nil)))
+	fc := obs.NewFakeClock(time.Unix(0, 0))
+	c.SetClock(fc)
+
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.ensureBranch("dn"); !errors.Is(err, simnet.ErrEndpointDown) {
+		t.Fatalf("first open err = %v, want ErrEndpointDown", err)
+	}
+
+	// The second attempt must park on the open backoff rather than
+	// hammering the down leader.
+	done := make(chan error, 1)
+	go func() { done <- tx.ensureBranch("dn") }()
+	waitSleepers(t, fc, 1)
+	select {
+	case err := <-done:
+		t.Fatalf("second open returned during backoff: %v", err)
+	default:
+	}
+	net.SetDown("dn", false) // leader healed while we waited
+	fc.Advance(openBackoffBase)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("second open after heal: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("ensureBranch never returned after backoff released")
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/dn"
 	"repro/internal/hlc"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/types"
 	"repro/internal/wal"
@@ -43,6 +44,24 @@ type Coordinator struct {
 	releaseSem     chan struct{}
 	releaseErrs    atomic.Uint64
 	releaseSkipped atomic.Uint64
+
+	// clock drives retry/backoff sleeps; tests inject a FakeClock to make
+	// backoff deterministic.
+	clock obs.Clock
+	// Outcome counters (nil when no registry is installed — nil-safe).
+	mCommit  *obs.Counter
+	mAbort   *obs.Counter
+	mInDoubt *obs.Counter
+}
+
+// SetClock replaces the coordinator's backoff clock (tests only).
+func (c *Coordinator) SetClock(clk obs.Clock) { c.clock = obs.Or(clk) }
+
+// SetMetrics wires the coordinator's outcome counters into a registry.
+func (c *Coordinator) SetMetrics(reg *obs.Registry) {
+	c.mCommit = reg.Counter("txn.commit")
+	c.mAbort = reg.Counter("txn.abort")
+	c.mInDoubt = reg.Counter("txn.in_doubt")
 }
 
 // NewCoordinator builds a coordinator for the CN endpoint self.
@@ -57,6 +76,7 @@ func NewCoordinator(net *simnet.Network, self string, oracle Oracle) *Coordinato
 		// coordinators without coordination.
 		idBase:     h.Sum64() << 24,
 		releaseSem: make(chan struct{}, readerReleaseCap),
+		clock:      obs.Wall,
 	}
 }
 
@@ -106,6 +126,63 @@ type Tx struct {
 	// consistency is per DN group (LSNs of different groups are not
 	// comparable).
 	branchLSN map[string]wal.LSN
+
+	// trace, when set, makes every branch RPC and 2PC phase a timed span.
+	// Atomic so a statement can attach its trace mid-transaction without
+	// racing in-flight RPCs.
+	trace atomic.Pointer[traceCtx]
+}
+
+// traceCtx pairs a trace with the span new Tx spans should nest under.
+type traceCtx struct {
+	tr     *obs.Trace
+	parent *obs.Span
+}
+
+// SetTrace attaches (or with a nil trace detaches) tracing to the
+// transaction; subsequent RPC spans nest under parent.
+func (t *Tx) SetTrace(tr *obs.Trace, parent *obs.Span) {
+	if tr == nil {
+		t.trace.Store(nil)
+		return
+	}
+	t.trace.Store(&traceCtx{tr: tr, parent: parent})
+}
+
+// spanUnder opens a span beneath parent (or the attached default parent
+// when nil). Returns nil when no trace is attached.
+func (t *Tx) spanUnder(parent *obs.Span, name string) *obs.Span {
+	tc := t.trace.Load()
+	if tc == nil {
+		return nil
+	}
+	if parent == nil {
+		parent = tc.parent
+	}
+	return tc.tr.StartSpan(parent, name)
+}
+
+// call issues one branch RPC as a timed span.
+func (t *Tx) call(spanName, dnName string, msg any) (any, error) {
+	s := t.spanUnder(nil, spanName+" dn="+dnName)
+	reply, err := t.coord.net.Call(t.coord.self, dnName, msg)
+	if err != nil {
+		s.Annotate("err=%v", err)
+	}
+	s.End()
+	return reply, err
+}
+
+// callRetryTraced is callRetry as a timed span under parent — the 2PC
+// phases use it so prepare/commit-point/commit render per DN.
+func (t *Tx) callRetryTraced(parent *obs.Span, spanName, to string, msg any) (any, error) {
+	s := t.spanUnder(parent, spanName+" dn="+to)
+	reply, err := t.coord.callRetry(to, msg)
+	if err != nil {
+		s.Annotate("err=%v", err)
+	}
+	s.End()
+	return reply, err
 }
 
 // Begin opens a transaction: §IV step 1, mint the snapshot timestamp.
@@ -158,16 +235,16 @@ func (t *Tx) ensureBranch(dnName string) error {
 			return b.err
 		}
 		if f, ok := t.openFail[dnName]; ok {
-			if wait := time.Until(f.retryAt); wait > 0 {
+			if wait := t.coord.clock.Until(f.retryAt); wait > 0 {
 				t.mu.Unlock()
-				time.Sleep(wait)
+				t.coord.clock.Sleep(wait)
 				continue // re-check: another caller may have opened it meanwhile
 			}
 		}
 		b := &branch{ready: make(chan struct{})}
 		t.branches[dnName] = b
 		t.mu.Unlock()
-		_, err := t.coord.net.Call(t.coord.self, dnName,
+		_, err := t.call("rpc begin", dnName,
 			dn.BeginReq{TxnID: t.ID, SnapshotTS: t.Snapshot})
 		t.mu.Lock()
 		if err != nil {
@@ -183,7 +260,7 @@ func (t *Tx) ensureBranch(dnName string) error {
 			if backoff > openBackoffCap || backoff <= 0 {
 				backoff = openBackoffCap
 			}
-			f.retryAt = time.Now().Add(backoff)
+			f.retryAt = t.coord.clock.Now().Add(backoff)
 		} else {
 			delete(t.openFail, dnName)
 		}
@@ -222,7 +299,7 @@ func (t *Tx) Insert(dnName string, table uint32, row types.Row) error {
 	if err := t.ensureBranch(dnName); err != nil {
 		return err
 	}
-	_, err := t.coord.net.Call(t.coord.self, dnName,
+	_, err := t.call("rpc insert", dnName,
 		dn.WriteReq{TxnID: t.ID, Table: table, Op: dn.OpInsert, Row: row})
 	if err == nil {
 		t.markWrote(dnName)
@@ -235,7 +312,7 @@ func (t *Tx) Update(dnName string, table uint32, row types.Row) error {
 	if err := t.ensureBranch(dnName); err != nil {
 		return err
 	}
-	_, err := t.coord.net.Call(t.coord.self, dnName,
+	_, err := t.call("rpc update", dnName,
 		dn.WriteReq{TxnID: t.ID, Table: table, Op: dn.OpUpdate, Row: row})
 	if err == nil {
 		t.markWrote(dnName)
@@ -248,7 +325,7 @@ func (t *Tx) Delete(dnName string, table uint32, pk []byte) error {
 	if err := t.ensureBranch(dnName); err != nil {
 		return err
 	}
-	_, err := t.coord.net.Call(t.coord.self, dnName,
+	_, err := t.call("rpc delete", dnName,
 		dn.WriteReq{TxnID: t.ID, Table: table, Op: dn.OpDelete, PK: pk})
 	if err == nil {
 		t.markWrote(dnName)
@@ -261,7 +338,7 @@ func (t *Tx) Get(dnName string, table uint32, pk []byte) (types.Row, bool, error
 	if err := t.ensureBranch(dnName); err != nil {
 		return nil, false, err
 	}
-	reply, err := t.coord.net.Call(t.coord.self, dnName,
+	reply, err := t.call("rpc get", dnName,
 		dn.ReadReq{TxnID: t.ID, Table: table, PK: pk})
 	if err != nil {
 		return nil, false, err
@@ -281,7 +358,7 @@ func (t *Tx) MultiGet(dnName string, gets []dn.PointGet) ([]dn.ReadResp, error) 
 	if err := t.registerBranch(dnName); err != nil {
 		return nil, err
 	}
-	reply, err := t.coord.net.Call(t.coord.self, dnName,
+	reply, err := t.call("rpc multiget", dnName,
 		dn.MultiGetReq{TxnID: t.ID, SnapshotTS: t.Snapshot, Gets: gets})
 	if err != nil {
 		return nil, err
@@ -302,7 +379,7 @@ func (t *Tx) MultiWrite(dnName string, writes []dn.WriteItem) error {
 		return err
 	}
 	t.markWrote(dnName)
-	_, err := t.coord.net.Call(t.coord.self, dnName,
+	_, err := t.call("rpc multiwrite", dnName,
 		dn.MultiWriteReq{TxnID: t.ID, SnapshotTS: t.Snapshot, Writes: writes})
 	return err
 }
@@ -312,7 +389,7 @@ func (t *Tx) Scan(dnName string, table uint32, index string, start, end []byte, 
 	if err := t.ensureBranch(dnName); err != nil {
 		return nil, err
 	}
-	reply, err := t.coord.net.Call(t.coord.self, dnName,
+	reply, err := t.call("rpc scan", dnName,
 		dn.ScanReq{TxnID: t.ID, Table: table, Index: index, Start: start, End: end, Limit: limit})
 	if err != nil {
 		return nil, err
@@ -364,6 +441,25 @@ func (t *Tx) BranchLSNs() map[string]wal.LSN {
 // Read-only branches are released with an abort message (nothing to
 // persist), matching the read-only optimization of standard 2PC.
 func (t *Tx) Commit() (hlc.Timestamp, error) {
+	cs := t.spanUnder(nil, "commit")
+	ts, err := t.commit(cs)
+	cs.End()
+	switch {
+	case err == nil || ts != 0:
+		// ts != 0 with an error is the partial phase-two failure: the
+		// decision is COMMIT and durable.
+		t.coord.mCommit.Inc()
+	case errors.Is(err, ErrInDoubt):
+		t.coord.mInDoubt.Inc()
+	case errors.Is(err, ErrTxDone):
+		// Double-commit programming error; not a transaction outcome.
+	default:
+		t.coord.mAbort.Inc()
+	}
+	return ts, err
+}
+
+func (t *Tx) commit(cs *obs.Span) (hlc.Timestamp, error) {
 	t.mu.Lock()
 	if t.done {
 		t.mu.Unlock()
@@ -389,7 +485,7 @@ func (t *Tx) Commit() (hlc.Timestamp, error) {
 		if err != nil {
 			return 0, err
 		}
-		reply, err := t.coord.callRetry(writers[0],
+		reply, err := t.callRetryTraced(cs, "commit-1pc", writers[0],
 			dn.CommitReq{TxnID: t.ID, CommitTS: commitTS})
 		if err != nil {
 			if Retryable(err) {
@@ -424,7 +520,7 @@ func (t *Tx) Commit() (hlc.Timestamp, error) {
 	results := make(chan prepResult, len(writers))
 	for _, b := range writers {
 		go func(b string) {
-			reply, err := t.coord.callRetry(b, dn.PrepareReq{TxnID: t.ID, Primary: primary})
+			reply, err := t.callRetryTraced(cs, "prepare", b, dn.PrepareReq{TxnID: t.ID, Primary: primary})
 			if err != nil {
 				results <- prepResult{err: err}
 				return
@@ -460,7 +556,7 @@ func (t *Tx) Commit() (hlc.Timestamp, error) {
 	// Commit point: make the decision durable on the primary branch
 	// before telling anyone else to commit. Until this RPC succeeds, no
 	// participant is allowed to commit; after it succeeds, none may abort.
-	reply, err := t.coord.callRetry(primary,
+	reply, err := t.callRetryTraced(cs, "commit-point", primary,
 		dn.CommitReq{TxnID: t.ID, CommitTS: commitTS, CommitPoint: true})
 	if err != nil {
 		if Retryable(err) {
@@ -499,7 +595,7 @@ func (t *Tx) Commit() (hlc.Timestamp, error) {
 		}
 		fanout++
 		go func(b string) {
-			reply, err := t.coord.callRetry(b, dn.CommitReq{TxnID: t.ID, CommitTS: commitTS})
+			reply, err := t.callRetryTraced(cs, "commit", b, dn.CommitReq{TxnID: t.ID, CommitTS: commitTS})
 			if err == nil {
 				resp := reply.(dn.CommitResp)
 				t.mu.Lock()
@@ -606,8 +702,11 @@ func (t *Tx) Abort() error {
 	}
 	t.done = true
 	t.mu.Unlock()
+	s := t.spanUnder(nil, "abort")
 	writers, readers := t.settledBranches()
 	t.abortBranches(append(writers, readers...))
+	s.End()
+	t.coord.mAbort.Inc()
 	return nil
 }
 
@@ -674,7 +773,7 @@ func (t *Tx) ScanReq(dnName string, req dn.ScanReq) ([]types.Row, error) {
 		return nil, err
 	}
 	req.TxnID = t.ID
-	reply, err := t.coord.net.Call(t.coord.self, dnName, req)
+	reply, err := t.call("rpc scan", dnName, req)
 	if err != nil {
 		return nil, err
 	}

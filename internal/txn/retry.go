@@ -38,7 +38,7 @@ func (c *Coordinator) callRetry(to string, msg any) (any, error) {
 	backoff := defaultRetry.Base
 	for attempt := 0; attempt < defaultRetry.Attempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			c.clock.Sleep(backoff)
 			if backoff *= 2; backoff > defaultRetry.Cap {
 				backoff = defaultRetry.Cap
 			}

@@ -2,6 +2,7 @@ package vector
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/types"
 )
@@ -23,6 +24,16 @@ type Batch struct {
 	// Shared marks zero-copy batches whose vectors are owned elsewhere;
 	// Release must not recycle them.
 	Shared bool
+	// Owner, set on a Shared view, is the pooled batch whose storage the
+	// view borrows. Release on the view forwards to the owner so a
+	// consumer that only ever sees the view still recycles the backing
+	// batch. Nil for views over storage with independent lifetime (e.g.
+	// the column index's own vectors).
+	Owner *Batch
+	// released poisons an owned batch after its first Release: a second
+	// Release must not re-pool the same backing vectors (two NewBatch
+	// callers would then share storage and race).
+	released atomic.Bool
 }
 
 // NumCols returns the column count.
@@ -107,8 +118,11 @@ func FromRows(rows []types.Row, ncols int) *Batch {
 // NewBatch returns a pooled batch with ncols empty vectors.
 func NewBatch(ncols int) *Batch {
 	b := batchPool.Get().(*Batch)
+	poolGets.Add(1)
 	b.Shared = false
+	b.Owner = nil
 	b.Sel = nil
+	b.released.Store(false)
 	if cap(b.Vecs) < ncols {
 		b.Vecs = make([]*Vector, ncols)
 	} else {
@@ -124,14 +138,31 @@ func NewBatch(ncols int) *Batch {
 }
 
 // Release returns a batch to the pool. Shared batches (zero-copy views
-// over storage owned elsewhere) are left untouched. Callers must drop
-// every reference to the batch and its vectors afterwards.
+// over storage owned elsewhere) forward to their Owner when one is set
+// and are otherwise left untouched. Callers must drop every reference to
+// the batch and its vectors afterwards.
+//
+// Double Release of an owned batch is a pool-corruption bug (the same
+// backing vectors would be handed to two NewBatch callers); the released
+// flag makes the second call a counted no-op instead.
 func (b *Batch) Release() {
-	if b == nil || b.Shared {
+	if b == nil {
+		return
+	}
+	if b.Shared {
+		if o := b.Owner; o != nil {
+			b.Owner = nil
+			o.Release()
+		}
+		return
+	}
+	if !b.released.CompareAndSwap(false, true) {
+		poolDoubleReleases.Add(1)
 		return
 	}
 	putSel(b.Sel)
 	b.Sel = nil
+	poolPuts.Add(1)
 	batchPool.Put(b)
 }
 
@@ -156,3 +187,17 @@ func putSel(sel []int) {
 
 // PutSel releases a selection slice that was detached from a batch.
 func PutSel(sel []int) { putSel(sel) }
+
+// Pool traffic counters, exported through PoolStats for the cluster
+// metrics snapshot. poolDoubleReleases counts Release calls blocked by
+// the poison flag — nonzero means a consumer has an ownership bug.
+var (
+	poolGets           atomic.Int64
+	poolPuts           atomic.Int64
+	poolDoubleReleases atomic.Int64
+)
+
+// PoolStats reports cumulative batch-pool traffic across the process.
+func PoolStats() (gets, puts, doubleReleases int64) {
+	return poolGets.Load(), poolPuts.Load(), poolDoubleReleases.Load()
+}
