@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race chaos bench-fig7 bench-fig10 trace-demo
+.PHONY: build vet test test-short test-race chaos bench-fig7 bench-fig10 bench-commit trace-demo
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ test: chaos
 # the tests, so failures reproduce deterministically.
 chaos:
 	$(GO) test -race ./internal/simnet/
-	$(GO) test -race -run 'Chaos|CoordinatorCrash|PartitionedPrimary|DuplicatedCommitPoint|LossyLinks' \
+	$(GO) test -race -run 'Chaos|CoordinatorCrash|PartitionedPrimary|DuplicatedCommitPoint|LossyLinks|Pipeline|GroupCommit' \
 		./internal/txn/ ./internal/core/ ./internal/paxos/
 
 test-short:
@@ -46,6 +46,14 @@ bench-fig7:
 bench-fig10:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig10' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkExecBatchVsRow' ./internal/executor/
+
+# Commit-pipeline benchmark: sustained multi-client commit throughput
+# over a fixed 3-DC RTT matrix, group commit on vs off (the seed's
+# flush-per-MTR path), plus the Go micro-benchmark. The sweep writes
+# BENCH_commit.json as the standing record.
+bench-commit:
+	$(GO) run ./cmd/polardbx-bench -exp commit -commit-out BENCH_commit.json
+	$(GO) test -run '^$$' -bench 'BenchmarkCommitThroughput' ./internal/paxos/
 
 # End-to-end observability demo: span trees for a fan-out read and a
 # 2PC write, EXPLAIN ANALYZE, the slow-query log, and a metrics

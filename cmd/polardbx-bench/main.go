@@ -10,6 +10,7 @@
 //	polardbx-bench -exp fig9           # HTAP isolation, 6 configurations
 //	polardbx-bench -exp fig10          # TPC-H MPP + column index, 22 queries
 //	polardbx-bench -exp fig10 -quick   # reduced scale for a fast look
+//	polardbx-bench -exp commit         # group-commit + pipelined Paxos sweep
 package main
 
 import (
@@ -24,8 +25,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig7, fig8, fig9, fig10")
+	exp := flag.String("exp", "all", "experiment: all, fig7, fig8, fig9, fig10, commit")
 	quick := flag.Bool("quick", false, "reduced scale (faster, noisier)")
+	commitOut := flag.String("commit-out", "", "write the commit sweep as JSON to this path")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -104,8 +106,28 @@ func main() {
 			return nil
 		})
 	}
-	if !want("fig7") && !want("fig8") && !want("fig9") && !want("fig10") {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, fig7, fig8, fig9, fig10)\n", *exp)
+	if want("commit") {
+		run("Commit throughput: group commit + pipelined Paxos vs flush-per-MTR", func() error {
+			opts := bench.CommitOptions{}
+			if *quick {
+				opts = bench.CommitOptions{Duration: 500 * time.Millisecond}
+			}
+			res, err := bench.RunCommit(opts)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			if *commitOut != "" {
+				if err := res.WriteJSON(*commitOut); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *commitOut)
+			}
+			return nil
+		})
+	}
+	if !want("fig7") && !want("fig8") && !want("fig9") && !want("fig10") && !want("commit") {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, fig7, fig8, fig9, fig10, commit)\n", *exp)
 		os.Exit(2)
 	}
 }

@@ -1,0 +1,246 @@
+// Commit-throughput experiment for the replication pipeline: sustained
+// multi-client commit rate through one Paxos group spread over three
+// DCs with a fixed inter-DC RTT matrix, with the group-commit window on
+// versus off (the seed's flush-per-MTR behavior). The grouped/ungrouped
+// ratio at equal client count is the group-commit win; mean MTRs per
+// flush shows how well the accumulation window fills.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/paxos"
+	"repro/internal/simnet"
+	"repro/internal/wal"
+)
+
+// CommitOptions parameterizes RunCommit. Zero values pick the standing
+// configuration used by `make bench-commit`.
+type CommitOptions struct {
+	// Committers is the set of concurrent client counts to sweep.
+	Committers []int
+	// Window is the accumulation window for the grouped variant.
+	Window time.Duration
+	// FlushDelay models one redo write on the simulated block device.
+	FlushDelay time.Duration
+	// Duration is the measured wall time per scenario.
+	Duration time.Duration
+}
+
+func (o CommitOptions) withDefaults() CommitOptions {
+	if len(o.Committers) == 0 {
+		o.Committers = []int{8, 32}
+	}
+	if o.Window <= 0 {
+		o.Window = 300 * time.Microsecond
+	}
+	if o.FlushDelay <= 0 {
+		o.FlushDelay = 2 * time.Millisecond
+	}
+	if o.Duration <= 0 {
+		o.Duration = 2 * time.Second
+	}
+	return o
+}
+
+// CommitScenario is one (committers, grouped?) cell of the sweep.
+type CommitScenario struct {
+	Name          string  `json:"name"`
+	Committers    int     `json:"committers"`
+	Grouped       bool    `json:"grouped"`
+	WindowUS      int64   `json:"window_us"`
+	Commits       int64   `json:"commits"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	Flushes       int64   `json:"flushes"`
+	MTRsPerFlush  float64 `json:"mean_mtrs_per_flush"`
+	WaitP50US     int64   `json:"quorum_wait_p50_us"`
+	WaitP99US     int64   `json:"quorum_wait_p99_us"`
+	WaitMeanUS    int64   `json:"quorum_wait_mean_us"`
+}
+
+// CommitResult is the full sweep, serialized to BENCH_commit.json by
+// `make bench-commit` as the standing record of the pipeline's shape.
+type CommitResult struct {
+	FlushDelayUS int64              `json:"flush_delay_us"`
+	WindowUS     int64              `json:"window_us"`
+	RTTms        map[string]float64 `json:"rtt_ms"`
+	DurationMS   int64              `json:"duration_ms"`
+	Scenarios    []CommitScenario   `json:"scenarios"`
+	// Speedup maps committer count -> grouped/ungrouped throughput.
+	Speedup map[string]float64 `json:"speedup"`
+}
+
+// commitTopology is the three-DC regional triangle also used by the
+// BenchmarkCommitThroughput micro-benchmark.
+func commitTopology() (simnet.Topology, map[string]float64) {
+	topo := simnet.DefaultTopology()
+	topo.Custom = map[[2]simnet.DC]time.Duration{
+		{simnet.DC1, simnet.DC2}: 1 * time.Millisecond,
+		{simnet.DC1, simnet.DC3}: 1400 * time.Microsecond,
+		{simnet.DC2, simnet.DC3}: 1800 * time.Microsecond,
+	}
+	rtt := map[string]float64{"dc1-dc2": 1.0, "dc1-dc3": 1.4, "dc2-dc3": 1.8}
+	return topo, rtt
+}
+
+func runCommitScenario(committers int, window, flushDelay, duration time.Duration) (CommitScenario, error) {
+	topo, _ := commitTopology()
+	net := simnet.New(topo)
+	members := []paxos.Member{
+		{Name: "dn1", DC: simnet.DC1},
+		{Name: "dn2", DC: simnet.DC2},
+		{Name: "dn3", DC: simnet.DC3},
+	}
+	reg := obs.NewRegistry()
+	nodes := make([]*paxos.Node, 0, len(members))
+	for _, m := range members {
+		cfg := paxos.Config{
+			Group:             "g1",
+			Self:              m.Name,
+			Members:           members,
+			Net:               net,
+			HeartbeatEvery:    time.Millisecond,
+			ElectionTimeout:   5 * time.Second,
+			Pipelined:         true,
+			GroupCommitWindow: window,
+			FlushDelay:        flushDelay,
+			Seed:              7,
+		}
+		if m.Name == "dn1" {
+			cfg.Metrics = reg
+		}
+		n, err := paxos.NewNode(cfg)
+		if err != nil {
+			return CommitScenario{}, err
+		}
+		nodes = append(nodes, n)
+	}
+	nodes[0].Bootstrap()
+	for _, n := range nodes {
+		n.Start()
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+	leader := nodes[0]
+	if _, err := leader.ProposeAndWait(wal.Record{Type: wal.RecInsert, TableID: 1,
+		TxnID: 1, Key: []byte("warmup"), Payload: []byte("x")}); err != nil {
+		return CommitScenario{}, err
+	}
+	base := leader.MetricsSnapshot()
+
+	payload := make([]byte, 200)
+	deadline := time.Now().Add(duration)
+	var commits atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < committers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				rec := wal.Record{Type: wal.RecInsert, TableID: 1, TxnID: uint64(c),
+					Key: []byte(fmt.Sprintf("c%d-%d", c, i)), Payload: payload}
+				if _, err := leader.ProposeAndWait(rec); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				commits.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return CommitScenario{}, err
+	}
+
+	m := leader.MetricsSnapshot()
+	flushes := m.Flushes - base.Flushes
+	mtrs := m.GroupedMTRs - base.GroupedMTRs
+	sc := CommitScenario{
+		Committers:    committers,
+		Grouped:       window > 0,
+		WindowUS:      window.Microseconds(),
+		Commits:       commits.Load(),
+		CommitsPerSec: float64(commits.Load()) / elapsed.Seconds(),
+		Flushes:       flushes,
+	}
+	if sc.Grouped {
+		sc.Name = fmt.Sprintf("grouped-%d", committers)
+	} else {
+		sc.Name = fmt.Sprintf("ungrouped-%d", committers)
+	}
+	if flushes > 0 {
+		sc.MTRsPerFlush = float64(mtrs) / float64(flushes)
+	}
+	h := reg.Histogram("paxos.quorum_wait")
+	if h.Count() > 0 {
+		sc.WaitP50US = h.Quantile(0.5).Microseconds()
+		sc.WaitP99US = h.Quantile(0.99).Microseconds()
+		sc.WaitMeanUS = h.Mean().Microseconds()
+	}
+	return sc, nil
+}
+
+// RunCommit sweeps committer counts with group commit on and off.
+func RunCommit(opts CommitOptions) (*CommitResult, error) {
+	opts = opts.withDefaults()
+	_, rtt := commitTopology()
+	res := &CommitResult{
+		FlushDelayUS: opts.FlushDelay.Microseconds(),
+		WindowUS:     opts.Window.Microseconds(),
+		RTTms:        rtt,
+		DurationMS:   opts.Duration.Milliseconds(),
+		Speedup:      make(map[string]float64),
+	}
+	for _, committers := range opts.Committers {
+		var rate [2]float64 // grouped, ungrouped
+		for i, window := range []time.Duration{opts.Window, 0} {
+			sc, err := runCommitScenario(committers, window, opts.FlushDelay, opts.Duration)
+			if err != nil {
+				return nil, err
+			}
+			rate[i] = sc.CommitsPerSec
+			res.Scenarios = append(res.Scenarios, sc)
+		}
+		if rate[1] > 0 {
+			res.Speedup[fmt.Sprintf("%d", committers)] = rate[0] / rate[1]
+		}
+	}
+	return res, nil
+}
+
+// Print renders a paper-style table.
+func (r *CommitResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "commit throughput, 3 DCs (RTT %.1f/%.1f/%.1f ms), redo write %d µs\n",
+		r.RTTms["dc1-dc2"], r.RTTms["dc1-dc3"], r.RTTms["dc2-dc3"], r.FlushDelayUS)
+	fmt.Fprintf(w, "%-14s %10s %12s %10s %12s %12s\n",
+		"scenario", "commits", "commits/s", "flushes", "mtrs/flush", "p99 wait")
+	for _, sc := range r.Scenarios {
+		fmt.Fprintf(w, "%-14s %10d %12.0f %10d %12.1f %9d µs\n",
+			sc.Name, sc.Commits, sc.CommitsPerSec, sc.Flushes, sc.MTRsPerFlush, sc.WaitP99US)
+	}
+	for c, s := range r.Speedup {
+		fmt.Fprintf(w, "group-commit speedup at %s committers: %.2fx\n", c, s)
+	}
+}
+
+// WriteJSON writes the standing benchmark record.
+func (r *CommitResult) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

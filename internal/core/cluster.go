@@ -114,6 +114,13 @@ type Config struct {
 	// class, plan-cache hit/miss, txn outcomes, Paxos quorum waits. Off by
 	// default for the same reason as Tracing.
 	Metrics bool
+	// GroupCommitWindow tunes the DN leaders' group-commit accumulation
+	// window (0 = dn.DefaultGroupCommitWindow; negative disables group
+	// commit — the per-MTR flush ablation).
+	GroupCommitWindow time.Duration
+	// DNFlushDelay models the latency of one DN redo flush to PolarFS
+	// (default 0: free).
+	DNFlushDelay time.Duration
 	// SlowQueryThreshold, when > 0, logs statements whose wall time meets
 	// it to the cluster slow-query log (and OnSlowQuery, if set).
 	SlowQueryThreshold time.Duration
@@ -345,9 +352,11 @@ func (c *Cluster) addDNGroup(g int) error {
 			// Benchmark clusters run heavy goroutine load on one host;
 			// a generous election timeout keeps scheduler hiccups from
 			// triggering spurious leader changes mid-experiment.
-			ElectionTimeout: 2 * time.Second,
-			InDoubtAfter:    c.cfg.InDoubtTimeout,
-			Metrics:         c.metrics,
+			ElectionTimeout:   2 * time.Second,
+			InDoubtAfter:      c.cfg.InDoubtTimeout,
+			GroupCommitWindow: c.cfg.GroupCommitWindow,
+			FlushDelay:        c.cfg.DNFlushDelay,
+			Metrics:           c.metrics,
 		})
 		if err != nil {
 			return err

@@ -156,9 +156,27 @@ func (i *Instance) applyWrite(e *txnEntry, table uint32, op WriteOp, row types.R
 	}
 }
 
+// readGuard gates RO snapshot reads on leadership validity. A leader
+// inside its lease serves locally — no quorum round, the paper's lease
+// read (counted in paxos.lease_reads). One whose lease lapsed must
+// re-confirm its epoch with a majority before answering, so an isolated
+// deposed leader can never serve stale rows.
+func (i *Instance) readGuard() error {
+	if i.node.LeaseRead() {
+		return nil
+	}
+	if err := i.node.ConfirmLeadership(); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrNotLeader, i.cfg.Name, err)
+	}
+	return nil
+}
+
 func (i *Instance) handleRead(m ReadReq) (ReadResp, error) {
 	e, err := i.branch(m.TxnID)
 	if err != nil {
+		return ReadResp{}, err
+	}
+	if err := i.readGuard(); err != nil {
 		return ReadResp{}, err
 	}
 	i.stats.pointReads.Add(1)
@@ -170,6 +188,9 @@ func (i *Instance) handleRead(m ReadReq) (ReadResp, error) {
 func (i *Instance) handleMultiGet(m MultiGetReq) (MultiGetResp, error) {
 	e, err := i.branchOrBegin(m.TxnID, m.SnapshotTS)
 	if err != nil {
+		return MultiGetResp{}, err
+	}
+	if err := i.readGuard(); err != nil {
 		return MultiGetResp{}, err
 	}
 	i.stats.multiGets.Add(1)
@@ -225,6 +246,9 @@ const (
 func (i *Instance) handleScan(m ScanReq) (ScanResp, error) {
 	e, err := i.branch(m.TxnID)
 	if err != nil {
+		return ScanResp{}, err
+	}
+	if err := i.readGuard(); err != nil {
 		return ScanResp{}, err
 	}
 	var rows []types.Row

@@ -59,6 +59,19 @@ type Config struct {
 	// ElectionTimeout tunes failover detection (default 150ms).
 	ElectionTimeout time.Duration
 
+	// GroupCommitWindow tunes the leader's group-commit accumulation
+	// window: 0 means the default (DefaultGroupCommitWindow); a negative
+	// value disables group commit entirely (the per-MTR flush ablation).
+	GroupCommitWindow time.Duration
+	// GroupCommitBytes closes an accumulation window early (default 64KB).
+	GroupCommitBytes int
+	// FlushDelay models the latency of one redo flush to PolarFS
+	// (default 0: free, as before this knob existed).
+	FlushDelay time.Duration
+	// PipelineDepth caps in-flight replication windows per peer
+	// (default 8).
+	PipelineDepth int
+
 	// InDoubtAfter is how long a branch may sit PREPARED before the
 	// instance treats its coordinator as dead and consults the
 	// transaction's primary branch for the outcome (default 400ms). Must
@@ -76,6 +89,11 @@ type Config struct {
 
 // DefaultInDoubtAfter is the default in-doubt resolution timeout.
 const DefaultInDoubtAfter = 400 * time.Millisecond
+
+// DefaultGroupCommitWindow is the default leader group-commit
+// accumulation window: long enough for concurrent committers to share a
+// flush, short enough to be invisible next to cross-DC RTTs.
+const DefaultGroupCommitWindow = 50 * time.Microsecond
 
 // txnEntry tracks one CN-coordinated transaction branch.
 type txnEntry struct {
@@ -191,16 +209,29 @@ func NewInstance(cfg Config) (*Instance, error) {
 	}
 	inst.applier = storage.NewApplier(inst.eng)
 	inst.svc = newSvcModel(cfg.ServiceRate, 0)
+	gcWindow := cfg.GroupCommitWindow
+	if gcWindow == 0 {
+		gcWindow = DefaultGroupCommitWindow
+	}
+	if gcWindow < 0 {
+		gcWindow = 0 // ablation: per-MTR flushes
+	}
 	node, err := paxos.NewNode(paxos.Config{
-		Group:           cfg.Group,
-		Self:            cfg.Name,
-		Members:         cfg.Members,
-		Net:             cfg.Net,
-		HeartbeatEvery:  cfg.PaxosHeartbeat,
-		ElectionTimeout: cfg.ElectionTimeout,
-		Pipelined:       true,
-		OnApply:         inst.onApply,
-		QuorumWait:      cfg.Metrics.Histogram("paxos.quorum_wait"),
+		Group:             cfg.Group,
+		Self:              cfg.Name,
+		Members:           cfg.Members,
+		Net:               cfg.Net,
+		HeartbeatEvery:    cfg.PaxosHeartbeat,
+		ElectionTimeout:   cfg.ElectionTimeout,
+		Pipelined:         true,
+		PipelineDepth:     cfg.PipelineDepth,
+		GroupCommitWindow: gcWindow,
+		GroupCommitBytes:  cfg.GroupCommitBytes,
+		FlushDelay:        cfg.FlushDelay,
+		OnApply:           inst.onApply,
+		Clock:             cfg.TimeSource,
+		Metrics:           cfg.Metrics,
+		QuorumWait:        cfg.Metrics.Histogram("paxos.quorum_wait"),
 	})
 	if err != nil {
 		return nil, err
@@ -253,6 +284,9 @@ func (i *Instance) Engine() *storage.Engine { return i.eng }
 
 // Paxos exposes the replication node (status surfaces).
 func (i *Instance) Paxos() *paxos.Node { return i.node }
+
+// Applier exposes the redo applier (recovery status surfaces).
+func (i *Instance) Applier() *storage.Applier { return i.applier }
 
 // onApply is the follower-side apply path: redo committed by the group
 // leader lands here once DLSN covers it.
@@ -380,11 +414,17 @@ func (i *Instance) flusherLoop() {
 }
 
 // purgeRedo discards redo below the lowest offset any consumer still
-// needs: the majority-durable prefix, every RO replica's applied
-// position, every Paxos peer's acknowledged position, and the oldest
-// unflushed dirty page (recovery replays from there).
+// needs: the majority-durable prefix, this node's own apply position
+// (a follower's state machine replays [applied, dlsn) asynchronously —
+// with group commit DLSN advances in window-sized jumps, so that gap is
+// routinely non-empty when the purge tick fires), every RO replica's
+// applied position, every Paxos peer's acknowledged position, and the
+// oldest unflushed dirty page (recovery replays from there).
 func (i *Instance) purgeRedo(dlsn wal.LSN) {
 	bound := dlsn
+	if m := i.node.ApplyFloor(); m < bound {
+		bound = m
+	}
 	if m := i.node.MinPeerMatch(); m < bound {
 		bound = m
 	}

@@ -152,6 +152,12 @@ func (i *Instance) handleResolve(m ResolveTxnReq) (ResolveTxnResp, error) {
 	if !i.IsLeader() {
 		return ResolveTxnResp{}, fmt.Errorf("%w: %s cannot write a resolution tombstone", ErrNotLeader, i.cfg.Name)
 	}
+	if !i.node.LeaderCaughtUp() {
+		// Freshly promoted: the commit point may sit in the un-replayed
+		// backlog. Answering presumed-abort from incomplete state would
+		// break atomicity; make the resolver retry instead.
+		return ResolveTxnResp{}, errResolveInProgress
+	}
 	if _, won := i.decide(m.TxnID, false, 0); !won {
 		return ResolveTxnResp{}, errResolveInProgress
 	}

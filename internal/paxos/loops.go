@@ -7,28 +7,37 @@ import (
 	"repro/internal/wal"
 )
 
-// shipperLoop is the leader's replication pump. It watches the local log
-// tail and streams MLOG_PAXOS frames to every peer. In pipelined mode
-// (the default, per §III) frames are fired asynchronously and
-// acknowledgements come back as appendAck messages; in the ablation mode
-// each frame is a blocking round trip.
+// shipperLoop is the leader's replication pump. It watches the local
+// flushed watermark and streams MLOG_PAXOS frame windows to every peer,
+// keeping up to PipelineDepth windows in flight each. In pipelined mode
+// (the default, per §III) windows are fired asynchronously and
+// acknowledgements come back as appendAck messages; in the ablation
+// mode each window is a blocking round trip.
 func (n *Node) shipperLoop() {
 	defer n.wg.Done()
 	ticker := time.NewTicker(n.cfg.HeartbeatEvery)
 	defer ticker.Stop()
 	for {
+		tick := false
 		select {
 		case <-n.done:
 			return
 		case <-n.kickShip:
 		case <-ticker.C:
+			tick = true
 		}
-		n.shipOnce()
+		n.shipOnce(tick)
 	}
 }
 
-// shipOnce ships pending frames (or a heartbeat) to each peer.
-func (n *Node) shipOnce() {
+// shipOnce fills each peer's pipeline with new frame windows up to the
+// flushed watermark (only flushed redo ships — §III: redo is flushed to
+// PolarFS before it is sent to followers). On ticker passes it also
+// sends empty heartbeat windows to idle peers (lease renewal, DLSN
+// propagation) and rewinds pipelines that stalled — a window or its ack
+// was lost — so the data is retransmitted; followers skip duplicate
+// frames, making the resend safe.
+func (n *Node) shipOnce(tick bool) {
 	n.mu.Lock()
 	if n.role != RoleLeader {
 		n.mu.Unlock()
@@ -36,48 +45,78 @@ func (n *Node) shipOnce() {
 	}
 	epoch := n.epoch
 	dlsn := n.dlsn
-	tail := n.log.TailLSN()
+	flushed := n.log.FlushedLSN()
+	now := n.clock.Now()
+	depth := n.cfg.PipelineDepth
+	if !n.cfg.Pipelined {
+		depth = 1
+	}
+	stallAfter := 4 * n.cfg.HeartbeatEvery
 	type job struct {
-		peer string
-		from wal.LSN
+		peer     string
+		from, to wal.LSN
 	}
 	var jobs []job
+	var beats []string
 	for _, m := range n.cfg.Members {
 		if m.Name == n.cfg.Self {
 			continue
 		}
-		jobs = append(jobs, job{peer: m.Name, from: n.next[m.Name]})
-		if n.next[m.Name] < tail {
-			n.next[m.Name] = tail // optimistic; rewound on rejection
+		p := n.peers[m.Name]
+		if tick && len(p.inflight) > 0 && now.Sub(p.lastMove) >= stallAfter {
+			p.inflight = p.inflight[:0]
+			rew := p.match
+			if base := n.log.BaseLSN(); rew < base {
+				rew = base
+			}
+			p.next = rew
+			p.lastMove = now
+		}
+		sent := false
+		for len(p.inflight) < depth && p.next < flushed {
+			to := p.next + wal.LSN(n.cfg.WindowBytes)
+			if to > flushed {
+				to = flushed
+			}
+			jobs = append(jobs, job{peer: m.Name, from: p.next, to: to})
+			p.inflight = append(p.inflight, lsnWindow{start: p.next, end: to})
+			p.next = to
+			sent = true
+		}
+		if !sent && tick {
+			beats = append(beats, m.Name)
 		}
 	}
 	n.mu.Unlock()
 
 	for _, j := range jobs {
-		var frames []wal.PaxosFrame
-		if j.from < tail {
-			raw, err := n.log.ReadBytes(j.from, tail)
-			if err == nil {
-				frames = wal.NewBatcher(epoch, n.cfg.BatchBytes).Next(j.from, raw)
-				// Re-index frames onto this peer's stream: index is
-				// informational in the simulation (ordering is by LSN).
-			}
+		raw, err := n.log.ReadBytes(j.from, j.to)
+		if err != nil {
+			continue // purged/truncated under us; the stall rewind recovers
 		}
-		msg := appendMsg{Group: n.cfg.Group, Epoch: epoch, Leader: n.cfg.Self,
-			Frames: frames, DLSN: dlsn}
-		peerEP := endpointOf(n.cfg.Group, j.peer)
-		atomic.AddInt64(&n.framesSent, int64(len(frames)))
-		if n.cfg.Pipelined {
-			n.cfg.Net.Send(n.endpoint(), peerEP, msg, nil)
-		} else {
-			// Non-pipelined ablation: block for the round trip, apply the
-			// ack inline.
-			reply, err := n.cfg.Net.Call(n.endpoint(), peerEP, msg)
-			if err == nil {
-				if ack, ok := reply.(appendAck); ok {
-					n.handleAck(ack)
-				}
-			}
+		frames := wal.NewBatcher(epoch, n.cfg.BatchBytes).Next(j.from, raw)
+		n.sendWindow(j.peer, appendMsg{Group: n.cfg.Group, Epoch: epoch,
+			Leader: n.cfg.Self, Frames: frames, DLSN: dlsn})
+	}
+	for _, peer := range beats {
+		n.sendWindow(peer, appendMsg{Group: n.cfg.Group, Epoch: epoch,
+			Leader: n.cfg.Self, DLSN: dlsn})
+	}
+}
+
+// sendWindow fires one appendMsg at a peer: async in pipelined mode,
+// a blocking round trip (ack applied inline) in the ablation mode.
+func (n *Node) sendWindow(peer string, msg appendMsg) {
+	peerEP := endpointOf(n.cfg.Group, peer)
+	atomic.AddInt64(&n.framesSent, int64(len(msg.Frames)))
+	if n.cfg.Pipelined {
+		n.cfg.Net.Send(n.endpoint(), peerEP, msg, nil)
+		return
+	}
+	reply, err := n.cfg.Net.Call(n.endpoint(), peerEP, msg)
+	if err == nil {
+		if ack, ok := reply.(appendAck); ok {
+			n.handleAck(ack)
 		}
 	}
 }
@@ -113,7 +152,6 @@ func (n *Node) commitOnce() {
 		}
 		if n.applied < limit {
 			applyFrom, applyTo = n.applied, limit
-			n.applied = limit
 		}
 	}
 	n.mu.Unlock()
@@ -122,18 +160,29 @@ func (n *Node) commitOnce() {
 		w.ch <- nil
 	}
 	if applyTo > applyFrom {
+		// The cursor advances only after a successful read: if the range
+		// cannot be served (e.g. it was purged out from under us), the next
+		// tick retries rather than silently skipping records. Safe because
+		// committerLoop is the only goroutine moving n.applied forward.
 		if recs, err := n.log.ReadRecords(applyFrom, applyTo); err == nil {
 			n.cfg.OnApply(recs, applyFrom, applyTo)
+			n.mu.Lock()
+			if n.applied < applyTo {
+				n.applied = applyTo
+			}
+			n.mu.Unlock()
 		}
 	}
 }
 
 // electionLoop runs follower-side failure detection and candidacy.
 // Loggers participate in voting (handled in handle) but never campaign.
+// Idle detection runs on the injectable clock so FakeClock tests can
+// step elections deterministically.
 func (n *Node) electionLoop() {
 	defer n.wg.Done()
 	n.mu.Lock()
-	n.lastBeat = time.Now()
+	n.lastBeat = n.clock.Now()
 	n.mu.Unlock()
 	for {
 		timeout := n.cfg.ElectionTimeout +
@@ -141,11 +190,11 @@ func (n *Node) electionLoop() {
 		select {
 		case <-n.done:
 			return
-		case <-time.After(timeout):
+		case <-n.clockAfter(timeout):
 		}
 		n.mu.Lock()
 		role := n.role
-		idle := time.Since(n.lastBeat)
+		idle := n.clock.Since(n.lastBeat)
 		n.mu.Unlock()
 		if role == RoleLeader || role == RoleLogger {
 			continue
@@ -182,6 +231,7 @@ func (n *Node) campaign() {
 		epoch     uint64
 		peer      string // set on an explicit (reachable) refusal
 		voterDLSN wal.LSN
+		voterTail wal.LSN
 	}
 	results := make(chan result, len(n.cfg.Members))
 	for _, m := range n.cfg.Members {
@@ -199,6 +249,7 @@ func (n *Node) campaign() {
 				if !vr.Granted {
 					res.peer = peer
 					res.voterDLSN = vr.VoterDLSN
+					res.voterTail = vr.VoterTail
 				}
 				results <- res
 				return
@@ -206,7 +257,7 @@ func (n *Node) campaign() {
 			results <- result{}
 		}(m.Name)
 	}
-	majority := len(n.cfg.Members)/2 + 1
+	majority := n.majority()
 	// Track the most advanced refuser so a short-logged candidate can
 	// catch up before the next attempt.
 	var bestPeer string
@@ -225,8 +276,17 @@ func (n *Node) campaign() {
 		}
 		if r.granted {
 			votes++
-		} else if r.peer != "" && r.voterDLSN > lastLSN && r.voterDLSN > bestDLSN {
-			bestPeer, bestDLSN = r.peer, r.voterDLSN
+		} else if r.peer != "" {
+			// Refused by a reachable voter with a longer persisted log
+			// (tail or durable prefix): remember the most advanced one
+			// to catch up from before the next attempt.
+			adv := r.voterDLSN
+			if r.voterTail > adv {
+				adv = r.voterTail
+			}
+			if adv > lastLSN && adv > bestDLSN {
+				bestPeer, bestDLSN = r.peer, adv
+			}
 		}
 		if votes >= majority {
 			break
@@ -239,14 +299,11 @@ func (n *Node) campaign() {
 	}
 	if votes >= majority {
 		n.becomeLeaderLocked(epoch)
-		n.lastBeat = time.Now()
+		n.lastBeat = n.clock.Now()
 		// Commits parked under the old leadership cannot be confirmed;
 		// this node was a follower so it has none, but assert the
 		// invariant by failing any stragglers.
-		for _, w := range n.waiters {
-			w.ch <- ErrCommitAbort
-		}
-		n.waiters = nil
+		n.failWaitersLocked(ErrCommitAbort)
 		go n.kickLoops()
 	} else {
 		n.role = RoleFollower
@@ -321,7 +378,10 @@ func (n *Node) handle(from string, msg any) (any, error) {
 
 // handleAppend is the follower-side frame ingestion: verify epoch,
 // append contiguous frames, persist, advance DLSN from the piggybacked
-// value, and acknowledge.
+// value, and acknowledge. The redo flush (FlushDelay) happens outside
+// n.mu so concurrent windows queue on the flush device, not on protocol
+// state — and a later window's flush covers an earlier one's bytes, the
+// follower-side analogue of group commit.
 func (n *Node) handleAppend(m appendMsg) appendAck {
 	n.mu.Lock()
 	if m.Epoch < n.epoch {
@@ -335,8 +395,9 @@ func (n *Node) handleAppend(m appendMsg) appendAck {
 		// conflicting state: discard log beyond DLSN (§III).
 		n.adoptLeaderLocked(m.Epoch, m.Leader)
 	}
-	n.lastBeat = time.Now()
+	n.lastBeat = n.clock.Now()
 	rejected := false
+	var appendedTo wal.LSN
 	for _, fr := range m.Frames {
 		tail := n.log.TailLSN()
 		switch {
@@ -344,7 +405,7 @@ func (n *Node) handleAppend(m appendMsg) appendAck {
 			// Duplicate from a pipelined retransmit; ignore.
 		case fr.StartLSN == tail:
 			n.log.AppendRaw(fr.Payload)
-			n.log.SetFlushed(fr.EndLSN)
+			appendedTo = fr.EndLSN
 		default:
 			// Gap: ask the leader to rewind to our tail.
 			rejected = true
@@ -353,14 +414,28 @@ func (n *Node) handleAppend(m appendMsg) appendAck {
 			break
 		}
 	}
-	// A DLSN ahead of our persisted tail means we are missing log (e.g.
-	// we were down while the majority moved on): signal the gap so the
-	// leader rewinds our shipping cursor to our tail.
-	flushed := n.log.FlushedLSN()
-	if m.DLSN > flushed {
+	// A DLSN ahead of our tail means we are missing log (e.g. we were
+	// down or a window was dropped while the majority moved on): signal
+	// the gap so the leader rewinds our shipping cursor.
+	if m.DLSN > n.log.TailLSN() {
 		rejected = true
 	}
+	n.mu.Unlock()
+
+	if appendedTo > 0 {
+		n.flushMu.Lock()
+		if n.log.FlushedLSN() < appendedTo {
+			if d := n.cfg.FlushDelay; d > 0 {
+				time.Sleep(d)
+			}
+			n.log.SetFlushed(appendedTo)
+		}
+		n.flushMu.Unlock()
+	}
+
+	n.mu.Lock()
 	// Adopt the leader's DLSN up to what we have locally persisted.
+	flushed := n.log.FlushedLSN()
 	d := m.DLSN
 	if d > flushed {
 		d = flushed
@@ -369,7 +444,7 @@ func (n *Node) handleAppend(m appendMsg) appendAck {
 		n.dlsn = d
 	}
 	ack := appendAck{Group: n.cfg.Group, Epoch: n.epoch, From: n.cfg.Self,
-		AckLSN: n.log.FlushedLSN(), Rejected: rejected}
+		AckLSN: flushed, Rejected: rejected}
 	n.mu.Unlock()
 	n.kickLoops()
 
@@ -395,16 +470,21 @@ func (n *Node) adoptLeaderLocked(epoch uint64, leader string) {
 		n.role = RoleFollower
 	}
 	if wasLeader {
+		// Abandon the pending group-commit window: its MTRs sit beyond
+		// DLSN and are truncated right here. A flush already in flight
+		// for them clamps at the truncated tail (SetFlushed never
+		// passes the tail), so nothing vanished is declared durable.
+		n.gcPending, n.gcMTRs = 0, 0
+		n.gcStart = 0
+		n.peers = nil
 		_ = n.log.Truncate(n.dlsn)
-		for _, w := range n.waiters {
-			w.ch <- ErrCommitAbort
-		}
-		n.waiters = nil
+		n.failWaitersLocked(ErrCommitAbort)
 	}
 }
 
 // handleAck is the leader-side ack ingestion: advance the peer's match
-// LSN, rewind next on rejection, and recompute DLSN.
+// LSN, retire covered in-flight windows (acks may arrive out of order),
+// rewind next on rejection, and recompute DLSN incrementally.
 func (n *Node) handleAck(m appendAck) {
 	n.mu.Lock()
 	if n.role != RoleLeader || m.Epoch != n.epoch {
@@ -415,19 +495,58 @@ func (n *Node) handleAck(m appendAck) {
 		return
 	}
 	atomic.AddInt64(&n.framesAcked, 1)
-	if m.AckLSN > n.match[m.From] {
-		n.match[m.From] = m.AckLSN
+	p := n.peers[m.From]
+	if p == nil {
+		n.mu.Unlock()
+		return
+	}
+	progress := false
+	// A correct peer never exceeds this leader's own durable prefix; an
+	// ack beyond it comes from a divergent orphan suffix (a rejoining
+	// replica that outran a dead leader) and must not count toward DLSN.
+	ack := m.AckLSN
+	if flushed := n.log.FlushedLSN(); ack > flushed {
+		ack = flushed
+	}
+	if ack > p.match {
+		p.match = ack
+		n.tracker.update(m.From, ack)
+		progress = true
 	}
 	if m.Rejected {
-		n.next[m.From] = m.AckLSN
+		p.next = ack
+		p.inflight = p.inflight[:0]
+		progress = true
+	} else {
+		keep := p.inflight[:0]
+		for _, w := range p.inflight {
+			if w.end > ack {
+				keep = append(keep, w)
+			}
+		}
+		p.inflight = keep
 	}
-	n.ackAt[m.From] = time.Now()
+	if len(p.inflight) == 0 && p.next != p.match {
+		// Nothing en route and the peer sits away from next: resync so
+		// the shipper refills from its acked position. This is how a
+		// freshly promoted leader (peers start at its own tail) discovers
+		// a follower that is behind it — without it, a survivor that
+		// lagged the new leader at election time never receives the gap
+		// and DLSN wedges below the promotion tail.
+		p.next = p.match
+		progress = true
+	}
+	now := n.clock.Now()
+	if progress {
+		p.lastMove = now
+	}
+	n.ackAt[m.From] = now
 	n.renewLeaseLocked()
 	prev := n.dlsn
 	n.advanceDLSNLocked()
 	advanced := n.dlsn > prev
 	n.mu.Unlock()
-	if advanced {
+	if advanced || progress {
 		n.kickLoops()
 	}
 }
@@ -442,9 +561,13 @@ func (n *Node) handleVote(m voteReq) voteResp {
 	if m.Epoch <= n.epoch || m.Epoch <= n.votedIn {
 		return refuse
 	}
-	if m.LastLSN < n.dlsn {
-		// Candidate is missing durable entries; refuse (safety) but
-		// advertise our log so it can catch up and retry.
+	if m.LastLSN < n.dlsn || m.LastLSN < n.log.FlushedLSN() {
+		// Candidate is missing entries this node has persisted. The DLSN
+		// check alone is not enough with pipelined windows: our view of
+		// DLSN is a piggyback and can lag our flushed tail, and bytes we
+		// flushed may already be majority-durable (acked to a committer)
+		// without either survivor knowing. Refuse (safety) but advertise
+		// our log so the candidate can catch up and retry.
 		return refuse
 	}
 	n.votedIn = m.Epoch
@@ -454,7 +577,7 @@ func (n *Node) handleVote(m voteReq) voteResp {
 	} else {
 		n.epoch = m.Epoch
 	}
-	n.lastBeat = time.Now()
+	n.lastBeat = n.clock.Now()
 	return voteResp{Group: n.cfg.Group, Epoch: m.Epoch, Granted: true}
 }
 
@@ -467,7 +590,7 @@ func (n *Node) handleHeartbeat(m heartbeatMsg) {
 func (n *Node) HoldsLease() bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.role == RoleLeader && time.Now().Before(n.leaseEnd)
+	return n.role == RoleLeader && n.clock.Now().Before(n.leaseEnd)
 }
 
 // Metrics snapshot.
@@ -475,6 +598,12 @@ type Metrics struct {
 	FramesSent  int64
 	FramesAcked int64
 	Elections   int64
+	// Flushes counts leader redo flushes; GroupedMTRs counts the MTRs
+	// those flushes covered (mean group size = GroupedMTRs/Flushes).
+	Flushes     int64
+	GroupedMTRs int64
+	LeaseReads  int64
+	QuorumReads int64
 }
 
 // MetricsSnapshot returns protocol counters.
@@ -483,5 +612,9 @@ func (n *Node) MetricsSnapshot() Metrics {
 		FramesSent:  atomic.LoadInt64(&n.framesSent),
 		FramesAcked: atomic.LoadInt64(&n.framesAcked),
 		Elections:   atomic.LoadInt64(&n.elections),
+		Flushes:     n.mFlushes.Value(),
+		GroupedMTRs: n.mGroupSize.Value(),
+		LeaseReads:  n.mLeaseReads.Value(),
+		QuorumReads: n.mQuorumRds.Value(),
 	}
 }

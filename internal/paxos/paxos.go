@@ -8,9 +8,12 @@
 // datacenters. The protocol includes every optimization the paper calls
 // out:
 //
-//   - Pipelining: the leader streams new frames without waiting for
-//     acknowledgements of previous ones.
-//   - Batching: many small MTRs share one MLOG_PAXOS header (≤16 KB).
+//   - Pipelining: the leader keeps up to PipelineDepth frame windows in
+//     flight per peer; out-of-order acks retire whichever windows they
+//     cover and narrow the next/match cursors.
+//   - Batching: many small MTRs share one MLOG_PAXOS header (≤16 KB),
+//     and with group commit enabled many concurrent proposals share one
+//     redo flush and one shipped frame window per accumulation window.
 //   - Asynchronous commit: Propose returns immediately after local append;
 //     a dedicated async_log_committer goroutine watches the DLSN and
 //     releases transactions whose last MTR became durable, so foreground
@@ -18,6 +21,9 @@
 //   - DLSN (Durable LSN): advanced once a majority has persisted a prefix;
 //     followers apply only up to DLSN because entries beyond it may be
 //     truncated after a leader change.
+//   - Lease reads: a leader inside a valid lease answers read-only
+//     snapshot reads locally without a quorum round (LeaseRead), falling
+//     back to one confirmation round when the lease lapsed.
 //
 // Roles: Leader (serves writes), Follower (replicates and can be elected),
 // Logger (persists log only, votes, but can never lead — the paper's
@@ -25,6 +31,7 @@
 package paxos
 
 import (
+	"container/heap"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -98,8 +105,28 @@ type Config struct {
 	// BatchBytes caps MLOG_PAXOS frame payloads (default 16 KB).
 	BatchBytes int
 	// Pipelined enables streaming frames without per-frame acks. Turning
-	// it off (ablation bench) makes the shipper wait for each frame.
+	// it off (ablation bench) makes the shipper wait for each window.
 	Pipelined bool
+	// PipelineDepth caps frame windows in flight per peer (default 8).
+	// Forced to 1 when Pipelined is false.
+	PipelineDepth int
+	// WindowBytes caps the redo bytes per shipped window — one appendMsg,
+	// split into BatchBytes frames (default 64 KB).
+	WindowBytes int
+
+	// GroupCommitWindow enables leader group commit: concurrent proposals
+	// accumulate for up to this long (closed early at GroupCommitBytes)
+	// and share ONE redo flush. 0 disables it — the seed behavior where
+	// every Propose flushes its own MTR, byte-identical log content.
+	GroupCommitWindow time.Duration
+	// GroupCommitBytes closes an accumulation window early once this many
+	// bytes are pending (default 64 KB).
+	GroupCommitBytes int
+	// FlushDelay models the latency of one redo flush to PolarFS
+	// (default 0: flushes are free, as in the seed). Flushes serialize on
+	// one device, which is exactly the cost group commit amortizes.
+	FlushDelay time.Duration
+
 	// OnApply, when set, is invoked in LSN order with each durable record
 	// range as DLSN advances. Followers use it to replay redo into their
 	// buffer pools; the leader's state machine already applied the
@@ -108,6 +135,19 @@ type Config struct {
 
 	// Seed randomizes election timeouts deterministically in tests.
 	Seed int64
+
+	// Clock drives lease validity, election timers and ack freshness.
+	// Nil defaults to the wall clock; tests inject an obs.FakeClock to
+	// step lease logic deterministically. Pacing loops (heartbeat
+	// tickers, the group-commit window, FlushDelay) intentionally stay
+	// on real time, like the simulated network latency.
+	Clock obs.Clock
+
+	// Metrics, when non-nil, receives the commit-pipeline instruments:
+	// paxos.flushes, paxos.group_size (MTRs through those flushes, so
+	// mean group size = group_size/flushes), paxos.lease_reads,
+	// paxos.quorum_reads, and paxos.quorum_wait if QuorumWait is unset.
+	Metrics *obs.Registry
 
 	// QuorumWait, when non-nil, observes how long AwaitDurable callers
 	// block for majority replication — the paper's Paxos quorum-wait
@@ -128,6 +168,18 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.BatchBytes <= 0 {
 		out.BatchBytes = wal.MaxFramePayload
+	}
+	if out.PipelineDepth <= 0 {
+		out.PipelineDepth = 8
+	}
+	if out.WindowBytes <= 0 {
+		out.WindowBytes = 64 * 1024
+	}
+	if out.GroupCommitBytes <= 0 {
+		out.GroupCommitBytes = 64 * 1024
+	}
+	if out.QuorumWait == nil {
+		out.QuorumWait = out.Metrics.Histogram("paxos.quorum_wait")
 	}
 	return out
 }
@@ -199,10 +251,15 @@ type commitWaiter struct {
 
 // Node is one member of a replication group.
 type Node struct {
-	cfg  Config
-	log  *wal.Log
-	rng  *rand.Rand
-	self Member
+	cfg   Config
+	log   *wal.Log
+	rng   *rand.Rand
+	self  Member
+	clock obs.Clock
+
+	// flushMu serializes redo flushes: the group models one redo device
+	// per node, so concurrent flushes queue behind each other.
+	flushMu sync.Mutex
 
 	mu      sync.Mutex
 	role    Role
@@ -215,21 +272,32 @@ type Node struct {
 	// upper bound of follower-era entries the committer must still hand
 	// to OnApply (leader-era proposals are applied by the proposer).
 	promotedTail wal.LSN
-	match        map[string]wal.LSN   // leader: acked tail per peer
-	next         map[string]wal.LSN   // leader: next LSN to ship per peer
+	peers        map[string]*peerShip // leader: per-peer shipping state
+	tracker      dlsnTracker          // leader: incremental majority LSN
 	leaseEnd     time.Time            // leader: lease expiry
 	ackAt        map[string]time.Time // leader: last current-epoch ack per peer
 	lastBeat     time.Time            // follower: last heartbeat seen
 	stopped      bool
 
+	// Group-commit accumulator (leader, guarded by mu): MTRs appended by
+	// Propose but not yet scheduled into a flush.
+	gcPending wal.LSN // end LSN of the newest pending MTR
+	gcStart   wal.LSN // end LSN of the last scheduled flush (window base)
+	gcMTRs    int     // pending MTR count
+	gcEpoch   uint64  // epoch the pending window belongs to
+
 	// waiters is the async-commit map: transaction contexts parked until
 	// DLSN covers their last MTR (§III "stores the transaction's context
-	// in a map data structure").
-	waiters []commitWaiter
+	// in a map data structure"), ordered by LSN.
+	waiters waiterHeap
 
-	// kickShip/kickCommit wake the shipper and committer loops.
+	// kickShip/kickCommit/kickFlush wake the shipper, committer and
+	// group-commit flusher loops; gcFull closes an accumulation window
+	// early when GroupCommitBytes is reached.
 	kickShip   chan struct{}
 	kickCommit chan struct{}
+	kickFlush  chan struct{}
+	gcFull     chan struct{}
 	done       chan struct{}
 	wg         sync.WaitGroup
 
@@ -237,6 +305,10 @@ type Node struct {
 	framesSent  int64
 	framesAcked int64
 	elections   int64
+	mFlushes    *obs.Counter
+	mGroupSize  *obs.Counter
+	mLeaseReads *obs.Counter
+	mQuorumRds  *obs.Counter
 }
 
 // NewNode creates (but does not start) a group member. Every node starts
@@ -258,14 +330,21 @@ func NewNode(cfg Config) (*Node, error) {
 	h := fnv.New64a()
 	h.Write([]byte(cfg.Self))
 	n := &Node{
-		cfg:        cfg,
-		log:        wal.NewLog(),
-		rng:        rand.New(rand.NewSource(cfg.Seed ^ int64(h.Sum64()))),
-		self:       self,
-		role:       RoleFollower,
-		kickShip:   make(chan struct{}, 1),
-		kickCommit: make(chan struct{}, 1),
-		done:       make(chan struct{}),
+		cfg:         cfg,
+		log:         wal.NewLog(),
+		rng:         rand.New(rand.NewSource(cfg.Seed ^ int64(h.Sum64()))),
+		self:        self,
+		clock:       obs.Or(cfg.Clock),
+		role:        RoleFollower,
+		kickShip:    make(chan struct{}, 1),
+		kickCommit:  make(chan struct{}, 1),
+		kickFlush:   make(chan struct{}, 1),
+		gcFull:      make(chan struct{}, 1),
+		done:        make(chan struct{}),
+		mFlushes:    cfg.Metrics.Counter("paxos.flushes"),
+		mGroupSize:  cfg.Metrics.Counter("paxos.group_size"),
+		mLeaseReads: cfg.Metrics.Counter("paxos.lease_reads"),
+		mQuorumRds:  cfg.Metrics.Counter("paxos.quorum_reads"),
 	}
 	if self.Logger {
 		n.role = RoleLogger
@@ -304,7 +383,6 @@ func (n *Node) Epoch() uint64 {
 	return n.epoch
 }
 
-// DLSN returns the durable LSN.
 // LeaderCaughtUp reports whether the node leads AND has applied every
 // entry it accepted before promotion — the gate a router must wait on
 // before sending reads to a freshly elected leader.
@@ -314,6 +392,34 @@ func (n *Node) LeaderCaughtUp() bool {
 	return n.role == RoleLeader && n.applied >= n.promotedTail
 }
 
+// Applied returns the prefix already handed to OnApply (follower-era
+// entries; leader-era proposals are applied by the proposer).
+func (n *Node) Applied() wal.LSN {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.applied
+}
+
+// ApplyFloor returns the lowest log offset the OnApply pipeline still
+// needs. Purging at or above this offset would silently drop records
+// from the state machine: the committer advances its cursor before
+// reading, so bytes purged inside [applied, dlsn) are never replayed.
+// Leaders stop consuming OnApply past their promotion tail (the
+// proposer applies its own entries), so once the backlog is drained the
+// floor tracks DLSN and purge is not pinned.
+func (n *Node) ApplyFloor() wal.LSN {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cfg.OnApply == nil {
+		return n.dlsn
+	}
+	if n.role == RoleLeader && n.applied >= n.promotedTail {
+		return n.dlsn
+	}
+	return n.applied
+}
+
+// DLSN returns the durable LSN.
 func (n *Node) DLSN() wal.LSN {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -327,12 +433,14 @@ func (n *Node) LeaderName() string {
 	return n.leader
 }
 
-// Start launches background loops: shipping (leader), commit application,
-// and the election timer. It is idempotent per node lifetime.
+// Start launches background loops: shipping (leader), commit
+// application, group-commit flushing, and the election timer. It is
+// idempotent per node lifetime.
 func (n *Node) Start() {
-	n.wg.Add(3)
+	n.wg.Add(4)
 	go n.shipperLoop()
 	go n.committerLoop()
+	go n.flusherLoop()
 	go n.electionLoop()
 }
 
@@ -344,13 +452,9 @@ func (n *Node) Stop() {
 		return
 	}
 	n.stopped = true
-	ws := n.waiters
-	n.waiters = nil
+	n.failWaitersLocked(ErrStopped)
 	n.mu.Unlock()
 	close(n.done)
-	for _, w := range ws {
-		w.ch <- ErrStopped
-	}
 	n.wg.Wait()
 	n.cfg.Net.Unregister(n.endpoint())
 }
@@ -384,56 +488,86 @@ func (n *Node) becomeLeaderLocked(epoch uint64) {
 	n.promotedTail = n.log.TailLSN()
 	n.epoch = epoch
 	n.leader = n.cfg.Self
-	n.leaseEnd = time.Now().Add(n.cfg.LeaseDuration)
+	now := n.clock.Now()
+	n.leaseEnd = now.Add(n.cfg.LeaseDuration)
 	n.ackAt = make(map[string]time.Time)
-	n.match = map[string]wal.LSN{n.cfg.Self: n.log.FlushedLSN()}
-	n.next = make(map[string]wal.LSN)
+	n.tracker.reset(n.cfg.Members, n.majority())
+	n.tracker.update(n.cfg.Self, n.log.FlushedLSN())
+	n.gcPending, n.gcMTRs = 0, 0
+	n.gcStart = n.log.FlushedLSN()
 	tail := n.log.TailLSN()
+	n.peers = make(map[string]*peerShip, len(n.cfg.Members))
 	for _, m := range n.cfg.Members {
 		if m.Name != n.cfg.Self {
-			n.next[m.Name] = tail
-			n.match[m.Name] = 0
+			n.peers[m.Name] = &peerShip{next: tail, lastMove: now}
 		}
 	}
 }
 
-// Propose appends one MTR to the leader's log, makes it locally durable,
-// and starts replication. It returns the MTR's end LSN without waiting
-// for the majority: pair it with AwaitDurable (async commit) or call
+// Propose appends one MTR to the leader's log, makes it locally durable
+// (immediately, or via the shared group-commit flush), and starts
+// replication. It returns the MTR's end LSN without waiting for the
+// majority: pair it with AwaitDurable (async commit) or call
 // ProposeAndWait.
 func (n *Node) Propose(recs ...wal.Record) (wal.LSN, error) {
 	n.mu.Lock()
-	if n.role != RoleLeader {
+	if n.stopped {
 		n.mu.Unlock()
-		return 0, fmt.Errorf("%w: %s is %s", ErrNotLeader, n.cfg.Self, n.role)
+		return 0, ErrStopped
 	}
-	n.mu.Unlock()
-
+	if n.role != RoleLeader {
+		role := n.role
+		n.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s is %s", ErrNotLeader, n.cfg.Self, role)
+	}
+	// The role check and the append form one critical section:
+	// deposition (adoptLeaderLocked) also runs under mu, so a deposed
+	// leader can never slip an MTR into a log its successor epoch has
+	// already truncated.
+	epoch := n.epoch
 	_, end := n.log.AppendMTR(recs...)
-	// Redo is flushed to PolarFS before it is shipped (§III: "Before a
-	// transaction commits, the redo log entries are flushed to PolarFS,
-	// which will also be sent to followers using Paxos"). The simulation
-	// treats the in-memory log as the PolarFS-backed file.
-	n.log.SetFlushed(end)
-
-	n.mu.Lock()
-	if n.role == RoleLeader {
-		n.match[n.cfg.Self] = end
-		n.advanceDLSNLocked()
+	grouped := n.cfg.GroupCommitWindow > 0
+	var full bool
+	if grouped {
+		n.gcPending = end
+		n.gcMTRs++
+		n.gcEpoch = epoch
+		full = int(end-n.gcStart) >= n.cfg.GroupCommitBytes
 	}
 	n.mu.Unlock()
-	n.kickLoops()
+
+	if grouped {
+		// Group commit: hand the MTR to the flusher. One redo flush (and
+		// one shipped frame window) covers every MTR that joins the
+		// accumulation window.
+		select {
+		case n.kickFlush <- struct{}{}:
+		default:
+		}
+		if full {
+			select {
+			case n.gcFull <- struct{}{}:
+			default:
+			}
+		}
+		return end, nil
+	}
+	// Ablation / seed path: redo is flushed to PolarFS before it is
+	// shipped (§III), one serialized flush per MTR.
+	n.flushAs(end, 1, epoch)
 	return end, nil
 }
 
 // AwaitDurable blocks until DLSN >= lsn (the transaction's last MTR is
-// durable on a majority) or the node loses leadership/stops. Parked
-// waits are observed into the QuorumWait histogram (the already-durable
-// fast path costs nothing and is not recorded).
+// durable on a majority) or the node loses leadership/stops. Both the
+// parked wait and the already-durable fast path (~0) are observed into
+// the QuorumWait histogram, so it reflects the full commit-wait
+// distribution.
 func (n *Node) AwaitDurable(lsn wal.LSN) error {
 	n.mu.Lock()
 	if n.dlsn >= lsn {
 		n.mu.Unlock()
+		n.cfg.QuorumWait.Observe(0)
 		return nil
 	}
 	if n.stopped {
@@ -441,7 +575,7 @@ func (n *Node) AwaitDurable(lsn wal.LSN) error {
 		return ErrStopped
 	}
 	ch := make(chan error, 1)
-	n.waiters = append(n.waiters, commitWaiter{lsn: lsn, ch: ch})
+	heap.Push(&n.waiters, commitWaiter{lsn: lsn, ch: ch})
 	n.mu.Unlock()
 	if h := n.cfg.QuorumWait; h != nil {
 		start := time.Now()
@@ -470,7 +604,7 @@ func (n *Node) ProposeAndWait(recs ...wal.Record) (wal.LSN, error) {
 func (n *Node) renewLeaseLocked() {
 	need := len(n.cfg.Members)/2 + 1 - 1 // peers needed beyond self
 	if need <= 0 {
-		n.leaseEnd = time.Now().Add(n.cfg.LeaseDuration)
+		n.leaseEnd = n.clock.Now().Add(n.cfg.LeaseDuration)
 		return
 	}
 	times := make([]time.Time, 0, len(n.ackAt))
@@ -486,42 +620,15 @@ func (n *Node) renewLeaseLocked() {
 	}
 }
 
-// advanceDLSNLocked recomputes DLSN as the largest LSN persisted by a
-// majority. Caller holds n.mu.
+// advanceDLSNLocked raises DLSN to the largest LSN persisted by a
+// majority, read off the incremental tracker. Caller holds n.mu.
 func (n *Node) advanceDLSNLocked() {
 	if n.role != RoleLeader {
 		return
 	}
-	lsns := make([]wal.LSN, 0, len(n.match))
-	for _, l := range n.match {
-		lsns = append(lsns, l)
+	if c := n.tracker.quorumLSN(); c > n.dlsn {
+		n.dlsn = c
 	}
-	sort.Slice(lsns, func(i, j int) bool { return lsns[i] > lsns[j] })
-	majority := len(n.cfg.Members)/2 + 1
-	if len(lsns) < majority {
-		return
-	}
-	candidate := lsns[majority-1]
-	if candidate > n.dlsn {
-		n.dlsn = candidate
-	}
-}
-
-// releaseWaitersLocked pops waiters satisfied by the current DLSN and
-// returns them; the caller completes them outside the lock. This is the
-// async_log_committer's scan of the transaction-context map.
-func (n *Node) releaseWaitersLocked() []commitWaiter {
-	var ready []commitWaiter
-	remaining := n.waiters[:0]
-	for _, w := range n.waiters {
-		if w.lsn <= n.dlsn {
-			ready = append(ready, w)
-		} else {
-			remaining = append(remaining, w)
-		}
-	}
-	n.waiters = remaining
-	return ready
 }
 
 // MinPeerMatch returns the lowest acknowledged log offset across peers
@@ -534,12 +641,9 @@ func (n *Node) MinPeerMatch() wal.LSN {
 		return n.dlsn
 	}
 	min := n.log.FlushedLSN()
-	for peer, m := range n.match {
-		if peer == n.cfg.Self {
-			continue
-		}
-		if m < min {
-			min = m
+	for _, p := range n.peers {
+		if p.match < min {
+			min = p.match
 		}
 	}
 	return min

@@ -1,0 +1,143 @@
+package paxos
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// TestPipelineChaosLeaderCrashMidWindowLosesNoAckedCommit keeps four
+// committers writing through the group-commit path and crashes the
+// leader mid-stream. Whatever sat unflushed in the open accumulation
+// window is allowed to die with it; every commit that was acked to a
+// committer must survive on the newly elected leader.
+func TestPipelineChaosLeaderCrashMidWindowLosesNoAckedCommit(t *testing.T) {
+	g := newTunedGroup(t, threeMembers(), func(_ string, cfg *Config) {
+		cfg.GroupCommitWindow = 300 * time.Microsecond
+		cfg.FlushDelay = 50 * time.Microsecond
+	})
+	g.nodes["dn1"].Bootstrap()
+	g.startAll()
+	leader := g.nodes["dn1"]
+
+	var (
+		ackedMu sync.Mutex
+		acked   []string
+		count   atomic.Int64
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				key := fmt.Sprintf("w%d-%d", w, i)
+				if _, err := leader.ProposeAndWait(insertRec(key, "v")); err != nil {
+					return // the crash aborts in-flight commits; that is fine
+				}
+				ackedMu.Lock()
+				acked = append(acked, key)
+				ackedMu.Unlock()
+				count.Add(1)
+			}
+		}(w)
+	}
+	waitFor(t, 5*time.Second, "40 acked commits", func() bool { return count.Load() >= 40 })
+	leader.Stop()
+	wg.Wait()
+
+	var survivor *Node
+	waitFor(t, 3*time.Second, "failover to a surviving follower", func() bool {
+		for _, name := range []string{"dn2", "dn3"} {
+			if n := g.nodes[name]; n.Role() == RoleLeader {
+				survivor = n
+				return true
+			}
+		}
+		return false
+	})
+
+	ackedMu.Lock()
+	want := append([]string(nil), acked...)
+	ackedMu.Unlock()
+	log := survivor.Log()
+	recs, err := log.ReadRecords(log.BaseLSN(), log.TailLSN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		have[string(r.Key)] = true
+	}
+	for _, key := range want {
+		if !have[key] {
+			t.Fatalf("acked commit %q missing from new leader's log (%d acked, %d records survived)",
+				key, len(want), len(recs))
+		}
+	}
+}
+
+// TestPipelineChaosDupJitterWindowsIdempotent runs the pipelined shipper
+// over links that duplicate 30%% of messages and jitter delivery enough
+// to reorder in-flight windows. Small window/batch sizes force many
+// frames per commit. Followers must apply the leader's record sequence
+// exactly once, in order.
+func TestPipelineChaosDupJitterWindowsIdempotent(t *testing.T) {
+	g := newTunedGroup(t, threeMembers(), func(_ string, cfg *Config) {
+		cfg.GroupCommitWindow = 200 * time.Microsecond
+		cfg.WindowBytes = 2048
+		cfg.BatchBytes = 512
+		cfg.ElectionTimeout = 400 * time.Millisecond // jitter must not trigger elections
+	})
+	g.net.SetFaultSeed(7)
+	g.net.SetDefaultLinkFaults(simnet.LinkFaults{Dup: 0.3, ExtraJitter: 500 * time.Microsecond})
+	g.nodes["dn1"].Bootstrap()
+	g.startAll()
+	leader := g.nodes["dn1"]
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				key := fmt.Sprintf("w%d-%d", w, i)
+				if _, err := leader.ProposeAndWait(insertRec(key, "v")); err != nil {
+					t.Errorf("propose %s: %v", key, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	llog := leader.Log()
+	leaderRecs, err := llog.ReadRecords(llog.BaseLSN(), llog.TailLSN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"dn2", "dn3"} {
+		f := f
+		waitFor(t, 5*time.Second, "apply on "+f, func() bool {
+			return len(g.appliedOn(f)) >= len(leaderRecs)
+		})
+		got := g.appliedOn(f)
+		if len(got) != len(leaderRecs) {
+			t.Fatalf("%s applied %d records, want exactly %d (duplicate delivery?)",
+				f, len(got), len(leaderRecs))
+		}
+		for i := range got {
+			if string(got[i].Key) != string(leaderRecs[i].Key) {
+				t.Fatalf("%s applied key %q at position %d, want %q",
+					f, got[i].Key, i, leaderRecs[i].Key)
+			}
+		}
+	}
+}

@@ -86,9 +86,14 @@ func (l *Log) BaseLSN() LSN {
 }
 
 // SetFlushed records that all bytes below lsn are durable in PolarFS.
-// It never moves backwards.
+// It never moves backwards, and it clamps at the tail: a flush that
+// raced with a truncation (leader deposition) must not declare bytes
+// durable that no longer exist.
 func (l *Log) SetFlushed(lsn LSN) {
 	l.mu.Lock()
+	if tail := l.base + LSN(len(l.buf)); lsn > tail {
+		lsn = tail
+	}
 	if lsn > l.flushed {
 		l.flushed = lsn
 	}
