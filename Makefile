@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race chaos bench-fig7 bench-fig10 bench-commit trace-demo
+.PHONY: build vet test test-short test-race chaos chaos-autopilot bench-fig7 bench-fig10 bench-commit trace-demo
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,19 @@ test: chaos
 # itself, the 2PC crash-window tests, the cluster-level recovery-loop
 # tests, and Paxos failover on a lossy link. Seeds are fixed inside
 # the tests, so failures reproduce deterministically.
-chaos:
+chaos: chaos-autopilot
 	$(GO) test -race ./internal/simnet/
 	$(GO) test -race -run 'Chaos|CoordinatorCrash|PartitionedPrimary|DuplicatedCommitPoint|LossyLinks|Pipeline|GroupCommit' \
 		./internal/txn/ ./internal/core/ ./internal/paxos/
+
+# Elastic-autopilot convergence suite: a moving hotspot under sustained
+# sysbench traffic with drop/dup/jitter link faults and a mid-migration
+# coordinator crash, asserting skew and p99 recover within a bounded
+# window with no manual intervention. The TestCluster logs its chaos
+# fault seed on startup so any failure reproduces deterministically.
+chaos-autopilot:
+	$(GO) test -race ./internal/autopilot/
+	$(GO) test -race -run 'TestChaosAutopilot' -v ./internal/testcluster/
 
 test-short:
 	$(GO) test -short ./...

@@ -1,0 +1,420 @@
+package autopilot
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gms"
+	"repro/internal/obs"
+)
+
+// fakeTarget is a scriptable Target: cumulative loads are set by tests,
+// migrations apply to the placement map (or fail from an error queue).
+type fakeTarget struct {
+	mu          sync.Mutex
+	loads       []int64 // cumulative, one table "t" in group "g"
+	placement   []string
+	nodes       []string
+	migrateErrs []error // popped per Migrate call; nil = success
+	migrated    []gms.MigrationStep
+	aborted     []gms.MigrationStep
+	splits      int
+	splitErr    error
+	added       int
+}
+
+func newFakeTarget(shards int, nodes ...string) *fakeTarget {
+	f := &fakeTarget{loads: make([]int64, shards), nodes: nodes}
+	f.placement = make([]string, shards)
+	for i := range f.placement {
+		f.placement[i] = nodes[i%len(nodes)]
+	}
+	return f
+}
+
+func (f *fakeTarget) addLoad(shard int, n int64) {
+	f.mu.Lock()
+	f.loads[shard] += n
+	f.mu.Unlock()
+}
+
+func (f *fakeTarget) Tables() []string { return []string{"t"} }
+
+func (f *fakeTarget) ShardLoads(string) []int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]int64(nil), f.loads...)
+}
+
+func (f *fakeTarget) Placement(string) (string, []string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return "g", append([]string(nil), f.placement...), nil
+}
+
+func (f *fakeTarget) Nodes() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.nodes...)
+}
+
+func (f *fakeTarget) Migrate(step gms.MigrationStep) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.migrateErrs) > 0 {
+		err := f.migrateErrs[0]
+		f.migrateErrs = f.migrateErrs[1:]
+		if err != nil {
+			return err
+		}
+	}
+	if f.placement[step.Shard] == step.To {
+		return nil // idempotent resume
+	}
+	if f.placement[step.Shard] != step.From {
+		return fmt.Errorf("%w: on %s", gms.ErrStalePlacement, f.placement[step.Shard])
+	}
+	f.placement[step.Shard] = step.To
+	f.migrated = append(f.migrated, step)
+	return nil
+}
+
+func (f *fakeTarget) Abort(step gms.MigrationStep) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.aborted = append(f.aborted, step)
+	return nil
+}
+
+func (f *fakeTarget) SplitShard(string, int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.splits++
+	if f.splitErr != nil {
+		return f.splitErr
+	}
+	return nil
+}
+
+func (f *fakeTarget) AddNode() (string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.added++
+	name := fmt.Sprintf("n-auto%d", f.added)
+	f.nodes = append(f.nodes, name)
+	return name, nil
+}
+
+func (f *fakeTarget) PlanRebalance() []gms.MigrationStep { return nil }
+
+func (f *fakeTarget) migratedSteps() []gms.MigrationStep {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]gms.MigrationStep(nil), f.migrated...)
+}
+
+// --- pure decision logic ---
+
+func TestSkewOf(t *testing.T) {
+	nodes := []string{"a", "b"}
+	if s, _ := skewOf(nil, nil, nodes); s != 0 {
+		t.Fatalf("empty window skew = %v, want 0", s)
+	}
+	if s, _ := skewOf([]int64{0, 0}, []string{"a", "b"}, nodes); s != 0 {
+		t.Fatalf("zero window skew = %v, want 0", s)
+	}
+	// Balanced: 2 nodes, 10 each → skew 1.
+	if s, _ := skewOf([]int64{10, 10}, []string{"a", "b"}, nodes); s != 1 {
+		t.Fatalf("balanced skew = %v, want 1", s)
+	}
+	// All load on one of two nodes → skew 2.
+	if s, _ := skewOf([]int64{20, 0}, []string{"a", "b"}, nodes); s != 2 {
+		t.Fatalf("one-sided skew = %v, want 2", s)
+	}
+	// A third empty node raises the skew (mean drops): 20 load on a of
+	// a,b,c → max 20, mean 6.67 → 3.
+	if s, _ := skewOf([]int64{20, 0}, []string{"a", "b"}, []string{"a", "b", "c"}); s != 3 {
+		t.Fatalf("empty-node skew = %v, want 3", s)
+	}
+}
+
+func TestChooseMoveTargetsCoolestNode(t *testing.T) {
+	g := GroupObs{
+		Group:     "g",
+		Table:     "t",
+		Placement: []string{"a", "b", "a", "b"},
+		Window:    []int64{900, 40, 30, 30},
+	}
+	a, ok := ChooseMove(g, []string{"a", "b", "c"}, 2)
+	if !ok {
+		t.Fatal("no move chosen for an obviously skewed group")
+	}
+	if a.Step.Shard != 0 || a.Step.From != "a" {
+		t.Fatalf("chose %+v, want shard 0 off node a", a.Step)
+	}
+	if a.Step.To != "c" {
+		t.Fatalf("chose destination %s, want the empty node c", a.Step.To)
+	}
+	// 900 ≫ 2×2×median → the planner recommends a split.
+	if a.Kind != ActionSplit {
+		t.Fatalf("kind = %s, want split for an extreme outlier", a.Kind)
+	}
+}
+
+func TestChooseMoveNoDestination(t *testing.T) {
+	g := GroupObs{Group: "g", Table: "t", Placement: []string{"a"}, Window: []int64{100}}
+	if _, ok := ChooseMove(g, []string{"a"}, 2); ok {
+		t.Fatal("chose a move with no other node to move to")
+	}
+}
+
+// --- controller behavior ---
+
+func tickCfg(clk obs.Clock) Config {
+	return Config{
+		SkewThreshold: 1.5, ConfirmTicks: 2, MinWindowLoad: 50,
+		MaxRetries: 2, RetryBackoff: time.Millisecond,
+		Cooldown: time.Second, VerifyWindow: 10 * time.Second,
+		OscillationWindow: time.Minute, Clock: clk,
+	}
+}
+
+// The full loop: hysteresis holds noise back, a confirmed skew acts,
+// verify declares convergence, cooldown suppresses the next action, and
+// the oscillation guard vetoes the reverse move.
+func TestControllerLoop(t *testing.T) {
+	fc := obs.NewFakeClock(time.Unix(1000, 0))
+	f := newFakeTarget(4, "a", "b") // shards 0,2 on a; 1,3 on b
+	f.splitErr = ErrUnsupported     // fixed shard count → splits degrade to migrations
+	reg := obs.NewRegistry()
+	c := New(tickCfg(fc), f, reg)
+
+	// Tick 1: hot shard 0 → streak 1 of 2, no action (hysteresis).
+	f.addLoad(0, 1000)
+	f.addLoad(1, 50)
+	res := c.Tick()
+	if len(res.Actions) != 0 || res.State != StateIdle {
+		t.Fatalf("tick1 acted on an unconfirmed skew: %+v", res)
+	}
+
+	// Tick 2: still hot → acts, migrates shard 0 a→b... no wait, b is the
+	// only other node and holds load too; coolest is still b.
+	fc.Advance(100 * time.Millisecond)
+	f.addLoad(0, 1000)
+	f.addLoad(1, 50)
+	res = c.Tick()
+	if len(res.Actions) != 1 || res.Actions[0].Err != nil {
+		t.Fatalf("tick2 did not act: %+v", res)
+	}
+	if got := f.migratedSteps(); len(got) != 1 || got[0].Shard != 0 || got[0].From != "a" || got[0].To != "b" {
+		t.Fatalf("migrated %+v, want shard 0 a→b", got)
+	}
+	if res.State != StateVerifying {
+		t.Fatalf("state after acting = %s, want verifying", res.State)
+	}
+
+	// Tick 3: quiet window → convergence verified, cooldown starts.
+	fc.Advance(100 * time.Millisecond)
+	res = c.Tick()
+	if !res.Converged || res.State != StateCooldown {
+		t.Fatalf("tick3 did not converge: %+v", res)
+	}
+	if reg.Counter("autopilot.converged").Value() != 1 {
+		t.Fatal("converged counter not bumped")
+	}
+
+	// Tick 4: skew during cooldown → suppressed (and counted).
+	fc.Advance(100 * time.Millisecond)
+	f.addLoad(1, 1000)
+	res = c.Tick()
+	if len(res.Actions) != 0 {
+		t.Fatalf("acted during cooldown: %+v", res)
+	}
+	if reg.Counter("autopilot.cooldown_skips").Value() == 0 {
+		t.Fatal("cooldown skip not counted")
+	}
+
+	// Cooldown expires. Now paint the reverse situation: shard 0 (now on
+	// b) hot again → the chosen move would be b→a, the exact undo of the
+	// recent move → oscillation guard vetoes it.
+	fc.Advance(2 * time.Second)
+	for i := 0; i < 3; i++ {
+		f.addLoad(0, 1000)
+		f.addLoad(2, 30)
+		c.Tick()
+		fc.Advance(100 * time.Millisecond)
+	}
+	if got := len(f.migratedSteps()); got != 1 {
+		t.Fatalf("oscillation guard failed: %d migrations, want 1", got)
+	}
+	if reg.Counter("autopilot.oscillation_skips").Value() == 0 {
+		t.Fatal("oscillation skip not counted")
+	}
+}
+
+// Transient failures retry with backoff; exhaustion parks the step and a
+// later tick resumes it idempotently.
+func TestControllerRetryAndResume(t *testing.T) {
+	f := newFakeTarget(4, "a", "b")
+	reg := obs.NewRegistry()
+	cfg := tickCfg(nil) // wall clock: retry backoff must actually sleep
+	cfg.ConfirmTicks = 1
+	cfg.RetryBackoff = 100 * time.Microsecond
+	c := New(cfg, f, reg)
+
+	boom := errors.New("transient network weather")
+	f.mu.Lock()
+	f.migrateErrs = []error{boom, boom, boom, boom} // > MaxRetries+1 attempts
+	f.mu.Unlock()
+
+	f.addLoad(0, 1000)
+	res := c.Tick()
+	if len(res.Actions) != 1 || res.Actions[0].Err == nil {
+		t.Fatalf("expected a failed action, got %+v", res)
+	}
+	if got := reg.Counter("autopilot.action_retries").Value(); got != 2 {
+		t.Fatalf("retries = %d, want 2 (MaxRetries)", got)
+	}
+	if reg.Counter("autopilot.action_failures").Value() != 1 {
+		t.Fatal("failure not counted")
+	}
+	st := c.Status()
+	if !st.InflightPending {
+		t.Fatal("failed migration not parked for resumption")
+	}
+
+	// One queued error left → the first resume tick fails, the second
+	// succeeds (idempotent re-run).
+	res = c.Tick()
+	if len(res.Actions) != 1 || res.Actions[0].Err == nil || !res.Actions[0].Resumed {
+		t.Fatalf("resume tick 1: %+v", res)
+	}
+	res = c.Tick()
+	if len(res.Actions) != 1 || res.Actions[0].Err != nil {
+		t.Fatalf("resume tick 2 should complete: %+v", res)
+	}
+	if c.Status().InflightPending {
+		t.Fatal("inflight not cleared after successful resume")
+	}
+	if got := f.migratedSteps(); len(got) != 1 {
+		t.Fatalf("migrations = %d, want exactly 1", len(got))
+	}
+}
+
+// A step that keeps failing past MaxResumeTicks is rolled back (Abort).
+func TestControllerRollsBackStuckStep(t *testing.T) {
+	f := newFakeTarget(4, "a", "b")
+	reg := obs.NewRegistry()
+	cfg := tickCfg(nil)
+	cfg.ConfirmTicks = 1
+	cfg.RetryBackoff = 100 * time.Microsecond
+	cfg.MaxResumeTicks = 2
+	c := New(cfg, f, reg)
+
+	boom := errors.New("permanent weather")
+	f.mu.Lock()
+	for i := 0; i < 20; i++ {
+		f.migrateErrs = append(f.migrateErrs, boom)
+	}
+	f.mu.Unlock()
+
+	f.addLoad(0, 1000)
+	c.Tick() // fails, parks
+	c.Tick() // resume 1
+	c.Tick() // resume 2 → rollback
+	if c.Status().InflightPending {
+		t.Fatal("step still parked after MaxResumeTicks")
+	}
+	if reg.Counter("autopilot.rollbacks").Value() != 1 {
+		t.Fatal("rollback not counted")
+	}
+	f.mu.Lock()
+	aborted := len(f.aborted)
+	f.mu.Unlock()
+	if aborted != 1 {
+		t.Fatalf("Abort calls = %d, want 1", aborted)
+	}
+}
+
+// A stale step (placement changed underneath) is dropped, not retried.
+func TestControllerDropsStaleStep(t *testing.T) {
+	f := newFakeTarget(4, "a", "b")
+	cfg := tickCfg(nil)
+	cfg.ConfirmTicks = 1
+	c := New(cfg, f, nil)
+
+	f.addLoad(0, 1000)
+	// The placement changes underneath between decide and execute — the
+	// target reports it by returning a wrapped stale error.
+	f.mu.Lock()
+	f.migrateErrs = []error{fmt.Errorf("%w: shard moved by a competing plan", gms.ErrStalePlacement)}
+	f.mu.Unlock()
+	res := c.Tick()
+	if len(res.Actions) != 1 || !errors.Is(res.Actions[0].Err, gms.ErrStalePlacement) {
+		t.Fatalf("expected a stale-step drop, got %+v", res)
+	}
+	if c.Status().InflightPending {
+		t.Fatal("stale step must not be parked")
+	}
+}
+
+// Unsupported splits degrade to migrations (the §VIII mitigation ladder).
+func TestSplitDegradesToMigrate(t *testing.T) {
+	f := newFakeTarget(4, "a", "b", "c")
+	f.splitErr = ErrUnsupported
+	cfg := tickCfg(nil)
+	cfg.ConfirmTicks = 1
+	c := New(cfg, f, nil)
+
+	f.addLoad(0, 10000) // extreme outlier → planner says split
+	res := c.Tick()
+	if len(res.Actions) != 1 || res.Actions[0].Err != nil {
+		t.Fatalf("degraded action failed: %+v", res)
+	}
+	if res.Actions[0].Kind != ActionMigrate {
+		t.Fatalf("kind = %s, want migrate after degradation", res.Actions[0].Kind)
+	}
+	if len(f.migratedSteps()) != 1 {
+		t.Fatal("no migration executed")
+	}
+}
+
+// Uniform heat with no skew scales out when configured.
+func TestControllerScalesOut(t *testing.T) {
+	f := newFakeTarget(4, "a", "b")
+	cfg := tickCfg(nil)
+	cfg.ConfirmTicks = 1
+	cfg.ScaleOutLoad = 100
+	cfg.MaxNodes = 3
+	cfg.Cooldown = time.Millisecond
+	c := New(cfg, f, nil)
+
+	for i := 0; i < 4; i++ {
+		f.addLoad(i, 500) // hot everywhere, perfectly balanced
+	}
+	res := c.Tick()
+	if len(res.Actions) != 1 || res.Actions[0].Kind != ActionAddNode || res.Actions[0].Err != nil {
+		t.Fatalf("expected an add-node action, got %+v", res)
+	}
+	if len(f.Nodes()) != 3 {
+		t.Fatalf("nodes = %v, want 3 after scale-out", f.Nodes())
+	}
+	// At MaxNodes, no further scale-out.
+	for i := 0; i < 4; i++ {
+		f.addLoad(i, 500)
+	}
+	c.Tick() // verifying tick: skew ≤ threshold → converged → brief cooldown
+	time.Sleep(3 * time.Millisecond)
+	for i := 0; i < 4; i++ {
+		f.addLoad(i, 500)
+	}
+	res = c.Tick()
+	for _, a := range res.Actions {
+		if a.Kind == ActionAddNode {
+			t.Fatal("scaled out beyond MaxNodes")
+		}
+	}
+}

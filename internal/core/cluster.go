@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/autopilot"
 	"repro/internal/dn"
 	"repro/internal/executor"
 	"repro/internal/gms"
@@ -127,6 +128,11 @@ type Config struct {
 	// OnSlowQuery, when non-nil, is invoked synchronously for each slow
 	// statement in addition to the in-memory log.
 	OnSlowQuery func(sql string, d time.Duration)
+	// Autopilot, when non-nil, starts the closed-loop elastic controller:
+	// it watches shard-load windows, migrates hot shards between DN
+	// groups online, and verifies convergence (internal/autopilot). With
+	// Interval 0 the controller is built but only tests tick it.
+	Autopilot *autopilot.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -185,6 +191,13 @@ type Cluster struct {
 	stopOnce     sync.Once
 	recoveryRuns atomic.Uint64
 
+	// migrator is the dedicated coordinator that shard migrations copy
+	// data through — the same 2PC/replication path queries use, so chaos
+	// faults exercise migration retry like any other traffic.
+	migrator *txn.Coordinator
+	// ap is the elastic autopilot controller; nil unless Config.Autopilot.
+	ap *autopilot.Controller
+
 	// metrics is the cluster metrics registry; nil unless Config.Metrics.
 	metrics *obs.Registry
 	// slowMu guards slowQueries, the bounded in-memory slow-query log.
@@ -231,10 +244,14 @@ func (c *Cluster) Metrics() *obs.Registry { return c.metrics }
 // MetricsSnapshot renders every cluster metric as text: the registry
 // (RPC latency, txn outcomes, quorum waits), per-CN plan-cache
 // counters, and the process-wide batch-pool and exchange-wait stats.
+// Lines are globally sorted by key, so two snapshots diff cleanly —
+// convergence tests and humans rely on the deterministic order.
 func (c *Cluster) MetricsSnapshot() string {
-	var b strings.Builder
+	var lines []string
 	if c.metrics != nil {
-		b.WriteString(c.metrics.Snapshot())
+		if snap := c.metrics.Snapshot(); snap != "" {
+			lines = strings.Split(strings.TrimRight(snap, "\n"), "\n")
+		}
 	}
 	var hits, misses uint64
 	for _, cn := range c.CNs() {
@@ -242,12 +259,20 @@ func (c *Cluster) MetricsSnapshot() string {
 		hits += h
 		misses += m
 	}
-	fmt.Fprintf(&b, "plancache.hits %d\nplancache.misses %d\n", hits, misses)
+	lines = append(lines,
+		fmt.Sprintf("plancache.hits %d", hits),
+		fmt.Sprintf("plancache.misses %d", misses))
 	gets, puts, dbl := vector.PoolStats()
-	fmt.Fprintf(&b, "vector.pool_gets %d\nvector.pool_puts %d\nvector.pool_double_releases %d\n", gets, puts, dbl)
+	lines = append(lines,
+		fmt.Sprintf("vector.pool_gets %d", gets),
+		fmt.Sprintf("vector.pool_puts %d", puts),
+		fmt.Sprintf("vector.pool_double_releases %d", dbl))
 	waits, total := executor.ExchangeWaitStats()
-	fmt.Fprintf(&b, "executor.exchange_waits %d\nexecutor.exchange_wait_total %v\n", waits, total)
-	return b.String()
+	lines = append(lines,
+		fmt.Sprintf("executor.exchange_waits %d", waits),
+		fmt.Sprintf("executor.exchange_wait_total %v", total))
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
 }
 
 // planEpoch is the version CN plan and routing caches key on: any DDL
@@ -311,9 +336,26 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			c.addCN(simnet.DC(d))
 		}
 	}
+	// The migration coordinator: its own endpoint so chaos plans can
+	// target (and crash) migrations independently of query traffic.
+	c.Net.Register(migratorName, simnet.DC1, func(string, any) (any, error) { return nil, nil })
+	var migOracle txn.Oracle
+	if cfg.Oracle == OracleTSO {
+		migOracle = txn.NewTSOOracle(tso.NewClient(c.Net, migratorName, "tso"))
+	} else {
+		migOracle = txn.NewHLCOracle(hlc.NewClock(nil))
+	}
+	c.migrator = txn.NewCoordinator(c.Net, migratorName, migOracle)
+	if cfg.Autopilot != nil {
+		c.ap = autopilot.New(*cfg.Autopilot, c.ElasticTarget(), c.metrics)
+		c.ap.Start()
+	}
 	go c.recoveryLoop()
 	return c, nil
 }
+
+// Autopilot returns the elastic controller (nil unless Config.Autopilot).
+func (c *Cluster) Autopilot() *autopilot.Controller { return c.ap }
 
 // addDNGroup provisions DN group g: one instance per DC in MultiDC mode
 // (leader in DC g%DCs), else a single instance.
@@ -434,6 +476,9 @@ func (c *Cluster) AddCN(dc simnet.DC) *CN { return c.addCN(dc) }
 // Stop shuts the cluster down.
 func (c *Cluster) Stop() {
 	c.stopOnce.Do(func() { close(c.stopCh) })
+	if c.ap != nil {
+		c.ap.Stop()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, cn := range c.cns {

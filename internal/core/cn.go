@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/dn"
+	"repro/internal/gms"
 	"repro/internal/hotspot"
 	"repro/internal/htap"
 	"repro/internal/obs"
@@ -375,8 +376,24 @@ func (s *Session) executeParsed(query string) (*Result, error) {
 		s.cn.cluster.HealDNRouting()
 		res, err = s.ExecuteStmt(stmt)
 	}
+	// A fenced shard (final phase of an online migration) answers
+	// ErrShardMoving. The fence lasts one drain + diff-sync round, so
+	// auto-commit statements wait it out with a short bounded backoff and
+	// land on the new placement — migrations need no client cooperation.
+	for attempt := 0; err != nil && !s.InTxn() &&
+		errors.Is(err, gms.ErrShardMoving) && attempt < shardMoveRetries; attempt++ {
+		time.Sleep(shardMoveBackoff)
+		res, err = s.ExecuteStmt(stmt)
+	}
 	return res, err
 }
+
+// shardMoveRetries × shardMoveBackoff bounds how long an auto-commit
+// statement waits for a migration fence before surfacing ErrShardMoving.
+const (
+	shardMoveRetries = 200
+	shardMoveBackoff = 2 * time.Millisecond
+)
 
 // isLeaderFailure classifies errors that indicate stale leader routing:
 // the DN refused as a non-leader, or the endpoint is unreachable.

@@ -29,6 +29,15 @@ var (
 	ErrNoDNs         = errors.New("gms: no DNs registered")
 	ErrGroupMismatch = errors.New("gms: table group shard count mismatch")
 	ErrUnknownIndex  = errors.New("gms: unknown global index")
+	// ErrShardMoving is returned by DNForShard while a shard is fenced for
+	// the final phase of an online migration. It is transient and
+	// retryable: the fence lasts for one drain + diff-sync round, after
+	// which routing resolves to the new placement.
+	ErrShardMoving = errors.New("gms: shard is moving")
+	// ErrStalePlacement means a migration step's From no longer matches
+	// the placement map (a concurrent failover or another migration won).
+	// The step should be dropped and re-planned, not retried.
+	ErrStalePlacement = errors.New("gms: migration step placement is stale")
 )
 
 // DNInfo describes one registered DN group (a PolarDB instance set).
@@ -71,6 +80,12 @@ type GMS struct {
 	// detection and balance planning.
 	shardLoad map[string][]int64
 
+	// moving fences (group, shard) pairs whose final migration phase is in
+	// flight: DNForShard answers ErrShardMoving so statements back off
+	// instead of writing to a source that is about to stop being
+	// authoritative.
+	moving map[string]map[int]bool
+
 	// schemaEpoch is bumped on every catalog change (CREATE TABLE, index
 	// DDL). CN plan caches key entries by epoch, so a bump invalidates
 	// every cached plan cluster-wide without enumerating them.
@@ -93,6 +108,7 @@ func New() *GMS {
 		dns:       make(map[string]*DNInfo),
 		cns:       make(map[string]*CNInfo),
 		shardLoad: make(map[string][]int64),
+		moving:    make(map[string]map[int]bool),
 	}
 }
 
@@ -297,7 +313,37 @@ func (g *GMS) DNForShard(table string, shard int) (string, error) {
 	if shard < 0 || shard >= len(tg.Placement) {
 		return "", fmt.Errorf("gms: shard %d out of range for %q", shard, table)
 	}
+	if g.moving[t.Group][shard] {
+		return "", fmt.Errorf("%w: group %q shard %d", ErrShardMoving, t.Group, shard)
+	}
 	return tg.Placement[shard], nil
+}
+
+// StartMove fences a (group, shard) pair: until EndMove, DNForShard
+// answers ErrShardMoving for it. Idempotent.
+func (g *GMS) StartMove(group string, shard int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	m, ok := g.moving[group]
+	if !ok {
+		m = make(map[int]bool)
+		g.moving[group] = m
+	}
+	m[shard] = true
+}
+
+// EndMove lifts the fence set by StartMove. Idempotent.
+func (g *GMS) EndMove(group string, shard int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.moving[group], shard)
+}
+
+// Moving reports whether a (group, shard) pair is fenced.
+func (g *GMS) Moving(group string, shard int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.moving[group][shard]
 }
 
 // RecordLoad bumps a shard's load counter (CNs report after routing).

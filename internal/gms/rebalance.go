@@ -87,8 +87,8 @@ func (g *GMS) ApplyMigration(step MigrationStep) error {
 		return fmt.Errorf("gms: shard %d out of range for group %q", step.Shard, step.Group)
 	}
 	if tg.Placement[step.Shard] != step.From {
-		return fmt.Errorf("gms: group %q shard %d is on %s, not %s",
-			step.Group, step.Shard, tg.Placement[step.Shard], step.From)
+		return fmt.Errorf("%w: group %q shard %d is on %s, not %s",
+			ErrStalePlacement, step.Group, step.Shard, tg.Placement[step.Shard], step.From)
 	}
 	if _, ok := g.dns[step.To]; !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownDN, step.To)

@@ -1,0 +1,83 @@
+package gms
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+// PlanRebalance must be stable: applying a full plan leaves nothing for
+// a second plan to do, even across aligned table groups — the property
+// the autopilot's idle rebalance leans on to avoid planning loops.
+func TestPlanRebalanceStableAcrossGroups(t *testing.T) {
+	g := newGMS(t, "dn1", "dn2")
+	g.CreateTable("orders", schema("orders"), 6, "tg1")
+	g.CreateTable("lineitem", schema("lineitem"), 6, "tg1")
+	g.CreateTable("users", schema("users"), 5, "")
+	g.RegisterDN("dn3", simnet.DC1)
+
+	steps := PlanAndApply(t, g)
+	if len(steps) == 0 {
+		t.Fatal("no steps planned for a freshly added empty DN")
+	}
+	if more := g.PlanRebalance(); len(more) != 0 {
+		t.Fatalf("second plan not empty: %+v", more)
+	}
+	// Aligned groups stay aligned: orders and lineitem co-place shards.
+	for s := 0; s < 6; s++ {
+		a, err1 := g.DNForShard("orders", s)
+		b, err2 := g.DNForShard("lineitem", s)
+		if err1 != nil || err2 != nil || a != b {
+			t.Fatalf("group alignment broken at shard %d: %s vs %s", s, a, b)
+		}
+	}
+}
+
+// The migration fence: while a shard moves, routing fails with the
+// retryable ErrShardMoving sentinel; Start/EndMove are idempotent.
+func TestShardMoveFence(t *testing.T) {
+	g := newGMS(t, "dn1", "dn2")
+	tab, err := g.CreateTable("users", schema("users"), 4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Moving(tab.Group, 1) {
+		t.Fatal("fresh table reports a moving shard")
+	}
+	g.StartMove(tab.Group, 1)
+	g.StartMove(tab.Group, 1) // idempotent
+	if !g.Moving(tab.Group, 1) {
+		t.Fatal("fence not visible")
+	}
+	if _, err := g.DNForShard("users", 1); !errors.Is(err, ErrShardMoving) {
+		t.Fatalf("routing through a fence: %v", err)
+	}
+	// Other shards route fine.
+	if _, err := g.DNForShard("users", 0); err != nil {
+		t.Fatalf("unfenced shard blocked: %v", err)
+	}
+	g.EndMove(tab.Group, 1)
+	g.EndMove(tab.Group, 1) // idempotent
+	if _, err := g.DNForShard("users", 1); err != nil {
+		t.Fatalf("fence not lifted: %v", err)
+	}
+}
+
+// ApplyMigration on an out-of-date step reports the typed stale sentinel
+// the autopilot uses to drop (rather than retry) obsolete plans.
+func TestApplyMigrationStaleSentinel(t *testing.T) {
+	g := newGMS(t, "dn1", "dn2")
+	if _, err := g.CreateTable("users", schema("users"), 2, "tgs"); err != nil {
+		t.Fatal(err)
+	}
+	cur, _ := g.DNForShard("users", 0)
+	other := "dn1"
+	if cur == "dn1" {
+		other = "dn2"
+	}
+	err := g.ApplyMigration(MigrationStep{Group: "tgs", Shard: 0, From: other, To: cur})
+	if !errors.Is(err, ErrStalePlacement) {
+		t.Fatalf("stale step error = %v, want ErrStalePlacement", err)
+	}
+}

@@ -1,0 +1,107 @@
+package hotspot
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// PlanShards boundary behavior: the planner must stay silent on
+// degenerate inputs and act only strictly beyond its thresholds.
+func TestPlanShardsEdges(t *testing.T) {
+	if got := PlanShards(nil, 2); got != nil {
+		t.Fatalf("empty loads planned %+v", got)
+	}
+	// A single shard is its own median — never an outlier.
+	if got := PlanShards([]int64{5000}, 2); got != nil {
+		t.Fatalf("single shard planned %+v", got)
+	}
+	// All-equal loads: nothing exceeds factor×median.
+	if got := PlanShards([]int64{300, 300, 300, 300}, 1.5); got != nil {
+		t.Fatalf("uniform loads planned %+v", got)
+	}
+	// Exactly at factor×median is NOT an outlier (strict >): median of
+	// {100,100,100,200} is 100, 200 == 100×2.
+	if got := PlanShards([]int64{100, 100, 100, 200}, 2); got != nil {
+		t.Fatalf("boundary load planned %+v", got)
+	}
+	// One past the boundary is a moderate outlier → migrate.
+	got := PlanShards([]int64{100, 100, 100, 201}, 2)
+	if len(got) != 1 || got[0].Shard != 3 || got[0].Split {
+		t.Fatalf("just-over boundary: %+v", got)
+	}
+	// Exactly at the split boundary (2×factor×median) still migrates...
+	got = PlanShards([]int64{100, 100, 100, 400}, 2)
+	if len(got) != 1 || got[0].Split {
+		t.Fatalf("split boundary: %+v", got)
+	}
+	// ...one past it splits.
+	got = PlanShards([]int64{100, 100, 100, 401}, 2)
+	if len(got) != 1 || !got[0].Split {
+		t.Fatalf("past split boundary: %+v", got)
+	}
+}
+
+// With a decay window, the tracker follows a MOVING hotspot: the old hot
+// key's counts halve away while the new one rises.
+func TestKeyTrackerDecayFollowsMovingHotspot(t *testing.T) {
+	tr := NewKeyTracker(0.1)
+	now := time.Unix(5000, 0)
+	tr.setNow(func() time.Time { return now })
+	tr.SetDecayWindow(time.Second)
+
+	// Phase 1: key A takes ~1/3 of 1200 accesses.
+	for i := 0; i < 1200; i++ {
+		if i%3 == 0 {
+			tr.Touch([]byte("A"))
+		} else {
+			tr.Touch([]byte(fmt.Sprintf("u%d", i)))
+		}
+	}
+	hot := tr.Hot()
+	if len(hot) == 0 || string(hot[0].Key) != "A" {
+		t.Fatalf("phase 1: hot = %+v, want A", hot)
+	}
+
+	// Phase 2: four windows later the hotspot has moved to key B. A's
+	// stale counts decay by 2⁻⁴ while B accumulates fresh ones.
+	now = now.Add(4 * time.Second)
+	for i := 0; i < 1200; i++ {
+		if i%3 == 0 {
+			tr.Touch([]byte("B"))
+		} else {
+			tr.Touch([]byte(fmt.Sprintf("w%d", i)))
+		}
+	}
+	hot = tr.Hot()
+	if len(hot) == 0 || string(hot[0].Key) != "B" {
+		t.Fatalf("phase 2: hot = %+v, want B on top", hot)
+	}
+	for _, hk := range hot {
+		if string(hk.Key) == "A" {
+			t.Fatalf("stale hotspot A still reported hot (share %.2f)", hk.Share)
+		}
+	}
+}
+
+// Without a decay window the tracker keeps absolute counts forever (the
+// pre-existing behavior autopilot's moving-hotspot handling relies on
+// being opt-in).
+func TestKeyTrackerNoDecayByDefault(t *testing.T) {
+	tr := NewKeyTracker(0.1)
+	now := time.Unix(5000, 0)
+	tr.setNow(func() time.Time { return now })
+	for i := 0; i < 600; i++ {
+		if i%3 == 0 {
+			tr.Touch([]byte("A"))
+		} else {
+			tr.Touch([]byte(fmt.Sprintf("u%d", i)))
+		}
+	}
+	now = now.Add(time.Hour)
+	tr.Touch([]byte("A"))
+	hot := tr.Hot()
+	if len(hot) == 0 || string(hot[0].Key) != "A" {
+		t.Fatalf("hot = %+v, want A with no decay configured", hot)
+	}
+}

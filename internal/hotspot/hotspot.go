@@ -81,7 +81,10 @@ func (s *Sketch) Total() uint64 { return s.total }
 // --- Hot-key tracking and mitigation ---
 
 // KeyTracker samples an access stream and surfaces hot keys: keys whose
-// estimated share of traffic exceeds a threshold.
+// estimated share of traffic exceeds a threshold. With a decay window
+// set, counts are halved every window so the tracker follows a *moving*
+// hotspot: keys that stopped being hot fade out instead of dominating
+// the totals forever.
 type KeyTracker struct {
 	mu     sync.Mutex
 	sketch *Sketch
@@ -91,6 +94,11 @@ type KeyTracker struct {
 	// Threshold is the traffic share (0..1) above which a key is hot.
 	Threshold float64
 	maxCand   int
+	// window paces the exponential decay (0 = never decay).
+	window      time.Duration
+	windowStart time.Time
+	// now is injectable for deterministic decay tests.
+	now func() time.Time
 }
 
 // NewKeyTracker builds a tracker; threshold is the hot share (e.g. 0.1).
@@ -103,6 +111,50 @@ func NewKeyTracker(threshold float64) *KeyTracker {
 		candidates: make(map[string]uint64),
 		Threshold:  threshold,
 		maxCand:    64,
+		now:        time.Now,
+	}
+}
+
+// SetDecayWindow enables exponential decay: every window, all counts are
+// halved (candidates that reach zero are dropped). Zero disables decay.
+func (t *KeyTracker) SetDecayWindow(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.window = d
+	t.windowStart = t.now()
+}
+
+// setNow injects a clock for tests.
+func (t *KeyTracker) setNow(now func() time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.now = now
+	t.windowStart = now()
+}
+
+// decayLocked halves every count once per elapsed window. Halving (not
+// zeroing) keeps a sustained hot key hot across the boundary while a
+// cooled-off key's share collapses within a couple of windows.
+func (t *KeyTracker) decayLocked() {
+	if t.window <= 0 {
+		return
+	}
+	now := t.now()
+	for now.Sub(t.windowStart) >= t.window {
+		t.windowStart = t.windowStart.Add(t.window)
+		for _, row := range t.sketch.counts {
+			for i := range row {
+				row[i] /= 2
+			}
+		}
+		t.sketch.total /= 2
+		for k, c := range t.candidates {
+			if c /= 2; c == 0 {
+				delete(t.candidates, k)
+			} else {
+				t.candidates[k] = c
+			}
+		}
 	}
 }
 
@@ -110,6 +162,7 @@ func NewKeyTracker(threshold float64) *KeyTracker {
 func (t *KeyTracker) Touch(key []byte) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.decayLocked()
 	t.sketch.Add(key)
 	est := t.sketch.Estimate(key)
 	total := t.sketch.Total()

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/hlc"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/storage"
 	"repro/internal/types"
@@ -61,6 +62,22 @@ type Tenant struct {
 	// rows counts committed rows across tables, to size data-copy cost.
 	mu     sync.Mutex
 	tables []uint32
+	// load counts committed transactions — the autopilot's per-tenant
+	// traffic signal.
+	load int64
+}
+
+// Load returns the tenant's cumulative committed-transaction count.
+func (t *Tenant) Load() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.load
+}
+
+func (t *Tenant) addLoad(n int64) {
+	t.mu.Lock()
+	t.load += n
+	t.mu.Unlock()
 }
 
 // Engine exposes the tenant's shared-storage engine.
@@ -105,6 +122,43 @@ type Cluster struct {
 	// (Fig. 8a's +113%/+94%/+68% after each doubling).
 	commitCost time.Duration
 	rwCores    int
+
+	// mRetries/mFailures count transfer retry outcomes (nil-safe; wired
+	// by SetMetrics under the autopilot.* namespace).
+	mRetries, mFailures *obs.Counter
+	// transferFault, when set, is a chaos hook invoked at each transfer
+	// stage; a non-nil return injects that error into the protocol.
+	transferFault func(stage string) error
+	nextAutoRW    int
+}
+
+// SetMetrics exposes transfer retry counters through a registry:
+// autopilot.migration_retries and autopilot.migration_failures.
+func (c *Cluster) SetMetrics(reg *obs.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mRetries = reg.Counter("autopilot.migration_retries")
+	c.mFailures = reg.Counter("autopilot.migration_failures")
+}
+
+// SetTransferFault installs a chaos hook: fn is invoked at each transfer
+// stage ("flush", "rebind", "open") and any error it returns is injected
+// there. Tests use it to throw transient simnet errors at the protocol.
+func (c *Cluster) SetTransferFault(fn func(stage string) error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.transferFault = fn
+}
+
+// fault runs the chaos hook for one stage.
+func (c *Cluster) fault(stage string) error {
+	c.mu.Lock()
+	fn := c.transferFault
+	c.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(stage)
 }
 
 // NewCluster creates an empty PolarDB-MT cluster.

@@ -57,6 +57,13 @@ type Tx struct {
 	done    bool
 }
 
+// Dead reports whether the node has been failed.
+func (rw *RW) Dead() bool {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	return rw.dead
+}
+
 // Begin starts a transaction on the given tenant. It fails if the tenant
 // is not bound here (the CN retries against the right RW), blocks if the
 // tenant is mid-migration, and rejects dead nodes.
@@ -182,6 +189,7 @@ func (tx *Tx) Commit() error {
 	if err := tx.tenant.eng.Commit(tx.txn, tx.rw.clock.Advance()); err != nil {
 		return err
 	}
+	tx.tenant.addLoad(1)
 	// Append the transaction's redo to this RW's private log and mark
 	// buffer-pool dirt (flushed on transfer).
 	redo := tx.txn.Redo()

@@ -86,6 +86,10 @@ func (c *Cluster) Transfer(tenant TenantID, from, to string) (TransferStats, err
 
 	// Step 3: flush the tenant's dirty pages to PolarFS and close the
 	// cached metadata. Page flush I/O is charged per page.
+	if err := c.fault("flush"); err != nil {
+		resume()
+		return stats, fmt.Errorf("mt: flush phase: %w", err)
+	}
 	flushStart := time.Now()
 	for _, tableID := range t.Tables() {
 		n, err := t.eng.Pool().FlushTable(tableID, nil)
@@ -105,6 +109,10 @@ func (c *Cluster) Transfer(tenant TenantID, from, to string) (TransferStats, err
 	stats.FlushTime = time.Since(flushStart)
 
 	// Step 4: update the binding in the system table (master-managed).
+	if err := c.fault("rebind"); err != nil {
+		resume()
+		return stats, fmt.Errorf("mt: rebind phase: %w", err)
+	}
 	rebindStart := time.Now()
 	c.mu.Lock()
 	c.version++
@@ -113,7 +121,13 @@ func (c *Cluster) Transfer(tenant TenantID, from, to string) (TransferStats, err
 	stats.RebindTime = time.Since(rebindStart)
 
 	// Step 5: destination opens the tenant and fetches metadata from the
-	// master RW (a small dictionary read, NOT a data copy).
+	// master RW (a small dictionary read, NOT a data copy). A fault here
+	// leaves the move half-applied — rebound but not opened — which the
+	// retry wrapper completes idempotently.
+	if err := c.fault("open"); err != nil {
+		resume()
+		return stats, fmt.Errorf("mt: open phase: %w", err)
+	}
 	openStart := time.Now()
 	dst.mu.Lock()
 	dst.open[tenant] = t

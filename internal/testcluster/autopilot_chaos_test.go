@@ -1,0 +1,352 @@
+// The headline robustness suite for the elastic autopilot: sustained
+// sysbench traffic with a MOVING hotspot while message-level chaos
+// (drop/dup/jitter) and crash faults fire, asserting the closed loop
+// observes the skew, migrates shards online, and verifies convergence —
+// with zero manual intervention. Every scenario runs under -race with a
+// logged fault seed.
+package testcluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/autopilot"
+	"repro/internal/dn"
+	"repro/internal/simnet"
+	"repro/internal/workload/sysbench"
+)
+
+// coLocatedPair finds two shards of the sysbench table currently placed
+// on the same DN group, excluding any shard in `skip` — the raw material
+// of a co-location hotspot that a single migration can actually fix.
+func coLocatedPair(t *testing.T, tc *TestCluster, skip ...int) (int, int, string) {
+	t.Helper()
+	tab, err := tc.GMS.Table(sysbench.TableName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := tc.GMS.Group(tab.Group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipped := make(map[int]bool, len(skip))
+	for _, s := range skip {
+		skipped[s] = true
+	}
+	for i := 0; i < len(tg.Placement); i++ {
+		for j := i + 1; j < len(tg.Placement); j++ {
+			if !skipped[i] && !skipped[j] && tg.Placement[i] == tg.Placement[j] {
+				return i, j, tg.Placement[i]
+			}
+		}
+	}
+	t.Fatalf("no co-located shard pair outside %v in placement %v", skip, tg.Placement)
+	return 0, 0, ""
+}
+
+// TestChaosAutopilotMovingHotspotConverges is the headline scenario:
+// four sysbench workers hammer a pair of co-located shards through a
+// lossy, duplicating, jittery fabric; the autopilot must detect the
+// skew, separate the pair online, and verify convergence (skew AND p99
+// recovered). Then the hotspot MOVES to another co-located pair and the
+// loop must converge again — no restarts, no manual steps.
+func TestChaosAutopilotMovingHotspotConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos convergence needs a few seconds of traffic")
+	}
+	ring := NewLatencyRing(256)
+	tc := New(t, Opts{
+		DNGroups:         3,
+		Metrics:          true,
+		Faults:           &simnet.LinkFaults{Drop: 0.01, Dup: 0.005, ExtraJitter: 200 * time.Microsecond},
+		CallTimeout:      250 * time.Millisecond,
+		InDoubtTimeout:   200 * time.Millisecond,
+		RecoveryInterval: 50 * time.Millisecond,
+		Autopilot: &autopilot.Config{
+			Interval:          50 * time.Millisecond,
+			SkewThreshold:     1.8,
+			ConfirmTicks:      2,
+			MinWindowLoad:     40,
+			MaxRetries:        4,
+			RetryBackoff:      10 * time.Millisecond,
+			MaxResumeTicks:    40,
+			Cooldown:          200 * time.Millisecond,
+			VerifyWindow:      4 * time.Second,
+			OscillationWindow: 3 * time.Second,
+			LatencyProbe:      ring.Probe,
+			P99Target:         1500 * time.Millisecond,
+			Logf:              t.Logf,
+		},
+	})
+	wcfg := sysbench.Config{Rows: 1200, Partitions: 6, Seed: tc.Seed}
+	if err := sysbench.Load(tc.Session(), wcfg); err != nil {
+		t.Fatalf("sysbench load: %v", err)
+	}
+
+	// Four workers drive auto-commit point ops, feeding the p99 ring.
+	// Errors under chaos are expected (timeouts on dropped messages) —
+	// what matters is that the loop recovers without intervention.
+	const workers = 4
+	drivers := make([]*sysbench.Driver, workers)
+	cns := tc.CNs()
+	for i := range drivers {
+		drivers[i] = sysbench.NewDriver(cns[i%len(cns)].NewSession(), wcfg, int64(i+1)*7919)
+	}
+	setHot := func(shards ...int) {
+		var ids []int64
+		for _, sh := range shards {
+			ids = append(ids, tc.ShardIDs(sysbench.TableName, sh, wcfg.Rows, 40)...)
+		}
+		for _, d := range drivers {
+			d.SetHot(ids, 0.6)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var opErrs atomic.Int64
+	for _, d := range drivers {
+		wg.Add(1)
+		go func(d *sysbench.Driver) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				start := time.Now()
+				if err := d.PointOp(); err != nil {
+					opErrs.Add(1)
+					continue
+				}
+				ring.Observe(time.Since(start))
+			}
+		}(d)
+	}
+	defer func() { close(stop); wg.Wait() }()
+
+	// Phase 1: heat a co-located pair; the autopilot must separate it.
+	h1a, h1b, owner1 := coLocatedPair(t, tc)
+	setHot(h1a, h1b)
+	t.Logf("phase 1: hotspot on shards %d+%d (both on %s)", h1a, h1b, owner1)
+	if err := tc.WaitConverged(1, 1.8, 400, 25*time.Millisecond); err != nil {
+		t.Fatalf("phase 1 never converged: %v\nstatus: %+v", err, tc.Autopilot().Status())
+	}
+	st := tc.Autopilot().Status()
+	if st.Actions < 1 {
+		t.Fatalf("converged without acting? %+v", st)
+	}
+	t.Logf("phase 1 converged: %d action(s), %d retries, skew %s",
+		st.Actions, st.Retries, fmtSkew(st.LastSkew))
+
+	// Phase 2: the hotspot MOVES to a different co-located pair. The old
+	// heat decays out of the load windows; the loop must converge again.
+	h2a, h2b, owner2 := coLocatedPair(t, tc, h1a, h1b)
+	setHot(h2a, h2b)
+	t.Logf("phase 2: hotspot moved to shards %d+%d (both on %s)", h2a, h2b, owner2)
+	if err := tc.WaitConverged(2, 1.8, 400, 25*time.Millisecond); err != nil {
+		t.Fatalf("phase 2 never converged: %v\nstatus: %+v", err, tc.Autopilot().Status())
+	}
+
+	// No thrash: the history must contain no successful move that exactly
+	// undoes an earlier successful move of the same shard.
+	st = tc.Autopilot().Status()
+	type key struct {
+		group    string
+		shard    int
+		from, to string
+	}
+	done := make(map[key]bool)
+	for _, rec := range st.History {
+		if rec.Err != nil || rec.Kind == autopilot.ActionAddNode {
+			continue
+		}
+		k := key{rec.Step.Group, rec.Step.Shard, rec.Step.From, rec.Step.To}
+		if done[key{k.group, k.shard, k.to, k.from}] {
+			t.Fatalf("oscillation: %+v undoes an earlier move\nhistory: %+v", rec.Step, st.History)
+		}
+		done[k] = true
+	}
+	if st.InflightPending {
+		t.Fatalf("a migration is still half-applied at the end: %+v", st)
+	}
+
+	// Zero rows harmed: point ops only read/update, and every migration
+	// diff-syncs exactly, so the row count must survive the chaos.
+	var n int64
+	err := Retry(100, 20*time.Millisecond, func() error {
+		var cerr error
+		n, cerr = tc.CountRows(tc.Session(), sysbench.TableName)
+		return cerr
+	})
+	if err != nil || n != int64(wcfg.Rows) {
+		t.Fatalf("row count after chaos = %d (err %v), want %d", n, err, wcfg.Rows)
+	}
+	t.Logf("final: %d actions, %d retries, %d failures, %d op errors under chaos",
+		st.Actions, st.Retries, st.Failures, opErrs.Load())
+}
+
+// TestChaosAutopilotCrashMidMigrationResumes kills the migration
+// coordinator at an exact protocol point — right as it ships the bulk
+// copy — and verifies the parked step is resumed idempotently after the
+// process comes back: placement flips exactly once, the fence is lifted,
+// and not a row is lost.
+func TestChaosAutopilotCrashMidMigrationResumes(t *testing.T) {
+	tc := New(t, Opts{
+		DNGroups: 2,
+		// The orphaned copy branch expires after 25×InDoubtTimeout (the
+		// stale-ACTIVE factor), so keep this tight: ~1.25s to lock release.
+		InDoubtTimeout:   50 * time.Millisecond,
+		RecoveryInterval: 25 * time.Millisecond,
+		Autopilot: &autopilot.Config{ // Interval 0: the test ticks manually
+			SkewThreshold:  1.5,
+			ConfirmTicks:   1,
+			MinWindowLoad:  10,
+			MaxRetries:     1,
+			RetryBackoff:   time.Millisecond,
+			MaxResumeTicks: 200,
+			VerifyWindow:   10 * time.Second,
+			Cooldown:       50 * time.Millisecond,
+			Logf:           t.Logf,
+		},
+	})
+	s := tc.Session()
+	tc.MustExec(s, `CREATE TABLE kv (id BIGINT, v VARCHAR(40), PRIMARY KEY(id)) PARTITIONS 4`)
+	const rows = 120
+	for lo := 0; lo < rows; lo += 40 {
+		q := "INSERT INTO kv (id, v) VALUES "
+		for id := lo; id < lo+40; id++ {
+			if id > lo {
+				q += ", "
+			}
+			q += fmt.Sprintf("(%d, 'v%d')", id, id)
+		}
+		tc.MustExec(s, q)
+	}
+	tab, err := tc.GMS.Table("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, err := tc.ShardOwner("kv", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm the crash: the moment the migrator ships the bulk-copy batch,
+	// the process dies (simnet marks the endpoint down).
+	tc.Net.CrashAfterSend("migrator", func(to string, msg any) bool {
+		_, ok := msg.(dn.MultiWriteReq)
+		return ok
+	})
+
+	// Paint a skewed load window and tick: the controller decides a
+	// migration, the crash fires mid-copy, retries fail against the dead
+	// endpoint, and the step parks for resumption.
+	ap := tc.Autopilot()
+	tc.GMS.RecordLoad("kv", 0, 500)
+	res := ap.Tick()
+	if len(res.Actions) != 1 || res.Actions[0].Err == nil {
+		t.Fatalf("expected the first attempt to die mid-copy, got %+v", res)
+	}
+	if !ap.Status().InflightPending {
+		t.Fatal("crashed migration not parked for resumption")
+	}
+	if cur, _ := tc.ShardOwner("kv", 0); cur != from {
+		t.Fatalf("placement flipped despite the crash: %s", cur)
+	}
+
+	// The process comes back. Ticks resume the SAME step idempotently;
+	// the in-doubt sweep clears the orphaned branch the crash left, so a
+	// few attempts may be needed — all retried, none manual.
+	tc.Net.SetDown("migrator", false)
+	err = Retry(250, 20*time.Millisecond, func() error {
+		ap.Tick()
+		st := ap.Status()
+		if st.InflightPending {
+			return fmt.Errorf("still inflight after %d ticks", st.Ticks)
+		}
+		if st.Rollbacks > 0 {
+			t.Fatalf("step rolled back instead of resumed: %+v", st)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("crashed migration never resumed: %v\nstatus: %+v", err, ap.Status())
+	}
+
+	st := ap.Status()
+	if st.Retries == 0 && st.Failures == 0 {
+		t.Fatalf("crash left no retry/failure trace: %+v", st)
+	}
+	owner, err := tc.ShardOwner("kv", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner == from {
+		t.Fatalf("shard 0 still on %s after resumed migration", owner)
+	}
+	if tc.GMS.Moving(tab.Group, 0) {
+		t.Fatal("fence left set after the resumed migration completed")
+	}
+	n, err := tc.CountRows(s, "kv")
+	if err != nil || n != rows {
+		t.Fatalf("rows after crash+resume = %d (err %v), want %d", n, err, rows)
+	}
+}
+
+// TestChaosAutopilotNoActionUnderNoise: balanced traffic through a
+// faulty fabric must produce ZERO elasticity actions — the hysteresis
+// and noise floor make the controller degrade to no-ops rather than
+// chase measurement noise.
+func TestChaosAutopilotNoActionUnderNoise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a second of traffic")
+	}
+	tc := New(t, Opts{
+		DNGroups:    3,
+		Faults:      &simnet.LinkFaults{Drop: 0.01, Dup: 0.005, ExtraJitter: 200 * time.Microsecond},
+		CallTimeout: 250 * time.Millisecond,
+		Autopilot: &autopilot.Config{
+			Interval:      30 * time.Millisecond,
+			SkewThreshold: 1.8,
+			ConfirmTicks:  2,
+			MinWindowLoad: 40,
+			Logf:          t.Logf,
+		},
+	})
+	wcfg := sysbench.Config{Rows: 600, Partitions: 6, Seed: tc.Seed}
+	if err := sysbench.Load(tc.Session(), wcfg); err != nil {
+		t.Fatalf("sysbench load: %v", err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d := sysbench.NewDriver(tc.CNs()[i%len(tc.CNs())].NewSession(), wcfg, int64(i+1)*104729)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = d.PointOp() // uniform distribution: no hot set
+				}
+			}
+		}(i)
+	}
+	time.Sleep(1500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	st := tc.Autopilot().Status()
+	if st.Actions != 0 {
+		t.Fatalf("autopilot acted on balanced-but-noisy traffic: %+v", st.History)
+	}
+	if st.Noops == 0 {
+		t.Fatalf("controller never ticked to a no-op: %+v", st)
+	}
+	t.Logf("noise run: %d ticks, %d noops, 0 actions, skew %s", st.Ticks, st.Noops, fmtSkew(st.LastSkew))
+}

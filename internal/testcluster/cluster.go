@@ -1,0 +1,250 @@
+// Package testcluster is the declarative integration-test harness for
+// whole-cluster scenarios (modeled on renterd's TestCluster): describe
+// the deployment in an Opts literal — N CNs, N DN groups, N DCs, a
+// seeded chaos plan, an autopilot config — and get back a running
+// cluster with Retry-style convergence helpers, so an elasticity or
+// chaos scenario reads as a handful of one-liners instead of a page of
+// setup.
+package testcluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/autopilot"
+	"repro/internal/core"
+	"repro/internal/simnet"
+	"repro/internal/types"
+)
+
+// DefaultSeed feeds the chaos RNG when Opts.Seed is zero. Fixed, so a
+// failing chaos run reproduces; the harness logs whichever seed is used.
+const DefaultSeed = 0xC0FFEE
+
+// Opts declares a test deployment.
+type Opts struct {
+	// Cluster shape (zero values take core.Config defaults).
+	DCs, CNsPerDC, DNGroups, ROsPerDN int
+	MultiDC                           bool
+	// Metrics enables the cluster registry (autopilot counters land there).
+	Metrics bool
+	// Seed for the chaos fault RNG (DefaultSeed when 0).
+	Seed int64
+	// Faults, when non-nil, applies as the default fault profile on every
+	// link; CallTimeout bounds Calls so dropped messages surface as
+	// retryable timeouts instead of hangs.
+	Faults      *simnet.LinkFaults
+	CallTimeout time.Duration
+	// Autopilot, when non-nil, builds (and, with Interval > 0, starts)
+	// the elastic controller.
+	Autopilot *autopilot.Config
+	// Recovery knobs (chaos tests want these tight).
+	InDoubtTimeout   time.Duration
+	RecoveryInterval time.Duration
+	// Configure is an escape hatch applied to the final core.Config.
+	Configure func(*core.Config)
+}
+
+// TestCluster wraps a running cluster with test helpers. The embedded
+// *core.Cluster exposes the full API.
+type TestCluster struct {
+	*core.Cluster
+	tb   testing.TB
+	Opts Opts
+	Seed int64
+}
+
+// New builds, starts and registers cleanup for a cluster described by
+// opts. The chaos seed is always logged so failures reproduce.
+func New(tb testing.TB, opts Opts) *TestCluster {
+	tb.Helper()
+	seed := opts.Seed
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	cfg := core.Config{
+		DCs:              opts.DCs,
+		CNsPerDC:         opts.CNsPerDC,
+		DNGroups:         opts.DNGroups,
+		ROsPerDN:         opts.ROsPerDN,
+		MultiDC:          opts.MultiDC,
+		Metrics:          opts.Metrics,
+		Autopilot:        opts.Autopilot,
+		InDoubtTimeout:   opts.InDoubtTimeout,
+		RecoveryInterval: opts.RecoveryInterval,
+	}
+	if opts.Faults != nil || opts.CallTimeout > 0 {
+		plan := &simnet.FaultPlan{Seed: seed, CallTimeout: opts.CallTimeout}
+		if opts.Faults != nil {
+			plan.Default = *opts.Faults
+		}
+		cfg.FaultPlan = plan
+		tb.Logf("testcluster: chaos fault seed %d (re-run with Opts.Seed to reproduce)", seed)
+	}
+	if opts.Configure != nil {
+		opts.Configure(&cfg)
+	}
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		tb.Fatalf("testcluster: %v", err)
+	}
+	tb.Cleanup(c.Stop)
+	return &TestCluster{Cluster: c, tb: tb, Opts: opts, Seed: seed}
+}
+
+// Retry calls fn up to tries times, waiting durationBetweenAttempts
+// between attempts, and returns the last error (nil on success) — the
+// renterd convergence idiom: assert eventual state in one line.
+func Retry(tries int, durationBetweenAttempts time.Duration, fn func() error) (err error) {
+	for i := 0; i < tries; i++ {
+		err = fn()
+		if err == nil {
+			return nil
+		}
+		if i < tries-1 {
+			time.Sleep(durationBetweenAttempts)
+		}
+	}
+	return err
+}
+
+// Session opens a session on a DC1 CN.
+func (tc *TestCluster) Session() *core.Session {
+	return tc.CN(simnet.DC1).NewSession()
+}
+
+// MustExec runs one statement and fails the test on error.
+func (tc *TestCluster) MustExec(s *core.Session, query string) *core.Result {
+	tc.tb.Helper()
+	res, err := s.Execute(query)
+	if err != nil {
+		tc.tb.Fatalf("Execute(%q): %v", query, err)
+	}
+	return res
+}
+
+// CountRows counts a table's rows through SQL.
+func (tc *TestCluster) CountRows(s *core.Session, table string) (int64, error) {
+	res, err := s.Execute("SELECT COUNT(*) FROM " + table)
+	if err != nil {
+		return 0, err
+	}
+	return res.Rows[0][0].AsInt(), nil
+}
+
+// ShardIDs returns up to max integer primary keys (< rows) that hash to
+// the given shard of table — hash partitioning scatters contiguous ids,
+// so hotspot tests use this to aim traffic at one shard.
+func (tc *TestCluster) ShardIDs(table string, shard, rows, max int) []int64 {
+	tc.tb.Helper()
+	t, err := tc.GMS.Table(table)
+	if err != nil {
+		tc.tb.Fatalf("ShardIDs(%s): %v", table, err)
+	}
+	var out []int64
+	for id := 0; id < rows && len(out) < max; id++ {
+		if t.ShardOfValues(types.Int(int64(id))) == shard {
+			out = append(out, int64(id))
+		}
+	}
+	return out
+}
+
+// ShardOwner resolves the DN currently serving a table shard, retrying
+// through migration fences.
+func (tc *TestCluster) ShardOwner(table string, shard int) (string, error) {
+	var owner string
+	err := Retry(100, 2*time.Millisecond, func() error {
+		var err error
+		owner, err = tc.GMS.DNForShard(table, shard)
+		return err
+	})
+	return owner, err
+}
+
+// WaitConverged waits until the autopilot has verified at least n
+// convergences and reports every group's last observed skew at or below
+// the bound.
+func (tc *TestCluster) WaitConverged(n int64, skewBound float64, tries int, wait time.Duration) error {
+	ap := tc.Autopilot()
+	if ap == nil {
+		return fmt.Errorf("testcluster: autopilot not configured")
+	}
+	return Retry(tries, wait, func() error {
+		st := ap.Status()
+		if st.Converged < n {
+			return fmt.Errorf("converged %d < %d (state %s, actions %d, skew %v)",
+				st.Converged, n, st.State, st.Actions, fmtSkew(st.LastSkew))
+		}
+		for g, s := range st.LastSkew {
+			if s > skewBound {
+				return fmt.Errorf("group %s skew %.2f > %.2f", g, s, skewBound)
+			}
+		}
+		return nil
+	})
+}
+
+func fmtSkew(m map[string]float64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%.2f ", k, m[k])
+	}
+	return out
+}
+
+// LatencyRing is a fixed-capacity concurrent ring of recent operation
+// latencies; P99 over it is the autopilot's recovery probe in tests.
+type LatencyRing struct {
+	mu   sync.Mutex
+	buf  []time.Duration
+	next int
+	full bool
+}
+
+// NewLatencyRing sizes the ring (default 256).
+func NewLatencyRing(n int) *LatencyRing {
+	if n <= 0 {
+		n = 256
+	}
+	return &LatencyRing{buf: make([]time.Duration, n)}
+}
+
+// Observe records one latency sample.
+func (r *LatencyRing) Observe(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.next] = d
+	r.next = (r.next + 1) % len(r.buf)
+	if r.next == 0 {
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// P99 returns the 99th percentile of the recorded window; ok is false
+// until at least a quarter of the ring has samples.
+func (r *LatencyRing) P99() (time.Duration, bool) {
+	r.mu.Lock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	samples := append([]time.Duration(nil), r.buf[:n]...)
+	r.mu.Unlock()
+	if len(samples) < len(r.buf)/4 {
+		return 0, false
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples[(len(samples)-1)*99/100], true
+}
+
+// Probe adapts the ring to autopilot.Config.LatencyProbe.
+func (r *LatencyRing) Probe() (time.Duration, bool) { return r.P99() }

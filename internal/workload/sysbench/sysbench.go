@@ -95,6 +95,24 @@ type Driver struct {
 	cfg Config
 	s   *core.Session
 	rng *rand.Rand
+
+	// hot, when set, skews randID: with probability hotProb the id comes
+	// from hotIDs instead of the uniform range. SetHot retargets the set
+	// at runtime — how the elasticity tests move a hotspot mid-run.
+	hotMu   sync.Mutex
+	hotIDs  []int64
+	hotProb float64
+}
+
+// SetHot skews the driver's id distribution: with probability prob an
+// access targets one of ids (uniformly within the set). A nil/empty set
+// or prob <= 0 restores the uniform distribution. Safe to call while the
+// driver is running.
+func (d *Driver) SetHot(ids []int64, prob float64) {
+	d.hotMu.Lock()
+	d.hotIDs = append([]int64(nil), ids...)
+	d.hotProb = prob
+	d.hotMu.Unlock()
 }
 
 // NewDriver binds a driver to a session.
@@ -219,7 +237,38 @@ func (d *Driver) ReadWrite() error {
 	return d.s.Commit()
 }
 
-func (d *Driver) randID() int64 { return int64(d.rng.Intn(d.cfg.Rows)) }
+func (d *Driver) randID() int64 {
+	d.hotMu.Lock()
+	ids, prob := d.hotIDs, d.hotProb
+	pick := len(ids) > 0 && prob > 0 && d.rng.Float64() < prob
+	var hot int64
+	if pick {
+		hot = ids[d.rng.Intn(len(ids))]
+	}
+	d.hotMu.Unlock()
+	if pick {
+		return hot
+	}
+	return int64(d.rng.Intn(d.cfg.Rows))
+}
+
+// PointOp issues one auto-commit point statement on a (possibly
+// hot-skewed) row: a read, or an update every 4th call. Auto-commit
+// statements ride the session's built-in retry ladder (leader failover,
+// migration fences), which is what lets elasticity tests assert zero
+// manual intervention.
+func (d *Driver) PointOp() error {
+	id := d.randID()
+	if d.rng.Intn(4) == 0 {
+		return d.exec(&sql.Update{Table: TableName,
+			Sets:  []sql.Assignment{{Column: "k", Value: &sql.BinaryOp{Op: "+", L: colRef("k"), R: intLit(1)}}},
+			Where: pkEq(id)})
+	}
+	return d.exec(&sql.Select{Limit: -1,
+		Items: []sql.SelectItem{{Expr: colRef("c")}},
+		From:  sql.TableRef{Name: TableName},
+		Where: pkEq(id)})
+}
 
 func (d *Driver) distinctIDs(n int) []int64 {
 	out := make([]int64, 0, n)
