@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race chaos chaos-autopilot bench-fig7 bench-fig10 bench-commit trace-demo
+.PHONY: build vet test test-short test-race chaos chaos-autopilot bench-fig7 bench-fig10 bench-commit bench-compress trace-demo
 
 build:
 	$(GO) build ./...
@@ -8,7 +8,7 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: chaos
+test: vet chaos
 	$(GO) test ./...
 
 # Fault-injection suite under the race detector: the simnet fabric
@@ -63,6 +63,15 @@ bench-fig10:
 bench-commit:
 	$(GO) run ./cmd/polardbx-bench -exp commit -commit-out BENCH_commit.json
 	$(GO) test -run '^$$' -bench 'BenchmarkCommitThroughput' ./internal/paxos/
+
+# Compression experiment: column-index footprint and scan throughput on
+# encoded vs raw vectors (Fig. 10 query shapes), Paxos log-shipping
+# compression ratio, and PolarFS replication bytes moved. Writes
+# BENCH_compress.json as the standing record, then runs the Fig. 10
+# column-index benchmark with allocation and bytes-scanned reporting.
+bench-compress:
+	$(GO) run ./cmd/polardbx-bench -exp compress -compress-out BENCH_compress.json
+	$(GO) test -run '^$$' -bench 'BenchmarkFig10ColumnIndex' -benchtime 1x .
 
 # End-to-end observability demo: span trees for a fan-out read and a
 # 2PC write, EXPLAIN ANALYZE, the slow-query log, and a metrics

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/colindex"
 	"repro/internal/core"
 	"repro/internal/htap"
 	"repro/internal/simnet"
@@ -138,13 +139,19 @@ func BenchmarkFig9Isolation(b *testing.B) {
 
 // fig10Modes runs a Fig. 10 sweep under both execution engines: "batch"
 // is the vectorized default, "row" forces Fig10Options.RowMode so the
-// same queries measure the row-at-a-time baseline.
-func fig10Modes(b *testing.B, queryIDs []int, metric string, gain func(bench.Fig10Row) float64) {
+// same queries measure the row-at-a-time baseline. scanStats adds the
+// column-index scan accounting (bytes scanned per op, encoded-scan
+// fraction) for the column-index figure.
+func fig10Modes(b *testing.B, queryIDs []int, metric string, gain func(bench.Fig10Row) float64, scanStats bool) {
 	for _, mode := range []struct {
 		name string
 		row  bool
 	}{{"batch", false}, {"row", true}} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			if scanStats {
+				colindex.ResetScanStats()
+			}
 			for i := 0; i < b.N; i++ {
 				res, err := bench.RunFig10(bench.Fig10Options{
 					TPCH:     tpch.Config{SF: 0.6, Partitions: 8, Seed: 10},
@@ -161,6 +168,13 @@ func fig10Modes(b *testing.B, queryIDs []int, metric string, gain func(bench.Fig
 				}
 				b.ReportMetric(total/float64(len(res.Rows)), metric)
 			}
+			if scanStats {
+				st := colindex.ScanStats()
+				b.ReportMetric(float64(st.BytesScanned)/float64(b.N)/1e6, "col-MB-scanned/op")
+				if st.Scans > 0 {
+					b.ReportMetric(float64(st.EncodedScans)/float64(st.Scans)*100, "encoded-scan-%")
+				}
+			}
 		})
 	}
 }
@@ -169,15 +183,17 @@ func fig10Modes(b *testing.B, queryIDs []int, metric string, gain func(bench.Fig
 // faster, Q9 +263%). Runs a representative subset under the batch and
 // row engines; metric: mean MPP gain in percent.
 func BenchmarkFig10MPP(b *testing.B) {
-	fig10Modes(b, []int{1, 3, 5, 6, 9, 12, 14, 19}, "mpp-gain-%", bench.Fig10Row.SpeedupMPP)
+	fig10Modes(b, []int{1, 3, 5, 6, 9, 12, 14, 19}, "mpp-gain-%", bench.Fig10Row.SpeedupMPP, false)
 }
 
 // BenchmarkFig10ColumnIndex: TPC-H with the in-memory column index
-// (paper: Q1 +748%, Q6 +1828%, Q12 +556%, Q14 +547%). Metric: mean
-// column-index gain over serial on the paper's headline queries, under
-// both execution engines.
+// (paper: Q1 +748%, Q6 +1828%, Q12 +556%, Q14 +547%). Metrics: mean
+// column-index gain over serial on the paper's headline queries under
+// both execution engines, plus allocation counts and column-index scan
+// accounting (MB scanned per op, fraction of scans served from encoded
+// vectors).
 func BenchmarkFig10ColumnIndex(b *testing.B) {
-	fig10Modes(b, []int{1, 6, 12, 14}, "colindex-gain-%", bench.Fig10Row.SpeedupCol)
+	fig10Modes(b, []int{1, 6, 12, 14}, "colindex-gain-%", bench.Fig10Row.SpeedupCol, true)
 }
 
 // BenchmarkROScaling: the §II claim that adding RO replicas raises read

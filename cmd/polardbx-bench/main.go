@@ -11,6 +11,7 @@
 //	polardbx-bench -exp fig10          # TPC-H MPP + column index, 22 queries
 //	polardbx-bench -exp fig10 -quick   # reduced scale for a fast look
 //	polardbx-bench -exp commit         # group-commit + pipelined Paxos sweep
+//	polardbx-bench -exp compress       # encoded columns + WAL/chunk compression
 package main
 
 import (
@@ -25,9 +26,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig7, fig8, fig9, fig10, commit")
+	exp := flag.String("exp", "all", "experiment: all, fig7, fig8, fig9, fig10, commit, compress")
 	quick := flag.Bool("quick", false, "reduced scale (faster, noisier)")
 	commitOut := flag.String("commit-out", "", "write the commit sweep as JSON to this path")
+	compressOut := flag.String("compress-out", "", "write the compression experiment as JSON to this path")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -126,8 +128,29 @@ func main() {
 			return nil
 		})
 	}
-	if !want("fig7") && !want("fig8") && !want("fig9") && !want("fig10") && !want("commit") {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, fig7, fig8, fig9, fig10, commit)\n", *exp)
+	if want("compress") {
+		run("Compression: encoded column store + WAL/chunk block compression", func() error {
+			opts := bench.CompressOptions{}
+			if *quick {
+				opts = bench.CompressOptions{Rows: 40000, Reps: 3,
+					WALDuration: 400 * time.Millisecond, FSWriteKB: 1024}
+			}
+			res, err := bench.RunCompress(opts)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			if *compressOut != "" {
+				if err := res.WriteJSON(*compressOut); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *compressOut)
+			}
+			return nil
+		})
+	}
+	if !want("fig7") && !want("fig8") && !want("fig9") && !want("fig10") && !want("commit") && !want("compress") {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, fig7, fig8, fig9, fig10, commit, compress)\n", *exp)
 		os.Exit(2)
 	}
 }

@@ -257,3 +257,39 @@ func TestTPCHPartitionWiseAlignment(t *testing.T) {
 		t.Fatalf("orders-lineitem join not partition-wise:\n%s", ex)
 	}
 }
+
+func TestCompressShapeFootprintAndRatios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := RunCompress(CompressOptions{
+		Rows: 30000, Reps: 2,
+		WALDuration: 400 * time.Millisecond,
+		FSWriteKB:   512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Colindex
+	if c.Ratio < 3 {
+		t.Errorf("column-index footprint ratio %.2fx, want >= 3x (raw %d, encoded %d)",
+			c.Ratio, c.RawBytes, c.EncodedBytes)
+	}
+	if c.EncodedScans == 0 {
+		t.Error("encoded leg served no scans from encoded vectors")
+	}
+	// The shape claim is that executing on encoded vectors does not cost
+	// throughput; a loose floor keeps the miniature-scale test stable
+	// while bench-compress records the real numbers.
+	if c.ScanSpeedup < 0.5 {
+		t.Errorf("encoded scan speedup %.2fx, want >= 0.5x", c.ScanSpeedup)
+	}
+	if res.WAL.Ratio <= 1.05 {
+		t.Errorf("WAL ship ratio %.2fx, want > 1.05x (%d raw, %d wire)",
+			res.WAL.Ratio, res.WAL.BytesRaw, res.WAL.BytesWire)
+	}
+	if res.PolarFS.Ratio <= 1.5 {
+		t.Errorf("polarfs replication ratio %.2fx, want > 1.5x (%d raw, %d wire)",
+			res.PolarFS.Ratio, res.PolarFS.BytesRaw, res.PolarFS.BytesWire)
+	}
+}

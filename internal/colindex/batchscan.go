@@ -5,51 +5,41 @@ import (
 
 	"repro/internal/hlc"
 	"repro/internal/sql"
-	"repro/internal/types"
 	"repro/internal/vector"
 )
 
-// batchVec wraps one column's typed storage as a zero-copy vector view,
-// capped at n rows. Safe under concurrent maintenance: the index only
-// ever appends to column storage (deletions flip visibility timestamps,
-// which the selection vector has already consumed), so values below n
-// are immutable.
-func (v *colVec) batchVec(n int) *vector.Vector {
-	switch v.kind {
-	case types.KindInt, types.KindBool:
-		return vector.Wrap(v.kind, v.ints, nil, nil, v.nulls, n)
-	case types.KindFloat:
-		return vector.Wrap(types.KindFloat, nil, v.floats, nil, v.nulls, n)
-	default:
-		// colVec stores every non-numeric kind as strings (see append).
-		return vector.Wrap(types.KindString, nil, nil, v.strs, v.nulls, n)
-	}
-}
-
 // ScanBatch is the batch-mode Scan: instead of materializing rows it
 // returns one Shared batch whose vectors alias the index's column
-// storage directly (zero copy) and whose selection vector holds the
-// visible, filter-passing positions. Projection selects and orders the
-// output columns (nil = all); limit bounds the selection (0 = none).
+// storage directly (zero copy, raw or encoded — the batch engine
+// executes on encoded payloads without decoding them) and whose
+// selection vector holds the visible, filter-passing positions.
+// Projection selects and orders the output columns (nil = all); limit
+// bounds the selection (0 = none).
+//
+// Safe under concurrent maintenance: column storage is append-only
+// under the index write lock, and Vector.View snapshots the mutable
+// boundary state (bit-pack tail words, live RLE run) while the read
+// lock is held.
 func (x *Index) ScanBatch(snapshot hlc.Timestamp, filter sql.Expr, projection []int, limit int) (*vector.Batch, error) {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
 	ts := x.clampSnapshot(snapshot)
-	preds, residual := compileFilter(filter)
-	for _, p := range preds {
-		if p.col >= len(x.cols) {
-			return nil, fmt.Errorf("%w: %d", ErrBadColumn, p.col)
-		}
+	simple, residual := compileFilter(filter)
+	preds, err := x.bindPreds(simple)
+	if err != nil {
+		return nil, err
 	}
-	n := len(x.created)
+	x.noteScan(x.touchedCols(preds, projection, len(residual) > 0))
+	n := x.vis.len()
+	cur := x.vis.cursor()
 	sel := make([]int, 0, vector.DefaultSize)
 rows:
 	for i := 0; i < n; i++ {
-		if !x.visible(i, ts) {
+		if !cur.visible(i, ts) {
 			continue
 		}
-		for _, p := range preds {
-			if !p.eval(x.cols[p.col], i) {
+		for k := range preds {
+			if !preds[k].eval(i) {
 				continue rows
 			}
 		}
@@ -82,7 +72,7 @@ rows:
 		if c >= len(x.cols) {
 			return nil, fmt.Errorf("%w: %d", ErrBadColumn, c)
 		}
-		b.Vecs[k] = x.cols[c].batchVec(n)
+		b.Vecs[k] = x.cols[c].data.View(n)
 	}
 	return b, nil
 }

@@ -19,8 +19,10 @@ import (
 	"sync"
 
 	"repro/internal/hlc"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/types"
+	"repro/internal/vector"
 	"repro/internal/wal"
 )
 
@@ -30,44 +32,155 @@ var (
 	ErrBadColumn  = errors.New("colindex: column out of range")
 )
 
-// colVec is one column's typed vector. Exactly one of the payload
-// slices is populated, chosen by kind; nulls marks NULL positions.
+// Encoding policy knobs.
+const (
+	// DecideRows is how many rows a column accumulates before the index
+	// picks its encoding (enough to see the value distribution, small
+	// enough that the one-time re-encode is trivial).
+	DecideRows = 32
+	// dictMaxCard bounds dictionary growth; past it the column decodes
+	// back to raw storage (the encoding stopped paying for itself).
+	dictMaxCard = 4096
+)
+
+// colVec is one column's storage: a typed vector whose payload may be
+// raw or encoded (dictionary / run-length / bit-packed, see
+// internal/vector). Values are coerced to the schema kind on append, so
+// the vector never degrades to boxed storage and scans can rely on the
+// payload class.
 type colVec struct {
-	kind   types.Kind
-	ints   []int64
-	floats []float64
-	strs   []string
-	nulls  []bool
+	kind types.Kind
+	data *vector.Vector
+	// decided is set once the encoding choice has been made (at
+	// DecideRows); afterwards only the degrade checks run.
+	decided bool
+	// szBytes caches data.SizeBytes() (O(#strings) to recompute), updated
+	// geometrically on flush and exactly in FootprintBytes. szLen is the
+	// vector length the cache was taken at. Written under the index write
+	// lock only; readers consume it under the read lock.
+	szLen   int
+	szBytes int
 }
 
-func newColVec(k types.Kind) *colVec { return &colVec{kind: k} }
+func newColVec(k types.Kind) *colVec {
+	return &colVec{kind: k, data: vector.New(storeKind(k), 0)}
+}
+
+// storeKind maps a schema kind to its vector storage kind: the numeric
+// and string kinds store natively, everything else stores its string
+// form (matching the row materialization below).
+func storeKind(k types.Kind) types.Kind {
+	switch k {
+	case types.KindInt, types.KindBool, types.KindFloat, types.KindString:
+		return k
+	}
+	return types.KindString
+}
+
+// coerce converts an incoming value to the column's storage class, with
+// the same AsInt/AsFloat/AsString semantics the index has always had.
+func coerce(k types.Kind, val types.Value) types.Value {
+	if val.IsNull() {
+		return val
+	}
+	switch k {
+	case types.KindInt:
+		return types.Int(val.AsInt())
+	case types.KindBool:
+		return types.Bool(val.AsInt() != 0)
+	case types.KindFloat:
+		return types.Float(val.AsFloat())
+	default:
+		return types.Str(val.AsString())
+	}
+}
 
 func (v *colVec) append(val types.Value) {
-	v.nulls = append(v.nulls, val.IsNull())
-	switch v.kind {
-	case types.KindInt, types.KindBool:
-		v.ints = append(v.ints, val.AsInt())
-	case types.KindFloat:
-		v.floats = append(v.floats, val.AsFloat())
-	default:
-		v.strs = append(v.strs, val.AsString())
+	v.data.Append(coerce(v.kind, val))
+}
+
+func (v *colVec) value(i int) types.Value { return v.data.Value(i) }
+
+// adapt runs the per-flush encoding policy: pick an encoding once the
+// column has seen DecideRows values, then watch for distributions that
+// stopped fitting and degrade back to raw storage.
+func (v *colVec) adapt() {
+	n := v.data.Len()
+	if n < DecideRows {
+		return
+	}
+	if !v.decided {
+		v.decided = true
+		v.data.EncodeAs(v.choose())
+		return
+	}
+	if d := v.data.Dict; d != nil && (d.Card() > dictMaxCard || d.Card()*2 > n) {
+		v.data.Decode()
+	}
+	if r := v.data.RLE; r != nil && n >= 4*DecideRows && r.Runs() > n/2 {
+		v.data.Decode()
 	}
 }
 
-func (v *colVec) value(i int) types.Value {
-	if v.nulls[i] {
-		return types.Null()
+// choose picks the encoding from a prefix sample of the raw column:
+// heavy repetition run-length encodes regardless of type; otherwise
+// low-cardinality strings take a dictionary, integers bit-pack, floats
+// stay raw (no light-weight float encoding pays off).
+func (v *colVec) choose() vector.Encoding {
+	sample := v.data.Len()
+	if sample > 1024 {
+		sample = 1024
 	}
-	switch v.kind {
-	case types.KindInt:
-		return types.Int(v.ints[i])
-	case types.KindBool:
-		return types.Bool(v.ints[i] != 0)
-	case types.KindFloat:
-		return types.Float(v.floats[i])
-	default:
-		return types.Str(v.strs[i])
+	runs, distinct := v.sampleStats(sample)
+	if runs*8 <= sample {
+		return vector.EncRLE
 	}
+	switch v.data.Kind {
+	case types.KindString:
+		if distinct*2 <= sample {
+			return vector.EncDict
+		}
+	case types.KindInt, types.KindBool:
+		return vector.EncPack
+	}
+	return vector.EncNone
+}
+
+// sampleStats counts value runs (all kinds) and distinct values
+// (strings) over the first sample rows of the still-raw column.
+func (v *colVec) sampleStats(sample int) (runs, distinct int) {
+	d := v.data
+	var seen map[string]struct{}
+	if d.Kind == types.KindString {
+		seen = make(map[string]struct{}, 64)
+	}
+	prevNull := false
+	var prevI int64
+	var prevF float64
+	var prevS string
+	for i := 0; i < sample; i++ {
+		null := d.Nulls != nil && d.Nulls[i]
+		same := i > 0 && null == prevNull
+		switch d.Kind {
+		case types.KindInt, types.KindBool:
+			same = same && (null || d.Ints[i] == prevI)
+			prevI = d.Ints[i]
+		case types.KindFloat:
+			same = same && (null || d.Floats[i] == prevF)
+			prevF = d.Floats[i]
+		default:
+			same = same && (null || d.Strs[i] == prevS)
+			prevS = d.Strs[i]
+			if seen != nil && !null {
+				seen[d.Strs[i]] = struct{}{}
+			}
+		}
+		prevNull = null
+		if !same {
+			runs++
+		}
+	}
+	return runs, len(seen)
 }
 
 // Index is the column index of one table.
@@ -78,11 +191,19 @@ type Index struct {
 	mu sync.RWMutex
 	// cols[i] is the vector for schema column i.
 	cols []*colVec
-	// created/deleted bound each row version's visibility window.
-	created []hlc.Timestamp
-	deleted []hlc.Timestamp // zero = live
+	// vis bounds each row version's visibility window (raw timestamp
+	// slices, or run-length created + sparse deleted when compressed).
+	vis visibility
+	// compress enables adaptive column encodings and compressed
+	// visibility metadata (the default; core.Config.CompressionOff turns
+	// it off for byte-identical pre-encoding behavior).
+	compress bool
 	// latest maps encoded PK -> newest row position (for update/delete).
 	latest map[string]int
+	// encodedScans/scanBytes mirror the package ScanStats into an obs
+	// registry when attached (nil-safe).
+	encodedScans *obs.Counter
+	scanBytes    *obs.Counter
 	// version is the commit timestamp of the newest applied transaction;
 	// reads above it would miss data, so queries clamp to it (§VI-E "AP
 	// queries run on the version of snapshot subject to the column
@@ -100,13 +221,53 @@ type stagedTxn struct {
 	recs     []wal.Record
 }
 
-// New creates an empty index for a table.
+// New creates an empty index for a table. Compression (adaptive column
+// encodings + compressed visibility) is on by default; SetCompression
+// (false) before loading data restores the raw pre-encoding layout.
 func New(tableID uint32, schema *types.Schema) *Index {
 	idx := &Index{TableID: tableID, Schema: schema, latest: make(map[string]int), BatchSize: 1}
+	idx.compress = true
+	idx.vis.compressed = true
 	for _, c := range schema.Columns {
 		idx.cols = append(idx.cols, newColVec(c.Kind))
 	}
 	return idx
+}
+
+// SetCompression turns adaptive column encoding on or off. Call before
+// data arrives: already-encoded columns stay encoded when turning off
+// (reads remain correct either way); compressed visibility only
+// activates while the index is still empty.
+func (x *Index) SetCompression(on bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.compress = on
+	if x.vis.len() == 0 {
+		x.vis.compressed = on
+	}
+}
+
+// SetMetrics attaches obs counters for encoded scans and bytes scanned
+// (nil registry = metrics off).
+func (x *Index) SetMetrics(reg *obs.Registry) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.encodedScans = reg.Counter("colindex.encoded_scans")
+	x.scanBytes = reg.Counter("colindex.scan_bytes")
+}
+
+// FootprintBytes returns the exact resident size of column payloads and
+// visibility metadata, refreshing the per-column size caches.
+func (x *Index) FootprintBytes() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	total := x.vis.sizeBytes()
+	for _, c := range x.cols {
+		c.szBytes = c.data.SizeBytes()
+		c.szLen = c.data.Len()
+		total += c.szBytes
+	}
+	return total
 }
 
 // Version returns the index's snapshot version (lags the row store when
@@ -122,8 +283,8 @@ func (x *Index) Rows() int {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
 	n := 0
-	for i := range x.created {
-		if x.deleted[i].IsZero() {
+	for i := 0; i < x.vis.len(); i++ {
+		if x.vis.deletedAt(i).IsZero() {
 			n++
 		}
 	}
@@ -226,20 +387,19 @@ func (x *Index) flushLocked() error {
 					return fmt.Errorf("colindex: decode row: %w", err)
 				}
 				key := string(rec.Key)
-				if old, ok := x.latest[key]; ok && x.deleted[old].IsZero() {
-					x.deleted[old] = txn.commitTS
+				if old, ok := x.latest[key]; ok && x.vis.deletedAt(old).IsZero() {
+					x.vis.kill(old, txn.commitTS)
 				}
-				pos := len(x.created)
+				pos := x.vis.len()
 				for i, v := range row {
 					x.cols[i].append(v)
 				}
-				x.created = append(x.created, txn.commitTS)
-				x.deleted = append(x.deleted, 0)
+				x.vis.append(txn.commitTS)
 				x.latest[key] = pos
 			case wal.RecDelete:
 				key := string(rec.Key)
-				if old, ok := x.latest[key]; ok && x.deleted[old].IsZero() {
-					x.deleted[old] = txn.commitTS
+				if old, ok := x.latest[key]; ok && x.vis.deletedAt(old).IsZero() {
+					x.vis.kill(old, txn.commitTS)
 				}
 			}
 		}
@@ -248,6 +408,19 @@ func (x *Index) flushLocked() error {
 		}
 	}
 	x.staging = x.staging[:0]
+	if x.compress {
+		for _, c := range x.cols {
+			c.adapt()
+		}
+	}
+	// Refresh the size caches geometrically so repeated small flushes
+	// stay O(1) amortized per row.
+	for _, c := range x.cols {
+		if n := c.data.Len(); n >= c.szLen+c.szLen/4 || (c.szBytes == 0 && n > 0) {
+			c.szBytes = c.data.SizeBytes()
+			c.szLen = n
+		}
+	}
 	return nil
 }
 

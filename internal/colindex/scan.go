@@ -7,6 +7,7 @@ import (
 	"repro/internal/hlc"
 	"repro/internal/sql"
 	"repro/internal/types"
+	"repro/internal/vector"
 )
 
 // simplePred is a filter clause evaluable directly against typed
@@ -81,61 +82,174 @@ func flipOp(op string) string {
 	}
 }
 
-// eval applies a simple predicate to row i of a vector.
-func (p simplePred) eval(v *colVec, i int) bool {
-	if v.nulls[i] {
+// Prepared-predicate evaluation modes. Encoded columns get code-space
+// strategies: dictionary predicates collapse to a per-code truth table
+// (|dict| string comparisons instead of |rows|), run-length predicates
+// to a per-run table walked with a cursor, bit-packed columns decode
+// inline. The literal is coerced to the column kind once, preserving
+// the index's historical comparison semantics (an int column compares
+// against the literal's AsInt, not a float promotion).
+const (
+	predRaw = iota
+	predDict
+	predPack
+	predRLE
+)
+
+// boundPred is a simplePred bound to its column with per-scan prepared
+// state. Each scan builds its own boundPreds (the RLE cursor and the
+// underlying views are only valid under the lock the scan holds).
+type boundPred struct {
+	p    simplePred
+	v    *colVec
+	mode int
+
+	i64   int64
+	f64   float64
+	str   string
+	table []bool // predDict: per-code match; predRLE: per-run match
+	pack  *vector.BitPackEnc
+	dict  *vector.DictEnc
+	rle   *vector.RLEEnc
+	run   int // RLE cursor
+}
+
+func (b *boundPred) col() int { return b.p.col }
+
+// bindPreds prepares simple predicates against the index's columns,
+// validating column bounds up front.
+func (x *Index) bindPreds(preds []simplePred) ([]boundPred, error) {
+	if len(preds) == 0 {
+		return nil, nil
+	}
+	out := make([]boundPred, len(preds))
+	for k, p := range preds {
+		if p.col < 0 || p.col >= len(x.cols) {
+			return nil, fmt.Errorf("%w: %d", ErrBadColumn, p.col)
+		}
+		out[k] = bindPred(p, x.cols[p.col])
+	}
+	return out, nil
+}
+
+func bindPred(p simplePred, v *colVec) boundPred {
+	b := boundPred{p: p, v: v}
+	d := v.data
+	switch {
+	case d.Dict != nil:
+		b.mode = predDict
+		b.dict = d.Dict
+		b.table = d.Dict.MatchTable(p.op, p.val.AsString())
+	case d.Pack != nil:
+		b.mode = predPack
+		b.pack = d.Pack
+		b.i64 = p.val.AsInt()
+	case d.RLE != nil:
+		b.mode = predRLE
+		b.rle = d.RLE
+		b.table = rleMatchTable(d.RLE, p)
+	default:
+		b.mode = predRaw
+		switch d.Kind {
+		case types.KindInt, types.KindBool:
+			b.i64 = p.val.AsInt()
+		case types.KindFloat:
+			b.f64 = p.val.AsFloat()
+		default:
+			b.str = p.val.AsString()
+		}
+	}
+	return b
+}
+
+// rleMatchTable evaluates the predicate once per run. NULL runs never
+// match.
+func rleMatchTable(e *vector.RLEEnc, p simplePred) []bool {
+	table := make([]bool, e.Runs())
+	for r := range table {
+		if e.RunNull(r) {
+			continue
+		}
+		var c int
+		switch e.Kind {
+		case types.KindInt, types.KindBool:
+			a, b := e.Ints[r], p.val.AsInt()
+			c = cmp3Int(a, b)
+		case types.KindFloat:
+			a, b := e.Floats[r], p.val.AsFloat()
+			switch {
+			case a < b:
+				c = -1
+			case a > b:
+				c = 1
+			}
+		default:
+			a, b := e.Strs[r], p.val.AsString()
+			switch {
+			case a < b:
+				c = -1
+			case a > b:
+				c = 1
+			}
+		}
+		table[r] = vector.CmpMatches(c, p.op)
+	}
+	return table
+}
+
+func cmp3Int(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// eval applies the prepared predicate to row i.
+func (b *boundPred) eval(i int) bool {
+	switch b.mode {
+	case predDict:
+		if b.dict.IsNull(i) {
+			return false
+		}
+		return b.table[b.dict.Code(i)]
+	case predPack:
+		if b.pack.IsNull(i) {
+			return false
+		}
+		return vector.CmpMatches(cmp3Int(b.pack.Get(i), b.i64), b.p.op)
+	case predRLE:
+		b.run = b.rle.FindRun(i, b.run)
+		return b.table[b.run]
+	}
+	d := b.v.data
+	if d.Nulls != nil && d.Nulls[i] {
 		return false
 	}
 	var c int
-	switch v.kind {
+	switch d.Kind {
 	case types.KindInt, types.KindBool:
-		a, b := v.ints[i], p.val.AsInt()
-		switch {
-		case a < b:
-			c = -1
-		case a > b:
-			c = 1
-		}
+		c = cmp3Int(d.Ints[i], b.i64)
 	case types.KindFloat:
-		a, b := v.floats[i], p.val.AsFloat()
+		a := d.Floats[i]
 		switch {
-		case a < b:
+		case a < b.f64:
 			c = -1
-		case a > b:
+		case a > b.f64:
 			c = 1
 		}
 	default:
-		a, b := v.strs[i], p.val.AsString()
+		a := d.Strs[i]
 		switch {
-		case a < b:
+		case a < b.str:
 			c = -1
-		case a > b:
+		case a > b.str:
 			c = 1
 		}
 	}
-	switch p.op {
-	case "=":
-		return c == 0
-	case "<>":
-		return c != 0
-	case "<":
-		return c < 0
-	case "<=":
-		return c <= 0
-	case ">":
-		return c > 0
-	case ">=":
-		return c >= 0
-	}
-	return false
-}
-
-// visible reports whether row i is live at snapshot ts.
-func (x *Index) visible(i int, ts hlc.Timestamp) bool {
-	if x.created[i] > ts {
-		return false
-	}
-	return x.deleted[i].IsZero() || x.deleted[i] > ts
+	return vector.CmpMatches(c, b.p.op)
 }
 
 // clampSnapshot bounds the read snapshot by the index version: reading
@@ -154,19 +268,22 @@ func (x *Index) Scan(snapshot hlc.Timestamp, filter sql.Expr, projection []int, 
 	x.mu.RLock()
 	defer x.mu.RUnlock()
 	ts := x.clampSnapshot(snapshot)
-	preds, residual := compileFilter(filter)
+	simple, residual := compileFilter(filter)
+	preds, err := x.bindPreds(simple)
+	if err != nil {
+		return nil, err
+	}
+	x.noteScan(x.touchedCols(preds, projection, len(residual) > 0))
 	var out []types.Row
-	n := len(x.created)
+	n := x.vis.len()
+	cur := x.vis.cursor()
 rows:
 	for i := 0; i < n; i++ {
-		if !x.visible(i, ts) {
+		if !cur.visible(i, ts) {
 			continue
 		}
-		for _, p := range preds {
-			if p.col >= len(x.cols) {
-				return nil, fmt.Errorf("%w: %d", ErrBadColumn, p.col)
-			}
-			if !p.eval(x.cols[p.col], i) {
+		for k := range preds {
+			if !preds[k].eval(i) {
 				continue rows
 			}
 		}
@@ -226,6 +343,7 @@ type aggAcc struct {
 	min   types.Value
 	max   types.Value
 	any   bool
+	run   int // RLE cursor for run-length input columns
 }
 
 func (a *aggAcc) addVec(v *colVec, i int) {
@@ -233,7 +351,33 @@ func (a *aggAcc) addVec(v *colVec, i int) {
 		a.count++
 		return
 	}
-	if v.nulls[i] {
+	d := v.data
+	if e := d.RLE; e != nil {
+		// Run-length input: resolve the run once with the accumulator's
+		// cursor, then fold the run value directly.
+		a.run = e.FindRun(i, a.run)
+		if e.RunNull(a.run) {
+			return
+		}
+		a.any = true
+		switch a.spec.Func {
+		case "COUNT":
+			a.count++
+		case "SUM", "AVG":
+			a.count++
+			switch e.Kind {
+			case types.KindInt, types.KindBool:
+				a.sumI += e.Ints[a.run]
+			case types.KindFloat:
+				a.isF = true
+				a.sumF += e.Floats[a.run]
+			}
+		case "MIN", "MAX":
+			a.cmpUpdate(e.RunValue(a.run))
+		}
+		return
+	}
+	if d.IsNull(i) {
 		return
 	}
 	a.any = true
@@ -242,23 +386,32 @@ func (a *aggAcc) addVec(v *colVec, i int) {
 		a.count++
 	case "SUM", "AVG":
 		a.count++
-		switch v.kind {
+		switch d.Kind {
 		case types.KindInt, types.KindBool:
-			a.sumI += v.ints[i]
+			if d.Pack != nil {
+				a.sumI += d.Pack.Get(i)
+			} else {
+				a.sumI += d.Ints[i]
+			}
 		case types.KindFloat:
 			a.isF = true
-			a.sumF += v.floats[i]
+			a.sumF += d.Floats[i]
 		}
-	case "MIN":
-		val := v.value(i)
+	case "MIN", "MAX":
+		a.cmpUpdate(d.Value(i))
+	}
+}
+
+// cmpUpdate folds a non-null value into the MIN/MAX state.
+func (a *aggAcc) cmpUpdate(val types.Value) {
+	if a.spec.Func == "MIN" {
 		if a.min.IsNull() || val.Compare(a.min) < 0 {
 			a.min = val
 		}
-	case "MAX":
-		val := v.value(i)
-		if a.max.IsNull() || val.Compare(a.max) > 0 {
-			a.max = val
-		}
+		return
+	}
+	if a.max.IsNull() || val.Compare(a.max) > 0 {
+		a.max = val
 	}
 }
 
@@ -328,29 +481,45 @@ func (x *Index) AggScan(snapshot hlc.Timestamp, filter sql.Expr,
 	x.mu.RLock()
 	defer x.mu.RUnlock()
 	ts := x.clampSnapshot(snapshot)
-	preds, residual := compileFilter(filter)
+	simple, residual := compileFilter(filter)
+	preds, err := x.bindPreds(simple)
+	if err != nil {
+		return nil, err
+	}
 	for _, spec := range aggs {
 		if !spec.Star && spec.Expr == nil && spec.Col >= len(x.cols) {
 			return nil, fmt.Errorf("%w: %d", ErrBadColumn, spec.Col)
 		}
 	}
+	touched := x.touchedCols(preds, groupBy, len(residual) > 0)
+	for _, spec := range aggs {
+		if spec.Expr != nil {
+			touched = x.touchedCols(nil, nil, true)
+			break
+		}
+		if !spec.Star && spec.Col < len(touched) {
+			touched[spec.Col] = true
+		}
+	}
+	x.noteScan(touched)
 	type group struct {
 		key  types.Row
 		accs []*aggAcc
 	}
 	groups := make(map[string]*group)
-	n := len(x.created)
+	n := x.vis.len()
+	cur := x.vis.cursor()
 	// keyBuf is reused per row; map lookups with string(keyBuf) do not
 	// allocate on hit, so steady-state grouping is allocation-free —
 	// this is where the columnar path earns its Fig. 10 speedups.
 	keyBuf := make([]byte, 0, 64)
 rows:
 	for i := 0; i < n; i++ {
-		if !x.visible(i, ts) {
+		if !cur.visible(i, ts) {
 			continue
 		}
-		for _, p := range preds {
-			if !p.eval(x.cols[p.col], i) {
+		for k := range preds {
+			if !preds[k].eval(i) {
 				continue rows
 			}
 		}
@@ -421,24 +590,56 @@ rows:
 }
 
 // appendGroupKey appends an injective encoding of row i's column value
-// to dst without boxing it into a types.Value.
+// to dst without boxing it into a types.Value. Dictionary columns key
+// on the code (tag 4) — codes are assigned once and never reused, so
+// within one index the code is injective and the dictionary strings
+// stay untouched; keys are only compared within a single AggScan call
+// (the output rows carry the decoded group values).
 func appendGroupKey(dst []byte, v *colVec, i int) []byte {
-	if v.nulls[i] {
+	d := v.data
+	if d.Dict != nil {
+		if d.Dict.IsNull(i) {
+			return append(dst, 0)
+		}
+		c := d.Dict.Code(i)
+		return append(dst, 4, byte(c>>24), byte(c>>16), byte(c>>8), byte(c))
+	}
+	if d.IsNull(i) {
 		return append(dst, 0)
 	}
-	switch v.kind {
+	switch d.Kind {
 	case types.KindInt, types.KindBool:
-		u := uint64(v.ints[i])
+		var n int64
+		switch {
+		case d.Pack != nil:
+			n = d.Pack.Get(i)
+		case d.RLE != nil:
+			n = d.RLE.Value(i).I
+		default:
+			n = d.Ints[i]
+		}
+		u := uint64(n)
 		return append(dst, 1,
 			byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
 			byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
 	case types.KindFloat:
-		u := math.Float64bits(v.floats[i])
+		var f float64
+		if d.RLE != nil {
+			f = d.RLE.Value(i).F
+		} else {
+			f = d.Floats[i]
+		}
+		u := math.Float64bits(f)
 		return append(dst, 2,
 			byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
 			byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
 	default:
-		s := v.strs[i]
+		var s string
+		if d.RLE != nil {
+			s = d.RLE.Value(i).S
+		} else {
+			s = d.Strs[i]
+		}
 		u := uint32(len(s))
 		dst = append(dst, 3, byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
 		return append(dst, s...)

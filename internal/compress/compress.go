@@ -1,0 +1,192 @@
+// Package compress implements the block compressor used on the
+// write/replication path: WAL frame batches and polarfs chunk
+// replication (ROADMAP item 1, PolarStore-style "pay once, ship less").
+// It is a byte-oriented LZ77 with a snappy-like tag stream — chosen
+// over stdlib flate because frame compression sits on the group-commit
+// critical path, where flate's bit-oriented Huffman coding costs more
+// than the bytes it saves on 16 KB redo batches. Zero dependencies,
+// O(n) encode with a small rolling hash table, O(n) decode.
+//
+// Block format:
+//
+//	varint  raw (uncompressed) length
+//	tags    repeated until the raw length is produced:
+//	          tag&3 == 0: literal run; length = tag>>2 + 1, bytes follow
+//	          tag&3 == 1: short copy; length = (tag>>2)&7 + 4,
+//	                      offset = (tag>>5)<<8 | next byte   (1..2047)
+//	          tag&3 == 2: far copy; length = tag>>2 + 4,
+//	                      offset = next two bytes little-endian (1..65535)
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// ErrCorrupt reports a malformed compressed block.
+var ErrCorrupt = errors.New("compress: corrupt block")
+
+const (
+	hashBits  = 14
+	hashSize  = 1 << hashBits
+	minMatch  = 4
+	maxLitRun = 64 // tag>>2 + 1
+)
+
+func hash4(u uint32) uint32 {
+	return (u * 0x1e35a7bd) >> (32 - hashBits)
+}
+
+func load32(b []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(b[i:])
+}
+
+// MaxEncodedLen bounds the output size of Encode for input length n.
+func MaxEncodedLen(n int) int {
+	// varint header + worst case all-literal runs (1 tag per 64 bytes).
+	return binary.MaxVarintLen64 + n + n/maxLitRun + 1
+}
+
+// Encode compresses src into dst (reused if large enough) and returns
+// the compressed block. The output is never read back unless it starts
+// with the varint header Encode writes, so a caller can compare
+// len(result) against len(src) and ship whichever is smaller.
+func Encode(dst, src []byte) []byte {
+	if cap(dst) < MaxEncodedLen(len(src)) {
+		dst = make([]byte, MaxEncodedLen(len(src)))
+	}
+	dst = dst[:cap(dst)]
+	d := binary.PutUvarint(dst, uint64(len(src)))
+
+	var table [hashSize]int32 // position+1 of the last occurrence
+	litStart := 0
+	i := 0
+	emitLits := func(end int) {
+		for litStart < end {
+			run := end - litStart
+			if run > maxLitRun {
+				run = maxLitRun
+			}
+			dst[d] = byte(run-1) << 2
+			d++
+			d += copy(dst[d:], src[litStart:litStart+run])
+			litStart += run
+		}
+	}
+	for i+minMatch <= len(src) {
+		h := hash4(load32(src, i))
+		cand := int(table[h]) - 1
+		table[h] = int32(i + 1)
+		if cand < 0 || src[cand] != src[i] || load32(src, cand) != load32(src, i) {
+			i++
+			continue
+		}
+		off := i - cand
+		if off > 65535 {
+			i++
+			continue
+		}
+		// Extend the match.
+		length := minMatch
+		for i+length < len(src) && src[cand+length] == src[i+length] {
+			length++
+		}
+		emitLits(i)
+		for length > 0 {
+			n := length
+			if off < 2048 && n >= 4 && n <= 11 {
+				dst[d] = 1 | byte(n-4)<<2 | byte(off>>8)<<5
+				dst[d+1] = byte(off)
+				d += 2
+			} else if n >= 4 {
+				if n > 67 {
+					n = 67
+				}
+				dst[d] = 2 | byte(n-4)<<2
+				binary.LittleEndian.PutUint16(dst[d+1:], uint16(off))
+				d += 3
+			} else {
+				// Sub-minimum tail: re-emit as literals.
+				litStart = i
+				i += n
+				emitLits(i)
+				litStart = i
+				length = 0
+				break
+			}
+			i += n
+			length -= n
+		}
+		litStart = i
+	}
+	emitLits(len(src))
+	return dst[:d]
+}
+
+// Decode decompresses a block produced by Encode into dst (reused if
+// large enough).
+func Decode(dst, block []byte) ([]byte, error) {
+	rawLen, n := binary.Uvarint(block)
+	if n <= 0 || rawLen > 1<<31 {
+		return nil, ErrCorrupt
+	}
+	block = block[n:]
+	if cap(dst) < int(rawLen) {
+		dst = make([]byte, rawLen)
+	}
+	dst = dst[:rawLen]
+	d := 0
+	for len(block) > 0 {
+		tag := block[0]
+		switch tag & 3 {
+		case 0:
+			run := int(tag>>2) + 1
+			if len(block) < 1+run || d+run > len(dst) {
+				return nil, ErrCorrupt
+			}
+			copy(dst[d:], block[1:1+run])
+			d += run
+			block = block[1+run:]
+		case 1:
+			if len(block) < 2 {
+				return nil, ErrCorrupt
+			}
+			length := int(tag>>2)&7 + 4
+			off := int(tag>>5)<<8 | int(block[1])
+			if err := lzCopy(dst, d, off, length); err != nil {
+				return nil, err
+			}
+			d += length
+			block = block[2:]
+		case 2:
+			if len(block) < 3 {
+				return nil, ErrCorrupt
+			}
+			length := int(tag>>2) + 4
+			off := int(binary.LittleEndian.Uint16(block[1:]))
+			if err := lzCopy(dst, d, off, length); err != nil {
+				return nil, err
+			}
+			d += length
+			block = block[3:]
+		default:
+			return nil, ErrCorrupt
+		}
+	}
+	if d != len(dst) {
+		return nil, ErrCorrupt
+	}
+	return dst, nil
+}
+
+// lzCopy copies length bytes from d-off to d inside dst, byte-at-a-time
+// so overlapping copies replicate runs (the LZ semantics).
+func lzCopy(dst []byte, d, off, length int) error {
+	if off <= 0 || off > d || d+length > len(dst) {
+		return ErrCorrupt
+	}
+	for k := 0; k < length; k++ {
+		dst[d+k] = dst[d-off+k]
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package compress
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func roundTrip(t *testing.T, src []byte) {
+	t.Helper()
+	enc := Encode(nil, src)
+	if len(enc) > MaxEncodedLen(len(src)) {
+		t.Fatalf("encoded %d bytes > bound %d", len(enc), MaxEncodedLen(len(src)))
+	}
+	dec, err := Decode(nil, enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatalf("round trip mismatch: %d bytes in, %d out", len(src), len(dec))
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("a"),
+		[]byte("abcabcabcabcabcabcabcabc"),
+		bytes.Repeat([]byte{0}, 10000),
+		bytes.Repeat([]byte("0123456789abcdef"), 1024),
+	}
+	random := make([]byte, 16*1024)
+	rng.Read(random)
+	cases = append(cases, random)
+	// Redo-log-like: small records with repeating headers.
+	var redo []byte
+	for i := 0; i < 200; i++ {
+		redo = append(redo, []byte("MTR-HEADER-v1\x00\x01\x02")...)
+		redo = append(redo, byte(i), byte(i>>8), byte(rng.Intn(256)))
+		redo = append(redo, []byte("payload:key=")...)
+		redo = append(redo, byte('a'+rng.Intn(26)))
+	}
+	cases = append(cases, redo)
+	for _, src := range cases {
+		roundTrip(t, src)
+	}
+	// Compressible input must actually shrink.
+	if enc := Encode(nil, redo); len(enc) >= len(redo) {
+		t.Fatalf("redo-like input did not compress: %d -> %d", len(redo), len(enc))
+	}
+	if enc := Encode(nil, bytes.Repeat([]byte{7}, 4096)); len(enc) > 200 {
+		t.Fatalf("constant input compressed poorly: %d bytes", len(enc))
+	}
+}
+
+// TestDecodeCorrupt: structural corruption must error, never panic or
+// over-read. (Content corruption inside literal runs is undetectable by
+// design — the WAL frame checksum covers the shipped bytes.)
+func TestDecodeCorrupt(t *testing.T) {
+	src := bytes.Repeat([]byte("hello world "), 100)
+	enc := Encode(nil, src)
+	if _, err := Decode(nil, enc[:len(enc)/2]); err == nil {
+		t.Fatal("truncated block decoded without error")
+	}
+	if _, err := Decode(nil, nil); err == nil {
+		t.Fatal("empty block decoded")
+	}
+	// Arbitrary single-byte mutations: any non-error decode must still
+	// honor the declared raw length.
+	for pos := 0; pos < len(enc); pos += 7 {
+		m := append([]byte(nil), enc...)
+		m[pos] ^= 0x5a
+		if out, err := Decode(nil, m); err == nil && len(out) != len(src) {
+			t.Fatalf("mutated block decoded to %d bytes, header said %d", len(out), len(src))
+		}
+	}
+}
+
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"))
+	f.Add(bytes.Repeat([]byte("ab"), 300))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, src []byte) {
+		enc := Encode(nil, src)
+		dec, err := Decode(nil, enc)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if !bytes.Equal(dec, src) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// FuzzDecodeArbitrary: Decode must never panic or over-read on
+// arbitrary input — it either errors or returns something.
+func FuzzDecodeArbitrary(f *testing.F) {
+	f.Add([]byte{1, 2, 3})
+	f.Add(Encode(nil, []byte("seed")))
+	f.Fuzz(func(t *testing.T, block []byte) {
+		_, _ = Decode(nil, block)
+	})
+}
+
+func BenchmarkEncode(b *testing.B) {
+	var redo []byte
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 400; i++ {
+		redo = append(redo, []byte("MTR-HEADER-v1\x00\x01\x02")...)
+		redo = append(redo, byte(i), byte(i>>8), byte(rng.Intn(256)))
+	}
+	b.SetBytes(int64(len(redo)))
+	b.ReportAllocs()
+	var dst []byte
+	for i := 0; i < b.N; i++ {
+		dst = Encode(dst, redo)
+	}
+}

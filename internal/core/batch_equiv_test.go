@@ -1,13 +1,16 @@
 package core_test
 
-// Row/batch equivalence harness (the batch engine's correctness gate):
-// every TPC-H query runs on two identically seeded clusters — one with
-// the vectorized batch engine (the AP default), one forced to
-// row-at-a-time operators via Config.VectorizedOff — and the results
-// must match. Queries with ORDER BY compare positionally; the rest
-// compare as multisets. Floats get a small epsilon: partial-aggregate
-// merge order is deterministic per mode but the column-index pushdown
-// path may fold in a different order than the CN-side fold.
+// Row/batch/encoded equivalence harness (the batch engine's correctness
+// gate): every TPC-H query runs on three identically seeded clusters —
+// one forced to row-at-a-time operators via Config.VectorizedOff, one
+// with the vectorized batch engine over raw (unencoded) column vectors
+// via Config.CompressionOff, and one with the defaults, where the batch
+// engine executes directly on dictionary/RLE/bit-packed vectors — and
+// the results must match across all three. Queries with ORDER BY compare
+// positionally; the rest compare as multisets. Floats get a small
+// epsilon: partial-aggregate merge order is deterministic per mode but
+// the column-index pushdown path may fold in a different order than the
+// CN-side fold.
 
 import (
 	"fmt"
@@ -16,6 +19,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/colindex"
 	"repro/internal/core"
 	"repro/internal/simnet"
 	"repro/internal/types"
@@ -26,12 +30,13 @@ const equivEps = 1e-6
 
 // equivCluster builds a loaded TPC-H cluster with AP replicas serving
 // column indexes on the scan-heavy tables.
-func equivCluster(t *testing.T, vectorizedOff bool) *core.Session {
+func equivCluster(t *testing.T, vectorizedOff, compressionOff bool) *core.Session {
 	t.Helper()
 	// The low TP/AP threshold pushes the scan-heavy queries into the AP
 	// class at this small scale factor (point lookups cost 10 and stay TP).
 	c, err := core.NewCluster(core.Config{
-		ROsPerDN: 1, VectorizedOff: vectorizedOff, TPCostThreshold: 100,
+		ROsPerDN: 1, VectorizedOff: vectorizedOff, CompressionOff: compressionOff,
+		TPCostThreshold: 100,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -114,11 +119,14 @@ func assertEquivalent(t *testing.T, label string, ordered bool, row, batch []typ
 	}
 }
 
-// TestTPCHRowBatchEquivalence runs all 22 queries in both execution
-// modes and asserts identical results.
+// TestTPCHRowBatchEquivalence runs all 22 queries in three execution
+// modes — row-at-a-time, batch over raw vectors, and batch directly on
+// encoded vectors — and asserts identical results.
 func TestTPCHRowBatchEquivalence(t *testing.T) {
-	rowSess := equivCluster(t, true)
-	batchSess := equivCluster(t, false)
+	rowSess := equivCluster(t, true, true)
+	batchSess := equivCluster(t, false, true)
+	encSess := equivCluster(t, false, false)
+	colindex.ResetScanStats()
 	sawBatch := false
 	for _, q := range tpch.Queries() {
 		rowRes, err := rowSess.Execute(q.SQL)
@@ -135,18 +143,26 @@ func TestTPCHRowBatchEquivalence(t *testing.T) {
 		if batchRes.Plan.Vectorized {
 			sawBatch = true
 		}
+		encRes, err := encSess.Execute(q.SQL)
+		if err != nil {
+			t.Fatalf("Q%d encoded mode: %v", q.ID, err)
+		}
 		ordered := strings.Contains(strings.ToUpper(q.SQL), "ORDER BY")
 		assertEquivalent(t, fmt.Sprintf("Q%d (%s)", q.ID, q.Name), ordered, rowRes.Rows, batchRes.Rows)
+		assertEquivalent(t, fmt.Sprintf("Q%d (%s) encoded", q.ID, q.Name), ordered, rowRes.Rows, encRes.Rows)
 	}
 	if !sawBatch {
 		t.Fatal("no query executed in batch mode; the AP default is not wired")
+	}
+	if st := colindex.ScanStats(); st.EncodedScans == 0 {
+		t.Fatal("no column-index scan touched an encoded vector; the encoded leg is not exercising compression")
 	}
 }
 
 // TestBatchModeSelection checks the optimizer's mode choice: AP plans
 // vectorize by default, TP point reads stay row-at-a-time.
 func TestBatchModeSelection(t *testing.T) {
-	s := equivCluster(t, false)
+	s := equivCluster(t, false, false)
 	res, err := s.Execute("SELECT COUNT(*) FROM lineitem")
 	if err != nil {
 		t.Fatal(err)

@@ -91,6 +91,12 @@ type Config struct {
 	// PlanCacheOff disables the CN's fingerprinted plan cache: every
 	// statement pays the full optimizer pipeline (benchmark baseline).
 	PlanCacheOff bool
+	// CompressionOff disables the compression stack cluster-wide: column
+	// indexes store raw vectors, Paxos log frames ship uncompressed, and
+	// PolarFS replication payloads move at their logical size — the exact
+	// pre-compression behavior, kept for equivalence tests and as a
+	// benchmark baseline. Compression is on by default.
+	CompressionOff bool
 	// FaultPlan scripts network chaos (per-link drops, duplication,
 	// jitter, call deadlines) onto the cluster fabric from the moment it
 	// is built. Tests and examples use it with a fixed Seed for
@@ -313,6 +319,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	if cfg.WithPolarFS {
 		c.FS = polarfs.NewCluster(c.Net, 0)
+		if cfg.CompressionOff {
+			c.FS.SetCompression(false)
+		}
 		for d := 0; d < cfg.DCs; d++ {
 			for i := 0; i < 3; i++ {
 				if _, err := c.FS.AddServer(fmt.Sprintf("sn-dc%d-%d", d+1, i), simnet.DC(d)); err != nil {
@@ -398,6 +407,7 @@ func (c *Cluster) addDNGroup(g int) error {
 			InDoubtAfter:      c.cfg.InDoubtTimeout,
 			GroupCommitWindow: c.cfg.GroupCommitWindow,
 			FlushDelay:        c.cfg.DNFlushDelay,
+			CompressionOff:    c.cfg.CompressionOff,
 			Metrics:           c.metrics,
 		})
 		if err != nil {

@@ -79,6 +79,12 @@ type Config struct {
 	// spuriously aborted by presumed-abort resolution.
 	InDoubtAfter time.Duration
 
+	// CompressionOff disables the compression stack end to end on this
+	// instance: Paxos frames ship raw, and column indexes enabled on the
+	// instance's RO replicas store raw vectors (the exact pre-encoding
+	// layout). Compression is on by default.
+	CompressionOff bool
+
 	// Metrics, when non-nil, receives the instance's instruments
 	// (currently the Paxos quorum-wait histogram).
 	Metrics *obs.Registry
@@ -228,6 +234,7 @@ func NewInstance(cfg Config) (*Instance, error) {
 		GroupCommitWindow: gcWindow,
 		GroupCommitBytes:  cfg.GroupCommitBytes,
 		FlushDelay:        cfg.FlushDelay,
+		NoCompress:        cfg.CompressionOff,
 		OnApply:           inst.onApply,
 		Clock:             cfg.TimeSource,
 		Metrics:           cfg.Metrics,

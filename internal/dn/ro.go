@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/colindex"
 	"repro/internal/hlc"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/sql"
 	"repro/internal/storage"
@@ -44,6 +45,11 @@ type RO struct {
 	colBuilder atomic.Pointer[colindex.Builder]
 	// svc is this replica's own service-capacity model.
 	svc *svcModel
+	// compressOff propagates the instance's CompressionOff setting to
+	// column indexes enabled on this replica; metrics receives their
+	// encoded-scan counters.
+	compressOff bool
+	metrics     *obs.Registry
 }
 
 type roWaiter struct {
@@ -70,10 +76,12 @@ type roAck struct {
 // seconds, not hours — the §II/§VII-C scalable-reads claim.)
 func (i *Instance) AddRO(name string) (*RO, error) {
 	ro := &RO{
-		name: name,
-		dc:   i.cfg.DC,
-		net:  i.cfg.Net,
-		eng:  storage.NewEngine(),
+		name:        name,
+		dc:          i.cfg.DC,
+		net:         i.cfg.Net,
+		eng:         storage.NewEngine(),
+		compressOff: i.cfg.CompressionOff,
+		metrics:     i.cfg.Metrics,
 	}
 	ro.svc = newSvcModel(i.cfg.ServiceRate, 0)
 	ro.ap = storage.NewApplier(ro.eng)
@@ -398,6 +406,8 @@ func (r *RO) EnableColumnIndex(tableIDs []uint32, batch int) error {
 		}
 		ix := colindex.New(id, t.Schema)
 		ix.BatchSize = batch
+		ix.SetCompression(!r.compressOff)
+		ix.SetMetrics(r.metrics)
 		indexes = append(indexes, ix)
 	}
 	// Merge into an existing builder so tables enabled earlier keep

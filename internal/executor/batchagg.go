@@ -215,6 +215,12 @@ func forSel(v *vector.Vector, sel []int, fn func(i int)) {
 // float anywhere switches to the in-order float fold so the result is
 // bit-identical to the row path's left fold.
 func sumKernel(st *aggState, v *vector.Vector, sel []int) {
+	if v.Encoded() {
+		if !sumEncoded(st, v, sel) {
+			forSel(v, sel, func(i int) { st.add(v.Value(i)) })
+		}
+		return
+	}
 	if v.Kind == types.KindInt && (st.sum.IsNull() || st.sum.K == types.KindInt) {
 		var acc int64
 		var nn int64

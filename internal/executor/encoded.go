@@ -1,0 +1,65 @@
+package executor
+
+import (
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// Encoded-vector kernels: batch operators receiving column-index views
+// execute directly on the encoded payloads (dictionary codes, runs,
+// packed words) instead of decoding them. Combinations without a
+// code-space kernel fall back to the boxed accessors, which are always
+// correct on encoded vectors — these dispatchers only exist so the hot
+// pairings never box.
+
+// applyEncodedCmp refines sel against `column OP literal` on an encoded
+// vector. The bool result reports whether a code-space kernel applied;
+// when false the caller must use the boxed per-position loop. Semantics
+// match the raw typed kernels exactly: dictionary and bit-pack kernels
+// mirror the direct typed comparisons (including the int-vs-float
+// promotion), and the run-length kernel evaluates Value.Compare once
+// per run — the same comparison the boxed loop would make per row.
+func applyEncodedCmp(vec *vector.Vector, op string, lit types.Value, sel, out []int) ([]int, bool) {
+	switch {
+	case vec.Dict != nil:
+		if lit.K != types.KindString {
+			return nil, false
+		}
+		return vec.Dict.FilterCmp(op, lit.S, sel, out), true
+	case vec.Pack != nil:
+		if vec.Kind != types.KindInt {
+			return nil, false // packed bools keep boxed Compare semantics
+		}
+		switch lit.K {
+		case types.KindInt:
+			return vec.Pack.FilterIntCmp(op, lit.I, sel, out), true
+		case types.KindFloat:
+			return vec.Pack.FilterFloatCmp(op, lit.F, sel, out), true
+		}
+		return nil, false
+	case vec.RLE != nil:
+		return vec.RLE.FilterCmp(op, lit, sel, out), true
+	}
+	return nil, false
+}
+
+// sumEncoded folds an encoded column into the SUM/AVG state. Only the
+// still-integral accumulator over a bit-packed int column has a
+// dedicated kernel (the Fig. 10 SUM shape); everything else reports
+// false and takes the boxed in-order fold, preserving sumKernel's
+// promotion semantics.
+func sumEncoded(st *aggState, v *vector.Vector, sel []int) bool {
+	if v.Pack != nil && v.Kind == types.KindInt && (st.sum.IsNull() || st.sum.K == types.KindInt) {
+		sum, nn := v.Pack.SumInt(sel)
+		if nn > 0 {
+			if st.sum.IsNull() {
+				st.sum = types.Int(sum)
+			} else {
+				st.sum = types.Int(st.sum.I + sum)
+			}
+			st.count += nn
+		}
+		return true
+	}
+	return false
+}

@@ -147,6 +147,21 @@ func (p simpleBPred) apply(vec *vector.Vector, sel, out []int) []int {
 		}
 		return out
 	}
+	if vec.Encoded() {
+		if refined, ok := applyEncodedCmp(vec, p.op, p.val, sel, out); ok {
+			return refined
+		}
+		for _, i := range sel {
+			v := vec.Value(i)
+			if v.IsNull() {
+				continue
+			}
+			if cmpMatches(v.Compare(p.val), p.op) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
 	nulls := vec.Nulls
 	switch {
 	case vec.Kind == types.KindInt && p.val.K == types.KindInt:

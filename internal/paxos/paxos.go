@@ -113,6 +113,12 @@ type Config struct {
 	// WindowBytes caps the redo bytes per shipped window — one appendMsg,
 	// split into BatchBytes frames (default 64 KB).
 	WindowBytes int
+	// NoCompress disables MLOG_PAXOS payload compression. By default each
+	// frame ships block-compressed (frame codec byte, internal/compress)
+	// whenever that is smaller than the raw chunk; followers decompress
+	// before appending, so the replicated log bytes are identical either
+	// way and turning this on restores the exact pre-codec wire format.
+	NoCompress bool
 
 	// GroupCommitWindow enables leader group commit: concurrent proposals
 	// accumulate for up to this long (closed early at GroupCommitBytes)
@@ -305,10 +311,14 @@ type Node struct {
 	framesSent  int64
 	framesAcked int64
 	elections   int64
+	bytesRaw    int64 // redo bytes handed to the frame batcher
+	bytesWire   int64 // frame payload bytes actually shipped
 	mFlushes    *obs.Counter
 	mGroupSize  *obs.Counter
 	mLeaseReads *obs.Counter
 	mQuorumRds  *obs.Counter
+	mCompIn     *obs.Counter
+	mCompOut    *obs.Counter
 }
 
 // NewNode creates (but does not start) a group member. Every node starts
@@ -345,6 +355,8 @@ func NewNode(cfg Config) (*Node, error) {
 		mGroupSize:  cfg.Metrics.Counter("paxos.group_size"),
 		mLeaseReads: cfg.Metrics.Counter("paxos.lease_reads"),
 		mQuorumRds:  cfg.Metrics.Counter("paxos.quorum_reads"),
+		mCompIn:     cfg.Metrics.Counter("compress.bytes_in"),
+		mCompOut:    cfg.Metrics.Counter("compress.bytes_out"),
 	}
 	if self.Logger {
 		n.role = RoleLogger

@@ -22,7 +22,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/compress"
 	"repro/internal/simnet"
 )
 
@@ -65,12 +67,16 @@ type ChunkServer struct {
 	down   bool
 }
 
-// writeReq is the replication RPC payload between replicas.
+// writeReq is the replication RPC payload between replicas. Data may be
+// block-compressed (Codec 1, internal/compress): the writer compresses
+// once and every replica receives the same shrunken payload — the
+// "pay the CPU once, ship less three times" PolarStore trade.
 type writeReq struct {
 	Chunk  chunkID
 	Offset int64
 	Data   []byte
 	Size   int64 // chunk size, for lazy allocation on followers
+	Codec  uint8 // 0 = raw, 1 = LZ block
 }
 
 type readReq struct {
@@ -91,6 +97,17 @@ func (s *ChunkServer) handle(from string, msg any) (any, error) {
 }
 
 func (s *ChunkServer) applyWrite(m writeReq) error {
+	data := m.Data
+	if m.Codec != 0 {
+		// Decompress into a fresh buffer — the request (and its backing
+		// array) is shared with the other replicas' deliveries and must
+		// not be mutated.
+		dec, err := compress.Decode(nil, m.Data)
+		if err != nil {
+			return fmt.Errorf("polarfs: %s: bad compressed write: %w", s.name, err)
+		}
+		data = dec
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	buf, ok := s.chunks[m.Chunk]
@@ -98,7 +115,7 @@ func (s *ChunkServer) applyWrite(m writeReq) error {
 		buf = make([]byte, m.Size)
 		s.chunks[m.Chunk] = buf
 	}
-	copy(buf[m.Offset:], m.Data)
+	copy(buf[m.Offset:], data)
 	return nil
 }
 
@@ -127,6 +144,14 @@ func (s *ChunkServer) Name() string { return s.name }
 type Cluster struct {
 	net       *simnet.Network
 	chunkSize int64
+	// noCompress disables replication-payload compression (on by
+	// default; writes compress once and ship the smaller payload to all
+	// replicas).
+	noCompress bool
+	// bytesRepRaw/Wire count replication traffic: logical bytes that had
+	// to reach replicas vs payload bytes actually moved.
+	bytesRepRaw  int64
+	bytesRepWire int64
 
 	mu      sync.Mutex
 	servers map[string]*ChunkServer
@@ -134,6 +159,19 @@ type Cluster struct {
 	// placed counts replica assignments per server (including chunks not
 	// yet materialized by a write), for least-loaded placement.
 	placed map[string]int
+}
+
+// SetCompression toggles replication-payload compression.
+func (c *Cluster) SetCompression(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.noCompress = !on
+}
+
+// ReplicationBytes reports raw (logical bytes × replicas) and wire
+// (payload bytes × replicas) replication traffic so far.
+func (c *Cluster) ReplicationBytes() (raw, wire int64) {
+	return atomic.LoadInt64(&c.bytesRepRaw), atomic.LoadInt64(&c.bytesRepWire)
 }
 
 // NewCluster creates a PolarFS cluster on the given fabric. chunkSize <= 0

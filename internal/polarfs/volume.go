@@ -3,7 +3,9 @@ package polarfs
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/compress"
 	"repro/internal/simnet"
 )
 
@@ -152,10 +154,18 @@ func (v *Volume) WriteAt(caller string, off int64, data []byte) error {
 // soon as a majority (including, preferentially, the leader) succeeded.
 func (v *Volume) replicate(caller string, g *replicaGroup, off int64, data []byte) error {
 	req := writeReq{Chunk: g.chunk, Offset: off, Data: data, Size: v.cluster.chunkSize}
+	if !v.cluster.noCompress && len(data) >= 64 {
+		// Compress once; every replica ships the same smaller payload.
+		if enc := compress.Encode(nil, data); len(enc) < len(data) {
+			req.Data, req.Codec = enc, 1
+		}
+	}
 	g.mu.Lock()
 	leaderIdx := g.leader
 	replicas := append([]string(nil), g.replicas...)
 	g.mu.Unlock()
+	atomic.AddInt64(&v.cluster.bytesRepRaw, int64(len(data))*int64(len(replicas)))
+	atomic.AddInt64(&v.cluster.bytesRepWire, int64(len(req.Data))*int64(len(replicas)))
 
 	// The leader must persist before the write is acknowledged — reads are
 	// served from the leader, so a quorum that excluded it would not be

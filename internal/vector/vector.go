@@ -29,6 +29,9 @@ const DefaultSize = 1024
 // value of a different class is appended (heterogeneous columns exist
 // in partial-aggregate state rows, for example), so every column is
 // representable and kernels fast-path the typed cases.
+// An encoded payload (Dict/RLE/Pack, see encoding.go) replaces the raw
+// slices while keeping the same accessor behavior; Encoded() reports
+// it, and kernels that reach into the raw slices must check it first.
 type Vector struct {
 	Kind   types.Kind
 	Ints   []int64
@@ -36,6 +39,10 @@ type Vector struct {
 	Strs   []string
 	Nulls  []bool
 	Box    []types.Value
+
+	Dict *DictEnc
+	RLE  *RLEEnc
+	Pack *BitPackEnc
 
 	length int
 }
@@ -122,6 +129,10 @@ func (v *Vector) degrade() {
 // Append adds one value, degrading to boxed storage on a class
 // mismatch.
 func (v *Vector) Append(val types.Value) {
+	if v.Encoded() {
+		v.appendEncoded(val)
+		return
+	}
 	if !v.fits(val) {
 		v.degrade()
 	}
@@ -148,6 +159,14 @@ func (v *Vector) Append(val types.Value) {
 
 // IsNull reports whether position i holds NULL.
 func (v *Vector) IsNull(i int) bool {
+	switch {
+	case v.Dict != nil:
+		return v.Dict.IsNull(i)
+	case v.Pack != nil:
+		return v.Pack.IsNull(i)
+	case v.RLE != nil:
+		return v.RLE.IsNull(i)
+	}
 	if v.Nulls != nil {
 		return v.Nulls[i]
 	}
@@ -159,6 +178,23 @@ func (v *Vector) IsNull(i int) bool {
 
 // Value boxes position i.
 func (v *Vector) Value(i int) types.Value {
+	switch {
+	case v.Dict != nil:
+		if v.Dict.IsNull(i) {
+			return types.Null()
+		}
+		return types.Str(v.Dict.Str(i))
+	case v.Pack != nil:
+		if v.Pack.IsNull(i) {
+			return types.Null()
+		}
+		if v.Kind == types.KindBool {
+			return types.Bool(v.Pack.Get(i) != 0)
+		}
+		return types.Int(v.Pack.Get(i))
+	case v.RLE != nil:
+		return v.RLE.Value(i)
+	}
 	if v.Nulls != nil && v.Nulls[i] {
 		return types.Null()
 	}
@@ -186,6 +222,7 @@ func (v *Vector) reset() {
 	v.Strs = v.Strs[:0]
 	v.Nulls = nil
 	v.Box = v.Box[:0]
+	v.Dict, v.RLE, v.Pack = nil, nil, nil
 	v.Kind = types.KindNull
 }
 
@@ -225,6 +262,10 @@ func (v *Vector) AppendTyped(val types.Value) {
 
 // appendNull appends one NULL to typed or boxed storage.
 func (v *Vector) appendNull() {
+	if v.Encoded() {
+		v.appendEncoded(types.Null())
+		return
+	}
 	if v.Nulls == nil {
 		v.Nulls = make([]bool, v.length, v.length+1)
 	}
@@ -344,7 +385,14 @@ func (v *Vector) AppendGather(src *Vector, pos []int) {
 	if len(pos) == 0 {
 		return
 	}
-	if src.Boxed() || v.length != 0 || v.Kind != types.KindNull || len(v.Box) != 0 {
+	fresh := v.length == 0 && v.Kind == types.KindNull && len(v.Box) == 0 && !v.Encoded()
+	if src.Dict != nil && fresh {
+		// Late materialization off a dictionary column: gather decodes
+		// only the surviving positions, payload-to-payload.
+		v.gatherDict(src.Dict, pos)
+		return
+	}
+	if src.Boxed() || src.Encoded() || !fresh {
 		for _, p := range pos {
 			v.AppendTyped(src.Value(p))
 		}

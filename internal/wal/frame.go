@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"hash/crc32"
+
+	"repro/internal/compress"
 )
 
 // PaxosFrame is the unit of cross-DC log shipping: an MLOG_PAXOS control
@@ -17,7 +19,42 @@ type PaxosFrame struct {
 	Index    uint64 // consecutive frame number within the epoch stream
 	StartLSN LSN    // first byte of payload in the redo stream
 	EndLSN   LSN    // one past the last byte
-	Payload  []byte // raw encoded MTR records
+	Codec    uint8  // payload codec: CodecRaw or CodecLZ
+	Payload  []byte // on-wire payload bytes (compressed when Codec != CodecRaw)
+}
+
+// Payload codecs. The codec byte lives at reserved header offset 40, so
+// CodecRaw frames are byte-identical to pre-codec frames and old frames
+// decode as raw.
+const (
+	CodecRaw = 0
+	CodecLZ  = 1 // internal/compress LZ block
+)
+
+// ErrFrameCodec indicates an unknown codec byte or a payload that fails
+// to decompress (possible only via software error — the payload CRC has
+// already passed by the time Body decodes).
+var ErrFrameCodec = errors.New("wal: bad paxos frame codec/payload")
+
+// Body returns the raw redo bytes the frame carries, decompressing into
+// a fresh slice when compressed. The frame is never mutated: the
+// simulated network can deliver duplicates sharing the same backing
+// arrays.
+func (f *PaxosFrame) Body() ([]byte, error) {
+	switch f.Codec {
+	case CodecRaw:
+		return f.Payload, nil
+	case CodecLZ:
+		body, err := compress.Decode(nil, f.Payload)
+		if err != nil {
+			return nil, ErrFrameCodec
+		}
+		if LSN(len(body)) != f.EndLSN-f.StartLSN {
+			return nil, ErrFrameCodec
+		}
+		return body, nil
+	}
+	return nil, ErrFrameCodec
 }
 
 // FrameHeaderSize is the fixed MLOG_PAXOS header size from the paper.
@@ -44,7 +81,9 @@ func (f *PaxosFrame) Encode() ([]byte, error) {
 	binary.LittleEndian.PutUint64(out[24:], uint64(f.EndLSN))
 	binary.LittleEndian.PutUint32(out[32:], uint32(len(f.Payload)))
 	binary.LittleEndian.PutUint32(out[36:], crc32.Checksum(f.Payload, castagnoli))
-	// Bytes 40..60 are reserved, zeroed. Final 4 bytes checksum the header.
+	// Byte 40 is the payload codec (raw frames keep the historical zero);
+	// 41..60 stay reserved. Final 4 bytes checksum the header.
+	out[40] = f.Codec
 	binary.LittleEndian.PutUint32(out[60:], crc32.Checksum(out[:60], castagnoli))
 	copy(out[FrameHeaderSize:], f.Payload)
 	return out, nil
@@ -73,6 +112,7 @@ func DecodeFrame(b []byte) (PaxosFrame, int, error) {
 		Index:    binary.LittleEndian.Uint64(b[8:]),
 		StartLSN: LSN(binary.LittleEndian.Uint64(b[16:])),
 		EndLSN:   LSN(binary.LittleEndian.Uint64(b[24:])),
+		Codec:    b[40],
 		Payload:  append([]byte(nil), payload...),
 	}
 	return f, total, nil
@@ -86,6 +126,8 @@ type Batcher struct {
 	epoch      uint64
 	nextIndex  uint64
 	maxPayload int
+	compress   bool
+	scratch    []byte
 }
 
 // NewBatcher creates a Batcher for the given epoch. maxPayload <= 0
@@ -95,6 +137,15 @@ func NewBatcher(epoch uint64, maxPayload int) *Batcher {
 		maxPayload = MaxFramePayload
 	}
 	return &Batcher{epoch: epoch, maxPayload: maxPayload}
+}
+
+// WithCompression enables per-frame payload compression: each chunk
+// ships block-compressed (CodecLZ) when that is smaller than the raw
+// bytes, raw otherwise. Chunking is always by raw size, so frame LSN
+// ranges are unchanged. Returns the batcher for call chaining.
+func (ba *Batcher) WithCompression(on bool) *Batcher {
+	ba.compress = on
+	return ba
 }
 
 // Next splits [start, start+len(b)) into frames. The split respects the
@@ -107,12 +158,26 @@ func (ba *Batcher) Next(start LSN, b []byte) []PaxosFrame {
 		if n > ba.maxPayload {
 			n = ba.maxPayload
 		}
+		chunk := b[off : off+n]
+		codec := uint8(CodecRaw)
+		var payload []byte
+		if ba.compress {
+			ba.scratch = compress.Encode(ba.scratch, chunk)
+			if len(ba.scratch) < n {
+				codec = CodecLZ
+				payload = append([]byte(nil), ba.scratch...)
+			}
+		}
+		if payload == nil {
+			payload = append([]byte(nil), chunk...)
+		}
 		frames = append(frames, PaxosFrame{
 			Epoch:    ba.epoch,
 			Index:    ba.nextIndex,
 			StartLSN: start + LSN(off),
 			EndLSN:   start + LSN(off+n),
-			Payload:  append([]byte(nil), b[off:off+n]...),
+			Codec:    codec,
+			Payload:  payload,
 		})
 		ba.nextIndex++
 		off += n

@@ -361,3 +361,94 @@ func BenchmarkFrameEncodeDecode(b *testing.B) {
 		}
 	}
 }
+
+func TestFrameCodecRoundTrip(t *testing.T) {
+	redo := bytes.Repeat([]byte("cust=000042|status=ACTIVE|region=us-east-1|"), 64)
+	frames := NewBatcher(5, 0).WithCompression(true).Next(1000, redo)
+	if len(frames) != 1 {
+		t.Fatalf("frames = %d, want 1", len(frames))
+	}
+	fr := frames[0]
+	if fr.Codec != CodecLZ {
+		t.Fatalf("codec = %d, want CodecLZ for compressible redo", fr.Codec)
+	}
+	if len(fr.Payload) >= len(redo) {
+		t.Fatalf("compressed payload %d >= raw %d", len(fr.Payload), len(redo))
+	}
+	if fr.StartLSN != 1000 || fr.EndLSN != 1000+LSN(len(redo)) {
+		t.Fatalf("LSN range [%d,%d) must cover the RAW bytes", fr.StartLSN, fr.EndLSN)
+	}
+	// Follower side: encode over the wire, decode, recover the raw bytes.
+	enc, err := fr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeFrame(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := got.Body()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, redo) {
+		t.Fatal("Body() did not recover the raw redo bytes")
+	}
+	// Body must not mutate the frame (payloads are shared on dup delivery).
+	if got.Codec != CodecLZ || !bytes.Equal(got.Payload, fr.Payload) {
+		t.Fatal("Body() mutated the frame")
+	}
+}
+
+func TestFrameCodecRawIdentical(t *testing.T) {
+	redo := bytes.Repeat([]byte("abc"), 100)
+	frames := NewBatcher(5, 0).Next(0, redo) // compression off
+	fr := frames[0]
+	if fr.Codec != CodecRaw {
+		t.Fatalf("codec = %d, want CodecRaw", fr.Codec)
+	}
+	if !bytes.Equal(fr.Payload, redo) {
+		t.Fatal("raw frame must carry the redo bytes unchanged")
+	}
+	enc, err := fr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc[40] != 0 {
+		t.Fatal("raw frames must keep the reserved codec byte zero (pre-codec wire format)")
+	}
+	body, err := fr.Body()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &body[0] != &fr.Payload[0] {
+		t.Fatal("raw Body() should be the payload itself, no copy")
+	}
+}
+
+func TestFrameCodecBadPayload(t *testing.T) {
+	// Incompressible (random-ish) bytes must ship raw even when
+	// compression is on.
+	var junk []byte
+	x := uint32(0x9e3779b9)
+	for i := 0; i < 512; i++ {
+		x = x*1664525 + 1013904223
+		junk = append(junk, byte(x>>24))
+	}
+	fr := NewBatcher(1, 0).WithCompression(true).Next(0, junk)[0]
+	if fr.Codec != CodecRaw {
+		t.Fatalf("incompressible chunk shipped as codec %d, want raw", fr.Codec)
+	}
+	// A corrupted compressed payload must fail Body(), not corrupt the log.
+	good := NewBatcher(1, 0).WithCompression(true).
+		Next(0, bytes.Repeat([]byte("xy"), 300))[0]
+	if good.Codec != CodecLZ {
+		t.Fatalf("setup: want a compressed frame, got codec %d", good.Codec)
+	}
+	bad := good
+	bad.Payload = append([]byte(nil), good.Payload...)
+	bad.Payload = bad.Payload[:len(bad.Payload)/2]
+	if _, err := bad.Body(); err == nil {
+		t.Fatal("truncated compressed payload must fail Body()")
+	}
+}
