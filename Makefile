@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race chaos chaos-autopilot bench-fig7 bench-fig10 bench-commit bench-compress trace-demo
+.PHONY: build vet test test-short test-race chaos chaos-autopilot chaos-overload bench-fig7 bench-fig10 bench-commit bench-compress bench-overload trace-demo
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,20 @@ test: vet chaos
 # itself, the 2PC crash-window tests, the cluster-level recovery-loop
 # tests, and Paxos failover on a lossy link. Seeds are fixed inside
 # the tests, so failures reproduce deterministically.
-chaos: chaos-autopilot
+chaos: chaos-autopilot chaos-overload
 	$(GO) test -race ./internal/simnet/
 	$(GO) test -race -run 'Chaos|CoordinatorCrash|PartitionedPrimary|DuplicatedCommitPoint|LossyLinks|Pipeline|GroupCommit' \
 		./internal/txn/ ./internal/core/ ./internal/paxos/
+
+# Overload-protection suite under the race detector: the admission
+# controller and retry/breaker unit tests, the core-level concurrent
+# Execute stress, and the 10x-offered-load chaos scenario with a
+# jitter-faulted DN (goodput must hold, admitted-TP p99 must stay
+# bounded by the statement deadline, and nothing may wedge).
+chaos-overload:
+	$(GO) test -race ./internal/admission/ ./internal/retry/
+	$(GO) test -race -run 'TestAdmission|TestStatementTimeout' ./internal/core/
+	$(GO) test -race -run 'TestChaosOverload' -v ./internal/testcluster/
 
 # Elastic-autopilot convergence suite: a moving hotspot under sustained
 # sysbench traffic with drop/dup/jitter link faults and a mid-migration
@@ -72,6 +82,13 @@ bench-commit:
 bench-compress:
 	$(GO) run ./cmd/polardbx-bench -exp compress -compress-out BENCH_compress.json
 	$(GO) test -run '^$$' -bench 'BenchmarkFig10ColumnIndex' -benchtime 1x .
+
+# Overload sweep: one CN with bounded admission and a 250ms statement
+# deadline driven at 1x/5x/10x capacity against a jitter-faulted DN.
+# Records goodput, admitted-TP p99 and shed fraction per level; writes
+# BENCH_overload.json as the standing record.
+bench-overload:
+	$(GO) run ./cmd/polardbx-bench -exp overload -overload-out BENCH_overload.json
 
 # End-to-end observability demo: span trees for a fan-out read and a
 # 2PC write, EXPLAIN ANALYZE, the slow-query log, and a metrics

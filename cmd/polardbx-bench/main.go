@@ -12,6 +12,7 @@
 //	polardbx-bench -exp fig10 -quick   # reduced scale for a fast look
 //	polardbx-bench -exp commit         # group-commit + pipelined Paxos sweep
 //	polardbx-bench -exp compress       # encoded columns + WAL/chunk compression
+//	polardbx-bench -exp overload       # admission + deadlines at 1x/5x/10x load
 package main
 
 import (
@@ -26,10 +27,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig7, fig8, fig9, fig10, commit, compress")
+	exp := flag.String("exp", "all", "experiment: all, fig7, fig8, fig9, fig10, commit, compress, overload")
 	quick := flag.Bool("quick", false, "reduced scale (faster, noisier)")
 	commitOut := flag.String("commit-out", "", "write the commit sweep as JSON to this path")
 	compressOut := flag.String("compress-out", "", "write the compression experiment as JSON to this path")
+	overloadOut := flag.String("overload-out", "", "write the overload sweep as JSON to this path")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -149,8 +151,28 @@ func main() {
 			return nil
 		})
 	}
-	if !want("fig7") && !want("fig8") && !want("fig9") && !want("fig10") && !want("commit") && !want("compress") {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, fig7, fig8, fig9, fig10, commit, compress)\n", *exp)
+	if want("overload") {
+		run("Overload: admission control + statement deadlines at 1x/5x/10x offered load", func() error {
+			opts := bench.OverloadOptions{}
+			if *quick {
+				opts = bench.OverloadOptions{Window: 500 * time.Millisecond}
+			}
+			res, err := bench.RunOverload(opts)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			if *overloadOut != "" {
+				if err := res.WriteJSON(*overloadOut); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *overloadOut)
+			}
+			return nil
+		})
+	}
+	if !want("fig7") && !want("fig8") && !want("fig9") && !want("fig10") && !want("commit") && !want("compress") && !want("overload") {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, fig7, fig8, fig9, fig10, commit, compress, overload)\n", *exp)
 		os.Exit(2)
 	}
 }

@@ -1,0 +1,286 @@
+// Package admission is the CN's front door under overload: a bounded
+// execution semaphore with priority classes (TP auto-commit > TP
+// in-transaction > AP/MPP), per-tenant concurrency quotas, queue-wait
+// based shedding that returns a retryable ErrOverloaded instead of
+// letting latency grow without bound, and a brownout mode that sheds AP
+// arrivals outright once the queue crosses a watermark so TP goodput is
+// protected first. The controller is allocation-light and deliberately
+// mechanism-only — what counts as TP vs AP, and what a tenant is, are
+// the caller's decisions.
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Class orders statement priorities; lower values are admitted first.
+type Class int
+
+const (
+	// TPAuto is an auto-commit TP statement — the cheapest to finish and
+	// the first to admit: it holds no other resources while it waits.
+	TPAuto Class = iota
+	// TPTxn is a TP statement inside an open transaction. It already
+	// holds locks and branches, so stalling it is costly, but admitting
+	// new auto-commit work first keeps the system draining.
+	TPTxn
+	// AP is analytical/MPP work: first to queue, first to brown out.
+	AP
+	numClasses
+)
+
+// String names the class for errors and logs.
+func (c Class) String() string {
+	switch c {
+	case TPAuto:
+		return "tp-auto"
+	case TPTxn:
+		return "tp-txn"
+	case AP:
+		return "ap"
+	}
+	return "unknown"
+}
+
+// ErrOverloaded is the retryable shed verdict: the statement was not
+// admitted (queue full, queue wait exceeded, brownout, or tenant quota
+// starved) and the client should back off and retry.
+var ErrOverloaded = errors.New("admission: overloaded")
+
+// Config tunes a Controller. MaxConcurrent <= 0 means admission is
+// disabled and no Controller should be built — keeping the default
+// config byte-identical to the pre-admission execution path.
+type Config struct {
+	// MaxConcurrent bounds statements executing at once on this CN.
+	MaxConcurrent int
+	// MaxQueue bounds waiters across all classes; arrivals beyond it are
+	// shed immediately. Default 4 × MaxConcurrent.
+	MaxQueue int
+	// MaxQueueWait sheds a waiter not admitted within this window.
+	// Default 50ms.
+	MaxQueueWait time.Duration
+	// BrownoutQueue is the queued-waiter watermark at or above which new
+	// AP arrivals are shed without queueing. Default MaxQueue / 2.
+	BrownoutQueue int
+	// TenantSlots caps concurrently executing statements per tenant
+	// (0 = unlimited).
+	TenantSlots int
+	// Clock drives queue-wait timers (nil = wall).
+	Clock obs.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxConcurrent
+	}
+	if c.MaxQueueWait <= 0 {
+		c.MaxQueueWait = 50 * time.Millisecond
+	}
+	if c.BrownoutQueue <= 0 {
+		c.BrownoutQueue = c.MaxQueue / 2
+		if c.BrownoutQueue < 1 {
+			c.BrownoutQueue = 1
+		}
+	}
+	c.Clock = obs.Or(c.Clock)
+	return c
+}
+
+// Metrics are the controller's nil-safe instruments; wire them from the
+// cluster registry when metrics are on, leave them nil otherwise.
+type Metrics struct {
+	Admitted         *obs.Counter   // statements admitted
+	Shed             *obs.Counter   // statements shed (all causes)
+	Brownout         *obs.Counter   // of Shed: AP shed by the brownout watermark
+	DeadlineExceeded *obs.Counter   // statements whose deadline expired while queued
+	QueueWait        *obs.Histogram // admission wait of admitted statements
+}
+
+type waiter struct {
+	tenant   string
+	class    Class
+	ch       chan struct{} // closed by the waker once admitted
+	admitted bool
+}
+
+// Controller is the admission gate. All state is under one mutex; the
+// critical sections are a few comparisons and map touches, so the lock
+// is never held across a wait.
+type Controller struct {
+	cfg Config
+	m   Metrics
+
+	mu       sync.Mutex
+	inflight int
+	tenants  map[string]int
+	queues   [numClasses][]*waiter
+	queued   int
+}
+
+// New builds a Controller; it panics on MaxConcurrent <= 0 because the
+// disabled case must be "no controller at all", not a permissive one.
+func New(cfg Config, m Metrics) *Controller {
+	if cfg.MaxConcurrent <= 0 {
+		panic("admission: MaxConcurrent must be positive")
+	}
+	return &Controller{cfg: cfg.withDefaults(), m: m, tenants: make(map[string]int)}
+}
+
+// Inflight reports currently admitted statements (tests, snapshots).
+func (c *Controller) Inflight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inflight
+}
+
+// Queued reports currently parked waiters (tests, snapshots).
+func (c *Controller) Queued() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.queued
+}
+
+// Admit blocks until the statement may execute, then returns a release
+// closure the caller must invoke exactly once when the statement
+// finishes. It sheds — returning ErrOverloaded — when the queue is
+// full, when queue wait exceeds MaxQueueWait, or (for AP) when the
+// brownout watermark is crossed; it returns obs.ErrDeadlineExceeded
+// when the statement's deadline expires first. A zero deadline means
+// the statement has none.
+func (c *Controller) Admit(tenant string, class Class, deadline time.Time) (release func(), err error) {
+	clock := c.cfg.Clock
+	if !deadline.IsZero() && clock.Until(deadline) <= 0 {
+		c.m.DeadlineExceeded.Add(1)
+		return nil, fmt.Errorf("admission %s: %w", class, obs.ErrDeadlineExceeded)
+	}
+
+	c.mu.Lock()
+	if c.admitLocked(tenant) {
+		c.mu.Unlock()
+		c.m.Admitted.Add(1)
+		c.m.QueueWait.Observe(0)
+		return c.releaseFunc(tenant), nil
+	}
+	// Brownout: once the queue is deep, AP doesn't even get to wait.
+	if class == AP && c.queued >= c.cfg.BrownoutQueue {
+		c.mu.Unlock()
+		c.m.Shed.Add(1)
+		c.m.Brownout.Add(1)
+		return nil, fmt.Errorf("admission %s: brownout at queue depth >= %d: %w", class, c.cfg.BrownoutQueue, ErrOverloaded)
+	}
+	if c.queued >= c.cfg.MaxQueue {
+		c.mu.Unlock()
+		c.m.Shed.Add(1)
+		return nil, fmt.Errorf("admission %s: queue full (%d): %w", class, c.cfg.MaxQueue, ErrOverloaded)
+	}
+	w := &waiter{tenant: tenant, class: class, ch: make(chan struct{})}
+	c.queues[class] = append(c.queues[class], w)
+	c.queued++
+	c.mu.Unlock()
+
+	start := clock.Now()
+	wait := c.cfg.MaxQueueWait
+	deadlineCut := false
+	if !deadline.IsZero() {
+		if left := clock.Until(deadline); left < wait {
+			wait, deadlineCut = left, true
+		}
+	}
+	timeout, cancel := obs.After(clock, wait)
+	defer cancel()
+	select {
+	case <-w.ch:
+		c.m.Admitted.Add(1)
+		c.m.QueueWait.Observe(clock.Since(start))
+		return c.releaseFunc(tenant), nil
+	case <-timeout:
+	}
+
+	// Timed out — but the waker may have admitted us concurrently.
+	c.mu.Lock()
+	if w.admitted {
+		c.mu.Unlock()
+		c.m.Admitted.Add(1)
+		c.m.QueueWait.Observe(clock.Since(start))
+		return c.releaseFunc(tenant), nil
+	}
+	c.removeLocked(w)
+	c.mu.Unlock()
+	if deadlineCut {
+		c.m.DeadlineExceeded.Add(1)
+		return nil, fmt.Errorf("admission %s: deadline expired after %v in queue: %w", class, clock.Since(start), obs.ErrDeadlineExceeded)
+	}
+	c.m.Shed.Add(1)
+	return nil, fmt.Errorf("admission %s: queue wait exceeded %v: %w", class, c.cfg.MaxQueueWait, ErrOverloaded)
+}
+
+// admitLocked consumes a slot if one is free for tenant right now.
+func (c *Controller) admitLocked(tenant string) bool {
+	if c.inflight >= c.cfg.MaxConcurrent {
+		return false
+	}
+	if c.cfg.TenantSlots > 0 && c.tenants[tenant] >= c.cfg.TenantSlots {
+		return false
+	}
+	c.inflight++
+	c.tenants[tenant]++
+	return true
+}
+
+func (c *Controller) releaseFunc(tenant string) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.mu.Lock()
+			c.inflight--
+			if n := c.tenants[tenant] - 1; n > 0 {
+				c.tenants[tenant] = n
+			} else {
+				delete(c.tenants, tenant)
+			}
+			c.wakeLocked()
+			c.mu.Unlock()
+		})
+	}
+}
+
+// wakeLocked hands freed slots to parked waiters in priority order,
+// skipping waiters whose tenant is at its quota.
+func (c *Controller) wakeLocked() {
+	for c.inflight < c.cfg.MaxConcurrent {
+		var picked *waiter
+		for class := Class(0); class < numClasses && picked == nil; class++ {
+			for _, w := range c.queues[class] {
+				if c.cfg.TenantSlots > 0 && c.tenants[w.tenant] >= c.cfg.TenantSlots {
+					continue
+				}
+				picked = w
+				break
+			}
+		}
+		if picked == nil {
+			return
+		}
+		c.inflight++
+		c.tenants[picked.tenant]++
+		picked.admitted = true
+		c.removeLocked(picked)
+		close(picked.ch)
+	}
+}
+
+func (c *Controller) removeLocked(w *waiter) {
+	q := c.queues[w.class]
+	for i, cand := range q {
+		if cand == w {
+			c.queues[w.class] = append(q[:i], q[i+1:]...)
+			c.queued--
+			return
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Overload experiment: the overload-safe query path measured end to
+// end. One CN with a bounded admission controller and a statement
+// deadline is driven at 1x/5x/10x its admission capacity (plus a
+// jitter-faulted DN group, as in the chaos suite) and each level
+// records goodput, the p99 of admitted TP statements, and the shed
+// fraction. The claim under test: as offered load grows past capacity,
+// goodput plateaus instead of collapsing and admitted-TP tail latency
+// stays bounded by the deadline — excess load is shed as retryable
+// ErrOverloaded, not absorbed as unbounded queueing. `make
+// bench-overload` writes BENCH_overload.json as the standing record.
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/simnet"
+)
+
+// OverloadOptions parameterizes RunOverload. Zero values pick the
+// standing configuration used by `make bench-overload`.
+type OverloadOptions struct {
+	// MaxConcurrent is the CN admission capacity (execution slots).
+	MaxConcurrent int
+	// Multipliers are the offered-load levels, as multiples of
+	// MaxConcurrent worth of closed-loop workers.
+	Multipliers []int
+	// Window is the measured load window per level.
+	Window time.Duration
+	// StatementTimeout is the per-statement deadline.
+	StatementTimeout time.Duration
+}
+
+func (o OverloadOptions) withDefaults() OverloadOptions {
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 8
+	}
+	if len(o.Multipliers) == 0 {
+		o.Multipliers = []int{1, 5, 10}
+	}
+	if o.Window <= 0 {
+		o.Window = 2 * time.Second
+	}
+	if o.StatementTimeout <= 0 {
+		o.StatementTimeout = 250 * time.Millisecond
+	}
+	return o
+}
+
+// OverloadLevel is one offered-load level's measurements.
+type OverloadLevel struct {
+	// Multiplier is offered load as a multiple of admission capacity.
+	Multiplier int
+	// Workers is the closed-loop client count (Multiplier x capacity).
+	Workers int
+	// Good / Shed / Deadline classify every statement outcome.
+	Good     int64
+	Shed     int64
+	Deadline int64
+	// GoodputPerSec is completed statements per second.
+	GoodputPerSec float64
+	// ShedFraction is (Shed+Deadline) / total offered.
+	ShedFraction float64
+	// AdmittedTPP99Ms is the p99 latency of successful TP statements.
+	AdmittedTPP99Ms float64
+}
+
+// OverloadResult is the full sweep.
+type OverloadResult struct {
+	MaxConcurrent      int
+	StatementTimeoutMs float64
+	WindowMs           float64
+	Levels             []OverloadLevel
+}
+
+// RunOverload runs the sweep: a fresh cluster per level so levels don't
+// warm each other's caches or inherit each other's queues.
+func RunOverload(opts OverloadOptions) (*OverloadResult, error) {
+	o := opts.withDefaults()
+	res := &OverloadResult{
+		MaxConcurrent:      o.MaxConcurrent,
+		StatementTimeoutMs: float64(o.StatementTimeout) / 1e6,
+		WindowMs:           float64(o.Window) / 1e6,
+	}
+	for _, mult := range o.Multipliers {
+		lvl, err := runOverloadLevel(o, mult)
+		if err != nil {
+			return nil, err
+		}
+		res.Levels = append(res.Levels, lvl)
+	}
+	return res, nil
+}
+
+func runOverloadLevel(o OverloadOptions, mult int) (OverloadLevel, error) {
+	lvl := OverloadLevel{Multiplier: mult, Workers: mult * o.MaxConcurrent}
+	cluster, err := core.NewCluster(core.Config{
+		DNGroups:         2,
+		Metrics:          true,
+		StatementTimeout: o.StatementTimeout,
+		Admission: &admission.Config{
+			MaxConcurrent: o.MaxConcurrent,
+			MaxQueue:      4 * o.MaxConcurrent,
+			MaxQueueWait:  20 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		return lvl, err
+	}
+	defer cluster.Stop()
+	seed := cluster.CN(simnet.DC1).NewSession()
+	seed.SetStatementTimeout(-1) // seeding is not part of the experiment
+	if _, err := seed.Execute(`CREATE TABLE kv (id BIGINT, v BIGINT, PRIMARY KEY(id)) PARTITIONS 4`); err != nil {
+		return lvl, err
+	}
+	for i := 0; i < 400; i += 50 {
+		q := "INSERT INTO kv (id, v) VALUES "
+		for j := i; j < i+50; j++ {
+			if j > i {
+				q += ", "
+			}
+			q += fmt.Sprintf("(%d, %d)", j, j*3)
+		}
+		if _, err := seed.Execute(q); err != nil {
+			return lvl, err
+		}
+	}
+	// The chaos suite's fault: one DN group's links carry extra jitter.
+	if dng, err := cluster.GMS.DNForShard("kv", 0); err == nil {
+		cluster.Net.SetLinkFaults("*", dng, simnet.LinkFaults{ExtraJitter: 3 * time.Millisecond})
+		cluster.Net.SetLinkFaults(dng, "*", simnet.LinkFaults{ExtraJitter: 3 * time.Millisecond})
+	}
+
+	var good, shed, deadlined atomic.Int64
+	var latMu sync.Mutex
+	var lats []time.Duration
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < lvl.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := cluster.CN(simnet.DC1).NewSession()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ap := w%8 == 7
+				start := time.Now()
+				var err error
+				if ap {
+					_, err = s.Execute("SELECT COUNT(*) FROM kv")
+				} else {
+					_, err = s.Execute(fmt.Sprintf("SELECT v FROM kv WHERE id = %d", (w*31+i)%400))
+				}
+				switch {
+				case err == nil:
+					good.Add(1)
+					if !ap {
+						latMu.Lock()
+						lats = append(lats, time.Since(start))
+						latMu.Unlock()
+					}
+				case errors.Is(err, admission.ErrOverloaded):
+					shed.Add(1)
+					time.Sleep(5 * time.Millisecond)
+				case errors.Is(err, obs.ErrDeadlineExceeded):
+					deadlined.Add(1)
+					time.Sleep(5 * time.Millisecond)
+				default:
+					// Count unexpected failures as sheds rather than aborting
+					// a long sweep; they show up in the fraction.
+					shed.Add(1)
+					time.Sleep(5 * time.Millisecond)
+				}
+			}
+		}()
+	}
+	time.Sleep(o.Window)
+	close(stop)
+	wg.Wait()
+
+	lvl.Good, lvl.Shed, lvl.Deadline = good.Load(), shed.Load(), deadlined.Load()
+	total := lvl.Good + lvl.Shed + lvl.Deadline
+	lvl.GoodputPerSec = float64(lvl.Good) / o.Window.Seconds()
+	if total > 0 {
+		lvl.ShedFraction = float64(lvl.Shed+lvl.Deadline) / float64(total)
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		lvl.AdmittedTPP99Ms = float64(lats[(len(lats)-1)*99/100]) / 1e6
+	}
+	return lvl, nil
+}
+
+// Print renders the sweep as a table.
+func (r *OverloadResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "admission capacity %d slots, statement timeout %.0fms, %.1fs window per level\n",
+		r.MaxConcurrent, r.StatementTimeoutMs, r.WindowMs/1e3)
+	fmt.Fprintf(w, "%-8s %-8s %-12s %-10s %-14s %s\n",
+		"load", "workers", "goodput/s", "shed%", "admit-p99(ms)", "good/shed/deadline")
+	for _, l := range r.Levels {
+		fmt.Fprintf(w, "%-8s %-8d %-12.0f %-10.1f %-14.2f %d/%d/%d\n",
+			fmt.Sprintf("%dx", l.Multiplier), l.Workers, l.GoodputPerSec,
+			100*l.ShedFraction, l.AdmittedTPP99Ms, l.Good, l.Shed, l.Deadline)
+	}
+}
+
+// WriteJSON writes the standing benchmark record.
+func (r *OverloadResult) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/dn"
 	"repro/internal/executor"
 	"repro/internal/htap"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/vector"
 )
@@ -148,7 +149,7 @@ func (cn *CN) buildBatchTwoPhaseAgg(n *optimizer.AggNode, scan *optimizer.ScanNo
 			Op: frag, Sched: scheds[i%len(scheds)],
 		})
 	}
-	gather := executor.RunBatchFragments(ctx.group, assignments, executor.DefaultQueueHighWater)
+	gather := executor.RunBatchFragmentsUntil(ctx.group, assignments, executor.DefaultQueueHighWater, obs.Wall, ctx.s.deadline())
 	finalGroup := finalGroupRefs(len(n.GroupBy))
 	return &executor.BatchHashAgg{Input: gather, GroupBy: finalGroup,
 		Aggs: aggSpecs(n.Aggs), Mode: executor.AggFinal, Names: n.Names}, nil
@@ -200,7 +201,7 @@ func (cn *CN) buildBatchPartitionWiseJoin(n *optimizer.JoinNode, ctx *queryCtx) 
 		assignments = append(assignments, executor.BatchFragmentAssignment{
 			Op: frag, Sched: scheds[shard%len(scheds)]})
 	}
-	g := executor.RunBatchFragments(ctx.group, assignments, executor.DefaultQueueHighWater)
+	g := executor.RunBatchFragmentsUntil(ctx.group, assignments, executor.DefaultQueueHighWater, obs.Wall, ctx.s.deadline())
 	g.Cols = n.Columns()
 	return g, true, nil
 }
@@ -232,7 +233,7 @@ func (cn *CN) buildBatchScan(scan *optimizer.ScanNode, ctx *queryCtx) (executor.
 		}
 		assignments = append(assignments, executor.BatchFragmentAssignment{Op: src, Sched: cn.sched})
 	}
-	g := executor.RunBatchFragments(ctx.group, assignments, executor.DefaultQueueHighWater)
+	g := executor.RunBatchFragmentsUntil(ctx.group, assignments, executor.DefaultQueueHighWater, obs.Wall, ctx.s.deadline())
 	g.Cols = cols
 	return g, nil
 }

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/autopilot"
 	"repro/internal/dn"
 	"repro/internal/executor"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/paxos"
 	"repro/internal/polarfs"
+	"repro/internal/retry"
 	"repro/internal/simnet"
 	"repro/internal/tso"
 	"repro/internal/txn"
@@ -139,6 +141,19 @@ type Config struct {
 	// groups online, and verifies convergence (internal/autopilot). With
 	// Interval 0 the controller is built but only tests tick it.
 	Autopilot *autopilot.Config
+	// StatementTimeout bounds each statement's wall time end to end: the
+	// deadline is set at Session.Execute, rides every branch RPC as
+	// metadata, and unparks 2PC durability waits, Paxos commit waiters
+	// and batch-exchange parks when it expires. 0 (the default) disables
+	// deadlines entirely — the legacy unbounded path, byte for byte.
+	// Sessions can override per session with SetStatementTimeout.
+	StatementTimeout time.Duration
+	// Admission, when non-nil with MaxConcurrent > 0, enables per-CN
+	// admission control: a bounded execution semaphore with priority
+	// classes (TP auto-commit > TP in-txn > AP), per-tenant quotas,
+	// queue-wait shedding (retryable ErrOverloaded) and AP brownout.
+	// Nil (the default) keeps the unguarded legacy execution path.
+	Admission *admission.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -201,6 +216,11 @@ type Cluster struct {
 	// data through — the same 2PC/replication path queries use, so chaos
 	// faults exercise migration retry like any other traffic.
 	migrator *txn.Coordinator
+	// dnRetry holds the per-destination circuit breakers and retry
+	// budgets shared by control-plane callers (shard migration sync):
+	// one breaker per DN endpoint, so a dead DN costs one probe per
+	// cooldown instead of a full retry ladder per call.
+	dnRetry *retry.Group
 	// ap is the elastic autopilot controller; nil unless Config.Autopilot.
 	ap *autopilot.Controller
 
@@ -355,6 +375,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		migOracle = txn.NewHLCOracle(hlc.NewClock(nil))
 	}
 	c.migrator = txn.NewCoordinator(c.Net, migratorName, migOracle)
+	c.dnRetry = retry.NewGroup(retry.BreakerConfig{
+		Opened: c.metrics.Counter("breaker.open"),
+		Probes: c.metrics.Counter("breaker.probes"),
+	})
 	if cfg.Autopilot != nil {
 		c.ap = autopilot.New(*cfg.Autopilot, c.ElasticTarget(), c.metrics)
 		c.ap.Start()
@@ -466,6 +490,19 @@ func (c *Cluster) addCN(dc simnet.DC) *CN {
 		cn.coord.SetMetrics(c.metrics)
 		cn.mPCHit = c.metrics.Counter("plancache.hit")
 		cn.mPCMiss = c.metrics.Counter("plancache.miss")
+	}
+	// Registry.Counter/Histogram are nil-safe, so the instruments exist
+	// (as no-ops) even with metrics off; every CN shares the cluster's
+	// counters so MetricsSnapshot sees fleet-wide admission totals.
+	cn.admMetrics = admission.Metrics{
+		Admitted:         c.metrics.Counter("admission.admitted"),
+		Shed:             c.metrics.Counter("admission.shed"),
+		Brownout:         c.metrics.Counter("admission.brownout"),
+		DeadlineExceeded: c.metrics.Counter("deadline.exceeded"),
+		QueueWait:        c.metrics.Histogram("admission.queue_wait"),
+	}
+	if ac := c.cfg.Admission; ac != nil && ac.MaxConcurrent > 0 {
+		cn.admit = admission.New(*ac, cn.admMetrics)
 	}
 	cn.opt = optimizer.New(c.GMS, statsAdapter{c}, optimizer.Options{
 		TPCostThreshold: c.cfg.TPCostThreshold,

@@ -8,12 +8,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/dn"
 	"repro/internal/gms"
 	"repro/internal/hotspot"
 	"repro/internal/htap"
 	"repro/internal/obs"
 	"repro/internal/optimizer"
+	"repro/internal/retry"
 	"repro/internal/simnet"
 	"repro/internal/sql"
 	"repro/internal/txn"
@@ -36,6 +38,15 @@ type CN struct {
 	// traffic, when non-nil, meters statements per SQL class and clamps
 	// anomalous classes (§VIII automated traffic control).
 	traffic *hotspot.Controller
+	// admit, when non-nil, is the CN's admission gate (Config.Admission):
+	// a bounded execution semaphore with priority classes, per-tenant
+	// quotas, queue-wait shedding and AP brownout.
+	admit *admission.Controller
+	// admMetrics holds the admission instruments. They are the same
+	// registry counters the controller uses, kept here so paths that
+	// shed without consulting the controller (AP memory admission) land
+	// in the same metrics. All fields are nil-safe when metrics are off.
+	admMetrics admission.Metrics
 	// planCache caches plan skeletons by statement fingerprint (nil when
 	// Config.PlanCacheOff).
 	planCache *optimizer.PlanCache
@@ -179,6 +190,81 @@ type Session struct {
 	// lastTrace keeps the most recently finished one for inspection.
 	curTrace  *obs.Trace
 	lastTrace *obs.Trace
+	// tenant tags this session's statements for per-tenant admission
+	// quotas ("" is a valid shared tenant).
+	tenant string
+	// stmtTimeout overrides Config.StatementTimeout for this session:
+	// 0 inherits the cluster default, < 0 disables deadlines entirely.
+	stmtTimeout time.Duration
+	// curDeadline is the in-flight statement's absolute deadline (zero
+	// when deadlines are off); set by Execute, read by every layer the
+	// statement touches via deadline().
+	curDeadline time.Time
+}
+
+// SetTenant tags the session for per-tenant admission quotas.
+func (s *Session) SetTenant(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tenant = name
+}
+
+// SetStatementTimeout overrides the cluster statement timeout for this
+// session: 0 inherits Config.StatementTimeout, negative disables
+// deadlines for this session even when the cluster sets one.
+func (s *Session) SetStatementTimeout(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stmtTimeout = d
+}
+
+// statementTimeout resolves the effective timeout for the next
+// statement (0 = no deadline).
+func (s *Session) statementTimeout() time.Duration {
+	s.mu.Lock()
+	o := s.stmtTimeout
+	s.mu.Unlock()
+	if o != 0 {
+		if o < 0 {
+			return 0
+		}
+		return o
+	}
+	return s.cn.cluster.cfg.StatementTimeout
+}
+
+// deadline returns the in-flight statement's absolute deadline (zero
+// when deadlines are off).
+func (s *Session) deadline() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.curDeadline
+}
+
+// tenantName returns the session's admission tenant.
+func (s *Session) tenantName() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tenant
+}
+
+// admit reserves an execution slot from the CN admission controller,
+// classifying the statement by priority (TP auto-commit > TP in-txn >
+// AP). The returned release must be called when execution finishes;
+// with admission disabled it is a no-op and admit never sheds.
+func (s *Session) admit(ap bool) (release func(), err error) {
+	ac := s.cn.admit
+	if ac == nil {
+		return func() {}, nil
+	}
+	class := admission.TPAuto
+	switch {
+	case ap:
+		class = admission.AP
+	case s.InTxn():
+		class = admission.TPTxn
+	}
+	return ac.Admit(s.tenantName(), class, s.deadline())
 }
 
 // LastTrace returns the span tree of the most recent traced statement
@@ -231,6 +317,12 @@ func (s *Session) Commit() error {
 	s.mu.Unlock()
 	if tx == nil {
 		return fmt.Errorf("core: no open transaction")
+	}
+	// COMMIT is its own statement: give the 2PC rounds a fresh deadline.
+	if to := s.statementTimeout(); to > 0 {
+		tx.SetDeadline(time.Now().Add(to))
+	} else {
+		tx.SetDeadline(time.Time{})
 	}
 	if s.cn.cluster.cfg.Tracing {
 		// Explicit COMMIT gets its own trace: the 2PC phase spans
@@ -285,6 +377,7 @@ func (s *Session) minLSNFor(dnName string) wal.LSN {
 func (s *Session) txnFor() (tx *txn.Tx, done func(error) error, err error) {
 	s.mu.Lock()
 	tr := s.curTrace
+	dl := s.curDeadline
 	if s.tx != nil {
 		tx = s.tx
 		s.mu.Unlock()
@@ -293,6 +386,9 @@ func (s *Session) txnFor() (tx *txn.Tx, done func(error) error, err error) {
 			// statement's trace: each statement owns its own tree.
 			tx.SetTrace(tr, nil)
 		}
+		// Each statement re-arms (or, at zero, clears) the transaction
+		// deadline: deadlines are per statement, not per transaction.
+		tx.SetDeadline(dl)
 		return tx, func(execErr error) error { return execErr }, nil
 	}
 	s.mu.Unlock()
@@ -303,6 +399,7 @@ func (s *Session) txnFor() (tx *txn.Tx, done func(error) error, err error) {
 	if tr != nil {
 		tx.SetTrace(tr, nil)
 	}
+	tx.SetDeadline(dl)
 	return tx, func(execErr error) error {
 		if execErr != nil {
 			_ = tx.Abort()
@@ -326,6 +423,21 @@ func (s *Session) Execute(query string) (*Result, error) {
 		defer release()
 	}
 	cfg := &s.cn.cluster.cfg
+	// Arm the statement deadline before anything can block: it rides
+	// every branch RPC as metadata and bounds admission queueing, 2PC
+	// durability waits and batch-exchange parks downstream.
+	var deadline time.Time
+	if to := s.statementTimeout(); to > 0 {
+		deadline = time.Now().Add(to)
+	}
+	s.mu.Lock()
+	s.curDeadline = deadline
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.curDeadline = time.Time{}
+		s.mu.Unlock()
+	}()
 	var tr *obs.Trace
 	if cfg.Tracing {
 		tr = obs.NewTrace(query, obs.Wall)
@@ -368,31 +480,38 @@ func (s *Session) executeParsed(query string) (*Result, error) {
 		// The routed DN leader crashed. GMS health-checks the groups,
 		// repoints routing at the newly elected leaders, and the
 		// auto-commit statement (its implicit transaction aborted whole)
-		// is safe to retry once against the new routing. The retry is
-		// unconditional: the background recovery loop may have healed
-		// routing between the failure and this call (making healed empty
-		// here), and retrying against still-broken routing just repeats
-		// the same error.
-		s.cn.cluster.HealDNRouting()
-		res, err = s.ExecuteStmt(stmt)
+		// is safe to retry against the new routing. Healing before every
+		// attempt is deliberate: the background recovery loop may have
+		// healed routing already (making healed empty here), and retrying
+		// against still-broken routing just repeats the same error.
+		res, err = retry.DoValue(obs.Wall, leaderRetry, s.deadline(), isLeaderFailure,
+			func() (*Result, error) {
+				s.cn.cluster.HealDNRouting()
+				return s.ExecuteStmt(stmt)
+			})
 	}
-	// A fenced shard (final phase of an online migration) answers
-	// ErrShardMoving. The fence lasts one drain + diff-sync round, so
-	// auto-commit statements wait it out with a short bounded backoff and
-	// land on the new placement — migrations need no client cooperation.
-	for attempt := 0; err != nil && !s.InTxn() &&
-		errors.Is(err, gms.ErrShardMoving) && attempt < shardMoveRetries; attempt++ {
-		time.Sleep(shardMoveBackoff)
-		res, err = s.ExecuteStmt(stmt)
+	if err != nil && !s.InTxn() && errors.Is(err, gms.ErrShardMoving) {
+		// A fenced shard (final phase of an online migration) answers
+		// ErrShardMoving. The fence lasts one drain + diff-sync round, so
+		// auto-commit statements wait it out with a short jittered backoff
+		// and land on the new placement — migrations need no client
+		// cooperation. The statement deadline (if any) cuts the ladder
+		// short.
+		res, err = retry.DoValue(obs.Wall, shardMoveRetry, s.deadline(),
+			func(e error) bool { return errors.Is(e, gms.ErrShardMoving) },
+			func() (*Result, error) { return s.ExecuteStmt(stmt) })
 	}
 	return res, err
 }
 
-// shardMoveRetries × shardMoveBackoff bounds how long an auto-commit
-// statement waits for a migration fence before surfacing ErrShardMoving.
-const (
-	shardMoveRetries = 200
-	shardMoveBackoff = 2 * time.Millisecond
+// leaderRetry and shardMoveRetry are the auto-commit statement retry
+// ladders. Leader failover needs only a couple of quick goes once
+// routing heals; the migration-fence ladder is long but capped at small
+// sleeps so its worst case (~800ms jittered) still bounds how long a
+// statement waits for a fence before surfacing ErrShardMoving.
+var (
+	leaderRetry    = retry.Policy{Attempts: 3, Base: 2 * time.Millisecond, Cap: 20 * time.Millisecond, Jitter: 0.5}
+	shardMoveRetry = retry.Policy{Attempts: 200, Base: time.Millisecond, Cap: 4 * time.Millisecond, Jitter: 0.5}
 )
 
 // isLeaderFailure classifies errors that indicate stale leader routing:
@@ -403,8 +522,18 @@ func isLeaderFailure(err error) bool {
 		errors.Is(err, simnet.ErrPartitioned)
 }
 
-// ExecuteStmt runs a parsed statement.
+// ExecuteStmt runs a parsed statement. DML takes its admission slot
+// here (class TP auto-commit or TP in-txn); SELECTs admit inside
+// runPlan, where the optimizer has already decided TP vs AP.
 func (s *Session) ExecuteStmt(stmt sql.Statement) (*Result, error) {
+	switch stmt.(type) {
+	case *sql.Insert, *sql.Update, *sql.Delete:
+		release, err := s.admit(false)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+	}
 	switch st := stmt.(type) {
 	case *sql.CreateTable:
 		return s.cn.createTable(st)

@@ -18,9 +18,18 @@ import (
 	"repro/internal/autopilot"
 	"repro/internal/dn"
 	"repro/internal/gms"
+	"repro/internal/obs"
+	"repro/internal/retry"
 	"repro/internal/storage"
+	"repro/internal/txn"
 	"repro/internal/types"
 )
+
+// migRetry is the migration control-plane ladder. Every call runs under
+// the destination DN's shared circuit breaker and retry budget
+// (Cluster.dnRetry), so a migration against a dead DN fails fast after
+// the breaker opens instead of grinding a full ladder per table.
+var migRetry = retry.Policy{Attempts: 4, Base: 5 * time.Millisecond, Cap: 50 * time.Millisecond, Jitter: 0.5}
 
 // migratorName is the network endpoint the migration coordinator uses.
 const migratorName = "migrator"
@@ -100,9 +109,15 @@ func (c *Cluster) MigrateShard(step gms.MigrationStep) error {
 		return err
 	}
 	for _, pt := range pts {
-		if _, err := c.Net.Call(migratorName, step.To,
-			dn.CreateTableReq{ID: pt.id, Schema: pt.schema}); err != nil &&
-			!errors.Is(err, storage.ErrTableExists) {
+		pt := pt
+		if err := c.dnRetry.DoDest(obs.Wall, migRetry, step.To, time.Time{}, txn.Retryable, func() error {
+			_, err := c.Net.Call(migratorName, step.To,
+				dn.CreateTableReq{ID: pt.id, Schema: pt.schema})
+			if errors.Is(err, storage.ErrTableExists) {
+				return nil
+			}
+			return err
+		}); err != nil {
 			return fmt.Errorf("core: create table %d on %s: %w", pt.id, step.To, err)
 		}
 	}
@@ -142,7 +157,14 @@ func (c *Cluster) AbortShardMove(step gms.MigrationStep) error {
 // (the engine's insert/update/delete are strict about key existence).
 func (c *Cluster) syncShardTables(step gms.MigrationStep, pts []physTable) error {
 	for _, pt := range pts {
-		if err := c.syncOneTable(step, pt); err != nil {
+		// A whole-table sync is idempotent (the diff is recomputed from
+		// fresh scans each try, and an in-doubt commit that actually
+		// landed just makes the next diff empty), so transient transport
+		// faults retry the table under the destination's breaker/budget.
+		pt := pt
+		if err := c.dnRetry.DoDest(obs.Wall, migRetry, step.To, time.Time{}, txn.Retryable, func() error {
+			return c.syncOneTable(step, pt)
+		}); err != nil {
 			return err
 		}
 	}

@@ -2,18 +2,27 @@ package core
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/admission"
 	"repro/internal/dn"
 	"repro/internal/executor"
 	"repro/internal/hlc"
 	"repro/internal/htap"
 	"repro/internal/obs"
 	"repro/internal/optimizer"
+	"repro/internal/retry"
 	"repro/internal/sql"
 	"repro/internal/txn"
 	"repro/internal/types"
 	"repro/internal/wal"
 )
+
+// apMemRetry backs an AP query off briefly when its working-memory
+// reservation is rejected: three quick jittered tries ride out a
+// transient squeeze (TP preemption, a big AP query finishing) without
+// holding the statement hostage.
+var apMemRetry = retry.Policy{Attempts: 3, Base: 2 * time.Millisecond, Cap: 10 * time.Millisecond, Jitter: 0.5}
 
 // queryCtx carries per-query execution state through operator building.
 type queryCtx struct {
@@ -68,6 +77,13 @@ func (s *Session) execSelect(sel *sql.Select) (*Result, error) {
 // AP plans read RO replicas at a snapshot in the AP pool (unless
 // isolation is off, Fig. 9 config 1).
 func (s *Session) runPlan(plan *optimizer.Plan, analyze map[optimizer.Node]*obs.OpStats) ([]types.Row, error) {
+	// SELECTs take their admission slot here, after the optimizer has
+	// classified the plan: AP plans queue (and brown out) behind TP.
+	release, err := s.admit(plan.IsAP)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	ctx := &queryCtx{s: s, ap: plan.IsAP, mpp: plan.MPP, analyze: analyze}
 	ctx.group = htap.GroupTP
 	if plan.IsAP && !s.cn.cluster.cfg.IsolationOff {
@@ -91,12 +107,20 @@ func (s *Session) runPlan(plan *optimizer.Plan, analyze map[optimizer.Node]*obs.
 		ctx.tx = tx
 	}
 	// AP queries reserve working memory from the CN's AP region before
-	// running; TP preemption may shrink that region (§VI-D). Rejected
-	// reservations fail the query rather than destabilizing TP work.
+	// running; TP preemption may shrink that region (§VI-D). A rejected
+	// reservation is transient overload — TP preemption shrinks the
+	// region and finishing AP queries give memory back — so it backs off
+	// briefly and, if still starved, sheds as a retryable ErrOverloaded
+	// counted with the other admission sheds, rather than surfacing an
+	// opaque fatal error.
 	if plan.IsAP {
 		est := int64(plan.Root.EstRows())*96 + 4096
-		if err := s.cn.sched.Mem.Reserve(ctx.group, est); err != nil {
-			return nil, fmt.Errorf("core: AP memory admission: %w", err)
+		memErr := retry.DoUntil(obs.Wall, apMemRetry, s.deadline(),
+			func(error) bool { return true },
+			func() error { return s.cn.sched.Mem.Reserve(ctx.group, est) })
+		if memErr != nil {
+			s.cn.admMetrics.Shed.Add(1)
+			return nil, fmt.Errorf("core: AP memory admission: %w: %v", admission.ErrOverloaded, memErr)
 		}
 		defer s.cn.sched.Mem.Release(ctx.group, est)
 	}

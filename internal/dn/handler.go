@@ -1,10 +1,13 @@
 package dn
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/hlc"
+	"repro/internal/obs"
 	"repro/internal/sql"
 	"repro/internal/storage"
 	"repro/internal/types"
@@ -29,7 +32,18 @@ func projectRow(row types.Row, proj []int) types.Row {
 // handle dispatches CN requests. Each arrives on its own goroutine (the
 // caller's), so blocking on durability waits stalls only that request —
 // the Go analogue of the paper's async commit freeing foreground threads.
+// A Deadlined envelope is unwrapped first: expired requests are refused
+// at the door, and the deadline bounds the prepare/commit quorum waits.
 func (i *Instance) handle(from string, msg any) (any, error) {
+	var deadline time.Time
+	if env, ok := msg.(Deadlined); ok {
+		deadline = env.Deadline
+		msg = env.Req
+		if !deadline.IsZero() && i.timeSrc.Until(deadline) <= 0 {
+			i.mDeadline.Add(1)
+			return nil, fmt.Errorf("dn %s: %T: %w", i.cfg.Name, msg, obs.ErrDeadlineExceeded)
+		}
+	}
 	switch m := msg.(type) {
 	case BeginReq:
 		return nil, i.handleBegin(m)
@@ -44,9 +58,9 @@ func (i *Instance) handle(from string, msg any) (any, error) {
 	case ScanReq:
 		return i.handleScan(m)
 	case PrepareReq:
-		return i.handlePrepare(m)
+		return i.handlePrepare(m, deadline)
 	case CommitReq:
-		return i.handleCommit(m)
+		return i.handleCommit(m, deadline)
 	case AbortReq:
 		return nil, i.handleAbort(m)
 	case ResolveTxnReq:
@@ -291,7 +305,7 @@ func (i *Instance) handleScan(m ScanReq) (ScanResp, error) {
 // prepare record carries the coordinator's txn ID and the primary branch
 // name so the branch stays resolvable after any crash. A retried prepare
 // (lost reply) answers the already-recorded prepare timestamp.
-func (i *Instance) handlePrepare(m PrepareReq) (PrepareResp, error) {
+func (i *Instance) handlePrepare(m PrepareReq, deadline time.Time) (PrepareResp, error) {
 	e, err := i.branch(m.TxnID)
 	if err != nil {
 		return PrepareResp{}, err
@@ -307,7 +321,7 @@ func (i *Instance) handlePrepare(m PrepareReq) (PrepareResp, error) {
 	}
 	e.primary = m.Primary
 	e.preparedAt = i.timeSrc.Now()
-	if err := i.proposeTail(e, true); err != nil {
+	if err := i.proposeTailUntil(e, true, deadline); err != nil {
 		return PrepareResp{}, err
 	}
 	return PrepareResp{PrepareTS: prepareTS}, nil
@@ -324,7 +338,7 @@ func (i *Instance) handlePrepare(m PrepareReq) (PrepareResp, error) {
 // truncation can never retain the commit marker while losing the
 // decision. A presumed-abort tombstone written by a resolver in the
 // meantime refuses the commit point — the transaction is already aborted.
-func (i *Instance) handleCommit(m CommitReq) (CommitResp, error) {
+func (i *Instance) handleCommit(m CommitReq, deadline time.Time) (CommitResp, error) {
 	if fin, ok := i.finishedOutcome(m.TxnID); ok {
 		return commitRespFromFinished(m.TxnID, fin)
 	}
@@ -357,7 +371,7 @@ func (i *Instance) handleCommit(m CommitReq) (CommitResp, error) {
 	if err := i.eng.Commit(e.txn, commitTS); err != nil {
 		return CommitResp{}, err
 	}
-	if err := i.proposeTail(e, true); err != nil {
+	if err := i.proposeTailUntil(e, true, deadline); err != nil {
 		return CommitResp{CommitTS: commitTS}, err
 	}
 	if m.CommitPoint {
@@ -425,6 +439,15 @@ func (i *Instance) handleAbort(m AbortReq) error {
 // (async commit: the waiting happens in this request's goroutine while
 // other requests proceed).
 func (i *Instance) proposeTail(e *txnEntry, wait bool) error {
+	return i.proposeTailUntil(e, wait, time.Time{})
+}
+
+// proposeTailUntil is proposeTail with the durability wait bounded by
+// the statement deadline. On expiry the redo stays proposed (it will
+// become durable — or be truncated by a failover — on its own) but the
+// request goroutine is released with obs.ErrDeadlineExceeded, which the
+// coordinator treats as an unknown outcome, same as a timed-out RPC.
+func (i *Instance) proposeTailUntil(e *txnEntry, wait bool, deadline time.Time) error {
 	redo := e.txn.Redo()
 	if e.proposed >= len(redo) {
 		return nil
@@ -434,10 +457,14 @@ func (i *Instance) proposeTail(e *txnEntry, wait bool) error {
 		return err
 	}
 	e.proposed = len(redo)
-	if wait {
-		return i.node.AwaitDurable(end)
+	if !wait {
+		return nil
 	}
-	return nil
+	err = i.node.AwaitDurableUntil(end, deadline)
+	if errors.Is(err, obs.ErrDeadlineExceeded) {
+		i.mDeadline.Add(1)
+	}
+	return err
 }
 
 // markDirtyPages records buffer-pool dirt for the txn's writes at the

@@ -180,6 +180,9 @@ type Instance struct {
 	svc *svcModel
 	// stats counts hot-path request types (RPC-budget assertions).
 	stats rpcStats
+	// mDeadline counts requests refused or unparked because their
+	// statement deadline expired (nil-safe).
+	mDeadline *obs.Counter
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -211,6 +214,7 @@ func NewInstance(cfg Config) (*Instance, error) {
 		decisions:   make(map[uint64]*decision),
 		finished:    make(map[uint64]finishedTxn),
 		inDoubtSeen: make(map[uint64]time.Time),
+		mDeadline:   cfg.Metrics.Counter("deadline.exceeded"),
 		done:        make(chan struct{}),
 	}
 	inst.applier = storage.NewApplier(inst.eng)

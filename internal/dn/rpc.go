@@ -12,6 +12,7 @@ package dn
 
 import (
 	"encoding/json"
+	"time"
 
 	"repro/internal/hlc"
 	"repro/internal/sql"
@@ -19,6 +20,28 @@ import (
 	"repro/internal/vector"
 	"repro/internal/wal"
 )
+
+// Deadlined wraps any DN request with the issuing statement's absolute
+// deadline — the RPC metadata leg of deadline propagation. The handler
+// unwraps it at entry: an already-expired request is refused before any
+// work (counted in deadline.exceeded), and prepare/commit durability
+// waits are bounded by the remaining time so a timed-out statement
+// releases its request goroutine instead of wedging it on a slow
+// quorum. Requests arriving bare (no envelope) behave exactly as
+// before — senders without a deadline pay nothing.
+type Deadlined struct {
+	Deadline time.Time
+	Req      any
+}
+
+// WithDeadline wraps req when deadline is non-zero; a zero deadline
+// returns req unchanged so the no-timeout path stays byte-identical.
+func WithDeadline(req any, deadline time.Time) any {
+	if deadline.IsZero() {
+		return req
+	}
+	return Deadlined{Deadline: deadline, Req: req}
+}
 
 // WriteOp selects the mutation kind in a WriteReq.
 type WriteOp uint8

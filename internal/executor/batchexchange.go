@@ -2,11 +2,13 @@ package executor
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/htap"
+	"repro/internal/obs"
 	"repro/internal/vector"
 )
 
@@ -130,6 +132,24 @@ func (q *BatchQueue) Pop() (*vector.Batch, error) {
 		return nil, q.err
 	}
 	return nil, ErrEOF
+}
+
+// ArmDeadline poisons the queue when the statement deadline passes:
+// CloseWith(obs.ErrDeadlineExceeded) releases every parked producer
+// (TryPush waiters, JobBlocked fragments) and surfaces the error to the
+// consumer once the buffer drains — a timed-out statement frees its
+// exchange instead of wedging scheduler workers. A zero deadline arms
+// nothing; a queue that finishes first makes the late fire a no-op.
+func (q *BatchQueue) ArmDeadline(clock obs.Clock, deadline time.Time) {
+	if deadline.IsZero() {
+		return
+	}
+	clock = obs.Or(clock)
+	fired, _ := obs.After(clock, clock.Until(deadline))
+	go func() {
+		<-fired
+		q.CloseWith(fmt.Errorf("batch exchange: %w", obs.ErrDeadlineExceeded))
+	}()
 }
 
 // Len reports buffered batches (metrics/backpressure tests).
@@ -281,9 +301,17 @@ type BatchFragmentAssignment struct {
 // exchange queue each) and returns a BatchGather over their outputs.
 // queueHigh <= 0 uses DefaultQueueHighWater.
 func RunBatchFragments(group htap.Group, assignments []BatchFragmentAssignment, queueHigh int) *BatchGather {
+	return RunBatchFragmentsUntil(group, assignments, queueHigh, nil, time.Time{})
+}
+
+// RunBatchFragmentsUntil is RunBatchFragments with every exchange queue
+// armed against the statement deadline (zero = unarmed, identical to
+// RunBatchFragments).
+func RunBatchFragmentsUntil(group htap.Group, assignments []BatchFragmentAssignment, queueHigh int, clock obs.Clock, deadline time.Time) *BatchGather {
 	inputs := make([]BatchOperator, len(assignments))
 	for i, a := range assignments {
 		q := NewBatchQueue(queueHigh)
+		q.ArmDeadline(clock, deadline)
 		job := &BatchFragmentJob{Op: a.Op, Out: q}
 		inputs[i] = &BatchQueueSource{Cols: a.Op.Columns(), Q: q}
 		if a.Sched != nil {

@@ -8,6 +8,8 @@ import (
 
 	"repro/internal/autopilot"
 	"repro/internal/gms"
+	"repro/internal/obs"
+	"repro/internal/retry"
 	"repro/internal/simnet"
 )
 
@@ -34,32 +36,37 @@ func (c *Cluster) TransferWithRetry(tenant TenantID, from, to string, tries int,
 	if backoff <= 0 {
 		backoff = 5 * time.Millisecond
 	}
+	// The shared retry engine drives the ladder: jittered exponential
+	// backoff from the caller's base, counting each transient failure on
+	// the retry counter exactly as the old hand-rolled loop did.
+	pol := retry.Policy{Attempts: tries, Base: backoff, Cap: 8 * backoff, Jitter: 0.5}
 	var stats TransferStats
-	var err error
-	for attempt := 0; attempt < tries; attempt++ {
+	err := retry.Do(obs.Wall, pol, func(e error) bool {
+		if !IsTransient(e) {
+			return false
+		}
+		c.mRetries.Inc()
+		return true
+	}, func() error {
 		// Idempotency gate: a previous attempt may have gotten the binding
 		// flipped already — complete the open and call it done.
 		if bound, _, berr := c.BindingOf(tenant); berr == nil && bound == to {
 			if cerr := c.completeTransfer(tenant, from, to); cerr == nil {
-				stats.Tenant, stats.From, stats.To = tenant, from, to
-				return stats, nil
+				stats = TransferStats{Tenant: tenant, From: from, To: to}
+				return nil
 			}
 		}
-		stats, err = c.Transfer(tenant, from, to)
-		if err == nil {
-			return stats, nil
-		}
-		if !IsTransient(err) {
-			c.mFailures.Inc()
-			return stats, err
-		}
-		c.mRetries.Inc()
-		if attempt < tries-1 {
-			time.Sleep(backoff)
-			backoff *= 2
-		}
+		var terr error
+		stats, terr = c.Transfer(tenant, from, to)
+		return terr
+	})
+	if err == nil {
+		return stats, nil
 	}
 	c.mFailures.Inc()
+	if !IsTransient(err) {
+		return stats, err
+	}
 	return stats, fmt.Errorf("mt: transfer of tenant %d gave up after %d attempts: %w", tenant, tries, err)
 }
 

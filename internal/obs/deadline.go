@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrDeadlineExceeded is the statement-deadline sentinel shared by every
+// layer a deadline traverses (CN admission, 2PC calls, DN handlers,
+// Paxos commit waiters, batch exchanges). It lives here, next to Clock,
+// because deadline expiry is a property of time — not of any one
+// subsystem — and obs is the only package all of them already import.
+var ErrDeadlineExceeded = errors.New("statement deadline exceeded")
+
+// After returns a channel that is closed once d has elapsed on c, plus a
+// cancel function. Cancel guarantees the channel will never be closed
+// afterwards (it does not unblock an in-flight Sleep on a fake clock;
+// the parked goroutine simply discards its wake). With the wall clock a
+// real timer is used, so cancel also releases the timer immediately.
+func After(c Clock, d time.Duration) (fired <-chan struct{}, cancel func()) {
+	ch := make(chan struct{})
+	if c == nil || c == Wall {
+		t := time.AfterFunc(d, func() { close(ch) })
+		return ch, func() { t.Stop() }
+	}
+	var state int32 // 0 = pending, 1 = fired, 2 = canceled
+	go func() {
+		c.Sleep(d)
+		if atomic.CompareAndSwapInt32(&state, 0, 1) {
+			close(ch)
+		}
+	}()
+	return ch, func() { atomic.CompareAndSwapInt32(&state, 0, 2) }
+}

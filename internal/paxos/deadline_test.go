@@ -1,0 +1,105 @@
+package paxos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/simnet"
+)
+
+// deadlineNode builds a bootstrapped 3-member leader whose loops are
+// never started: local appends succeed but DLSN can never advance (no
+// peer acks), so commit waiters park forever — the exact shape a
+// statement deadline must be able to escape from.
+func deadlineNode(t *testing.T, fc *obs.FakeClock) *Node {
+	t.Helper()
+	net := simnet.New(simnet.ZeroTopology())
+	n, err := NewNode(Config{
+		Group:   "g1",
+		Self:    "dn1",
+		Members: threeMembers(),
+		Net:     net,
+		Clock:   fc,
+		Seed:    42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Bootstrap()
+	t.Cleanup(n.Stop)
+	return n
+}
+
+func TestAwaitDurableUntilCleansUpWaiter(t *testing.T) {
+	fc := obs.NewFakeClock(time.Unix(100, 0))
+	n := deadlineNode(t, fc)
+
+	end, err := n.Propose(insertRec("k", "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- n.AwaitDurableUntil(end, fc.Now().Add(50*time.Millisecond)) }()
+
+	waitFor(t, time.Second, "waiter parked", func() bool { return n.PendingWaiters() == 1 })
+	// Advancing short of the deadline must not wake the waiter.
+	fc.Advance(49 * time.Millisecond)
+	select {
+	case err := <-done:
+		t.Fatalf("woke before deadline: %v", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	fc.Advance(time.Millisecond)
+	select {
+	case err := <-done:
+		if !errors.Is(err, obs.ErrDeadlineExceeded) {
+			t.Fatalf("want ErrDeadlineExceeded, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter did not wake at deadline")
+	}
+	// The heap entry must be gone: no leak, and a later DLSN advance has
+	// no stale channel to signal.
+	if got := n.PendingWaiters(); got != 0 {
+		t.Fatalf("waiter leaked: %d pending", got)
+	}
+}
+
+func TestAwaitDurableUntilExpiredBeforeParking(t *testing.T) {
+	fc := obs.NewFakeClock(time.Unix(100, 0))
+	n := deadlineNode(t, fc)
+	end, err := n.Propose(insertRec("k", "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = n.AwaitDurableUntil(end, fc.Now().Add(-time.Millisecond))
+	if !errors.Is(err, obs.ErrDeadlineExceeded) {
+		t.Fatalf("want immediate ErrDeadlineExceeded, got %v", err)
+	}
+	if got := n.PendingWaiters(); got != 0 {
+		t.Fatalf("expired call must not park: %d pending", got)
+	}
+}
+
+func TestAwaitDurableUntilFastPath(t *testing.T) {
+	// Zero deadline falls through to AwaitDurable semantics; an already
+	// durable LSN returns nil without parking regardless of deadline.
+	g := newGroup(t, threeMembers(), true)
+	g.nodes["dn1"].Bootstrap()
+	g.startAll()
+	end, err := g.nodes["dn1"].Propose(insertRec("k1", "v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.nodes["dn1"].AwaitDurable(end); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.nodes["dn1"].AwaitDurableUntil(end, time.Now().Add(time.Minute)); err != nil {
+		t.Fatalf("durable LSN must return nil: %v", err)
+	}
+	if err := g.nodes["dn1"].AwaitDurableUntil(end, time.Time{}); err != nil {
+		t.Fatalf("zero deadline must behave like AwaitDurable: %v", err)
+	}
+}

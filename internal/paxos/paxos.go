@@ -598,6 +598,78 @@ func (n *Node) AwaitDurable(lsn wal.LSN) error {
 	return <-ch
 }
 
+// AwaitDurableUntil is AwaitDurable bounded by an absolute deadline: a
+// caller whose statement deadline expires is unparked, its waiter is
+// removed from the async-commit map (no leaked heap entries, no stray
+// sends), and obs.ErrDeadlineExceeded is returned. The proposal itself
+// stays in the log — durability is not cancelled, only the wait — so
+// the caller must treat the outcome as in-doubt, exactly as it would a
+// timed-out commit-point RPC. A zero deadline is plain AwaitDurable.
+func (n *Node) AwaitDurableUntil(lsn wal.LSN, deadline time.Time) error {
+	if deadline.IsZero() {
+		return n.AwaitDurable(lsn)
+	}
+	n.mu.Lock()
+	if n.dlsn >= lsn {
+		n.mu.Unlock()
+		n.cfg.QuorumWait.Observe(0)
+		return nil
+	}
+	if n.stopped {
+		n.mu.Unlock()
+		return ErrStopped
+	}
+	left := n.clock.Until(deadline)
+	if left <= 0 {
+		n.mu.Unlock()
+		return fmt.Errorf("paxos %s: await lsn %d: %w", n.endpoint(), lsn, obs.ErrDeadlineExceeded)
+	}
+	ch := make(chan error, 1)
+	heap.Push(&n.waiters, commitWaiter{lsn: lsn, ch: ch})
+	n.mu.Unlock()
+
+	timeout, cancel := obs.After(n.clock, left)
+	defer cancel()
+	start := time.Now()
+	select {
+	case err := <-ch:
+		n.cfg.QuorumWait.Observe(time.Since(start))
+		return err
+	case <-timeout:
+	}
+	n.mu.Lock()
+	removed := n.removeWaiterLocked(ch)
+	n.mu.Unlock()
+	if !removed {
+		// The verdict raced in before we could remove the waiter; the
+		// channel is buffered, so it is already there. Honor it.
+		err := <-ch
+		n.cfg.QuorumWait.Observe(time.Since(start))
+		return err
+	}
+	return fmt.Errorf("paxos %s: await lsn %d after %v: %w", n.endpoint(), lsn, time.Since(start), obs.ErrDeadlineExceeded)
+}
+
+// removeWaiterLocked drops the waiter identified by its channel from
+// the async-commit map. Caller holds n.mu.
+func (n *Node) removeWaiterLocked(ch chan error) bool {
+	for i := range n.waiters {
+		if n.waiters[i].ch == ch {
+			heap.Remove(&n.waiters, i)
+			return true
+		}
+	}
+	return false
+}
+
+// PendingWaiters reports commit waiters currently parked in the
+// async-commit map (tests and snapshots).
+func (n *Node) PendingWaiters() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.waiters)
+}
+
 // ProposeAndWait is Propose followed by AwaitDurable — the synchronous
 // commit path used where async commit is disabled (ablation).
 func (n *Node) ProposeAndWait(recs ...wal.Record) (wal.LSN, error) {

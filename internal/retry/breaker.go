@@ -1,0 +1,246 @@
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ErrBreakerOpen is returned by Breaker.Allow while the destination's
+// circuit is open (cooling down after consecutive failures). It is a
+// fast local verdict — no RPC was attempted — so callers treat it like
+// "destination down" without paying a timeout.
+var ErrBreakerOpen = errors.New("retry: circuit breaker open")
+
+// ErrBudgetExhausted is returned when a destination's retry budget has
+// no tokens: first attempts still flow, but retries are suppressed so a
+// retrying fleet can't multiply offered load onto a struggling peer.
+var ErrBudgetExhausted = errors.New("retry: retry budget exhausted")
+
+// BreakerConfig tunes one circuit breaker. Zero values pick defaults.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that opens the circuit.
+	Threshold int
+	// Cooldown is how long the circuit stays open before a half-open
+	// probe is allowed through.
+	Cooldown time.Duration
+	// Clock drives the cooldown timer (nil = wall).
+	Clock obs.Clock
+	// Opened / Probes count state transitions (nil-safe).
+	Opened *obs.Counter
+	Probes *obs.Counter
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 500 * time.Millisecond
+	}
+	c.Clock = obs.Or(c.Clock)
+	return c
+}
+
+// Breaker is a classic closed → open → half-open circuit breaker.
+// Allow is called before an attempt; OnSuccess/OnFailure report the
+// outcome. In half-open exactly one probe is in flight at a time: its
+// success closes the circuit, its failure re-opens the cooldown.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	failures  int       // consecutive failures while closed
+	openUntil time.Time // non-zero while open
+	probing   bool      // a half-open probe is in flight
+}
+
+// NewBreaker builds a breaker with cfg's defaults applied.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// State reports "closed", "open" or "half-open" (tests, snapshots).
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openUntil.IsZero() {
+		return "closed"
+	}
+	if b.cfg.Clock.Now().Before(b.openUntil) {
+		return "open"
+	}
+	return "half-open"
+}
+
+// Allow reports whether an attempt may proceed. It returns nil while
+// closed, ErrBreakerOpen while open or while another half-open probe is
+// already in flight, and nil for the single allowed probe once the
+// cooldown has elapsed.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openUntil.IsZero() {
+		return nil
+	}
+	if b.cfg.Clock.Now().Before(b.openUntil) || b.probing {
+		return ErrBreakerOpen
+	}
+	b.probing = true
+	b.cfg.Probes.Add(1)
+	return nil
+}
+
+// OnSuccess records a successful attempt: it closes the circuit (from a
+// half-open probe) and clears the consecutive-failure run.
+func (b *Breaker) OnSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.openUntil = time.Time{}
+	b.probing = false
+}
+
+// OnFailure records a failed attempt. While closed it advances the
+// consecutive-failure run and opens the circuit at the threshold; a
+// failed half-open probe re-opens a fresh cooldown.
+func (b *Breaker) OnFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.openUntil.IsZero() {
+		// Open or probing: restart the cooldown.
+		b.openUntil = b.cfg.Clock.Now().Add(b.cfg.Cooldown)
+		b.probing = false
+		return
+	}
+	b.failures++
+	if b.failures >= b.cfg.Threshold {
+		b.openUntil = b.cfg.Clock.Now().Add(b.cfg.Cooldown)
+		b.probing = false
+		b.cfg.Opened.Add(1)
+	}
+}
+
+// Budget is a gRPC-style per-destination retry budget: a token bucket
+// where each retry spends a whole token and each success refunds a
+// fraction. Under steady success the bucket stays full and retries are
+// free; under sustained failure the bucket drains and retries stop,
+// capping retry amplification at roughly Ratio × offered load.
+type Budget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	ratio  float64
+}
+
+// NewBudget builds a budget holding max tokens, refunding ratio tokens
+// per success. Zero values pick 10 tokens / 0.1 ratio.
+func NewBudget(max, ratio float64) *Budget {
+	if max <= 0 {
+		max = 10
+	}
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	return &Budget{tokens: max, max: max, ratio: ratio}
+}
+
+// Spend consumes one token for a retry; it reports false (and consumes
+// nothing) when no token is available.
+func (b *Budget) Spend() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// OnSuccess refunds a fractional token.
+func (b *Budget) OnSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens += b.ratio; b.tokens > b.max {
+		b.tokens = b.max
+	}
+}
+
+// Tokens reports the current balance (tests, snapshots).
+func (b *Budget) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// Group keys breakers and budgets by destination so every retry site
+// talking to the same DN shares one circuit and one budget.
+type Group struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	breakers map[string]*Breaker
+	budgets  map[string]*Budget
+}
+
+// NewGroup builds a Group whose breakers share cfg.
+func NewGroup(cfg BreakerConfig) *Group {
+	return &Group{
+		cfg:      cfg.withDefaults(),
+		breakers: make(map[string]*Breaker),
+		budgets:  make(map[string]*Budget),
+	}
+}
+
+// Breaker returns (creating on first use) the destination's breaker.
+func (g *Group) Breaker(dest string) *Breaker {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b := g.breakers[dest]
+	if b == nil {
+		b = NewBreaker(g.cfg)
+		g.breakers[dest] = b
+	}
+	return b
+}
+
+// Budget returns (creating on first use) the destination's retry budget.
+func (g *Group) Budget(dest string) *Budget {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b := g.budgets[dest]
+	if b == nil {
+		b = NewBudget(0, 0)
+		g.budgets[dest] = b
+	}
+	return b
+}
+
+// DoDest runs fn against dest under p with the destination's breaker
+// and budget applied: the breaker gates every attempt, and retries
+// (not first attempts) each spend a budget token. Outcomes feed both.
+func (g *Group) DoDest(clock obs.Clock, p Policy, dest string, deadline time.Time, retryable func(error) bool, fn func() error) error {
+	br := g.Breaker(dest)
+	bu := g.Budget(dest)
+	first := true
+	return DoUntil(clock, p, deadline, retryable, func() error {
+		if !first && !bu.Spend() {
+			return fmt.Errorf("%s: %w", dest, ErrBudgetExhausted)
+		}
+		if err := br.Allow(); err != nil {
+			return fmt.Errorf("%s: %w", dest, err)
+		}
+		first = false
+		err := fn()
+		if err == nil {
+			br.OnSuccess()
+			bu.OnSuccess()
+		} else {
+			br.OnFailure()
+		}
+		return err
+	})
+}

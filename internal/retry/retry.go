@@ -1,0 +1,132 @@
+// Package retry is the shared retry engine for every ad-hoc retry loop
+// in the tree: jittered exponential backoff driven by an injectable
+// clock (so chaos tests are deterministic), per-destination retry
+// budgets that stop a retrying fleet from amplifying an overload, and a
+// per-destination circuit breaker with half-open probes so a dead DN
+// costs one failed call per cooldown instead of a full retry ladder per
+// statement. It imports only obs — error classification is passed in by
+// the caller, so txn/simnet/gms error taxonomies never leak in here.
+package retry
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Policy bounds one retry ladder. The zero value of any field picks the
+// default; the zero Policy is the package default (3 tries, 2ms..50ms,
+// half-width jitter).
+type Policy struct {
+	// Attempts is the total number of tries, first call included.
+	Attempts int
+	// Base is the backoff before the second try; it doubles per retry.
+	Base time.Duration
+	// Cap is the backoff ceiling.
+	Cap time.Duration
+	// Jitter is the randomized fraction of each backoff in [0,1]: the
+	// actual sleep is backoff * (1 - Jitter/2 + Jitter*rand). 0 means
+	// "default" (0.5); use a tiny negative value for truly no jitter.
+	Jitter float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Attempts <= 0 {
+		p.Attempts = 3
+	}
+	if p.Base <= 0 {
+		p.Base = 2 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 50 * time.Millisecond
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.5
+	}
+	// Negative Jitter stays negative ("really none") so withDefaults is
+	// idempotent; Backoff only jitters when Jitter > 0.
+	return p
+}
+
+// rng is the package backoff randomizer. Seeded fixed so test runs are
+// reproducible; jitter only needs to decorrelate concurrent retriers,
+// not be unpredictable.
+var (
+	rngMu sync.Mutex
+	rng   = rand.New(rand.NewSource(0x5EED))
+)
+
+// Backoff returns the nth (0-based) backoff duration under p, jittered.
+func Backoff(p Policy, n int) time.Duration {
+	p = p.withDefaults()
+	d := p.Base << uint(n)
+	if d <= 0 || d > p.Cap {
+		d = p.Cap
+	}
+	if p.Jitter > 0 {
+		rngMu.Lock()
+		f := 1 - p.Jitter/2 + p.Jitter*rng.Float64()
+		rngMu.Unlock()
+		d = time.Duration(float64(d) * f)
+	}
+	if d < time.Microsecond {
+		d = time.Microsecond
+	}
+	return d
+}
+
+// Do runs fn under p, sleeping jittered exponential backoff on clock
+// between tries. retryable classifies errors: a non-retryable error
+// returns immediately; a retryable one is retried until attempts are
+// exhausted, in which case the last error is returned. A nil retryable
+// retries everything.
+func Do(clock obs.Clock, p Policy, retryable func(error) bool, fn func() error) error {
+	return DoUntil(clock, p, time.Time{}, retryable, fn)
+}
+
+// DoUntil is Do bounded by an absolute deadline: no backoff is entered
+// that would sleep past it, and once it has passed the last error is
+// returned rather than retried. A zero deadline means unbounded.
+func DoUntil(clock obs.Clock, p Policy, deadline time.Time, retryable func(error) bool, fn func() error) error {
+	p = p.withDefaults()
+	clock = obs.Or(clock)
+	var last error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if attempt > 0 {
+			d := Backoff(p, attempt-1)
+			if !deadline.IsZero() && clock.Until(deadline) <= d {
+				// The backoff would carry us to (or past) the deadline;
+				// a retry after it is worthless, so stop here.
+				return last
+			}
+			clock.Sleep(d)
+		}
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		if retryable != nil && !retryable(err) {
+			return err
+		}
+		last = err
+		if !deadline.IsZero() && clock.Until(deadline) <= 0 {
+			return last
+		}
+	}
+	return last
+}
+
+// DoValue is DoUntil for calls that return a value.
+func DoValue[T any](clock obs.Clock, p Policy, deadline time.Time, retryable func(error) bool, fn func() (T, error)) (T, error) {
+	var out T
+	err := DoUntil(clock, p, deadline, retryable, func() error {
+		v, err := fn()
+		if err == nil {
+			out = v
+		}
+		return err
+	})
+	return out, err
+}

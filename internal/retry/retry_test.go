@@ -1,0 +1,223 @@
+package retry
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestDoStopsOnFatal(t *testing.T) {
+	fatal := errors.New("verdict")
+	calls := 0
+	err := Do(obs.Wall, Policy{Attempts: 5, Base: time.Microsecond}, func(err error) bool { return false }, func() error {
+		calls++
+		return fatal
+	})
+	if !errors.Is(err, fatal) || calls != 1 {
+		t.Fatalf("want 1 call with fatal error, got calls=%d err=%v", calls, err)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	transient := errors.New("transient")
+	calls := 0
+	err := Do(obs.Wall, Policy{Attempts: 4, Base: time.Microsecond, Cap: time.Microsecond}, nil, func() error {
+		calls++
+		return transient
+	})
+	if !errors.Is(err, transient) || calls != 4 {
+		t.Fatalf("want 4 calls ending in transient, got calls=%d err=%v", calls, err)
+	}
+}
+
+func TestDoBacksOffOnFakeClock(t *testing.T) {
+	fc := obs.NewFakeClock(time.Unix(0, 0))
+	transient := errors.New("transient")
+	calls := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- Do(fc, Policy{Attempts: 3, Base: 10 * time.Millisecond, Cap: 40 * time.Millisecond, Jitter: -1}, nil, func() error {
+			calls++
+			if calls == 3 {
+				return nil
+			}
+			return transient
+		})
+	}()
+	// Two backoffs: 10ms then 20ms, no jitter.
+	for i, want := range []time.Duration{10 * time.Millisecond, 20 * time.Millisecond} {
+		waitSleepers(t, fc, 1)
+		if got := fc.NextWake().Sub(fc.Now()); got != want {
+			t.Fatalf("backoff %d: want %v got %v", i, want, got)
+		}
+		fc.Advance(want)
+	}
+	if err := <-done; err != nil || calls != 3 {
+		t.Fatalf("want success on 3rd call, got calls=%d err=%v", calls, err)
+	}
+}
+
+func TestDoUntilRespectsDeadline(t *testing.T) {
+	fc := obs.NewFakeClock(time.Unix(0, 0))
+	transient := errors.New("transient")
+	deadline := fc.Now().Add(15 * time.Millisecond)
+	calls := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- DoUntil(fc, Policy{Attempts: 10, Base: 10 * time.Millisecond, Jitter: -1}, deadline, nil, func() error {
+			calls++
+			return transient
+		})
+	}()
+	waitSleepers(t, fc, 1) // first backoff (10ms) fits before the deadline
+	fc.Advance(10 * time.Millisecond)
+	// The second backoff (20ms) would pass the 5ms remaining before the
+	// deadline, so DoUntil gives up instead of sleeping.
+	if err := <-done; !errors.Is(err, transient) {
+		t.Fatalf("want last transient error, got %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("deadline should stop after 2 calls, got %d", calls)
+	}
+}
+
+func waitSleepers(t *testing.T, fc *obs.FakeClock, n int) {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		if fc.Sleepers() >= n {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatalf("no sleeper appeared")
+}
+
+func TestBreakerTransitions(t *testing.T) {
+	fc := obs.NewFakeClock(time.Unix(0, 0))
+	reg := obs.NewRegistry()
+	br := NewBreaker(BreakerConfig{
+		Threshold: 3,
+		Cooldown:  time.Second,
+		Clock:     fc,
+		Opened:    reg.Counter("breaker.open"),
+		Probes:    reg.Counter("breaker.probes"),
+	})
+
+	// Closed: failures below threshold keep it closed.
+	br.OnFailure()
+	br.OnFailure()
+	if got := br.State(); got != "closed" {
+		t.Fatalf("after 2 failures want closed, got %s", got)
+	}
+	if err := br.Allow(); err != nil {
+		t.Fatalf("closed breaker must allow: %v", err)
+	}
+	// Third consecutive failure opens it.
+	br.OnFailure()
+	if got := br.State(); got != "open" {
+		t.Fatalf("after 3 failures want open, got %s", got)
+	}
+	if err := br.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker must refuse, got %v", err)
+	}
+	if got := reg.Counter("breaker.open").Value(); got != 1 {
+		t.Fatalf("breaker.open want 1 got %d", got)
+	}
+
+	// Cooldown elapses → half-open: exactly one probe allowed.
+	fc.Advance(time.Second)
+	if got := br.State(); got != "half-open" {
+		t.Fatalf("after cooldown want half-open, got %s", got)
+	}
+	if err := br.Allow(); err != nil {
+		t.Fatalf("half-open must allow one probe: %v", err)
+	}
+	if err := br.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second concurrent probe must be refused, got %v", err)
+	}
+	if got := reg.Counter("breaker.probes").Value(); got != 1 {
+		t.Fatalf("breaker.probes want 1 got %d", got)
+	}
+
+	// Failed probe re-opens a fresh cooldown.
+	br.OnFailure()
+	if got := br.State(); got != "open" {
+		t.Fatalf("failed probe must re-open, got %s", got)
+	}
+	fc.Advance(time.Second)
+	if err := br.Allow(); err != nil {
+		t.Fatalf("second probe after re-cooldown: %v", err)
+	}
+	// Successful probe closes the circuit and clears the failure run.
+	br.OnSuccess()
+	if got := br.State(); got != "closed" {
+		t.Fatalf("successful probe must close, got %s", got)
+	}
+	br.OnFailure()
+	br.OnFailure()
+	if got := br.State(); got != "closed" {
+		t.Fatalf("failure run must have been reset, got %s", got)
+	}
+}
+
+func TestBudgetCapsRetries(t *testing.T) {
+	b := NewBudget(2, 0.5)
+	if !b.Spend() || !b.Spend() {
+		t.Fatal("two tokens should be spendable")
+	}
+	if b.Spend() {
+		t.Fatal("third spend must fail on an empty budget")
+	}
+	b.OnSuccess() // +0.5 — still below one whole token
+	if b.Spend() {
+		t.Fatal("fractional token must not fund a retry")
+	}
+	b.OnSuccess() // 1.0
+	if !b.Spend() {
+		t.Fatal("refunded token should be spendable")
+	}
+}
+
+func TestGroupDoDestOpensAndProbes(t *testing.T) {
+	fc := obs.NewFakeClock(time.Unix(0, 0))
+	g := NewGroup(BreakerConfig{Threshold: 2, Cooldown: time.Second, Clock: fc})
+	boom := errors.New("down")
+	p := Policy{Attempts: 1}
+
+	// Two failing calls open the circuit.
+	for i := 0; i < 2; i++ {
+		if err := g.DoDest(fc, p, "dn-1", time.Time{}, nil, func() error { return boom }); !errors.Is(err, boom) {
+			t.Fatalf("call %d: want boom got %v", i, err)
+		}
+	}
+	// Third call is refused locally without invoking fn.
+	called := false
+	err := g.DoDest(fc, p, "dn-1", time.Time{}, func(error) bool { return false }, func() error { called = true; return nil })
+	if !errors.Is(err, ErrBreakerOpen) || called {
+		t.Fatalf("want local breaker refusal, got err=%v called=%v", err, called)
+	}
+	// Another destination is unaffected.
+	if err := g.DoDest(fc, p, "dn-2", time.Time{}, nil, func() error { return nil }); err != nil {
+		t.Fatalf("dn-2 must be independent: %v", err)
+	}
+	// After cooldown the probe goes through and closes the circuit.
+	fc.Advance(time.Second)
+	if err := g.DoDest(fc, p, "dn-1", time.Time{}, nil, func() error { return nil }); err != nil {
+		t.Fatalf("probe should succeed: %v", err)
+	}
+	if got := g.Breaker("dn-1").State(); got != "closed" {
+		t.Fatalf("want closed after successful probe, got %s", got)
+	}
+}
+
+func TestBackoffJitterBounded(t *testing.T) {
+	p := Policy{Base: 8 * time.Millisecond, Cap: time.Second, Jitter: 0.5}
+	for i := 0; i < 100; i++ {
+		d := Backoff(p, 0)
+		if d < 6*time.Millisecond || d > 10*time.Millisecond {
+			t.Fatalf("jittered backoff out of ±25%% band: %v", d)
+		}
+	}
+}

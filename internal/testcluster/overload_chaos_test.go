@@ -1,0 +1,170 @@
+package testcluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/simnet"
+)
+
+// TestChaosOverload drives a CN at roughly 10x its admission capacity
+// while one DN group's links are jitter-faulted, and asserts the
+// overload-protection stack holds: goodput does not collapse (admitted
+// statements keep completing), admitted-TP p99 stays bounded by the
+// statement deadline rather than growing with the queue, every failure
+// is a principled verdict (retryable ErrOverloaded or a deadline), and
+// no worker wedges. Run under -race by `make chaos-overload`.
+func TestChaosOverload(t *testing.T) {
+	const (
+		maxConcurrent = 8
+		workers       = 80 // ~10x offered load vs maxConcurrent
+		stmtTimeout   = 250 * time.Millisecond
+		loadWindow    = 2 * time.Second
+	)
+	tc := New(t, Opts{
+		DNGroups: 2,
+		Metrics:  true,
+		Configure: func(cfg *core.Config) {
+			cfg.StatementTimeout = stmtTimeout
+			cfg.Admission = &admission.Config{
+				MaxConcurrent: maxConcurrent,
+				MaxQueue:      4 * maxConcurrent,
+				MaxQueueWait:  20 * time.Millisecond,
+				TenantSlots:   6,
+			}
+		},
+	})
+	seed := tc.Session()
+	tc.MustExec(seed, `CREATE TABLE kv (id BIGINT, v BIGINT, PRIMARY KEY(id)) PARTITIONS 4`)
+	for i := 0; i < 400; i += 50 {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO kv (id, v) VALUES ")
+		for j := i; j < i+50; j++ {
+			if j > i {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d)", j, j*3)
+		}
+		tc.MustExec(seed, sb.String())
+	}
+	// Jitter-fault one DN group's leader after seeding: calls into it get
+	// up to 3ms of extra propagation delay each way.
+	dng0, err := tc.GMS.DNForShard("kv", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.Net.SetLinkFaults("*", dng0, simnet.LinkFaults{ExtraJitter: 3 * time.Millisecond})
+	tc.Net.SetLinkFaults(dng0, "*", simnet.LinkFaults{ExtraJitter: 3 * time.Millisecond})
+
+	var good, shed, deadlined atomic.Int64
+	ring := NewLatencyRing(256) // admitted-TP latencies
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := tc.Session()
+			if w%2 == 0 {
+				s.SetTenant("alpha")
+			} else {
+				s.SetTenant("beta")
+			}
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i++
+				var err error
+				start := time.Now()
+				if w%8 == 7 {
+					// AP traffic: first to brown out under pressure.
+					_, err = s.Execute("SELECT COUNT(*) FROM kv")
+				} else {
+					_, err = s.Execute(fmt.Sprintf("SELECT v FROM kv WHERE id = %d", (w*31+i)%400))
+				}
+				switch {
+				case err == nil:
+					good.Add(1)
+					if w%8 != 7 {
+						ring.Observe(time.Since(start))
+					}
+				case errors.Is(err, admission.ErrOverloaded):
+					// ErrOverloaded is the retryable verdict: back off like
+					// a well-behaved client before offering the load again.
+					shed.Add(1)
+					time.Sleep(5 * time.Millisecond)
+				case errors.Is(err, obs.ErrDeadlineExceeded):
+					deadlined.Add(1)
+					time.Sleep(5 * time.Millisecond)
+				default:
+					t.Errorf("worker %d: unprincipled failure under overload: %v", w, err)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(loadWindow)
+	close(stop)
+	joined := make(chan struct{})
+	go func() { wg.Wait(); close(joined) }()
+	select {
+	case <-joined:
+	case <-time.After(30 * time.Second):
+		t.Fatal("workers wedged: overload protection leaked a slot or a wait")
+	}
+
+	g, sh, dl := good.Load(), shed.Load(), deadlined.Load()
+	total := g + sh + dl
+	t.Logf("overload: good=%d shed=%d deadline=%d (shed fraction %.2f)", g, sh, dl, float64(sh+dl)/float64(total))
+	if g < 200 {
+		t.Fatalf("goodput collapsed: only %d statements completed", g)
+	}
+	if p99, ok := ring.P99(); ok {
+		// The whole point of deadlines + queue-wait shedding: admitted-TP
+		// tail latency is bounded near the statement timeout instead of
+		// growing with offered load.
+		if bound := 2 * stmtTimeout; p99 > bound {
+			t.Fatalf("admitted-TP p99 %v exceeds %v under 10x load", p99, bound)
+		}
+		t.Logf("admitted-TP p99 = %v", p99)
+	} else {
+		t.Fatal("not enough admitted TP samples for a p99")
+	}
+
+	// Defaults-off equivalence: the same shape with admission and
+	// deadlines unset never sheds — the legacy unbounded path.
+	t.Run("DefaultsOff", func(t *testing.T) {
+		tc2 := New(t, Opts{DNGroups: 2})
+		s := tc2.Session()
+		tc2.MustExec(s, `CREATE TABLE kv (id BIGINT, v BIGINT, PRIMARY KEY(id)) PARTITIONS 4`)
+		tc2.MustExec(s, `INSERT INTO kv (id, v) VALUES (1, 2), (3, 4)`)
+		var wg2 sync.WaitGroup
+		for w := 0; w < 24; w++ {
+			wg2.Add(1)
+			go func() {
+				defer wg2.Done()
+				sess := tc2.Session()
+				for i := 0; i < 20; i++ {
+					if _, err := sess.Execute("SELECT v FROM kv WHERE id = 1"); err != nil {
+						t.Errorf("defaults-off shed or failed: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		wg2.Wait()
+	})
+}

@@ -131,6 +131,31 @@ type Tx struct {
 	// Atomic so a statement can attach its trace mid-transaction without
 	// racing in-flight RPCs.
 	trace atomic.Pointer[traceCtx]
+
+	// deadline is the current statement's absolute deadline (zero =
+	// none). Atomic for the same reason as trace: a statement sets it
+	// while earlier branch RPCs may still be settling.
+	deadline atomic.Pointer[time.Time]
+}
+
+// SetDeadline installs (or with a zero time clears) the statement
+// deadline bounding every subsequent branch RPC and durability wait of
+// this transaction. The deadline rides each request to the DN as RPC
+// metadata (dn.WithDeadline) and bounds the local retry ladders.
+func (t *Tx) SetDeadline(d time.Time) {
+	if d.IsZero() {
+		t.deadline.Store(nil)
+		return
+	}
+	t.deadline.Store(&d)
+}
+
+// Deadline returns the current statement deadline (zero = none).
+func (t *Tx) Deadline() time.Time {
+	if p := t.deadline.Load(); p != nil {
+		return *p
+	}
+	return time.Time{}
 }
 
 // traceCtx pairs a trace with the span new Tx spans should nest under.
@@ -162,10 +187,13 @@ func (t *Tx) spanUnder(parent *obs.Span, name string) *obs.Span {
 	return tc.tr.StartSpan(parent, name)
 }
 
-// call issues one branch RPC as a timed span.
+// call issues one branch RPC as a timed span, bounded by the statement
+// deadline when one is set (expired before sending → immediate refusal;
+// the deadline also rides the request as metadata so the DN refuses
+// expired work and bounds its durability waits).
 func (t *Tx) call(spanName, dnName string, msg any) (any, error) {
 	s := t.spanUnder(nil, spanName+" dn="+dnName)
-	reply, err := t.coord.net.Call(t.coord.self, dnName, msg)
+	reply, err := t.coord.callUntil(dnName, msg, t.Deadline())
 	if err != nil {
 		s.Annotate("err=%v", err)
 	}
@@ -173,11 +201,25 @@ func (t *Tx) call(spanName, dnName string, msg any) (any, error) {
 	return reply, err
 }
 
+// callUntil issues one RPC bounded by deadline; a zero deadline is the
+// legacy unbounded Call, byte for byte.
+func (c *Coordinator) callUntil(to string, msg any, deadline time.Time) (any, error) {
+	if deadline.IsZero() {
+		return c.net.Call(c.self, to, msg)
+	}
+	left := c.clock.Until(deadline)
+	if left <= 0 {
+		return nil, fmt.Errorf("txn: call %s: %w", to, obs.ErrDeadlineExceeded)
+	}
+	res, err := c.net.CallTimeout(c.self, to, dn.WithDeadline(msg, deadline), left)
+	return res, c.deadlineVerdict(to, err, deadline)
+}
+
 // callRetryTraced is callRetry as a timed span under parent — the 2PC
 // phases use it so prepare/commit-point/commit render per DN.
 func (t *Tx) callRetryTraced(parent *obs.Span, spanName, to string, msg any) (any, error) {
 	s := t.spanUnder(parent, spanName+" dn="+to)
-	reply, err := t.coord.callRetry(to, msg)
+	reply, err := t.coord.callRetryUntil(to, msg, t.Deadline())
 	if err != nil {
 		s.Annotate("err=%v", err)
 	}
@@ -488,7 +530,7 @@ func (t *Tx) commit(cs *obs.Span) (hlc.Timestamp, error) {
 		reply, err := t.callRetryTraced(cs, "commit-1pc", writers[0],
 			dn.CommitReq{TxnID: t.ID, CommitTS: commitTS})
 		if err != nil {
-			if Retryable(err) {
+			if inDoubt(err) {
 				// The lone branch may or may not have committed; its DN
 				// settles it (the commit either completed durably or the
 				// branch expires to abort).
@@ -559,10 +601,12 @@ func (t *Tx) commit(cs *obs.Span) (hlc.Timestamp, error) {
 	reply, err := t.callRetryTraced(cs, "commit-point", primary,
 		dn.CommitReq{TxnID: t.ID, CommitTS: commitTS, CommitPoint: true})
 	if err != nil {
-		if Retryable(err) {
-			// Unknown whether the commit point landed. Aborting now could
-			// contradict a durable COMMIT decision — hands off; branches
-			// stay PREPARED and recovery resolves them.
+		if inDoubt(err) {
+			// Unknown whether the commit point landed (deadline expiry is
+			// the same unknown: the RPC may have been decided DN-side
+			// before the statement gave up). Aborting now could contradict
+			// a durable COMMIT decision — hands off; branches stay
+			// PREPARED and recovery resolves them.
 			return 0, fmt.Errorf("%w: commit point on %s: %v", ErrInDoubt, primary, err)
 		}
 		// Handler verdict (e.g. a resolver's presumed-abort tombstone

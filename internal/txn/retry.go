@@ -2,22 +2,25 @@ package txn
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
+	"repro/internal/dn"
+	"repro/internal/obs"
+	"repro/internal/retry"
 	"repro/internal/simnet"
 )
 
-// RetryPolicy bounds retry-with-backoff on coordinator control RPCs.
-type RetryPolicy struct {
-	Attempts int           // total tries (first call included)
-	Base     time.Duration // first backoff
-	Cap      time.Duration // backoff ceiling
-}
-
 // defaultRetry is tuned for the simulated fabric: three tries spaced
 // 2ms/4ms rides out a dropped message without adding meaningful latency
-// to a genuinely failed call.
-var defaultRetry = RetryPolicy{Attempts: 3, Base: 2 * time.Millisecond, Cap: 50 * time.Millisecond}
+// to a genuinely failed call. Jitter is off so FakeClock-driven chaos
+// tests keep their exact backoff schedule.
+var defaultRetry = retry.Policy{
+	Attempts: 3,
+	Base:     2 * time.Millisecond,
+	Cap:      50 * time.Millisecond,
+	Jitter:   -1,
+}
 
 // Retryable classifies an RPC error: transport-level failures (timeout,
 // partition, peer down) may heal and are worth retrying; anything else
@@ -29,28 +32,53 @@ func Retryable(err error) bool {
 		errors.Is(err, simnet.ErrEndpointDown)
 }
 
+// inDoubt classifies a failed commit/commit-point RPC whose outcome is
+// unknown: transport failures (the reply may have been lost after the
+// DN decided) and deadline expiry (the call may have landed before the
+// statement gave up). Both forbid aborting; recovery resolves them.
+func inDoubt(err error) bool {
+	return Retryable(err) || errors.Is(err, obs.ErrDeadlineExceeded)
+}
+
 // callRetry issues a Call under the default retry policy. It returns the
 // first fatal (non-retryable) error immediately, or the last transport
 // error once attempts are exhausted — in which case the outcome of the
 // final attempt is genuinely unknown to the caller.
 func (c *Coordinator) callRetry(to string, msg any) (any, error) {
-	var last error
-	backoff := defaultRetry.Base
-	for attempt := 0; attempt < defaultRetry.Attempts; attempt++ {
-		if attempt > 0 {
-			c.clock.Sleep(backoff)
-			if backoff *= 2; backoff > defaultRetry.Cap {
-				backoff = defaultRetry.Cap
-			}
+	return c.callRetryUntil(to, msg, time.Time{})
+}
+
+// callRetryUntil is callRetry bounded by a statement deadline: each
+// attempt uses the remaining time as its transport timeout, the
+// deadline rides the request as metadata (dn.WithDeadline), and the
+// backoff ladder stops rather than sleeping past the deadline. A zero
+// deadline keeps the legacy unbounded behavior exactly.
+func (c *Coordinator) callRetryUntil(to string, msg any, deadline time.Time) (any, error) {
+	res, err := retry.DoValue(c.clock, defaultRetry, deadline, Retryable, func() (any, error) {
+		if deadline.IsZero() {
+			return c.net.Call(c.self, to, msg)
 		}
-		reply, err := c.net.Call(c.self, to, msg)
-		if err == nil {
-			return reply, nil
+		left := c.clock.Until(deadline)
+		if left <= 0 {
+			return nil, fmt.Errorf("txn: call %s: %w", to, obs.ErrDeadlineExceeded)
 		}
-		if !Retryable(err) {
-			return nil, err
-		}
-		last = err
+		return c.net.CallTimeout(c.self, to, dn.WithDeadline(msg, deadline), left)
+	})
+	return res, c.deadlineVerdict(to, err, deadline)
+}
+
+// deadlineVerdict reclassifies a transport failure whose real cause was
+// the statement deadline: CallTimeout was given only the remaining
+// time, so its ErrTimeout at an expired deadline IS the deadline
+// verdict, and surfacing it as a generic transport fault would make the
+// statement look retryable when its time budget is gone. The transport
+// error is kept in the message for diagnosis.
+func (c *Coordinator) deadlineVerdict(to string, err error, deadline time.Time) error {
+	if err == nil || deadline.IsZero() || !Retryable(err) {
+		return err
 	}
-	return nil, last
+	if c.clock.Until(deadline) > 0 {
+		return err
+	}
+	return fmt.Errorf("txn: call %s: %w (transport: %v)", to, obs.ErrDeadlineExceeded, err)
 }
