@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race chaos chaos-autopilot chaos-overload bench-fig7 bench-fig10 bench-commit bench-compress bench-overload trace-demo
+.PHONY: build vet test test-short test-race chaos chaos-autopilot chaos-overload chaos-frontdoor bench-fig7 bench-fig10 bench-commit bench-compress bench-overload bench-frontdoor trace-demo
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ test: vet chaos
 # itself, the 2PC crash-window tests, the cluster-level recovery-loop
 # tests, and Paxos failover on a lossy link. Seeds are fixed inside
 # the tests, so failures reproduce deterministically.
-chaos: chaos-autopilot chaos-overload
+chaos: chaos-autopilot chaos-overload chaos-frontdoor
 	$(GO) test -race ./internal/simnet/
 	$(GO) test -race -run 'Chaos|CoordinatorCrash|PartitionedPrimary|DuplicatedCommitPoint|LossyLinks|Pipeline|GroupCommit' \
 		./internal/txn/ ./internal/core/ ./internal/paxos/
@@ -29,6 +29,17 @@ chaos-overload:
 	$(GO) test -race ./internal/admission/ ./internal/retry/
 	$(GO) test -race -run 'TestAdmission|TestStatementTimeout' ./internal/core/
 	$(GO) test -race -run 'TestChaosOverload' -v ./internal/testcluster/
+
+# Front-door suite under the race detector: the wire-protocol and
+# server unit tests, the session-busy / prepared-epoch / slow-query-
+# ring regression tests, and the 10,000-connection chaos scenario —
+# jittered links, a mid-round DN leader kill, goodput floors per
+# round, principled-error-only failures, a deadline-bounded admitted
+# tail, and zero per-connection server state after the fleet closes.
+chaos-frontdoor:
+	$(GO) test -race ./internal/srv/
+	$(GO) test -race -run 'TestSession|TestPrepared|TestSlowQuery|TestPerTenant' ./internal/core/
+	$(GO) test -race -run 'TestChaosFrontdoor' -v ./internal/testcluster/
 
 # Elastic-autopilot convergence suite: a moving hotspot under sustained
 # sysbench traffic with drop/dup/jitter link faults and a mid-migration
@@ -89,6 +100,15 @@ bench-compress:
 # BENCH_overload.json as the standing record.
 bench-overload:
 	$(GO) run ./cmd/polardbx-bench -exp overload -overload-out BENCH_overload.json
+
+# Front-door connection ramp: 100 / 1,000 / 10,000 wire connections
+# multiplexed onto a fixed CN pool, each with a prepared point select,
+# paced by a think time with jittered exponential backoff on shed.
+# Goodput at 10k must hold within 10% of the 1k plateau and the
+# admitted p99 must stay bounded by the statement deadline; writes
+# BENCH_frontdoor.json as the standing record.
+bench-frontdoor:
+	$(GO) run ./cmd/polardbx-bench -exp frontdoor -frontdoor-out BENCH_frontdoor.json
 
 # End-to-end observability demo: span trees for a fan-out read and a
 # 2PC write, EXPLAIN ANALYZE, the slow-query log, and a metrics

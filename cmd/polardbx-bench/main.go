@@ -13,6 +13,7 @@
 //	polardbx-bench -exp commit         # group-commit + pipelined Paxos sweep
 //	polardbx-bench -exp compress       # encoded columns + WAL/chunk compression
 //	polardbx-bench -exp overload       # admission + deadlines at 1x/5x/10x load
+//	polardbx-bench -exp frontdoor      # wire server ramp: 100/1k/10k connections
 package main
 
 import (
@@ -27,11 +28,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig7, fig8, fig9, fig10, commit, compress, overload")
+	exp := flag.String("exp", "all", "experiment: all, fig7, fig8, fig9, fig10, commit, compress, overload, frontdoor")
 	quick := flag.Bool("quick", false, "reduced scale (faster, noisier)")
 	commitOut := flag.String("commit-out", "", "write the commit sweep as JSON to this path")
 	compressOut := flag.String("compress-out", "", "write the compression experiment as JSON to this path")
 	overloadOut := flag.String("overload-out", "", "write the overload sweep as JSON to this path")
+	frontdoorOut := flag.String("frontdoor-out", "", "write the front-door ramp as JSON to this path")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -171,8 +173,29 @@ func main() {
 			return nil
 		})
 	}
-	if !want("fig7") && !want("fig8") && !want("fig9") && !want("fig10") && !want("commit") && !want("compress") && !want("overload") {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, fig7, fig8, fig9, fig10, commit, compress, overload)\n", *exp)
+	if want("frontdoor") {
+		run("Front door: wire server connection ramp, 100/1k/10k sessions", func() error {
+			opts := bench.FrontDoorOptions{}
+			if *quick {
+				opts = bench.FrontDoorOptions{Connections: []int{100, 1000},
+					Window: time.Second, Settle: time.Second}
+			}
+			res, err := bench.RunFrontDoor(opts)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			if *frontdoorOut != "" {
+				if err := res.WriteJSON(*frontdoorOut); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *frontdoorOut)
+			}
+			return nil
+		})
+	}
+	if !want("fig7") && !want("fig8") && !want("fig9") && !want("fig10") && !want("commit") && !want("compress") && !want("overload") && !want("frontdoor") {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, fig7, fig8, fig9, fig10, commit, compress, overload, frontdoor)\n", *exp)
 		os.Exit(2)
 	}
 }

@@ -84,6 +84,14 @@ func main() {
 		execute(session, stmtText)
 		prompt()
 	}
+	// Scan returns false on EOF *and* on read errors — including a line
+	// exceeding the 1 MiB buffer. Silently exiting 0 on those made input
+	// truncation indistinguishable from a clean quit; report and fail.
+	if err := scanner.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "polardbx-sql: input error:", err)
+		cluster.Stop()
+		os.Exit(1)
+	}
 }
 
 func execute(session *core.Session, stmtText string) {

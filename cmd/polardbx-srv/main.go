@@ -1,0 +1,85 @@
+// Command polardbx-srv is the cluster front door: it boots an embedded
+// PolarDB-X deployment (same topology flags as polardbx-sql) and serves
+// the wire protocol over TCP. Each client connection gets its own
+// session on a round-robin CN; running statements are bounded by the
+// cluster's admission controller, so tens of thousands of mostly idle
+// connections are cheap.
+//
+//	polardbx-srv                         # listen on 127.0.0.1:8527
+//	polardbx-srv -listen :9000 -dn 4     # custom port, 4 DN groups
+//	polardbx-srv -max-conns 50000        # connection ceiling
+//
+// Clients speak length-prefixed frames (see internal/srv): HELLO with
+// tenant + statement timeout, then QUERY / PREPARE / EXECUTE / CLOSE.
+// The Go client lives in internal/srv (srv.Dial).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/srv"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8527", "TCP listen address")
+	dcs := flag.Int("dcs", 1, "datacenters")
+	multidc := flag.Bool("multidc", false, "replicate DN groups across DCs via Paxos")
+	dnGroups := flag.Int("dn", 2, "DN groups")
+	cns := flag.Int("cn", 2, "CNs per DC")
+	ros := flag.Int("ros", 0, "RO replicas per DN group")
+	oracle := flag.String("oracle", "hlc-si", "timestamp oracle: hlc-si or tso-si")
+	maxConns := flag.Int("max-conns", 0, "max open client connections (0 = unlimited)")
+	maxStmts := flag.Int("max-stmts", 64, "max concurrently running statements (admission bound)")
+	flag.Parse()
+
+	cluster, err := core.NewCluster(core.Config{
+		DCs: *dcs, MultiDC: *multidc, DNGroups: *dnGroups,
+		CNsPerDC: *cns, ROsPerDN: *ros,
+		Oracle: core.OracleKind(*oracle),
+		Admission: &admission.Config{
+			MaxConcurrent: *maxStmts,
+			MaxQueue:      4 * *maxStmts,
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer cluster.Stop()
+
+	if *ros > 0 {
+		if err := cluster.EnableAPReplicas(*ros); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	server := srv.NewServer(cluster, srv.Options{MaxConns: *maxConns})
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		server.Close()
+		l.Close()
+	}()
+
+	fmt.Printf("polardbx-srv: listening on %s (%d DC(s), %d DN group(s), %d CN(s)/DC, %d running-statement slots)\n",
+		l.Addr(), *dcs, *dnGroups, *cns, *maxStmts)
+	if err := server.Serve(l); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -138,6 +138,17 @@ func (c *Controller) Inflight() int {
 	return c.inflight
 }
 
+// TenantCount reports tenants currently holding at least one slot. The
+// per-tenant map is transient state — entries are deleted on release —
+// so with no statements in flight this is always 0, regardless of how
+// many distinct tenants have ever passed through (the 10k-session soak
+// guards this: one tenant per simulated app must not grow CN memory).
+func (c *Controller) TenantCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.tenants)
+}
+
 // Queued reports currently parked waiters (tests, snapshots).
 func (c *Controller) Queued() int {
 	c.mu.Lock()

@@ -226,9 +226,16 @@ type Cluster struct {
 
 	// metrics is the cluster metrics registry; nil unless Config.Metrics.
 	metrics *obs.Registry
-	// slowMu guards slowQueries, the bounded in-memory slow-query log.
+	// slowMu guards the bounded in-memory slow-query log, kept as a ring:
+	// slowQueries fills to slowQueryLogCap, then slowHead marks the oldest
+	// entry and new entries overwrite in place. The earlier
+	// shift-left-on-append version was O(cap) memmove per slow statement
+	// under the log lock — with thousands of sessions crossing the
+	// threshold at once (a jittered DN group), the log itself became a
+	// contention wall.
 	slowMu      sync.Mutex
 	slowQueries []SlowQuery
+	slowHead    int
 
 	seq uint32
 }
@@ -246,11 +253,15 @@ const slowQueryLogCap = 256
 
 // noteSlowQuery records a statement that crossed the slow threshold.
 func (c *Cluster) noteSlowQuery(query string, d time.Duration, cnName string) {
+	entry := SlowQuery{SQL: query, Duration: d, CN: cnName}
 	c.slowMu.Lock()
-	if len(c.slowQueries) >= slowQueryLogCap {
-		c.slowQueries = append(c.slowQueries[:0], c.slowQueries[1:]...)
+	if len(c.slowQueries) < slowQueryLogCap {
+		c.slowQueries = append(c.slowQueries, entry)
+	} else {
+		// Full: overwrite the oldest slot and advance the ring head.
+		c.slowQueries[c.slowHead] = entry
+		c.slowHead = (c.slowHead + 1) % slowQueryLogCap
 	}
-	c.slowQueries = append(c.slowQueries, SlowQuery{SQL: query, Duration: d, CN: cnName})
 	c.slowMu.Unlock()
 	if fn := c.cfg.OnSlowQuery; fn != nil {
 		fn(query, d)
@@ -261,7 +272,10 @@ func (c *Cluster) noteSlowQuery(query string, d time.Duration, cnName string) {
 func (c *Cluster) SlowQueries() []SlowQuery {
 	c.slowMu.Lock()
 	defer c.slowMu.Unlock()
-	return append([]SlowQuery(nil), c.slowQueries...)
+	out := make([]SlowQuery, 0, len(c.slowQueries))
+	out = append(out, c.slowQueries[c.slowHead:]...)
+	out = append(out, c.slowQueries[:c.slowHead]...)
+	return out
 }
 
 // Metrics exposes the cluster registry (nil unless Config.Metrics).
@@ -476,12 +490,11 @@ func (c *Cluster) addCN(dc simnet.DC) *CN {
 		oracle = txn.NewHLCOracle(hlc.NewClock(nil))
 	}
 	cn := &CN{
-		name:        name,
-		dc:          dc,
-		cluster:     c,
-		coord:       txn.NewCoordinator(c.Net, name, oracle),
-		sched:       htap.NewScheduler(c.cfg.SchedulerCfg),
-		colIdxCache: make(map[string]colIdxAnswer),
+		name:    name,
+		dc:      dc,
+		cluster: c,
+		coord:   txn.NewCoordinator(c.Net, name, oracle),
+		sched:   htap.NewScheduler(c.cfg.SchedulerCfg),
 	}
 	if !c.cfg.PlanCacheOff {
 		cn.planCache = optimizer.NewPlanCache(0)

@@ -55,10 +55,12 @@ type CN struct {
 	mPCHit, mPCMiss *obs.Counter
 	// colIdxCache memoizes hasColumnIndex per table: the raw lookup walks
 	// every DN, RO and shard under the cluster mutex, which is far too
-	// expensive to repeat on every SELECT plan. Entries are keyed by the
-	// cluster plan epoch, so any DDL or routing change invalidates them.
-	colIdxMu    sync.Mutex
-	colIdxCache map[string]colIdxAnswer
+	// expensive to repeat on every SELECT plan. Entries (colIdxAnswer,
+	// keyed by table name) carry the cluster plan epoch, so any DDL or
+	// routing change invalidates them. A sync.Map rather than a mutexed
+	// map: every SELECT on the CN consults it, and at front-door session
+	// counts a single mutex here was a measurable contention wall.
+	colIdxCache sync.Map
 }
 
 // colIdxAnswer is one memoized hasColumnIndex result.
@@ -81,16 +83,13 @@ func (cn *CN) Scheduler() *htap.Scheduler { return cn.sched }
 // and invalidated by the cluster plan epoch.
 func (cn *CN) hasColumnIndex(table string) bool {
 	epoch := cn.cluster.planEpoch()
-	cn.colIdxMu.Lock()
-	if a, ok := cn.colIdxCache[table]; ok && a.epoch == epoch {
-		cn.colIdxMu.Unlock()
-		return a.has
+	if v, ok := cn.colIdxCache.Load(table); ok {
+		if a := v.(colIdxAnswer); a.epoch == epoch {
+			return a.has
+		}
 	}
-	cn.colIdxMu.Unlock()
 	has := cn.lookupColumnIndex(table)
-	cn.colIdxMu.Lock()
-	cn.colIdxCache[table] = colIdxAnswer{epoch: epoch, has: has}
-	cn.colIdxMu.Unlock()
+	cn.colIdxCache.Store(table, colIdxAnswer{epoch: epoch, has: has})
 	return has
 }
 
@@ -200,7 +199,32 @@ type Session struct {
 	// when deadlines are off); set by Execute, read by every layer the
 	// statement touches via deadline().
 	curDeadline time.Time
+	// inflight guards against concurrent statements on one session. The
+	// old behavior — silently serializing on mu — charged the second
+	// caller's queue time against its own statement deadline, invisibly.
+	// Now the overlap is detected up front and reported as the retryable
+	// ErrSessionBusy; the wire server gives each connection its own
+	// session, so a slow statement can never wedge another connection.
+	inflight atomic.Bool
 }
+
+// ErrSessionBusy reports concurrent use of one session: a statement was
+// submitted while another was still executing. It is retryable — the
+// session is healthy, the caller simply must wait for (or not overlap
+// with) the in-flight statement. Sessions are single-statement by
+// design; concurrency belongs at the connection level.
+var ErrSessionBusy = errors.New("core: session busy: a statement is already executing (retryable)")
+
+// beginStmt claims the session's single statement slot.
+func (s *Session) beginStmt() error {
+	if !s.inflight.CompareAndSwap(false, true) {
+		return ErrSessionBusy
+	}
+	return nil
+}
+
+// endStmt releases the slot claimed by beginStmt.
+func (s *Session) endStmt() { s.inflight.Store(false) }
 
 // SetTenant tags the session for per-tenant admission quotas.
 func (s *Session) SetTenant(name string) {
@@ -413,8 +437,24 @@ func (s *Session) txnFor() (tx *txn.Tx, done func(error) error, err error) {
 	}, nil
 }
 
-// Execute parses and runs one SQL statement.
+// Execute parses and runs one SQL statement. Submitting a statement
+// while another is still executing on the same session fails fast with
+// ErrSessionBusy.
 func (s *Session) Execute(query string) (*Result, error) {
+	if err := s.beginStmt(); err != nil {
+		return nil, err
+	}
+	defer s.endStmt()
+	return s.run(query, nil)
+}
+
+// run is the statement pipeline shared by Execute and Prepared.Execute:
+// traffic control, deadline arming, tracing, dispatch (with the
+// auto-commit retry ladders) and slow-query logging. stmt, when non-nil,
+// is the pre-parsed statement to run; query is always the statement text
+// (traffic fingerprinting, traces and the slow-query log key on it). The
+// caller must hold the session's statement slot (beginStmt).
+func (s *Session) run(query string, stmt sql.Statement) (*Result, error) {
 	if tc := s.cn.traffic; tc != nil {
 		ok, release := tc.Admit(hotspot.Fingerprint(query))
 		if !ok {
@@ -449,7 +489,7 @@ func (s *Session) Execute(query string) (*Result, error) {
 	if tr != nil || cfg.SlowQueryThreshold > 0 {
 		start = time.Now()
 	}
-	res, err := s.executeParsed(query)
+	res, err := s.executeParsed(query, stmt)
 	if tr != nil {
 		tr.End()
 		s.mu.Lock()
@@ -468,14 +508,17 @@ func (s *Session) Execute(query string) (*Result, error) {
 	return res, err
 }
 
-// executeParsed is Execute minus admission control and observability:
-// parse, dispatch, and the one-shot retry after a leader failover.
-func (s *Session) executeParsed(query string) (*Result, error) {
-	stmt, err := sql.Parse(query)
-	if err != nil {
-		return nil, err
+// executeParsed is run minus observability: parse (unless the caller
+// already did), dispatch, and the auto-commit retry ladders.
+func (s *Session) executeParsed(query string, stmt sql.Statement) (*Result, error) {
+	if stmt == nil {
+		var err error
+		stmt, err = sql.Parse(query)
+		if err != nil {
+			return nil, err
+		}
 	}
-	res, err := s.ExecuteStmt(stmt)
+	res, err := s.executeStmt(stmt)
 	if err != nil && !s.InTxn() && isLeaderFailure(err) {
 		// The routed DN leader crashed. GMS health-checks the groups,
 		// repoints routing at the newly elected leaders, and the
@@ -487,7 +530,7 @@ func (s *Session) executeParsed(query string) (*Result, error) {
 		res, err = retry.DoValue(obs.Wall, leaderRetry, s.deadline(), isLeaderFailure,
 			func() (*Result, error) {
 				s.cn.cluster.HealDNRouting()
-				return s.ExecuteStmt(stmt)
+				return s.executeStmt(stmt)
 			})
 	}
 	if err != nil && !s.InTxn() && errors.Is(err, gms.ErrShardMoving) {
@@ -499,7 +542,7 @@ func (s *Session) executeParsed(query string) (*Result, error) {
 		// short.
 		res, err = retry.DoValue(obs.Wall, shardMoveRetry, s.deadline(),
 			func(e error) bool { return errors.Is(e, gms.ErrShardMoving) },
-			func() (*Result, error) { return s.ExecuteStmt(stmt) })
+			func() (*Result, error) { return s.executeStmt(stmt) })
 	}
 	return res, err
 }
@@ -522,10 +565,22 @@ func isLeaderFailure(err error) bool {
 		errors.Is(err, simnet.ErrPartitioned)
 }
 
-// ExecuteStmt runs a parsed statement. DML takes its admission slot
-// here (class TP auto-commit or TP in-txn); SELECTs admit inside
-// runPlan, where the optimizer has already decided TP vs AP.
+// ExecuteStmt runs a pre-built statement AST directly (the workload
+// drivers' prepared-statement-style path), without deadline arming or
+// the retry ladders. Like Execute it claims the session's statement
+// slot, failing fast with ErrSessionBusy on concurrent use.
 func (s *Session) ExecuteStmt(stmt sql.Statement) (*Result, error) {
+	if err := s.beginStmt(); err != nil {
+		return nil, err
+	}
+	defer s.endStmt()
+	return s.executeStmt(stmt)
+}
+
+// executeStmt dispatches a parsed statement. DML takes its admission
+// slot here (class TP auto-commit or TP in-txn); SELECTs admit inside
+// runPlan, where the optimizer has already decided TP vs AP.
+func (s *Session) executeStmt(stmt sql.Statement) (*Result, error) {
 	switch stmt.(type) {
 	case *sql.Insert, *sql.Update, *sql.Delete:
 		release, err := s.admit(false)

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// Prepared-statement errors.
+var (
+	// ErrStmtClosed reports use of a prepared handle after Close.
+	ErrStmtClosed = errors.New("core: prepared statement is closed")
+)
+
+// Prepared is a server-side prepared statement: a parsed AST whose '?'
+// placeholders are bound positionally on each Execute. It is bound to
+// the session's CN plan cache through the ordinary fingerprint path, so
+// repeated executions reuse a cached plan skeleton, and epoch
+// invalidation comes for free: any DDL or routing change bumps the
+// cluster plan epoch, the cached skeleton misses on its epoch key, and
+// the next Execute re-plans transparently — a stale handle can go slow
+// for one statement, never wrong.
+//
+// A Prepared is owned by its Session and shares its single-statement
+// slot: concurrent Execute calls on one session (through any mix of
+// handles and plain queries) fail fast with ErrSessionBusy.
+type Prepared struct {
+	s    *Session
+	text string
+	stmt sql.Statement
+	// params are the placeholder literals in textual order; Execute
+	// overwrites their values in place before dispatch.
+	params []*sql.Literal
+	// reparse marks statements containing subqueries: execution rewrites
+	// those into literal lists in place, so the AST cannot be reused and
+	// each Execute parses fresh from text.
+	reparse bool
+	closed  atomic.Bool
+}
+
+// Prepare parses a statement with '?' placeholders into a reusable
+// handle. Only executable statements (SELECT / INSERT / UPDATE / DELETE)
+// can be prepared; DDL runs through Execute.
+func (s *Session) Prepare(query string) (*Prepared, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	switch stmt.(type) {
+	case *sql.Select, *sql.Insert, *sql.Update, *sql.Delete:
+	default:
+		return nil, fmt.Errorf("core: cannot prepare %T (only SELECT/INSERT/UPDATE/DELETE)", stmt)
+	}
+	return &Prepared{
+		s:       s,
+		text:    query,
+		stmt:    stmt,
+		params:  sql.Params(stmt),
+		reparse: sql.HasSubquery(stmt),
+	}, nil
+}
+
+// NumParams returns the number of '?' placeholders.
+func (p *Prepared) NumParams() int { return len(p.params) }
+
+// Text returns the statement text the handle was prepared from.
+func (p *Prepared) Text() string { return p.text }
+
+// Execute binds args to the placeholders in order and runs the
+// statement through the full session pipeline (deadline arming, retry
+// ladders, tracing, slow-query logging) — exactly like Execute, minus
+// the parse.
+func (p *Prepared) Execute(args ...types.Value) (*Result, error) {
+	if p.closed.Load() {
+		return nil, ErrStmtClosed
+	}
+	if len(args) != len(p.params) {
+		return nil, fmt.Errorf("core: prepared statement wants %d parameter(s), got %d",
+			len(p.params), len(args))
+	}
+	if err := p.s.beginStmt(); err != nil {
+		return nil, err
+	}
+	defer p.s.endStmt()
+	stmt, params := p.stmt, p.params
+	if p.reparse {
+		var err error
+		stmt, err = sql.Parse(p.text)
+		if err != nil {
+			return nil, err
+		}
+		params = sql.Params(stmt)
+	}
+	for i, lit := range params {
+		lit.Val = args[i]
+	}
+	return p.s.run(p.text, stmt)
+}
+
+// Close releases the handle. Double close returns ErrStmtClosed; the
+// wire server maps that to a clean protocol error rather than a panic.
+func (p *Prepared) Close() error {
+	if !p.closed.CompareAndSwap(false, true) {
+		return ErrStmtClosed
+	}
+	return nil
+}

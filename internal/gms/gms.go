@@ -67,8 +67,13 @@ type TableGroup struct {
 }
 
 // GMS is the control plane.
+//
+// Locking: catalog mutations take the write lock; the hot read paths CNs
+// hit per statement (DNForShard, Table, RecordLoad) only take the read
+// lock, so routing lookups from thousands of concurrent sessions never
+// serialize on each other — only against (rare) DDL and migration steps.
 type GMS struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	tables  map[string]*partition.Table
 	groups  map[string]*TableGroup
 	dns     map[string]*DNInfo
@@ -77,7 +82,9 @@ type GMS struct {
 	nextID  uint32
 
 	// shardLoad tracks request counts per (table, shard) for hotspot
-	// detection and balance planning.
+	// detection and balance planning. Slices are sized at CreateTable and
+	// never resized; entries are bumped atomically under the read lock so
+	// per-statement load reporting doesn't contend.
 	shardLoad map[string][]int64
 
 	// moving fences (group, shard) pairs whose final migration phase is in
@@ -175,8 +182,8 @@ func (g *GMS) RegisterCN(name string, dc simnet.DC) {
 
 // DNs lists registered DN groups in registration order.
 func (g *GMS) DNs() []DNInfo {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	out := make([]DNInfo, 0, len(g.dnOrder))
 	for _, n := range g.dnOrder {
 		out = append(out, *g.dns[n])
@@ -186,8 +193,8 @@ func (g *GMS) DNs() []DNInfo {
 
 // CNs lists registered CNs.
 func (g *GMS) CNs() []CNInfo {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	out := make([]CNInfo, 0, len(g.cns))
 	for _, c := range g.cns {
 		out = append(out, *c)
@@ -266,8 +273,8 @@ func (g *GMS) AddGlobalIndex(table, index string, cols []string, clustered bool)
 
 // Table resolves a logical table.
 func (g *GMS) Table(name string) (*partition.Table, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	t, ok := g.tables[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownTable, name)
@@ -277,8 +284,8 @@ func (g *GMS) Table(name string) (*partition.Table, error) {
 
 // Tables lists all logical tables sorted by name.
 func (g *GMS) Tables() []*partition.Table {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	out := make([]*partition.Table, 0, len(g.tables))
 	for _, t := range g.tables {
 		out = append(out, t)
@@ -289,8 +296,8 @@ func (g *GMS) Tables() []*partition.Table {
 
 // Group resolves a table group.
 func (g *GMS) Group(name string) (*TableGroup, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	tg, ok := g.groups[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownGroup, name)
@@ -303,8 +310,8 @@ func (g *GMS) Group(name string) (*TableGroup, error) {
 
 // DNForShard returns the DN serving a table's shard.
 func (g *GMS) DNForShard(table string, shard int) (string, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	t, ok := g.tables[table]
 	if !ok {
 		return "", fmt.Errorf("%w: %q", ErrUnknownTable, table)
@@ -341,23 +348,30 @@ func (g *GMS) EndMove(group string, shard int) {
 
 // Moving reports whether a (group, shard) pair is fenced.
 func (g *GMS) Moving(group string, shard int) bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	return g.moving[group][shard]
 }
 
 // RecordLoad bumps a shard's load counter (CNs report after routing).
+// Called per statement by every CN; the counter bump is atomic under the
+// read lock so concurrent reporters never serialize.
 func (g *GMS) RecordLoad(table string, shard int, n int64) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	if l, ok := g.shardLoad[table]; ok && shard >= 0 && shard < len(l) {
-		l[shard] += n
+		atomic.AddInt64(&l[shard], n)
 	}
 }
 
 // ShardLoad returns a copy of a table's per-shard load counters.
 func (g *GMS) ShardLoad(table string) []int64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return append([]int64(nil), g.shardLoad[table]...)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	l := g.shardLoad[table]
+	out := make([]int64, len(l))
+	for i := range l {
+		out[i] = atomic.LoadInt64(&l[i])
+	}
+	return out
 }

@@ -2,6 +2,7 @@ package optimizer
 
 import (
 	"container/list"
+	"hash/maphash"
 	"sync"
 	"sync/atomic"
 
@@ -11,6 +12,14 @@ import (
 
 // DefaultPlanCacheSize bounds the per-CN plan cache.
 const DefaultPlanCacheSize = 512
+
+// planCacheShards spreads the cache over independently locked shards.
+// At front-door session counts every statement on the CN takes the
+// cache lock twice (lookup + LRU touch); a single mutex here was the
+// first contention wall the 10k-session soak surfaced. Shard selection
+// hashes the fingerprint, so one hot statement still serializes on its
+// shard — but distinct statements no longer contend at all.
+const planCacheShards = 16
 
 // PlanCache is the CN's fingerprinted plan cache (the "plan cache"
 // box on the paper's CN, Fig. 2): plans are keyed by the statement's
@@ -24,16 +33,22 @@ const DefaultPlanCacheSize = 512
 // with fresh parameter literals substituted, so concurrent sessions on
 // one CN never share mutable plan state.
 type PlanCache struct {
-	mu   sync.Mutex
-	cap  int
-	lru  *list.List // front = most recent; values are *cacheSlot
-	byFP map[string]*list.Element
+	shards [planCacheShards]planShard
+	seed   maphash.Seed
 
 	hits, misses atomic.Uint64
 	// arityEvictions counts slots evicted because a lookup arrived with a
 	// different parameter count than the cached skeleton (fingerprint
 	// collision across literal arities).
 	arityEvictions atomic.Uint64
+}
+
+// planShard is one independently locked slice of the cache.
+type planShard struct {
+	mu   sync.Mutex
+	cap  int
+	lru  *list.List // front = most recent; values are *cacheSlot
+	byFP map[string]*list.Element
 }
 
 // cacheSlot is one cached skeleton.
@@ -47,16 +62,27 @@ type cacheSlot struct {
 	params []*sql.Literal
 }
 
-// NewPlanCache creates a cache; capacity <= 0 uses the default.
+// NewPlanCache creates a cache; capacity <= 0 uses the default. The
+// capacity is split evenly across shards (rounded up), so the effective
+// total may slightly exceed the requested capacity.
 func NewPlanCache(capacity int) *PlanCache {
 	if capacity <= 0 {
 		capacity = DefaultPlanCacheSize
 	}
-	return &PlanCache{
-		cap:  capacity,
-		lru:  list.New(),
-		byFP: make(map[string]*list.Element),
+	per := (capacity + planCacheShards - 1) / planCacheShards
+	if per < 1 {
+		per = 1
 	}
+	pc := &PlanCache{seed: maphash.MakeSeed()}
+	for i := range pc.shards {
+		pc.shards[i] = planShard{cap: per, lru: list.New(), byFP: make(map[string]*list.Element)}
+	}
+	return pc
+}
+
+// shardFor routes a fingerprint to its shard.
+func (pc *PlanCache) shardFor(fp string) *planShard {
+	return &pc.shards[maphash.String(pc.seed, fp)%planCacheShards]
 }
 
 // Lookup returns a plan instantiated with params, or nil on miss. A hit
@@ -68,11 +94,12 @@ func NewPlanCache(capacity int) *PlanCache {
 // wrong arity would bind literals to the wrong plan nodes (or index out
 // of range), so the slot must not survive to poison later lookups.
 func (pc *PlanCache) Lookup(fp string, epoch uint64, params []*sql.Literal) *Plan {
-	pc.mu.Lock()
-	el, ok := pc.byFP[fp]
+	sh := pc.shardFor(fp)
+	sh.mu.Lock()
+	el, ok := sh.byFP[fp]
 	if !ok {
 		pc.misses.Add(1)
-		pc.mu.Unlock()
+		sh.mu.Unlock()
 		return nil
 	}
 	slot := el.Value.(*cacheSlot)
@@ -80,15 +107,15 @@ func (pc *PlanCache) Lookup(fp string, epoch uint64, params []*sql.Literal) *Pla
 		if len(slot.params) != len(params) {
 			pc.arityEvictions.Add(1)
 		}
-		pc.lru.Remove(el)
-		delete(pc.byFP, fp)
+		sh.lru.Remove(el)
+		delete(sh.byFP, fp)
 		pc.misses.Add(1)
-		pc.mu.Unlock()
+		sh.mu.Unlock()
 		return nil
 	}
-	pc.lru.MoveToFront(el)
+	sh.lru.MoveToFront(el)
 	pc.hits.Add(1)
-	pc.mu.Unlock()
+	sh.mu.Unlock()
 	// Instantiate outside the lock: the skeleton is immutable.
 	plan, _ := clonePlan(slot.plan, slot.params, params)
 	return plan
@@ -99,19 +126,20 @@ func (pc *PlanCache) Lookup(fp string, epoch uint64, params []*sql.Literal) *Pla
 // the session's own reuse — cannot corrupt the skeleton.
 func (pc *PlanCache) Store(fp string, epoch uint64, plan *Plan, params []*sql.Literal) {
 	skeleton, skelParams := clonePlan(plan, params, nil)
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	if el, ok := pc.byFP[fp]; ok {
+	sh := pc.shardFor(fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.byFP[fp]; ok {
 		el.Value = &cacheSlot{fp: fp, epoch: epoch, plan: skeleton, params: skelParams}
-		pc.lru.MoveToFront(el)
+		sh.lru.MoveToFront(el)
 		return
 	}
-	el := pc.lru.PushFront(&cacheSlot{fp: fp, epoch: epoch, plan: skeleton, params: skelParams})
-	pc.byFP[fp] = el
-	for pc.lru.Len() > pc.cap {
-		tail := pc.lru.Back()
-		pc.lru.Remove(tail)
-		delete(pc.byFP, tail.Value.(*cacheSlot).fp)
+	el := sh.lru.PushFront(&cacheSlot{fp: fp, epoch: epoch, plan: skeleton, params: skelParams})
+	sh.byFP[fp] = el
+	for sh.lru.Len() > sh.cap {
+		tail := sh.lru.Back()
+		sh.lru.Remove(tail)
+		delete(sh.byFP, tail.Value.(*cacheSlot).fp)
 	}
 }
 
@@ -126,9 +154,14 @@ func (pc *PlanCache) ArityEvictions() uint64 { return pc.arityEvictions.Load() }
 
 // Len returns the number of cached skeletons.
 func (pc *PlanCache) Len() int {
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	return pc.lru.Len()
+	n := 0
+	for i := range pc.shards {
+		sh := &pc.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // clonePlan deep-copies a plan, substituting parameter literals. params

@@ -112,9 +112,13 @@ type Network struct {
 	faults             *faultState
 	defaultCallTimeout atomic.Int64
 
-	// stats
-	statsMu sync.Mutex
-	msgs    map[string]int64 // per-destination message count
+	// stats: per-destination message counters. A sync.Map of atomics
+	// rather than a mutex-guarded map — lookup() bumps the destination's
+	// counter on every single Call/Send, so a global stats lock is a
+	// whole-fabric serialization point at front-door message rates. The
+	// map reaches steady state once every endpoint has received a message
+	// and is read-mostly after that.
+	msgs sync.Map // string -> *atomic.Int64
 
 	// metrics, when installed, records RPC latency by link class plus
 	// call/error counts. Held behind an atomic pointer so the hot path
@@ -146,7 +150,6 @@ func New(topo Topology) *Network {
 		topo:        topo,
 		endpoints:   make(map[string]*endpoint),
 		partitioned: make(map[[2]DC]bool),
-		msgs:        make(map[string]int64),
 	}
 }
 
@@ -257,9 +260,11 @@ func (n *Network) lookup(from, to string) (srcDC DC, dst *endpoint, err error) {
 	if n.partitioned[[2]DC{src.dc, d.dc}] {
 		return src.dc, nil, fmt.Errorf("%w: %s <-> %s", ErrPartitioned, src.dc, d.dc)
 	}
-	n.statsMu.Lock()
-	n.msgs[to]++
-	n.statsMu.Unlock()
+	ctr, ok := n.msgs.Load(to)
+	if !ok {
+		ctr, _ = n.msgs.LoadOrStore(to, new(atomic.Int64))
+	}
+	ctr.(*atomic.Int64).Add(1)
 	return src.dc, d, nil
 }
 
@@ -413,9 +418,10 @@ func (e *endpoint) isDown() bool { return e.down.Load() }
 // MessageCount returns how many messages were delivered to an endpoint,
 // for assertions like "HLC-SI sends zero messages to the TSO".
 func (n *Network) MessageCount(to string) int64 {
-	n.statsMu.Lock()
-	defer n.statsMu.Unlock()
-	return n.msgs[to]
+	if ctr, ok := n.msgs.Load(to); ok {
+		return ctr.(*atomic.Int64).Load()
+	}
+	return 0
 }
 
 // RTTBetween exposes the topology RTT between the DCs of two endpoints.

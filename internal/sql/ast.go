@@ -34,8 +34,15 @@ func (c *ColumnRef) Name() string {
 	return c.Column
 }
 
-// Literal is a constant value.
-type Literal struct{ Val types.Value }
+// Literal is a constant value. Param marks a '?' placeholder from a
+// prepared statement: the parser leaves Val NULL and binding (the
+// Prepared handle's Execute) overwrites Val in place before each run.
+// Param survives binding, so the fingerprinter can keep treating the
+// node as a parameter regardless of the currently bound value.
+type Literal struct {
+	Val   types.Value
+	Param bool
+}
 
 func (*Literal) expr() {}
 

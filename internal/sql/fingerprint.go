@@ -123,6 +123,20 @@ func (w *fingerprinter) expr(e Expr) {
 	case *ColumnRef:
 		w.b.WriteString(x.Name())
 	case *Literal:
+		if x.Param {
+			// A prepared-statement placeholder is always a parameter —
+			// except when it is bound to a structural kind (bool/NULL),
+			// where a skeleton planned for one value could be wrong for
+			// another. Those executions plan directly instead.
+			switch x.Val.K {
+			case types.KindBool, types.KindNull:
+				w.ok = false
+				return
+			}
+			w.b.WriteByte('?')
+			w.params = append(w.params, x)
+			return
+		}
 		switch x.Val.K {
 		case types.KindBool, types.KindNull:
 			// Structural: kept verbatim (see FingerprintSelect doc).

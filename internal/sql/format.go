@@ -1,0 +1,430 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// FormatStmt renders a parsed statement back to SQL text the parser
+// accepts — the wire client's bridge from the workload drivers'
+// pre-bound ASTs to the PREPARE/EXECUTE protocol. With paramize true,
+// int/float/string/bytes literals become '?' placeholders and their
+// current values are returned in placeholder order (bool and NULL stay
+// inline: the optimizer treats them structurally, so they belong in the
+// statement shape, not the parameter vector). With paramize false every
+// literal is inlined — the fallback for one-shot QUERY frames.
+//
+// Only executable statements render (SELECT / INSERT / UPDATE / DELETE);
+// DDL and EXPLAIN return an error — clients send those as raw text.
+func FormatStmt(stmt Statement, paramize bool) (text string, args []types.Value, err error) {
+	f := &formatter{paramize: paramize}
+	switch st := stmt.(type) {
+	case *Select:
+		f.sel(st)
+	case *Insert:
+		f.insert(st)
+	case *Update:
+		f.update(st)
+	case *Delete:
+		f.del(st)
+	default:
+		return "", nil, fmt.Errorf("sql: cannot format %T", stmt)
+	}
+	if f.err != nil {
+		return "", nil, f.err
+	}
+	return f.b.String(), f.args, nil
+}
+
+// formatter renders statements; the traversal order here defines
+// placeholder order and matches the parser's textual order, so a
+// round-trip through Parse + Params binds values to the same positions.
+type formatter struct {
+	b        strings.Builder
+	paramize bool
+	args     []types.Value
+	err      error
+}
+
+func (f *formatter) sel(s *Select) {
+	f.b.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			f.b.WriteString(", ")
+		}
+		if it.Star {
+			f.b.WriteByte('*')
+			continue
+		}
+		f.expr(it.Expr)
+		if it.Alias != "" {
+			f.b.WriteString(" AS ")
+			f.b.WriteString(it.Alias)
+		}
+	}
+	f.b.WriteString(" FROM ")
+	f.tableRef(s.From)
+	for _, j := range s.Joins {
+		if j.Left {
+			f.b.WriteString(" LEFT JOIN ")
+		} else {
+			f.b.WriteString(" JOIN ")
+		}
+		f.tableRef(j.Table)
+		f.b.WriteString(" ON ")
+		f.expr(j.On)
+	}
+	if s.Where != nil {
+		f.b.WriteString(" WHERE ")
+		f.expr(s.Where)
+	}
+	if len(s.GroupBy) > 0 {
+		f.b.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				f.b.WriteString(", ")
+			}
+			f.expr(e)
+		}
+	}
+	if s.Having != nil {
+		f.b.WriteString(" HAVING ")
+		f.expr(s.Having)
+	}
+	if len(s.OrderBy) > 0 {
+		f.b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				f.b.WriteString(", ")
+			}
+			f.expr(o.Expr)
+			if o.Desc {
+				f.b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		f.b.WriteString(" LIMIT ")
+		f.b.WriteString(strconv.Itoa(s.Limit))
+	}
+}
+
+func (f *formatter) insert(st *Insert) {
+	f.b.WriteString("INSERT INTO ")
+	f.b.WriteString(st.Table)
+	if len(st.Columns) > 0 {
+		f.b.WriteString(" (")
+		f.b.WriteString(strings.Join(st.Columns, ", "))
+		f.b.WriteByte(')')
+	}
+	f.b.WriteString(" VALUES ")
+	for i, row := range st.Rows {
+		if i > 0 {
+			f.b.WriteString(", ")
+		}
+		f.b.WriteByte('(')
+		for j, e := range row {
+			if j > 0 {
+				f.b.WriteString(", ")
+			}
+			f.expr(e)
+		}
+		f.b.WriteByte(')')
+	}
+}
+
+func (f *formatter) update(st *Update) {
+	f.b.WriteString("UPDATE ")
+	f.b.WriteString(st.Table)
+	f.b.WriteString(" SET ")
+	for i, a := range st.Sets {
+		if i > 0 {
+			f.b.WriteString(", ")
+		}
+		f.b.WriteString(a.Column)
+		f.b.WriteString(" = ")
+		f.expr(a.Value)
+	}
+	if st.Where != nil {
+		f.b.WriteString(" WHERE ")
+		f.expr(st.Where)
+	}
+}
+
+func (f *formatter) del(st *Delete) {
+	f.b.WriteString("DELETE FROM ")
+	f.b.WriteString(st.Table)
+	if st.Where != nil {
+		f.b.WriteString(" WHERE ")
+		f.expr(st.Where)
+	}
+}
+
+func (f *formatter) tableRef(t TableRef) {
+	f.b.WriteString(t.Name)
+	if t.Alias != "" {
+		f.b.WriteByte(' ')
+		f.b.WriteString(t.Alias)
+	}
+}
+
+func (f *formatter) expr(e Expr) {
+	if f.err != nil {
+		return
+	}
+	switch x := e.(type) {
+	case nil:
+		f.err = fmt.Errorf("sql: cannot format nil expression")
+	case *ColumnRef:
+		f.b.WriteString(x.Name())
+	case *Literal:
+		f.literal(x)
+	case *BinaryOp:
+		f.b.WriteByte('(')
+		f.expr(x.L)
+		f.b.WriteByte(' ')
+		f.b.WriteString(x.Op)
+		f.b.WriteByte(' ')
+		f.expr(x.R)
+		f.b.WriteByte(')')
+	case *UnaryOp:
+		f.b.WriteByte('(')
+		f.b.WriteString(x.Op)
+		f.b.WriteByte(' ')
+		f.expr(x.E)
+		f.b.WriteByte(')')
+	case *InList:
+		f.expr(x.E)
+		if x.Not {
+			f.b.WriteString(" NOT")
+		}
+		f.b.WriteString(" IN (")
+		if x.Sub != nil {
+			f.sel(x.Sub.Sel)
+		} else {
+			for i, it := range x.Items {
+				if i > 0 {
+					f.b.WriteString(", ")
+				}
+				f.expr(it)
+			}
+		}
+		f.b.WriteByte(')')
+	case *Exists:
+		if x.Not {
+			f.b.WriteString("NOT ")
+		}
+		f.b.WriteString("EXISTS (")
+		f.sel(x.Sub.Sel)
+		f.b.WriteByte(')')
+	case *Subquery:
+		f.b.WriteByte('(')
+		f.sel(x.Sel)
+		f.b.WriteByte(')')
+	case *Between:
+		f.expr(x.E)
+		if x.Not {
+			f.b.WriteString(" NOT")
+		}
+		f.b.WriteString(" BETWEEN ")
+		f.expr(x.Lo)
+		f.b.WriteString(" AND ")
+		f.expr(x.Hi)
+	case *IsNull:
+		f.expr(x.E)
+		f.b.WriteString(" IS ")
+		if x.Not {
+			f.b.WriteString("NOT ")
+		}
+		f.b.WriteString("NULL")
+	case *FuncCall:
+		f.b.WriteString(x.Name)
+		f.b.WriteByte('(')
+		if x.Distinct {
+			f.b.WriteString("DISTINCT ")
+		}
+		if x.Star {
+			f.b.WriteByte('*')
+		}
+		for i, a := range x.Args {
+			if i > 0 {
+				f.b.WriteString(", ")
+			}
+			f.expr(a)
+		}
+		f.b.WriteByte(')')
+	case *CaseExpr:
+		f.b.WriteString("CASE")
+		for _, wh := range x.Whens {
+			f.b.WriteString(" WHEN ")
+			f.expr(wh.Cond)
+			f.b.WriteString(" THEN ")
+			f.expr(wh.Result)
+		}
+		if x.Else != nil {
+			f.b.WriteString(" ELSE ")
+			f.expr(x.Else)
+		}
+		f.b.WriteString(" END")
+	default:
+		f.err = fmt.Errorf("sql: cannot format %T", e)
+	}
+}
+
+func (f *formatter) literal(x *Literal) {
+	switch x.Val.K {
+	case types.KindBool, types.KindNull:
+		// Structural kinds stay inline even under paramization (see
+		// FormatStmt doc); render in parser-accepted spelling.
+		switch {
+		case x.Val.K == types.KindNull:
+			f.b.WriteString("NULL")
+		case x.Val.I != 0:
+			f.b.WriteString("TRUE")
+		default:
+			f.b.WriteString("FALSE")
+		}
+		return
+	}
+	if f.paramize {
+		f.b.WriteByte('?')
+		f.args = append(f.args, x.Val)
+		return
+	}
+	switch x.Val.K {
+	case types.KindInt:
+		f.b.WriteString(strconv.FormatInt(x.Val.I, 10))
+	case types.KindFloat:
+		s := strconv.FormatFloat(x.Val.F, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0" // keep the float kind through a re-parse
+		}
+		f.b.WriteString(s)
+	case types.KindString, types.KindBytes:
+		f.b.WriteString(QuoteString(x.Val.AsString()))
+	default:
+		f.err = fmt.Errorf("sql: cannot format literal kind %v", x.Val.K)
+	}
+}
+
+// QuoteString renders a string literal in the lexer's escape syntax
+// (single quotes; embedded quotes doubled, backslashes doubled).
+func QuoteString(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "'", "''")
+	return "'" + s + "'"
+}
+
+// Params collects a statement's '?' placeholder literals in textual
+// (parse) order — the binding vector for a prepared statement. The walk
+// mirrors the parser's clause order exactly; a statement re-parsed from
+// its own text yields positionally identical parameters.
+func Params(stmt Statement) []*Literal {
+	var w paramWalker
+	w.stmt(stmt)
+	return w.out
+}
+
+// HasSubquery reports whether any expression in the statement contains a
+// subquery (plain or EXISTS/IN form). Execution rewrites subqueries into
+// literal lists in place, so prepared handles re-parse such statements
+// per execution instead of reusing a mutated AST.
+func HasSubquery(stmt Statement) bool {
+	var w paramWalker
+	w.stmt(stmt)
+	return w.sub
+}
+
+type paramWalker struct {
+	out []*Literal
+	sub bool
+}
+
+func (w *paramWalker) stmt(stmt Statement) {
+	switch st := stmt.(type) {
+	case *Select:
+		w.sel(st)
+	case *Insert:
+		for _, row := range st.Rows {
+			for _, e := range row {
+				w.expr(e)
+			}
+		}
+	case *Update:
+		for _, a := range st.Sets {
+			w.expr(a.Value)
+		}
+		w.expr(st.Where)
+	case *Delete:
+		w.expr(st.Where)
+	case *Explain:
+		w.stmt(st.Stmt)
+	}
+}
+
+func (w *paramWalker) sel(s *Select) {
+	for _, it := range s.Items {
+		w.expr(it.Expr)
+	}
+	for _, j := range s.Joins {
+		w.expr(j.On)
+	}
+	w.expr(s.Where)
+	for _, e := range s.GroupBy {
+		w.expr(e)
+	}
+	w.expr(s.Having)
+	for _, o := range s.OrderBy {
+		w.expr(o.Expr)
+	}
+}
+
+func (w *paramWalker) expr(e Expr) {
+	switch x := e.(type) {
+	case *Literal:
+		if x.Param {
+			w.out = append(w.out, x)
+		}
+	case *BinaryOp:
+		w.expr(x.L)
+		w.expr(x.R)
+	case *UnaryOp:
+		w.expr(x.E)
+	case *InList:
+		w.expr(x.E)
+		for _, it := range x.Items {
+			w.expr(it)
+		}
+		if x.Sub != nil {
+			w.sub = true
+			w.sel(x.Sub.Sel)
+		}
+	case *Exists:
+		w.sub = true
+		if x.Sub != nil {
+			w.sel(x.Sub.Sel)
+		}
+	case *Subquery:
+		w.sub = true
+		w.sel(x.Sel)
+	case *Between:
+		w.expr(x.E)
+		w.expr(x.Lo)
+		w.expr(x.Hi)
+	case *IsNull:
+		w.expr(x.E)
+	case *FuncCall:
+		for _, a := range x.Args {
+			w.expr(a)
+		}
+	case *CaseExpr:
+		for _, wh := range x.Whens {
+			w.expr(wh.Cond)
+			w.expr(wh.Result)
+		}
+		w.expr(x.Else)
+	}
+}

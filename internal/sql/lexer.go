@@ -134,7 +134,7 @@ func (l *Lexer) Next() (Token, error) {
 				return Token{Kind: TokOp, Text: op, Pos: start}, nil
 			}
 		}
-		if strings.ContainsRune("()+-*/,=<>.;%", rune(c)) {
+		if strings.ContainsRune("()+-*/,=<>.;%?", rune(c)) {
 			l.pos++
 			return Token{Kind: TokOp, Text: string(c), Pos: start}, nil
 		}

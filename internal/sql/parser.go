@@ -848,6 +848,9 @@ func (p *Parser) parsePrimary() (Expr, error) {
 	case t.Kind == TokString:
 		p.pos++
 		return &Literal{Val: types.Str(t.Text)}, nil
+	case t.Kind == TokOp && t.Text == "?":
+		p.pos++
+		return &Literal{Param: true}, nil
 	case t.Kind == TokKeyword && t.Text == "NULL":
 		p.pos++
 		return &Literal{Val: types.Null()}, nil

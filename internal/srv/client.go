@@ -1,0 +1,309 @@
+package srv
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/simnet"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// Client-side sentinel errors (server-side conditions with no local
+// sentinel to map onto).
+var (
+	// ErrBadStmt reports use of an unknown or closed prepared-statement id.
+	ErrBadStmt = errors.New("srv: bad prepared-statement id")
+	// ErrParse reports a statement the server could not parse.
+	ErrParse = errors.New("srv: parse error")
+	// ErrConnClosed reports use of a closed client connection.
+	ErrConnClosed = errors.New("srv: connection closed")
+)
+
+// WireError is a protocol-level error from the server. Is() maps codes
+// back onto the cluster's sentinel errors, so client code can write
+// errors.Is(err, admission.ErrOverloaded) / obs.ErrDeadlineExceeded /
+// core.ErrSessionBusy exactly as if it held a local session.
+type WireError struct {
+	Code string
+	Msg  string
+}
+
+func (e *WireError) Error() string { return fmt.Sprintf("srv: [%s] %s", e.Code, e.Msg) }
+
+func (e *WireError) Is(target error) bool {
+	switch e.Code {
+	case CodeOverloaded:
+		return target == admission.ErrOverloaded
+	case CodeDeadline:
+		return target == obs.ErrDeadlineExceeded
+	case CodeBusy:
+		return target == core.ErrSessionBusy
+	case CodeBadStmt:
+		return target == ErrBadStmt || target == core.ErrStmtClosed
+	case CodeParse:
+		return target == ErrParse
+	}
+	return false
+}
+
+// Result is a decoded response: rows for SELECTs, Affected for DML,
+// StmtID/NumParams for PREPARE.
+type Result struct {
+	Columns   []string
+	Rows      []types.Row
+	Affected  int
+	StmtID    uint32
+	NumParams int
+}
+
+// transport moves one frame to the server and returns its response.
+type transport interface {
+	roundTrip(body []byte) ([]byte, error)
+	close() error
+}
+
+// Conn is a client connection to the front door.
+type Conn struct {
+	mu sync.Mutex
+	t  transport
+	// stmts caches auto-prepared handles by statement text (the workload
+	// adapter's PREPARE-once-EXECUTE-many path).
+	stmts  map[string]*Stmt
+	closed bool
+}
+
+// HelloOptions carries the connection handshake metadata.
+type HelloOptions struct {
+	Tenant string
+	// StatementTimeout overrides the cluster default for this
+	// connection's session: 0 inherits, negative disables.
+	StatementTimeout time.Duration
+}
+
+// DialSim opens a connection over the simulated fabric: clientName is
+// registered as an endpoint in dc, and every frame is one simnet Call to
+// server (a CN front-door endpoint from AttachSimnet). The HELLO
+// handshake runs before DialSim returns.
+func DialSim(net *simnet.Network, clientName string, dc simnet.DC, server string, opts HelloOptions) (*Conn, error) {
+	net.Register(clientName, dc, func(string, any) (any, error) { return nil, nil })
+	c := &Conn{
+		t:     &simTransport{net: net, from: clientName, to: server},
+		stmts: make(map[string]*Stmt),
+	}
+	if err := c.hello(opts); err != nil {
+		net.Unregister(clientName)
+		return nil, err
+	}
+	return c, nil
+}
+
+// Dial opens a TCP connection to a polardbx-srv listener and runs the
+// HELLO handshake.
+func Dial(addr string, opts HelloOptions) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{t: &tcpTransport{nc: nc}, stmts: make(map[string]*Stmt)}
+	if err := c.hello(opts); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Conn) hello(opts HelloOptions) error {
+	micros := opts.StatementTimeout.Microseconds()
+	if opts.StatementTimeout < 0 {
+		micros = -1 // sub-microsecond negatives still mean "disable"
+	} else if opts.StatementTimeout > 0 && micros == 0 {
+		micros = 1 // a sub-microsecond timeout must not truncate to "inherit"
+	}
+	b := putStr([]byte{kindHello}, opts.Tenant)
+	b = putI64(b, micros)
+	_, err := c.roundTrip(b)
+	return err
+}
+
+func (c *Conn) roundTrip(body []byte) (*Result, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrConnClosed
+	}
+	t := c.t
+	c.mu.Unlock()
+	resp, err := t.roundTrip(body)
+	if err != nil {
+		return nil, err
+	}
+	return decodeResponse(resp)
+}
+
+// Query runs a one-shot text statement.
+func (c *Conn) Query(text string) (*Result, error) {
+	return c.roundTrip(putStr([]byte{kindQuery}, text))
+}
+
+// Prepare creates a server-side prepared statement.
+func (c *Conn) Prepare(text string) (*Stmt, error) {
+	res, err := c.roundTrip(putStr([]byte{kindPrepare}, text))
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{c: c, id: res.StmtID, numParams: res.NumParams, text: text}, nil
+}
+
+// Close sends QUIT and tears the connection down. Idempotent.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	t := c.t
+	c.mu.Unlock()
+	t.roundTrip([]byte{kindQuit}) // best effort; the server drops our state
+	return t.close()
+}
+
+// Stmt is a client handle on a server-side prepared statement.
+type Stmt struct {
+	c         *Conn
+	id        uint32
+	numParams int
+	text      string
+}
+
+// NumParams returns the statement's placeholder count.
+func (s *Stmt) NumParams() int { return s.numParams }
+
+// Exec binds args and executes the prepared statement.
+func (s *Stmt) Exec(args ...types.Value) (*Result, error) {
+	b := putU32([]byte{kindExecute}, s.id)
+	b = putU32(b, uint32(len(args)))
+	for _, a := range args {
+		b = putValue(b, a)
+	}
+	return s.c.roundTrip(b)
+}
+
+// Close releases the server-side handle.
+func (s *Stmt) Close() error {
+	_, err := s.c.roundTrip(putU32([]byte{kindClose}, s.id))
+	return err
+}
+
+// --- transports ---------------------------------------------------------
+
+type simTransport struct {
+	net  *simnet.Network
+	from string
+	to   string
+}
+
+func (t *simTransport) roundTrip(body []byte) ([]byte, error) {
+	resp, err := t.net.Call(t.from, t.to, body)
+	if err != nil {
+		return nil, err
+	}
+	b, ok := resp.([]byte)
+	if !ok {
+		return nil, ErrMalformedFrame
+	}
+	return b, nil
+}
+
+func (t *simTransport) close() error {
+	t.net.Unregister(t.from)
+	return nil
+}
+
+type tcpTransport struct {
+	mu sync.Mutex
+	nc net.Conn
+}
+
+func (t *tcpTransport) roundTrip(body []byte) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := writeFrame(t.nc, body); err != nil {
+		return nil, err
+	}
+	return readFrame(t.nc)
+}
+
+func (t *tcpTransport) close() error { return t.nc.Close() }
+
+// --- workload adapter ---------------------------------------------------
+
+// WorkloadSession adapts a wire connection to the workload drivers'
+// Session interface: pre-bound ASTs are rendered to parameterized text
+// and executed through auto-prepared statements (PREPARE once per
+// distinct statement shape, EXECUTE per call), exercising exactly the
+// path a real application driver would. Statements that cannot be
+// parameterized fall back to one-shot QUERY text.
+type WorkloadSession struct {
+	C *Conn
+}
+
+// ExecuteStmt renders and executes a pre-bound AST over the wire.
+func (w *WorkloadSession) ExecuteStmt(stmt sql.Statement) (*core.Result, error) {
+	text, args, err := sql.FormatStmt(stmt, true)
+	if err != nil {
+		return nil, err
+	}
+	w.C.mu.Lock()
+	st := w.C.stmts[text]
+	w.C.mu.Unlock()
+	if st == nil {
+		st, err = w.C.Prepare(text)
+		if err != nil {
+			return nil, err
+		}
+		w.C.mu.Lock()
+		w.C.stmts[text] = st
+		w.C.mu.Unlock()
+	}
+	res, err := st.Exec(args...)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Result{Columns: res.Columns, Rows: res.Rows, Affected: res.Affected}, nil
+}
+
+// Execute runs raw statement text as a one-shot QUERY frame (the text
+// driver path, e.g. TPC-C terminals).
+func (w *WorkloadSession) Execute(query string) (*core.Result, error) {
+	res, err := w.C.Query(query)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Result{Columns: res.Columns, Rows: res.Rows, Affected: res.Affected}, nil
+}
+
+// BeginTxn starts a transaction on the connection's session.
+func (w *WorkloadSession) BeginTxn() error {
+	_, err := w.C.Query("BEGIN")
+	return err
+}
+
+// Commit commits the open transaction.
+func (w *WorkloadSession) Commit() error {
+	_, err := w.C.Query("COMMIT")
+	return err
+}
+
+// Rollback aborts the open transaction.
+func (w *WorkloadSession) Rollback() error {
+	_, err := w.C.Query("ROLLBACK")
+	return err
+}

@@ -1,0 +1,258 @@
+package testcluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/simnet"
+	"repro/internal/srv"
+	"repro/internal/types"
+)
+
+// TestChaosFrontdoor opens 10,000 wire connections against the simnet
+// front door — every one with a live session and a prepared statement on
+// the server — and drives rounds of point selects through them while the
+// links carry jitter faults and one DN group's leader is killed mid-
+// round. The assertions are the front-door contract: goodput holds a
+// floor in every round (connections are cheap; only running statements
+// consume CN slots), every failure is a principled retryable verdict
+// (shed, deadline, or busy — never a hang or an opaque error), admitted
+// statements keep their deadline-bounded tail, and when the connections
+// close the server's per-connection state drains to zero. Run under
+// -race by `make chaos-frontdoor`.
+func TestChaosFrontdoor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dials 10,000 wire connections and waits out a leader election")
+	}
+	const (
+		conns         = 10000
+		maxConcurrent = 4
+		stmtTimeout   = 250 * time.Millisecond
+		pool          = 256 // concurrent statement attempts across the fleet
+	)
+	tc := New(t, Opts{
+		DCs: 3, MultiDC: true, DNGroups: 2,
+		// Every link jitters: propagation gains up to 1ms each way, so
+		// nothing in the stack may depend on tidy message timing.
+		Faults: &simnet.LinkFaults{ExtraJitter: time.Millisecond},
+		Configure: func(cfg *core.Config) {
+			cfg.StatementTimeout = stmtTimeout
+			cfg.Admission = &admission.Config{
+				MaxConcurrent: maxConcurrent,
+				MaxQueue:      4 * maxConcurrent,
+				MaxQueueWait:  20 * time.Millisecond,
+			}
+		},
+	})
+	seed := tc.Session()
+	seed.SetStatementTimeout(-1)
+	tc.MustExec(seed, `CREATE TABLE kv (id BIGINT, v BIGINT, PRIMARY KEY(id)) PARTITIONS 4`)
+	for i := 0; i < 400; i += 50 {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO kv (id, v) VALUES ")
+		for j := i; j < i+50; j++ {
+			if j > i {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d)", j, j*3)
+		}
+		tc.MustExec(seed, sb.String())
+	}
+
+	server := srv.NewServer(tc.Cluster, srv.Options{})
+	eps := server.AttachSimnet()
+
+	// Dial the whole fleet. 10k connections is the point: each holds a
+	// session and a prepared handle on the server and nothing else.
+	type client struct {
+		conn *srv.Conn
+		st   *srv.Stmt
+	}
+	clients := make([]client, conns)
+	var dialWG sync.WaitGroup
+	dialSem := make(chan struct{}, 128)
+	var dialErrs atomic.Int64
+	for i := 0; i < conns; i++ {
+		i := i
+		dialWG.Add(1)
+		dialSem <- struct{}{}
+		go func() {
+			defer func() { <-dialSem; dialWG.Done() }()
+			c, err := srv.DialSim(tc.Net, fmt.Sprintf("chaos-client-%d", i), simnet.DC1,
+				eps[i%len(eps)], srv.HelloOptions{Tenant: fmt.Sprintf("app-%d", i%97)})
+			if err != nil {
+				dialErrs.Add(1)
+				return
+			}
+			st, err := c.Prepare(`SELECT v FROM kv WHERE id = ?`)
+			if err != nil {
+				dialErrs.Add(1)
+				c.Close()
+				return
+			}
+			clients[i] = client{conn: c, st: st}
+		}()
+	}
+	dialWG.Wait()
+	if n := dialErrs.Load(); n > 0 {
+		t.Fatalf("%d of %d connections failed to dial/prepare", n, conns)
+	}
+	if n := server.SimConnCount(); n != conns {
+		t.Fatalf("server tracks %d connections, want %d", n, conns)
+	}
+
+	// runRound pushes one statement per connection through a bounded
+	// worker pool and classifies every outcome.
+	ring := NewLatencyRing(512)
+	runRound := func(name string, onProgress func(done int64)) (good, shed, deadlined, busy int64) {
+		var g, sh, dl, bu, done atomic.Int64
+		work := make(chan int, conns)
+		for i := 0; i < conns; i++ {
+			work <- i
+		}
+		close(work)
+		var wg sync.WaitGroup
+		for p := 0; p < pool; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for w := range work {
+					start := time.Now()
+					_, err := clients[w].st.Exec(types.Int(int64(w % 400)))
+					switch {
+					case err == nil:
+						g.Add(1)
+						ring.Observe(time.Since(start))
+					case errors.Is(err, admission.ErrOverloaded):
+						sh.Add(1)
+					case errors.Is(err, obs.ErrDeadlineExceeded):
+						dl.Add(1)
+					case errors.Is(err, core.ErrSessionBusy):
+						bu.Add(1)
+					default:
+						t.Errorf("round %s conn %d: unprincipled failure: %v", name, w, err)
+					}
+					if onProgress != nil {
+						onProgress(done.Add(1))
+					}
+				}
+			}()
+		}
+		joined := make(chan struct{})
+		go func() { wg.Wait(); close(joined) }()
+		select {
+		case <-joined:
+		case <-time.After(120 * time.Second):
+			t.Fatalf("round %s wedged: a connection hung instead of failing fast", name)
+		}
+		good, shed, deadlined, busy = g.Load(), sh.Load(), dl.Load(), bu.Load()
+		t.Logf("round %s: good=%d shed=%d deadline=%d busy=%d", name, good, shed, deadlined, busy)
+		return
+	}
+
+	// Round 1: steady state under jitter. The pool offers far more than
+	// the admission capacity, so shedding is expected — collapse is not.
+	good1, _, _, _ := runRound("steady", nil)
+	if good1 < conns/25 {
+		t.Fatalf("steady-state goodput collapsed: %d/%d", good1, conns)
+	}
+
+	// Round 2: kill the leader serving shard 0 once the round is ~20%
+	// through. Statements on its shards fail by deadline until the
+	// election and GMS re-route finish; the other group keeps serving.
+	dn0, err := tc.GMS.DNForShard("kv", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DNForShard names the serving instance ("dng0-dc1"); FailDNLeader
+	// wants its replication group ("dng0").
+	dng := dn0
+	if i := strings.Index(dn0, "-dc"); i >= 0 {
+		dng = dn0[:i]
+	}
+	var failOnce sync.Once
+	good2, _, _, _ := runRound("failover", func(done int64) {
+		if done >= conns/5 {
+			failOnce.Do(func() {
+				old, err := tc.FailDNLeader(dng)
+				if err != nil {
+					t.Errorf("FailDNLeader: %v", err)
+					return
+				}
+				t.Logf("killed DN leader %s mid-round", old)
+			})
+		}
+	})
+	if good2 < conns/50 {
+		t.Fatalf("goodput collapsed during failover: %d/%d", good2, conns)
+	}
+
+	// Let the election settle: a no-deadline session must see the table
+	// whole again (GMS health-check + re-route behind one statement).
+	probe := tc.Session()
+	probe.SetStatementTimeout(-1)
+	if err := Retry(400, 50*time.Millisecond, func() error {
+		res, err := probe.Execute("SELECT COUNT(*) FROM kv")
+		if err != nil {
+			return err
+		}
+		if n := res.Rows[0][0].AsInt(); n != 400 {
+			return fmt.Errorf("count = %d, want 400", n)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("cluster never recovered from leader failure: %v", err)
+	}
+	tc.HealDNRouting()
+
+	// Round 3: recovered. The floor returns to steady-state level.
+	good3, _, _, _ := runRound("recovered", nil)
+	if good3 < conns/25 {
+		t.Fatalf("post-recovery goodput did not return: %d/%d", good3, conns)
+	}
+
+	// Admitted-statement tail stays bounded by the deadline discipline
+	// across all rounds, failover included. The client's wall clock also
+	// counts wire time and host scheduling delay (256 workers on a race-
+	// instrumented binary), so the bound is a multiple of the deadline —
+	// it catches seconds-long stalls, not the simulated tail (~20ms in a
+	// plain run).
+	if p99, ok := ring.P99(); ok {
+		if bound := 4 * stmtTimeout; p99 > bound {
+			t.Fatalf("admitted p99 %v exceeds %v", p99, bound)
+		}
+		t.Logf("admitted p99 = %v", p99)
+	} else {
+		t.Fatal("not enough admitted samples for a p99")
+	}
+
+	// Close the fleet: per-connection server state must drain to zero —
+	// the no-unbounded-growth half of the million-session resource model.
+	var closeWG sync.WaitGroup
+	for i := range clients {
+		i := i
+		closeWG.Add(1)
+		dialSem <- struct{}{}
+		go func() {
+			defer func() { <-dialSem; closeWG.Done() }()
+			clients[i].conn.Close()
+		}()
+	}
+	closeWG.Wait()
+	if err := Retry(100, 20*time.Millisecond, func() error {
+		if n := server.SimConnCount(); n != 0 {
+			return fmt.Errorf("server still tracks %d connections", n)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -90,10 +90,22 @@ func randPayload(rng *rand.Rand, n int) string {
 	return string(b)
 }
 
+// Session is what a driver needs from its connection: statement
+// execution plus transaction control. *core.Session implements it
+// natively; srv.WorkloadSession implements it over the wire protocol,
+// so the same driver exercises either the in-process CN path or the
+// full front door.
+type Session interface {
+	ExecuteStmt(stmt sql.Statement) (*core.Result, error)
+	BeginTxn() error
+	Commit() error
+	Rollback() error
+}
+
 // Driver issues sysbench transactions on one session.
 type Driver struct {
 	cfg Config
-	s   *core.Session
+	s   Session
 	rng *rand.Rand
 
 	// hot, when set, skews randID: with probability hotProb the id comes
@@ -116,7 +128,7 @@ func (d *Driver) SetHot(ids []int64, prob float64) {
 }
 
 // NewDriver binds a driver to a session.
-func NewDriver(s *core.Session, cfg Config, workerSeed int64) *Driver {
+func NewDriver(s Session, cfg Config, workerSeed int64) *Driver {
 	cfg = cfg.withDefaults()
 	return &Driver{cfg: cfg, s: s, rng: rand.New(rand.NewSource(cfg.Seed ^ workerSeed))}
 }

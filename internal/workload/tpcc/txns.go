@@ -14,17 +14,27 @@ import (
 // ErrInvalidItem is the intentional 1% New-Order rollback of the spec.
 var ErrInvalidItem = errors.New("tpcc: invalid item (intentional rollback)")
 
+// Session is what a terminal needs from its connection: text statement
+// execution plus transaction control. *core.Session implements it
+// natively; srv.WorkloadSession implements it over the wire protocol.
+type Session interface {
+	Execute(query string) (*core.Result, error)
+	BeginTxn() error
+	Commit() error
+	Rollback() error
+}
+
 // Driver issues TPC-C transactions through one session ("terminal").
 type Driver struct {
 	cfg Config
-	s   *core.Session
+	s   Session
 	rng *rand.Rand
 	// nextOID caches per-district order counters; the database's
 	// d_next_o_id remains the source of truth at txn time.
 }
 
 // NewDriver binds a terminal to a session.
-func NewDriver(s *core.Session, cfg Config, seed int64) *Driver {
+func NewDriver(s Session, cfg Config, seed int64) *Driver {
 	cfg = cfg.withDefaults()
 	return &Driver{cfg: cfg, s: s, rng: rand.New(rand.NewSource(cfg.Seed ^ seed))}
 }
